@@ -1,0 +1,65 @@
+/// Ext-D: fitness-function ablation.
+///
+/// The paper's fitness counts only intersections (1/(1+I)); a vector with
+/// zero crossings can still place trajectories arbitrarily close together.
+/// This bench compares the paper fitness against the separation margin and
+/// a hybrid, measured by the diagnosis accuracy each delivers under noise.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "circuits/nf_biquad.hpp"
+#include "circuits/tow_thomas.hpp"
+#include "core/atpg.hpp"
+#include "core/evaluation.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace ftdiag;
+
+namespace {
+
+void ablate(const circuits::CircuitUnderTest& cut, const char* title) {
+  AsciiTable table({"fitness fn", "best value", "I", "sep margin",
+                    "clean acc", "acc @ 1% noise", "acc @ 5% noise"});
+  for (const char* fitness : {"paper", "separation", "hybrid"}) {
+    core::AtpgConfig config;
+    config.fitness = fitness;
+    core::AtpgFlow flow(cut, config);
+    const auto result = flow.run();
+
+    auto accuracy_at = [&](double sigma) {
+      core::EvaluationOptions options;
+      options.trials = 300;
+      options.noise_sigma = sigma;
+      return core::evaluate_diagnosis(flow.cut(), flow.dictionary(),
+                                      result.best.vector,
+                                      core::SamplingPolicy{}, options)
+          .site_accuracy;
+    };
+
+    table.add_row({fitness, str::format("%.4f", result.best.fitness),
+                   std::to_string(result.best.intersections),
+                   str::format("%.4f", result.best.separation_margin),
+                   str::format("%.1f%%", accuracy_at(0.0) * 100),
+                   str::format("%.1f%%", accuracy_at(0.01) * 100),
+                   str::format("%.1f%%", accuracy_at(0.05) * 100)});
+  }
+  table.print(std::cout, title);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ext-D", "fitness-function ablation (paper vs separation vs "
+                         "hybrid objective)",
+                "GA with paper parameters, accuracy under magnitude noise");
+
+  ablate(circuits::make_paper_cut(), "nf_biquad (the paper CUT)");
+  ablate(circuits::make_tow_thomas(), "tow_thomas (ambiguity-group CUT)");
+
+  std::printf(
+      "\nreading: intersection count alone saturates at I=0; separation-\n"
+      "aware objectives buy additional noise margin at equal budget.\n");
+  return 0;
+}

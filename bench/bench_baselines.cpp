@@ -1,0 +1,89 @@
+/// Ext-A: the GA against baseline searchers under a matched evaluation
+/// budget (the paper motivates the GA but compares against nothing; this
+/// table supplies the missing comparison).
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "circuits/nf_biquad.hpp"
+#include "core/atpg.hpp"
+#include "core/sensitivity.hpp"
+#include "ga/baselines.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace ftdiag;
+
+int main() {
+  bench::banner("Ext-A",
+                "GA vs random / grid / hill-climb / simulated annealing",
+                "nf_biquad CUT, ~1.1k objective evaluations each, 5 seeds");
+
+  core::AtpgFlow flow(circuits::make_paper_cut());
+
+  // The paper GA costs 128 + 15*64 = 1088 evaluations; budget-match it.
+  constexpr std::size_t kBudget = 1088;
+  const ga::GeneticAlgorithm ga(ga::GaConfig::paper());
+  const ga::RandomSearch random(kBudget);
+  const ga::GridSearch grid(33);  // 33^2 = 1089
+  const ga::HillClimb hillclimb(kBudget, 8, 0.5);
+  const ga::SimulatedAnnealing anneal(kBudget, 0.3, 0.995, 0.3);
+  const ga::FrequencyOptimizer* optimizers[] = {&ga, &random, &grid,
+                                                &hillclimb, &anneal};
+
+  AsciiTable table({"optimizer", "mean fitness", "best fitness",
+                    "zero-I runs", "mean evals", "mean ms"});
+  for (const auto* optimizer : optimizers) {
+    double fitness_sum = 0.0, best_fitness = 0.0, ms_sum = 0.0;
+    std::size_t zero_runs = 0, eval_sum = 0;
+    constexpr std::uint64_t kSeeds = 5;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto run = flow.run_with(*optimizer, seed);
+      const auto t1 = std::chrono::steady_clock::now();
+      ms_sum += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      fitness_sum += run.best.fitness;
+      best_fitness = std::max(best_fitness, run.best.fitness);
+      zero_runs += run.best.intersections == 0 ? 1 : 0;
+      eval_sum += run.search.evaluations;
+    }
+    table.add_row({optimizer->name(),
+                   str::format("%.4f", fitness_sum / kSeeds),
+                   str::format("%.4f", best_fitness),
+                   str::format("%zu/%llu", zero_runs,
+                               static_cast<unsigned long long>(kSeeds)),
+                   std::to_string(eval_sum / kSeeds),
+                   str::format("%.1f", ms_sum / kSeeds)});
+  }
+  table.print(std::cout, "optimizer comparison (same budget)");
+
+  // Sensitivity-informed screening: a deterministic, nearly-free surrogate
+  // (pairwise sensitivity-direction angles on a coarse grid) versus the
+  // searchers above.  Costs (testables x 2) AC sweeps + O(grid^2) angle
+  // evaluations — no fault simulation at all.
+  const auto curves = core::compute_sensitivities(
+      flow.cut(), mna::FrequencyGrid::log_sweep(10.0, 100e3, 80));
+  const auto screened = core::screen_frequency_pairs(curves, 40, 3);
+  AsciiTable screen_table(
+      {"screened pair", "min sep angle", "fitness", "I", "sep margin"});
+  for (const auto& [f1, f2] : screened) {
+    const auto score = flow.score({{f1, f2}});
+    screen_table.add_row(
+        {str::format("%.1f Hz / %.1f Hz", f1, f2),
+         str::format("%.1f deg", core::min_separation_angle(curves, f1, f2)),
+         str::format("%.4f", score.fitness),
+         std::to_string(score.intersections),
+         str::format("%.5f", score.separation_margin)});
+  }
+  screen_table.print(std::cout,
+                     "sensitivity-screened pairs (no fault simulation)");
+
+  std::printf(
+      "\nreading: on this small 2-D search space several searchers reach\n"
+      "zero intersections; the GA's value is robustness at fixed budget,\n"
+      "which the paper's choice of 128x15 reflects.  Sensitivity screening\n"
+      "lands in the same region for a fraction of the cost and makes a\n"
+      "strong initial population.\n");
+  return 0;
+}

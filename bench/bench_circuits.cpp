@@ -1,0 +1,54 @@
+/// Ext-C: does the fault-trajectory method generalize beyond the paper's
+/// CUT?  Runs the full flow on every registry circuit and reports fitness,
+/// ambiguity groups and diagnosis accuracy.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "circuits/registry.hpp"
+#include "core/ambiguity.hpp"
+#include "core/atpg.hpp"
+#include "core/evaluation.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace ftdiag;
+
+int main() {
+  bench::banner("Ext-C", "the method across the benchmark circuit registry",
+                "full flow (dictionary -> GA -> evaluation) per circuit");
+
+  AsciiTable table({"circuit", "sites", "faults", "groups", "fitness", "I",
+                    "site acc", "group acc"});
+  for (const auto& entry : circuits::registry()) {
+    const auto cut = entry.make();
+    core::AtpgConfig config;
+    config.ga.generations = 15;
+    core::AtpgFlow flow(cut, config);
+    const auto result = flow.run();
+    const auto groups = core::find_ambiguity_groups(flow.dictionary());
+
+    core::EvaluationOptions options;
+    options.trials = 250;
+    const auto report = core::evaluate_diagnosis(
+        flow.cut(), flow.dictionary(), result.best.vector,
+        core::SamplingPolicy{}, options);
+
+    table.add_row({entry.name,
+                   std::to_string(flow.dictionary().site_labels().size()),
+                   std::to_string(flow.dictionary().fault_count()),
+                   std::to_string(groups.size()),
+                   str::format("%.3f", result.best.fitness),
+                   std::to_string(result.best.intersections),
+                   str::format("%.1f%%", report.site_accuracy * 100),
+                   str::format("%.1f%%", report.group_accuracy * 100)});
+  }
+  table.print(std::cout, "fault-trajectory flow per registry circuit");
+
+  std::printf(
+      "\nreading: circuits whose ambiguity-group count is below the site\n"
+      "count (tow_thomas: ratio-degenerate pairs; rc_ladder: interchange-\n"
+      "able sections) cap site accuracy, while group accuracy stays high —\n"
+      "the trajectory method separates exactly what is separable.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+/// \file bench_common.hpp
+/// \brief Shared helpers for the experiment-reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ftdiag::bench {
+
+/// Standard header every experiment binary prints first, so the combined
+/// bench output maps 1:1 onto DESIGN.md's experiment index.
+inline void banner(const std::string& experiment_id,
+                   const std::string& paper_artefact,
+                   const std::string& workload) {
+  std::printf("\n================================================================\n");
+  std::printf("experiment : %s\n", experiment_id.c_str());
+  std::printf("reproduces : %s\n", paper_artefact.c_str());
+  std::printf("workload   : %s\n", workload.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace ftdiag::bench

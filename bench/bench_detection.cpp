@@ -1,0 +1,87 @@
+/// Ext-G: fault detection ("it must disclose faults", paper §2).
+///
+/// The acceptance radius is calibrated on Monte-Carlo healthy boards
+/// (toleranced parts + measurement noise); fault coverage and realized
+/// false-alarm rate are then measured per site, per tolerance class and
+/// per fault magnitude.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "circuits/nf_biquad.hpp"
+#include "core/atpg.hpp"
+#include "core/detection.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace ftdiag;
+
+int main() {
+  bench::banner("Ext-G", "fault detection: coverage vs tolerance-calibrated "
+                         "acceptance radius",
+                "nf_biquad CUT, hybrid-fitness test vector, 60 faults/site");
+
+  core::AtpgConfig config;
+  config.fitness = "hybrid";
+  core::AtpgFlow flow(circuits::make_paper_cut(), config);
+  const auto vector = flow.run().best.vector;
+  std::printf("test vector: %s\n", vector.label().c_str());
+
+  // --- coverage vs tolerance class --------------------------------------
+  AsciiTable by_tolerance({"R/C tolerance", "threshold", "coverage",
+                           "false alarms", "min site coverage"});
+  for (double tol : {0.002, 0.01, 0.02, 0.05}) {
+    core::DetectionCalibration calibration;
+    calibration.tolerance.resistor_tolerance = tol;
+    calibration.tolerance.capacitor_tolerance = tol;
+    calibration.noise_sigma = 0.002;
+    const auto detector = core::FaultDetector::calibrate(
+        flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{},
+        calibration);
+    const auto report = core::measure_coverage(
+        flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{},
+        detector, calibration);
+    double min_site = 1.0;
+    for (const auto& s : report.per_site) min_site = std::min(min_site, s.rate());
+    by_tolerance.add_row({str::format("%.1f%%", tol * 100),
+                          str::format("%.3e", detector.threshold()),
+                          str::format("%.1f%%", report.overall_coverage * 100),
+                          str::format("%.1f%%", report.false_alarm_rate * 100),
+                          str::format("%.1f%%", min_site * 100)});
+  }
+  by_tolerance.print(std::cout, "coverage vs healthy-part tolerance "
+                                "(|deviation| 5-40%, 0.2% noise)");
+
+  // --- per-site coverage at the realistic corner ------------------------
+  core::DetectionCalibration calibration;
+  calibration.tolerance.resistor_tolerance = 0.01;
+  calibration.tolerance.capacitor_tolerance = 0.01;
+  calibration.noise_sigma = 0.002;
+  const auto detector = core::FaultDetector::calibrate(
+      flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{},
+      calibration);
+
+  AsciiTable per_site({"site", "coverage (5-40%)", "coverage (15-40%)"});
+  core::CoverageOptions wide;
+  core::CoverageOptions large_only;
+  large_only.min_abs_deviation = 0.15;
+  const auto wide_report = core::measure_coverage(
+      flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{}, detector,
+      calibration, wide);
+  const auto large_report = core::measure_coverage(
+      flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{}, detector,
+      calibration, large_only);
+  for (std::size_t i = 0; i < wide_report.per_site.size(); ++i) {
+    per_site.add_row({wide_report.per_site[i].site,
+                      str::format("%.1f%%", wide_report.per_site[i].rate() * 100),
+                      str::format("%.1f%%", large_report.per_site[i].rate() * 100)});
+  }
+  per_site.print(std::cout, "per-site coverage at 1% parts");
+
+  std::printf(
+      "\nreading: faults below the tolerance cloud are physically\n"
+      "indistinguishable from healthy spread (coverage < 100%% for small\n"
+      "deviations at loose tolerances); beyond ~3x the part tolerance the\n"
+      "test vector discloses essentially every parametric fault.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// Ext-E: multi-test-point extension.
+///
+/// The Tow-Thomas CUT is structurally ambiguous from its LP output alone
+/// ({R4,R6} enter H only via k/R6; {R3,C2} only via R3*C2).  Observing a
+/// second node whose transfer depends on the ratio k = R5/R4 directly
+/// (the inverter output) splits {R4,R6}; {R3,C2} remains merged at every
+/// voltage node — a genuine, detector-confirmed limit.  This bench
+/// quantifies groups and accuracy per observation set.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "circuits/tow_thomas.hpp"
+#include "core/multipoint.hpp"
+#include "faults/fault_injector.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace ftdiag;
+
+namespace {
+
+struct Outcome {
+  std::size_t groups = 0;
+  std::string group_labels;
+  double site_accuracy = 0.0;
+  double group_accuracy = 0.0;
+};
+
+Outcome run(const circuits::CircuitUnderTest& cut,
+            const std::vector<std::string>& nodes,
+            const core::TestVector& vector) {
+  const auto universe = faults::FaultUniverse::over_testable(cut);
+  const core::MultiPointEvaluator evaluator(cut, universe, nodes);
+  const auto groups = evaluator.ambiguity_groups();
+  const auto engine = evaluator.make_engine(vector);
+
+  Outcome outcome;
+  outcome.groups = groups.size();
+  for (const auto& g : groups) {
+    outcome.group_labels += str::format("[%s]", g.label().c_str());
+  }
+
+  Rng rng(7);
+  constexpr std::size_t kTrials = 300;
+  std::size_t site_hits = 0, group_hits = 0;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    const auto& site =
+        cut.testable[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(cut.testable.size()) - 1))];
+    const double magnitude = rng.uniform(0.05, 0.40);
+    const faults::ParametricFault fault{
+        faults::FaultSite::value_of(site),
+        rng.bernoulli(0.5) ? magnitude : -magnitude};
+    const auto board = faults::inject(cut.circuit, fault);
+    const auto observed = evaluator.observe(board, vector);
+    const auto diagnosis = engine.diagnose(observed);
+    site_hits += diagnosis.best().site == site ? 1 : 0;
+    group_hits +=
+        core::same_group(groups, diagnosis.best().site, site) ? 1 : 0;
+  }
+  outcome.site_accuracy = static_cast<double>(site_hits) / kTrials;
+  outcome.group_accuracy = static_cast<double>(group_hits) / kTrials;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ext-E", "multi-test-point extension on the Tow-Thomas CUT",
+                "signature space R^(nodes x freqs), 300 unknown faults each");
+
+  const auto cut = circuits::make_tow_thomas();
+  const core::TestVector vector{{700.0, 1600.0}};
+
+  AsciiTable table({"observed nodes", "dim", "groups", "partition",
+                    "site acc", "group acc"});
+  const std::vector<std::vector<std::string>> observation_sets = {
+      {"lp"}, {"lp", "bp"}, {"lp", "inv"}, {"lp", "bp", "inv"}};
+  for (const auto& nodes : observation_sets) {
+    const auto outcome = run(cut, nodes, vector);
+    table.add_row({str::join(nodes, "+"),
+                   std::to_string(nodes.size() * 2),
+                   std::to_string(outcome.groups), outcome.group_labels,
+                   str::format("%.1f%%", outcome.site_accuracy * 100),
+                   str::format("%.1f%%", outcome.group_accuracy * 100)});
+  }
+  table.print(std::cout, "observation sets vs diagnosability");
+
+  std::printf(
+      "\nreading: adding the inverter output (which sees k = R5/R4\n"
+      "directly) splits the {R4,R6} group and lifts exact-site accuracy;\n"
+      "{R3,C2} stays merged at every node because only their product\n"
+      "enters any node voltage — a structural limit, not a method one.\n");
+  return 0;
+}

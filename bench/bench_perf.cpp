@@ -1,0 +1,152 @@
+/// Perf: google-benchmark microbenchmarks of every pipeline stage —
+/// MNA solves (dense + sparse), fault-dictionary construction, trajectory
+/// building, intersection counting, fitness evaluation and diagnosis.
+#include <benchmark/benchmark.h>
+
+#include "circuits/ladders.hpp"
+#include "circuits/nf_biquad.hpp"
+#include "core/atpg.hpp"
+#include "core/evaluation.hpp"
+#include "faults/dictionary.hpp"
+#include "ga/genetic_algorithm.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+#include "mna/ac_analysis.hpp"
+#include "util/rng.hpp"
+
+using namespace ftdiag;
+
+namespace {
+
+void BM_DenseComplexLu(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  linalg::ComplexMatrix a(n, n);
+  std::vector<linalg::Complex> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = {rng.uniform(), rng.uniform()};
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = {rng.uniform(), rng.uniform()};
+    a(i, i) += 4.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::solve_dense(a, b));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_DenseComplexLu)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_SparseComplexLu(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  linalg::CooMatrix<linalg::Complex> coo(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.add(i, i, {4.0 + rng.uniform(), rng.uniform()});
+    if (i + 1 < n) {
+      coo.add(i, i + 1, {rng.uniform(), 0.0});
+      coo.add(i + 1, i, {rng.uniform(), 0.0});
+    }
+  }
+  std::vector<linalg::Complex> b(n, {1.0, 0.0});
+  for (auto _ : state) {
+    linalg::SparseLu<linalg::Complex> lu(coo);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_SparseComplexLu)->Arg(32)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_AcSolveBiquad(benchmark::State& state) {
+  const auto cut = circuits::make_paper_cut();
+  const mna::AcAnalysis analysis(cut.circuit);
+  double f = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis.solve(f));
+    f = f < 50e3 ? f * 1.1 : 100.0;
+  }
+}
+BENCHMARK(BM_AcSolveBiquad);
+
+void BM_AcSolveLadder(benchmark::State& state) {
+  circuits::RcLadderDesign design;
+  design.sections = static_cast<std::size_t>(state.range(0));
+  const auto cut = circuits::make_rc_ladder(design);
+  const mna::AcAnalysis analysis(cut.circuit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis.solve(1000.0));
+  }
+}
+BENCHMARK(BM_AcSolveLadder)->Arg(10)->Arg(50)->Arg(149)->Arg(200)->Arg(400);
+
+void BM_DictionaryBuild(benchmark::State& state) {
+  const auto cut = circuits::make_paper_cut();
+  const auto universe = faults::FaultUniverse::over_testable(cut);
+  const std::size_t grid_points = static_cast<std::size_t>(state.range(0));
+  auto grid = mna::FrequencyGrid::log_sweep(10.0, 100e3, grid_points);
+  const auto freqs = grid.frequencies();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        faults::FaultDictionary::build(cut, universe, freqs));
+  }
+  state.counters["faults"] = static_cast<double>(universe.fault_count());
+}
+BENCHMARK(BM_DictionaryBuild)->Arg(60)->Arg(240)->Arg(960)
+    ->Unit(benchmark::kMillisecond);
+
+class TrajectoryFixture : public benchmark::Fixture {
+public:
+  void SetUp(const benchmark::State&) override {
+    if (dict) return;
+    cut = std::make_unique<circuits::CircuitUnderTest>(
+        circuits::make_paper_cut());
+    dict = std::make_unique<faults::FaultDictionary>(
+        faults::FaultDictionary::build(
+            *cut, faults::FaultUniverse::over_testable(*cut)));
+    evaluator = std::make_unique<core::TestVectorEvaluator>(*dict);
+  }
+  static std::unique_ptr<circuits::CircuitUnderTest> cut;
+  static std::unique_ptr<faults::FaultDictionary> dict;
+  static std::unique_ptr<core::TestVectorEvaluator> evaluator;
+};
+std::unique_ptr<circuits::CircuitUnderTest> TrajectoryFixture::cut;
+std::unique_ptr<faults::FaultDictionary> TrajectoryFixture::dict;
+std::unique_ptr<core::TestVectorEvaluator> TrajectoryFixture::evaluator;
+
+BENCHMARK_F(TrajectoryFixture, BuildTrajectories)(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator->trajectories({{700.0, 1600.0}}));
+  }
+}
+
+BENCHMARK_F(TrajectoryFixture, FitnessEvaluation)(benchmark::State& state) {
+  // This is the GA's inner loop: one objective call.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator->fitness({{700.0, 1600.0}}));
+  }
+}
+
+BENCHMARK_F(TrajectoryFixture, IntersectionCount)(benchmark::State& state) {
+  const auto trajectories = evaluator->trajectories({{700.0, 1600.0}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::count_intersections(trajectories));
+  }
+}
+
+BENCHMARK_F(TrajectoryFixture, Diagnosis)(benchmark::State& state) {
+  const auto engine = evaluator->make_engine({{700.0, 1600.0}});
+  const core::Point observed = {0.0123, -0.0456};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.diagnose(observed));
+  }
+}
+
+void BM_FullPaperGa(benchmark::State& state) {
+  core::AtpgFlow flow(circuits::make_paper_cut());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.run());
+  }
+}
+BENCHMARK(BM_FullPaperGa)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/// Diagnosing a batch of unknown faults, with confidence and ambiguity
+/// reporting — the workflow of an incoming-inspection bench.
+///
+/// Twenty random single faults (random site, random off-grid deviation)
+/// are injected; each is "measured" at the optimized test frequencies with
+/// a touch of instrument noise and pushed through the diagnosis engine.
+#include <cstdio>
+#include <iostream>
+
+#include "circuits/nf_biquad.hpp"
+#include "core/atpg.hpp"
+#include "faults/fault_simulator.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftdiag;
+
+  const auto cut = circuits::make_paper_cut();
+  core::AtpgConfig config;
+  config.fitness = "hybrid";  // separation-aware: robust under noise
+  core::AtpgFlow flow(cut, config);
+  const auto result = flow.run();
+  std::printf("test vector: %s\n\n", result.best.vector.label().c_str());
+
+  const auto engine = flow.evaluator().make_engine(result.best.vector);
+  const faults::FaultSimulator simulator(cut);
+
+  Rng rng(2024);
+  AsciiTable table({"#", "injected", "diagnosed", "est. dev", "confidence",
+                    "ambiguity set", "verdict"});
+  std::size_t correct = 0;
+  constexpr std::size_t kBoards = 20;
+  for (std::size_t board = 1; board <= kBoards; ++board) {
+    const auto& site =
+        cut.testable[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(cut.testable.size()) - 1))];
+    const double magnitude = rng.uniform(0.08, 0.40);
+    const faults::ParametricFault fault{
+        faults::FaultSite::value_of(site),
+        rng.bernoulli(0.5) ? magnitude : -magnitude};
+
+    const auto measured = simulator.measure(
+        fault, result.best.vector.frequencies_hz, {0.002, rng()});
+    const auto observed = flow.evaluator().sampler().sample(
+        measured, result.best.vector.frequencies_hz);
+    const auto diagnosis = engine.diagnose(observed);
+
+    const bool hit = diagnosis.best().site == site;
+    correct += hit ? 1 : 0;
+    table.add_row({std::to_string(board), fault.label(),
+                   diagnosis.best().site,
+                   str::format("%+.0f%%",
+                               diagnosis.best().estimated_deviation * 100),
+                   str::format("%.2f", diagnosis.confidence()),
+                   str::join(diagnosis.ambiguity_set(), ","),
+                   hit ? "ok" : "MISS"});
+  }
+  table.print(std::cout, "incoming-inspection batch (0.2% magnitude noise)");
+  std::printf("\ncorrectly located: %zu / %zu\n", correct, kBoards);
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "circuits/cut.hpp"
+
+#include "util/error.hpp"
+
+namespace ftdiag::circuits {
+
+void CircuitUnderTest::check() const {
+  if (name.empty()) throw ConfigError("CUT has no name");
+  if (!circuit.has_component(input_source)) {
+    throw ConfigError("CUT '" + name + "': input source '" + input_source +
+                      "' not in circuit");
+  }
+  const auto& src = circuit.component(input_source);
+  if (src.kind != netlist::ComponentKind::kVoltageSource &&
+      src.kind != netlist::ComponentKind::kCurrentSource) {
+    throw ConfigError("CUT '" + name + "': input '" + input_source +
+                      "' is not an independent source");
+  }
+  if (src.ac_magnitude == 0.0) {
+    throw ConfigError("CUT '" + name + "': input source has no AC magnitude");
+  }
+  if (!circuit.has_node(output_node)) {
+    throw ConfigError("CUT '" + name + "': output node '" + output_node +
+                      "' not in circuit");
+  }
+  if (testable.empty()) {
+    throw ConfigError("CUT '" + name + "': empty testable set");
+  }
+  for (const auto& t : testable) {
+    if (!circuit.has_component(t)) {
+      throw ConfigError("CUT '" + name + "': testable component '" + t +
+                        "' not in circuit");
+    }
+  }
+  if (!(band_low_hz > 0.0) || !(band_high_hz > band_low_hz)) {
+    throw ConfigError("CUT '" + name + "': invalid test-frequency band");
+  }
+  circuit.validate_or_throw();
+}
+
+}  // namespace ftdiag::circuits

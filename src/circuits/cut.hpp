@@ -1,0 +1,41 @@
+/// \file cut.hpp
+/// \brief Circuit-under-test descriptor: a circuit plus the test access
+/// information the diagnosis flow needs (stimulus source, observation node,
+/// testable component set, recommended frequency band).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mna/frequency_grid.hpp"
+#include "netlist/circuit.hpp"
+
+namespace ftdiag::circuits {
+
+/// Everything the ATPG flow needs to know about one benchmark circuit.
+struct CircuitUnderTest {
+  std::string name;         ///< registry key, e.g. "tow_thomas"
+  std::string description;  ///< one-line summary for listings
+
+  netlist::Circuit circuit;
+
+  std::string input_source;  ///< name of the AC stimulus source
+  std::string output_node;   ///< observed node (test point)
+
+  /// Component names whose parametric faults the dictionary covers.
+  std::vector<std::string> testable;
+
+  /// Default AC sweep for dictionary construction.
+  mna::FrequencyGrid dictionary_grid;
+
+  /// Recommended band [lo, hi] for test-frequency search (Hz).
+  double band_low_hz = 10.0;
+  double band_high_hz = 100.0e3;
+
+  /// Sanity-check the descriptor against its own circuit:
+  /// source/output/testable names must exist, band must be ordered.
+  /// \throws ftdiag::ConfigError describing the first problem.
+  void check() const;
+};
+
+}  // namespace ftdiag::circuits

@@ -1,0 +1,138 @@
+#include "circuits/ladders.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag::circuits {
+
+CircuitUnderTest make_rc_ladder(const RcLadderDesign& design) {
+  if (design.sections == 0) {
+    throw ConfigError("rc_ladder needs at least one section");
+  }
+  if (!(design.r > 0.0) || !(design.c > 0.0)) {
+    throw ConfigError("rc_ladder element values must be positive");
+  }
+
+  CircuitUnderTest cut;
+  cut.name = "rc_ladder";
+  cut.description =
+      str::format("%zu-section passive RC low-pass ladder", design.sections);
+  netlist::Circuit& c = cut.circuit;
+  c.set_title(cut.description);
+  c.add_vsource("vin", "n0", "0", 0.0, 1.0);
+
+  for (std::size_t k = 1; k <= design.sections; ++k) {
+    const std::string prev = str::format("n%zu", k - 1);
+    const std::string here = str::format("n%zu", k);
+    c.add_resistor(str::format("R%zu", k), prev, here, design.r);
+    c.add_capacitor(str::format("C%zu", k), here, "0", design.c);
+    cut.testable.push_back(str::format("R%zu", k));
+    cut.testable.push_back(str::format("C%zu", k));
+  }
+
+  const double f_section =
+      1.0 / (2.0 * std::numbers::pi * design.r * design.c);
+  cut.input_source = "vin";
+  cut.output_node = str::format("n%zu", design.sections);
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(
+      f_section / 1000.0, f_section * 10.0, 240);
+  cut.band_low_hz = f_section / 1000.0;
+  cut.band_high_hz = f_section * 10.0;
+  cut.check();
+  return cut;
+}
+
+CircuitUnderTest make_lc_ladder(const LcLadderDesign& design) {
+  if (design.order < 3 || design.order > 9 || design.order % 2 == 0) {
+    throw ConfigError("lc_ladder order must be odd, 3..9");
+  }
+  if (!(design.cutoff_hz > 0.0) || !(design.termination > 0.0)) {
+    throw ConfigError("lc_ladder design values must be positive");
+  }
+  const double w_c = 2.0 * std::numbers::pi * design.cutoff_hz;
+  const double r0 = design.termination;
+
+  CircuitUnderTest cut;
+  cut.name = "lc_ladder";
+  cut.description = str::format(
+      "order-%zu doubly-terminated Butterworth LC low-pass", design.order);
+  netlist::Circuit& c = cut.circuit;
+  c.set_title(cut.description);
+  c.add_vsource("vin", "src", "0", 0.0, 1.0);
+  c.add_resistor("RS", "src", "n1", r0);
+
+  // Shunt-C first prototype: odd k are shunt capacitors, even k series
+  // inductors.  Denormalization: C = g/(w_c*R0), L = g*R0/w_c.
+  std::size_t node_index = 1;
+  for (std::size_t k = 1; k <= design.order; ++k) {
+    const double g =
+        2.0 * std::sin((2.0 * static_cast<double>(k) - 1.0) *
+                       std::numbers::pi / (2.0 * static_cast<double>(design.order)));
+    if (k % 2 == 1) {
+      const std::string here = str::format("n%zu", node_index);
+      const std::string name = str::format("C%zu", (k + 1) / 2);
+      c.add_capacitor(name, here, "0", g / (w_c * r0));
+      cut.testable.push_back(name);
+    } else {
+      const std::string here = str::format("n%zu", node_index);
+      const std::string next = str::format("n%zu", node_index + 1);
+      const std::string name = str::format("L%zu", k / 2);
+      c.add_inductor(name, here, next, g * r0 / w_c);
+      cut.testable.push_back(name);
+      ++node_index;
+    }
+  }
+  const std::string out = str::format("n%zu", node_index);
+  c.add_resistor("RL", out, "0", r0);
+
+  cut.input_source = "vin";
+  cut.output_node = out;
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(
+      design.cutoff_hz / 100.0, design.cutoff_hz * 10.0, 240);
+  cut.band_low_hz = design.cutoff_hz / 100.0;
+  cut.band_high_hz = design.cutoff_hz * 10.0;
+  cut.check();
+  return cut;
+}
+
+CircuitUnderTest make_twin_t(const TwinTDesign& design) {
+  if (!(design.notch_hz > 0.0) || !(design.r > 0.0) || !(design.load_r > 0.0)) {
+    throw ConfigError("twin_t design values must be positive");
+  }
+  const double cap =
+      1.0 / (2.0 * std::numbers::pi * design.notch_hz * design.r);
+
+  CircuitUnderTest cut;
+  cut.name = "twin_t";
+  cut.description = "passive twin-T notch filter";
+  netlist::Circuit& c = cut.circuit;
+  c.set_title(cut.description);
+  c.add_vsource("vin", "in", "0", 0.0, 1.0);
+
+  // Resistive arm: R1, R2 in series with C3 = 2C to ground at the tap.
+  c.add_resistor("R1", "in", "t1", design.r);
+  c.add_resistor("R2", "t1", "out", design.r);
+  c.add_capacitor("C3", "t1", "0", 2.0 * cap);
+
+  // Capacitive arm: C1, C2 in series with R3 = R/2 to ground at the tap.
+  c.add_capacitor("C1", "in", "t2", cap);
+  c.add_capacitor("C2", "t2", "out", cap);
+  c.add_resistor("R3", "t2", "0", design.r / 2.0);
+
+  c.add_resistor("RLOAD", "out", "0", design.load_r);
+
+  cut.input_source = "vin";
+  cut.output_node = "out";
+  cut.testable = {"R1", "R2", "R3", "C1", "C2", "C3"};
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(
+      design.notch_hz / 100.0, design.notch_hz * 100.0, 300);
+  cut.band_low_hz = design.notch_hz / 100.0;
+  cut.band_high_hz = design.notch_hz * 100.0;
+  cut.check();
+  return cut;
+}
+
+}  // namespace ftdiag::circuits

@@ -1,0 +1,41 @@
+/// \file ladders.hpp
+/// \brief Passive ladder networks: N-section RC low-pass chains (solver
+/// scalability workloads) and doubly-terminated LC Butterworth ladders.
+#pragma once
+
+#include "circuits/cut.hpp"
+
+namespace ftdiag::circuits {
+
+struct RcLadderDesign {
+  std::size_t sections = 5;   ///< number of RC sections
+  double r = 1.0e3;
+  double c = 100.0e-9;
+};
+
+/// vin -- [R -- node -- C-to-gnd] x N -- out.
+/// Testable: every R and C ("R1".."RN", "C1".."CN").
+[[nodiscard]] CircuitUnderTest make_rc_ladder(const RcLadderDesign& design = {});
+
+struct LcLadderDesign {
+  std::size_t order = 5;       ///< odd Butterworth order, 3..9
+  double cutoff_hz = 10.0e3;
+  double termination = 1.0e3;  ///< source and load resistance
+};
+
+/// Doubly-terminated Butterworth LC low-pass ladder (shunt-C first).
+/// Element values from g_k = 2*sin((2k-1)*pi/(2n)).
+/// Testable: all Ls and Cs.
+[[nodiscard]] CircuitUnderTest make_lc_ladder(const LcLadderDesign& design = {});
+
+struct TwinTDesign {
+  double notch_hz = 1.0e3;
+  double r = 10.0e3;
+  double load_r = 1.0e6;  ///< light load so the notch stays deep
+};
+
+/// Passive twin-T notch: series arm R-R with 2C to ground, shunt arm C-C
+/// with R/2 to ground.  Testable: {R1, R2, R3, C1, C2, C3}.
+[[nodiscard]] CircuitUnderTest make_twin_t(const TwinTDesign& design = {});
+
+}  // namespace ftdiag::circuits

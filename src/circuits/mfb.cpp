@@ -1,0 +1,102 @@
+#include "circuits/mfb.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace ftdiag::circuits {
+
+namespace {
+
+void check_design(const MfbDesign& d) {
+  if (!(d.f0_hz > 0.0) || !(d.q > 0.0) || !(d.gain > 0.0) ||
+      !(d.r_base > 0.0)) {
+    throw ConfigError("mfb: design parameters must be positive");
+  }
+}
+
+void add_amp(CircuitUnderTest& cut, const MfbDesign& d, const std::string& inv,
+             const std::string& out) {
+  if (d.ideal_opamps) {
+    cut.circuit.add_ideal_opamp("OA1", "0", inv, out);
+  } else {
+    cut.circuit.add_opamp("OA1", "0", inv, out, d.opamp_model);
+  }
+}
+
+}  // namespace
+
+CircuitUnderTest make_mfb_lowpass(const MfbDesign& design) {
+  check_design(design);
+  const double w0 = 2.0 * std::numbers::pi * design.f0_hz;
+  // R2 = R3 = r_base; R1 sets the gain; C1/C2 ratio sets Q.
+  const double r = design.r_base;
+  const double r1 = r / design.gain;
+  const double h0_plus_2 = design.gain + 2.0;
+  const double c1 = design.q * h0_plus_2 / (w0 * r);
+  const double c2 = 1.0 / (design.q * h0_plus_2 * w0 * r);
+
+  CircuitUnderTest cut;
+  cut.name = "mfb_lp";
+  cut.description = "Multiple-feedback (Rauch) second-order low-pass";
+  netlist::Circuit& c = cut.circuit;
+  c.set_title("mfb low-pass");
+  c.add_vsource("vin", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "a", r1);
+  c.add_resistor("R2", "a", "out", r);
+  c.add_resistor("R3", "a", "n", r);
+  c.add_capacitor("C1", "a", "0", c1);
+  c.add_capacitor("C2", "n", "out", c2);
+  add_amp(cut, design, "n", "out");
+
+  cut.input_source = "vin";
+  cut.output_node = "out";
+  cut.testable = {"R1", "R2", "R3", "C1", "C2"};
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(
+      design.f0_hz / 100.0, design.f0_hz * 100.0, 240);
+  cut.band_low_hz = design.f0_hz / 100.0;
+  cut.band_high_hz = design.f0_hz * 100.0;
+  cut.check();
+  return cut;
+}
+
+CircuitUnderTest make_mfb_bandpass(const MfbDesign& design) {
+  check_design(design);
+  if (2.0 * design.q * design.q <= design.gain) {
+    throw ConfigError(
+        "mfb bandpass requires 2*Q^2 > gain (R3 would be non-positive)");
+  }
+  const double w0 = 2.0 * std::numbers::pi * design.f0_hz;
+  // Equal-C design.
+  const double cap = 1.0 / (w0 * design.r_base);
+  const double r2 = 2.0 * design.q / (w0 * cap);
+  const double r1 = design.q / (design.gain * w0 * cap);
+  const double r3 =
+      1.0 / (w0 * cap * (2.0 * design.q - design.gain / design.q));
+
+  CircuitUnderTest cut;
+  cut.name = "mfb_bp";
+  cut.description = "Multiple-feedback (Delyiannis) second-order band-pass";
+  netlist::Circuit& c = cut.circuit;
+  c.set_title("mfb band-pass");
+  c.add_vsource("vin", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "a", r1);
+  c.add_resistor("R3", "a", "0", r3);
+  c.add_capacitor("C1", "a", "n", cap);
+  c.add_capacitor("C2", "a", "out", cap);
+  c.add_resistor("R2", "out", "n", r2);
+  add_amp(cut, design, "n", "out");
+
+  cut.input_source = "vin";
+  cut.output_node = "out";
+  cut.testable = {"R1", "R2", "R3", "C1", "C2"};
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(
+      design.f0_hz / 100.0, design.f0_hz * 100.0, 240);
+  cut.band_low_hz = design.f0_hz / 100.0;
+  cut.band_high_hz = design.f0_hz * 100.0;
+  cut.check();
+  return cut;
+}
+
+}  // namespace ftdiag::circuits

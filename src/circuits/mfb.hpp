@@ -1,0 +1,33 @@
+/// \file mfb.hpp
+/// \brief Multiple-feedback (Rauch) second-order filters — the classic
+/// "infinite-gain negative feedback" single-amplifier biquads.
+///
+/// Low-pass:  vin --R1-- a;  a --R2-- out;  a --R3-- n (inverting input);
+///            C1 from a to gnd;  C2 from n to out.
+///   H(0) = -R2/R1,  w0 = 1/sqrt(R2*R3*C1*C2),
+///   w0/Q = (1/R1 + 1/R2 + 1/R3)/C1.
+///
+/// Band-pass (Delyiannis):  vin --R1-- a;  C1 a->n;  C2 a->out;
+///            R2 out->n;  R3 a->gnd.
+#pragma once
+
+#include "circuits/cut.hpp"
+
+namespace ftdiag::circuits {
+
+struct MfbDesign {
+  double f0_hz = 1.0e3;
+  double q = 0.70710678;
+  double gain = 1.0;       ///< |H(0)| (LP) or |H(f0)| (BP)
+  double r_base = 10.0e3;
+  bool ideal_opamps = true;
+  netlist::OpAmpModel opamp_model{};
+};
+
+/// MFB low-pass.  Testable: {R1, R2, R3, C1, C2}.
+[[nodiscard]] CircuitUnderTest make_mfb_lowpass(const MfbDesign& design = {});
+
+/// MFB (Delyiannis) band-pass.  Testable: {R1, R2, R3, C1, C2}.
+[[nodiscard]] CircuitUnderTest make_mfb_bandpass(const MfbDesign& design = {});
+
+}  // namespace ftdiag::circuits

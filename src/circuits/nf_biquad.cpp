@@ -1,0 +1,98 @@
+#include "circuits/nf_biquad.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace ftdiag::circuits {
+
+namespace {
+
+struct Values {
+  double ra, rb, r1, r2, r3, c1, c2;
+  double alpha, r1eff;
+};
+
+Values solve_design(const NfBiquadDesign& d) {
+  if (!(d.f0_hz > 0.0) || !(d.q > 0.0) || !(d.dc_gain > 0.0) ||
+      !(d.r_base > 0.0)) {
+    throw ConfigError("nf_biquad: design parameters must be positive");
+  }
+  if (!(d.dc_gain < 2.0)) {
+    throw ConfigError(
+        "nf_biquad: dc_gain must be < 2 with the alpha = 1/2 divider");
+  }
+  const double w0 = 2.0 * std::numbers::pi * d.f0_hz;
+  const double r = d.r_base;
+  Values v{};
+  v.ra = r / 2.0;
+  v.rb = r / 2.0;
+  v.alpha = 0.5;
+  v.r2 = r;
+  v.r3 = r;
+  // Overall DC gain g = alpha * R2 / R1eff  =>  R1eff = alpha * R2 / g.
+  v.r1eff = v.alpha * v.r2 / d.dc_gain;
+  const double r_thevenin = v.ra * v.rb / (v.ra + v.rb);  // r/4
+  v.r1 = v.r1eff - r_thevenin;
+  FTDIAG_ASSERT(v.r1 > 0.0, "nf_biquad design yielded non-positive R1");
+  // w0^2 = 1/(R2*R3*C1*C2); w0/Q = (1/R1eff + 1/R2 + 1/R3)/C1.
+  const double sum_g = 1.0 / v.r1eff + 1.0 / v.r2 + 1.0 / v.r3;
+  v.c1 = d.q * sum_g / w0;
+  v.c2 = 1.0 / (w0 * w0 * v.r2 * v.r3 * v.c1);
+  return v;
+}
+
+}  // namespace
+
+CircuitUnderTest make_nf_biquad(const NfBiquadDesign& design) {
+  const Values v = solve_design(design);
+
+  CircuitUnderTest cut;
+  cut.name = "nf_biquad";
+  cut.description =
+      "negative-feedback (MFB) biquad low-pass with source divider "
+      "(the paper CUT, 7 testable passives)";
+  netlist::Circuit& c = cut.circuit;
+  c.set_title("negative-feedback biquad low-pass (paper CUT)");
+  c.add_vsource("vin", "in", "0", /*dc=*/0.0, /*ac_magnitude=*/1.0);
+
+  c.add_resistor("Ra", "in", "d", v.ra);
+  c.add_resistor("Rb", "d", "0", v.rb);
+  c.add_resistor("R1", "d", "a", v.r1);
+  c.add_resistor("R2", "a", "out", v.r2);
+  c.add_resistor("R3", "a", "n", v.r3);
+  c.add_capacitor("C1", "a", "0", v.c1);
+  c.add_capacitor("C2", "n", "out", v.c2);
+
+  if (design.ideal_opamps) {
+    c.add_ideal_opamp("OA1", "0", "n", "out");
+  } else {
+    c.add_opamp("OA1", "0", "n", "out", design.opamp_model);
+  }
+
+  cut.input_source = "vin";
+  cut.output_node = "out";
+  cut.testable = {"Ra", "Rb", "R1", "R2", "R3", "C1", "C2"};
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(10.0, 100.0e3, 240);
+  cut.band_low_hz = 10.0;
+  cut.band_high_hz = 100.0e3;
+  cut.check();
+  return cut;
+}
+
+CircuitUnderTest make_paper_cut() { return make_nf_biquad(NfBiquadDesign{}); }
+
+std::complex<double> nf_biquad_transfer(const NfBiquadDesign& design,
+                                        double frequency_hz) {
+  const Values v = solve_design(design);
+  const std::complex<double> s(0.0, 2.0 * std::numbers::pi * frequency_hz);
+  const double num = v.alpha / (v.r1eff * v.r3 * v.c1 * v.c2);
+  const std::complex<double> den =
+      s * s +
+      s * ((1.0 / v.r1eff + 1.0 / v.r2 + 1.0 / v.r3) / v.c1) +
+      std::complex<double>(1.0 / (v.r2 * v.r3 * v.c1 * v.c2), 0.0);
+  return -num / den;
+}
+
+}  // namespace ftdiag::circuits

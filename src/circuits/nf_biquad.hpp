@@ -1,0 +1,62 @@
+/// \file nf_biquad.hpp
+/// \brief The paper CUT: a normalized negative-feedback biquad low-pass
+/// with exactly seven testable passives.
+///
+/// The paper describes its CUT (from Calvano et al., ref [7]) only as a
+/// "normalized biquad negative feedback low-pass filter" whose seven
+/// passive components are the fault targets; the schematic is not
+/// reproduced.  We realize it as the classic infinite-gain multiple-
+/// feedback (Rauch) biquad — *the* negative-feedback biquad — driven
+/// through a resistive source divider:
+///
+/// ```
+///   vin --Ra--+--R1-- a --R2-------+---- out
+///             |        |           |
+///             Rb       +--R3-- n --C2
+///             |        |       |
+///            gnd      C1      [OA: inv = n, non-inv = gnd, out = out]
+///                      |
+///                     gnd
+/// ```
+///
+/// Seven passives: {Ra, Rb, R1, R2, R3, C1, C2}.  Unlike a Tow-Thomas
+/// observed at its LP output (see tow_thomas.hpp), none of the seven is
+/// structurally degenerate with another: their first-order sensitivity
+/// directions in coefficient space are pairwise independent, so a suitable
+/// frequency pair can separate all seven trajectories — the property the
+/// paper's GA searches for.
+///
+/// With alpha = Rb/(Ra+Rb) and R1eff = R1 + Ra||Rb:
+///
+///   H(s) = -alpha * (1/(R1eff*R3*C1*C2))
+///          / (s^2 + s*(1/R1eff + 1/R2 + 1/R3)/C1 + 1/(R2*R3*C1*C2))
+#pragma once
+
+#include <complex>
+
+#include "circuits/cut.hpp"
+
+namespace ftdiag::circuits {
+
+struct NfBiquadDesign {
+  double f0_hz = 1.0e3;     ///< pole frequency
+  double q = 0.70710678;    ///< quality factor
+  double dc_gain = 1.0;     ///< overall |H(0)| including the divider
+  double r_base = 10.0e3;   ///< impedance level (R2 = R3 = r_base)
+  bool ideal_opamps = true;
+  netlist::OpAmpModel opamp_model{};
+};
+
+/// Build the CUT.  Uses Ra = Rb (alpha = 1/2), R2 = R3 = r_base, C1/C2
+/// from Q; requires dc_gain < alpha * r_base / (Ra||Rb) so R1 > 0.
+[[nodiscard]] CircuitUnderTest make_nf_biquad(const NfBiquadDesign& design);
+
+/// The paper configuration: f0 = 1 kHz, Q = 1/sqrt(2), unity DC gain,
+/// ideal op-amp, the seven passives testable, sweep 10 Hz - 100 kHz.
+[[nodiscard]] CircuitUnderTest make_paper_cut();
+
+/// Analytic transfer function (for verification tests).
+[[nodiscard]] std::complex<double> nf_biquad_transfer(
+    const NfBiquadDesign& design, double frequency_hz);
+
+}  // namespace ftdiag::circuits

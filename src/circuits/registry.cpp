@@ -1,0 +1,59 @@
+#include "circuits/registry.hpp"
+
+#include "circuits/ladders.hpp"
+#include "circuits/mfb.hpp"
+#include "circuits/nf_biquad.hpp"
+#include "circuits/sallen_key.hpp"
+#include "circuits/state_variable.hpp"
+#include "circuits/tow_thomas.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::circuits {
+
+const std::vector<RegistryEntry>& registry() {
+  static const std::vector<RegistryEntry> kEntries = {
+      {"nf_biquad",
+       "negative-feedback biquad low-pass (the paper CUT, 7 testable "
+       "passives)",
+       [] { return make_paper_cut(); }},
+      {"tow_thomas",
+       "Tow-Thomas biquad low-pass (ambiguity-group case study)",
+       [] { return make_tow_thomas(); }},
+      {"sallen_key_lp", "Sallen-Key unity-gain low-pass",
+       [] { return make_sallen_key_lowpass(); }},
+      {"sallen_key_hp", "Sallen-Key unity-gain high-pass",
+       [] { return make_sallen_key_highpass(); }},
+      {"mfb_lp", "Multiple-feedback (Rauch) low-pass",
+       [] { return make_mfb_lowpass(); }},
+      {"mfb_bp", "Multiple-feedback (Delyiannis) band-pass",
+       [] {
+         MfbDesign design;
+         design.q = 2.0;  // 2*Q^2 > gain keeps R3 realizable
+         return make_mfb_bandpass(design);
+       }},
+      {"state_variable", "KHN state-variable filter (LP output)",
+       [] { return make_state_variable(); }},
+      {"rc_ladder", "5-section passive RC low-pass ladder",
+       [] { return make_rc_ladder(); }},
+      {"lc_ladder", "5th-order doubly-terminated Butterworth LC low-pass",
+       [] { return make_lc_ladder(); }},
+      {"twin_t", "passive twin-T notch",
+       [] { return make_twin_t(); }},
+  };
+  return kEntries;
+}
+
+CircuitUnderTest make_by_name(const std::string& name) {
+  for (const auto& entry : registry()) {
+    if (entry.name == name) return entry.make();
+  }
+  throw ConfigError("unknown benchmark circuit '" + name + "'");
+}
+
+std::vector<std::string> registry_names() {
+  std::vector<std::string> names;
+  for (const auto& entry : registry()) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace ftdiag::circuits

@@ -1,0 +1,31 @@
+/// \file registry.hpp
+/// \brief Name-indexed registry of all benchmark circuits, used by the
+/// cross-circuit benchmarks and examples.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuits/cut.hpp"
+
+namespace ftdiag::circuits {
+
+/// Factory entry: builds the CUT with its default design.
+struct RegistryEntry {
+  std::string name;
+  std::string description;
+  std::function<CircuitUnderTest()> make;
+};
+
+/// All registered benchmark circuits, in a stable order.  The paper CUT
+/// ("tow_thomas") is always first.
+[[nodiscard]] const std::vector<RegistryEntry>& registry();
+
+/// Build a CUT by registry name. \throws ConfigError for unknown names.
+[[nodiscard]] CircuitUnderTest make_by_name(const std::string& name);
+
+/// Registry names in order.
+[[nodiscard]] std::vector<std::string> registry_names();
+
+}  // namespace ftdiag::circuits

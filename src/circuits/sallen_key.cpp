@@ -1,0 +1,91 @@
+#include "circuits/sallen_key.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace ftdiag::circuits {
+
+namespace {
+
+void check_design(const SallenKeyDesign& d) {
+  if (!(d.f0_hz > 0.0) || !(d.q > 0.0) || !(d.r_base > 0.0)) {
+    throw ConfigError("sallen_key: design parameters must be positive");
+  }
+}
+
+void add_buffer(CircuitUnderTest& cut, const SallenKeyDesign& d,
+                const std::string& in_plus, const std::string& out) {
+  if (d.ideal_opamps) {
+    cut.circuit.add_ideal_opamp("OA1", in_plus, out, out);
+  } else {
+    cut.circuit.add_opamp("OA1", in_plus, out, out, d.opamp_model);
+  }
+}
+
+}  // namespace
+
+CircuitUnderTest make_sallen_key_lowpass(const SallenKeyDesign& design) {
+  check_design(design);
+  const double w0 = 2.0 * std::numbers::pi * design.f0_hz;
+  // Equal-R design: R1 = R2 = r_base; C1/C2 = 4 Q^2 sets Q.
+  const double r = design.r_base;
+  const double c1 = 2.0 * design.q / (w0 * r);
+  const double c2 = 1.0 / (2.0 * design.q * w0 * r);
+
+  CircuitUnderTest cut;
+  cut.name = "sallen_key_lp";
+  cut.description = "Sallen-Key unity-gain second-order low-pass";
+  netlist::Circuit& c = cut.circuit;
+  c.set_title("sallen-key low-pass");
+  c.add_vsource("vin", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "a", r);
+  c.add_resistor("R2", "a", "b", r);
+  c.add_capacitor("C1", "a", "out", c1);
+  c.add_capacitor("C2", "b", "0", c2);
+  add_buffer(cut, design, "b", "out");
+
+  cut.input_source = "vin";
+  cut.output_node = "out";
+  cut.testable = {"R1", "R2", "C1", "C2"};
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(
+      design.f0_hz / 100.0, design.f0_hz * 100.0, 240);
+  cut.band_low_hz = design.f0_hz / 100.0;
+  cut.band_high_hz = design.f0_hz * 100.0;
+  cut.check();
+  return cut;
+}
+
+CircuitUnderTest make_sallen_key_highpass(const SallenKeyDesign& design) {
+  check_design(design);
+  const double w0 = 2.0 * std::numbers::pi * design.f0_hz;
+  // Equal-C design: C1 = C2 = C; R2/R1 = 4 Q^2 sets Q.
+  const double cap = 1.0 / (w0 * design.r_base);
+  const double r1 = design.r_base / (2.0 * design.q);
+  const double r2 = 2.0 * design.q * design.r_base;
+
+  CircuitUnderTest cut;
+  cut.name = "sallen_key_hp";
+  cut.description = "Sallen-Key unity-gain second-order high-pass";
+  netlist::Circuit& c = cut.circuit;
+  c.set_title("sallen-key high-pass");
+  c.add_vsource("vin", "in", "0", 0.0, 1.0);
+  c.add_capacitor("C1", "in", "a", cap);
+  c.add_capacitor("C2", "a", "b", cap);
+  c.add_resistor("R1", "a", "out", r1);
+  c.add_resistor("R2", "b", "0", r2);
+  add_buffer(cut, design, "b", "out");
+
+  cut.input_source = "vin";
+  cut.output_node = "out";
+  cut.testable = {"R1", "R2", "C1", "C2"};
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(
+      design.f0_hz / 100.0, design.f0_hz * 100.0, 240);
+  cut.band_low_hz = design.f0_hz / 100.0;
+  cut.band_high_hz = design.f0_hz * 100.0;
+  cut.check();
+  return cut;
+}
+
+}  // namespace ftdiag::circuits

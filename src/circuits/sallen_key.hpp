@@ -1,0 +1,33 @@
+/// \file sallen_key.hpp
+/// \brief Sallen-Key second-order filters (unity-gain buffer form).
+///
+/// Low-pass:  vin --R1-- a --R2-- b --(C2 to gnd);  C1 from a to out;
+///            buffer: in+ = b, out fed back to in-.
+///   f0 = 1/(2*pi*sqrt(R1*R2*C1*C2)),
+///   Q  = sqrt(R1*R2*C1*C2) / (C2*(R1+R2)).
+///
+/// High-pass is the RC/CR dual.  Band-pass uses the standard single-amp
+/// Sallen-Key BP with an inner damping resistor.
+#pragma once
+
+#include "circuits/cut.hpp"
+
+namespace ftdiag::circuits {
+
+struct SallenKeyDesign {
+  double f0_hz = 1.0e3;
+  double q = 0.70710678;
+  double r_base = 10.0e3;  ///< R2 value; R1 follows from Q
+  bool ideal_opamps = true;
+  netlist::OpAmpModel opamp_model{};
+};
+
+/// Unity-gain Sallen-Key low-pass.  Testable: {R1, R2, C1, C2}.
+[[nodiscard]] CircuitUnderTest make_sallen_key_lowpass(
+    const SallenKeyDesign& design = {});
+
+/// Unity-gain Sallen-Key high-pass.  Testable: {R1, R2, C1, C2}.
+[[nodiscard]] CircuitUnderTest make_sallen_key_highpass(
+    const SallenKeyDesign& design = {});
+
+}  // namespace ftdiag::circuits

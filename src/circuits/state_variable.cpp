@@ -1,0 +1,64 @@
+#include "circuits/state_variable.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace ftdiag::circuits {
+
+CircuitUnderTest make_state_variable(const StateVariableDesign& design) {
+  if (!(design.f0_hz > 0.0) || !(design.r_base > 0.0)) {
+    throw ConfigError("state_variable: design parameters must be positive");
+  }
+  if (!(design.q > 1.0 / 3.0)) {
+    throw ConfigError("state_variable: KHN divider requires Q > 1/3");
+  }
+  const double w0 = 2.0 * std::numbers::pi * design.f0_hz;
+  const double r = design.r_base;
+  const double cap = 1.0 / (w0 * r);          // integrator tau = 1/w0
+  const double r5 = r;
+  const double r4 = (3.0 * design.q - 1.0) * r5;
+
+  CircuitUnderTest cut;
+  cut.name = "state_variable";
+  cut.description = "KHN state-variable filter (LP output observed)";
+  netlist::Circuit& c = cut.circuit;
+  c.set_title("khn state-variable filter");
+  c.add_vsource("vin", "in", "0", 0.0, 1.0);
+
+  // Summer OA1.
+  c.add_resistor("R1", "in", "na", r);
+  c.add_resistor("R2", "lp", "na", r);
+  c.add_resistor("R3", "hp", "na", r);
+  c.add_resistor("R4", "bp", "nb", r4);
+  c.add_resistor("R5", "nb", "0", r5);
+
+  // Integrators.
+  c.add_resistor("R6", "hp", "n1", r);
+  c.add_capacitor("C1", "bp", "n1", cap);
+  c.add_resistor("R7", "bp", "n2", r);
+  c.add_capacitor("C2", "lp", "n2", cap);
+
+  if (design.ideal_opamps) {
+    c.add_ideal_opamp("OA1", "nb", "na", "hp");
+    c.add_ideal_opamp("OA2", "0", "n1", "bp");
+    c.add_ideal_opamp("OA3", "0", "n2", "lp");
+  } else {
+    c.add_opamp("OA1", "nb", "na", "hp", design.opamp_model);
+    c.add_opamp("OA2", "0", "n1", "bp", design.opamp_model);
+    c.add_opamp("OA3", "0", "n2", "lp", design.opamp_model);
+  }
+
+  cut.input_source = "vin";
+  cut.output_node = "lp";
+  cut.testable = {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "C1", "C2"};
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(
+      design.f0_hz / 100.0, design.f0_hz * 100.0, 240);
+  cut.band_low_hz = design.f0_hz / 100.0;
+  cut.band_high_hz = design.f0_hz * 100.0;
+  cut.check();
+  return cut;
+}
+
+}  // namespace ftdiag::circuits

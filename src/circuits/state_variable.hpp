@@ -1,0 +1,32 @@
+/// \file state_variable.hpp
+/// \brief KHN (Kerwin-Huelsman-Newcomb) state-variable filter with
+/// simultaneous HP / BP / LP outputs.
+///
+/// Summer OA1: inverting input nA takes vin via R1, v_lp via R2, and the
+/// v_hp feedback via R3; non-inverting input nB takes v_bp via R4 with R5
+/// to ground.  Two inverting integrators (R6/C1, R7/C2) produce BP and LP.
+///
+/// With R1 = R2 = R3 = R and integrators R6 = R7 = Ri, C1 = C2 = C:
+///   w0 = 1/(Ri*C),  Q = (R4 + R5) / (3*R5),
+/// so the design uses R4 = (3Q - 1)*R5, which requires Q > 1/3.
+/// The LP output realizes H(0) = -1.
+#pragma once
+
+#include "circuits/cut.hpp"
+
+namespace ftdiag::circuits {
+
+struct StateVariableDesign {
+  double f0_hz = 1.0e3;
+  double q = 1.0;
+  double r_base = 10.0e3;
+  bool ideal_opamps = true;
+  netlist::OpAmpModel opamp_model{};
+};
+
+/// KHN filter observed at the LP output.
+/// Testable: {R1, R2, R3, R4, R5, R6, R7, C1, C2} (nine components).
+[[nodiscard]] CircuitUnderTest make_state_variable(
+    const StateVariableDesign& design = {});
+
+}  // namespace ftdiag::circuits

@@ -1,0 +1,101 @@
+#include "circuits/tow_thomas.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace ftdiag::circuits {
+
+namespace {
+
+/// Component values solved from the design equations with R3 = R6 = r_base,
+/// C1 = C2 = C and k = R5/R4 = 1.
+struct Values {
+  double r1, r2, r3, r4, r5, r6, c1, c2;
+};
+
+Values solve_design(const TowThomasDesign& d) {
+  if (!(d.f0_hz > 0.0) || !(d.q > 0.0) || !(d.dc_gain > 0.0) ||
+      !(d.r_base > 0.0)) {
+    throw ConfigError("tow_thomas: design parameters must be positive");
+  }
+  const double w0 = 2.0 * std::numbers::pi * d.f0_hz;
+  Values v{};
+  v.r3 = d.r_base;
+  v.r6 = d.r_base;
+  v.r4 = d.r_base;
+  v.r5 = d.r_base;  // k = 1
+  // w0 = 1/(C*sqrt(R3*R6)) = 1/(C*r_base)  =>  C = 1/(w0*r_base)
+  v.c1 = 1.0 / (w0 * d.r_base);
+  v.c2 = v.c1;
+  // Q = w0*R2*C1  =>  R2 = Q/(w0*C1) = Q*r_base
+  v.r2 = d.q * d.r_base;
+  // H(0) = R6/(R1*k)  =>  R1 = R6/H0
+  v.r1 = v.r6 / d.dc_gain;
+  return v;
+}
+
+}  // namespace
+
+CircuitUnderTest make_tow_thomas(const TowThomasDesign& design) {
+  const Values v = solve_design(design);
+
+  CircuitUnderTest cut;
+  cut.name = "tow_thomas";
+  cut.description =
+      "Tow-Thomas two-integrator-loop biquad low-pass (the paper CUT)";
+
+  netlist::Circuit& c = cut.circuit;
+  c.set_title("tow-thomas biquad low-pass");
+  c.add_vsource("vin", "in", "0", /*dc=*/0.0, /*ac_magnitude=*/1.0);
+
+  // OA1: lossy inverting integrator.  Summing node "n1".
+  c.add_resistor("R1", "in", "n1", v.r1);
+  c.add_resistor("R2", "bp", "n1", v.r2);
+  c.add_capacitor("C1", "bp", "n1", v.c1);
+
+  // OA2: inverting integrator bp -> lp.
+  c.add_resistor("R3", "bp", "n2", v.r3);
+  c.add_capacitor("C2", "lp", "n2", v.c2);
+
+  // OA3: inverter lp -> inv.
+  c.add_resistor("R4", "lp", "n3", v.r4);
+  c.add_resistor("R5", "inv", "n3", v.r5);
+
+  // Loop feedback into the summing node.
+  c.add_resistor("R6", "inv", "n1", v.r6);
+
+  if (design.ideal_opamps) {
+    c.add_ideal_opamp("OA1", "0", "n1", "bp");
+    c.add_ideal_opamp("OA2", "0", "n2", "lp");
+    c.add_ideal_opamp("OA3", "0", "n3", "inv");
+  } else {
+    c.add_opamp("OA1", "0", "n1", "bp", design.opamp_model);
+    c.add_opamp("OA2", "0", "n2", "lp", design.opamp_model);
+    c.add_opamp("OA3", "0", "n3", "inv", design.opamp_model);
+  }
+
+  cut.input_source = "vin";
+  cut.output_node = "lp";
+  cut.testable = {"R1", "R2", "R3", "R4", "R6", "C1", "C2"};
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(10.0, 100.0e3, 240);
+  cut.band_low_hz = 10.0;
+  cut.band_high_hz = 100.0e3;
+  cut.check();
+  return cut;
+}
+
+std::complex<double> tow_thomas_transfer(const TowThomasDesign& design,
+                                         double frequency_hz) {
+  const Values v = solve_design(design);
+  const std::complex<double> s(0.0, 2.0 * std::numbers::pi * frequency_hz);
+  const double k = v.r5 / v.r4;
+  const std::complex<double> num(1.0 / (v.r1 * v.r3 * v.c1 * v.c2), 0.0);
+  const std::complex<double> den =
+      s * s + s / (v.r2 * v.c1) +
+      std::complex<double>(k / (v.r3 * v.r6 * v.c1 * v.c2), 0.0);
+  return num / den;
+}
+
+}  // namespace ftdiag::circuits

@@ -1,0 +1,56 @@
+/// \file tow_thomas.hpp
+/// \brief The paper's CUT: a Tow-Thomas two-integrator-loop biquad
+/// low-pass filter (negative-feedback biquad).
+///
+/// Topology (all op-amps ideal by default):
+///
+/// ```
+///   vin --R1--+--[OA1: C1 || R2 feedback]-- bp --R3--[OA2: C2 fb]-- lp(out)
+///             |                                                      |
+///             +-----------------R6------- inv <--[OA3: R4/R5]--------+
+/// ```
+///
+/// Transfer function to the LP output (k = R5/R4):
+///
+///   H(s) = (1/(R1*R3*C1*C2)) / (s^2 + s/(R2*C1) + k/(R3*R6*C1*C2))
+///
+/// giving w0 = sqrt(k/(R3*R6*C1*C2)), Q = w0*R2*C1, H(0) = R6/(R1*k).
+///
+/// The testable set is the seven passives {R1,R2,R3,R4,R6,C1,C2}.  R5 is
+/// excluded: only the ratio R5/R4 enters H(s), so R5 deviations retrace the
+/// R4 trajectory with the opposite sign.
+///
+/// NOTE — this topology is the library's worked example of *structural
+/// ambiguity groups*: at the LP output, R4 and R6 enter H(s) only through
+/// k/R6 (their trajectories coincide exactly), and R3 and C2 only through
+/// the product R3*C2.  No test-frequency choice can separate components
+/// inside such a group; see core/ambiguity.hpp, which detects them, and the
+/// ablation benchmark that quantifies the accuracy ceiling they impose.
+/// The paper CUT used for the headline reproduction is circuits/nf_biquad.
+#pragma once
+
+#include <complex>
+
+#include "circuits/cut.hpp"
+
+namespace ftdiag::circuits {
+
+/// Design parameters of the Tow-Thomas CUT.
+struct TowThomasDesign {
+  double f0_hz = 1.0e3;     ///< pole frequency
+  double q = 0.70710678;    ///< quality factor (Butterworth by default)
+  double dc_gain = 1.0;     ///< |H(0)|
+  double r_base = 10.0e3;   ///< impedance level (R3 = R6 = r_base)
+  bool ideal_opamps = true; ///< false: single-pole macro models
+  netlist::OpAmpModel opamp_model{};  ///< used when !ideal_opamps
+};
+
+/// Build the CUT with the given design.  Component values follow from the
+/// design equations above with R3 = R6 = r_base and C1 = C2.
+[[nodiscard]] CircuitUnderTest make_tow_thomas(const TowThomasDesign& design = {});
+
+/// Analytic transfer function of the design (for verification tests).
+[[nodiscard]] std::complex<double> tow_thomas_transfer(
+    const TowThomasDesign& design, double frequency_hz);
+
+}  // namespace ftdiag::circuits

@@ -1,0 +1,133 @@
+#include "core/ambiguity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/vector_ops.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+
+bool AmbiguityGroup::contains(const std::string& site) const {
+  return std::find(sites.begin(), sites.end(), site) != sites.end();
+}
+
+std::string AmbiguityGroup::label() const {
+  std::string out;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (i != 0) out += '=';
+    out += sites[i];
+  }
+  return out;
+}
+
+namespace {
+
+/// Signature matrix of one site: rows = deviations, cols = probe
+/// frequencies, entries = golden-relative |H|.
+std::vector<std::vector<double>> site_signature(
+    const faults::FaultDictionary& dictionary, const std::string& site,
+    const std::vector<double>& probes) {
+  std::vector<std::vector<double>> rows;
+  for (std::size_t idx : dictionary.entries_for(site)) {
+    const auto& entry = dictionary.entries()[idx];
+    std::vector<double> row;
+    row.reserve(probes.size());
+    for (double f : probes) {
+      row.push_back(entry.response.magnitude_at(f) -
+                    dictionary.golden().magnitude_at(f));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+double signature_scale(const std::vector<std::vector<double>>& signature) {
+  double scale = 0.0;
+  for (const auto& row : signature) {
+    for (double v : row) scale = std::max(scale, std::fabs(v));
+  }
+  return scale;
+}
+
+}  // namespace
+
+std::vector<AmbiguityGroup> find_ambiguity_groups(
+    const faults::FaultDictionary& dictionary,
+    const AmbiguityOptions& options) {
+  const auto& labels = dictionary.site_labels();
+  if (labels.empty()) return {};
+
+  std::vector<double> probes = options.probe_frequencies_hz;
+  if (probes.empty()) {
+    const auto& grid = dictionary.frequencies();
+    probes = linalg::logspace(grid.front(), grid.back(), 16);
+  }
+
+  std::vector<std::vector<std::vector<double>>> signatures;
+  signatures.reserve(labels.size());
+  for (const auto& site : labels) {
+    signatures.push_back(site_signature(dictionary, site, probes));
+  }
+
+  // Union-find over sites.
+  std::vector<std::size_t> parent(labels.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    for (std::size_t j = i + 1; j < labels.size(); ++j) {
+      const auto& a = signatures[i];
+      const auto& b = signatures[j];
+      if (a.size() != b.size()) continue;  // different deviation grids
+      const double scale =
+          std::max({signature_scale(a), signature_scale(b), 1e-300});
+      double max_diff = 0.0;
+      for (std::size_t d = 0; d < a.size(); ++d) {
+        for (std::size_t f = 0; f < probes.size(); ++f) {
+          max_diff = std::max(max_diff, std::fabs(a[d][f] - b[d][f]));
+        }
+      }
+      if (max_diff <= options.relative_tolerance * scale) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+
+  // Collect groups in first-member order.
+  std::vector<AmbiguityGroup> groups;
+  std::vector<std::size_t> group_index(labels.size(),
+                                       static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::size_t root = find(i);
+    if (group_index[root] == static_cast<std::size_t>(-1)) {
+      group_index[root] = groups.size();
+      groups.emplace_back();
+    }
+    groups[group_index[root]].sites.push_back(labels[i]);
+  }
+  return groups;
+}
+
+std::size_t group_of(const std::vector<AmbiguityGroup>& groups,
+                     const std::string& site) {
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].contains(site)) return g;
+  }
+  return groups.size();
+}
+
+bool same_group(const std::vector<AmbiguityGroup>& groups,
+                const std::string& predicted, const std::string& truth) {
+  const std::size_t gp = group_of(groups, predicted);
+  return gp < groups.size() && gp == group_of(groups, truth);
+}
+
+}  // namespace ftdiag::core

@@ -1,0 +1,55 @@
+/// \file ambiguity.hpp
+/// \brief Structural ambiguity-group detection.
+///
+/// Two fault sites are *ambiguous* when their trajectories coincide (or
+/// nearly coincide) for every test-frequency choice — e.g. components that
+/// enter the transfer function only through a shared product or ratio
+/// (Tow-Thomas R4/R6).  No test vector can separate them, so diagnosis and
+/// its evaluation should operate at ambiguity-group resolution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trajectory.hpp"
+#include "faults/dictionary.hpp"
+
+namespace ftdiag::core {
+
+/// One group of mutually indistinguishable sites (singletons for
+/// distinguishable components).  Sites keep dictionary order.
+struct AmbiguityGroup {
+  std::vector<std::string> sites;
+
+  [[nodiscard]] bool contains(const std::string& site) const;
+  [[nodiscard]] std::string label() const;  ///< "R4=R6" or "R1"
+};
+
+struct AmbiguityOptions {
+  /// Two trajectories are merged when their deviation-aligned distance is
+  /// below this fraction of the larger trajectory's excursion.
+  double relative_tolerance = 1e-3;
+  /// Probe frequencies used to compare responses.  Empty: use a log grid
+  /// of 16 points over the dictionary's frequency range.
+  std::vector<double> probe_frequencies_hz;
+};
+
+/// Detect ambiguity groups directly from the dictionary: sites are merged
+/// when their *responses* (not just one projection) match deviation-by-
+/// deviation on the probe grid.  This is test-vector independent, so a
+/// group found here is unresolvable by any frequency choice over the grid.
+[[nodiscard]] std::vector<AmbiguityGroup> find_ambiguity_groups(
+    const faults::FaultDictionary& dictionary,
+    const AmbiguityOptions& options = {});
+
+/// Group index of a site within groups (or groups.size() if absent).
+[[nodiscard]] std::size_t group_of(const std::vector<AmbiguityGroup>& groups,
+                                   const std::string& site);
+
+/// True when \p predicted and \p truth fall in the same group — "correct
+/// at ambiguity-group resolution".
+[[nodiscard]] bool same_group(const std::vector<AmbiguityGroup>& groups,
+                              const std::string& predicted,
+                              const std::string& truth);
+
+}  // namespace ftdiag::core

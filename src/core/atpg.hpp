@@ -1,0 +1,83 @@
+/// \file atpg.hpp
+/// \brief The end-to-end ATPG-for-diagnosis flow of the paper: fault
+/// simulation -> dictionary -> GA search for the test frequencies whose
+/// fault trajectories do not intersect -> diagnosis-ready test vector.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "circuits/cut.hpp"
+#include "core/test_vector.hpp"
+#include "faults/dictionary.hpp"
+#include "ga/genetic_algorithm.hpp"
+
+namespace ftdiag::core {
+
+struct AtpgConfig {
+  /// Number of test frequencies in the vector (the paper uses 2).
+  std::size_t n_frequencies = 2;
+  SamplingPolicy policy{};
+  faults::DeviationSpec deviations = faults::DeviationSpec::paper();
+  ga::GaConfig ga = ga::GaConfig::paper();
+  /// "paper" (1/(1+I)), "separation" or "hybrid".
+  std::string fitness = "paper";
+  std::uint64_t seed = 42;
+
+  /// Inject sensitivity-screened frequency pairs into the GA's initial
+  /// population (2-frequency vectors only; see core/sensitivity.hpp).
+  bool seed_with_sensitivity = false;
+  std::size_t sensitivity_seed_count = 8;
+
+  void check() const;
+};
+
+struct AtpgResult {
+  TestVectorScore best;                ///< the accepted test vector + score
+  ga::OptimizerResult search;          ///< GA convergence history
+  std::size_t dictionary_faults = 0;   ///< dictionary size that backed it
+};
+
+/// Owns the dictionary for one CUT and runs frequency-search flows on it.
+class AtpgFlow {
+public:
+  /// Builds the fault dictionary eagerly (the expensive part).
+  AtpgFlow(circuits::CircuitUnderTest cut, AtpgConfig config = {});
+
+  [[nodiscard]] const circuits::CircuitUnderTest& cut() const { return cut_; }
+  [[nodiscard]] const faults::FaultDictionary& dictionary() const {
+    return dictionary_;
+  }
+  [[nodiscard]] const AtpgConfig& config() const { return config_; }
+  [[nodiscard]] const TestVectorEvaluator& evaluator() const {
+    return *evaluator_;
+  }
+
+  /// Run the configured GA.
+  [[nodiscard]] AtpgResult run() const;
+
+  /// Run an arbitrary optimizer against the same objective (baselines).
+  [[nodiscard]] AtpgResult run_with(const ga::FrequencyOptimizer& optimizer,
+                                    std::uint64_t seed_override) const;
+
+  /// Score an externally chosen test vector against this flow's dictionary.
+  [[nodiscard]] TestVectorScore score(const TestVector& vector) const;
+
+  /// Genome (log10 f) -> test vector.
+  [[nodiscard]] static TestVector to_test_vector(
+      const std::vector<double>& genes);
+
+  /// Gene bounds derived from the CUT's recommended band.
+  [[nodiscard]] ga::GeneBounds bounds() const;
+
+private:
+  circuits::CircuitUnderTest cut_;
+  AtpgConfig config_;
+  faults::FaultDictionary dictionary_;
+  std::shared_ptr<const TrajectoryFitness> fitness_;
+  std::unique_ptr<TestVectorEvaluator> evaluator_;
+};
+
+}  // namespace ftdiag::core

@@ -1,0 +1,93 @@
+/// \file detection.hpp
+/// \brief Fault *detection* (the paper's first test-vector requirement:
+/// "it must disclose faults in the circuit"), separated from diagnosis.
+///
+/// A board is flagged faulty when its signature point falls outside the
+/// golden acceptance region.  Healthy boards are not at the exact origin —
+/// component tolerances smear them into a cloud — so the acceptance radius
+/// is calibrated by Monte-Carlo: simulate healthy toleranced boards and
+/// take the radius containing (1 - false-alarm target) of them.  Coverage
+/// is then the fraction of faults whose signatures escape that radius.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuits/cut.hpp"
+#include "core/test_vector.hpp"
+#include "faults/tolerance.hpp"
+
+namespace ftdiag::core {
+
+struct DetectionCalibration {
+  std::size_t healthy_boards = 400;   ///< Monte-Carlo sample size
+  double false_alarm_target = 0.01;   ///< accepted healthy-reject rate
+  faults::ToleranceSpec tolerance{};  ///< healthy-component spread
+  double noise_sigma = 0.0;           ///< measurement noise during test
+  std::uint64_t seed = 11;
+};
+
+/// Threshold classifier in signature space.
+class FaultDetector {
+public:
+  /// Calibrate the acceptance radius on Monte-Carlo healthy boards.
+  /// \throws ConfigError on bad parameters.
+  [[nodiscard]] static FaultDetector calibrate(
+      const circuits::CircuitUnderTest& cut, const faults::FaultDictionary& dictionary,
+      const TestVector& vector, const SamplingPolicy& policy,
+      const DetectionCalibration& calibration);
+
+  /// Distance-from-origin decision.
+  [[nodiscard]] bool is_faulty(const Point& observed) const;
+
+  /// The calibrated acceptance radius.
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+  /// Radii of the calibration cloud (diagnostics / tests).
+  [[nodiscard]] const std::vector<double>& healthy_radii() const {
+    return healthy_radii_;
+  }
+
+private:
+  double threshold_ = 0.0;
+  std::vector<double> healthy_radii_;
+};
+
+/// Per-site detection statistics.
+struct SiteCoverage {
+  std::string site;
+  std::size_t detected = 0;
+  std::size_t total = 0;
+
+  [[nodiscard]] double rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(detected) /
+                            static_cast<double>(total);
+  }
+};
+
+struct CoverageReport {
+  double overall_coverage = 0.0;   ///< detected faults / all faults
+  double false_alarm_rate = 0.0;   ///< measured on fresh healthy boards
+  std::vector<SiteCoverage> per_site;
+};
+
+struct CoverageOptions {
+  std::size_t faults_per_site = 60;
+  double min_abs_deviation = 0.05;
+  double max_abs_deviation = 0.40;
+  std::size_t healthy_boards = 200;  ///< for the false-alarm estimate
+  std::uint64_t seed = 13;
+};
+
+/// Monte-Carlo fault coverage of \p vector with \p detector: random
+/// off-grid faults per dictionary site (healthy parts toleranced and the
+/// same measurement noise as calibration).
+[[nodiscard]] CoverageReport measure_coverage(
+    const circuits::CircuitUnderTest& cut,
+    const faults::FaultDictionary& dictionary, const TestVector& vector,
+    const SamplingPolicy& policy, const FaultDetector& detector,
+    const DetectionCalibration& calibration, const CoverageOptions& options = {});
+
+}  // namespace ftdiag::core

@@ -1,0 +1,74 @@
+#include "core/diagnosis.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+
+double Diagnosis::confidence() const {
+  FTDIAG_ASSERT(!ranking.empty(), "confidence of an empty diagnosis");
+  if (ranking.size() < 2) return 1.0;
+  const double d1 = ranking[0].distance;
+  const double d2 = ranking[1].distance;
+  if (d2 <= 0.0) return 0.0;  // both exactly on trajectories
+  return std::clamp(1.0 - d1 / d2, 0.0, 1.0);
+}
+
+std::vector<std::string> Diagnosis::ambiguity_set(double factor) const {
+  FTDIAG_ASSERT(factor >= 1.0, "ambiguity factor must be >= 1");
+  std::vector<std::string> out;
+  const double limit = ranking.front().distance * factor;
+  for (const auto& match : ranking) {
+    if (match.distance <= limit || match.distance == 0.0) {
+      out.push_back(match.site);
+    }
+  }
+  return out;
+}
+
+DiagnosisEngine::DiagnosisEngine(std::vector<FaultTrajectory> trajectories)
+    : trajectories_(std::move(trajectories)) {
+  if (trajectories_.empty()) {
+    throw ConfigError("diagnosis engine needs at least one trajectory");
+  }
+  const std::size_t dim = trajectories_.front().dimension();
+  for (const auto& t : trajectories_) {
+    if (t.dimension() != dim) {
+      throw ConfigError("diagnosis engine: mixed trajectory dimensions");
+    }
+  }
+}
+
+Diagnosis DiagnosisEngine::diagnose(const Point& observed) const {
+  if (observed.size() != dimension()) {
+    throw ConfigError("observed point dimension mismatches trajectories");
+  }
+  Diagnosis diagnosis;
+  diagnosis.ranking.reserve(trajectories_.size());
+  for (const auto& trajectory : trajectories_) {
+    const std::vector<Segment> segments = trajectory.segments();
+    TrajectoryMatch match;
+    match.site = trajectory.site();
+    match.distance = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const Projection proj = project_point(observed, segments[i]);
+      if (proj.distance < match.distance) {
+        match.distance = proj.distance;
+        match.segment_index = i;
+        match.t = proj.t;
+      }
+    }
+    match.estimated_deviation =
+        trajectory.deviation_on_segment(match.segment_index, match.t);
+    diagnosis.ranking.push_back(std::move(match));
+  }
+  std::sort(diagnosis.ranking.begin(), diagnosis.ranking.end(),
+            [](const TrajectoryMatch& a, const TrajectoryMatch& b) {
+              return a.distance < b.distance;
+            });
+  return diagnosis;
+}
+
+}  // namespace ftdiag::core

@@ -1,0 +1,61 @@
+/// \file diagnosis.hpp
+/// \brief The diagnosis step (the paper's Fig. 3 right): assign an observed
+/// signature point to the nearest trajectory segment by perpendicular
+/// distance; the owning component is the diagnosis and the projection
+/// parameter estimates the deviation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trajectory.hpp"
+
+namespace ftdiag::core {
+
+/// Distance of an observed point to one whole trajectory.
+struct TrajectoryMatch {
+  std::string site;
+  double distance = 0.0;            ///< to the closest segment
+  std::size_t segment_index = 0;
+  double t = 0.0;                   ///< projection parameter on that segment
+  double estimated_deviation = 0.0; ///< interpolated along the segment
+};
+
+/// Full diagnosis result: candidates ordered by ascending distance.
+struct Diagnosis {
+  std::vector<TrajectoryMatch> ranking;  ///< best first; never empty
+
+  [[nodiscard]] const TrajectoryMatch& best() const { return ranking.front(); }
+
+  /// Margin in (0, 1]: 1 - d_best/d_second.  1 when unambiguous (single
+  /// candidate), ~0 when the two best trajectories are equidistant.
+  [[nodiscard]] double confidence() const;
+
+  /// Sites whose distance is within \p factor of the best — the ambiguity
+  /// set a cautious test program would report.
+  [[nodiscard]] std::vector<std::string> ambiguity_set(
+      double factor = 1.25) const;
+};
+
+/// Nearest-trajectory classifier over a fixed trajectory set.
+class DiagnosisEngine {
+public:
+  /// \throws ConfigError on an empty or dimension-mismatched set.
+  explicit DiagnosisEngine(std::vector<FaultTrajectory> trajectories);
+
+  [[nodiscard]] const std::vector<FaultTrajectory>& trajectories() const {
+    return trajectories_;
+  }
+  [[nodiscard]] std::size_t dimension() const {
+    return trajectories_.front().dimension();
+  }
+
+  /// Diagnose an observed signature point.
+  /// \throws ConfigError if the point dimension mismatches.
+  [[nodiscard]] Diagnosis diagnose(const Point& observed) const;
+
+private:
+  std::vector<FaultTrajectory> trajectories_;
+};
+
+}  // namespace ftdiag::core

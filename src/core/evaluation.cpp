@@ -1,0 +1,164 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ambiguity.hpp"
+#include "faults/fault_injector.hpp"
+#include "mna/ac_analysis.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t n = 0;
+  for (const auto& row : counts) {
+    for (std::size_t v : row) n += v;
+  }
+  return n;
+}
+
+std::size_t ConfusionMatrix::correct() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) n += counts[i][i];
+  return n;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(correct()) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::recall(const std::string& truth_label) const {
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] != truth_label) continue;
+    std::size_t row_total = 0;
+    for (std::size_t v : counts[i]) row_total += v;
+    return row_total == 0
+               ? 0.0
+               : static_cast<double>(counts[i][i]) /
+                     static_cast<double>(row_total);
+  }
+  throw ConfigError("confusion matrix has no label '" + truth_label + "'");
+}
+
+AccuracyReport evaluate_diagnosis(const circuits::CircuitUnderTest& cut,
+                                  const faults::FaultDictionary& dictionary,
+                                  const TestVector& vector,
+                                  const SamplingPolicy& policy,
+                                  const EvaluationOptions& options) {
+  if (options.trials == 0) throw ConfigError("evaluation needs >= 1 trial");
+  if (!(options.min_abs_deviation > 0.0) ||
+      !(options.max_abs_deviation >= options.min_abs_deviation)) {
+    throw ConfigError("evaluation deviation range is invalid");
+  }
+  TestVector tv = vector;
+  tv.normalize();
+  if (tv.frequencies_hz.empty()) {
+    throw ConfigError("evaluation needs a non-empty test vector");
+  }
+
+  // Fixed classifier for the whole evaluation.
+  const std::vector<FaultTrajectory> trajectories =
+      build_trajectories(dictionary, tv.frequencies_hz, policy);
+  const DiagnosisEngine engine(trajectories);
+  const SpectralSampler sampler(dictionary.golden(), policy);
+
+  // Site list + representative FaultSite objects.
+  const std::vector<std::string>& labels = dictionary.site_labels();
+  std::vector<faults::FaultSite> sites;
+  sites.reserve(labels.size());
+  for (const auto& label : labels) {
+    const std::size_t first = dictionary.entries_for(label).front();
+    sites.push_back(dictionary.entries()[first].fault.site);
+  }
+
+  AccuracyReport report;
+  report.trials = options.trials;
+  report.confusion.labels = labels;
+  report.confusion.counts.assign(
+      labels.size(), std::vector<std::size_t>(labels.size(), 0));
+
+  const std::vector<AmbiguityGroup> groups = find_ambiguity_groups(dictionary);
+  for (const auto& g : groups) report.ambiguity_groups.push_back(g.label());
+
+  Rng rng(options.seed);
+  double deviation_error_sum = 0.0;
+  double confidence_sum = 0.0;
+  std::size_t top2 = 0;
+  std::size_t correct_group = 0;
+
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    const std::size_t truth_index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1));
+    const double magnitude =
+        rng.uniform(options.min_abs_deviation, options.max_abs_deviation);
+    const double deviation = rng.bernoulli(0.5) ? magnitude : -magnitude;
+    const faults::ParametricFault fault{sites[truth_index], deviation};
+
+    // Build the board: optional tolerance spread on healthy parts, then
+    // the unknown fault.
+    netlist::Circuit board = cut.circuit;
+    if (options.tolerance) {
+      std::vector<std::string> frozen;
+      if (fault.site.target == faults::FaultSite::Target::kComponentValue) {
+        frozen.push_back(fault.site.component);
+      }
+      board =
+          faults::perturb_within_tolerance(board, *options.tolerance, rng,
+                                           frozen);
+    }
+    board = faults::inject(board, fault);
+
+    mna::AcAnalysis analysis(board);
+    mna::AcResponse measured = analysis.sweep(tv.frequencies_hz, cut.output_node);
+    if (options.noise_sigma > 0.0) {
+      measured = faults::add_measurement_noise(
+          measured, {options.noise_sigma, rng()});
+    }
+
+    const Point observed = sampler.sample(measured, tv.frequencies_hz);
+    const Diagnosis diagnosis = engine.diagnose(observed);
+
+    const std::string& predicted = diagnosis.best().site;
+    std::size_t predicted_index = labels.size();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == predicted) {
+        predicted_index = i;
+        break;
+      }
+    }
+    FTDIAG_ASSERT(predicted_index < labels.size(),
+                  "diagnosis produced an unknown site label");
+    report.confusion.counts[truth_index][predicted_index] += 1;
+
+    confidence_sum += diagnosis.confidence();
+    if (same_group(groups, predicted, labels[truth_index])) ++correct_group;
+    if (predicted_index == truth_index) {
+      report.correct_site += 1;
+      deviation_error_sum +=
+          std::fabs(diagnosis.best().estimated_deviation - deviation);
+    }
+    if (diagnosis.ranking.size() >= 2 &&
+        (diagnosis.ranking[0].site == labels[truth_index] ||
+         diagnosis.ranking[1].site == labels[truth_index])) {
+      ++top2;
+    }
+  }
+
+  report.site_accuracy = static_cast<double>(report.correct_site) /
+                         static_cast<double>(report.trials);
+  report.group_accuracy = static_cast<double>(correct_group) /
+                          static_cast<double>(report.trials);
+  report.mean_deviation_error =
+      report.correct_site > 0
+          ? deviation_error_sum / static_cast<double>(report.correct_site)
+          : 0.0;
+  report.mean_confidence =
+      confidence_sum / static_cast<double>(report.trials);
+  report.top2_accuracy =
+      static_cast<double>(top2) / static_cast<double>(report.trials);
+  return report;
+}
+
+}  // namespace ftdiag::core

@@ -1,0 +1,91 @@
+/// \file fitness.hpp
+/// \brief Fitness functions over trajectory sets.
+///
+/// The paper's fitness is 1/(1+I) with I the intersection count (§2.4).
+/// Alternatives are provided for the ablation benchmarks: a separation
+/// margin (how far apart the closest pair of trajectories stays) and a
+/// hybrid of both.  All fitnesses map to (0, 1], larger is better.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/intersection.hpp"
+#include "core/trajectory.hpp"
+
+namespace ftdiag::core {
+
+/// Interface: score a trajectory set.
+class TrajectoryFitness {
+public:
+  virtual ~TrajectoryFitness() = default;
+
+  /// Score in (0, 1]; larger means better diagnosability.
+  [[nodiscard]] virtual double evaluate(
+      const std::vector<FaultTrajectory>& trajectories) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The paper's fitness: 1 / (1 + I).
+class IntersectionFitness final : public TrajectoryFitness {
+public:
+  explicit IntersectionFitness(IntersectionOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] double evaluate(
+      const std::vector<FaultTrajectory>& trajectories) const override;
+  [[nodiscard]] std::string name() const override { return "paper-1/(1+I)"; }
+
+  [[nodiscard]] const IntersectionOptions& options() const { return options_; }
+
+private:
+  IntersectionOptions options_;
+};
+
+/// Separation fitness: s / (s + 1) where s is the minimum pairwise
+/// trajectory distance (origin-adjacent contacts excluded) normalized by
+/// the largest trajectory excursion.  Rewards spreading trajectories apart
+/// even when none intersect.
+class SeparationFitness final : public TrajectoryFitness {
+public:
+  /// \param origin_exclusion fraction of the excursion scale around the
+  /// origin within which contacts are structural.
+  explicit SeparationFitness(double origin_exclusion = 0.05)
+      : origin_exclusion_(origin_exclusion) {}
+
+  [[nodiscard]] double evaluate(
+      const std::vector<FaultTrajectory>& trajectories) const override;
+  [[nodiscard]] std::string name() const override { return "separation"; }
+
+  /// The raw normalized separation margin in [0, 1].
+  [[nodiscard]] double margin(
+      const std::vector<FaultTrajectory>& trajectories) const;
+
+private:
+  double origin_exclusion_;
+};
+
+/// weight * paper + (1 - weight) * separation.
+class HybridFitness final : public TrajectoryFitness {
+public:
+  HybridFitness(double intersection_weight = 0.7,
+                IntersectionOptions options = {},
+                double origin_exclusion = 0.05);
+
+  [[nodiscard]] double evaluate(
+      const std::vector<FaultTrajectory>& trajectories) const override;
+  [[nodiscard]] std::string name() const override { return "hybrid"; }
+
+private:
+  double weight_;
+  IntersectionFitness intersection_;
+  SeparationFitness separation_;
+};
+
+/// Factory by name ("paper", "separation", "hybrid") for CLI-ish configs.
+[[nodiscard]] std::unique_ptr<TrajectoryFitness> make_fitness(
+    const std::string& name);
+
+}  // namespace ftdiag::core

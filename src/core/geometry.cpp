@@ -1,0 +1,224 @@
+#include "core/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+
+namespace {
+
+/// Relative epsilon for the orientation predicates.
+constexpr double kEps = 1e-12;
+
+double cross2(double ax, double ay, double bx, double by) {
+  return ax * by - ay * bx;
+}
+
+/// Sign of the orientation of (a, b, c) with a scale-relative tolerance:
+/// +1 counter-clockwise, -1 clockwise, 0 collinear.
+int orientation(const Point& a, const Point& b, const Point& c) {
+  const double v =
+      cross2(b[0] - a[0], b[1] - a[1], c[0] - a[0], c[1] - a[1]);
+  const double scale = std::max({std::fabs(b[0] - a[0]), std::fabs(b[1] - a[1]),
+                                 std::fabs(c[0] - a[0]), std::fabs(c[1] - a[1]),
+                                 1e-300});
+  if (std::fabs(v) <= kEps * scale * scale) return 0;
+  return v > 0.0 ? 1 : -1;
+}
+
+/// Is c within the bounding box of segment (a, b)?  Assumes collinear.
+bool on_segment(const Point& a, const Point& b, const Point& c) {
+  const double lo_x = std::min(a[0], b[0]), hi_x = std::max(a[0], b[0]);
+  const double lo_y = std::min(a[1], b[1]), hi_y = std::max(a[1], b[1]);
+  const double pad_x = kEps * (1.0 + hi_x - lo_x);
+  const double pad_y = kEps * (1.0 + hi_y - lo_y);
+  return c[0] >= lo_x - pad_x && c[0] <= hi_x + pad_x &&
+         c[1] >= lo_y - pad_y && c[1] <= hi_y + pad_y;
+}
+
+void require_2d(const Segment& s) {
+  if (s.a.size() != 2 || s.b.size() != 2) {
+    throw ConfigError("2-D intersection called on a non-2-D segment");
+  }
+}
+
+/// Exact crossing point of two non-parallel lines through the segments.
+Point crossing_point(const Segment& s, const Segment& t) {
+  const double rx = s.b[0] - s.a[0], ry = s.b[1] - s.a[1];
+  const double qx = t.b[0] - t.a[0], qy = t.b[1] - t.a[1];
+  const double denom = cross2(rx, ry, qx, qy);
+  const double u =
+      cross2(t.a[0] - s.a[0], t.a[1] - s.a[1], qx, qy) / denom;
+  return {s.a[0] + u * rx, s.a[1] + u * ry};
+}
+
+}  // namespace
+
+double distance(const Point& a, const Point& b) {
+  FTDIAG_ASSERT(a.size() == b.size(), "point dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double norm(const Point& p) {
+  double acc = 0.0;
+  for (double v : p) acc += v * v;
+  return std::sqrt(acc);
+}
+
+Point subtract(const Point& a, const Point& b) {
+  FTDIAG_ASSERT(a.size() == b.size(), "point dimension mismatch");
+  Point out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Projection project_point(const Point& p, const Segment& segment) {
+  FTDIAG_ASSERT(p.size() == segment.a.size(), "point/segment dim mismatch");
+  const Point d = subtract(segment.b, segment.a);
+  double dd = 0.0, dp = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    dd += d[i] * d[i];
+    dp += d[i] * (p[i] - segment.a[i]);
+  }
+  Projection out;
+  out.t = dd > 0.0 ? std::clamp(dp / dd, 0.0, 1.0) : 0.0;
+  out.closest.resize(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    out.closest[i] = segment.a[i] + out.t * d[i];
+  }
+  out.distance = distance(p, out.closest);
+  return out;
+}
+
+Intersection2d intersect_segments_2d(const Segment& s, const Segment& t) {
+  require_2d(s);
+  require_2d(t);
+  const int o1 = orientation(s.a, s.b, t.a);
+  const int o2 = orientation(s.a, s.b, t.b);
+  const int o3 = orientation(t.a, t.b, s.a);
+  const int o4 = orientation(t.a, t.b, s.b);
+
+  Intersection2d result;
+
+  // General position: interiors cross.
+  if (o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0) {
+    result.relation = SegmentRelation::kProperCrossing;
+    result.at = crossing_point(s, t);
+    return result;
+  }
+
+  // Collinear cases.
+  if (o1 == 0 && o2 == 0 && o3 == 0 && o4 == 0) {
+    // Project onto the dominant axis to find overlap.
+    const int axis =
+        std::fabs(s.b[0] - s.a[0]) >= std::fabs(s.b[1] - s.a[1]) ? 0 : 1;
+    double s_lo = std::min(s.a[axis], s.b[axis]);
+    double s_hi = std::max(s.a[axis], s.b[axis]);
+    double t_lo = std::min(t.a[axis], t.b[axis]);
+    double t_hi = std::max(t.a[axis], t.b[axis]);
+    const double lo = std::max(s_lo, t_lo);
+    const double hi = std::min(s_hi, t_hi);
+    const double span = std::max(s_hi - s_lo, t_hi - t_lo);
+    if (lo > hi + kEps * (1.0 + span)) return result;  // disjoint
+    if (hi - lo <= kEps * (1.0 + span)) {
+      // Single shared point.
+      result.relation = SegmentRelation::kTouching;
+    } else {
+      result.relation = SegmentRelation::kCollinearOverlap;
+    }
+    // Representative point at the overlap midpoint, reconstructed on s.
+    const double mid = 0.5 * (lo + hi);
+    const double denom = s.b[axis] - s.a[axis];
+    const double u = denom != 0.0 ? (mid - s.a[axis]) / denom : 0.0;
+    result.at = {s.a[0] + u * (s.b[0] - s.a[0]),
+                 s.a[1] + u * (s.b[1] - s.a[1])};
+    return result;
+  }
+
+  // Endpoint touching: one orientation is zero and the point lies on the
+  // other segment.
+  if (o1 == 0 && on_segment(s.a, s.b, t.a)) {
+    result.relation = SegmentRelation::kTouching;
+    result.at = t.a;
+    return result;
+  }
+  if (o2 == 0 && on_segment(s.a, s.b, t.b)) {
+    result.relation = SegmentRelation::kTouching;
+    result.at = t.b;
+    return result;
+  }
+  if (o3 == 0 && on_segment(t.a, t.b, s.a)) {
+    result.relation = SegmentRelation::kTouching;
+    result.at = s.a;
+    return result;
+  }
+  if (o4 == 0 && on_segment(t.a, t.b, s.b)) {
+    result.relation = SegmentRelation::kTouching;
+    result.at = s.b;
+    return result;
+  }
+  return result;
+}
+
+double segment_segment_distance(const Segment& s, const Segment& t) {
+  FTDIAG_ASSERT(s.a.size() == t.a.size(), "segment dimension mismatch");
+  // Minimize |s(u) - t(v)|^2 over the unit square; standard clamped
+  // closed-form (Eberly).  Degenerate segments fall back to projections.
+  const Point d1 = subtract(s.b, s.a);
+  const Point d2 = subtract(t.b, t.a);
+  const Point r = subtract(s.a, t.a);
+  double a = 0.0, e = 0.0, f = 0.0, b = 0.0, c = 0.0;
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    a += d1[i] * d1[i];
+    e += d2[i] * d2[i];
+    f += d2[i] * r[i];
+    b += d1[i] * d2[i];
+    c += d1[i] * r[i];
+  }
+  double u = 0.0, v = 0.0;
+  constexpr double kTiny = 1e-30;
+  if (a <= kTiny && e <= kTiny) {
+    return distance(s.a, t.a);
+  }
+  if (a <= kTiny) {
+    v = std::clamp(f / e, 0.0, 1.0);
+  } else if (e <= kTiny) {
+    u = std::clamp(-c / a, 0.0, 1.0);
+  } else {
+    const double denom = a * e - b * b;
+    if (denom > kTiny * a * e) {
+      u = std::clamp((b * f - c * e) / denom, 0.0, 1.0);
+    }
+    v = (b * u + f) / e;
+    if (v < 0.0) {
+      v = 0.0;
+      u = std::clamp(-c / a, 0.0, 1.0);
+    } else if (v > 1.0) {
+      v = 1.0;
+      u = std::clamp((b - c) / a, 0.0, 1.0);
+    }
+  }
+  Point ps(d1.size()), pt(d1.size());
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    ps[i] = s.a[i] + u * d1[i];
+    pt[i] = t.a[i] + v * d2[i];
+  }
+  return distance(ps, pt);
+}
+
+double polyline_length(const std::vector<Point>& points) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    total += distance(points[i - 1], points[i]);
+  }
+  return total;
+}
+
+}  // namespace ftdiag::core

@@ -1,0 +1,87 @@
+#include "core/intersection.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+
+namespace {
+
+double signature_scale(const std::vector<FaultTrajectory>& trajectories) {
+  double scale = 0.0;
+  for (const auto& t : trajectories) {
+    scale = std::max(scale, t.max_excursion());
+  }
+  return scale > 0.0 ? scale : 1.0;
+}
+
+}  // namespace
+
+IntersectionReport count_intersections(
+    const std::vector<FaultTrajectory>& trajectories,
+    const IntersectionOptions& options) {
+  IntersectionReport report;
+  if (trajectories.size() < 2) return report;
+
+  const std::size_t dim = trajectories.front().dimension();
+  for (const auto& t : trajectories) {
+    if (t.dimension() != dim) {
+      throw ConfigError("trajectories of mixed dimension");
+    }
+  }
+  const double scale = signature_scale(trajectories);
+  const double origin_ball = options.origin_exclusion * scale;
+  const Point origin(dim, 0.0);
+
+  // Pre-extract segments.
+  std::vector<std::vector<Segment>> segs;
+  segs.reserve(trajectories.size());
+  for (const auto& t : trajectories) segs.push_back(t.segments());
+
+  for (std::size_t i = 0; i < trajectories.size(); ++i) {
+    for (std::size_t j = i + 1; j < trajectories.size(); ++j) {
+      for (std::size_t si = 0; si < segs[i].size(); ++si) {
+        for (std::size_t sj = 0; sj < segs[j].size(); ++sj) {
+          const Segment& a = segs[i][si];
+          const Segment& b = segs[j][sj];
+
+          if (dim == 2) {
+            const Intersection2d hit = intersect_segments_2d(a, b);
+            if (hit.relation == SegmentRelation::kDisjoint) continue;
+            if (hit.relation == SegmentRelation::kCollinearOverlap &&
+                !options.count_overlaps) {
+              continue;
+            }
+            // Structural contact at the shared golden point.
+            if (distance(hit.at, origin) <= origin_ball) continue;
+            report.conflicts.push_back({trajectories[i].site(),
+                                        trajectories[j].site(), si, sj,
+                                        hit.at, 0.0});
+          } else {
+            const double d = segment_segment_distance(a, b);
+            if (d > options.near_threshold * scale) continue;
+            // Contact near the origin is structural when both segments
+            // pass through the exclusion ball.
+            const double a_to_origin = project_point(origin, a).distance;
+            const double b_to_origin = project_point(origin, b).distance;
+            if (a_to_origin <= origin_ball && b_to_origin <= origin_ball) {
+              continue;
+            }
+            Point mid(dim, 0.0);
+            for (std::size_t k = 0; k < dim; ++k) {
+              mid[k] = 0.25 * (a.a[k] + a.b[k] + b.a[k] + b.b[k]);
+            }
+            report.conflicts.push_back({trajectories[i].site(),
+                                        trajectories[j].site(), si, sj,
+                                        std::move(mid), d});
+          }
+        }
+      }
+    }
+  }
+  report.count = report.conflicts.size();
+  return report;
+}
+
+}  // namespace ftdiag::core

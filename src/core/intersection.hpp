@@ -1,0 +1,52 @@
+/// \file intersection.hpp
+/// \brief Counting pathway conflicts between fault trajectories — the
+/// quantity I in the paper's fitness 1/(1+I).
+///
+/// All trajectories share the origin (the golden point), so contacts at the
+/// origin are structural and are excluded.  In 2-D (two test frequencies)
+/// crossings are counted exactly with the robust segment predicates; in
+/// higher dimensions, where generic polylines do not cross exactly, a pair
+/// of segments closer than a relative epsilon counts as a conflict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trajectory.hpp"
+
+namespace ftdiag::core {
+
+/// One counted conflict.
+struct TrajectoryConflict {
+  std::string site_a;
+  std::string site_b;
+  std::size_t segment_a = 0;  ///< segment index within trajectory a
+  std::size_t segment_b = 0;
+  Point at;                   ///< representative conflict location
+  double separation = 0.0;    ///< 0 for exact crossings, distance for near
+};
+
+struct IntersectionReport {
+  std::size_t count = 0;  ///< I of the paper's fitness
+  std::vector<TrajectoryConflict> conflicts;
+};
+
+struct IntersectionOptions {
+  /// Contacts closer than origin_exclusion * (largest trajectory excursion)
+  /// to the origin are treated as the structural origin contact.
+  double origin_exclusion = 1e-6;
+  /// n-D (n > 2) near-miss threshold as a fraction of the largest
+  /// trajectory excursion.
+  double near_threshold = 1e-3;
+  /// Count collinear overlaps (shared pathways) as conflicts.  The paper's
+  /// fitness penalizes "common pathways" explicitly.
+  bool count_overlaps = true;
+};
+
+/// Count conflicts between every pair of distinct trajectories.
+/// \throws ConfigError if trajectories have mismatched dimensions.
+[[nodiscard]] IntersectionReport count_intersections(
+    const std::vector<FaultTrajectory>& trajectories,
+    const IntersectionOptions& options = {});
+
+}  // namespace ftdiag::core

@@ -1,0 +1,133 @@
+#include "core/multipoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mna/ac_analysis.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+
+MultiPointEvaluator::MultiPointEvaluator(
+    const circuits::CircuitUnderTest& cut,
+    const faults::FaultUniverse& universe,
+    std::vector<std::string> observation_nodes, SamplingPolicy policy)
+    : cut_(cut), nodes_(std::move(observation_nodes)), policy_(policy) {
+  if (nodes_.empty()) {
+    throw ConfigError("multi-point evaluator needs at least one node");
+  }
+  for (const auto& node : nodes_) {
+    if (!cut_.circuit.has_node(node)) {
+      throw ConfigError("observation node '" + node + "' not in circuit");
+    }
+  }
+  dictionaries_.reserve(nodes_.size());
+  samplers_.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    circuits::CircuitUnderTest view = cut_;
+    view.output_node = node;
+    dictionaries_.push_back(faults::FaultDictionary::build(view, universe));
+    samplers_.emplace_back(dictionaries_.back().golden(), policy_);
+  }
+}
+
+std::size_t MultiPointEvaluator::dimension(std::size_t n_frequencies) const {
+  return nodes_.size() * policy_.dimension(n_frequencies);
+}
+
+std::vector<FaultTrajectory> MultiPointEvaluator::trajectories(
+    const TestVector& vector) const {
+  if (vector.frequencies_hz.empty()) {
+    throw ConfigError("test vector has no frequencies");
+  }
+  // Build the per-node trajectories and concatenate point-wise.  Every
+  // dictionary was built from the same universe, so sites and deviation
+  // orders agree.
+  std::vector<std::vector<FaultTrajectory>> per_node;
+  per_node.reserve(nodes_.size());
+  for (const auto& dict : dictionaries_) {
+    per_node.push_back(
+        build_trajectories(dict, vector.frequencies_hz, policy_));
+  }
+  std::vector<FaultTrajectory> out;
+  out.reserve(per_node.front().size());
+  for (std::size_t site = 0; site < per_node.front().size(); ++site) {
+    std::vector<TrajectoryPoint> points;
+    const auto& reference = per_node.front()[site];
+    points.reserve(reference.point_count());
+    for (std::size_t p = 0; p < reference.point_count(); ++p) {
+      TrajectoryPoint point;
+      point.deviation = reference.points()[p].deviation;
+      for (const auto& node_trajs : per_node) {
+        FTDIAG_ASSERT(node_trajs[site].site() == reference.site(),
+                      "site order mismatch across node dictionaries");
+        const auto& coords = node_trajs[site].points()[p].coords;
+        point.coords.insert(point.coords.end(), coords.begin(), coords.end());
+      }
+      points.push_back(std::move(point));
+    }
+    out.emplace_back(reference.site(), std::move(points));
+  }
+  return out;
+}
+
+double MultiPointEvaluator::fitness(const TestVector& vector) const {
+  return IntersectionFitness().evaluate(trajectories(vector));
+}
+
+DiagnosisEngine MultiPointEvaluator::make_engine(
+    const TestVector& vector) const {
+  return DiagnosisEngine(trajectories(vector));
+}
+
+Point MultiPointEvaluator::observe(const netlist::Circuit& board,
+                                   const TestVector& vector) const {
+  TestVector tv = vector;
+  tv.normalize();
+  mna::AcAnalysis analysis(board);
+  Point observed;
+  observed.reserve(dimension(tv.frequencies_hz.size()));
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const auto response = analysis.sweep(tv.frequencies_hz, nodes_[n]);
+    const Point part = samplers_[n].sample(response, tv.frequencies_hz);
+    observed.insert(observed.end(), part.begin(), part.end());
+  }
+  return observed;
+}
+
+std::vector<AmbiguityGroup> MultiPointEvaluator::ambiguity_groups(
+    const AmbiguityOptions& options) const {
+  // Merge only sites ambiguous in EVERY node's dictionary: intersect the
+  // per-node partitions.
+  std::vector<std::vector<AmbiguityGroup>> per_node;
+  per_node.reserve(dictionaries_.size());
+  for (const auto& dict : dictionaries_) {
+    per_node.push_back(find_ambiguity_groups(dict, options));
+  }
+  const auto& labels = dictionaries_.front().site_labels();
+
+  std::vector<AmbiguityGroup> groups;
+  std::vector<bool> assigned(labels.size(), false);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (assigned[i]) continue;
+    AmbiguityGroup group;
+    group.sites.push_back(labels[i]);
+    assigned[i] = true;
+    for (std::size_t j = i + 1; j < labels.size(); ++j) {
+      if (assigned[j]) continue;
+      const bool everywhere = std::all_of(
+          per_node.begin(), per_node.end(), [&](const auto& partition) {
+            return same_group(partition, labels[i], labels[j]);
+          });
+      if (everywhere) {
+        group.sites.push_back(labels[j]);
+        assigned[j] = true;
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace ftdiag::core

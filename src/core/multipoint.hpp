@@ -1,0 +1,76 @@
+/// \file multipoint.hpp
+/// \brief Multi-test-point extension of the fault-trajectory method.
+///
+/// The paper observes a single output.  Some topologies are structurally
+/// ambiguous from one node (components entering the transfer function only
+/// through a shared product/ratio — see core/ambiguity.hpp); observing a
+/// second node can split such groups.  With m observed nodes and n test
+/// frequencies the signature space becomes R^(m*n): each trajectory point
+/// concatenates the per-node signatures, and the intersection count uses
+/// the n-D near-crossing rules.  Everything downstream (trajectories,
+/// fitness, diagnosis) is unchanged — only the sampler widens.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ambiguity.hpp"
+#include "core/diagnosis.hpp"
+#include "core/test_vector.hpp"
+#include "faults/dictionary.hpp"
+
+namespace ftdiag::core {
+
+/// Owns one fault dictionary per observed node and evaluates test vectors
+/// in the concatenated signature space.
+class MultiPointEvaluator {
+public:
+  /// Builds one dictionary per node (the expensive step).
+  /// \throws ConfigError if nodes is empty or a node does not exist.
+  MultiPointEvaluator(const circuits::CircuitUnderTest& cut,
+                      const faults::FaultUniverse& universe,
+                      std::vector<std::string> observation_nodes,
+                      SamplingPolicy policy = {});
+
+  [[nodiscard]] const std::vector<std::string>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<faults::FaultDictionary>& dictionaries()
+      const {
+    return dictionaries_;
+  }
+  [[nodiscard]] const circuits::CircuitUnderTest& cut() const { return cut_; }
+
+  /// Signature dimension for a test vector of n frequencies.
+  [[nodiscard]] std::size_t dimension(std::size_t n_frequencies) const;
+
+  /// Concatenated trajectories (one per fault site).
+  [[nodiscard]] std::vector<FaultTrajectory> trajectories(
+      const TestVector& vector) const;
+
+  /// Paper fitness 1/(1+I) on the concatenated trajectories.
+  [[nodiscard]] double fitness(const TestVector& vector) const;
+
+  /// Classifier over the concatenated space.
+  [[nodiscard]] DiagnosisEngine make_engine(const TestVector& vector) const;
+
+  /// "Measure" a board: AC-solve it at the test frequencies, observe every
+  /// node, concatenate the golden-relative signature.
+  [[nodiscard]] Point observe(const netlist::Circuit& board,
+                              const TestVector& vector) const;
+
+  /// Ambiguity groups over the *combined* observations — a group here is
+  /// unresolvable even with all observation nodes.
+  [[nodiscard]] std::vector<AmbiguityGroup> ambiguity_groups(
+      const AmbiguityOptions& options = {}) const;
+
+private:
+  circuits::CircuitUnderTest cut_;
+  std::vector<std::string> nodes_;
+  SamplingPolicy policy_;
+  std::vector<faults::FaultDictionary> dictionaries_;
+  std::vector<SpectralSampler> samplers_;  ///< one per node
+};
+
+}  // namespace ftdiag::core

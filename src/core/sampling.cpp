@@ -1,0 +1,59 @@
+#include "core/sampling.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+
+SpectralSampler::SpectralSampler(mna::AcResponse golden, SamplingPolicy policy)
+    : golden_(std::move(golden)), policy_(policy) {
+  if (golden_.empty()) {
+    throw ConfigError("spectral sampler needs a non-empty golden response");
+  }
+}
+
+Point SpectralSampler::raw_point(
+    const mna::AcResponse& response,
+    const std::vector<double>& frequencies_hz) const {
+  FTDIAG_ASSERT(!frequencies_hz.empty(), "sampling needs >= 1 frequency");
+  Point p;
+  p.reserve(policy_.dimension(frequencies_hz.size()));
+  for (double f : frequencies_hz) {
+    const mna::Complex h = response.interpolate(f);
+    switch (policy_.scale) {
+      case MagnitudeScale::kLinear:
+        p.push_back(std::abs(h));
+        break;
+      case MagnitudeScale::kDecibel:
+        p.push_back(linalg::to_db(h));
+        break;
+    }
+  }
+  if (policy_.include_phase) {
+    for (double f : frequencies_hz) {
+      p.push_back(std::arg(response.interpolate(f)));
+    }
+  }
+  return p;
+}
+
+Point SpectralSampler::sample(const mna::AcResponse& response,
+                              const std::vector<double>& frequencies_hz) const {
+  Point p = raw_point(response, frequencies_hz);
+  if (policy_.golden_relative) {
+    const Point g = raw_point(golden_, frequencies_hz);
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] -= g[i];
+  }
+  return p;
+}
+
+Point SpectralSampler::golden_point(
+    const std::vector<double>& frequencies_hz) const {
+  if (policy_.golden_relative) {
+    return Point(policy_.dimension(frequencies_hz.size()), 0.0);
+  }
+  return raw_point(golden_, frequencies_hz);
+}
+
+}  // namespace ftdiag::core

@@ -1,0 +1,63 @@
+/// \file sampling.hpp
+/// \brief The paper's spectral-sampling transformation (its Fig. 2):
+/// sampling a frequency response at the n test frequencies maps the whole
+/// curve to one point of R^n; the golden point is translated to the origin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "mna/response.hpp"
+
+namespace ftdiag::core {
+
+enum class MagnitudeScale : std::uint8_t {
+  kLinear,   ///< |H| (the paper's reading of Fig. 2)
+  kDecibel,  ///< 20*log10|H| — compresses dynamic range
+};
+
+/// How responses become signature points.
+struct SamplingPolicy {
+  MagnitudeScale scale = MagnitudeScale::kLinear;
+  /// Subtract the golden point so nominal sits at the origin (paper §2.2).
+  bool golden_relative = true;
+  /// Append phase (radians) coordinates after the magnitude coordinates,
+  /// doubling the dimension.  An extension; off reproduces the paper.
+  bool include_phase = false;
+
+  /// Signature dimension for n test frequencies.
+  [[nodiscard]] std::size_t dimension(std::size_t n_frequencies) const {
+    return include_phase ? 2 * n_frequencies : n_frequencies;
+  }
+};
+
+/// Maps responses to signature-space points for a fixed golden reference.
+class SpectralSampler {
+public:
+  /// \param golden the nominal response on the dictionary grid.
+  SpectralSampler(mna::AcResponse golden, SamplingPolicy policy);
+
+  [[nodiscard]] const SamplingPolicy& policy() const { return policy_; }
+  [[nodiscard]] const mna::AcResponse& golden() const { return golden_; }
+
+  /// Signature of \p response sampled at \p frequencies_hz.
+  /// Responses are interpolated, so the frequencies need not lie on the
+  /// dictionary grid.
+  [[nodiscard]] Point sample(const mna::AcResponse& response,
+                             const std::vector<double>& frequencies_hz) const;
+
+  /// Signature of the golden response itself (the origin when
+  /// golden_relative is set).
+  [[nodiscard]] Point golden_point(
+      const std::vector<double>& frequencies_hz) const;
+
+private:
+  [[nodiscard]] Point raw_point(const mna::AcResponse& response,
+                                const std::vector<double>& frequencies_hz) const;
+
+  mna::AcResponse golden_;
+  SamplingPolicy policy_;
+};
+
+}  // namespace ftdiag::core

@@ -1,0 +1,143 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "linalg/vector_ops.hpp"
+#include "mna/ac_analysis.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+
+namespace {
+
+/// Log-frequency linear interpolation of a sensitivity curve.
+double value_at(const SensitivityCurve& curve, double f_hz) {
+  const auto& freqs = curve.frequencies_hz;
+  FTDIAG_ASSERT(!freqs.empty(), "empty sensitivity curve");
+  if (f_hz <= freqs.front()) return curve.values.front();
+  if (f_hz >= freqs.back()) return curve.values.back();
+  const auto upper = std::upper_bound(freqs.begin(), freqs.end(), f_hz);
+  const std::size_t hi = static_cast<std::size_t>(upper - freqs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (std::log(f_hz) - std::log(freqs[lo])) /
+                   (std::log(freqs[hi]) - std::log(freqs[lo]));
+  return (1.0 - t) * curve.values[lo] + t * curve.values[hi];
+}
+
+}  // namespace
+
+double SensitivityCurve::peak_frequency() const {
+  FTDIAG_ASSERT(!values.empty(), "empty sensitivity curve");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (std::fabs(values[i]) > std::fabs(values[best])) best = i;
+  }
+  return frequencies_hz[best];
+}
+
+double SensitivityCurve::peak_magnitude() const {
+  FTDIAG_ASSERT(!values.empty(), "empty sensitivity curve");
+  double best = 0.0;
+  for (double v : values) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+std::vector<SensitivityCurve> compute_sensitivities(
+    const circuits::CircuitUnderTest& cut, const mna::FrequencyGrid& grid,
+    const SensitivityOptions& options) {
+  if (!(options.relative_step > 0.0) || options.relative_step > 0.1) {
+    throw ConfigError("sensitivity step must lie in (0, 0.1]");
+  }
+  cut.check();
+  const std::vector<double> freqs = grid.frequencies();
+  const double h = options.relative_step;
+
+  std::vector<SensitivityCurve> curves;
+  curves.reserve(cut.testable.size());
+  for (const auto& name : cut.testable) {
+    netlist::Circuit plus = cut.circuit;
+    plus.scale_value(name, 1.0 + h);
+    netlist::Circuit minus = cut.circuit;
+    minus.scale_value(name, 1.0 - h);
+
+    const auto resp_plus =
+        mna::AcAnalysis(plus).sweep(freqs, cut.output_node);
+    const auto resp_minus =
+        mna::AcAnalysis(minus).sweep(freqs, cut.output_node);
+
+    SensitivityCurve curve;
+    curve.site = name;
+    curve.frequencies_hz = freqs;
+    curve.values.reserve(freqs.size());
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      // d|H|/dln x  ~  (|H(x(1+h))| - |H(x(1-h))|) / (2h)
+      curve.values.push_back(
+          (resp_plus.magnitude(i) - resp_minus.magnitude(i)) / (2.0 * h));
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+double pairwise_separation_angle(const SensitivityCurve& a,
+                                 const SensitivityCurve& b, double f1_hz,
+                                 double f2_hz) {
+  const double ax = value_at(a, f1_hz), ay = value_at(a, f2_hz);
+  const double bx = value_at(b, f1_hz), by = value_at(b, f2_hz);
+  const double na = std::hypot(ax, ay);
+  const double nb = std::hypot(bx, by);
+  if (na <= 0.0 || nb <= 0.0) return 0.0;  // a dead direction separates nothing
+  // Angle between LINES (trajectories run both ways): use |cos|.
+  const double cosine =
+      std::clamp(std::fabs(ax * bx + ay * by) / (na * nb), 0.0, 1.0);
+  return std::acos(cosine) * 180.0 / std::numbers::pi;
+}
+
+double min_separation_angle(const std::vector<SensitivityCurve>& curves,
+                            double f1_hz, double f2_hz) {
+  if (curves.size() < 2) return 90.0;
+  double worst = 90.0;
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    for (std::size_t j = i + 1; j < curves.size(); ++j) {
+      worst = std::min(
+          worst, pairwise_separation_angle(curves[i], curves[j], f1_hz, f2_hz));
+    }
+  }
+  return worst;
+}
+
+std::vector<std::pair<double, double>> screen_frequency_pairs(
+    const std::vector<SensitivityCurve>& curves, std::size_t grid_points,
+    std::size_t count) {
+  if (curves.empty()) throw ConfigError("screening needs sensitivity curves");
+  if (grid_points < 2) throw ConfigError("screening needs >= 2 grid points");
+  const auto& freqs = curves.front().frequencies_hz;
+  const std::vector<double> candidates =
+      linalg::logspace(freqs.front(), freqs.back(), grid_points);
+
+  struct Scored {
+    double angle;
+    double f1, f2;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(grid_points * (grid_points - 1) / 2);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      scored.push_back({min_separation_angle(curves, candidates[i],
+                                             candidates[j]),
+                        candidates[i], candidates[j]});
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.angle > b.angle; });
+
+  std::vector<std::pair<double, double>> out;
+  for (std::size_t i = 0; i < scored.size() && i < count; ++i) {
+    out.emplace_back(scored[i].f1, scored[i].f2);
+  }
+  return out;
+}
+
+}  // namespace ftdiag::core

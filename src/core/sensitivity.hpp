@@ -1,0 +1,63 @@
+/// \file sensitivity.hpp
+/// \brief Component sensitivity analysis of the CUT response.
+///
+/// The normalized sensitivity S_x(f) = d|H(f)| / dln(x) is the local
+/// direction a component's fault trajectory leaves the origin with: the
+/// trajectory point at small deviation d is approximately d * S_x(f_i) per
+/// coordinate.  Sensitivities therefore predict which frequency regions
+/// can separate which components, and seed the GA with informed initial
+/// individuals (frequencies of maximal pairwise sensitivity-direction
+/// spread).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuits/cut.hpp"
+#include "mna/frequency_grid.hpp"
+
+namespace ftdiag::core {
+
+/// |H| sensitivity curve of one component over a frequency grid.
+struct SensitivityCurve {
+  std::string site;
+  std::vector<double> frequencies_hz;
+  /// d|H(f)| / dln(x): positive where increasing x raises the magnitude.
+  std::vector<double> values;
+
+  /// Frequency of the largest |sensitivity|.
+  [[nodiscard]] double peak_frequency() const;
+  [[nodiscard]] double peak_magnitude() const;
+};
+
+struct SensitivityOptions {
+  /// Relative finite-difference step (central differences).
+  double relative_step = 1e-4;
+};
+
+/// Central-difference sensitivity of every testable component of \p cut
+/// over \p grid.  \throws CircuitError / ConfigError on invalid inputs.
+[[nodiscard]] std::vector<SensitivityCurve> compute_sensitivities(
+    const circuits::CircuitUnderTest& cut, const mna::FrequencyGrid& grid,
+    const SensitivityOptions& options = {});
+
+/// Angle (degrees, in [0, 90]) between two components' sensitivity
+/// directions at a frequency pair — 0 means their trajectories leave the
+/// origin collinearly (locally indistinguishable), 90 means orthogonal.
+[[nodiscard]] double pairwise_separation_angle(const SensitivityCurve& a,
+                                               const SensitivityCurve& b,
+                                               double f1_hz, double f2_hz);
+
+/// The minimum pairwise separation angle over all component pairs at
+/// (f1, f2): a cheap surrogate for trajectory separability used to seed
+/// the GA.
+[[nodiscard]] double min_separation_angle(
+    const std::vector<SensitivityCurve>& curves, double f1_hz, double f2_hz);
+
+/// Greedy screen: evaluate min_separation_angle over a coarse frequency
+/// grid and return the best \p count (f1, f2) pairs, best first.
+[[nodiscard]] std::vector<std::pair<double, double>> screen_frequency_pairs(
+    const std::vector<SensitivityCurve>& curves, std::size_t grid_points,
+    std::size_t count);
+
+}  // namespace ftdiag::core

@@ -1,0 +1,76 @@
+/// \file test_vector.hpp
+/// \brief Test vectors (sets of test frequencies) and their evaluation
+/// against a fault dictionary — the object the GA optimizes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/diagnosis.hpp"
+#include "core/fitness.hpp"
+#include "core/sampling.hpp"
+#include "faults/dictionary.hpp"
+
+namespace ftdiag::core {
+
+/// A candidate test stimulus: the frequencies to sample at (ascending).
+struct TestVector {
+  std::vector<double> frequencies_hz;
+
+  /// "f1=1.234kHz f2=5.6kHz".
+  [[nodiscard]] std::string label() const;
+
+  /// Canonical form: sorted ascending (trajectory geometry is invariant to
+  /// frequency order, so (f1,f2) and (f2,f1) are the same vector).
+  void normalize();
+};
+
+/// Evaluation of one test vector.
+struct TestVectorScore {
+  TestVector vector;
+  double fitness = 0.0;
+  std::size_t intersections = 0;   ///< I from the paper fitness's report
+  double separation_margin = 0.0;  ///< normalized min trajectory separation
+};
+
+/// Binds a dictionary + sampling policy + fitness into a reusable evaluator.
+/// This is the GA's objective function: evaluating a candidate never
+/// re-runs fault simulation (responses are interpolated).
+class TestVectorEvaluator {
+public:
+  /// \param fitness the optimization objective; defaults to the paper's
+  /// 1/(1+I) when null.
+  TestVectorEvaluator(const faults::FaultDictionary& dictionary,
+                      SamplingPolicy policy = {},
+                      std::shared_ptr<const TrajectoryFitness> fitness = {});
+
+  /// Trajectories induced by a candidate.
+  [[nodiscard]] std::vector<FaultTrajectory> trajectories(
+      const TestVector& candidate) const;
+
+  /// Objective value of a candidate (larger is better).
+  [[nodiscard]] double fitness(const TestVector& candidate) const;
+
+  /// Full score: fitness + intersection count + separation margin.
+  [[nodiscard]] TestVectorScore score(const TestVector& candidate) const;
+
+  /// Diagnosis engine for an accepted test vector.
+  [[nodiscard]] DiagnosisEngine make_engine(const TestVector& accepted) const;
+
+  /// Sampler bound to the dictionary's golden response.
+  [[nodiscard]] const SpectralSampler& sampler() const { return sampler_; }
+
+  [[nodiscard]] const faults::FaultDictionary& dictionary() const {
+    return dictionary_;
+  }
+  [[nodiscard]] const SamplingPolicy& policy() const { return policy_; }
+
+private:
+  const faults::FaultDictionary& dictionary_;
+  SamplingPolicy policy_;
+  std::shared_ptr<const TrajectoryFitness> fitness_;
+  SpectralSampler sampler_;
+};
+
+}  // namespace ftdiag::core

@@ -1,0 +1,97 @@
+#include "core/trajectory.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+
+FaultTrajectory::FaultTrajectory(std::string site_label,
+                                 std::vector<TrajectoryPoint> points)
+    : site_(std::move(site_label)), points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw ConfigError("trajectory '" + site_ + "' needs at least 2 points");
+  }
+  FTDIAG_ASSERT(
+      std::is_sorted(points_.begin(), points_.end(),
+                     [](const TrajectoryPoint& a, const TrajectoryPoint& b) {
+                       return a.deviation < b.deviation;
+                     }),
+      "trajectory points must be ordered by deviation");
+  const std::size_t dim = points_.front().coords.size();
+  for (const auto& p : points_) {
+    FTDIAG_ASSERT(p.coords.size() == dim, "trajectory dimension mismatch");
+  }
+}
+
+std::vector<Segment> FaultTrajectory::segments() const {
+  std::vector<Segment> out;
+  out.reserve(points_.size() - 1);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    out.push_back({points_[i - 1].coords, points_[i].coords});
+  }
+  return out;
+}
+
+double FaultTrajectory::deviation_on_segment(std::size_t segment_index,
+                                             double t) const {
+  FTDIAG_ASSERT(segment_index + 1 < points_.size(),
+                "segment index out of range");
+  const double d0 = points_[segment_index].deviation;
+  const double d1 = points_[segment_index + 1].deviation;
+  return d0 + t * (d1 - d0);
+}
+
+double FaultTrajectory::length() const {
+  std::vector<Point> pts;
+  pts.reserve(points_.size());
+  for (const auto& p : points_) pts.push_back(p.coords);
+  return polyline_length(pts);
+}
+
+double FaultTrajectory::max_excursion() const {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, norm(p.coords));
+  return best;
+}
+
+std::vector<FaultTrajectory> build_trajectories(
+    const faults::FaultDictionary& dictionary,
+    const std::vector<double>& frequencies_hz, const SamplingPolicy& policy) {
+  const SpectralSampler sampler(dictionary.golden(), policy);
+  const Point golden = sampler.golden_point(frequencies_hz);
+
+  std::vector<FaultTrajectory> out;
+  out.reserve(dictionary.site_labels().size());
+  for (const auto& site : dictionary.site_labels()) {
+    std::vector<TrajectoryPoint> points;
+    const auto& indices = dictionary.entries_for(site);
+    points.reserve(indices.size() + 1);
+    bool golden_inserted = false;
+    for (std::size_t idx : indices) {
+      const auto& entry = dictionary.entries()[idx];
+      if (!golden_inserted && entry.fault.deviation > 0.0) {
+        points.push_back({0.0, golden});
+        golden_inserted = true;
+      }
+      if (entry.fault.deviation == 0.0) {
+        // Universe kept the nominal point explicitly; use the golden
+        // signature for it rather than re-sampling.
+        points.push_back({0.0, golden});
+        golden_inserted = true;
+        continue;
+      }
+      points.push_back(
+          {entry.fault.deviation, sampler.sample(entry.response, frequencies_hz)});
+    }
+    if (!golden_inserted) points.push_back({0.0, golden});
+    std::sort(points.begin(), points.end(),
+              [](const TrajectoryPoint& a, const TrajectoryPoint& b) {
+                return a.deviation < b.deviation;
+              });
+    out.emplace_back(site, std::move(points));
+  }
+  return out;
+}
+
+}  // namespace ftdiag::core

@@ -1,0 +1,64 @@
+/// \file trajectory.hpp
+/// \brief Fault trajectories (the paper's §2.3): the polyline traced in
+/// signature space by one component's deviation sweep, passing through the
+/// origin at 0 % deviation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/sampling.hpp"
+#include "faults/dictionary.hpp"
+
+namespace ftdiag::core {
+
+/// One vertex of a trajectory.
+struct TrajectoryPoint {
+  double deviation = 0.0;  ///< fractional deviation (-0.4 .. +0.4)
+  Point coords;            ///< signature-space position
+};
+
+/// A component's parametric fault trajectory: vertices ordered by
+/// deviation, with the golden point inserted at deviation 0.
+class FaultTrajectory {
+public:
+  FaultTrajectory(std::string site_label, std::vector<TrajectoryPoint> points);
+
+  [[nodiscard]] const std::string& site() const { return site_; }
+  [[nodiscard]] const std::vector<TrajectoryPoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] std::size_t point_count() const { return points_.size(); }
+  [[nodiscard]] std::size_t dimension() const {
+    return points_.empty() ? 0 : points_.front().coords.size();
+  }
+
+  /// Consecutive-vertex segments (point_count() - 1 of them).
+  [[nodiscard]] std::vector<Segment> segments() const;
+
+  /// Segment i spans deviations [points()[i].deviation,
+  /// points()[i+1].deviation]; interpolate a deviation at parameter t.
+  [[nodiscard]] double deviation_on_segment(std::size_t segment_index,
+                                            double t) const;
+
+  /// Polyline length (how far the sweep moves the signature — a quick
+  /// sensitivity indicator for the site).
+  [[nodiscard]] double length() const;
+
+  /// Largest distance of any vertex from the origin.
+  [[nodiscard]] double max_excursion() const;
+
+private:
+  std::string site_;
+  std::vector<TrajectoryPoint> points_;
+};
+
+/// Build one trajectory per dictionary site at the given test frequencies.
+/// The golden signature (origin under the default policy) is inserted at
+/// deviation 0 so each trajectory is connected through nominal.
+[[nodiscard]] std::vector<FaultTrajectory> build_trajectories(
+    const faults::FaultDictionary& dictionary,
+    const std::vector<double>& frequencies_hz, const SamplingPolicy& policy);
+
+}  // namespace ftdiag::core

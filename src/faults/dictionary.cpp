@@ -1,0 +1,78 @@
+#include "faults/dictionary.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag::faults {
+
+FaultDictionary FaultDictionary::build(const circuits::CircuitUnderTest& cut,
+                                       const FaultUniverse& universe) {
+  return build(cut, universe, cut.dictionary_grid.frequencies());
+}
+
+FaultDictionary FaultDictionary::build(
+    const circuits::CircuitUnderTest& cut, const FaultUniverse& universe,
+    const std::vector<double>& frequencies_hz) {
+  const FaultSimulator simulator(cut);
+  mna::AcResponse golden = simulator.golden(frequencies_hz);
+
+  const std::vector<ParametricFault> faults = universe.enumerate();
+  std::vector<DictionaryEntry> entries;
+  entries.reserve(faults.size());
+  log::info(str::format("building fault dictionary: %zu faults x %zu freqs",
+                        faults.size(), frequencies_hz.size()));
+  for (const auto& fault : faults) {
+    entries.push_back({fault, simulator.simulate(fault, frequencies_hz)});
+  }
+  return from_parts(std::move(golden), std::move(entries));
+}
+
+FaultDictionary FaultDictionary::from_parts(
+    mna::AcResponse golden, std::vector<DictionaryEntry> entries) {
+  if (entries.empty()) {
+    throw ConfigError("fault dictionary needs at least one entry");
+  }
+  for (const auto& entry : entries) {
+    if (entry.response.frequencies() != golden.frequencies()) {
+      throw ConfigError("dictionary entry '" + entry.fault.label() +
+                        "' is not on the golden frequency grid");
+    }
+  }
+  FaultDictionary dict;
+  dict.golden_ = std::move(golden);
+  dict.entries_ = std::move(entries);
+
+  // Per-site index, deviations ascending (enumerate() already orders them,
+  // but do not rely on it).
+  for (std::size_t i = 0; i < dict.entries_.size(); ++i) {
+    const std::string label = dict.entries_[i].fault.site.label();
+    auto it = std::find(dict.site_labels_.begin(), dict.site_labels_.end(),
+                        label);
+    if (it == dict.site_labels_.end()) {
+      dict.site_labels_.push_back(label);
+      dict.per_site_.emplace_back();
+      it = dict.site_labels_.end() - 1;
+    }
+    dict.per_site_[static_cast<std::size_t>(it - dict.site_labels_.begin())]
+        .push_back(i);
+  }
+  for (auto& indices : dict.per_site_) {
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      return dict.entries_[a].fault.deviation < dict.entries_[b].fault.deviation;
+    });
+  }
+  return dict;
+}
+
+const std::vector<std::size_t>& FaultDictionary::entries_for(
+    const std::string& site_label) const {
+  for (std::size_t i = 0; i < site_labels_.size(); ++i) {
+    if (site_labels_[i] == site_label) return per_site_[i];
+  }
+  throw ConfigError("dictionary has no site '" + site_label + "'");
+}
+
+}  // namespace ftdiag::faults

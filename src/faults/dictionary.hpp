@@ -1,0 +1,70 @@
+/// \file dictionary.hpp
+/// \brief The fault dictionary: golden response plus one response per
+/// dictionary fault, all on a common frequency grid.
+///
+/// The dictionary is the expensive artefact (one AC sweep per fault).  The
+/// trajectory layer evaluates GA-proposed test frequencies against the
+/// dictionary by interpolation, so the GA never re-runs fault simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faults/fault_simulator.hpp"
+#include "faults/fault_universe.hpp"
+#include "mna/response.hpp"
+
+namespace ftdiag::faults {
+
+/// One dictionary row.
+struct DictionaryEntry {
+  ParametricFault fault;
+  mna::AcResponse response;
+};
+
+class FaultDictionary {
+public:
+  /// Fault-simulate the whole universe on the CUT's dictionary grid.
+  [[nodiscard]] static FaultDictionary build(
+      const circuits::CircuitUnderTest& cut, const FaultUniverse& universe);
+
+  /// Same, with an explicit frequency grid.
+  [[nodiscard]] static FaultDictionary build(
+      const circuits::CircuitUnderTest& cut, const FaultUniverse& universe,
+      const std::vector<double>& frequencies_hz);
+
+  /// Assemble from already-simulated parts (deserialization path).  All
+  /// responses must share the golden grid.
+  /// \throws ConfigError on grid mismatches or an empty entry list.
+  [[nodiscard]] static FaultDictionary from_parts(
+      mna::AcResponse golden, std::vector<DictionaryEntry> entries);
+
+  [[nodiscard]] const mna::AcResponse& golden() const { return golden_; }
+  [[nodiscard]] const std::vector<DictionaryEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t fault_count() const { return entries_.size(); }
+
+  /// Distinct site labels in universe order.
+  [[nodiscard]] const std::vector<std::string>& site_labels() const {
+    return site_labels_;
+  }
+
+  /// Indices into entries() for one site, deviations ascending.
+  /// \throws ConfigError for unknown site labels.
+  [[nodiscard]] const std::vector<std::size_t>& entries_for(
+      const std::string& site_label) const;
+
+  /// The shared frequency grid.
+  [[nodiscard]] const std::vector<double>& frequencies() const {
+    return golden_.frequencies();
+  }
+
+private:
+  mna::AcResponse golden_;
+  std::vector<DictionaryEntry> entries_;
+  std::vector<std::string> site_labels_;
+  std::vector<std::vector<std::size_t>> per_site_;  ///< parallel to labels
+};
+
+}  // namespace ftdiag::faults

@@ -1,0 +1,24 @@
+#include "faults/fault.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace ftdiag::faults {
+
+std::string FaultSite::label() const {
+  if (target == Target::kComponentValue) return component;
+  return component + "." + netlist::opamp_param_name(param);
+}
+
+std::string ParametricFault::label() const {
+  const double pct = deviation * 100.0;
+  // Round to a tenth of a percent for stable labels.
+  const double rounded = std::round(pct * 10.0) / 10.0;
+  if (rounded == std::floor(rounded)) {
+    return site.label() + str::format("%+g%%", rounded);
+  }
+  return site.label() + str::format("%+.1f%%", pct);
+}
+
+}  // namespace ftdiag::faults

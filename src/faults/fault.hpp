@@ -1,0 +1,55 @@
+/// \file fault.hpp
+/// \brief The functional parametric fault model (Calvano et al., FFM):
+/// a fault is a fractional deviation of one component value or one op-amp
+/// macro-model parameter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/component.hpp"
+
+namespace ftdiag::faults {
+
+/// What a fault deviates: a passive component's value or one parameter of
+/// an op-amp macro model.
+struct FaultSite {
+  enum class Target : std::uint8_t { kComponentValue, kOpAmpParam };
+
+  Target target = Target::kComponentValue;
+  std::string component;                         ///< component name
+  netlist::OpAmpParam param = netlist::OpAmpParam::kDcGain;  ///< if kOpAmpParam
+
+  /// "R3" for values, "OA1.gbw" for macro parameters.
+  [[nodiscard]] std::string label() const;
+
+  [[nodiscard]] bool operator==(const FaultSite&) const = default;
+
+  [[nodiscard]] static FaultSite value_of(std::string component_name) {
+    return {Target::kComponentValue, std::move(component_name),
+            netlist::OpAmpParam::kDcGain};
+  }
+  [[nodiscard]] static FaultSite opamp_param_of(std::string opamp_name,
+                                                netlist::OpAmpParam param) {
+    return {Target::kOpAmpParam, std::move(opamp_name), param};
+  }
+};
+
+/// One parametric fault: the site plus a fractional deviation
+/// (+0.30 means the value is 130 % of nominal, the paper's notation "+30%").
+struct ParametricFault {
+  FaultSite site;
+  double deviation = 0.0;
+
+  /// Multiplier applied to the nominal value: 1 + deviation.
+  [[nodiscard]] double multiplier() const { return 1.0 + deviation; }
+
+  [[nodiscard]] bool is_nominal() const { return deviation == 0.0; }
+
+  /// "R3+30%", "C1-10%", "OA1.gbw+20%".
+  [[nodiscard]] std::string label() const;
+
+  [[nodiscard]] bool operator==(const ParametricFault&) const = default;
+};
+
+}  // namespace ftdiag::faults

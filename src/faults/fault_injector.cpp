@@ -1,0 +1,34 @@
+#include "faults/fault_injector.hpp"
+
+namespace ftdiag::faults {
+
+namespace {
+
+void apply(netlist::Circuit& circuit, const ParametricFault& fault) {
+  if (fault.site.target == FaultSite::Target::kComponentValue) {
+    circuit.scale_value(fault.site.component, fault.multiplier());
+  } else {
+    const double nominal =
+        circuit.opamp_param(fault.site.component, fault.site.param);
+    circuit.set_opamp_param(fault.site.component, fault.site.param,
+                            nominal * fault.multiplier());
+  }
+}
+
+}  // namespace
+
+netlist::Circuit inject(const netlist::Circuit& circuit,
+                        const ParametricFault& fault) {
+  netlist::Circuit faulty = circuit;
+  apply(faulty, fault);
+  return faulty;
+}
+
+netlist::Circuit inject_all(const netlist::Circuit& circuit,
+                            const std::vector<ParametricFault>& faults) {
+  netlist::Circuit faulty = circuit;
+  for (const auto& fault : faults) apply(faulty, fault);
+  return faulty;
+}
+
+}  // namespace ftdiag::faults

@@ -1,0 +1,22 @@
+/// \file fault_injector.hpp
+/// \brief Applying parametric faults to circuits.
+#pragma once
+
+#include "faults/fault.hpp"
+#include "netlist/circuit.hpp"
+
+namespace ftdiag::faults {
+
+/// Return a copy of \p circuit with \p fault applied (value or macro-model
+/// parameter multiplied by 1 + deviation).
+/// \throws CircuitError if the site does not exist in the circuit.
+[[nodiscard]] netlist::Circuit inject(const netlist::Circuit& circuit,
+                                      const ParametricFault& fault);
+
+/// Apply several faults at once (multi-fault scenarios; the paper assumes
+/// single faults, the evaluation harness uses this for ablations).
+[[nodiscard]] netlist::Circuit inject_all(
+    const netlist::Circuit& circuit,
+    const std::vector<ParametricFault>& faults);
+
+}  // namespace ftdiag::faults

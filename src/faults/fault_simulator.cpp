@@ -1,0 +1,59 @@
+#include "faults/fault_simulator.hpp"
+
+#include "faults/fault_injector.hpp"
+
+namespace ftdiag::faults {
+
+FaultSimulator::FaultSimulator(circuits::CircuitUnderTest cut)
+    : cut_(std::move(cut)) {
+  cut_.check();
+}
+
+mna::AcResponse FaultSimulator::run(
+    const netlist::Circuit& circuit,
+    const std::vector<double>& frequencies_hz) const {
+  mna::AcAnalysis analysis(circuit);
+  return analysis.sweep(frequencies_hz, cut_.output_node);
+}
+
+mna::AcResponse FaultSimulator::golden(
+    const std::vector<double>& frequencies_hz) const {
+  return run(cut_.circuit, frequencies_hz);
+}
+
+mna::AcResponse FaultSimulator::simulate(
+    const ParametricFault& fault,
+    const std::vector<double>& frequencies_hz) const {
+  return run(inject(cut_.circuit, fault), frequencies_hz);
+}
+
+mna::AcResponse FaultSimulator::simulate_multi(
+    const std::vector<ParametricFault>& faults,
+    const std::vector<double>& frequencies_hz) const {
+  return run(inject_all(cut_.circuit, faults), frequencies_hz);
+}
+
+mna::AcResponse FaultSimulator::measure(
+    const ParametricFault& fault, const std::vector<double>& frequencies_hz,
+    const MeasurementNoise& noise) const {
+  return add_measurement_noise(simulate(fault, frequencies_hz), noise);
+}
+
+std::vector<double> FaultSimulator::dictionary_frequencies() const {
+  return cut_.dictionary_grid.frequencies();
+}
+
+mna::AcResponse add_measurement_noise(const mna::AcResponse& response,
+                                      const MeasurementNoise& noise) {
+  if (noise.sigma <= 0.0) return response;
+  Rng rng(noise.seed);
+  std::vector<mna::Complex> values = response.values();
+  for (auto& v : values) {
+    const double factor = 1.0 + rng.normal(0.0, noise.sigma);
+    // Clamp so a large noise draw cannot flip the magnitude sign.
+    v *= factor > 0.01 ? factor : 0.01;
+  }
+  return mna::AcResponse(response.frequencies(), std::move(values));
+}
+
+}  // namespace ftdiag::faults

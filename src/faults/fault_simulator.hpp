@@ -1,0 +1,68 @@
+/// \file fault_simulator.hpp
+/// \brief Fault simulation: AC responses of faulty variants of a CUT.
+///
+/// Wraps the (circuit, output node) pair and produces AcResponses for the
+/// golden circuit, dictionary faults, and arbitrary "unknown" faults — with
+/// optional measurement-noise injection to emulate bench measurements.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "circuits/cut.hpp"
+#include "faults/fault.hpp"
+#include "mna/ac_analysis.hpp"
+#include "util/rng.hpp"
+
+namespace ftdiag::faults {
+
+/// Multiplicative gaussian amplitude noise applied per measurement sample,
+/// emulating instrumentation error: |H| * (1 + N(0, sigma)).
+struct MeasurementNoise {
+  double sigma = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class FaultSimulator {
+public:
+  /// \throws ConfigError / CircuitError if the CUT is malformed.
+  explicit FaultSimulator(circuits::CircuitUnderTest cut);
+
+  [[nodiscard]] const circuits::CircuitUnderTest& cut() const { return cut_; }
+
+  /// Golden (nominal) response over the given frequencies.
+  [[nodiscard]] mna::AcResponse golden(
+      const std::vector<double>& frequencies_hz) const;
+
+  /// Response of the CUT with one fault applied.
+  [[nodiscard]] mna::AcResponse simulate(
+      const ParametricFault& fault,
+      const std::vector<double>& frequencies_hz) const;
+
+  /// Response with several simultaneous faults.
+  [[nodiscard]] mna::AcResponse simulate_multi(
+      const std::vector<ParametricFault>& faults,
+      const std::vector<double>& frequencies_hz) const;
+
+  /// Emulated measurement: response magnitudes perturbed by multiplicative
+  /// gaussian noise.  Phase is preserved.
+  [[nodiscard]] mna::AcResponse measure(
+      const ParametricFault& fault, const std::vector<double>& frequencies_hz,
+      const MeasurementNoise& noise) const;
+
+  /// Frequencies of the CUT's default dictionary grid.
+  [[nodiscard]] std::vector<double> dictionary_frequencies() const;
+
+private:
+  [[nodiscard]] mna::AcResponse run(
+      const netlist::Circuit& circuit,
+      const std::vector<double>& frequencies_hz) const;
+
+  circuits::CircuitUnderTest cut_;
+};
+
+/// Apply multiplicative gaussian magnitude noise to a response.
+[[nodiscard]] mna::AcResponse add_measurement_noise(
+    const mna::AcResponse& response, const MeasurementNoise& noise);
+
+}  // namespace ftdiag::faults

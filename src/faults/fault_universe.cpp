@@ -1,0 +1,81 @@
+#include "faults/fault_universe.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ftdiag::faults {
+
+std::vector<double> DeviationSpec::deviations() const {
+  if (!(step_fraction > 0.0)) {
+    throw ConfigError("deviation step must be positive");
+  }
+  if (!(max_fraction >= min_fraction)) {
+    throw ConfigError("deviation range is inverted");
+  }
+  if (min_fraction <= -1.0) {
+    throw ConfigError("deviations at or below -100% are not parametric");
+  }
+  std::vector<double> out;
+  const long n_steps =
+      std::lround((max_fraction - min_fraction) / step_fraction);
+  for (long i = 0; i <= n_steps; ++i) {
+    // Round to the grid to avoid 0.30000000000000004-style labels.
+    double d = min_fraction + step_fraction * static_cast<double>(i);
+    d = std::round(d / step_fraction) * step_fraction;
+    if (std::fabs(d) < 1e-9) {
+      if (!include_nominal) continue;
+      d = 0.0;
+    }
+    if (d > max_fraction + 1e-9) break;
+    out.push_back(d);
+  }
+  if (out.empty()) throw ConfigError("deviation spec yields no deviations");
+  return out;
+}
+
+FaultUniverse::FaultUniverse(std::vector<FaultSite> sites, DeviationSpec spec)
+    : sites_(std::move(sites)), spec_(spec) {
+  if (sites_.empty()) throw ConfigError("fault universe has no sites");
+  (void)spec_.deviations();  // validate eagerly
+}
+
+std::vector<ParametricFault> FaultUniverse::enumerate() const {
+  const std::vector<double> devs = spec_.deviations();
+  std::vector<ParametricFault> out;
+  out.reserve(sites_.size() * devs.size());
+  for (const auto& site : sites_) {
+    for (double d : devs) out.push_back({site, d});
+  }
+  return out;
+}
+
+FaultUniverse FaultUniverse::over_testable(
+    const circuits::CircuitUnderTest& cut, const DeviationSpec& spec) {
+  std::vector<FaultSite> sites;
+  sites.reserve(cut.testable.size());
+  for (const auto& name : cut.testable) {
+    sites.push_back(FaultSite::value_of(name));
+  }
+  return FaultUniverse(std::move(sites), spec);
+}
+
+FaultUniverse FaultUniverse::over_opamp_params(
+    const circuits::CircuitUnderTest& cut, const DeviationSpec& spec) {
+  std::vector<FaultSite> sites;
+  for (const auto& c : cut.circuit.components()) {
+    if (c.kind != netlist::ComponentKind::kOpAmp) continue;
+    for (auto param :
+         {netlist::OpAmpParam::kDcGain, netlist::OpAmpParam::kGbw,
+          netlist::OpAmpParam::kRin, netlist::OpAmpParam::kRout}) {
+      sites.push_back(FaultSite::opamp_param_of(c.name, param));
+    }
+  }
+  if (sites.empty()) {
+    throw ConfigError("CUT '" + cut.name +
+                      "' has no macro op-amps for an active-fault universe");
+  }
+  return FaultUniverse(std::move(sites), spec);
+}
+
+}  // namespace ftdiag::faults

@@ -1,0 +1,64 @@
+/// \file fault_universe.hpp
+/// \brief Enumeration of the fault list the dictionary covers.
+///
+/// The paper's universe: every testable passive deviated systematically
+/// within 60 %..140 % of nominal in steps of 10 % (0 % being the golden
+/// circuit, which is excluded from the fault list).
+#pragma once
+
+#include <vector>
+
+#include "circuits/cut.hpp"
+#include "faults/fault.hpp"
+
+namespace ftdiag::faults {
+
+/// Symmetric (or asymmetric) deviation sweep specification.
+struct DeviationSpec {
+  double min_fraction = -0.40;   ///< lower bound (inclusive), e.g. -40 %
+  double max_fraction = +0.40;   ///< upper bound (inclusive)
+  double step_fraction = 0.10;   ///< grid step
+  bool include_nominal = false;  ///< keep the 0 % point in the list
+
+  /// Materialize the deviation grid (ascending).  Values within 1e-9 of
+  /// zero are treated as nominal.  \throws ConfigError on a bad range.
+  [[nodiscard]] std::vector<double> deviations() const;
+
+  /// The paper's spec: -40 %..+40 % in 10 % steps, nominal excluded.
+  [[nodiscard]] static DeviationSpec paper() { return {}; }
+};
+
+/// The full fault list: sites x deviations.
+class FaultUniverse {
+public:
+  FaultUniverse(std::vector<FaultSite> sites, DeviationSpec spec);
+
+  [[nodiscard]] const std::vector<FaultSite>& sites() const { return sites_; }
+  [[nodiscard]] const DeviationSpec& spec() const { return spec_; }
+
+  /// All (site, deviation) pairs, grouped by site in site order, deviations
+  /// ascending within a site.
+  [[nodiscard]] std::vector<ParametricFault> enumerate() const;
+
+  [[nodiscard]] std::size_t fault_count() const {
+    return sites_.size() * spec_.deviations().size();
+  }
+
+  /// Universe over a CUT's testable components (the paper's choice).
+  [[nodiscard]] static FaultUniverse over_testable(
+      const circuits::CircuitUnderTest& cut,
+      const DeviationSpec& spec = DeviationSpec::paper());
+
+  /// Universe over every macro-model parameter of every kOpAmp in the CUT
+  /// (the FFM active-fault extension).  \throws ConfigError if the circuit
+  /// has no macro op-amps.
+  [[nodiscard]] static FaultUniverse over_opamp_params(
+      const circuits::CircuitUnderTest& cut,
+      const DeviationSpec& spec = DeviationSpec::paper());
+
+private:
+  std::vector<FaultSite> sites_;
+  DeviationSpec spec_;
+};
+
+}  // namespace ftdiag::faults

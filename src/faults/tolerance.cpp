@@ -1,0 +1,32 @@
+#include "faults/tolerance.hpp"
+
+#include <algorithm>
+
+namespace ftdiag::faults {
+
+netlist::Circuit perturb_within_tolerance(
+    const netlist::Circuit& circuit, const ToleranceSpec& spec, Rng& rng,
+    const std::vector<std::string>& frozen) {
+  netlist::Circuit out = circuit;
+  for (const auto& c : circuit.components()) {
+    if (!netlist::is_passive(c.kind)) continue;
+    if (std::find(frozen.begin(), frozen.end(), c.name) != frozen.end()) {
+      continue;
+    }
+    const double tol = c.kind == netlist::ComponentKind::kCapacitor
+                           ? spec.capacitor_tolerance
+                           : spec.resistor_tolerance;
+    if (tol <= 0.0) continue;
+    double delta;
+    if (spec.uniform) {
+      delta = rng.uniform(-tol, tol);
+    } else {
+      delta = rng.normal(0.0, tol / 3.0);
+      delta = std::clamp(delta, -tol, tol);
+    }
+    out.scale_value(c.name, 1.0 + delta);
+  }
+  return out;
+}
+
+}  // namespace ftdiag::faults

@@ -1,0 +1,35 @@
+/// \file tolerance.hpp
+/// \brief Monte-Carlo component-tolerance sampling.
+///
+/// Real circuits are built from toleranced parts; the "golden" circuit the
+/// dictionary assumes is only nominal.  The evaluation harness perturbs the
+/// non-faulty components within tolerance to measure how robust trajectory
+/// diagnosis is to that mismatch (an evaluation the paper motivates but
+/// does not report).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace ftdiag::faults {
+
+struct ToleranceSpec {
+  /// Fractional tolerance for resistors/inductors (0.01 == 1 %).
+  double resistor_tolerance = 0.01;
+  /// Fractional tolerance for capacitors.
+  double capacitor_tolerance = 0.05;
+  /// Uniform in [-tol, +tol] when true, else gaussian with sigma = tol/3.
+  bool uniform = true;
+};
+
+/// Return a copy of \p circuit with every passive value perturbed within
+/// tolerance.  Components listed in \p frozen keep their nominal value
+/// (used to keep the faulty component's injected deviation exact).
+[[nodiscard]] netlist::Circuit perturb_within_tolerance(
+    const netlist::Circuit& circuit, const ToleranceSpec& spec, Rng& rng,
+    const std::vector<std::string>& frozen = {});
+
+}  // namespace ftdiag::faults

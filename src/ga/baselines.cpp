@@ -1,0 +1,223 @@
+#include "ga/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ftdiag::ga {
+
+namespace {
+
+/// Append a history sample every `stride` evaluations so convergence plots
+/// have comparable granularity across searchers.
+class HistoryRecorder {
+public:
+  HistoryRecorder(OptimizerResult& result, std::size_t stride)
+      : result_(result), stride_(stride == 0 ? 1 : stride) {}
+
+  void observe(double fitness) {
+    best_ = std::max(best_, fitness);
+    sum_ += fitness;
+    worst_ = std::min(worst_, fitness);
+    ++since_last_;
+    if (since_last_ >= stride_) flush();
+  }
+
+  void flush() {
+    if (since_last_ == 0) return;
+    GenerationStats stats;
+    stats.generation = result_.history.size();
+    stats.best = best_;
+    stats.mean = sum_ / static_cast<double>(since_last_);
+    stats.worst = worst_;
+    stats.evaluations = result_.evaluations;
+    result_.history.push_back(stats);
+    sum_ = 0.0;
+    worst_ = 1.0;
+    since_last_ = 0;
+    // best_ is cumulative on purpose: "best so far" curves.
+  }
+
+private:
+  OptimizerResult& result_;
+  std::size_t stride_;
+  double best_ = 0.0;
+  double worst_ = 1.0;
+  double sum_ = 0.0;
+  std::size_t since_last_ = 0;
+};
+
+}  // namespace
+
+RandomSearch::RandomSearch(std::size_t budget) : budget_(budget) {
+  if (budget_ == 0) throw ConfigError("random search budget must be > 0");
+}
+
+OptimizerResult RandomSearch::optimize(const Objective& objective,
+                                       std::size_t dimensions,
+                                       const GeneBounds& bounds,
+                                       Rng& rng) const {
+  OptimizerResult result;
+  HistoryRecorder recorder(result, budget_ / 16);
+  for (std::size_t i = 0; i < budget_; ++i) {
+    std::vector<double> genes(dimensions);
+    for (double& g : genes) g = rng.uniform(bounds.lo, bounds.hi);
+    const double fitness = objective(genes);
+    ++result.evaluations;
+    recorder.observe(fitness);
+    if (fitness > result.best.fitness || result.best.genes.empty()) {
+      result.best = {std::move(genes), fitness};
+    }
+  }
+  recorder.flush();
+  return result;
+}
+
+GridSearch::GridSearch(std::size_t points_per_axis)
+    : points_per_axis_(points_per_axis) {
+  if (points_per_axis_ < 2) {
+    throw ConfigError("grid search needs >= 2 points per axis");
+  }
+}
+
+OptimizerResult GridSearch::optimize(const Objective& objective,
+                                     std::size_t dimensions,
+                                     const GeneBounds& bounds,
+                                     Rng& rng) const {
+  (void)rng;  // deterministic
+  OptimizerResult result;
+  std::size_t total = 1;
+  for (std::size_t d = 0; d < dimensions; ++d) {
+    total *= points_per_axis_;
+    if (total > 2'000'000) {
+      throw ConfigError("grid search would exceed 2e6 evaluations");
+    }
+  }
+  HistoryRecorder recorder(result, total / 16);
+
+  std::vector<std::size_t> index(dimensions, 0);
+  std::vector<double> genes(dimensions);
+  const double step =
+      bounds.span() / static_cast<double>(points_per_axis_ - 1);
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    std::size_t rem = flat;
+    for (std::size_t d = 0; d < dimensions; ++d) {
+      index[d] = rem % points_per_axis_;
+      rem /= points_per_axis_;
+      genes[d] = bounds.lo + step * static_cast<double>(index[d]);
+    }
+    const double fitness = objective(genes);
+    ++result.evaluations;
+    recorder.observe(fitness);
+    if (fitness > result.best.fitness || result.best.genes.empty()) {
+      result.best = {genes, fitness};
+    }
+  }
+  recorder.flush();
+  return result;
+}
+
+HillClimb::HillClimb(std::size_t budget, std::size_t restarts,
+                     double initial_step)
+    : budget_(budget), restarts_(restarts), initial_step_(initial_step) {
+  if (budget_ == 0 || restarts_ == 0) {
+    throw ConfigError("hill climb needs positive budget and restarts");
+  }
+  if (!(initial_step_ > 0.0)) {
+    throw ConfigError("hill climb step must be positive");
+  }
+}
+
+OptimizerResult HillClimb::optimize(const Objective& objective,
+                                    std::size_t dimensions,
+                                    const GeneBounds& bounds, Rng& rng) const {
+  OptimizerResult result;
+  HistoryRecorder recorder(result, budget_ / 16);
+  const std::size_t per_restart = budget_ / restarts_;
+
+  for (std::size_t restart = 0; restart < restarts_; ++restart) {
+    std::vector<double> current(dimensions);
+    for (double& g : current) g = rng.uniform(bounds.lo, bounds.hi);
+    double current_fitness = objective(current);
+    ++result.evaluations;
+    recorder.observe(current_fitness);
+    if (current_fitness > result.best.fitness || result.best.genes.empty()) {
+      result.best = {current, current_fitness};
+    }
+
+    double step = initial_step_;
+    for (std::size_t i = 1; i < per_restart; ++i) {
+      std::vector<double> next = current;
+      for (double& g : next) g = bounds.clamp(g + rng.normal(0.0, step));
+      const double next_fitness = objective(next);
+      ++result.evaluations;
+      recorder.observe(next_fitness);
+      if (next_fitness >= current_fitness) {
+        current = std::move(next);
+        current_fitness = next_fitness;
+        if (current_fitness > result.best.fitness) {
+          result.best = {current, current_fitness};
+        }
+      } else {
+        step *= 0.98;  // slowly focus the search on rejection
+      }
+    }
+  }
+  recorder.flush();
+  return result;
+}
+
+SimulatedAnnealing::SimulatedAnnealing(std::size_t budget,
+                                       double initial_temperature,
+                                       double cooling, double step)
+    : budget_(budget),
+      initial_temperature_(initial_temperature),
+      cooling_(cooling),
+      step_(step) {
+  if (budget_ == 0) throw ConfigError("annealing budget must be > 0");
+  if (!(initial_temperature_ > 0.0) || !(step_ > 0.0)) {
+    throw ConfigError("annealing temperature and step must be positive");
+  }
+  if (!(cooling_ > 0.0) || !(cooling_ < 1.0)) {
+    throw ConfigError("annealing cooling factor must lie in (0, 1)");
+  }
+}
+
+OptimizerResult SimulatedAnnealing::optimize(const Objective& objective,
+                                             std::size_t dimensions,
+                                             const GeneBounds& bounds,
+                                             Rng& rng) const {
+  OptimizerResult result;
+  HistoryRecorder recorder(result, budget_ / 16);
+
+  std::vector<double> current(dimensions);
+  for (double& g : current) g = rng.uniform(bounds.lo, bounds.hi);
+  double current_fitness = objective(current);
+  ++result.evaluations;
+  recorder.observe(current_fitness);
+  result.best = {current, current_fitness};
+
+  double temperature = initial_temperature_;
+  for (std::size_t i = 1; i < budget_; ++i) {
+    std::vector<double> next = current;
+    for (double& g : next) g = bounds.clamp(g + rng.normal(0.0, step_));
+    const double next_fitness = objective(next);
+    ++result.evaluations;
+    recorder.observe(next_fitness);
+
+    const double delta = next_fitness - current_fitness;
+    if (delta >= 0.0 || rng.uniform() < std::exp(delta / temperature)) {
+      current = std::move(next);
+      current_fitness = next_fitness;
+      if (current_fitness > result.best.fitness) {
+        result.best = {current, current_fitness};
+      }
+    }
+    temperature *= cooling_;
+  }
+  recorder.flush();
+  return result;
+}
+
+}  // namespace ftdiag::ga

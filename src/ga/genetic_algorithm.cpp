@@ -1,0 +1,132 @@
+#include "ga/genetic_algorithm.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ftdiag::ga {
+
+void GaConfig::check() const {
+  if (population_size == 0) throw ConfigError("GA population must be > 0");
+  if (generations == 0) throw ConfigError("GA generations must be > 0");
+  if (reproduction_rate < 0.0 || reproduction_rate > 1.0) {
+    throw ConfigError("GA reproduction rate must lie in [0, 1]");
+  }
+  if (mutation_rate < 0.0 || mutation_rate > 1.0) {
+    throw ConfigError("GA mutation rate must lie in [0, 1]");
+  }
+  if (!(mutation_sigma > 0.0)) {
+    throw ConfigError("GA mutation sigma must be positive");
+  }
+  if (elite_count > population_size) {
+    throw ConfigError("GA elite count exceeds the population");
+  }
+}
+
+GeneticAlgorithm::GeneticAlgorithm(GaConfig config) : config_(config) {
+  config_.check();
+}
+
+OptimizerResult GeneticAlgorithm::optimize(const Objective& objective,
+                                           std::size_t dimensions,
+                                           const GeneBounds& bounds,
+                                           Rng& rng) const {
+  FTDIAG_ASSERT(dimensions >= 1, "GA needs at least one gene");
+  OptimizerResult result;
+
+  auto evaluate = [&](std::vector<double> genes) {
+    Candidate c;
+    c.genes = std::move(genes);
+    c.fitness = objective(c.genes);
+    ++result.evaluations;
+    return c;
+  };
+
+  // Initial population: injected seed genomes first, random fill after.
+  std::vector<Candidate> population;
+  population.reserve(config_.population_size);
+  for (const auto& seed : config_.seed_genomes) {
+    if (population.size() >= config_.population_size) break;
+    FTDIAG_ASSERT(seed.size() == dimensions,
+                  "seed genome dimension mismatch");
+    std::vector<double> genes = seed;
+    for (double& g : genes) g = bounds.clamp(g);
+    population.push_back(evaluate(std::move(genes)));
+  }
+  while (population.size() < config_.population_size) {
+    std::vector<double> genes(dimensions);
+    for (double& g : genes) g = rng.uniform(bounds.lo, bounds.hi);
+    population.push_back(evaluate(std::move(genes)));
+  }
+
+  auto by_fitness_desc = [](const Candidate& a, const Candidate& b) {
+    return a.fitness > b.fitness;
+  };
+
+  auto record_generation = [&](std::size_t generation) {
+    GenerationStats stats;
+    stats.generation = generation;
+    stats.evaluations = result.evaluations;
+    stats.best = 0.0;
+    stats.worst = 1.0;
+    double sum = 0.0;
+    for (const auto& c : population) {
+      stats.best = std::max(stats.best, c.fitness);
+      stats.worst = std::min(stats.worst, c.fitness);
+      sum += c.fitness;
+    }
+    stats.mean = sum / static_cast<double>(population.size());
+    result.history.push_back(stats);
+  };
+
+  std::sort(population.begin(), population.end(), by_fitness_desc);
+  record_generation(0);
+
+  const std::size_t offspring_count = static_cast<std::size_t>(
+      config_.reproduction_rate * static_cast<double>(config_.population_size));
+
+  for (std::size_t gen = 1; gen <= config_.generations; ++gen) {
+    if (config_.target_fitness > 0.0 &&
+        population.front().fitness >= config_.target_fitness) {
+      break;
+    }
+    std::vector<Candidate> next;
+    next.reserve(config_.population_size);
+
+    // Elites survive unchanged (population is sorted best-first).
+    for (std::size_t e = 0; e < config_.elite_count; ++e) {
+      next.push_back(population[e]);
+    }
+
+    // Offspring by selection + crossover + mutation.
+    while (next.size() < config_.elite_count + offspring_count &&
+           next.size() < config_.population_size) {
+      const std::size_t ia = select_parent(population, config_.selection, rng);
+      const std::size_t ib = select_parent(population, config_.selection, rng);
+      std::vector<double> genes = crossover(
+          population[ia].genes, population[ib].genes, config_.crossover, rng);
+      if (rng.bernoulli(config_.mutation_rate)) {
+        // The paper quotes a whole-individual mutation rate; apply a
+        // per-gene gaussian nudge once an individual is chosen to mutate.
+        mutate(genes, config_.mutation, 1.0, config_.mutation_sigma, bounds,
+               rng);
+      }
+      for (double& g : genes) g = bounds.clamp(g);
+      next.push_back(evaluate(std::move(genes)));
+    }
+
+    // Refill with the best remaining survivors.
+    for (std::size_t i = config_.elite_count;
+         next.size() < config_.population_size && i < population.size(); ++i) {
+      next.push_back(population[i]);
+    }
+    population = std::move(next);
+    std::sort(population.begin(), population.end(), by_fitness_desc);
+    record_generation(gen);
+  }
+
+  result.best = population.front();
+  return result;
+}
+
+}  // namespace ftdiag::ga

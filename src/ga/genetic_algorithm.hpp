@@ -1,0 +1,57 @@
+/// \file genetic_algorithm.hpp
+/// \brief The paper's GA (§2.4): 128 individuals, 15 generations,
+/// 50 % reproduction rate, 40 % mutation rate, roulette-wheel selection,
+/// generation count as the stop criterion.
+#pragma once
+
+#include "ga/operators.hpp"
+#include "ga/optimizer.hpp"
+
+namespace ftdiag::ga {
+
+struct GaConfig {
+  std::size_t population_size = 128;
+  std::size_t generations = 15;
+  /// Fraction of the next generation produced by crossover; the remainder
+  /// is filled with the best survivors (generational with elitist refill).
+  double reproduction_rate = 0.5;
+  /// Probability that an offspring undergoes mutation.
+  double mutation_rate = 0.4;
+  /// Gaussian mutation step in gene units (decades of frequency).
+  double mutation_sigma = 0.25;
+  SelectionKind selection = SelectionKind::kRoulette;
+  CrossoverKind crossover = CrossoverKind::kArithmetic;
+  MutationKind mutation = MutationKind::kGaussian;
+  /// Individuals copied unchanged to the next generation.
+  std::size_t elite_count = 1;
+  /// Optional early stop: quit once this fitness is reached (0 disables).
+  double target_fitness = 0.0;
+  /// Genomes injected into the initial population (e.g. from sensitivity
+  /// screening); the remainder is random.  Extra seeds are dropped.
+  std::vector<std::vector<double>> seed_genomes;
+
+  /// The configuration published in the paper.
+  [[nodiscard]] static GaConfig paper() { return GaConfig{}; }
+
+  /// \throws ConfigError on out-of-range rates or a zero population.
+  void check() const;
+};
+
+class GeneticAlgorithm final : public FrequencyOptimizer {
+public:
+  explicit GeneticAlgorithm(GaConfig config = GaConfig::paper());
+
+  [[nodiscard]] OptimizerResult optimize(const Objective& objective,
+                                         std::size_t dimensions,
+                                         const GeneBounds& bounds,
+                                         Rng& rng) const override;
+
+  [[nodiscard]] std::string name() const override { return "ga"; }
+
+  [[nodiscard]] const GaConfig& config() const { return config_; }
+
+private:
+  GaConfig config_;
+};
+
+}  // namespace ftdiag::ga

@@ -1,0 +1,101 @@
+#include "ga/operators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ftdiag::ga {
+
+std::size_t select_parent(const std::vector<Candidate>& population,
+                          SelectionKind kind, Rng& rng,
+                          std::size_t tournament_size) {
+  FTDIAG_ASSERT(!population.empty(), "selection from an empty population");
+  switch (kind) {
+    case SelectionKind::kRoulette: {
+      std::vector<double> weights(population.size());
+      for (std::size_t i = 0; i < population.size(); ++i) {
+        weights[i] = std::max(population[i].fitness, 0.0);
+      }
+      return rng.weighted_index(weights);
+    }
+    case SelectionKind::kTournament: {
+      FTDIAG_ASSERT(tournament_size >= 1, "tournament size must be >= 1");
+      std::size_t best = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(population.size()) - 1));
+      for (std::size_t k = 1; k < tournament_size; ++k) {
+        const std::size_t challenger = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(population.size()) - 1));
+        if (population[challenger].fitness > population[best].fitness) {
+          best = challenger;
+        }
+      }
+      return best;
+    }
+    case SelectionKind::kRank: {
+      // Weight = rank position (worst = 1 .. best = n).
+      std::vector<std::size_t> order(population.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return population[a].fitness < population[b].fitness;
+      });
+      std::vector<double> weights(population.size());
+      for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        weights[order[rank]] = static_cast<double>(rank + 1);
+      }
+      return rng.weighted_index(weights);
+    }
+  }
+  FTDIAG_ASSERT(false, "unknown selection kind");
+  return 0;
+}
+
+std::vector<double> crossover(const std::vector<double>& a,
+                              const std::vector<double>& b, CrossoverKind kind,
+                              Rng& rng, double blend_alpha) {
+  FTDIAG_ASSERT(a.size() == b.size(), "crossover parents of different length");
+  std::vector<double> child(a.size());
+  switch (kind) {
+    case CrossoverKind::kArithmetic: {
+      const double w = rng.uniform();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        child[i] = w * a[i] + (1.0 - w) * b[i];
+      }
+      break;
+    }
+    case CrossoverKind::kUniform: {
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        child[i] = rng.bernoulli(0.5) ? a[i] : b[i];
+      }
+      break;
+    }
+    case CrossoverKind::kBlend: {
+      // BLX-alpha: sample uniformly in the interval extended by alpha.
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double lo = std::min(a[i], b[i]);
+        const double hi = std::max(a[i], b[i]);
+        const double pad = blend_alpha * (hi - lo);
+        child[i] = rng.uniform(lo - pad, hi + pad);
+      }
+      break;
+    }
+  }
+  return child;
+}
+
+void mutate(std::vector<double>& genes, MutationKind kind, double per_gene_rate,
+            double gaussian_sigma, const GeneBounds& bounds, Rng& rng) {
+  for (double& gene : genes) {
+    if (!rng.bernoulli(per_gene_rate)) continue;
+    switch (kind) {
+      case MutationKind::kGaussian:
+        gene = bounds.clamp(gene + rng.normal(0.0, gaussian_sigma));
+        break;
+      case MutationKind::kUniformReset:
+        gene = rng.uniform(bounds.lo, bounds.hi);
+        break;
+    }
+  }
+}
+
+}  // namespace ftdiag::ga

@@ -1,0 +1,36 @@
+/// \file operators.hpp
+/// \brief Genetic operators: selection, crossover, mutation.
+///
+/// The paper's GA uses roulette-wheel selection; tournament and rank
+/// selection are provided for ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ga/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace ftdiag::ga {
+
+enum class SelectionKind : std::uint8_t { kRoulette, kTournament, kRank };
+enum class CrossoverKind : std::uint8_t { kArithmetic, kUniform, kBlend };
+enum class MutationKind : std::uint8_t { kGaussian, kUniformReset };
+
+/// Pick one parent index from a scored population.
+[[nodiscard]] std::size_t select_parent(const std::vector<Candidate>& population,
+                                        SelectionKind kind, Rng& rng,
+                                        std::size_t tournament_size = 3);
+
+/// Produce one child genome from two parents.
+[[nodiscard]] std::vector<double> crossover(const std::vector<double>& a,
+                                            const std::vector<double>& b,
+                                            CrossoverKind kind, Rng& rng,
+                                            double blend_alpha = 0.5);
+
+/// Mutate a genome in place.  Each gene mutates independently with
+/// probability \p per_gene_rate.
+void mutate(std::vector<double>& genes, MutationKind kind, double per_gene_rate,
+            double gaussian_sigma, const GeneBounds& bounds, Rng& rng);
+
+}  // namespace ftdiag::ga

@@ -1,0 +1,11 @@
+#include "ga/optimizer.hpp"
+
+#include <algorithm>
+
+namespace ftdiag::ga {
+
+double GeneBounds::clamp(double gene) const {
+  return std::clamp(gene, lo, hi);
+}
+
+}  // namespace ftdiag::ga

@@ -1,0 +1,66 @@
+/// \file optimizer.hpp
+/// \brief Common interface for the test-frequency optimizers: the paper's
+/// GA and the baseline searchers it is benchmarked against.
+///
+/// Genomes are real vectors in log10-frequency space (one gene per test
+/// frequency), bounded by the CUT's recommended band.  Working in decades
+/// makes mutation steps scale-free across the audio band.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ftdiag::ga {
+
+/// Objective: maps a genome (log10 frequencies) to a fitness (larger is
+/// better, in (0, 1]).
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Inclusive per-gene bounds in log10(Hz).
+struct GeneBounds {
+  double lo = 1.0;  ///< 10 Hz
+  double hi = 5.0;  ///< 100 kHz
+
+  [[nodiscard]] double clamp(double gene) const;
+  [[nodiscard]] double span() const { return hi - lo; }
+};
+
+/// One scored genome.
+struct Candidate {
+  std::vector<double> genes;
+  double fitness = 0.0;
+};
+
+/// Per-generation (or per-batch) statistics for convergence plots.
+struct GenerationStats {
+  std::size_t generation = 0;
+  double best = 0.0;
+  double mean = 0.0;
+  double worst = 0.0;
+  std::size_t evaluations = 0;  ///< cumulative objective calls so far
+};
+
+struct OptimizerResult {
+  Candidate best;
+  std::size_t evaluations = 0;
+  std::vector<GenerationStats> history;
+};
+
+/// Interface all searchers implement.
+class FrequencyOptimizer {
+public:
+  virtual ~FrequencyOptimizer() = default;
+
+  /// Run the search.  \p dimensions is the number of test frequencies.
+  [[nodiscard]] virtual OptimizerResult optimize(const Objective& objective,
+                                                 std::size_t dimensions,
+                                                 const GeneBounds& bounds,
+                                                 Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace ftdiag::ga

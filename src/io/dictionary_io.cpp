@@ -1,0 +1,142 @@
+#include "io/dictionary_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace ftdiag::io {
+
+namespace {
+
+constexpr const char* kValueTarget = "value";
+constexpr const char* kOpAmpTarget = "opamp";
+
+void write_response(csv::Writer& writer, const std::string& site,
+                    const std::string& target, const std::string& param,
+                    double deviation, const mna::AcResponse& response) {
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    writer.row({site, target, param, str::format("%.10g", deviation),
+                str::format("%.10g", response.frequency(i)),
+                str::format("%.12g", response.value(i).real()),
+                str::format("%.12g", response.value(i).imag())});
+  }
+}
+
+netlist::OpAmpParam parse_param(const std::string& name) {
+  for (auto param : {netlist::OpAmpParam::kDcGain, netlist::OpAmpParam::kGbw,
+                     netlist::OpAmpParam::kRin, netlist::OpAmpParam::kRout}) {
+    if (name == netlist::opamp_param_name(param)) return param;
+  }
+  throw ParseError("unknown op-amp parameter '" + name + "'");
+}
+
+}  // namespace
+
+void save_dictionary(std::ostream& os,
+                     const faults::FaultDictionary& dictionary) {
+  csv::Writer writer(os);
+  writer.row({"site", "target", "param", "deviation", "freq_hz", "re", "im"});
+  write_response(writer, "", "", "", 0.0, dictionary.golden());
+  for (const auto& entry : dictionary.entries()) {
+    const auto& site = entry.fault.site;
+    const bool is_value =
+        site.target == faults::FaultSite::Target::kComponentValue;
+    write_response(writer, site.component,
+                   is_value ? kValueTarget : kOpAmpTarget,
+                   is_value ? "" : netlist::opamp_param_name(site.param),
+                   entry.fault.deviation, entry.response);
+  }
+}
+
+void save_dictionary_file(const std::string& path,
+                          const faults::FaultDictionary& dictionary) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  save_dictionary(out, dictionary);
+  if (!out) throw Error("failed writing '" + path + "'");
+}
+
+faults::FaultDictionary load_dictionary(const std::string& text) {
+  const csv::Table table = csv::parse(text);
+  const std::size_t c_site = table.column("site");
+  const std::size_t c_target = table.column("target");
+  const std::size_t c_param = table.column("param");
+  const std::size_t c_dev = table.column("deviation");
+  const std::size_t c_freq = table.column("freq_hz");
+  const std::size_t c_re = table.column("re");
+  const std::size_t c_im = table.column("im");
+
+  // Group rows by (site, target, param, deviation), keeping file order of
+  // first appearance.
+  struct Series {
+    faults::ParametricFault fault;
+    bool is_golden = false;
+    std::vector<double> freqs;
+    std::vector<mna::Complex> values;
+  };
+  std::vector<Series> series;
+  std::map<std::string, std::size_t> index;
+
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size()) {
+      throw ParseError("dictionary row has wrong field count");
+    }
+    const std::string key = row[c_site] + "|" + row[c_target] + "|" +
+                            row[c_param] + "|" + row[c_dev];
+    auto it = index.find(key);
+    if (it == index.end()) {
+      Series s;
+      if (row[c_site].empty()) {
+        s.is_golden = true;
+      } else if (row[c_target] == kValueTarget) {
+        s.fault.site = faults::FaultSite::value_of(row[c_site]);
+        s.fault.deviation = units::parse(row[c_dev]);
+      } else if (row[c_target] == kOpAmpTarget) {
+        s.fault.site =
+            faults::FaultSite::opamp_param_of(row[c_site],
+                                              parse_param(row[c_param]));
+        s.fault.deviation = units::parse(row[c_dev]);
+      } else {
+        throw ParseError("unknown fault target '" + row[c_target] + "'");
+      }
+      it = index.emplace(key, series.size()).first;
+      series.push_back(std::move(s));
+    }
+    Series& s = series[it->second];
+    s.freqs.push_back(units::parse(row[c_freq]));
+    s.values.emplace_back(units::parse(row[c_re]), units::parse(row[c_im]));
+  }
+
+  mna::AcResponse golden;
+  std::vector<faults::DictionaryEntry> entries;
+  bool have_golden = false;
+  for (auto& s : series) {
+    mna::AcResponse response(std::move(s.freqs), std::move(s.values));
+    if (s.is_golden) {
+      if (have_golden) throw ParseError("duplicate golden series");
+      golden = std::move(response);
+      have_golden = true;
+    } else {
+      entries.push_back({s.fault, std::move(response)});
+    }
+  }
+  if (!have_golden) throw ParseError("dictionary file has no golden series");
+  return faults::FaultDictionary::from_parts(std::move(golden),
+                                             std::move(entries));
+}
+
+faults::FaultDictionary load_dictionary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open dictionary file '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return load_dictionary(ss.str());
+}
+
+}  // namespace ftdiag::io

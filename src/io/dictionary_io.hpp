@@ -1,0 +1,40 @@
+/// \file dictionary_io.hpp
+/// \brief Lossless fault-dictionary serialization.
+///
+/// Building a dictionary is the expensive part of the flow (one AC sweep
+/// per fault); saving it lets the CLI and test programs split the
+/// "simulate once" and "search/diagnose many times" phases.  The format is
+/// long-form CSV with full complex values:
+///
+/// ```
+/// site,target,param,deviation,freq_hz,re,im
+/// ,,,0,10,0.9999,-0.0123          <- empty site = the golden response
+/// R3,value,,-0.4,10,0.9983,-0.0119
+/// OA1,opamp,gbw,0.1,10,...
+/// ```
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "faults/dictionary.hpp"
+
+namespace ftdiag::io {
+
+/// Write the full dictionary (golden + every fault response).
+void save_dictionary(std::ostream& os,
+                     const faults::FaultDictionary& dictionary);
+
+/// Convenience: save to a file. \throws ftdiag::Error on I/O failure.
+void save_dictionary_file(const std::string& path,
+                          const faults::FaultDictionary& dictionary);
+
+/// Parse a dictionary previously written by save_dictionary.
+/// \throws ParseError / ConfigError on malformed content.
+[[nodiscard]] faults::FaultDictionary load_dictionary(const std::string& text);
+
+/// Convenience: load from a file.
+[[nodiscard]] faults::FaultDictionary load_dictionary_file(
+    const std::string& path);
+
+}  // namespace ftdiag::io

@@ -1,0 +1,39 @@
+/// \file exporters.hpp
+/// \brief CSV / gnuplot export of responses, dictionaries and trajectories
+/// so the figure benches can dump plot-ready data next to their tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/trajectory.hpp"
+#include "faults/dictionary.hpp"
+#include "mna/response.hpp"
+
+namespace ftdiag::io {
+
+/// Columns: freq_hz, mag, mag_db, phase_deg.
+void write_response_csv(std::ostream& os, const mna::AcResponse& response);
+
+/// Columns: freq_hz, golden_mag, then one magnitude column per fault
+/// (header = fault label).  This is the Fig. 1 data file.
+void write_dictionary_csv(std::ostream& os,
+                          const faults::FaultDictionary& dictionary);
+
+/// Columns: site, deviation, then x0..x{d-1} signature coordinates.
+/// This is the Fig. 3 data file.
+void write_trajectories_csv(std::ostream& os,
+                            const std::vector<core::FaultTrajectory>& trajectories);
+
+/// A self-contained gnuplot script plotting 2-D trajectories (one line per
+/// site, origin marked) from the CSV written by write_trajectories_csv.
+/// \throws ConfigError if the trajectories are not 2-D.
+[[nodiscard]] std::string trajectory_gnuplot_script(
+    const std::vector<core::FaultTrajectory>& trajectories,
+    const std::string& csv_path, const std::string& title);
+
+/// Write a string to a file. \throws ftdiag::Error on I/O failure.
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace ftdiag::io

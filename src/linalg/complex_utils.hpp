@@ -1,0 +1,45 @@
+/// \file complex_utils.hpp
+/// \brief Complex-number helpers shared by AC analysis and the sampler.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+namespace ftdiag::linalg {
+
+using Complex = std::complex<double>;
+
+/// Magnitude in decibels: 20*log10(|z|).  |z| == 0 maps to -inf.
+[[nodiscard]] inline double to_db(const Complex& z) {
+  return 20.0 * std::log10(std::abs(z));
+}
+
+/// Magnitude in decibels of a real gain.
+[[nodiscard]] inline double to_db(double magnitude) {
+  return 20.0 * std::log10(std::fabs(magnitude));
+}
+
+/// Inverse of to_db.
+[[nodiscard]] inline double from_db(double db) {
+  return std::pow(10.0, db / 20.0);
+}
+
+/// Phase in degrees in (-180, 180].
+[[nodiscard]] inline double phase_deg(const Complex& z) {
+  return std::arg(z) * 180.0 / std::numbers::pi;
+}
+
+/// Laplace variable for a physical frequency in hertz: s = j*2*pi*f.
+[[nodiscard]] inline Complex s_of_hz(double hz) {
+  return Complex(0.0, 2.0 * std::numbers::pi * hz);
+}
+
+/// Approximate complex equality with absolute tolerance on both parts.
+[[nodiscard]] inline bool approx_equal(const Complex& a, const Complex& b,
+                                       double tol) {
+  return std::fabs(a.real() - b.real()) <= tol &&
+         std::fabs(a.imag() - b.imag()) <= tol;
+}
+
+}  // namespace ftdiag::linalg

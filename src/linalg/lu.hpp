@@ -1,0 +1,60 @@
+/// \file lu.hpp
+/// \brief Dense LU factorization with partial pivoting.
+///
+/// The factorization object owns the packed LU matrix plus the pivot
+/// permutation and can be reused for many right-hand sides — the AC sweep
+/// factors once per frequency and solves for each independent source.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ftdiag::linalg {
+
+/// LU factorization PA = LU (L unit-diagonal, packed in place).
+template <typename T>
+class LuFactorization {
+public:
+  /// Factor \p a (copied). \throws ftdiag::NumericError if \p a is not
+  /// square or is numerically singular.
+  explicit LuFactorization(Matrix<T> a);
+
+  /// Solve A x = b.  \p b must have size n.
+  [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const;
+
+  /// Solve in place for several right-hand sides (columns of B).
+  [[nodiscard]] Matrix<T> solve(const Matrix<T>& b) const;
+
+  /// Determinant of A (product of U diagonal times pivot sign).
+  [[nodiscard]] T determinant() const;
+
+  /// Inverse of A (n solves against identity).
+  [[nodiscard]] Matrix<T> inverse() const;
+
+  /// Cheap condition estimate: max|U_ii| / min|U_ii|.  A large value warns
+  /// of an ill-conditioned MNA system (e.g. badly scaled components).
+  [[nodiscard]] double diagonal_condition_estimate() const;
+
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+  /// Number of row swaps performed (parity gives the pivot sign).
+  [[nodiscard]] std::size_t swap_count() const { return swaps_; }
+
+private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;  ///< row i of PA is row perm_[i] of A
+  std::size_t swaps_ = 0;
+};
+
+/// Convenience: factor and solve a single system.
+template <typename T>
+[[nodiscard]] std::vector<T> solve_dense(Matrix<T> a, const std::vector<T>& b) {
+  return LuFactorization<T>(std::move(a)).solve(b);
+}
+
+extern template class LuFactorization<double>;
+extern template class LuFactorization<std::complex<double>>;
+
+}  // namespace ftdiag::linalg

@@ -1,0 +1,153 @@
+/// \file matrix.hpp
+/// \brief Dense row-major matrix over double or std::complex<double>.
+///
+/// Sized for MNA systems (tens to a few hundreds of unknowns); the layout is
+/// a single contiguous buffer, and all hot paths (LU, mat-vec) run over it
+/// linearly.
+#pragma once
+
+#include <complex>
+#include <initializer_list>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ftdiag::linalg {
+
+template <typename T>
+class Matrix {
+public:
+  Matrix() = default;
+
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  /// Build from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ == 0 ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      FTDIAG_ASSERT(row.size() == cols_, "ragged matrix initializer");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  /// n x n identity.
+  [[nodiscard]] static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] bool square() const { return rows_ == cols_; }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) {
+    FTDIAG_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const {
+    FTDIAG_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw pointer to row r (contiguous cols() entries).
+  [[nodiscard]] T* row_data(std::size_t r) { return data_.data() + r * cols_; }
+  [[nodiscard]] const T* row_data(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+
+  /// Reset all entries to zero, keeping the shape.  Used per-frequency by
+  /// the MNA assembler to avoid reallocation.
+  void set_zero() { std::fill(data_.begin(), data_.end(), T{}); }
+
+  /// Reshape to rows x cols and zero.  Reuses the buffer when possible.
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
+  [[nodiscard]] Matrix transpose() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    }
+    return t;
+  }
+
+  [[nodiscard]] Matrix operator+(const Matrix& other) const {
+    FTDIAG_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                  "matrix shape mismatch in operator+");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+    return out;
+  }
+
+  [[nodiscard]] Matrix operator-(const Matrix& other) const {
+    FTDIAG_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                  "matrix shape mismatch in operator-");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+    return out;
+  }
+
+  [[nodiscard]] Matrix operator*(const T& scalar) const {
+    Matrix out = *this;
+    for (auto& v : out.data_) v *= scalar;
+    return out;
+  }
+
+  [[nodiscard]] Matrix operator*(const Matrix& other) const {
+    FTDIAG_ASSERT(cols_ == other.rows_, "matrix shape mismatch in operator*");
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const T a = (*this)(r, k);
+        if (a == T{}) continue;
+        const T* brow = other.row_data(k);
+        T* orow = out.row_data(r);
+        for (std::size_t c = 0; c < other.cols_; ++c) orow[c] += a * brow[c];
+      }
+    }
+    return out;
+  }
+
+  /// Matrix-vector product.
+  [[nodiscard]] std::vector<T> operator*(const std::vector<T>& x) const {
+    FTDIAG_ASSERT(cols_ == x.size(), "matrix/vector shape mismatch");
+    std::vector<T> y(rows_, T{});
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const T* row = row_data(r);
+      T acc{};
+      for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+      y[r] = acc;
+    }
+    return y;
+  }
+
+  [[nodiscard]] bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+  /// Maximum absolute entry (infinity "element" norm).
+  [[nodiscard]] double max_abs() const {
+    double m = 0.0;
+    for (const auto& v : data_) m = std::max(m, std::abs(v));
+    return m;
+  }
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using RealMatrix = Matrix<double>;
+using ComplexMatrix = Matrix<std::complex<double>>;
+
+}  // namespace ftdiag::linalg

@@ -1,0 +1,232 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag::linalg {
+
+template <typename T>
+CsrMatrix<T>::CsrMatrix(const CooMatrix<T>& coo)
+    : rows_(coo.rows()), cols_(coo.cols()) {
+  // Sum duplicates through an ordered map per row.
+  std::vector<std::map<std::size_t, T>> row_maps(rows_);
+  for (const auto& e : coo.entries()) row_maps[e.row][e.col] += e.value;
+
+  row_start_.assign(rows_ + 1, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (const auto& [c, v] : row_maps[r]) {
+      if (v == T{}) continue;
+      col_.push_back(c);
+      values_.push_back(v);
+    }
+    row_start_[r + 1] = values_.size();
+  }
+}
+
+template <typename T>
+std::vector<T> CsrMatrix<T>::multiply(const std::vector<T>& x) const {
+  FTDIAG_ASSERT(x.size() == cols_, "csr multiply shape mismatch");
+  std::vector<T> y(rows_, T{});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    T acc{};
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      acc += values_[k] * x[col_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+template <typename T>
+Matrix<T> CsrMatrix<T>::to_dense() const {
+  Matrix<T> m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      m(r, col_[k]) = values_[k];
+    }
+  }
+  return m;
+}
+
+template <typename T>
+std::vector<std::pair<std::size_t, T>> CsrMatrix<T>::row(std::size_t r) const {
+  FTDIAG_ASSERT(r < rows_, "csr row out of range");
+  std::vector<std::pair<std::size_t, T>> out;
+  for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+    out.emplace_back(col_[k], values_[k]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Binary search for a column in an ascending row list; returns index or
+/// npos.
+template <typename RowEntry>
+std::size_t find_col(const std::vector<RowEntry>& row, std::size_t col) {
+  std::size_t lo = 0, hi = row.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (row[mid].col < col) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < row.size() && row[lo].col == col) return lo;
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+template <typename T>
+SparseLu<T>::SparseLu(const CooMatrix<T>& a, double pivot_threshold) {
+  if (a.rows() != a.cols()) {
+    throw NumericError("sparse LU requires a square matrix");
+  }
+  FTDIAG_ASSERT(pivot_threshold > 0.0 && pivot_threshold <= 1.0,
+                "pivot threshold must lie in (0, 1]");
+  n_ = a.rows();
+  factor_.assign(n_, {});
+  perm_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  // Working rows as ordered (col, value) lists, duplicates summed.
+  {
+    std::vector<std::map<std::size_t, T>> row_maps(n_);
+    for (const auto& e : a.entries()) row_maps[e.row][e.col] += e.value;
+    for (std::size_t r = 0; r < n_; ++r) {
+      factor_[r].reserve(row_maps[r].size());
+      for (const auto& [c, v] : row_maps[r]) {
+        if (v != T{}) factor_[r].push_back({c, v});
+      }
+    }
+  }
+
+  double max_entry = 0.0;
+  for (const auto& row : factor_) {
+    for (const auto& e : row) max_entry = std::max(max_entry, std::abs(e.value));
+  }
+  if (max_entry == 0.0) throw NumericError("sparse LU of the zero matrix");
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Candidate pivots: rows >= k with an entry in column k.
+    double best_mag = 0.0;
+    for (std::size_t r = k; r < n_; ++r) {
+      const std::size_t idx = find_col(factor_[r], k);
+      if (idx == static_cast<std::size_t>(-1)) continue;
+      best_mag = std::max(best_mag, std::abs(factor_[r][idx].value));
+    }
+    if (best_mag <= 1e-13 * max_entry) {
+      throw NumericError(
+          str::format("singular matrix in sparse LU at column %zu", k));
+    }
+    // Threshold pivoting: prefer the sparsest acceptable row to limit fill.
+    std::size_t pivot_row = static_cast<std::size_t>(-1);
+    std::size_t pivot_len = static_cast<std::size_t>(-1);
+    for (std::size_t r = k; r < n_; ++r) {
+      const std::size_t idx = find_col(factor_[r], k);
+      if (idx == static_cast<std::size_t>(-1)) continue;
+      if (std::abs(factor_[r][idx].value) >= pivot_threshold * best_mag &&
+          factor_[r].size() < pivot_len) {
+        pivot_row = r;
+        pivot_len = factor_[r].size();
+      }
+    }
+    FTDIAG_ASSERT(pivot_row != static_cast<std::size_t>(-1),
+                  "sparse LU failed to select a pivot");
+    if (pivot_row != k) {
+      std::swap(factor_[k], factor_[pivot_row]);
+      std::swap(perm_[k], perm_[pivot_row]);
+    }
+
+    const std::size_t pk = find_col(factor_[k], k);
+    const T pivot = factor_[k][pk].value;
+
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const std::size_t idx = find_col(factor_[r], k);
+      if (idx == static_cast<std::size_t>(-1)) continue;
+      const T multiplier = factor_[r][idx].value / pivot;
+      // Row_r := Row_r - multiplier * Row_k  (columns > k),
+      // and store the multiplier in column k (the L part).
+      std::vector<RowEntry> merged;
+      merged.reserve(factor_[r].size() + factor_[k].size());
+      std::size_t ir = 0, ik = pk + 1;  // skip pivot col in row k
+      const auto& rk = factor_[k];
+      const auto& rr = factor_[r];
+      while (ir < rr.size() || ik < rk.size()) {
+        // Entries of row r at columns <= k pass through (L part + done cols),
+        // except column k which becomes the multiplier.
+        if (ir < rr.size() &&
+            (ik >= rk.size() || rr[ir].col < rk[ik].col)) {
+          RowEntry e = rr[ir++];
+          if (e.col == k) e.value = multiplier;
+          merged.push_back(e);
+        } else if (ik < rk.size() &&
+                   (ir >= rr.size() || rk[ik].col < rr[ir].col)) {
+          merged.push_back({rk[ik].col, -multiplier * rk[ik].value});
+          ++ik;
+        } else {
+          RowEntry e = rr[ir];
+          e.value = rr[ir].value - multiplier * rk[ik].value;
+          ++ir;
+          ++ik;
+          if (std::abs(e.value) > 0.0) merged.push_back(e);
+        }
+      }
+      factor_[r] = std::move(merged);
+    }
+  }
+}
+
+template <typename T>
+std::vector<T> SparseLu<T>::solve(const std::vector<T>& b) const {
+  FTDIAG_ASSERT(b.size() == n_, "rhs size mismatch in sparse LU solve");
+  std::vector<T> y(n_);
+  for (std::size_t i = 0; i < n_; ++i) y[i] = b[perm_[i]];
+  // Forward substitution: L has unit diagonal, entries at col < row.
+  for (std::size_t r = 0; r < n_; ++r) {
+    T acc = y[r];
+    for (const auto& e : factor_[r]) {
+      if (e.col >= r) break;
+      acc -= e.value * y[e.col];
+    }
+    y[r] = acc;
+  }
+  // Back substitution with U (col >= row).
+  for (std::size_t rr = n_; rr-- > 0;) {
+    T acc = y[rr];
+    T diag{};
+    for (const auto& e : factor_[rr]) {
+      if (e.col < rr) continue;
+      if (e.col == rr) {
+        diag = e.value;
+      } else {
+        acc -= e.value * y[e.col];
+      }
+    }
+    FTDIAG_ASSERT(diag != T{}, "zero diagonal in sparse back substitution");
+    y[rr] = acc / diag;
+  }
+  return y;
+}
+
+template <typename T>
+std::size_t SparseLu<T>::factor_nnz() const {
+  std::size_t count = 0;
+  for (const auto& row : factor_) count += row.size();
+  return count;
+}
+
+template class CooMatrix<double>;
+template class CooMatrix<std::complex<double>>;
+template class CsrMatrix<double>;
+template class CsrMatrix<std::complex<double>>;
+template class SparseLu<double>;
+template class SparseLu<std::complex<double>>;
+
+}  // namespace ftdiag::linalg

@@ -1,0 +1,78 @@
+/// \file vector_ops.hpp
+/// \brief Free-function vector helpers (norms, residuals, linspace).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ftdiag::linalg {
+
+/// Euclidean norm.
+template <typename T>
+[[nodiscard]] double norm2(const std::vector<T>& v) {
+  double acc = 0.0;
+  for (const auto& x : v) {
+    const double m = std::abs(x);
+    acc += m * m;
+  }
+  return std::sqrt(acc);
+}
+
+/// Infinity norm.
+template <typename T>
+[[nodiscard]] double norm_inf(const std::vector<T>& v) {
+  double m = 0.0;
+  for (const auto& x : v) m = std::max(m, static_cast<double>(std::abs(x)));
+  return m;
+}
+
+/// a - b, elementwise.
+template <typename T>
+[[nodiscard]] std::vector<T> subtract(const std::vector<T>& a,
+                                      const std::vector<T>& b) {
+  FTDIAG_ASSERT(a.size() == b.size(), "vector size mismatch in subtract");
+  std::vector<T> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+/// Dot product (no conjugation).
+template <typename T>
+[[nodiscard]] T dot(const std::vector<T>& a, const std::vector<T>& b) {
+  FTDIAG_ASSERT(a.size() == b.size(), "vector size mismatch in dot");
+  T acc{};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// n points linearly spaced over [lo, hi] inclusive (n >= 2), or {lo} if
+/// n == 1.
+[[nodiscard]] inline std::vector<double> linspace(double lo, double hi,
+                                                  std::size_t n) {
+  FTDIAG_ASSERT(n >= 1, "linspace needs at least one point");
+  std::vector<double> out(n);
+  if (n == 1) {
+    out[0] = lo;
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;  // exact endpoint despite rounding
+  return out;
+}
+
+/// n points logarithmically spaced over [lo, hi] (both > 0).
+[[nodiscard]] inline std::vector<double> logspace(double lo, double hi,
+                                                  std::size_t n) {
+  FTDIAG_ASSERT(lo > 0.0 && hi > 0.0, "logspace endpoints must be positive");
+  std::vector<double> out = linspace(std::log10(lo), std::log10(hi), n);
+  for (double& v : out) v = std::pow(10.0, v);
+  if (n >= 2) out.back() = hi;
+  return out;
+}
+
+}  // namespace ftdiag::linalg

@@ -1,0 +1,73 @@
+#include "mna/ac_analysis.hpp"
+
+#include <algorithm>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+
+namespace {
+
+bool has_ac_source(const netlist::Circuit& circuit) {
+  for (const auto& c : circuit.components()) {
+    if ((c.kind == netlist::ComponentKind::kVoltageSource ||
+         c.kind == netlist::ComponentKind::kCurrentSource) &&
+        c.ac_magnitude != 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+AcAnalysis::AcAnalysis(const netlist::Circuit& circuit) : system_(circuit) {
+  if (!has_ac_source(system_.circuit())) {
+    throw CircuitError(
+        "AC analysis requires at least one source with a non-zero AC "
+        "magnitude");
+  }
+}
+
+std::vector<Complex> AcAnalysis::solve(double frequency_hz) const {
+  const std::size_t n = system_.unknown_count();
+  linalg::CooMatrix<Complex> matrix(n, n);
+  std::vector<Complex> rhs(n, Complex{});
+  system_.assemble_ac(linalg::s_of_hz(frequency_hz), matrix, rhs);
+  if (n <= kDenseLimit) {
+    return linalg::LuFactorization<Complex>(matrix.to_dense()).solve(rhs);
+  }
+  return linalg::SparseLu<Complex>(matrix).solve(rhs);
+}
+
+Complex AcAnalysis::node_voltage(double frequency_hz,
+                                 const std::string& node) const {
+  const std::size_t unknown = system_.node_unknown(node);
+  if (unknown == kNoUnknown) return Complex{};  // ground
+  return solve(frequency_hz)[unknown];
+}
+
+AcResponse AcAnalysis::sweep(const FrequencyGrid& grid,
+                             const std::string& node) const {
+  return sweep(grid.frequencies(), node);
+}
+
+AcResponse AcAnalysis::sweep(const std::vector<double>& frequencies_hz,
+                             const std::string& node) const {
+  FTDIAG_ASSERT(std::is_sorted(frequencies_hz.begin(), frequencies_hz.end()),
+                "sweep frequencies must ascend");
+  const std::size_t unknown = system_.node_unknown(node);
+  std::vector<Complex> values;
+  values.reserve(frequencies_hz.size());
+  for (double f : frequencies_hz) {
+    if (unknown == kNoUnknown) {
+      values.emplace_back(0.0, 0.0);
+    } else {
+      values.push_back(solve(f)[unknown]);
+    }
+  }
+  return AcResponse(frequencies_hz, std::move(values));
+}
+
+}  // namespace ftdiag::mna

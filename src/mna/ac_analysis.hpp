@@ -1,0 +1,49 @@
+/// \file ac_analysis.hpp
+/// \brief Small-signal AC analysis (frequency sweep) on an MNA system.
+///
+/// The solver picks a dense or sparse complex LU automatically based on the
+/// unknown count.  Results are node voltages relative to the AC excitation
+/// defined by the circuit's sources (phasor superposition is handled by the
+/// single linear solve).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mna/frequency_grid.hpp"
+#include "mna/response.hpp"
+#include "mna/system.hpp"
+
+namespace ftdiag::mna {
+
+class AcAnalysis {
+public:
+  /// \throws CircuitError if the circuit is invalid or has no AC source.
+  explicit AcAnalysis(const netlist::Circuit& circuit);
+
+  /// Solve the full unknown vector at one frequency.
+  /// \throws NumericError if the MNA matrix is singular at that frequency.
+  [[nodiscard]] std::vector<Complex> solve(double frequency_hz) const;
+
+  /// Voltage phasor of a named node at one frequency.
+  [[nodiscard]] Complex node_voltage(double frequency_hz,
+                                     const std::string& node) const;
+
+  /// Sweep a node over a grid.
+  [[nodiscard]] AcResponse sweep(const FrequencyGrid& grid,
+                                 const std::string& node) const;
+
+  /// Sweep a node over explicit frequencies (ascending).
+  [[nodiscard]] AcResponse sweep(const std::vector<double>& frequencies_hz,
+                                 const std::string& node) const;
+
+  [[nodiscard]] const MnaSystem& system() const { return system_; }
+
+  /// Unknown count above which the sparse path is used.
+  static constexpr std::size_t kDenseLimit = 150;
+
+private:
+  MnaSystem system_;
+};
+
+}  // namespace ftdiag::mna

@@ -1,0 +1,31 @@
+#include "mna/dc_analysis.hpp"
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+
+DcAnalysis::DcAnalysis(const netlist::Circuit& circuit) : system_(circuit) {}
+
+std::vector<double> DcAnalysis::solve() const {
+  const std::size_t n = system_.unknown_count();
+  linalg::CooMatrix<double> matrix(n, n);
+  std::vector<double> rhs(n, 0.0);
+  system_.assemble_dc(matrix, rhs);
+  if (n <= 150) {
+    return linalg::LuFactorization<double>(matrix.to_dense()).solve(rhs);
+  }
+  return linalg::SparseLu<double>(matrix).solve(rhs);
+}
+
+double DcAnalysis::node_voltage(const std::string& node) const {
+  const std::size_t unknown = system_.node_unknown(node);
+  if (unknown == kNoUnknown) return 0.0;
+  return solve()[unknown];
+}
+
+double DcAnalysis::branch_current(const std::string& component) const {
+  return solve()[system_.branch_unknown(component)];
+}
+
+}  // namespace ftdiag::mna

@@ -1,0 +1,36 @@
+/// \file dc_analysis.hpp
+/// \brief DC operating point of a linear network (capacitors open,
+/// inductors short, sources at their DC values).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mna/system.hpp"
+
+namespace ftdiag::mna {
+
+class DcAnalysis {
+public:
+  /// \throws CircuitError if the circuit fails validation.
+  explicit DcAnalysis(const netlist::Circuit& circuit);
+
+  /// Solve the DC unknown vector (node voltages + branch currents).
+  /// \throws NumericError on a singular system (e.g. a floating node
+  /// isolated by capacitors).
+  [[nodiscard]] std::vector<double> solve() const;
+
+  /// DC voltage of a named node.
+  [[nodiscard]] double node_voltage(const std::string& node) const;
+
+  /// DC branch current of a component with a current unknown
+  /// (voltage sources, inductors, ...).
+  [[nodiscard]] double branch_current(const std::string& component) const;
+
+  [[nodiscard]] const MnaSystem& system() const { return system_; }
+
+private:
+  MnaSystem system_;
+};
+
+}  // namespace ftdiag::mna

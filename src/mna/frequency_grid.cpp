@@ -1,0 +1,33 @@
+#include "mna/frequency_grid.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+
+std::vector<double> FrequencyGrid::frequencies() const {
+  if (points == 0) throw ConfigError("frequency grid needs at least 1 point");
+  if (!(start_hz > 0.0) && kind != SweepKind::kLinear) {
+    throw ConfigError("log sweeps require a positive start frequency");
+  }
+  if (!(stop_hz >= start_hz)) {
+    throw ConfigError("sweep stop frequency below start frequency");
+  }
+  switch (kind) {
+    case SweepKind::kLinear:
+      return linalg::linspace(start_hz, stop_hz, points);
+    case SweepKind::kLog:
+      return linalg::logspace(start_hz, stop_hz, points);
+    case SweepKind::kDecade: {
+      const double decades = std::log10(stop_hz / start_hz);
+      const std::size_t total = static_cast<std::size_t>(
+          std::ceil(decades * static_cast<double>(points))) + 1;
+      return linalg::logspace(start_hz, stop_hz, total < 2 ? 2 : total);
+    }
+  }
+  throw ConfigError("unknown sweep kind");
+}
+
+}  // namespace ftdiag::mna

@@ -1,0 +1,40 @@
+/// \file frequency_grid.hpp
+/// \brief Frequency grids for AC sweeps (linear / logarithmic / per-decade).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ftdiag::mna {
+
+enum class SweepKind : std::uint8_t { kLinear, kLog, kDecade };
+
+/// Description of an AC sweep axis.
+struct FrequencyGrid {
+  SweepKind kind = SweepKind::kLog;
+  double start_hz = 10.0;
+  double stop_hz = 100.0e3;
+  /// kLinear / kLog: total number of points.  kDecade: points per decade.
+  std::size_t points = 200;
+
+  /// Materialize the grid (ascending, inclusive endpoints).
+  /// \throws ftdiag::ConfigError on invalid ranges.
+  [[nodiscard]] std::vector<double> frequencies() const;
+
+  [[nodiscard]] static FrequencyGrid log_sweep(double start_hz, double stop_hz,
+                                               std::size_t points) {
+    return {SweepKind::kLog, start_hz, stop_hz, points};
+  }
+  [[nodiscard]] static FrequencyGrid linear_sweep(double start_hz,
+                                                  double stop_hz,
+                                                  std::size_t points) {
+    return {SweepKind::kLinear, start_hz, stop_hz, points};
+  }
+  [[nodiscard]] static FrequencyGrid per_decade(double start_hz,
+                                                double stop_hz,
+                                                std::size_t points_per_decade) {
+    return {SweepKind::kDecade, start_hz, stop_hz, points_per_decade};
+  }
+};
+
+}  // namespace ftdiag::mna

@@ -1,0 +1,68 @@
+/// \file response.hpp
+/// \brief Frequency-response container with interpolation helpers.
+///
+/// An AcResponse is what fault simulation stores per circuit: the complex
+/// transfer value at each grid frequency.  The spectral sampler evaluates
+/// responses at arbitrary (GA-chosen) frequencies via log-frequency
+/// interpolation, so the dictionary does not need to be rebuilt per GA step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/complex_utils.hpp"
+
+namespace ftdiag::mna {
+
+using linalg::Complex;
+
+/// Complex response samples over an ascending frequency grid.
+class AcResponse {
+public:
+  AcResponse() = default;
+  AcResponse(std::vector<double> frequencies_hz, std::vector<Complex> values);
+
+  [[nodiscard]] std::size_t size() const { return freq_hz_.size(); }
+  [[nodiscard]] bool empty() const { return freq_hz_.empty(); }
+
+  [[nodiscard]] const std::vector<double>& frequencies() const {
+    return freq_hz_;
+  }
+  [[nodiscard]] const std::vector<Complex>& values() const { return values_; }
+
+  [[nodiscard]] double frequency(std::size_t i) const { return freq_hz_[i]; }
+  [[nodiscard]] const Complex& value(std::size_t i) const { return values_[i]; }
+
+  /// Linear magnitude at grid index i.
+  [[nodiscard]] double magnitude(std::size_t i) const;
+
+  /// Magnitude in dB at grid index i.
+  [[nodiscard]] double magnitude_db(std::size_t i) const;
+
+  /// Phase in degrees at grid index i.
+  [[nodiscard]] double phase_deg(std::size_t i) const;
+
+  /// Complex value at an arbitrary frequency by interpolating magnitude
+  /// (log-log) and unwrapped phase (linear in log f) between neighbouring
+  /// grid points.  Clamps outside the grid.  \throws NumericError if empty.
+  [[nodiscard]] Complex interpolate(double frequency_hz) const;
+
+  /// Linear magnitude at an arbitrary frequency (via interpolate()).
+  [[nodiscard]] double magnitude_at(double frequency_hz) const;
+
+  /// Magnitude in dB at an arbitrary frequency.
+  [[nodiscard]] double magnitude_db_at(double frequency_hz) const;
+
+  /// Largest |difference| to another response on the common grid.
+  /// \throws NumericError if grids differ.
+  [[nodiscard]] double max_deviation(const AcResponse& other) const;
+
+  /// Index of the maximum-magnitude sample.
+  [[nodiscard]] std::size_t peak_index() const;
+
+private:
+  std::vector<double> freq_hz_;
+  std::vector<Complex> values_;
+};
+
+}  // namespace ftdiag::mna

@@ -1,0 +1,248 @@
+#include "mna/system.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag::mna {
+
+using netlist::Component;
+using netlist::ComponentKind;
+using netlist::NodeId;
+
+namespace {
+
+/// Kinds that introduce an auxiliary branch-current unknown.
+bool needs_branch_current(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kVoltageSource:
+    case ComponentKind::kVcvs:
+    case ComponentKind::kCcvs:
+    case ComponentKind::kInductor:
+    case ComponentKind::kIdealOpAmp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+MnaSystem::MnaSystem(const netlist::Circuit& circuit)
+    : circuit_(circuit.elaborated()) {
+  circuit_.validate_or_throw();
+
+  node_to_unknown_.assign(circuit_.node_count(), kNoUnknown);
+  std::size_t next = 0;
+  for (NodeId n = 1; n < circuit_.node_count(); ++n) {
+    node_to_unknown_[n] = next++;
+  }
+  for (const auto& c : circuit_.components()) {
+    if (needs_branch_current(c.kind)) {
+      branch_of_component_.emplace(c.name, next++);
+    }
+  }
+  unknown_count_ = next;
+  if (unknown_count_ == 0) {
+    throw CircuitError("circuit has no unknowns (only ground?)");
+  }
+}
+
+std::size_t MnaSystem::node_unknown(NodeId node) const {
+  FTDIAG_ASSERT(node < node_to_unknown_.size(), "node id out of range");
+  return node_to_unknown_[node];
+}
+
+std::size_t MnaSystem::node_unknown(const std::string& node_name) const {
+  return node_unknown(circuit_.node_index(node_name));
+}
+
+std::size_t MnaSystem::branch_unknown(const std::string& name) const {
+  const auto it = branch_of_component_.find(name);
+  if (it == branch_of_component_.end()) {
+    throw CircuitError("component '" + name +
+                                "' has no branch-current unknown");
+  }
+  return it->second;
+}
+
+template <typename T>
+void MnaSystem::stamp_all(Complex s, bool ac_excitation,
+                          linalg::CooMatrix<T>& matrix,
+                          std::vector<T>& rhs) const {
+  FTDIAG_ASSERT(matrix.rows() == unknown_count_ &&
+                    matrix.cols() == unknown_count_,
+                "assembly matrix has the wrong shape");
+  FTDIAG_ASSERT(rhs.size() == unknown_count_, "rhs has the wrong size");
+
+  // add() helpers that skip ground (kNoUnknown) rows/columns.
+  auto add = [&](std::size_t r, std::size_t c, const T& v) {
+    if (r == kNoUnknown || c == kNoUnknown) return;
+    matrix.add(r, c, v);
+  };
+  auto add_rhs = [&](std::size_t r, const T& v) {
+    if (r == kNoUnknown) return;
+    rhs[r] += v;
+  };
+  // Convert a complex admittance/impedance coefficient to T.
+  auto coeff = [](const Complex& z) -> T {
+    if constexpr (std::is_same_v<T, Complex>) {
+      return z;
+    } else {
+      return z.real();
+    }
+  };
+  // Excitation value of an independent source.
+  auto excitation = [&](const Component& c) -> T {
+    if constexpr (std::is_same_v<T, Complex>) {
+      if (ac_excitation) {
+        const double ph = c.ac_phase_deg * std::numbers::pi / 180.0;
+        return Complex(c.ac_magnitude * std::cos(ph),
+                       c.ac_magnitude * std::sin(ph));
+      }
+      return Complex(c.dc, 0.0);
+    } else {
+      (void)ac_excitation;
+      return c.dc;
+    }
+  };
+
+  for (const auto& c : circuit_.components()) {
+    switch (c.kind) {
+      case ComponentKind::kResistor: {
+        const T g = coeff(Complex(1.0 / c.value, 0.0));
+        const std::size_t a = node_unknown(c.nodes[0]);
+        const std::size_t b = node_unknown(c.nodes[1]);
+        add(a, a, g);
+        add(b, b, g);
+        add(a, b, -g);
+        add(b, a, -g);
+        break;
+      }
+      case ComponentKind::kCapacitor: {
+        const T y = coeff(s * c.value);
+        if (y == T{}) break;  // DC: open circuit
+        const std::size_t a = node_unknown(c.nodes[0]);
+        const std::size_t b = node_unknown(c.nodes[1]);
+        add(a, a, y);
+        add(b, b, y);
+        add(a, b, -y);
+        add(b, a, -y);
+        break;
+      }
+      case ComponentKind::kInductor: {
+        // Branch formulation: v_a - v_b - s*L*i = 0; KCL gets +/- i.
+        const std::size_t a = node_unknown(c.nodes[0]);
+        const std::size_t b = node_unknown(c.nodes[1]);
+        const std::size_t i = branch_of_component_.at(c.name);
+        add(a, i, T{1});
+        add(b, i, T{-1});
+        add(i, a, T{1});
+        add(i, b, T{-1});
+        const T z = coeff(s * c.value);
+        if (z != T{}) add(i, i, -z);
+        break;
+      }
+      case ComponentKind::kVoltageSource: {
+        const std::size_t a = node_unknown(c.nodes[0]);
+        const std::size_t b = node_unknown(c.nodes[1]);
+        const std::size_t i = branch_of_component_.at(c.name);
+        add(a, i, T{1});
+        add(b, i, T{-1});
+        add(i, a, T{1});
+        add(i, b, T{-1});
+        add_rhs(i, excitation(c));
+        break;
+      }
+      case ComponentKind::kCurrentSource: {
+        // Positive current flows from node+ through the source to node-.
+        const std::size_t a = node_unknown(c.nodes[0]);
+        const std::size_t b = node_unknown(c.nodes[1]);
+        const T value = excitation(c);
+        add_rhs(a, -value);
+        add_rhs(b, value);
+        break;
+      }
+      case ComponentKind::kVcvs: {
+        // v_p - v_n - gain*(v_cp - v_cn) = 0
+        const std::size_t p = node_unknown(c.nodes[0]);
+        const std::size_t n = node_unknown(c.nodes[1]);
+        const std::size_t cp = node_unknown(c.nodes[2]);
+        const std::size_t cn = node_unknown(c.nodes[3]);
+        const std::size_t i = branch_of_component_.at(c.name);
+        add(p, i, T{1});
+        add(n, i, T{-1});
+        add(i, p, T{1});
+        add(i, n, T{-1});
+        add(i, cp, coeff(Complex(-c.value, 0.0)));
+        add(i, cn, coeff(Complex(c.value, 0.0)));
+        break;
+      }
+      case ComponentKind::kVccs: {
+        // i(p->n) = g * (v_cp - v_cn)
+        const std::size_t p = node_unknown(c.nodes[0]);
+        const std::size_t n = node_unknown(c.nodes[1]);
+        const std::size_t cp = node_unknown(c.nodes[2]);
+        const std::size_t cn = node_unknown(c.nodes[3]);
+        const T g = coeff(Complex(c.value, 0.0));
+        add(p, cp, g);
+        add(p, cn, -g);
+        add(n, cp, -g);
+        add(n, cn, g);
+        break;
+      }
+      case ComponentKind::kCccs: {
+        // i(p->n) = gain * i_control
+        const std::size_t p = node_unknown(c.nodes[0]);
+        const std::size_t n = node_unknown(c.nodes[1]);
+        const std::size_t j = branch_of_component_.at(c.control);
+        const T gain = coeff(Complex(c.value, 0.0));
+        add(p, j, gain);
+        add(n, j, -gain);
+        break;
+      }
+      case ComponentKind::kCcvs: {
+        // v_p - v_n - r * i_control = 0
+        const std::size_t p = node_unknown(c.nodes[0]);
+        const std::size_t n = node_unknown(c.nodes[1]);
+        const std::size_t j = branch_of_component_.at(c.control);
+        const std::size_t i = branch_of_component_.at(c.name);
+        add(p, i, T{1});
+        add(n, i, T{-1});
+        add(i, p, T{1});
+        add(i, n, T{-1});
+        add(i, j, coeff(Complex(-c.value, 0.0)));
+        break;
+      }
+      case ComponentKind::kIdealOpAmp: {
+        // Nullor: output current unknown enforces v_in+ = v_in-.
+        const std::size_t inp = node_unknown(c.nodes[0]);
+        const std::size_t inn = node_unknown(c.nodes[1]);
+        const std::size_t out = node_unknown(c.nodes[2]);
+        const std::size_t i = branch_of_component_.at(c.name);
+        add(out, i, T{1});
+        add(i, inp, T{1});
+        add(i, inn, T{-1});
+        break;
+      }
+      case ComponentKind::kOpAmp:
+        FTDIAG_ASSERT(false,
+                      "macro op-amp reached the stamper without elaboration");
+        break;
+    }
+  }
+}
+
+void MnaSystem::assemble_ac(Complex s, linalg::CooMatrix<Complex>& matrix,
+                            std::vector<Complex>& rhs) const {
+  stamp_all<Complex>(s, /*ac_excitation=*/true, matrix, rhs);
+}
+
+void MnaSystem::assemble_dc(linalg::CooMatrix<double>& matrix,
+                            std::vector<double>& rhs) const {
+  stamp_all<double>(Complex(0.0, 0.0), /*ac_excitation=*/false, matrix, rhs);
+}
+
+}  // namespace ftdiag::mna

@@ -1,0 +1,77 @@
+/// \file system.hpp
+/// \brief Modified Nodal Analysis system: unknown numbering and element
+/// stamps.
+///
+/// Unknowns are the non-ground node voltages followed by auxiliary branch
+/// currents (voltage sources, VCVS, CCVS, inductors, ideal op-amps).  The
+/// same structure assembles the complex AC system at any Laplace point
+/// s = jw and the real DC system (s = 0, DC source values).
+#pragma once
+
+#include <complex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/complex_utils.hpp"
+#include "linalg/sparse.hpp"
+#include "netlist/circuit.hpp"
+
+namespace ftdiag::mna {
+
+using linalg::Complex;
+
+/// Index value meaning "ground / no unknown".
+inline constexpr std::size_t kNoUnknown = static_cast<std::size_t>(-1);
+
+class MnaSystem {
+public:
+  /// Builds the unknown map for \p circuit.  Macro op-amps are elaborated
+  /// internally; the elaborated circuit is retained and queryable.
+  /// \throws CircuitError if the circuit fails structural validation.
+  explicit MnaSystem(const netlist::Circuit& circuit);
+
+  /// The elaborated circuit the stamps operate on.
+  [[nodiscard]] const netlist::Circuit& circuit() const { return circuit_; }
+
+  /// Total unknown count (node voltages + branch currents).
+  [[nodiscard]] std::size_t unknown_count() const { return unknown_count_; }
+
+  /// Number of node-voltage unknowns.
+  [[nodiscard]] std::size_t node_unknown_count() const {
+    return circuit_.node_count() - 1;
+  }
+
+  /// Unknown index of a node id (kNoUnknown for ground).
+  [[nodiscard]] std::size_t node_unknown(netlist::NodeId node) const;
+
+  /// Unknown index of a node referenced by name.
+  [[nodiscard]] std::size_t node_unknown(const std::string& node_name) const;
+
+  /// Unknown index of the branch current of a component (voltage source,
+  /// VCVS, CCVS, inductor, ideal op-amp). \throws CircuitError if the
+  /// component has no branch unknown.
+  [[nodiscard]] std::size_t branch_unknown(const std::string& name) const;
+
+  /// Assemble the complex MNA system at Laplace point \p s with AC phasor
+  /// excitation (magnitude/phase of each source's AC spec).
+  void assemble_ac(Complex s, linalg::CooMatrix<Complex>& matrix,
+                   std::vector<Complex>& rhs) const;
+
+  /// Assemble the real DC system: capacitors open, inductors short,
+  /// sources at their DC values.
+  void assemble_dc(linalg::CooMatrix<double>& matrix,
+                   std::vector<double>& rhs) const;
+
+private:
+  template <typename T>
+  void stamp_all(Complex s, bool ac_excitation,
+                 linalg::CooMatrix<T>& matrix, std::vector<T>& rhs) const;
+
+  netlist::Circuit circuit_;
+  std::vector<std::size_t> node_to_unknown_;  ///< by NodeId
+  std::unordered_map<std::string, std::size_t> branch_of_component_;
+  std::size_t unknown_count_ = 0;
+};
+
+}  // namespace ftdiag::mna

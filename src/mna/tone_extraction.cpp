@@ -1,0 +1,84 @@
+#include "mna/tone_extraction.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+
+double ToneEstimate::phase_deg() const {
+  return std::arg(phasor) * 180.0 / std::numbers::pi;
+}
+
+ToneEstimate extract_tone(const std::vector<double>& time_s,
+                          const std::vector<double>& samples,
+                          double frequency_hz, double window_fraction) {
+  if (time_s.size() != samples.size()) {
+    throw ConfigError("tone extraction: time/sample length mismatch");
+  }
+  if (time_s.size() < 8) {
+    throw ConfigError("tone extraction: too few samples");
+  }
+  if (!(frequency_hz > 0.0)) {
+    throw ConfigError("tone extraction: frequency must be positive");
+  }
+  if (!(window_fraction > 0.0) || window_fraction > 1.0) {
+    throw ConfigError("tone extraction: window fraction must be in (0, 1]");
+  }
+
+  const double dt = time_s[1] - time_s[0];
+  if (!(dt > 0.0)) throw ConfigError("tone extraction: non-increasing time");
+  // Uniformity check on every sample (tolerates accumulated rounding).
+  const double span = time_s.back() - time_s.front();
+  for (std::size_t i = 0; i < time_s.size(); ++i) {
+    const double expected = time_s.front() + dt * static_cast<double>(i);
+    if (std::fabs(time_s[i] - expected) > 1e-6 * span + 1e-15) {
+      throw ConfigError("tone extraction: non-uniform sampling");
+    }
+  }
+  if (frequency_hz >= 0.5 / dt) {
+    throw ConfigError("tone extraction: frequency above Nyquist");
+  }
+
+  // Window: whole periods fitting in the record tail.
+  const std::size_t tail = static_cast<std::size_t>(
+      window_fraction * static_cast<double>(time_s.size()));
+  const double period_samples = 1.0 / (frequency_hz * dt);
+  const std::size_t whole_periods =
+      static_cast<std::size_t>(static_cast<double>(tail) / period_samples);
+  if (whole_periods == 0) {
+    throw ConfigError(
+        "tone extraction: window shorter than one period of the tone");
+  }
+  const std::size_t window = static_cast<std::size_t>(
+      std::llround(static_cast<double>(whole_periods) * period_samples));
+  const std::size_t begin = time_s.size() - window;
+
+  const double w = 2.0 * std::numbers::pi * frequency_hz;
+  std::complex<double> acc{};
+  for (std::size_t i = begin; i < time_s.size(); ++i) {
+    const double angle = w * time_s[i];
+    acc += samples[i] * std::complex<double>(std::cos(angle), -std::sin(angle));
+  }
+  acc *= 2.0 / static_cast<double>(window);
+
+  ToneEstimate estimate;
+  estimate.frequency_hz = frequency_hz;
+  // For x(t) = Im(P * e^{jwt}) the correlation yields -jP; undo it.
+  estimate.phasor = std::complex<double>(0.0, 1.0) * acc;
+  return estimate;
+}
+
+std::vector<ToneEstimate> extract_tones(
+    const std::vector<double>& time_s, const std::vector<double>& samples,
+    const std::vector<double>& frequencies_hz, double window_fraction) {
+  std::vector<ToneEstimate> out;
+  out.reserve(frequencies_hz.size());
+  for (double f : frequencies_hz) {
+    out.push_back(extract_tone(time_s, samples, f, window_fraction));
+  }
+  return out;
+}
+
+}  // namespace ftdiag::mna

@@ -1,0 +1,50 @@
+/// \file tone_extraction.hpp
+/// \brief Single-bin DFT (Goertzel-style) tone extraction from sampled
+/// waveforms.
+///
+/// Closes the loop between the AC-domain test vector and a physical
+/// measurement: the optimized frequencies are applied as a multi-tone
+/// stimulus (mna/transient.hpp), the output waveform is recorded, and the
+/// per-tone complex amplitude is recovered here — the |H(f_i)| samples the
+/// trajectory method needs, obtained the way a bench instrument would.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace ftdiag::mna {
+
+/// Result of extracting one tone.
+struct ToneEstimate {
+  double frequency_hz = 0.0;
+  std::complex<double> phasor;  ///< amplitude*e^{j*phase} of the sine
+
+  /// Peak amplitude of the tone.
+  [[nodiscard]] double amplitude() const { return std::abs(phasor); }
+  [[nodiscard]] double phase_deg() const;
+};
+
+/// Extract the complex amplitude of a sine at \p frequency_hz from
+/// uniformly sampled data.
+///
+/// The correlation window is the largest whole number of periods that fits
+/// inside the final \p window_fraction of the record (skipping the initial
+/// transient), which keeps spectral leakage from partial periods out of
+/// the estimate.
+///
+/// \param time_s ascending, uniformly spaced sample times.
+/// \param samples waveform values (same length).
+/// \param window_fraction fraction of the record tail to analyse (0, 1].
+/// \throws ConfigError on bad inputs (too few samples, no whole period in
+/// the window, non-uniform time base).
+[[nodiscard]] ToneEstimate extract_tone(const std::vector<double>& time_s,
+                                        const std::vector<double>& samples,
+                                        double frequency_hz,
+                                        double window_fraction = 0.5);
+
+/// Extract several tones from the same record.
+[[nodiscard]] std::vector<ToneEstimate> extract_tones(
+    const std::vector<double>& time_s, const std::vector<double>& samples,
+    const std::vector<double>& frequencies_hz, double window_fraction = 0.5);
+
+}  // namespace ftdiag::mna

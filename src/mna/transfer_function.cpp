@@ -1,0 +1,104 @@
+#include "mna/transfer_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+
+namespace {
+
+/// Bisect between fa < fb for |H| in dB equal to target_db.
+double bisect_crossing(const AcResponse& response, double fa, double fb,
+                       double target_db) {
+  double lo = fa, hi = fb;
+  const bool descending = response.magnitude_db_at(lo) > target_db;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // geometric midpoint
+    const double db = response.magnitude_db_at(mid);
+    const bool above = db > target_db;
+    if (above == descending) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+}  // namespace
+
+std::optional<double> find_crossing_db(const AcResponse& response,
+                                       double ref_db, double drop_db) {
+  FTDIAG_ASSERT(!response.empty(), "crossing search on empty response");
+  const double target = ref_db - drop_db;
+  for (std::size_t i = 1; i < response.size(); ++i) {
+    const double a = response.magnitude_db(i - 1);
+    const double b = response.magnitude_db(i);
+    if ((a > target && b <= target) || (a <= target && b > target)) {
+      return bisect_crossing(response, response.frequency(i - 1),
+                             response.frequency(i), target);
+    }
+  }
+  return std::nullopt;
+}
+
+LowPassSummary measure_lowpass(const AcResponse& response) {
+  FTDIAG_ASSERT(!response.empty(), "measure_lowpass on empty response");
+  LowPassSummary s;
+  s.dc_gain = response.magnitude(0);
+  s.dc_gain_db = response.magnitude_db(0);
+  s.stop_gain_db = response.magnitude_db(response.size() - 1);
+  const auto cutoff = find_crossing_db(response, s.dc_gain_db, 3.0103);
+  s.f_3db_hz = cutoff.value_or(0.0);
+  return s;
+}
+
+BandPassSummary measure_bandpass(const AcResponse& response) {
+  FTDIAG_ASSERT(!response.empty(), "measure_bandpass on empty response");
+  BandPassSummary s;
+  const std::size_t peak = response.peak_index();
+  s.f_peak_hz = response.frequency(peak);
+  s.peak_gain = response.magnitude(peak);
+  const double peak_db = response.magnitude_db(peak);
+  const double target = peak_db - 3.0103;
+
+  // Search downward from the peak for the lower half-power point.
+  double f_lo = 0.0, f_hi = 0.0;
+  for (std::size_t i = peak; i-- > 0;) {
+    if (response.magnitude_db(i) <= target) {
+      f_lo = bisect_crossing(response, response.frequency(i),
+                             response.frequency(i + 1), target);
+      break;
+    }
+  }
+  for (std::size_t i = peak + 1; i < response.size(); ++i) {
+    if (response.magnitude_db(i) <= target) {
+      f_hi = bisect_crossing(response, response.frequency(i - 1),
+                             response.frequency(i), target);
+      break;
+    }
+  }
+  if (f_lo > 0.0 && f_hi > 0.0) {
+    s.bandwidth_hz = f_hi - f_lo;
+    s.q = s.bandwidth_hz > 0.0 ? s.f_peak_hz / s.bandwidth_hz : 0.0;
+  }
+  return s;
+}
+
+NotchSummary measure_notch(const AcResponse& response) {
+  FTDIAG_ASSERT(!response.empty(), "measure_notch on empty response");
+  std::size_t valley = 0;
+  for (std::size_t i = 1; i < response.size(); ++i) {
+    if (response.magnitude(i) < response.magnitude(valley)) valley = i;
+  }
+  NotchSummary s;
+  s.f_notch_hz = response.frequency(valley);
+  const double passband_db =
+      std::max(response.magnitude_db(0), response.magnitude_db(response.size() - 1));
+  s.depth_db = response.magnitude_db(valley) - passband_db;
+  return s;
+}
+
+}  // namespace ftdiag::mna

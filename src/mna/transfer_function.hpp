@@ -1,0 +1,49 @@
+/// \file transfer_function.hpp
+/// \brief Measurement utilities on frequency responses: DC gain, cutoff,
+/// peak/Q extraction.  Used by the circuit tests to verify each registry
+/// filter against its analytic design values.
+#pragma once
+
+#include <optional>
+
+#include "mna/response.hpp"
+
+namespace ftdiag::mna {
+
+/// Summary numbers of a low-pass-like response.
+struct LowPassSummary {
+  double dc_gain = 0.0;        ///< |H| at the lowest grid frequency
+  double dc_gain_db = 0.0;
+  double f_3db_hz = 0.0;       ///< -3 dB cutoff (0 when not crossed)
+  double stop_gain_db = 0.0;   ///< |H| in dB at the highest grid frequency
+};
+
+/// Summary numbers of a band-pass-like response.
+struct BandPassSummary {
+  double f_peak_hz = 0.0;   ///< frequency of maximum magnitude
+  double peak_gain = 0.0;
+  double bandwidth_hz = 0.0;  ///< -3 dB bandwidth around the peak (0 if open)
+  double q = 0.0;             ///< f_peak / bandwidth (0 if bandwidth is 0)
+};
+
+/// Measure low-pass characteristics.  The -3 dB point is located by
+/// bisection on the interpolated response between the bracketing samples.
+[[nodiscard]] LowPassSummary measure_lowpass(const AcResponse& response);
+
+/// Measure band-pass characteristics (peak + half-power bandwidth).
+[[nodiscard]] BandPassSummary measure_bandpass(const AcResponse& response);
+
+/// Frequency (Hz) where |H| crosses \p target_db relative to \p ref_db,
+/// searching upward from the first sample.  nullopt when never crossed.
+[[nodiscard]] std::optional<double> find_crossing_db(
+    const AcResponse& response, double ref_db, double drop_db);
+
+/// Notch summary: minimum-magnitude frequency and depth.
+struct NotchSummary {
+  double f_notch_hz = 0.0;
+  double depth_db = 0.0;  ///< min gain in dB relative to the passband
+};
+
+[[nodiscard]] NotchSummary measure_notch(const AcResponse& response);
+
+}  // namespace ftdiag::mna

@@ -1,0 +1,216 @@
+#include "mna/transient.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/lu.hpp"
+#include "mna/dc_analysis.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+
+using netlist::Component;
+using netlist::ComponentKind;
+
+double SourceWaveform::at(double time_s) const {
+  double v = offset;
+  for (const auto& tone : tones) {
+    const double phase = tone.phase_deg * std::numbers::pi / 180.0;
+    v += tone.amplitude *
+         std::sin(2.0 * std::numbers::pi * tone.frequency_hz * time_s + phase);
+  }
+  return v;
+}
+
+SourceWaveform SourceWaveform::sine(double amplitude, double frequency_hz,
+                                    double phase_deg, double offset) {
+  SourceWaveform w;
+  w.offset = offset;
+  w.tones.push_back({amplitude, frequency_hz, phase_deg});
+  return w;
+}
+
+SourceWaveform SourceWaveform::tone_set(
+    const std::vector<double>& frequencies_hz, double amplitude) {
+  SourceWaveform w;
+  for (double f : frequencies_hz) w.tones.push_back({amplitude, f, 0.0});
+  return w;
+}
+
+const std::vector<double>& TransientResult::node(
+    const std::string& name) const {
+  const auto it = node_voltages.find(name);
+  if (it == node_voltages.end()) {
+    throw ConfigError("node '" + name + "' was not recorded");
+  }
+  return it->second;
+}
+
+TransientAnalysis::TransientAnalysis(const netlist::Circuit& circuit)
+    : system_(circuit) {}
+
+TransientResult TransientAnalysis::run(
+    const TransientSpec& spec, const std::vector<std::string>& nodes) const {
+  if (!(spec.dt > 0.0)) throw ConfigError("transient dt must be positive");
+  if (!(spec.t_stop > spec.dt)) {
+    throw ConfigError("transient t_stop must exceed dt");
+  }
+  for (const auto& [name, waveform] : spec.waveforms) {
+    (void)waveform;
+    const auto& c = system_.circuit().component(name);
+    if (c.kind != ComponentKind::kVoltageSource &&
+        c.kind != ComponentKind::kCurrentSource) {
+      throw ConfigError("waveform target '" + name +
+                        "' is not an independent source");
+    }
+  }
+
+  const netlist::Circuit& circuit = system_.circuit();
+  const std::size_t n = system_.unknown_count();
+  const double h = spec.dt;
+  const bool trapezoid = spec.method == IntegrationMethod::kTrapezoidal;
+
+  // --- constant system matrix (companion conductances included) ----------
+  linalg::CooMatrix<double> matrix(n, n);
+  {
+    std::vector<double> dummy_rhs(n, 0.0);
+    // Start from the DC stamps, then overwrite reactive elements with their
+    // companion conductances.  assemble_dc stamps capacitors as open and
+    // inductors with a zero-impedance branch row, so only additions needed.
+    system_.assemble_dc(matrix, dummy_rhs);
+  }
+  for (const auto& c : circuit.components()) {
+    if (c.kind == ComponentKind::kCapacitor) {
+      const double geq = (trapezoid ? 2.0 : 1.0) * c.value / h;
+      const std::size_t a = system_.node_unknown(c.nodes[0]);
+      const std::size_t b = system_.node_unknown(c.nodes[1]);
+      if (a != kNoUnknown) matrix.add(a, a, geq);
+      if (b != kNoUnknown) matrix.add(b, b, geq);
+      if (a != kNoUnknown && b != kNoUnknown) {
+        matrix.add(a, b, -geq);
+        matrix.add(b, a, -geq);
+      }
+    } else if (c.kind == ComponentKind::kInductor) {
+      // Branch row from assemble_dc is: v_a - v_b = 0.  Add the
+      // discretized back-term: v_a - v_b - (L/k) * i = rhs_history, where
+      // k = h (BE) or h/2 (trapezoidal).
+      const double k = trapezoid ? h / 2.0 : h;
+      const std::size_t i = system_.branch_unknown(c.name);
+      matrix.add(i, i, -c.value / k);
+    }
+  }
+  const linalg::LuFactorization<double> lu(matrix.to_dense());
+
+  // --- state --------------------------------------------------------------
+  std::vector<double> x(n, 0.0);
+  if (spec.start_from_dc) {
+    x = DcAnalysis(circuit).solve();
+  }
+  auto voltage_of = [&](netlist::NodeId node,
+                        const std::vector<double>& state) {
+    const std::size_t u = system_.node_unknown(node);
+    return u == kNoUnknown ? 0.0 : state[u];
+  };
+
+  // Capacitor branch currents (needed by the trapezoidal history term).
+  std::vector<double> cap_current(circuit.component_count(), 0.0);
+
+  const std::size_t steps =
+      static_cast<std::size_t>(std::llround(spec.t_stop / h));
+
+  TransientResult result;
+  result.time_s.reserve(steps + 1);
+  std::vector<std::size_t> observed;
+  for (const auto& name : nodes) {
+    observed.push_back(system_.node_unknown(name));
+    result.node_voltages.emplace(name, std::vector<double>{});
+    result.node_voltages[name].reserve(steps + 1);
+  }
+  auto record = [&](double t) {
+    result.time_s.push_back(t);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const double v = observed[i] == kNoUnknown ? 0.0 : x[observed[i]];
+      result.node_voltages[nodes[i]].push_back(v);
+    }
+  };
+  record(0.0);
+
+  std::vector<double> rhs(n);
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * h;
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    std::size_t comp_idx = 0;
+    for (const auto& c : circuit.components()) {
+      const std::size_t my_idx = comp_idx++;
+      switch (c.kind) {
+        case ComponentKind::kVoltageSource: {
+          const std::size_t i = system_.branch_unknown(c.name);
+          const auto it = spec.waveforms.find(c.name);
+          rhs[i] += it != spec.waveforms.end() ? it->second.at(t) : c.dc;
+          break;
+        }
+        case ComponentKind::kCurrentSource: {
+          const auto it = spec.waveforms.find(c.name);
+          const double value =
+              it != spec.waveforms.end() ? it->second.at(t) : c.dc;
+          const std::size_t a = system_.node_unknown(c.nodes[0]);
+          const std::size_t b = system_.node_unknown(c.nodes[1]);
+          if (a != kNoUnknown) rhs[a] -= value;
+          if (b != kNoUnknown) rhs[b] += value;
+          break;
+        }
+        case ComponentKind::kCapacitor: {
+          const double v_prev =
+              voltage_of(c.nodes[0], x) - voltage_of(c.nodes[1], x);
+          const double geq = (trapezoid ? 2.0 : 1.0) * c.value / h;
+          const double ieq =
+              trapezoid ? geq * v_prev + cap_current[my_idx] : geq * v_prev;
+          const std::size_t a = system_.node_unknown(c.nodes[0]);
+          const std::size_t b = system_.node_unknown(c.nodes[1]);
+          if (a != kNoUnknown) rhs[a] += ieq;
+          if (b != kNoUnknown) rhs[b] -= ieq;
+          break;
+        }
+        case ComponentKind::kInductor: {
+          const double k = trapezoid ? h / 2.0 : h;
+          const std::size_t i = system_.branch_unknown(c.name);
+          const double i_prev = x[i];
+          const double v_prev =
+              voltage_of(c.nodes[0], x) - voltage_of(c.nodes[1], x);
+          // (L/k) * i_{n+1} - (v_a - v_b) = (L/k) i_n + [trap] v_n
+          // matches the matrix row sign convention (row: v_a - v_b - (L/k) i).
+          double hist = -(c.value / k) * i_prev;
+          if (trapezoid) hist -= v_prev;
+          rhs[i] += hist;
+          break;
+        }
+        default:
+          break;  // static elements contribute nothing per step
+      }
+    }
+
+    const std::vector<double> x_next = lu.solve(rhs);
+
+    // Update capacitor currents for the trapezoidal history.
+    if (trapezoid) {
+      comp_idx = 0;
+      for (const auto& c : circuit.components()) {
+        const std::size_t my_idx = comp_idx++;
+        if (c.kind != ComponentKind::kCapacitor) continue;
+        const double v_prev =
+            voltage_of(c.nodes[0], x) - voltage_of(c.nodes[1], x);
+        const double v_next =
+            voltage_of(c.nodes[0], x_next) - voltage_of(c.nodes[1], x_next);
+        const double geq = 2.0 * c.value / h;
+        cap_current[my_idx] =
+            geq * (v_next - v_prev) - cap_current[my_idx];
+      }
+    }
+    x = x_next;
+    record(t);
+  }
+  return result;
+}
+
+}  // namespace ftdiag::mna

@@ -1,0 +1,463 @@
+#include "netlist/circuit.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag::netlist {
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  node_ids_.emplace("0", kGround);
+  node_ids_.emplace("gnd", kGround);
+}
+
+NodeId Circuit::node(const std::string& name) {
+  const std::string key = str::to_lower(name);
+  if (const auto it = node_ids_.find(key); it != node_ids_.end()) {
+    return it->second;
+  }
+  const NodeId id = node_names_.size();
+  node_names_.push_back(key);
+  node_ids_.emplace(key, id);
+  return id;
+}
+
+NodeId Circuit::node_index(const std::string& name) const {
+  const auto it = node_ids_.find(str::to_lower(name));
+  if (it == node_ids_.end()) {
+    throw CircuitError("unknown node '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  return node_ids_.contains(str::to_lower(name));
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  if (id >= node_names_.size()) {
+    throw CircuitError(str::format("node id %zu out of range", id));
+  }
+  return node_names_[id];
+}
+
+void Circuit::check_new_name(const std::string& name) const {
+  if (name.empty()) throw CircuitError("component name must not be empty");
+  if (component_index_.contains(name)) {
+    throw CircuitError("duplicate component name '" + name + "'");
+  }
+}
+
+Circuit& Circuit::add_component(Component component) {
+  check_new_name(component.name);
+  const std::size_t want = Component::terminal_count(component.kind);
+  if (component.nodes.size() != want) {
+    throw CircuitError(str::format("%s '%s' needs %zu terminals, got %zu",
+                                   kind_name(component.kind),
+                                   component.name.c_str(), want,
+                                   component.nodes.size()));
+  }
+  for (NodeId n : component.nodes) {
+    if (n >= node_names_.size()) {
+      throw CircuitError(str::format("component '%s' references node id %zu "
+                                     "that does not exist",
+                                     component.name.c_str(), n));
+    }
+  }
+  component_index_.emplace(component.name, components_.size());
+  components_.push_back(std::move(component));
+  return *this;
+}
+
+namespace {
+Component make_two_terminal(std::string name, ComponentKind kind, NodeId a,
+                            NodeId b, double value) {
+  Component c;
+  c.name = std::move(name);
+  c.kind = kind;
+  c.nodes = {a, b};
+  c.value = value;
+  return c;
+}
+}  // namespace
+
+Circuit& Circuit::add_resistor(const std::string& name, const std::string& a,
+                               const std::string& b, double ohms) {
+  return add_component(
+      make_two_terminal(name, ComponentKind::kResistor, node(a), node(b), ohms));
+}
+
+Circuit& Circuit::add_capacitor(const std::string& name, const std::string& a,
+                                const std::string& b, double farads) {
+  return add_component(make_two_terminal(name, ComponentKind::kCapacitor,
+                                         node(a), node(b), farads));
+}
+
+Circuit& Circuit::add_inductor(const std::string& name, const std::string& a,
+                               const std::string& b, double henries) {
+  return add_component(make_two_terminal(name, ComponentKind::kInductor,
+                                         node(a), node(b), henries));
+}
+
+Circuit& Circuit::add_vsource(const std::string& name, const std::string& plus,
+                              const std::string& minus, double dc,
+                              double ac_magnitude, double ac_phase_deg) {
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kVoltageSource;
+  c.nodes = {node(plus), node(minus)};
+  c.dc = dc;
+  c.ac_magnitude = ac_magnitude;
+  c.ac_phase_deg = ac_phase_deg;
+  return add_component(std::move(c));
+}
+
+Circuit& Circuit::add_isource(const std::string& name, const std::string& plus,
+                              const std::string& minus, double dc,
+                              double ac_magnitude, double ac_phase_deg) {
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kCurrentSource;
+  c.nodes = {node(plus), node(minus)};
+  c.dc = dc;
+  c.ac_magnitude = ac_magnitude;
+  c.ac_phase_deg = ac_phase_deg;
+  return add_component(std::move(c));
+}
+
+Circuit& Circuit::add_vcvs(const std::string& name, const std::string& plus,
+                           const std::string& minus,
+                           const std::string& ctrl_plus,
+                           const std::string& ctrl_minus, double gain) {
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kVcvs;
+  c.nodes = {node(plus), node(minus), node(ctrl_plus), node(ctrl_minus)};
+  c.value = gain;
+  return add_component(std::move(c));
+}
+
+Circuit& Circuit::add_vccs(const std::string& name, const std::string& plus,
+                           const std::string& minus,
+                           const std::string& ctrl_plus,
+                           const std::string& ctrl_minus,
+                           double transconductance) {
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kVccs;
+  c.nodes = {node(plus), node(minus), node(ctrl_plus), node(ctrl_minus)};
+  c.value = transconductance;
+  return add_component(std::move(c));
+}
+
+Circuit& Circuit::add_cccs(const std::string& name, const std::string& plus,
+                           const std::string& minus,
+                           const std::string& control_vsrc, double gain) {
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kCccs;
+  c.nodes = {node(plus), node(minus)};
+  c.control = control_vsrc;
+  c.value = gain;
+  return add_component(std::move(c));
+}
+
+Circuit& Circuit::add_ccvs(const std::string& name, const std::string& plus,
+                           const std::string& minus,
+                           const std::string& control_vsrc,
+                           double transresistance) {
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kCcvs;
+  c.nodes = {node(plus), node(minus)};
+  c.control = control_vsrc;
+  c.value = transresistance;
+  return add_component(std::move(c));
+}
+
+Circuit& Circuit::add_ideal_opamp(const std::string& name,
+                                  const std::string& in_plus,
+                                  const std::string& in_minus,
+                                  const std::string& out) {
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kIdealOpAmp;
+  c.nodes = {node(in_plus), node(in_minus), node(out)};
+  return add_component(std::move(c));
+}
+
+Circuit& Circuit::add_opamp(const std::string& name,
+                            const std::string& in_plus,
+                            const std::string& in_minus,
+                            const std::string& out, const OpAmpModel& model) {
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kOpAmp;
+  c.nodes = {node(in_plus), node(in_minus), node(out)};
+  c.opamp = model;
+  return add_component(std::move(c));
+}
+
+bool Circuit::has_component(const std::string& name) const {
+  return component_index_.contains(name);
+}
+
+const Component& Circuit::component(const std::string& name) const {
+  const auto it = component_index_.find(name);
+  if (it == component_index_.end()) {
+    throw CircuitError("unknown component '" + name + "'");
+  }
+  return components_[it->second];
+}
+
+Component& Circuit::mutable_component(const std::string& name) {
+  const auto it = component_index_.find(name);
+  if (it == component_index_.end()) {
+    throw CircuitError("unknown component '" + name + "'");
+  }
+  return components_[it->second];
+}
+
+std::vector<std::string> Circuit::names_of(ComponentKind kind) const {
+  std::vector<std::string> out;
+  for (const auto& c : components_) {
+    if (c.kind == kind) out.push_back(c.name);
+  }
+  return out;
+}
+
+std::vector<std::string> Circuit::passive_names() const {
+  std::vector<std::string> out;
+  for (const auto& c : components_) {
+    if (is_passive(c.kind)) out.push_back(c.name);
+  }
+  return out;
+}
+
+void Circuit::set_value(const std::string& name, double value) {
+  Component& c = mutable_component(name);
+  switch (c.kind) {
+    case ComponentKind::kResistor:
+    case ComponentKind::kCapacitor:
+    case ComponentKind::kInductor:
+    case ComponentKind::kVcvs:
+    case ComponentKind::kVccs:
+    case ComponentKind::kCccs:
+    case ComponentKind::kCcvs:
+      c.value = value;
+      return;
+    default:
+      throw CircuitError(str::format("component '%s' (%s) has no primary value",
+                                     name.c_str(), kind_name(c.kind)));
+  }
+}
+
+void Circuit::scale_value(const std::string& name, double factor) {
+  set_value(name, value_of(name) * factor);
+}
+
+double Circuit::value_of(const std::string& name) const {
+  const Component& c = component(name);
+  switch (c.kind) {
+    case ComponentKind::kResistor:
+    case ComponentKind::kCapacitor:
+    case ComponentKind::kInductor:
+    case ComponentKind::kVcvs:
+    case ComponentKind::kVccs:
+    case ComponentKind::kCccs:
+    case ComponentKind::kCcvs:
+      return c.value;
+    default:
+      throw CircuitError(str::format("component '%s' (%s) has no primary value",
+                                     name.c_str(), kind_name(c.kind)));
+  }
+}
+
+void Circuit::set_opamp_param(const std::string& name, OpAmpParam param,
+                              double value) {
+  Component& c = mutable_component(name);
+  if (c.kind != ComponentKind::kOpAmp) {
+    throw CircuitError("component '" + name + "' is not a macro-model op-amp");
+  }
+  switch (param) {
+    case OpAmpParam::kDcGain: c.opamp.dc_gain = value; return;
+    case OpAmpParam::kGbw: c.opamp.gbw_hz = value; return;
+    case OpAmpParam::kRin: c.opamp.rin = value; return;
+    case OpAmpParam::kRout: c.opamp.rout = value; return;
+  }
+}
+
+double Circuit::opamp_param(const std::string& name, OpAmpParam param) const {
+  const Component& c = component(name);
+  if (c.kind != ComponentKind::kOpAmp) {
+    throw CircuitError("component '" + name + "' is not a macro-model op-amp");
+  }
+  switch (param) {
+    case OpAmpParam::kDcGain: return c.opamp.dc_gain;
+    case OpAmpParam::kGbw: return c.opamp.gbw_hz;
+    case OpAmpParam::kRin: return c.opamp.rin;
+    case OpAmpParam::kRout: return c.opamp.rout;
+  }
+  FTDIAG_ASSERT(false, "unknown op-amp parameter");
+  return 0.0;
+}
+
+std::vector<std::string> Circuit::validate() const {
+  std::vector<std::string> problems;
+
+  // Value sanity.
+  for (const auto& c : components_) {
+    if (is_passive(c.kind) && !(c.value > 0.0)) {
+      problems.push_back(str::format("%s '%s' has non-positive value %g",
+                                     kind_name(c.kind), c.name.c_str(),
+                                     c.value));
+    }
+    if (c.kind == ComponentKind::kOpAmp) {
+      if (!(c.opamp.dc_gain > 0.0) || !(c.opamp.gbw_hz > 0.0) ||
+          !(c.opamp.rin > 0.0) || !(c.opamp.rout >= 0.0)) {
+        problems.push_back("opamp '" + c.name + "' has invalid macro-model");
+      }
+    }
+    if ((c.kind == ComponentKind::kCccs || c.kind == ComponentKind::kCcvs)) {
+      if (!has_component(c.control) ||
+          component(c.control).kind != ComponentKind::kVoltageSource) {
+        problems.push_back(str::format(
+            "%s '%s' controlling source '%s' is not a voltage source",
+            kind_name(c.kind), c.name.c_str(), c.control.c_str()));
+      }
+    }
+  }
+
+  // Terminal counts per node.
+  std::vector<std::size_t> touch(node_count(), 0);
+  for (const auto& c : components_) {
+    for (NodeId n : c.nodes) ++touch[n];
+  }
+  for (NodeId n = 1; n < node_count(); ++n) {
+    if (touch[n] == 0) {
+      problems.push_back("node '" + node_name(n) + "' is not connected");
+    } else if (touch[n] == 1) {
+      problems.push_back("node '" + node_name(n) + "' is dangling (1 terminal)");
+    }
+  }
+
+  // Connectivity: every node reachable from ground through components.
+  // Controlled-source sensing terminals do not conduct, but output
+  // terminals and op-amp outputs do.
+  if (node_count() > 1) {
+    std::vector<std::vector<NodeId>> adjacency(node_count());
+    auto link = [&](NodeId a, NodeId b) {
+      adjacency[a].push_back(b);
+      adjacency[b].push_back(a);
+    };
+    for (const auto& c : components_) {
+      switch (c.kind) {
+        case ComponentKind::kResistor:
+        case ComponentKind::kCapacitor:
+        case ComponentKind::kInductor:
+        case ComponentKind::kVoltageSource:
+        case ComponentKind::kCurrentSource:
+        case ComponentKind::kCccs:
+        case ComponentKind::kCcvs:
+          link(c.nodes[0], c.nodes[1]);
+          break;
+        case ComponentKind::kVcvs:
+        case ComponentKind::kVccs:
+          link(c.nodes[0], c.nodes[1]);
+          break;
+        case ComponentKind::kIdealOpAmp:
+        case ComponentKind::kOpAmp:
+          // The output drives against ground.
+          link(c.nodes[2], kGround);
+          break;
+      }
+    }
+    std::vector<bool> seen(node_count(), false);
+    std::queue<NodeId> frontier;
+    frontier.push(kGround);
+    seen[kGround] = true;
+    while (!frontier.empty()) {
+      const NodeId at = frontier.front();
+      frontier.pop();
+      for (NodeId next : adjacency[at]) {
+        if (!seen[next]) {
+          seen[next] = true;
+          frontier.push(next);
+        }
+      }
+    }
+    for (NodeId n = 1; n < node_count(); ++n) {
+      if (!seen[n] && touch[n] > 0) {
+        problems.push_back("node '" + node_name(n) +
+                           "' has no conductive path to ground");
+      }
+    }
+  }
+
+  return problems;
+}
+
+void Circuit::validate_or_throw() const {
+  const auto problems = validate();
+  if (!problems.empty()) throw CircuitError(problems.front());
+}
+
+bool Circuit::has_macro_opamps() const {
+  return std::any_of(components_.begin(), components_.end(), [](const auto& c) {
+    return c.kind == ComponentKind::kOpAmp;
+  });
+}
+
+Circuit Circuit::elaborated() const {
+  if (!has_macro_opamps()) return *this;
+
+  Circuit out;
+  out.set_title(title_);
+  // Recreate all nodes first so ids used by plain components stay valid
+  // name-wise (ids may differ; we go through names).
+  for (const auto& c : components_) {
+    if (c.kind != ComponentKind::kOpAmp) {
+      Component copy = c;
+      copy.nodes.clear();
+      for (NodeId n : c.nodes) copy.nodes.push_back(out.node(node_name(n)));
+      out.add_component(std::move(copy));
+      continue;
+    }
+    // Expansion of the single-pole macro model.  Internal pole resistance is
+    // fixed; gm follows from the requested DC gain.
+    const std::string in_p = node_name(c.nodes[0]);
+    const std::string in_n = node_name(c.nodes[1]);
+    const std::string out_node = node_name(c.nodes[2]);
+    const std::string pole = c.name + ":pole";
+    const std::string buf = c.name + ":buf";
+
+    constexpr double kPoleResistance = 100.0e3;
+    const double gm = c.opamp.dc_gain / kPoleResistance;
+    const double pole_hz = c.opamp.pole_hz();
+    const double pole_cap =
+        1.0 / (2.0 * 3.14159265358979323846 * pole_hz * kPoleResistance);
+
+    out.add_resistor(c.name + ":rin", in_p, in_n, c.opamp.rin);
+    // G-element convention: positive current flows node+ -> node- through
+    // the source.  Driving (gnd -> pole) makes v_pole = +gm*Rp*(v+ - v-),
+    // i.e. a non-inverting first stage as the macro model requires.
+    out.add_vccs(c.name + ":gm", "0", pole, in_p, in_n, gm);
+    out.add_resistor(c.name + ":rp", pole, "0", kPoleResistance);
+    out.add_capacitor(c.name + ":cp", pole, "0", pole_cap);
+    out.add_vcvs(c.name + ":buffer", buf, "0", pole, "0", 1.0);
+    if (c.opamp.rout > 0.0) {
+      out.add_resistor(c.name + ":rout", buf, out_node, c.opamp.rout);
+    } else {
+      // Degenerate zero output resistance: tie buffer directly via a VCVS
+      // sensing the pole node.  Model as a tiny resistance to keep the
+      // topology uniform.
+      out.add_resistor(c.name + ":rout", buf, out_node, 1e-3);
+    }
+  }
+  return out;
+}
+
+}  // namespace ftdiag::netlist

@@ -1,0 +1,151 @@
+/// \file circuit.hpp
+/// \brief The Circuit: named nodes + components, with a builder API,
+/// structural validation, value mutation (used by the fault injector) and
+/// macro-model elaboration.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/component.hpp"
+
+namespace ftdiag::netlist {
+
+/// A flat netlist.  Node 0 is ground, created automatically and addressable
+/// as "0" or "gnd".  Component names are unique (case-sensitive).
+class Circuit {
+public:
+  Circuit();
+
+  /// Optional title (propagated by the parser/writer).
+  void set_title(std::string title) { title_ = std::move(title); }
+  [[nodiscard]] const std::string& title() const { return title_; }
+
+  // ---- nodes ------------------------------------------------------------
+
+  /// Get-or-create a node by name.
+  NodeId node(const std::string& name);
+
+  /// Lookup an existing node. \throws CircuitError if absent.
+  [[nodiscard]] NodeId node_index(const std::string& name) const;
+
+  [[nodiscard]] bool has_node(const std::string& name) const;
+
+  /// Name of a node id. \throws CircuitError if out of range.
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+
+  /// Total node count including ground.
+  [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
+
+  // ---- builder ----------------------------------------------------------
+
+  Circuit& add_resistor(const std::string& name, const std::string& a,
+                        const std::string& b, double ohms);
+  Circuit& add_capacitor(const std::string& name, const std::string& a,
+                         const std::string& b, double farads);
+  Circuit& add_inductor(const std::string& name, const std::string& a,
+                        const std::string& b, double henries);
+  Circuit& add_vsource(const std::string& name, const std::string& plus,
+                       const std::string& minus, double dc = 0.0,
+                       double ac_magnitude = 0.0, double ac_phase_deg = 0.0);
+  Circuit& add_isource(const std::string& name, const std::string& plus,
+                       const std::string& minus, double dc = 0.0,
+                       double ac_magnitude = 0.0, double ac_phase_deg = 0.0);
+  Circuit& add_vcvs(const std::string& name, const std::string& plus,
+                    const std::string& minus, const std::string& ctrl_plus,
+                    const std::string& ctrl_minus, double gain);
+  Circuit& add_vccs(const std::string& name, const std::string& plus,
+                    const std::string& minus, const std::string& ctrl_plus,
+                    const std::string& ctrl_minus, double transconductance);
+  Circuit& add_cccs(const std::string& name, const std::string& plus,
+                    const std::string& minus, const std::string& control_vsrc,
+                    double gain);
+  Circuit& add_ccvs(const std::string& name, const std::string& plus,
+                    const std::string& minus, const std::string& control_vsrc,
+                    double transresistance);
+  Circuit& add_ideal_opamp(const std::string& name, const std::string& in_plus,
+                           const std::string& in_minus,
+                           const std::string& out);
+  Circuit& add_opamp(const std::string& name, const std::string& in_plus,
+                     const std::string& in_minus, const std::string& out,
+                     const OpAmpModel& model = {});
+
+  /// Append a fully-formed component (parser path).  Nodes must already be
+  /// resolved against this circuit.
+  Circuit& add_component(Component component);
+
+  // ---- access -----------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Component>& components() const {
+    return components_;
+  }
+  [[nodiscard]] std::size_t component_count() const {
+    return components_.size();
+  }
+
+  [[nodiscard]] bool has_component(const std::string& name) const;
+
+  /// \throws CircuitError if the component does not exist.
+  [[nodiscard]] const Component& component(const std::string& name) const;
+
+  /// Names of all components of the given kind.
+  [[nodiscard]] std::vector<std::string> names_of(ComponentKind kind) const;
+
+  /// Names of all passive components (R, L, C) in insertion order —
+  /// the default fault-universe target set.
+  [[nodiscard]] std::vector<std::string> passive_names() const;
+
+  // ---- mutation (fault injection) ----------------------------------------
+
+  /// Replace the primary value of an R/L/C or controlled source.
+  /// \throws CircuitError on unknown name or a kind without a primary value.
+  void set_value(const std::string& name, double value);
+
+  /// Multiply the primary value by \p factor (parametric deviation).
+  void scale_value(const std::string& name, double factor);
+
+  /// Primary value of a component. \throws CircuitError as set_value.
+  [[nodiscard]] double value_of(const std::string& name) const;
+
+  /// Replace one macro-model parameter of a kOpAmp component.
+  void set_opamp_param(const std::string& name, OpAmpParam param,
+                       double value);
+
+  /// Read one macro-model parameter of a kOpAmp component.
+  [[nodiscard]] double opamp_param(const std::string& name,
+                                   OpAmpParam param) const;
+
+  // ---- structure ---------------------------------------------------------
+
+  /// Structural validation; returns the list of problems (empty == valid):
+  /// components with non-positive R/L/C values, nodes touched by fewer than
+  /// two terminals, nodes unreachable from ground, missing F/H control
+  /// sources.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// validate() and throw CircuitError with the first problem, if any.
+  void validate_or_throw() const;
+
+  /// True if any component is a kOpAmp macro model.
+  [[nodiscard]] bool has_macro_opamps() const;
+
+  /// Return a circuit in which every kOpAmp is replaced by primitive
+  /// elements (Rin, VCCS + RC pole, unity VCVS + Rout).  Internal nodes are
+  /// named "<opamp>:pole"; internal elements "<opamp>:rin" etc.
+  /// Circuits without macro op-amps are returned unchanged.
+  [[nodiscard]] Circuit elaborated() const;
+
+private:
+  Component& mutable_component(const std::string& name);
+  void check_new_name(const std::string& name) const;
+
+  std::string title_;
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<Component> components_;
+  std::unordered_map<std::string, std::size_t> component_index_;
+};
+
+}  // namespace ftdiag::netlist

@@ -1,0 +1,93 @@
+#include "netlist/component.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace ftdiag::netlist {
+
+const char* kind_name(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kResistor: return "resistor";
+    case ComponentKind::kCapacitor: return "capacitor";
+    case ComponentKind::kInductor: return "inductor";
+    case ComponentKind::kVoltageSource: return "vsource";
+    case ComponentKind::kCurrentSource: return "isource";
+    case ComponentKind::kVcvs: return "vcvs";
+    case ComponentKind::kVccs: return "vccs";
+    case ComponentKind::kCccs: return "cccs";
+    case ComponentKind::kCcvs: return "ccvs";
+    case ComponentKind::kIdealOpAmp: return "ideal-opamp";
+    case ComponentKind::kOpAmp: return "opamp";
+  }
+  return "?";
+}
+
+bool is_passive(ComponentKind kind) {
+  return kind == ComponentKind::kResistor ||
+         kind == ComponentKind::kCapacitor ||
+         kind == ComponentKind::kInductor;
+}
+
+const char* opamp_param_name(OpAmpParam param) {
+  switch (param) {
+    case OpAmpParam::kDcGain: return "ad0";
+    case OpAmpParam::kGbw: return "gbw";
+    case OpAmpParam::kRin: return "rin";
+    case OpAmpParam::kRout: return "rout";
+  }
+  return "?";
+}
+
+std::size_t Component::terminal_count(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kResistor:
+    case ComponentKind::kCapacitor:
+    case ComponentKind::kInductor:
+    case ComponentKind::kVoltageSource:
+    case ComponentKind::kCurrentSource:
+    case ComponentKind::kCccs:
+    case ComponentKind::kCcvs:
+      return 2;
+    case ComponentKind::kIdealOpAmp:
+    case ComponentKind::kOpAmp:
+      return 3;
+    case ComponentKind::kVcvs:
+    case ComponentKind::kVccs:
+      return 4;
+  }
+  FTDIAG_ASSERT(false, "unknown component kind");
+  return 0;
+}
+
+std::string Component::describe() const {
+  std::string out = str::format("%s %s", kind_name(kind), name.c_str());
+  switch (kind) {
+    case ComponentKind::kResistor:
+    case ComponentKind::kCapacitor:
+    case ComponentKind::kInductor:
+    case ComponentKind::kVcvs:
+    case ComponentKind::kVccs:
+    case ComponentKind::kCccs:
+    case ComponentKind::kCcvs:
+      out += " value=" + units::format_si(value);
+      break;
+    case ComponentKind::kVoltageSource:
+    case ComponentKind::kCurrentSource:
+      out += str::format(" dc=%s ac=%s/%.1fdeg", units::format_si(dc).c_str(),
+                         units::format_si(ac_magnitude).c_str(), ac_phase_deg);
+      break;
+    case ComponentKind::kIdealOpAmp:
+      break;
+    case ComponentKind::kOpAmp:
+      out += str::format(" ad0=%s gbw=%s rin=%s rout=%s",
+                         units::format_si(opamp.dc_gain).c_str(),
+                         units::format_si(opamp.gbw_hz).c_str(),
+                         units::format_si(opamp.rin).c_str(),
+                         units::format_si(opamp.rout).c_str());
+      break;
+  }
+  return out;
+}
+
+}  // namespace ftdiag::netlist

@@ -1,0 +1,92 @@
+/// \file component.hpp
+/// \brief Element model of the netlist layer.
+///
+/// The library targets linear(ized) analog networks — the circuit class the
+/// fault-trajectory method addresses.  Supported elements: R, L, C,
+/// independent V/I sources, the four controlled sources (E/G/F/H), an ideal
+/// op-amp (nullor), and a single-pole op-amp macro model whose parameters
+/// are faultable per the FFM fault model of Calvano et al. (JETTA 2001).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftdiag::netlist {
+
+/// Node identifier inside one Circuit; 0 is always ground.
+using NodeId = std::size_t;
+inline constexpr NodeId kGround = 0;
+
+enum class ComponentKind : std::uint8_t {
+  kResistor,        ///< nodes {a, b}, value = ohms
+  kCapacitor,       ///< nodes {a, b}, value = farads
+  kInductor,        ///< nodes {a, b}, value = henries
+  kVoltageSource,   ///< nodes {+, -}, dc + ac phasor
+  kCurrentSource,   ///< nodes {+, -}, current flows + -> - through source
+  kVcvs,            ///< E: nodes {+, -, c+, c-}, value = voltage gain
+  kVccs,            ///< G: nodes {+, -, c+, c-}, value = transconductance
+  kCccs,            ///< F: nodes {+, -}, control = V-source name, value = gain
+  kCcvs,            ///< H: nodes {+, -}, control = V-source name, value = ohms
+  kIdealOpAmp,      ///< nodes {in+, in-, out}: nullor
+  kOpAmp,           ///< nodes {in+, in-, out}: single-pole macro model
+};
+
+/// Human-readable kind name ("resistor", "vcvs", ...).
+[[nodiscard]] const char* kind_name(ComponentKind kind);
+
+/// True for R, L, C — the passive set the paper's fault universe targets.
+[[nodiscard]] bool is_passive(ComponentKind kind);
+
+/// Single-pole op-amp macro model.
+///
+/// Elaborated into primitives as: Rin across the inputs; a VCCS into an
+/// internal RC pole (gm * rp = dc_gain, pole at gbw_hz / dc_gain); a unity
+/// VCVS buffering the pole node through Rout to the output.
+struct OpAmpModel {
+  double dc_gain = 2.0e5;   ///< Ad0, open-loop DC voltage gain
+  double gbw_hz = 1.0e6;    ///< gain-bandwidth product [Hz]
+  double rin = 2.0e6;       ///< differential input resistance [ohm]
+  double rout = 75.0;       ///< output resistance [ohm]
+
+  /// Open-loop pole frequency [Hz]: gbw / Ad0.
+  [[nodiscard]] double pole_hz() const { return gbw_hz / dc_gain; }
+
+  [[nodiscard]] bool operator==(const OpAmpModel&) const = default;
+};
+
+/// Names of the faultable macro-model parameters.
+enum class OpAmpParam : std::uint8_t { kDcGain, kGbw, kRin, kRout };
+
+[[nodiscard]] const char* opamp_param_name(OpAmpParam param);
+
+/// One netlist element.  Plain data; the Circuit owns the collection and
+/// enforces the structural invariants.
+struct Component {
+  std::string name;
+  ComponentKind kind = ComponentKind::kResistor;
+  std::vector<NodeId> nodes;
+
+  /// Primary value: ohms / farads / henries / gain / transconductance.
+  /// Unused for sources (see dc/ac_*) and op-amps (see opamp).
+  double value = 0.0;
+
+  // Independent-source excitation.
+  double dc = 0.0;            ///< DC value (V or A)
+  double ac_magnitude = 0.0;  ///< AC phasor magnitude (V or A)
+  double ac_phase_deg = 0.0;  ///< AC phasor phase [degrees]
+
+  /// For F/H elements: name of the voltage source whose current controls.
+  std::string control;
+
+  /// For kOpAmp.
+  OpAmpModel opamp;
+
+  /// Number of terminals this kind requires.
+  [[nodiscard]] static std::size_t terminal_count(ComponentKind kind);
+
+  /// One-line description for diagnostics.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace ftdiag::netlist

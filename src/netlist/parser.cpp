@@ -1,0 +1,286 @@
+#include "netlist/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace ftdiag::netlist {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw ParseError(str::format("line %zu: %s", line_no, message.c_str()));
+}
+
+double parse_value(std::size_t line_no, const std::string& token) {
+  const auto v = units::try_parse(token);
+  if (!v) fail(line_no, "invalid value '" + token + "'");
+  return *v;
+}
+
+/// Parse `[DC v] [AC mag [phase]]` source tails in any order.
+void parse_source_tail(std::size_t line_no,
+                       const std::vector<std::string>& tokens,
+                       std::size_t start, Component& component) {
+  std::size_t i = start;
+  bool saw_plain_value = false;
+  while (i < tokens.size()) {
+    const std::string key = str::to_lower(tokens[i]);
+    if (key == "dc") {
+      if (i + 1 >= tokens.size()) fail(line_no, "DC needs a value");
+      component.dc = parse_value(line_no, tokens[i + 1]);
+      i += 2;
+    } else if (key == "ac") {
+      if (i + 1 >= tokens.size()) fail(line_no, "AC needs a magnitude");
+      component.ac_magnitude = parse_value(line_no, tokens[i + 1]);
+      i += 2;
+      if (i < tokens.size() && units::try_parse(tokens[i]) &&
+          !str::iequals(tokens[i], "dc") && !str::iequals(tokens[i], "ac")) {
+        component.ac_phase_deg = parse_value(line_no, tokens[i]);
+        ++i;
+      }
+    } else if (!saw_plain_value && units::try_parse(tokens[i])) {
+      // Bare value == DC value, SPICE style: "V1 1 0 5".
+      component.dc = parse_value(line_no, tokens[i]);
+      saw_plain_value = true;
+      ++i;
+    } else {
+      fail(line_no, "unexpected token '" + tokens[i] + "' in source card");
+    }
+  }
+}
+
+/// Parse `KEY=value` pairs for op-amp models.
+void parse_opamp_params(std::size_t line_no,
+                        const std::vector<std::string>& tokens,
+                        std::size_t start, OpAmpModel& model) {
+  for (std::size_t i = start; i < tokens.size(); ++i) {
+    const auto pos = tokens[i].find('=');
+    if (pos == std::string::npos) {
+      fail(line_no, "expected KEY=value, got '" + tokens[i] + "'");
+    }
+    const std::string key = str::to_lower(tokens[i].substr(0, pos));
+    const double value = parse_value(line_no, tokens[i].substr(pos + 1));
+    if (key == "ad0" || key == "gain") {
+      model.dc_gain = value;
+    } else if (key == "gbw") {
+      model.gbw_hz = value;
+    } else if (key == "rin") {
+      model.rin = value;
+    } else if (key == "rout") {
+      model.rout = value;
+    } else {
+      fail(line_no, "unknown op-amp parameter '" + key + "'");
+    }
+  }
+}
+
+bool is_comment(std::string_view line) {
+  return line.empty() || line.front() == '*' || line.front() == ';' ||
+         str::starts_with(line, "//");
+}
+
+/// True if the line looks like a component/dot card (used to decide whether
+/// the first line is a title).
+bool looks_like_card(const std::string& line) {
+  if (line.empty()) return false;
+  const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(line.front())));
+  if (c == '.') return true;
+  static constexpr char kPrefixes[] = {'r', 'c', 'l', 'v', 'i',
+                                       'e', 'g', 'f', 'h', 'x'};
+  for (char p : kPrefixes) {
+    if (c == p) {
+      // Needs at least 3 whitespace-separated tokens to be a card.
+      return str::split_ws(line).size() >= 3;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Circuit parse_netlist(const std::string& text) {
+  Circuit circuit;
+  std::istringstream stream(text);
+  std::string raw_line;
+  std::size_t line_no = 0;
+  bool first_content_line = true;
+  bool ended = false;
+
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    std::string line{str::trim(raw_line)};
+    // Strip trailing comments.
+    if (const auto pos = line.find(';'); pos != std::string::npos) {
+      line = std::string(str::trim(line.substr(0, pos)));
+    }
+    if (is_comment(line)) continue;
+    if (ended) fail(line_no, "content after .end");
+
+    if (first_content_line && !looks_like_card(line)) {
+      circuit.set_title(line);
+      first_content_line = false;
+      continue;
+    }
+    first_content_line = false;
+
+    const std::vector<std::string> tokens = str::split_ws(line);
+    const std::string head = tokens.front();
+    const char type = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(head.front())));
+
+    if (type == '.') {
+      const std::string directive = str::to_lower(head);
+      if (directive == ".end") {
+        ended = true;
+      } else if (directive == ".title") {
+        circuit.set_title(
+            str::join({tokens.begin() + 1, tokens.end()}, " "));
+      } else {
+        fail(line_no, "unsupported directive '" + head + "'");
+      }
+      continue;
+    }
+
+    Component component;
+    component.name = head;
+    auto node_at = [&](std::size_t i) -> NodeId {
+      if (i >= tokens.size()) fail(line_no, "missing node in '" + line + "'");
+      return circuit.node(tokens[i]);
+    };
+
+    switch (type) {
+      case 'r':
+      case 'c':
+      case 'l': {
+        if (tokens.size() != 4) fail(line_no, "R/C/L cards need 3 operands");
+        component.kind = type == 'r'   ? ComponentKind::kResistor
+                         : type == 'c' ? ComponentKind::kCapacitor
+                                       : ComponentKind::kInductor;
+        component.nodes = {node_at(1), node_at(2)};
+        component.value = parse_value(line_no, tokens[3]);
+        break;
+      }
+      case 'v':
+      case 'i': {
+        component.kind = type == 'v' ? ComponentKind::kVoltageSource
+                                     : ComponentKind::kCurrentSource;
+        component.nodes = {node_at(1), node_at(2)};
+        parse_source_tail(line_no, tokens, 3, component);
+        break;
+      }
+      case 'e':
+      case 'g': {
+        if (tokens.size() != 6) fail(line_no, "E/G cards need 5 operands");
+        component.kind =
+            type == 'e' ? ComponentKind::kVcvs : ComponentKind::kVccs;
+        component.nodes = {node_at(1), node_at(2), node_at(3), node_at(4)};
+        component.value = parse_value(line_no, tokens[5]);
+        break;
+      }
+      case 'f':
+      case 'h': {
+        if (tokens.size() != 5) fail(line_no, "F/H cards need 4 operands");
+        component.kind =
+            type == 'f' ? ComponentKind::kCccs : ComponentKind::kCcvs;
+        component.nodes = {node_at(1), node_at(2)};
+        component.control = tokens[3];
+        component.value = parse_value(line_no, tokens[4]);
+        break;
+      }
+      case 'x': {
+        if (tokens.size() < 5) {
+          fail(line_no, "X cards need: in+ in- out MODEL [params]");
+        }
+        const std::string model = str::to_lower(tokens[4]);
+        if (model == "ideal" || model == "opamp_ideal") {
+          component.kind = ComponentKind::kIdealOpAmp;
+          component.nodes = {node_at(1), node_at(2), node_at(3)};
+          if (tokens.size() > 5) fail(line_no, "IDEAL op-amp takes no params");
+        } else if (model == "opamp") {
+          component.kind = ComponentKind::kOpAmp;
+          component.nodes = {node_at(1), node_at(2), node_at(3)};
+          parse_opamp_params(line_no, tokens, 5, component.opamp);
+        } else {
+          fail(line_no, "unknown subcircuit model '" + tokens[4] + "'");
+        }
+        break;
+      }
+      default:
+        fail(line_no, "unknown card type '" + head + "'");
+    }
+    try {
+      circuit.add_component(std::move(component));
+    } catch (const CircuitError& e) {
+      fail(line_no, e.what());
+    }
+  }
+  return circuit;
+}
+
+Circuit parse_netlist_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open netlist file '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_netlist(ss.str());
+}
+
+std::string write_netlist(const Circuit& circuit) {
+  std::ostringstream os;
+  if (!circuit.title().empty()) os << ".title " << circuit.title() << '\n';
+  // SPICE dispatches on the first letter of a card, so an op-amp whose
+  // in-memory name lacks the X prefix is written as "X<name>".
+  auto xname = [](const std::string& name) {
+    return (name.empty() || (name.front() != 'x' && name.front() != 'X'))
+               ? "X" + name
+               : name;
+  };
+  for (const auto& c : circuit.components()) {
+    auto node = [&](std::size_t i) { return circuit.node_name(c.nodes[i]); };
+    switch (c.kind) {
+      case ComponentKind::kResistor:
+      case ComponentKind::kCapacitor:
+      case ComponentKind::kInductor:
+        os << c.name << ' ' << node(0) << ' ' << node(1) << ' '
+           << str::format("%.10g", c.value) << '\n';
+        break;
+      case ComponentKind::kVoltageSource:
+      case ComponentKind::kCurrentSource:
+        os << c.name << ' ' << node(0) << ' ' << node(1)
+           << str::format(" DC %.10g AC %.10g %.10g", c.dc, c.ac_magnitude,
+                          c.ac_phase_deg)
+           << '\n';
+        break;
+      case ComponentKind::kVcvs:
+      case ComponentKind::kVccs:
+        os << c.name << ' ' << node(0) << ' ' << node(1) << ' ' << node(2)
+           << ' ' << node(3) << ' ' << str::format("%.10g", c.value) << '\n';
+        break;
+      case ComponentKind::kCccs:
+      case ComponentKind::kCcvs:
+        os << c.name << ' ' << node(0) << ' ' << node(1) << ' ' << c.control
+           << ' ' << str::format("%.10g", c.value) << '\n';
+        break;
+      case ComponentKind::kIdealOpAmp:
+        os << xname(c.name) << ' ' << node(0) << ' ' << node(1) << ' '
+           << node(2) << " IDEAL\n";
+        break;
+      case ComponentKind::kOpAmp:
+        os << xname(c.name) << ' ' << node(0) << ' ' << node(1) << ' ' << node(2)
+           << str::format(" OPAMP AD0=%.10g GBW=%.10g RIN=%.10g ROUT=%.10g",
+                          c.opamp.dc_gain, c.opamp.gbw_hz, c.opamp.rin,
+                          c.opamp.rout)
+           << '\n';
+        break;
+    }
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace ftdiag::netlist

@@ -1,0 +1,45 @@
+/// \file parser.hpp
+/// \brief SPICE-subset netlist parser.
+///
+/// Supported card types (case-insensitive, SPICE unit suffixes allowed):
+///
+/// ```
+/// * comment                      ; also lines starting with ';' or '//'
+/// Rname n+ n- value
+/// Cname n+ n- value
+/// Lname n+ n- value
+/// Vname n+ n- [DC v] [AC mag [phase]]
+/// Iname n+ n- [DC v] [AC mag [phase]]
+/// Ename n+ n- nc+ nc- gain       ; VCVS
+/// Gname n+ n- nc+ nc- gm         ; VCCS
+/// Fname n+ n- vcontrol gain      ; CCCS
+/// Hname n+ n- vcontrol rm        ; CCVS
+/// Xname in+ in- out OPAMP [AD0=v] [GBW=v] [RIN=v] [ROUT=v]
+/// Xname in+ in- out IDEAL        ; nullor op-amp
+/// .title any text                ; or a leading first-line title
+/// .end
+/// ```
+///
+/// The first line is treated as a title if it does not parse as a card.
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace ftdiag::netlist {
+
+/// Parse netlist source text. \throws ftdiag::ParseError with a line number
+/// on malformed input; the returned circuit is *not* auto-validated.
+[[nodiscard]] Circuit parse_netlist(const std::string& text);
+
+/// Read a file and parse it. \throws ftdiag::ParseError if unreadable.
+[[nodiscard]] Circuit parse_netlist_file(const std::string& path);
+
+/// Serialize a circuit back to netlist text (round-trips through
+/// parse_netlist up to formatting).  Elaborated op-amp internals are written
+/// as their primitive elements.  Op-amps whose names lack the SPICE "X"
+/// prefix are emitted as "X<name>" so the text stays parseable.
+[[nodiscard]] std::string write_netlist(const Circuit& circuit);
+
+}  // namespace ftdiag::netlist

@@ -1,0 +1,145 @@
+#include "util/args.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace ftdiag::args {
+
+Parser::Parser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Parser& Parser::option(const std::string& name, const std::string& help,
+                       const std::string& default_value) {
+  specs_.push_back({name, help, false, default_value});
+  return *this;
+}
+
+Parser& Parser::flag(const std::string& name, const std::string& help) {
+  specs_.push_back({name, help, true, ""});
+  return *this;
+}
+
+Parser& Parser::positional(const std::string& name, const std::string& help) {
+  positional_names_.push_back(name);
+  positional_help_.push_back(help);
+  return *this;
+}
+
+const OptionSpec* Parser::find_spec(const std::string& name) const {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+void Parser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional_seen;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      help_requested_ = true;
+      return;
+    }
+    if (str::starts_with(token, "--")) {
+      std::string name = token.substr(2);
+      std::string inline_value;
+      bool has_inline = false;
+      if (const auto pos = name.find('='); pos != std::string::npos) {
+        inline_value = name.substr(pos + 1);
+        name = name.substr(0, pos);
+        has_inline = true;
+      }
+      const OptionSpec* spec = find_spec(name);
+      if (spec == nullptr) {
+        throw ParseError("unknown option '--" + name + "'");
+      }
+      if (spec->is_flag) {
+        if (has_inline) {
+          throw ParseError("flag '--" + name + "' takes no value");
+        }
+        flags_[name] = true;
+      } else if (has_inline) {
+        values_[name] = inline_value;
+      } else {
+        if (i + 1 >= argc) {
+          throw ParseError("option '--" + name + "' needs a value");
+        }
+        values_[name] = argv[++i];
+      }
+    } else {
+      positional_seen.push_back(std::move(token));
+    }
+  }
+  if (positional_seen.size() != positional_names_.size()) {
+    throw ParseError(str::format("expected %zu positional argument(s), got %zu",
+                                 positional_names_.size(),
+                                 positional_seen.size()));
+  }
+  for (std::size_t i = 0; i < positional_names_.size(); ++i) {
+    positionals_[positional_names_[i]] = positional_seen[i];
+  }
+}
+
+std::string Parser::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_;
+  for (const auto& name : positional_names_) os << " <" << name << ">";
+  os << " [options]\n\n" << description_ << "\n\n";
+  for (std::size_t i = 0; i < positional_names_.size(); ++i) {
+    os << "  <" << positional_names_[i] << ">  " << positional_help_[i]
+       << "\n";
+  }
+  os << "\noptions:\n";
+  for (const auto& spec : specs_) {
+    os << "  --" << spec.name;
+    if (!spec.is_flag) {
+      os << " <value>";
+      if (!spec.default_value.empty()) {
+        os << " (default: " << spec.default_value << ")";
+      }
+    }
+    os << "\n      " << spec.help << "\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+std::string Parser::get(const std::string& name) const {
+  const OptionSpec* spec = find_spec(name);
+  if (spec == nullptr || spec->is_flag) {
+    throw ParseError("get() on undeclared option '" + name + "'");
+  }
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : spec->default_value;
+}
+
+double Parser::get_double(const std::string& name) const {
+  return units::parse(get(name));
+}
+
+std::size_t Parser::get_size(const std::string& name) const {
+  const double v = get_double(name);
+  if (v < 0.0) throw ParseError("option '--" + name + "' must be >= 0");
+  return static_cast<std::size_t>(v);
+}
+
+bool Parser::has(const std::string& name) const {
+  const OptionSpec* spec = find_spec(name);
+  if (spec == nullptr || !spec->is_flag) {
+    throw ParseError("has() on undeclared flag '" + name + "'");
+  }
+  return flags_.contains(name);
+}
+
+const std::string& Parser::positional_value(const std::string& name) const {
+  const auto it = positionals_.find(name);
+  if (it == positionals_.end()) {
+    throw ParseError("missing positional '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace ftdiag::args

@@ -1,0 +1,79 @@
+/// \file args.hpp
+/// \brief Minimal command-line argument parser for the CLI tools.
+///
+/// Supports `--flag`, `--key value`, `--key=value` and positional
+/// arguments.  Unknown options are an error so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ftdiag::args {
+
+/// Declaration of one accepted option.
+struct OptionSpec {
+  std::string name;         ///< without the leading "--"
+  std::string help;
+  bool is_flag = false;     ///< true: no value expected
+  std::string default_value;  ///< used when absent (non-flags)
+};
+
+class Parser {
+public:
+  /// \param program for the usage line; \param description one-liner.
+  Parser(std::string program, std::string description);
+
+  /// Register an option taking a value.
+  Parser& option(const std::string& name, const std::string& help,
+                 const std::string& default_value = "");
+
+  /// Register a boolean flag.
+  Parser& flag(const std::string& name, const std::string& help);
+
+  /// Register a named positional argument (required, in order).
+  Parser& positional(const std::string& name, const std::string& help);
+
+  /// Parse argv.  \throws ftdiag::ParseError on unknown options, missing
+  /// values or missing positionals.  "--help" is recognized and sets
+  /// help_requested() instead of throwing.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+
+  /// Usage text.
+  [[nodiscard]] std::string usage() const;
+
+  /// Value of an option (default when absent).  \throws ParseError for
+  /// undeclared names (programming error surfaced loudly).
+  [[nodiscard]] std::string get(const std::string& name) const;
+
+  /// Value parsed as double via units::parse ("10k" works).
+  [[nodiscard]] double get_double(const std::string& name) const;
+
+  /// Value parsed as a non-negative integer.
+  [[nodiscard]] std::size_t get_size(const std::string& name) const;
+
+  /// True if a flag was given.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Positional value by declared name.
+  [[nodiscard]] const std::string& positional_value(
+      const std::string& name) const;
+
+private:
+  std::string program_;
+  std::string description_;
+  std::vector<OptionSpec> specs_;
+  std::vector<std::string> positional_names_;
+  std::vector<std::string> positional_help_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  std::map<std::string, std::string> positionals_;
+  bool help_requested_ = false;
+
+  [[nodiscard]] const OptionSpec* find_spec(const std::string& name) const;
+};
+
+}  // namespace ftdiag::args

@@ -1,0 +1,124 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag::csv {
+
+std::size_t Table::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw ParseError("csv column '" + name + "' not found");
+}
+
+Writer::Writer(std::ostream& os, char sep) : os_(os), sep_(sep) {}
+
+void Writer::cell(const std::string& value, bool first) {
+  if (!first) os_ << sep_;
+  const bool needs_quotes =
+      value.find_first_of(std::string{sep_, '"', '\n', '\r'}) !=
+      std::string::npos;
+  if (!needs_quotes) {
+    os_ << value;
+    return;
+  }
+  os_ << '"';
+  for (char c : value) {
+    if (c == '"') os_ << '"';
+    os_ << c;
+  }
+  os_ << '"';
+}
+
+void Writer::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) cell(cells[i], i == 0);
+  os_ << '\n';
+}
+
+void Writer::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(str::format("%.10g", v));
+  row(text);
+}
+
+Table parse(const std::string& text, char sep) {
+  Table table;
+  std::vector<std::string> current_row;
+  std::string current_cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_cell = [&] {
+    current_row.push_back(current_cell);
+    current_cell.clear();
+  };
+  auto end_row = [&] {
+    end_cell();
+    if (table.header.empty()) {
+      table.header = current_row;
+    } else {
+      table.rows.push_back(current_row);
+    }
+    current_row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current_cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current_cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_has_content || !current_row.empty() || !current_cell.empty()) {
+          end_row();
+        }
+        break;
+      default:
+        if (c == sep) {
+          end_cell();
+          row_has_content = true;
+        } else {
+          current_cell += c;
+          row_has_content = true;
+        }
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quoted csv field");
+  if (row_has_content || !current_row.empty() || !current_cell.empty()) {
+    end_row();
+  }
+  return table;
+}
+
+Table read_file(const std::string& path, char sep) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open csv file '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str(), sep);
+}
+
+}  // namespace ftdiag::csv

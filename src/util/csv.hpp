@@ -1,0 +1,48 @@
+/// \file csv.hpp
+/// \brief Minimal RFC-4180-ish CSV writer and reader.
+///
+/// Used to export fault dictionaries, trajectories and benchmark series for
+/// external plotting, and to round-trip them in tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftdiag::csv {
+
+/// One parsed CSV table: a header row plus data rows of strings.
+struct Table {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index for a header name. \throws ftdiag::ParseError if missing.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+};
+
+/// Streaming CSV writer with proper quoting of separators/quotes/newlines.
+class Writer {
+public:
+  explicit Writer(std::ostream& os, char sep = ',');
+
+  /// Write one row of string cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Write one row of doubles using %.10g.
+  void row_numeric(const std::vector<double>& cells);
+
+private:
+  void cell(const std::string& value, bool first);
+  std::ostream& os_;
+  char sep_;
+};
+
+/// Parse CSV text (first row is the header).
+/// Handles quoted fields with embedded separators, quotes and newlines.
+/// \throws ftdiag::ParseError on unterminated quotes.
+[[nodiscard]] Table parse(const std::string& text, char sep = ',');
+
+/// Read and parse a CSV file. \throws ftdiag::ParseError if unreadable.
+[[nodiscard]] Table read_file(const std::string& path, char sep = ',');
+
+}  // namespace ftdiag::csv

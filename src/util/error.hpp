@@ -1,0 +1,59 @@
+/// \file error.hpp
+/// \brief Exception hierarchy and contract-checking macros for ftdiag.
+///
+/// Recoverable failures (bad netlist, singular matrix, malformed CSV, ...)
+/// throw an exception derived from ftdiag::Error.  Programming errors
+/// (contract violations) abort via FTDIAG_ASSERT in all build types, so the
+/// library behaves identically in Release and Debug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ftdiag {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed user input: netlists, unit strings, CSV files, option values.
+class ParseError : public Error {
+public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Structurally invalid circuit (dangling node, duplicate name, ...).
+class CircuitError : public Error {
+public:
+  explicit CircuitError(const std::string& what) : Error("circuit error: " + what) {}
+};
+
+/// Numerical failure: singular MNA matrix, non-convergence, overflow.
+class NumericError : public Error {
+public:
+  explicit NumericError(const std::string& what) : Error("numeric error: " + what) {}
+};
+
+/// Invalid configuration of an analysis, fault universe or optimizer.
+class ConfigError : public Error {
+public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace ftdiag
+
+/// Contract check, active in every build type.  On failure prints
+/// expression + location and aborts.
+#define FTDIAG_ASSERT(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::ftdiag::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                     \
+  } while (false)

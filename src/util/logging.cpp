@@ -1,0 +1,38 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ftdiag::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level lvl, const std::string& message) {
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  std::fprintf(stderr, "[ftdiag %s] %s\n", level_name(lvl), message.c_str());
+  std::fflush(stderr);
+}
+
+void debug(const std::string& message) { emit(Level::kDebug, message); }
+void info(const std::string& message) { emit(Level::kInfo, message); }
+void warn(const std::string& message) { emit(Level::kWarn, message); }
+void error(const std::string& message) { emit(Level::kError, message); }
+
+}  // namespace ftdiag::log

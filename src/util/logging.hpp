@@ -1,0 +1,27 @@
+/// \file logging.hpp
+/// \brief Tiny leveled logger used by the long-running flows (fault
+/// simulation, GA) to report progress without pulling in a dependency.
+#pragma once
+
+#include <string>
+
+namespace ftdiag::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global threshold; messages below it are dropped. Default: kWarn,
+/// so the library is silent in tests unless something is wrong.
+void set_level(Level level);
+
+/// Current threshold.
+[[nodiscard]] Level level();
+
+/// Emit a message at the given level to stderr (flushed per line).
+void emit(Level level, const std::string& message);
+
+void debug(const std::string& message);
+void info(const std::string& message);
+void warn(const std::string& message);
+void error(const std::string& message);
+
+}  // namespace ftdiag::log

@@ -1,0 +1,114 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace ftdiag {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // xoshiro must not be seeded with the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  FTDIAG_ASSERT(lo <= hi, "uniform: lo must not exceed hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FTDIAG_ASSERT(lo <= hi, "uniform_int: lo must not exceed hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 must be strictly positive.
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  FTDIAG_ASSERT(!weights.empty(), "weighted_index: empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    FTDIAG_ASSERT(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(weights.size()) - 1));
+  }
+  const double target = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // numerical edge: target == total
+}
+
+Rng Rng::fork() { return Rng((*this)()); }
+
+}  // namespace ftdiag

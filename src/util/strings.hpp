@@ -1,0 +1,44 @@
+/// \file strings.hpp
+/// \brief Small string utilities shared by the parsers and reporters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftdiag::str {
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Lower-case an ASCII string.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Upper-case an ASCII string.
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// Split on a delimiter character.  Empty fields are kept;
+/// splitting the empty string yields one empty field.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of whitespace.  Never yields empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// True if \p s begins with \p prefix (case-sensitive).
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if \p s ends with \p suffix (case-sensitive).
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// Join \p parts with \p sep.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// printf-style formatting into std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ftdiag::str

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ftdiag {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_numeric_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(str::format("%.4g", v));
+  add_row(std::move(text));
+}
+
+void AsciiTable::add_labeled_row(const std::string& label,
+                                 const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size() + 1);
+  text.push_back(label);
+  for (double v : cells) text.push_back(str::format("%.4g", v));
+  add_row(std::move(text));
+}
+
+std::string AsciiTable::str() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << (i == 0 ? "| " : " ");
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << (i == 0 ? "|-" : "-") << std::string(widths[i], '-') << "-|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void AsciiTable::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << "== " << title << " ==\n";
+  os << str();
+}
+
+}  // namespace ftdiag

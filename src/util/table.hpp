@@ -1,0 +1,45 @@
+/// \file table.hpp
+/// \brief ASCII table printer for benchmark and example output.
+///
+/// The benchmark binaries reproduce the paper's figures as numeric tables;
+/// this formatter keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftdiag {
+
+/// Column-aligned ASCII table with optional title and rule lines.
+class AsciiTable {
+public:
+  /// \param headers column titles; fixes the column count.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Append a row of preformatted cells.  Shorter rows are padded with "".
+  /// Rows longer than the header are truncated.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a row of doubles formatted with %.4g.
+  void add_numeric_row(const std::vector<double>& cells);
+
+  /// Append a row whose first cell is a label and the rest doubles.
+  void add_labeled_row(const std::string& label,
+                       const std::vector<double>& cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with `|` separators and a rule under the header.
+  [[nodiscard]] std::string str() const;
+
+  /// Convenience: render with a title line above the table.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftdiag

@@ -1,0 +1,89 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag::units {
+
+namespace {
+
+/// Map a SPICE suffix (already lower-cased) starting at `tail` to a scale.
+/// Returns 1.0 when no suffix is recognized and the tail is empty.
+std::optional<double> suffix_scale(std::string_view tail) {
+  if (tail.empty()) return 1.0;
+  // `meg` and `mil` must be matched before single-letter `m`.
+  if (str::starts_with(tail, "meg")) return 1e6;
+  if (str::starts_with(tail, "mil")) return 25.4e-6;
+  switch (tail.front()) {
+    case 't': return 1e12;
+    case 'g': return 1e9;
+    case 'k': return 1e3;
+    case 'm': return 1e-3;
+    case 'u': return 1e-6;
+    case 'n': return 1e-9;
+    case 'p': return 1e-12;
+    case 'f': return 1e-15;
+    default: break;
+  }
+  // Unknown first character: only acceptable when it begins a pure unit
+  // name (letters only), which SPICE ignores -- e.g. "10Ohm", "5V".
+  for (char c : tail) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) return std::nullopt;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+std::optional<double> try_parse(std::string_view text) {
+  const std::string s = str::to_lower(std::string(str::trim(text)));
+  if (s.empty()) return std::nullopt;
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  const double mantissa = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  if (!std::isfinite(mantissa)) return std::nullopt;
+  std::string_view tail(end);
+  // A suffix directly follows the number; anything alphabetic after the
+  // suffix is a unit name and is ignored (SPICE behaviour).
+  const auto scale = suffix_scale(tail);
+  if (!scale) return std::nullopt;
+  return mantissa * *scale;
+}
+
+double parse(std::string_view text) {
+  const auto v = try_parse(text);
+  if (!v) {
+    throw ParseError("invalid engineering value '" + std::string(text) + "'");
+  }
+  return *v;
+}
+
+std::string format_si(double value) {
+  if (value == 0.0) return "0";
+  if (!std::isfinite(value)) return value > 0 ? "inf" : (value < 0 ? "-inf" : "nan");
+  const double mag = std::fabs(value);
+  // "meg" (not "M") for 1e6: SPICE suffixes are case-insensitive and a
+  // leading 'm' always means milli, so format/parse round-trips.
+  static constexpr struct {
+    double scale;
+    const char* suffix;
+  } kTable[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "meg"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+  };
+  for (const auto& entry : kTable) {
+    if (mag >= entry.scale * 0.99999) {
+      return str::format("%.4g%s", value / entry.scale, entry.suffix);
+    }
+  }
+  return str::format("%g", value);
+}
+
+std::string format_hz(double hz) { return format_si(hz) + "Hz"; }
+
+}  // namespace ftdiag::units

@@ -1,0 +1,29 @@
+/// \file units.hpp
+/// \brief SPICE-style engineering-unit parsing and SI formatting.
+///
+/// Component values in netlists use SPICE suffixes: `2.2u`, `10k`, `1meg`,
+/// `4.7n`.  Suffixes are case-insensitive; trailing unit names after the
+/// suffix (`10kOhm`, `100nF`) are tolerated and ignored, matching SPICE.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ftdiag::units {
+
+/// Parse a SPICE-style value such as `1.5k`, `2.2u`, `3meg`, `10`, `1e-9`.
+/// \throws ftdiag::ParseError on malformed input.
+[[nodiscard]] double parse(std::string_view text);
+
+/// Non-throwing variant of parse().
+[[nodiscard]] std::optional<double> try_parse(std::string_view text);
+
+/// Format with an SI suffix and ~4 significant digits: 1500 -> "1.5k",
+/// 2.2e-6 -> "2.2u".  Values outside [1e-18, 1e18) fall back to %g.
+[[nodiscard]] std::string format_si(double value);
+
+/// Format a frequency in engineering units with a trailing "Hz".
+[[nodiscard]] std::string format_hz(double hz);
+
+}  // namespace ftdiag::units

@@ -1,0 +1,90 @@
+#include "core/ambiguity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/nf_biquad.hpp"
+#include "circuits/tow_thomas.hpp"
+
+namespace ftdiag::core {
+namespace {
+
+faults::FaultDictionary build_dict(const circuits::CircuitUnderTest& cut) {
+  return faults::FaultDictionary::build(
+      cut, faults::FaultUniverse::over_testable(cut));
+}
+
+TEST(AmbiguityGroup, ContainsAndLabel) {
+  AmbiguityGroup g;
+  g.sites = {"R4", "R6"};
+  EXPECT_TRUE(g.contains("R4"));
+  EXPECT_FALSE(g.contains("R1"));
+  EXPECT_EQ(g.label(), "R4=R6");
+}
+
+TEST(Ambiguity, PaperCutHasAllSingletons) {
+  const auto cut = circuits::make_paper_cut();
+  const auto groups = find_ambiguity_groups(build_dict(cut));
+  EXPECT_EQ(groups.size(), 7u);
+  for (const auto& g : groups) EXPECT_EQ(g.sites.size(), 1u);
+}
+
+TEST(Ambiguity, TowThomasHasTheKnownStructuralGroups) {
+  // At the LP output: R4 and R6 enter only via k/R6; R3 and C2 only via
+  // the product R3*C2 — both pairs must be detected.
+  const auto cut = circuits::make_tow_thomas();
+  const auto groups = find_ambiguity_groups(build_dict(cut));
+  EXPECT_EQ(groups.size(), 5u);  // 7 testables -> 5 classes
+  EXPECT_TRUE(same_group(groups, "R4", "R6"));
+  EXPECT_TRUE(same_group(groups, "R3", "C2"));
+  EXPECT_FALSE(same_group(groups, "R1", "R2"));
+  EXPECT_FALSE(same_group(groups, "C1", "C2"));
+}
+
+TEST(Ambiguity, GroupOfFindsOwner) {
+  const auto cut = circuits::make_tow_thomas();
+  const auto groups = find_ambiguity_groups(build_dict(cut));
+  const std::size_t g_r4 = group_of(groups, "R4");
+  ASSERT_LT(g_r4, groups.size());
+  EXPECT_EQ(g_r4, group_of(groups, "R6"));
+  EXPECT_EQ(group_of(groups, "R99"), groups.size());
+}
+
+TEST(Ambiguity, SameGroupIsFalseForUnknownSites) {
+  const auto cut = circuits::make_paper_cut();
+  const auto groups = find_ambiguity_groups(build_dict(cut));
+  EXPECT_FALSE(same_group(groups, "R99", "R1"));
+  EXPECT_FALSE(same_group(groups, "R1", "R98"));
+}
+
+TEST(Ambiguity, GroupsPartitionAllSites) {
+  const auto cut = circuits::make_tow_thomas();
+  const auto dict = build_dict(cut);
+  const auto groups = find_ambiguity_groups(dict);
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.sites.size();
+  EXPECT_EQ(total, dict.site_labels().size());
+  // Every site appears in exactly one group.
+  for (const auto& site : dict.site_labels()) {
+    EXPECT_LT(group_of(groups, site), groups.size()) << site;
+  }
+}
+
+TEST(Ambiguity, LooseToleranceMergesEverything) {
+  const auto cut = circuits::make_paper_cut();
+  AmbiguityOptions options;
+  options.relative_tolerance = 1e9;  // absurd: everything looks the same
+  const auto groups = find_ambiguity_groups(build_dict(cut), options);
+  EXPECT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups.front().sites.size(), 7u);
+}
+
+TEST(Ambiguity, CustomProbeFrequenciesRespected) {
+  const auto cut = circuits::make_tow_thomas();
+  AmbiguityOptions options;
+  options.probe_frequencies_hz = {100.0, 1000.0, 10000.0};
+  const auto groups = find_ambiguity_groups(build_dict(cut), options);
+  EXPECT_TRUE(same_group(groups, "R4", "R6"));
+}
+
+}  // namespace
+}  // namespace ftdiag::core

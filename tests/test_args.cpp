@@ -1,0 +1,117 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ftdiag::args {
+namespace {
+
+Parser make_parser() {
+  Parser p("tool", "test tool");
+  p.positional("file", "input file")
+      .option("count", "how many", "5")
+      .option("name", "a name", "default")
+      .flag("verbose", "talk more");
+  return p;
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> items) {
+  return {items};
+}
+
+TEST(Args, PositionalAndDefaults) {
+  Parser p = make_parser();
+  const auto argv = argv_of({"tool", "input.cir"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(p.positional_value("file"), "input.cir");
+  EXPECT_EQ(p.get("count"), "5");
+  EXPECT_EQ(p.get("name"), "default");
+  EXPECT_FALSE(p.has("verbose"));
+}
+
+TEST(Args, SeparateValueForm) {
+  Parser p = make_parser();
+  const auto argv = argv_of({"tool", "f", "--count", "12"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(p.get("count"), "12");
+  EXPECT_EQ(p.get_size("count"), 12u);
+}
+
+TEST(Args, EqualsValueForm) {
+  Parser p = make_parser();
+  const auto argv = argv_of({"tool", "f", "--name=filter", "--count=3"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(p.get("name"), "filter");
+  EXPECT_EQ(p.get_size("count"), 3u);
+}
+
+TEST(Args, FlagForm) {
+  Parser p = make_parser();
+  const auto argv = argv_of({"tool", "f", "--verbose"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(p.has("verbose"));
+}
+
+TEST(Args, EngineeringValues) {
+  Parser p = make_parser();
+  const auto argv = argv_of({"tool", "f", "--count", "10k"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(p.get_double("count"), 10000.0);
+}
+
+TEST(Args, HelpShortCircuits) {
+  Parser p = make_parser();
+  const auto argv = argv_of({"tool", "--help"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(p.help_requested());
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("<file>"), std::string::npos);
+}
+
+TEST(Args, ErrorsAreLoud) {
+  {
+    Parser p = make_parser();
+    const auto argv = argv_of({"tool", "f", "--bogus", "1"});
+    EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+                 ParseError);
+  }
+  {
+    Parser p = make_parser();
+    const auto argv = argv_of({"tool", "f", "--count"});
+    EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+                 ParseError);  // missing value
+  }
+  {
+    Parser p = make_parser();
+    const auto argv = argv_of({"tool"});
+    EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+                 ParseError);  // missing positional
+  }
+  {
+    Parser p = make_parser();
+    const auto argv = argv_of({"tool", "a", "b"});
+    EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+                 ParseError);  // extra positional
+  }
+  {
+    Parser p = make_parser();
+    const auto argv = argv_of({"tool", "f", "--verbose=yes"});
+    EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+                 ParseError);  // flags take no value
+  }
+}
+
+TEST(Args, UndeclaredAccessThrows) {
+  Parser p = make_parser();
+  const auto argv = argv_of({"tool", "f"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(p.get("nope"), ParseError);
+  EXPECT_THROW((void)p.has("nope"), ParseError);
+  EXPECT_THROW(p.get("verbose"), ParseError);  // flag accessed as option
+  EXPECT_THROW((void)p.has("count"), ParseError);    // option accessed as flag
+}
+
+}  // namespace
+}  // namespace ftdiag::args

@@ -1,0 +1,142 @@
+#include "core/atpg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/nf_biquad.hpp"
+#include "ga/baselines.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+namespace {
+
+class AtpgTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    flow_ = new AtpgFlow(circuits::make_paper_cut());
+  }
+  static void TearDownTestSuite() {
+    delete flow_;
+    flow_ = nullptr;
+  }
+  static AtpgFlow* flow_;
+};
+
+AtpgFlow* AtpgTest::flow_ = nullptr;
+
+TEST(AtpgConfig, DefaultsAreValid) { EXPECT_NO_THROW(AtpgConfig{}.check()); }
+
+TEST(AtpgConfig, BadConfigsRejected) {
+  AtpgConfig no_freq;
+  no_freq.n_frequencies = 0;
+  EXPECT_THROW(no_freq.check(), ConfigError);
+
+  AtpgConfig bad_fitness;
+  bad_fitness.fitness = "nope";
+  EXPECT_THROW(bad_fitness.check(), ConfigError);
+
+  AtpgConfig bad_ga;
+  bad_ga.ga.population_size = 0;
+  EXPECT_THROW(bad_ga.check(), ConfigError);
+}
+
+TEST(Atpg, ToTestVectorConvertsAndSorts) {
+  const auto tv = AtpgFlow::to_test_vector({4.0, 2.0});  // 10^4, 10^2
+  ASSERT_EQ(tv.frequencies_hz.size(), 2u);
+  EXPECT_NEAR(tv.frequencies_hz[0], 100.0, 1e-9);
+  EXPECT_NEAR(tv.frequencies_hz[1], 10000.0, 1e-6);
+}
+
+TEST_F(AtpgTest, BoundsDerivedFromBand) {
+  const auto bounds = flow_->bounds();
+  EXPECT_NEAR(bounds.lo, 1.0, 1e-12);  // 10 Hz
+  EXPECT_NEAR(bounds.hi, 5.0, 1e-12);  // 100 kHz
+}
+
+TEST_F(AtpgTest, DictionaryBuiltEagerly) {
+  EXPECT_EQ(flow_->dictionary().fault_count(), 56u);
+  EXPECT_EQ(flow_->cut().name, "nf_biquad");
+}
+
+TEST_F(AtpgTest, PaperGaFindsNonIntersectingVector) {
+  const AtpgResult result = flow_->run();
+  // The headline reproduction: the GA must find a frequency pair whose
+  // seven trajectories do not intersect (fitness 1 = zero intersections).
+  EXPECT_DOUBLE_EQ(result.best.fitness, 1.0);
+  EXPECT_EQ(result.best.intersections, 0u);
+  EXPECT_EQ(result.best.vector.frequencies_hz.size(), 2u);
+  EXPECT_EQ(result.dictionary_faults, 56u);
+  // Paper parameters: 128 individuals, 15 generations.
+  EXPECT_EQ(result.search.history.front().evaluations, 128u);
+  EXPECT_EQ(result.search.history.size(), 16u);  // gen 0..15
+}
+
+TEST_F(AtpgTest, ConvergenceHistoryIsMonotoneInBest) {
+  const AtpgResult result = flow_->run();
+  double prev = 0.0;
+  for (const auto& g : result.search.history) {
+    EXPECT_GE(g.best + 1e-12, prev);  // elitism forbids regression
+    prev = g.best;
+    EXPECT_LE(g.worst, g.mean + 1e-12);
+    EXPECT_LE(g.mean, g.best + 1e-12);
+  }
+}
+
+TEST_F(AtpgTest, DeterministicForFixedSeed) {
+  const AtpgResult a = flow_->run();
+  const AtpgResult b = flow_->run();
+  EXPECT_EQ(a.best.vector.frequencies_hz, b.best.vector.frequencies_hz);
+  EXPECT_EQ(a.search.evaluations, b.search.evaluations);
+}
+
+TEST_F(AtpgTest, RunWithBaselineOptimizer) {
+  const ga::RandomSearch random(512);
+  const AtpgResult result = flow_->run_with(random, 7);
+  EXPECT_GT(result.best.fitness, 0.0);
+  EXPECT_EQ(result.search.evaluations, 512u);
+}
+
+TEST_F(AtpgTest, ScoreExternalVector) {
+  const auto score = flow_->score({{700.0, 1600.0}});
+  EXPECT_GT(score.fitness, 0.0);
+  EXPECT_EQ(score.vector.frequencies_hz.size(), 2u);
+}
+
+TEST(Atpg, SeparationFitnessFlowAlsoConverges) {
+  AtpgConfig config;
+  config.fitness = "separation";
+  config.ga.generations = 8;
+  const AtpgFlow flow(circuits::make_paper_cut(), config);
+  const AtpgResult result = flow.run();
+  EXPECT_GT(result.best.fitness, 0.1);
+  // A good separation vector should also have zero intersections here.
+  EXPECT_EQ(result.best.intersections, 0u);
+}
+
+TEST(Atpg, SensitivitySeededFlowStartsStrong) {
+  // Seeded with screened frequency pairs, the very first generation's best
+  // must already be high on the continuous hybrid objective.
+  AtpgConfig seeded;
+  seeded.fitness = "hybrid";
+  seeded.seed_with_sensitivity = true;
+  seeded.ga.generations = 3;
+  const AtpgFlow flow(circuits::make_paper_cut(), seeded);
+  const AtpgResult result = flow.run();
+  EXPECT_GT(result.search.history.front().best, 0.70);
+  EXPECT_EQ(result.best.intersections, 0u);
+}
+
+TEST(Atpg, ThreeFrequencyFlow) {
+  AtpgConfig config;
+  config.n_frequencies = 3;
+  config.ga.generations = 5;
+  config.ga.population_size = 32;
+  const AtpgFlow flow(circuits::make_paper_cut(), config);
+  const AtpgResult result = flow.run();
+  EXPECT_EQ(result.best.vector.frequencies_hz.size(), 3u);
+  EXPECT_GT(result.best.fitness, 0.0);
+}
+
+}  // namespace
+}  // namespace ftdiag::core

@@ -1,0 +1,187 @@
+#include "netlist/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ftdiag::netlist {
+namespace {
+
+TEST(Nodes, GroundExistsUnderBothNames) {
+  Circuit c;
+  EXPECT_EQ(c.node_index("0"), kGround);
+  EXPECT_EQ(c.node_index("gnd"), kGround);
+  EXPECT_EQ(c.node_count(), 1u);
+}
+
+TEST(Nodes, GetOrCreateIsIdempotent) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  EXPECT_EQ(c.node("a"), a);
+  EXPECT_EQ(c.node_count(), 2u);
+}
+
+TEST(Nodes, NamesAreCaseInsensitive) {
+  Circuit c;
+  EXPECT_EQ(c.node("OUT"), c.node("out"));
+}
+
+TEST(Nodes, UnknownLookupThrows) {
+  const Circuit c;
+  EXPECT_THROW((void)c.node_index("nope"), CircuitError);
+  EXPECT_THROW((void)c.node_name(42), CircuitError);
+}
+
+TEST(Builder, AddsAndLooksUpComponents) {
+  Circuit c;
+  c.add_resistor("R1", "a", "0", 1000.0);
+  EXPECT_TRUE(c.has_component("R1"));
+  EXPECT_EQ(c.component("R1").kind, ComponentKind::kResistor);
+  EXPECT_DOUBLE_EQ(c.value_of("R1"), 1000.0);
+}
+
+TEST(Builder, DuplicateNameRejected) {
+  Circuit c;
+  c.add_resistor("R1", "a", "0", 1.0);
+  EXPECT_THROW(c.add_capacitor("R1", "a", "0", 1.0), CircuitError);
+}
+
+TEST(Builder, EmptyNameRejected) {
+  Circuit c;
+  EXPECT_THROW(c.add_resistor("", "a", "0", 1.0), CircuitError);
+}
+
+TEST(Builder, FluentChaining) {
+  Circuit c;
+  c.add_resistor("R1", "in", "out", 1e3)
+      .add_capacitor("C1", "out", "0", 1e-9)
+      .add_vsource("V1", "in", "0", 0.0, 1.0);
+  EXPECT_EQ(c.component_count(), 3u);
+}
+
+TEST(Builder, WrongTerminalCountRejected) {
+  Circuit c;
+  Component bad;
+  bad.name = "E1";
+  bad.kind = ComponentKind::kVcvs;
+  bad.nodes = {0, 0};  // needs 4
+  EXPECT_THROW(c.add_component(bad), CircuitError);
+}
+
+TEST(Builder, UnresolvedNodeIdRejected) {
+  Circuit c;
+  Component bad;
+  bad.name = "R9";
+  bad.kind = ComponentKind::kResistor;
+  bad.nodes = {0, 99};
+  bad.value = 1.0;
+  EXPECT_THROW(c.add_component(bad), CircuitError);
+}
+
+TEST(Access, NamesOfKind) {
+  Circuit c;
+  c.add_resistor("R1", "a", "0", 1.0);
+  c.add_resistor("R2", "a", "b", 1.0);
+  c.add_capacitor("C1", "b", "0", 1.0);
+  const auto resistors = c.names_of(ComponentKind::kResistor);
+  ASSERT_EQ(resistors.size(), 2u);
+  EXPECT_EQ(resistors[0], "R1");
+  const auto passives = c.passive_names();
+  EXPECT_EQ(passives.size(), 3u);
+}
+
+TEST(Mutation, SetAndScaleValue) {
+  Circuit c;
+  c.add_resistor("R1", "a", "0", 100.0);
+  c.set_value("R1", 220.0);
+  EXPECT_DOUBLE_EQ(c.value_of("R1"), 220.0);
+  c.scale_value("R1", 1.1);
+  EXPECT_NEAR(c.value_of("R1"), 242.0, 1e-9);
+}
+
+TEST(Mutation, ValueOfSourceThrows) {
+  Circuit c;
+  c.add_vsource("V1", "a", "0", 1.0);
+  EXPECT_THROW(c.set_value("V1", 2.0), CircuitError);
+  EXPECT_THROW((void)c.value_of("V1"), CircuitError);
+}
+
+TEST(Mutation, UnknownComponentThrows) {
+  Circuit c;
+  EXPECT_THROW(c.set_value("R404", 1.0), CircuitError);
+  EXPECT_THROW((void)c.component("R404"), CircuitError);
+}
+
+TEST(Mutation, OpAmpParams) {
+  Circuit c;
+  c.add_opamp("OA1", "p", "n", "out");
+  c.add_resistor("Rl", "out", "0", 1e3);
+  c.add_resistor("Rp", "p", "0", 1e3);
+  c.add_resistor("Rn", "n", "0", 1e3);
+  c.set_opamp_param("OA1", OpAmpParam::kGbw, 2e6);
+  EXPECT_DOUBLE_EQ(c.opamp_param("OA1", OpAmpParam::kGbw), 2e6);
+  EXPECT_THROW(c.set_opamp_param("Rl", OpAmpParam::kGbw, 1.0), CircuitError);
+}
+
+TEST(Validate, CleanRcDividerPasses) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "out", 1e3);
+  c.add_capacitor("C1", "out", "0", 1e-9);
+  EXPECT_TRUE(c.validate().empty());
+  EXPECT_NO_THROW(c.validate_or_throw());
+}
+
+TEST(Validate, NonPositiveValueReported) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "0", -5.0);
+  const auto problems = c.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("non-positive"), std::string::npos);
+  EXPECT_THROW(c.validate_or_throw(), CircuitError);
+}
+
+TEST(Validate, DanglingNodeReported) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "dangling", 1e3);
+  const auto problems = c.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("dangling"), std::string::npos);
+}
+
+TEST(Validate, MissingControlSourceReported) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "out", 1e3);
+  c.add_resistor("R2", "out", "0", 1e3);
+  c.add_cccs("F1", "out", "0", "Vmissing", 2.0);
+  const auto problems = c.validate();
+  ASSERT_FALSE(problems.empty());
+}
+
+TEST(Validate, IslandReported) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "0", 1e3);
+  // Two-node island not connected to ground.
+  c.add_resistor("R2", "x", "y", 1e3);
+  c.add_resistor("R3", "x", "y", 2e3);
+  const auto problems = c.validate();
+  ASSERT_FALSE(problems.empty());
+  bool found = false;
+  for (const auto& p : problems) {
+    found |= p.find("no conductive path") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Title, RoundTrips) {
+  Circuit c;
+  c.set_title("my filter");
+  EXPECT_EQ(c.title(), "my filter");
+}
+
+}  // namespace
+}  // namespace ftdiag::netlist

@@ -1,0 +1,224 @@
+/// Verifies every registry circuit against its analytic design values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "circuits/ladders.hpp"
+#include "circuits/mfb.hpp"
+#include "circuits/nf_biquad.hpp"
+#include "circuits/registry.hpp"
+#include "circuits/sallen_key.hpp"
+#include "circuits/state_variable.hpp"
+#include "circuits/tow_thomas.hpp"
+#include "mna/ac_analysis.hpp"
+#include "mna/transfer_function.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::circuits {
+namespace {
+
+TEST(Registry, PaperCutIsFirst) {
+  ASSERT_FALSE(registry().empty());
+  EXPECT_EQ(registry().front().name, "nf_biquad");
+}
+
+TEST(Registry, NamesAreUniqueAndResolvable) {
+  const auto names = registry_names();
+  for (const auto& name : names) {
+    const auto cut = make_by_name(name);
+    EXPECT_EQ(cut.name, name);
+  }
+  EXPECT_THROW(make_by_name("not_a_circuit"), ConfigError);
+}
+
+/// Every registry circuit must pass its own descriptor check and produce a
+/// well-behaved AC response over its dictionary grid.
+class RegistryCircuitTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryCircuitTest, DescriptorIsConsistent) {
+  const auto cut = make_by_name(GetParam());
+  EXPECT_NO_THROW(cut.check());
+  EXPECT_FALSE(cut.testable.empty());
+}
+
+TEST_P(RegistryCircuitTest, SweepIsFiniteAndNonTrivial) {
+  const auto cut = make_by_name(GetParam());
+  mna::AcAnalysis ac(cut.circuit);
+  const auto response = ac.sweep(cut.dictionary_grid, cut.output_node);
+  double max_mag = 0.0;
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(response.magnitude(i)));
+    max_mag = std::max(max_mag, response.magnitude(i));
+  }
+  EXPECT_GT(max_mag, 0.01);  // the output actually responds
+}
+
+TEST_P(RegistryCircuitTest, EveryTestableFaultMovesTheResponse) {
+  const auto cut = make_by_name(GetParam());
+  mna::AcAnalysis nominal(cut.circuit);
+  const auto golden = nominal.sweep(cut.dictionary_grid, cut.output_node);
+  for (const auto& name : cut.testable) {
+    netlist::Circuit faulty = cut.circuit;
+    faulty.scale_value(name, 1.30);
+    mna::AcAnalysis ac(faulty);
+    const auto response = ac.sweep(cut.dictionary_grid, cut.output_node);
+    EXPECT_GT(response.max_deviation(golden), 1e-6)
+        << "+30% on " << name << " left the response unchanged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, RegistryCircuitTest,
+                         ::testing::ValuesIn(registry_names()));
+
+TEST(NfBiquad, MatchesAnalyticTransferEverywhere) {
+  const auto cut = make_paper_cut();
+  mna::AcAnalysis ac(cut.circuit);
+  for (double f : {10.0, 100.0, 500.0, 1000.0, 2000.0, 10000.0, 100000.0}) {
+    const auto h_mna = ac.node_voltage(f, cut.output_node);
+    const auto h_ref = nf_biquad_transfer({}, f);
+    EXPECT_NEAR(std::abs(h_mna - h_ref), 0.0, 1e-9 + 1e-9 * std::abs(h_ref))
+        << "mismatch at " << f << " Hz";
+  }
+}
+
+TEST(NfBiquad, DesignEquationsRealized) {
+  const auto cut = make_paper_cut();
+  mna::AcAnalysis ac(cut.circuit);
+  const auto summary = mna::measure_lowpass(
+      ac.sweep(cut.dictionary_grid, cut.output_node));
+  EXPECT_NEAR(summary.dc_gain, 1.0, 1e-3);          // unity overall gain
+  EXPECT_NEAR(summary.f_3db_hz, 1000.0, 10.0);      // Butterworth: f_3db = f0
+}
+
+TEST(NfBiquad, HasSevenTestablePassives) {
+  const auto cut = make_paper_cut();
+  EXPECT_EQ(cut.testable.size(), 7u);
+}
+
+TEST(NfBiquad, RejectsInfeasibleGain) {
+  NfBiquadDesign design;
+  design.dc_gain = 2.5;  // needs R1 <= 0 with the alpha = 1/2 divider
+  EXPECT_THROW(make_nf_biquad(design), ConfigError);
+}
+
+TEST(TowThomas, MatchesAnalyticTransferEverywhere) {
+  const auto cut = make_tow_thomas();
+  mna::AcAnalysis ac(cut.circuit);
+  for (double f : {10.0, 100.0, 1000.0, 3000.0, 30000.0}) {
+    const auto h_mna = ac.node_voltage(f, cut.output_node);
+    const auto h_ref = tow_thomas_transfer({}, f);
+    EXPECT_NEAR(std::abs(h_mna - h_ref), 0.0, 1e-9 + 1e-9 * std::abs(h_ref));
+  }
+}
+
+TEST(TowThomas, ButterworthResponseAtF0) {
+  const auto cut = make_tow_thomas();
+  mna::AcAnalysis ac(cut.circuit);
+  EXPECT_NEAR(std::abs(ac.node_voltage(1000.0, "lp")), 1.0 / std::sqrt(2.0),
+              1e-6);
+}
+
+TEST(SallenKey, QControlsPeaking) {
+  SallenKeyDesign peaky;
+  peaky.q = 3.0;
+  const auto cut = make_sallen_key_lowpass(peaky);
+  mna::AcAnalysis ac(cut.circuit);
+  const auto response = ac.sweep(cut.dictionary_grid, cut.output_node);
+  const auto bp = mna::measure_bandpass(response);
+  // A Q=3 low-pass peaks by ~Q near f0.
+  EXPECT_NEAR(bp.peak_gain, 3.0, 0.2);
+  EXPECT_NEAR(bp.f_peak_hz, 1000.0, 50.0);
+}
+
+TEST(SallenKey, HighpassCutoffAtDesign) {
+  SallenKeyDesign design;
+  design.f0_hz = 5e3;
+  const auto cut = make_sallen_key_highpass(design);
+  mna::AcAnalysis ac(cut.circuit);
+  EXPECT_NEAR(std::abs(ac.node_voltage(5e3, "out")), 1.0 / std::sqrt(2.0),
+              1e-3);
+}
+
+TEST(Mfb, LowpassGainAndCutoff) {
+  MfbDesign design;
+  design.gain = 1.5;
+  const auto cut = make_mfb_lowpass(design);
+  mna::AcAnalysis ac(cut.circuit);
+  EXPECT_NEAR(std::abs(ac.node_voltage(10.0, "out")), 1.5, 0.01);
+  EXPECT_NEAR(std::abs(ac.node_voltage(1000.0, "out")),
+              1.5 / std::sqrt(2.0), 0.02);
+}
+
+TEST(Mfb, BandpassRequiresRealizableR3) {
+  MfbDesign design;
+  design.q = 0.5;
+  design.gain = 1.0;  // 2 Q^2 = 0.5 <= gain
+  EXPECT_THROW(make_mfb_bandpass(design), ConfigError);
+}
+
+TEST(StateVariable, LowpassUnityAndF0) {
+  const auto cut = make_state_variable();
+  mna::AcAnalysis ac(cut.circuit);
+  EXPECT_NEAR(std::abs(ac.node_voltage(10.0, "lp")), 1.0, 1e-3);
+  // Q = 1 design: |H(f0)| = Q = 1.
+  EXPECT_NEAR(std::abs(ac.node_voltage(1000.0, "lp")), 1.0, 0.01);
+}
+
+TEST(StateVariable, QBelowThirdRejected) {
+  StateVariableDesign design;
+  design.q = 0.2;
+  EXPECT_THROW(make_state_variable(design), ConfigError);
+}
+
+TEST(RcLadder, AttenuationGrowsWithSections) {
+  RcLadderDesign small;
+  small.sections = 2;
+  RcLadderDesign large;
+  large.sections = 6;
+  const double f = 10e3;
+  mna::AcAnalysis ac_small(make_rc_ladder(small).circuit);
+  mna::AcAnalysis ac_large(make_rc_ladder(large).circuit);
+  EXPECT_GT(std::abs(ac_small.node_voltage(f, "n2")),
+            std::abs(ac_large.node_voltage(f, "n6")));
+}
+
+TEST(RcLadder, ZeroSectionsRejected) {
+  RcLadderDesign bad;
+  bad.sections = 0;
+  EXPECT_THROW(make_rc_ladder(bad), ConfigError);
+}
+
+TEST(LcLadder, ButterworthPassbandAndCorner) {
+  const auto cut = make_lc_ladder({});
+  mna::AcAnalysis ac(cut.circuit);
+  // Doubly-terminated: |H| = 1/2 in the passband, 1/(2 sqrt 2) at cutoff.
+  EXPECT_NEAR(std::abs(ac.node_voltage(100.0, cut.output_node)), 0.5, 1e-3);
+  EXPECT_NEAR(std::abs(ac.node_voltage(10e3, cut.output_node)),
+              0.5 / std::sqrt(2.0), 0.005);
+}
+
+TEST(LcLadder, FifthOrderRollOff) {
+  const auto cut = make_lc_ladder({});
+  mna::AcAnalysis ac(cut.circuit);
+  // One decade above cutoff a 5th-order filter drops ~100 dB from 1/2.
+  const double mag = std::abs(ac.node_voltage(100e3, cut.output_node));
+  EXPECT_LT(mag, 0.5 * 2e-5);
+}
+
+TEST(LcLadder, EvenOrderRejected) {
+  LcLadderDesign bad;
+  bad.order = 4;
+  EXPECT_THROW(make_lc_ladder(bad), ConfigError);
+}
+
+TEST(TwinT, NotchAtDesignFrequency) {
+  const auto cut = make_twin_t({});
+  mna::AcAnalysis ac(cut.circuit);
+  const double notch = std::abs(ac.node_voltage(1000.0, "out"));
+  const double passband = std::abs(ac.node_voltage(10.0, "out"));
+  EXPECT_LT(notch, passband / 100.0);
+}
+
+}  // namespace
+}  // namespace ftdiag::circuits

@@ -1,0 +1,98 @@
+#include "netlist/component.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftdiag::netlist {
+namespace {
+
+TEST(KindName, AllKindsNamed) {
+  EXPECT_STREQ(kind_name(ComponentKind::kResistor), "resistor");
+  EXPECT_STREQ(kind_name(ComponentKind::kCapacitor), "capacitor");
+  EXPECT_STREQ(kind_name(ComponentKind::kInductor), "inductor");
+  EXPECT_STREQ(kind_name(ComponentKind::kVoltageSource), "vsource");
+  EXPECT_STREQ(kind_name(ComponentKind::kCurrentSource), "isource");
+  EXPECT_STREQ(kind_name(ComponentKind::kVcvs), "vcvs");
+  EXPECT_STREQ(kind_name(ComponentKind::kVccs), "vccs");
+  EXPECT_STREQ(kind_name(ComponentKind::kCccs), "cccs");
+  EXPECT_STREQ(kind_name(ComponentKind::kCcvs), "ccvs");
+  EXPECT_STREQ(kind_name(ComponentKind::kIdealOpAmp), "ideal-opamp");
+  EXPECT_STREQ(kind_name(ComponentKind::kOpAmp), "opamp");
+}
+
+TEST(IsPassive, OnlyRLC) {
+  EXPECT_TRUE(is_passive(ComponentKind::kResistor));
+  EXPECT_TRUE(is_passive(ComponentKind::kCapacitor));
+  EXPECT_TRUE(is_passive(ComponentKind::kInductor));
+  EXPECT_FALSE(is_passive(ComponentKind::kVoltageSource));
+  EXPECT_FALSE(is_passive(ComponentKind::kVcvs));
+  EXPECT_FALSE(is_passive(ComponentKind::kOpAmp));
+}
+
+TEST(TerminalCount, PerKind) {
+  EXPECT_EQ(Component::terminal_count(ComponentKind::kResistor), 2u);
+  EXPECT_EQ(Component::terminal_count(ComponentKind::kVoltageSource), 2u);
+  EXPECT_EQ(Component::terminal_count(ComponentKind::kCccs), 2u);
+  EXPECT_EQ(Component::terminal_count(ComponentKind::kVcvs), 4u);
+  EXPECT_EQ(Component::terminal_count(ComponentKind::kVccs), 4u);
+  EXPECT_EQ(Component::terminal_count(ComponentKind::kIdealOpAmp), 3u);
+  EXPECT_EQ(Component::terminal_count(ComponentKind::kOpAmp), 3u);
+}
+
+TEST(OpAmpModel, PoleFrequency) {
+  OpAmpModel model;
+  model.dc_gain = 1e5;
+  model.gbw_hz = 1e6;
+  EXPECT_DOUBLE_EQ(model.pole_hz(), 10.0);
+}
+
+TEST(OpAmpModel, DefaultIsReasonable) {
+  const OpAmpModel model;
+  EXPECT_GT(model.dc_gain, 1e4);
+  EXPECT_GT(model.gbw_hz, 1e5);
+  EXPECT_GT(model.rin, 1e5);
+  EXPECT_GE(model.rout, 0.0);
+}
+
+TEST(OpAmpParamName, AllParams) {
+  EXPECT_STREQ(opamp_param_name(OpAmpParam::kDcGain), "ad0");
+  EXPECT_STREQ(opamp_param_name(OpAmpParam::kGbw), "gbw");
+  EXPECT_STREQ(opamp_param_name(OpAmpParam::kRin), "rin");
+  EXPECT_STREQ(opamp_param_name(OpAmpParam::kRout), "rout");
+}
+
+TEST(Describe, ResistorShowsValue) {
+  Component c;
+  c.name = "R1";
+  c.kind = ComponentKind::kResistor;
+  c.nodes = {0, 1};
+  c.value = 4700.0;
+  const std::string s = c.describe();
+  EXPECT_NE(s.find("resistor"), std::string::npos);
+  EXPECT_NE(s.find("R1"), std::string::npos);
+  EXPECT_NE(s.find("4.7k"), std::string::npos);
+}
+
+TEST(Describe, SourceShowsExcitation) {
+  Component c;
+  c.name = "V1";
+  c.kind = ComponentKind::kVoltageSource;
+  c.nodes = {1, 0};
+  c.dc = 5.0;
+  c.ac_magnitude = 1.0;
+  const std::string s = c.describe();
+  EXPECT_NE(s.find("dc=5"), std::string::npos);
+  EXPECT_NE(s.find("ac=1"), std::string::npos);
+}
+
+TEST(Describe, OpAmpShowsMacroModel) {
+  Component c;
+  c.name = "OA1";
+  c.kind = ComponentKind::kOpAmp;
+  c.nodes = {0, 1, 2};
+  const std::string s = c.describe();
+  EXPECT_NE(s.find("ad0="), std::string::npos);
+  EXPECT_NE(s.find("gbw="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftdiag::netlist

@@ -1,0 +1,111 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ftdiag::csv {
+namespace {
+
+TEST(Writer, PlainRows) {
+  std::ostringstream os;
+  Writer w(os);
+  w.row({"a", "b"});
+  w.row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Writer, QuotesSeparatorsAndQuotes) {
+  std::ostringstream os;
+  Writer w(os);
+  w.row({"x,y", "he said \"hi\"", "line\nbreak"});
+  EXPECT_EQ(os.str(), "\"x,y\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(Writer, NumericRowUsesFullPrecision) {
+  std::ostringstream os;
+  Writer w(os);
+  w.row_numeric({1.0, 0.5, 1234.5678});
+  EXPECT_EQ(os.str(), "1,0.5,1234.5678\n");
+}
+
+TEST(Writer, CustomSeparator) {
+  std::ostringstream os;
+  Writer w(os, ';');
+  w.row({"a", "b"});
+  EXPECT_EQ(os.str(), "a;b\n");
+}
+
+TEST(Parse, HeaderAndRows) {
+  const Table t = parse("h1,h2\n1,2\n3,4\n");
+  ASSERT_EQ(t.header.size(), 2u);
+  EXPECT_EQ(t.header[0], "h1");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "4");
+}
+
+TEST(Parse, QuotedFieldWithSeparator) {
+  const Table t = parse("a,b\n\"x,y\",z\n");
+  EXPECT_EQ(t.rows[0][0], "x,y");
+}
+
+TEST(Parse, EscapedQuote) {
+  const Table t = parse("a\n\"he said \"\"hi\"\"\"\n");
+  EXPECT_EQ(t.rows[0][0], "he said \"hi\"");
+}
+
+TEST(Parse, QuotedNewline) {
+  const Table t = parse("a,b\n\"two\nlines\",x\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "two\nlines");
+}
+
+TEST(Parse, ToleratesCrLf) {
+  const Table t = parse("a,b\r\n1,2\r\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(Parse, MissingTrailingNewline) {
+  const Table t = parse("a,b\n1,2");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(Parse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse("a\n\"oops\n"), ParseError);
+}
+
+TEST(Parse, EmptyInput) {
+  const Table t = parse("");
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_TRUE(t.rows.empty());
+}
+
+TEST(Table, ColumnLookup) {
+  const Table t = parse("x,y,z\n1,2,3\n");
+  EXPECT_EQ(t.column("y"), 1u);
+  EXPECT_THROW((void)t.column("missing"), ParseError);
+}
+
+TEST(RoundTrip, WriteThenParse) {
+  std::ostringstream os;
+  Writer w(os);
+  w.row({"name", "value"});
+  w.row({"weird, name", "va\"l"});
+  w.row({"plain", "1.5"});
+  const Table t = parse(os.str());
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], "weird, name");
+  EXPECT_EQ(t.rows[0][1], "va\"l");
+  EXPECT_EQ(t.rows[1][1], "1.5");
+}
+
+TEST(ReadFile, MissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/path.csv"), ParseError);
+}
+
+}  // namespace
+}  // namespace ftdiag::csv

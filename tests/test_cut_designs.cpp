@@ -1,0 +1,225 @@
+/// Design-space sweeps: every parametric circuit factory must realize its
+/// design equations (f0, Q, gain) across the whole supported range, with
+/// ideal and with macro-model op-amps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/mfb.hpp"
+#include "circuits/nf_biquad.hpp"
+#include "circuits/sallen_key.hpp"
+#include "circuits/state_variable.hpp"
+#include "circuits/tow_thomas.hpp"
+#include "mna/ac_analysis.hpp"
+#include "mna/transfer_function.hpp"
+
+namespace ftdiag::circuits {
+namespace {
+
+struct Design {
+  double f0;
+  double q;
+  double gain;
+};
+
+std::ostream& operator<<(std::ostream& os, const Design& d) {
+  return os << "f0=" << d.f0 << " Q=" << d.q << " gain=" << d.gain;
+}
+
+mna::AcResponse sweep(const CircuitUnderTest& cut) {
+  mna::AcAnalysis analysis(cut.circuit);
+  return analysis.sweep(cut.dictionary_grid, cut.output_node);
+}
+
+/// |H| at f0 of a 2nd-order low-pass equals gain * Q.
+void expect_biquad_lp(const CircuitUnderTest& cut, const Design& d,
+                      double rel_tol = 0.01) {
+  mna::AcAnalysis analysis(cut.circuit);
+  const double at_dc =
+      std::abs(analysis.node_voltage(d.f0 / 500.0, cut.output_node));
+  const double at_f0 = std::abs(analysis.node_voltage(d.f0, cut.output_node));
+  EXPECT_NEAR(at_dc, d.gain, rel_tol * d.gain) << "DC gain";
+  EXPECT_NEAR(at_f0, d.gain * d.q, rel_tol * d.gain * d.q) << "|H(f0)|";
+}
+
+class NfBiquadDesignTest : public ::testing::TestWithParam<Design> {};
+
+TEST_P(NfBiquadDesignTest, RealizesDesignEquations) {
+  const Design d = GetParam();
+  NfBiquadDesign design;
+  design.f0_hz = d.f0;
+  design.q = d.q;
+  design.dc_gain = d.gain;
+  expect_biquad_lp(make_nf_biquad(design), d);
+}
+
+TEST_P(NfBiquadDesignTest, AnalyticFormulaTracksMna) {
+  const Design d = GetParam();
+  NfBiquadDesign design;
+  design.f0_hz = d.f0;
+  design.q = d.q;
+  design.dc_gain = d.gain;
+  const auto cut = make_nf_biquad(design);
+  mna::AcAnalysis analysis(cut.circuit);
+  for (double factor : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    const double f = d.f0 * factor;
+    EXPECT_NEAR(std::abs(analysis.node_voltage(f, cut.output_node) -
+                         nf_biquad_transfer(design, f)),
+                0.0, 1e-9)
+        << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, NfBiquadDesignTest,
+    ::testing::Values(Design{1e3, 0.707, 1.0}, Design{1e3, 2.0, 1.0},
+                      Design{1e3, 5.0, 0.5}, Design{100.0, 0.707, 1.5},
+                      Design{50e3, 1.0, 1.0}, Design{10e3, 0.6, 1.9}));
+
+class TowThomasDesignTest : public ::testing::TestWithParam<Design> {};
+
+TEST_P(TowThomasDesignTest, RealizesDesignEquations) {
+  const Design d = GetParam();
+  TowThomasDesign design;
+  design.f0_hz = d.f0;
+  design.q = d.q;
+  design.dc_gain = d.gain;
+  expect_biquad_lp(make_tow_thomas(design), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, TowThomasDesignTest,
+    ::testing::Values(Design{1e3, 0.707, 1.0}, Design{1e3, 3.0, 2.0},
+                      Design{250.0, 1.0, 0.5}, Design{20e3, 0.9, 4.0}));
+
+class SallenKeyDesignTest : public ::testing::TestWithParam<Design> {};
+
+TEST_P(SallenKeyDesignTest, LowpassRealizesF0AndQ) {
+  const Design d = GetParam();
+  SallenKeyDesign design;
+  design.f0_hz = d.f0;
+  design.q = d.q;
+  expect_biquad_lp(make_sallen_key_lowpass(design), {d.f0, d.q, 1.0});
+}
+
+TEST_P(SallenKeyDesignTest, HighpassIsMirrored) {
+  const Design d = GetParam();
+  SallenKeyDesign design;
+  design.f0_hz = d.f0;
+  design.q = d.q;
+  const auto cut = make_sallen_key_highpass(design);
+  mna::AcAnalysis analysis(cut.circuit);
+  EXPECT_NEAR(std::abs(analysis.node_voltage(d.f0, "out")), d.q, 0.01 * d.q);
+  EXPECT_NEAR(std::abs(analysis.node_voltage(d.f0 * 500.0, "out")), 1.0,
+              0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, SallenKeyDesignTest,
+    ::testing::Values(Design{1e3, 0.707, 1.0}, Design{1e3, 4.0, 1.0},
+                      Design{320.0, 1.3, 1.0}, Design{64e3, 0.55, 1.0}));
+
+class MfbDesignTest : public ::testing::TestWithParam<Design> {};
+
+TEST_P(MfbDesignTest, LowpassRealizesDesign) {
+  const Design d = GetParam();
+  MfbDesign design;
+  design.f0_hz = d.f0;
+  design.q = d.q;
+  design.gain = d.gain;
+  expect_biquad_lp(make_mfb_lowpass(design), d);
+}
+
+TEST_P(MfbDesignTest, BandpassPeaksAtDesign) {
+  const Design d = GetParam();
+  if (2.0 * d.q * d.q <= d.gain) GTEST_SKIP() << "unrealizable R3";
+  MfbDesign design;
+  design.f0_hz = d.f0;
+  design.q = d.q;
+  design.gain = d.gain;
+  const auto cut = make_mfb_bandpass(design);
+  // Exact check at the design centre (grid peak-picking under-reads
+  // narrow peaks): |H(f0)| = gain for the MFB band-pass.
+  mna::AcAnalysis analysis(cut.circuit);
+  EXPECT_NEAR(std::abs(analysis.node_voltage(d.f0, cut.output_node)), d.gain,
+              0.01 * d.gain);
+  const auto summary = mna::measure_bandpass(sweep(cut));
+  EXPECT_NEAR(summary.f_peak_hz, d.f0, 0.03 * d.f0);
+  EXPECT_NEAR(summary.q, d.q, 0.15 * d.q);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, MfbDesignTest,
+    ::testing::Values(Design{1e3, 2.0, 1.0}, Design{1e3, 5.0, 3.0},
+                      Design{400.0, 1.5, 0.8}, Design{12e3, 8.0, 2.0}));
+
+class StateVariableDesignTest : public ::testing::TestWithParam<Design> {};
+
+TEST_P(StateVariableDesignTest, LowpassRealizesDesign) {
+  const Design d = GetParam();
+  StateVariableDesign design;
+  design.f0_hz = d.f0;
+  design.q = d.q;
+  expect_biquad_lp(make_state_variable(design), {d.f0, d.q, 1.0});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, StateVariableDesignTest,
+    ::testing::Values(Design{1e3, 1.0, 1.0}, Design{1e3, 5.0, 1.0},
+                      Design{150.0, 0.8, 1.0}, Design{30e3, 2.5, 1.0}));
+
+// ---- macro-model op-amps ---------------------------------------------
+
+/// With a fast macro op-amp (GBW >> f0) the realized response must stay
+/// within a few percent of the ideal design in the band of interest.
+class MacroOpAmpTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MacroOpAmpTest, NfBiquadCloseToIdealDesign) {
+  const double f0 = GetParam();
+  NfBiquadDesign design;
+  design.f0_hz = f0;
+  design.ideal_opamps = false;  // default macro model, GBW = 1 MHz
+  const auto cut = make_nf_biquad(design);
+  mna::AcAnalysis analysis(cut.circuit);
+  EXPECT_NEAR(std::abs(analysis.node_voltage(f0 / 100.0, cut.output_node)),
+              1.0, 0.02);
+  EXPECT_NEAR(std::abs(analysis.node_voltage(f0, cut.output_node)),
+              1.0 / std::sqrt(2.0), 0.03);
+}
+
+TEST_P(MacroOpAmpTest, TowThomasCloseToIdealDesign) {
+  const double f0 = GetParam();
+  TowThomasDesign design;
+  design.f0_hz = f0;
+  design.ideal_opamps = false;
+  const auto cut = make_tow_thomas(design);
+  mna::AcAnalysis analysis(cut.circuit);
+  EXPECT_NEAR(std::abs(analysis.node_voltage(f0 / 100.0, cut.output_node)),
+              1.0, 0.02);
+  EXPECT_NEAR(std::abs(analysis.node_voltage(f0, cut.output_node)),
+              1.0 / std::sqrt(2.0), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(CornerFrequencies, MacroOpAmpTest,
+                         ::testing::Values(200.0, 1000.0, 4000.0));
+
+TEST(MacroOpAmpLimits, GbwStarvationDegradesTheFilter) {
+  // With GBW only 20x f0 the realized response must deviate visibly —
+  // the macro model captures finite-bandwidth effects.
+  NfBiquadDesign design;
+  design.f0_hz = 10e3;
+  design.ideal_opamps = false;
+  design.opamp_model.gbw_hz = 200e3;
+  const auto starved = make_nf_biquad(design);
+  design.opamp_model.gbw_hz = 100e6;
+  const auto fast = make_nf_biquad(design);
+  mna::AcAnalysis slow_an(starved.circuit);
+  mna::AcAnalysis fast_an(fast.circuit);
+  const double slow_mag = std::abs(slow_an.node_voltage(10e3, "out"));
+  const double fast_mag = std::abs(fast_an.node_voltage(10e3, "out"));
+  EXPECT_GT(std::fabs(slow_mag - fast_mag), 0.02);
+  EXPECT_NEAR(fast_mag, 1.0 / std::sqrt(2.0), 0.01);
+}
+
+}  // namespace
+}  // namespace ftdiag::circuits

@@ -1,0 +1,99 @@
+#include "mna/dc_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/circuit.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+namespace {
+
+TEST(DcAnalysis, ResistorDivider) {
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 10.0);
+  c.add_resistor("R1", "in", "out", 3e3);
+  c.add_resistor("R2", "out", "0", 1e3);
+  DcAnalysis dc(c);
+  EXPECT_NEAR(dc.node_voltage("out"), 2.5, 1e-12);
+  EXPECT_NEAR(dc.node_voltage("in"), 10.0, 1e-12);
+}
+
+TEST(DcAnalysis, CapacitorIsOpen) {
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 5.0);
+  c.add_resistor("R1", "in", "out", 1e3);
+  c.add_capacitor("C1", "out", "0", 1e-6);
+  c.add_resistor("R2", "out", "0", 1e6);
+  DcAnalysis dc(c);
+  // Nearly no drop across R1 (only the 1M leak draws current).
+  EXPECT_NEAR(dc.node_voltage("out"), 5.0 * 1e6 / (1e6 + 1e3), 1e-9);
+}
+
+TEST(DcAnalysis, InductorIsShort) {
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 4.0);
+  c.add_resistor("R1", "in", "mid", 1e3);
+  c.add_inductor("L1", "mid", "out", 10e-3);
+  c.add_resistor("R2", "out", "0", 1e3);
+  DcAnalysis dc(c);
+  EXPECT_NEAR(dc.node_voltage("mid"), dc.node_voltage("out"), 1e-12);
+  EXPECT_NEAR(dc.node_voltage("out"), 2.0, 1e-12);
+}
+
+TEST(DcAnalysis, BranchCurrentOfSource) {
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 10.0);
+  c.add_resistor("R1", "in", "0", 2e3);
+  DcAnalysis dc(c);
+  // Branch current flows + -> - through the source: -5 mA.
+  EXPECT_NEAR(dc.branch_current("V1"), -5e-3, 1e-12);
+}
+
+TEST(DcAnalysis, InductorBranchCurrent) {
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 1.0);
+  c.add_inductor("L1", "in", "out", 1e-3);
+  c.add_resistor("R1", "out", "0", 100.0);
+  DcAnalysis dc(c);
+  EXPECT_NEAR(dc.branch_current("L1"), 10e-3, 1e-9);
+}
+
+TEST(DcAnalysis, CurrentSourceDcValue) {
+  netlist::Circuit c;
+  c.add_isource("I1", "0", "out", 1e-3);
+  c.add_resistor("R1", "out", "0", 1e3);
+  DcAnalysis dc(c);
+  EXPECT_NEAR(dc.node_voltage("out"), 1.0, 1e-12);
+}
+
+TEST(DcAnalysis, IdealOpAmpDcOperatingPoint) {
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 2.0);
+  c.add_resistor("R1", "in", "n", 1e3);
+  c.add_resistor("R2", "n", "out", 2e3);
+  c.add_ideal_opamp("OA1", "0", "n", "out");
+  DcAnalysis dc(c);
+  EXPECT_NEAR(dc.node_voltage("out"), -4.0, 1e-9);
+  EXPECT_NEAR(dc.node_voltage("n"), 0.0, 1e-12);
+}
+
+TEST(DcAnalysis, AcOnlySourceGivesZeroDc) {
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "out", 1e3);
+  c.add_resistor("R2", "out", "0", 1e3);
+  DcAnalysis dc(c);
+  EXPECT_NEAR(dc.node_voltage("out"), 0.0, 1e-15);
+}
+
+TEST(DcAnalysis, FloatingNodeThroughCapacitorIsSingular) {
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 1.0);
+  c.add_capacitor("C1", "in", "island", 1e-9);
+  c.add_capacitor("C2", "island", "0", 1e-9);
+  DcAnalysis dc(c);
+  EXPECT_THROW(dc.solve(), NumericError);
+}
+
+}  // namespace
+}  // namespace ftdiag::mna

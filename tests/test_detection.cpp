@@ -1,0 +1,155 @@
+#include "core/detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/nf_biquad.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+namespace {
+
+class DetectionTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    cut_ = new circuits::CircuitUnderTest(circuits::make_paper_cut());
+    dict_ = new faults::FaultDictionary(faults::FaultDictionary::build(
+        *cut_, faults::FaultUniverse::over_testable(*cut_)));
+  }
+  static void TearDownTestSuite() {
+    delete dict_;
+    delete cut_;
+    dict_ = nullptr;
+    cut_ = nullptr;
+  }
+  static circuits::CircuitUnderTest* cut_;
+  static faults::FaultDictionary* dict_;
+
+  static DetectionCalibration one_percent() {
+    DetectionCalibration c;
+    c.tolerance.resistor_tolerance = 0.01;
+    c.tolerance.capacitor_tolerance = 0.01;
+    c.healthy_boards = 200;
+    return c;
+  }
+  static const TestVector& vector() {
+    static const TestVector tv{{700.0, 1600.0}};
+    return tv;
+  }
+};
+
+circuits::CircuitUnderTest* DetectionTest::cut_ = nullptr;
+faults::FaultDictionary* DetectionTest::dict_ = nullptr;
+
+TEST_F(DetectionTest, CalibrationProducesPositiveThreshold) {
+  const auto detector = FaultDetector::calibrate(
+      *cut_, *dict_, vector(), SamplingPolicy{}, one_percent());
+  EXPECT_GT(detector.threshold(), 0.0);
+  EXPECT_EQ(detector.healthy_radii().size(), 200u);
+}
+
+TEST_F(DetectionTest, ThresholdGrowsWithTolerance) {
+  auto loose = one_percent();
+  loose.tolerance.resistor_tolerance = 0.05;
+  loose.tolerance.capacitor_tolerance = 0.05;
+  const auto tight = FaultDetector::calibrate(*cut_, *dict_, vector(),
+                                              SamplingPolicy{}, one_percent());
+  const auto wide = FaultDetector::calibrate(*cut_, *dict_, vector(),
+                                             SamplingPolicy{}, loose);
+  EXPECT_GT(wide.threshold(), tight.threshold());
+}
+
+TEST_F(DetectionTest, OriginIsHealthy) {
+  const auto detector = FaultDetector::calibrate(
+      *cut_, *dict_, vector(), SamplingPolicy{}, one_percent());
+  EXPECT_FALSE(detector.is_faulty({0.0, 0.0}));
+}
+
+TEST_F(DetectionTest, LargeSignatureIsFaulty) {
+  const auto detector = FaultDetector::calibrate(
+      *cut_, *dict_, vector(), SamplingPolicy{}, one_percent());
+  EXPECT_TRUE(detector.is_faulty({0.5, 0.5}));
+}
+
+TEST_F(DetectionTest, BigFaultsFullyCovered) {
+  const auto calibration = one_percent();
+  const auto detector = FaultDetector::calibrate(
+      *cut_, *dict_, vector(), SamplingPolicy{}, calibration);
+  CoverageOptions options;
+  options.min_abs_deviation = 0.20;  // far beyond the 1% tolerance cloud
+  options.faults_per_site = 40;
+  const auto report =
+      measure_coverage(*cut_, *dict_, vector(), SamplingPolicy{}, detector,
+                       calibration, options);
+  EXPECT_GT(report.overall_coverage, 0.99);
+  for (const auto& site : report.per_site) {
+    EXPECT_GT(site.rate(), 0.95) << site.site;
+    EXPECT_EQ(site.total, 40u);
+  }
+}
+
+TEST_F(DetectionTest, FalseAlarmRateNearTarget) {
+  auto calibration = one_percent();
+  calibration.false_alarm_target = 0.05;
+  calibration.healthy_boards = 600;
+  const auto detector = FaultDetector::calibrate(
+      *cut_, *dict_, vector(), SamplingPolicy{}, calibration);
+  CoverageOptions options;
+  options.healthy_boards = 600;
+  options.faults_per_site = 5;  // coverage not under test here
+  const auto report =
+      measure_coverage(*cut_, *dict_, vector(), SamplingPolicy{}, detector,
+                       calibration, options);
+  EXPECT_LT(report.false_alarm_rate, 0.12);
+}
+
+TEST_F(DetectionTest, TinyFaultsBelowToleranceEscape) {
+  auto calibration = one_percent();
+  calibration.tolerance.resistor_tolerance = 0.05;
+  calibration.tolerance.capacitor_tolerance = 0.05;
+  const auto detector = FaultDetector::calibrate(
+      *cut_, *dict_, vector(), SamplingPolicy{}, calibration);
+  CoverageOptions options;
+  options.min_abs_deviation = 0.05;
+  options.max_abs_deviation = 0.08;  // inside the 5% tolerance cloud scale
+  const auto report =
+      measure_coverage(*cut_, *dict_, vector(), SamplingPolicy{}, detector,
+                       calibration, options);
+  EXPECT_LT(report.overall_coverage, 0.9);  // physically unavoidable escapes
+}
+
+TEST_F(DetectionTest, InvalidParametersRejected) {
+  auto too_few = one_percent();
+  too_few.healthy_boards = 3;
+  EXPECT_THROW(FaultDetector::calibrate(*cut_, *dict_, vector(),
+                                        SamplingPolicy{}, too_few),
+               ConfigError);
+
+  auto bad_target = one_percent();
+  bad_target.false_alarm_target = 1.5;
+  EXPECT_THROW(FaultDetector::calibrate(*cut_, *dict_, vector(),
+                                        SamplingPolicy{}, bad_target),
+               ConfigError);
+
+  EXPECT_THROW(FaultDetector::calibrate(*cut_, *dict_, TestVector{{}},
+                                        SamplingPolicy{}, one_percent()),
+               ConfigError);
+
+  const auto detector = FaultDetector::calibrate(
+      *cut_, *dict_, vector(), SamplingPolicy{}, one_percent());
+  CoverageOptions zero;
+  zero.faults_per_site = 0;
+  EXPECT_THROW(measure_coverage(*cut_, *dict_, vector(), SamplingPolicy{},
+                                detector, one_percent(), zero),
+               ConfigError);
+}
+
+TEST_F(DetectionTest, DeterministicPerSeed) {
+  const auto a = FaultDetector::calibrate(*cut_, *dict_, vector(),
+                                          SamplingPolicy{}, one_percent());
+  const auto b = FaultDetector::calibrate(*cut_, *dict_, vector(),
+                                          SamplingPolicy{}, one_percent());
+  EXPECT_DOUBLE_EQ(a.threshold(), b.threshold());
+}
+
+}  // namespace
+}  // namespace ftdiag::core

@@ -1,0 +1,124 @@
+#include "io/dictionary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "circuits/nf_biquad.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::io {
+namespace {
+
+class DictionaryIoTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    const auto cut = circuits::make_paper_cut();
+    faults::DeviationSpec spec;
+    spec.step_fraction = 0.2;  // small dictionary keeps the test quick
+    dict_ = new faults::FaultDictionary(faults::FaultDictionary::build(
+        cut, faults::FaultUniverse::over_testable(cut, spec),
+        std::vector<double>{100.0, 1000.0, 10000.0}));
+  }
+  static void TearDownTestSuite() {
+    delete dict_;
+    dict_ = nullptr;
+  }
+  static faults::FaultDictionary* dict_;
+};
+
+faults::FaultDictionary* DictionaryIoTest::dict_ = nullptr;
+
+std::string serialized(const faults::FaultDictionary& dict) {
+  std::ostringstream os;
+  save_dictionary(os, dict);
+  return os.str();
+}
+
+TEST_F(DictionaryIoTest, RoundTripPreservesEverything) {
+  const auto loaded = load_dictionary(serialized(*dict_));
+  ASSERT_EQ(loaded.fault_count(), dict_->fault_count());
+  EXPECT_EQ(loaded.site_labels(), dict_->site_labels());
+  EXPECT_EQ(loaded.frequencies(), dict_->frequencies());
+  EXPECT_NEAR(loaded.golden().max_deviation(dict_->golden()), 0.0, 1e-10);
+  for (std::size_t i = 0; i < loaded.fault_count(); ++i) {
+    EXPECT_EQ(loaded.entries()[i].fault, dict_->entries()[i].fault);
+    EXPECT_NEAR(loaded.entries()[i].response.max_deviation(
+                    dict_->entries()[i].response),
+                0.0, 1e-10);
+  }
+}
+
+TEST_F(DictionaryIoTest, LoadedDictionaryDrivesTheFlow) {
+  const auto loaded = load_dictionary(serialized(*dict_));
+  // entries_for + trajectory building must work exactly as on the original.
+  for (const auto& site : loaded.site_labels()) {
+    EXPECT_EQ(loaded.entries_for(site).size(),
+              dict_->entries_for(site).size());
+  }
+}
+
+TEST_F(DictionaryIoTest, OpAmpFaultSitesRoundTrip) {
+  circuits::NfBiquadDesign design;
+  design.ideal_opamps = false;
+  const auto cut = circuits::make_nf_biquad(design);
+  faults::DeviationSpec spec;
+  spec.step_fraction = 0.4;
+  const auto dict = faults::FaultDictionary::build(
+      cut, faults::FaultUniverse::over_opamp_params(cut, spec),
+      std::vector<double>{1000.0, 5000.0});
+  const auto loaded = load_dictionary(serialized(dict));
+  EXPECT_EQ(loaded.site_labels(), dict.site_labels());
+  EXPECT_EQ(loaded.entries().front().fault.site.target,
+            faults::FaultSite::Target::kOpAmpParam);
+}
+
+TEST_F(DictionaryIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ftdiag_dict.csv";
+  save_dictionary_file(path, *dict_);
+  const auto loaded = load_dictionary_file(path);
+  EXPECT_EQ(loaded.fault_count(), dict_->fault_count());
+  std::remove(path.c_str());
+}
+
+TEST_F(DictionaryIoTest, MalformedInputsRejected) {
+  EXPECT_THROW(load_dictionary(""), ParseError);
+  EXPECT_THROW(load_dictionary("site,target\nx,value\n"), ParseError);
+  // No golden series.
+  EXPECT_THROW(
+      load_dictionary("site,target,param,deviation,freq_hz,re,im\n"
+                      "R1,value,,0.1,100,1,0\n"),
+      ParseError);
+  // Unknown target.
+  EXPECT_THROW(
+      load_dictionary("site,target,param,deviation,freq_hz,re,im\n"
+                      ",,,0,100,1,0\n"
+                      "R1,bogus,,0.1,100,1,0\n"),
+      ParseError);
+  // Unknown op-amp parameter.
+  EXPECT_THROW(
+      load_dictionary("site,target,param,deviation,freq_hz,re,im\n"
+                      ",,,0,100,1,0\n"
+                      "OA1,opamp,zeta,0.1,100,1,0\n"),
+      ParseError);
+}
+
+TEST_F(DictionaryIoTest, GridMismatchRejectedByFromParts) {
+  // An entry on a different grid than the golden must be refused.
+  EXPECT_THROW(
+      load_dictionary("site,target,param,deviation,freq_hz,re,im\n"
+                      ",,,0,100,1,0\n"
+                      ",,,0,1000,0.9,0\n"
+                      "R1,value,,0.1,100,1,0\n"),
+      ConfigError);
+}
+
+TEST(DictionaryFromParts, EmptyEntriesRejected) {
+  EXPECT_THROW(faults::FaultDictionary::from_parts(
+                   mna::AcResponse({1.0}, {mna::Complex(1, 0)}), {}),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace ftdiag::io

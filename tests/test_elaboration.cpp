@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mna/ac_analysis.hpp"
+#include "netlist/circuit.hpp"
+
+namespace ftdiag::netlist {
+namespace {
+
+/// Non-inverting unity buffer built from a macro op-amp.
+Circuit make_buffer(const OpAmpModel& model) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_opamp("OA1", "in", "out", "out", model);
+  c.add_resistor("RL", "out", "0", 10e3);
+  return c;
+}
+
+TEST(Elaboration, NoOpWithoutMacroOpAmps) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "0", 1e3);
+  EXPECT_FALSE(c.has_macro_opamps());
+  const Circuit e = c.elaborated();
+  EXPECT_EQ(e.component_count(), c.component_count());
+}
+
+TEST(Elaboration, ExpandsIntoPrimitives) {
+  const Circuit c = make_buffer({});
+  EXPECT_TRUE(c.has_macro_opamps());
+  const Circuit e = c.elaborated();
+  EXPECT_FALSE(e.has_macro_opamps());
+  EXPECT_TRUE(e.has_component("OA1:rin"));
+  EXPECT_TRUE(e.has_component("OA1:gm"));
+  EXPECT_TRUE(e.has_component("OA1:rp"));
+  EXPECT_TRUE(e.has_component("OA1:cp"));
+  EXPECT_TRUE(e.has_component("OA1:buffer"));
+  EXPECT_TRUE(e.has_component("OA1:rout"));
+  EXPECT_TRUE(e.has_node("oa1:pole"));  // node names are lower-cased
+}
+
+TEST(Elaboration, PreservesOtherComponents) {
+  const Circuit e = make_buffer({}).elaborated();
+  EXPECT_TRUE(e.has_component("V1"));
+  EXPECT_TRUE(e.has_component("RL"));
+  EXPECT_DOUBLE_EQ(e.value_of("RL"), 10e3);
+}
+
+TEST(Elaboration, BufferHasUnityGainAtLowFrequency) {
+  mna::AcAnalysis analysis(make_buffer({}));
+  const auto h = analysis.node_voltage(10.0, "out");
+  EXPECT_NEAR(std::abs(h), 1.0, 1e-3);
+}
+
+TEST(Elaboration, OpenLoopDcGainMatchesModel) {
+  // Open-loop: drive in+, ground in-, observe out unloaded (big R).
+  OpAmpModel model;
+  model.dc_gain = 12345.0;
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_opamp("OA1", "in", "0", "out", model);
+  c.add_resistor("RL", "out", "0", 1e9);
+  mna::AcAnalysis analysis(c);
+  const auto h = analysis.node_voltage(1e-3, "out");
+  EXPECT_NEAR(std::abs(h), 12345.0, 12345.0 * 1e-3);
+}
+
+TEST(Elaboration, OpenLoopPoleRollsOffAtGbw) {
+  OpAmpModel model;
+  model.dc_gain = 1e5;
+  model.gbw_hz = 1e6;
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_opamp("OA1", "in", "0", "out", model);
+  c.add_resistor("RL", "out", "0", 1e9);
+  mna::AcAnalysis analysis(c);
+  // |A(f)| ~ GBW / f well above the pole.
+  const auto h = analysis.node_voltage(1e5, "out");
+  EXPECT_NEAR(std::abs(h), 10.0, 0.5);
+}
+
+TEST(Elaboration, BufferBandwidthTracksGbw) {
+  // A unity buffer's -3 dB bandwidth approximates the GBW.
+  OpAmpModel model;
+  model.dc_gain = 1e5;
+  model.gbw_hz = 1e6;
+  mna::AcAnalysis analysis(make_buffer(model));
+  const double mag_at_gbw =
+      std::abs(analysis.node_voltage(model.gbw_hz, "out"));
+  EXPECT_NEAR(mag_at_gbw, 1.0 / std::sqrt(2.0), 0.05);
+}
+
+TEST(Elaboration, RinLoadsTheSource) {
+  OpAmpModel model;
+  model.rin = 1e3;  // deliberately low
+  Circuit c;
+  c.add_vsource("V1", "src", "0", 0.0, 1.0);
+  c.add_resistor("RS", "src", "in", 1e3);
+  c.add_opamp("OA1", "in", "0", "out", model);
+  c.add_resistor("RL", "out", "0", 1e6);
+  mna::AcAnalysis analysis(c);
+  // in+ sees a 1k/1k divider through Rin to the grounded in-.
+  const auto vin_plus = analysis.node_voltage(1.0, "in");
+  EXPECT_NEAR(std::abs(vin_plus), 0.5, 0.01);
+}
+
+TEST(Elaboration, ZeroRoutHandledWithTinySeries) {
+  OpAmpModel model;
+  model.rout = 0.0;
+  const Circuit e = make_buffer(model).elaborated();
+  EXPECT_TRUE(e.has_component("OA1:rout"));
+  EXPECT_GT(e.value_of("OA1:rout"), 0.0);
+  EXPECT_NO_THROW(mna::AcAnalysis{e});
+}
+
+}  // namespace
+}  // namespace ftdiag::netlist

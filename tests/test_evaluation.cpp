@@ -1,0 +1,156 @@
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/nf_biquad.hpp"
+#include "circuits/tow_thomas.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+namespace {
+
+class EvaluationTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    cut_ = new circuits::CircuitUnderTest(circuits::make_paper_cut());
+    dict_ = new faults::FaultDictionary(faults::FaultDictionary::build(
+        *cut_, faults::FaultUniverse::over_testable(*cut_)));
+  }
+  static void TearDownTestSuite() {
+    delete dict_;
+    delete cut_;
+    dict_ = nullptr;
+    cut_ = nullptr;
+  }
+  static circuits::CircuitUnderTest* cut_;
+  static faults::FaultDictionary* dict_;
+
+  // A frequency pair known to separate the paper CUT's trajectories well.
+  static constexpr double kF1 = 700.0;
+  static constexpr double kF2 = 1600.0;
+};
+
+circuits::CircuitUnderTest* EvaluationTest::cut_ = nullptr;
+faults::FaultDictionary* EvaluationTest::dict_ = nullptr;
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix m;
+  m.labels = {"A", "B"};
+  m.counts = {{8, 2}, {1, 9}};
+  EXPECT_EQ(m.total(), 20u);
+  EXPECT_EQ(m.correct(), 17u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.85);
+  EXPECT_DOUBLE_EQ(m.recall("A"), 0.8);
+  EXPECT_DOUBLE_EQ(m.recall("B"), 0.9);
+  EXPECT_THROW((void)m.recall("C"), ConfigError);
+}
+
+TEST_F(EvaluationTest, CleanConditionsGiveHighAccuracy) {
+  EvaluationOptions options;
+  options.trials = 150;
+  const auto report = evaluate_diagnosis(*cut_, *dict_, {{kF1, kF2}},
+                                         SamplingPolicy{}, options);
+  EXPECT_EQ(report.trials, 150u);
+  EXPECT_GT(report.site_accuracy, 0.85);
+  EXPECT_GE(report.group_accuracy, report.site_accuracy);
+  EXPECT_GT(report.top2_accuracy, 0.95);
+  EXPECT_LT(report.mean_deviation_error, 0.05);
+  EXPECT_EQ(report.confusion.total(), 150u);
+  EXPECT_DOUBLE_EQ(report.confusion.accuracy(), report.site_accuracy);
+}
+
+TEST_F(EvaluationTest, ReportsAmbiguityGroups) {
+  EvaluationOptions options;
+  options.trials = 10;
+  const auto report = evaluate_diagnosis(*cut_, *dict_, {{kF1, kF2}},
+                                         SamplingPolicy{}, options);
+  EXPECT_EQ(report.ambiguity_groups.size(), 7u);  // all singletons
+}
+
+TEST_F(EvaluationTest, DeterministicPerSeed) {
+  EvaluationOptions options;
+  options.trials = 40;
+  options.seed = 99;
+  const auto a = evaluate_diagnosis(*cut_, *dict_, {{kF1, kF2}},
+                                    SamplingPolicy{}, options);
+  const auto b = evaluate_diagnosis(*cut_, *dict_, {{kF1, kF2}},
+                                    SamplingPolicy{}, options);
+  EXPECT_EQ(a.correct_site, b.correct_site);
+  EXPECT_EQ(a.confusion.counts, b.confusion.counts);
+}
+
+TEST_F(EvaluationTest, NoiseDegradesAccuracy) {
+  EvaluationOptions clean;
+  clean.trials = 120;
+  EvaluationOptions noisy = clean;
+  noisy.noise_sigma = 0.10;  // 10 % magnitude noise is brutal
+  const auto r_clean = evaluate_diagnosis(*cut_, *dict_, {{kF1, kF2}},
+                                          SamplingPolicy{}, clean);
+  const auto r_noisy = evaluate_diagnosis(*cut_, *dict_, {{kF1, kF2}},
+                                          SamplingPolicy{}, noisy);
+  EXPECT_LE(r_noisy.site_accuracy, r_clean.site_accuracy);
+}
+
+TEST_F(EvaluationTest, ToleranceSpreadHandledGracefully) {
+  EvaluationOptions options;
+  options.trials = 80;
+  options.tolerance = faults::ToleranceSpec{};
+  const auto report = evaluate_diagnosis(*cut_, *dict_, {{kF1, kF2}},
+                                         SamplingPolicy{}, options);
+  // Accuracy drops but the pipeline must remain sound.
+  EXPECT_GT(report.site_accuracy, 0.3);
+  EXPECT_EQ(report.trials, 80u);
+}
+
+TEST_F(EvaluationTest, BadOptionsRejected) {
+  EvaluationOptions zero_trials;
+  zero_trials.trials = 0;
+  EXPECT_THROW(evaluate_diagnosis(*cut_, *dict_, {{kF1, kF2}},
+                                  SamplingPolicy{}, zero_trials),
+               ConfigError);
+
+  EvaluationOptions bad_range;
+  bad_range.min_abs_deviation = 0.3;
+  bad_range.max_abs_deviation = 0.1;
+  EXPECT_THROW(evaluate_diagnosis(*cut_, *dict_, {{kF1, kF2}},
+                                  SamplingPolicy{}, bad_range),
+               ConfigError);
+
+  EXPECT_THROW(evaluate_diagnosis(*cut_, *dict_, {{}}, SamplingPolicy{},
+                                  EvaluationOptions{}),
+               ConfigError);
+}
+
+TEST_F(EvaluationTest, SmallDeviationsAreHarder) {
+  EvaluationOptions small;
+  small.trials = 100;
+  small.min_abs_deviation = 0.02;
+  small.max_abs_deviation = 0.05;
+  small.noise_sigma = 0.01;
+  EvaluationOptions large = small;
+  large.min_abs_deviation = 0.25;
+  large.max_abs_deviation = 0.40;
+  const auto r_small = evaluate_diagnosis(*cut_, *dict_, {{kF1, kF2}},
+                                          SamplingPolicy{}, small);
+  const auto r_large = evaluate_diagnosis(*cut_, *dict_, {{kF1, kF2}},
+                                          SamplingPolicy{}, large);
+  EXPECT_LE(r_small.site_accuracy, r_large.site_accuracy + 0.05);
+}
+
+TEST(EvaluationTowThomas, GroupAccuracyExceedsSiteAccuracy) {
+  // The Tow-Thomas has structural ambiguity groups; group-resolution
+  // accuracy must be visibly above exact-site accuracy.
+  const auto cut = circuits::make_tow_thomas();
+  const auto dict = faults::FaultDictionary::build(
+      cut, faults::FaultUniverse::over_testable(cut));
+  EvaluationOptions options;
+  options.trials = 150;
+  const auto report = evaluate_diagnosis(cut, dict, {{700.0, 1600.0}},
+                                         SamplingPolicy{}, options);
+  EXPECT_GT(report.group_accuracy, report.site_accuracy + 0.1);
+  EXPECT_GT(report.group_accuracy, 0.85);
+  EXPECT_EQ(report.ambiguity_groups.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ftdiag::core

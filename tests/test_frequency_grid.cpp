@@ -1,0 +1,67 @@
+#include "mna/frequency_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+namespace {
+
+TEST(Grid, LinearSweep) {
+  const auto f = FrequencyGrid::linear_sweep(100.0, 200.0, 5).frequencies();
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_DOUBLE_EQ(f.front(), 100.0);
+  EXPECT_DOUBLE_EQ(f.back(), 200.0);
+  EXPECT_DOUBLE_EQ(f[2], 150.0);
+}
+
+TEST(Grid, LogSweepEndpoints) {
+  const auto f = FrequencyGrid::log_sweep(10.0, 1e5, 100).frequencies();
+  ASSERT_EQ(f.size(), 100u);
+  EXPECT_DOUBLE_EQ(f.front(), 10.0);
+  EXPECT_DOUBLE_EQ(f.back(), 1e5);
+}
+
+TEST(Grid, LogSweepGeometricSpacing) {
+  const auto f = FrequencyGrid::log_sweep(1.0, 100.0, 3).frequencies();
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_NEAR(f[1], 10.0, 1e-9);
+}
+
+TEST(Grid, PerDecadeCount) {
+  // 4 decades at 10 points/decade -> 41 points.
+  const auto f = FrequencyGrid::per_decade(10.0, 1e5, 10).frequencies();
+  EXPECT_EQ(f.size(), 41u);
+  EXPECT_DOUBLE_EQ(f.front(), 10.0);
+  EXPECT_DOUBLE_EQ(f.back(), 1e5);
+}
+
+TEST(Grid, Ascending) {
+  for (const auto grid :
+       {FrequencyGrid::log_sweep(5.0, 5e4, 77),
+        FrequencyGrid::linear_sweep(1.0, 2.0, 13),
+        FrequencyGrid::per_decade(1.0, 1e3, 7)}) {
+    const auto f = grid.frequencies();
+    for (std::size_t i = 1; i < f.size(); ++i) EXPECT_GT(f[i], f[i - 1]);
+  }
+}
+
+TEST(Grid, InvalidSpecsThrow) {
+  EXPECT_THROW(FrequencyGrid::log_sweep(10.0, 1.0, 5).frequencies(),
+               ConfigError);
+  EXPECT_THROW(FrequencyGrid::log_sweep(0.0, 1e3, 5).frequencies(),
+               ConfigError);
+  FrequencyGrid zero_points;
+  zero_points.points = 0;
+  EXPECT_THROW(zero_points.frequencies(), ConfigError);
+}
+
+TEST(Grid, DefaultIsAudioBandLog) {
+  const FrequencyGrid grid;
+  EXPECT_EQ(grid.kind, SweepKind::kLog);
+  EXPECT_GT(grid.points, 0u);
+  EXPECT_NO_THROW(grid.frequencies());
+}
+
+}  // namespace
+}  // namespace ftdiag::mna

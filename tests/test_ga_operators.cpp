@@ -1,0 +1,156 @@
+#include "ga/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftdiag::ga {
+namespace {
+
+std::vector<Candidate> make_population() {
+  std::vector<Candidate> pop;
+  pop.push_back({{1.0}, 0.1});
+  pop.push_back({{2.0}, 0.3});
+  pop.push_back({{3.0}, 0.6});
+  return pop;
+}
+
+TEST(Roulette, SelectsProportionallyToFitness) {
+  Rng rng(1);
+  const auto pop = make_population();
+  std::vector<int> histogram(3, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++histogram[select_parent(pop, SelectionKind::kRoulette, rng)];
+  }
+  EXPECT_NEAR(histogram[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(histogram[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(histogram[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Tournament, FavorsTheBest) {
+  Rng rng(2);
+  const auto pop = make_population();
+  int best_wins = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (select_parent(pop, SelectionKind::kTournament, rng, 3) == 2) {
+      ++best_wins;
+    }
+  }
+  // P(best in 3 draws with replacement) = 1 - (2/3)^3 ~ 0.704.
+  EXPECT_NEAR(best_wins / static_cast<double>(n), 0.704, 0.02);
+}
+
+TEST(RankSelection, OrdersByRankNotMagnitude) {
+  Rng rng(3);
+  // Huge fitness gap: rank selection must NOT behave like roulette.
+  std::vector<Candidate> pop;
+  pop.push_back({{1.0}, 1e-9});
+  pop.push_back({{2.0}, 1.0});
+  std::vector<int> histogram(2, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++histogram[select_parent(pop, SelectionKind::kRank, rng)];
+  }
+  // Rank weights 1:2 -> 1/3 vs 2/3.
+  EXPECT_NEAR(histogram[0] / static_cast<double>(n), 1.0 / 3.0, 0.02);
+}
+
+TEST(Crossover, ArithmeticStaysWithinParentSpan) {
+  Rng rng(4);
+  const std::vector<double> a = {0.0, 10.0};
+  const std::vector<double> b = {1.0, 20.0};
+  for (int i = 0; i < 200; ++i) {
+    const auto child = crossover(a, b, CrossoverKind::kArithmetic, rng);
+    EXPECT_GE(child[0], 0.0);
+    EXPECT_LE(child[0], 1.0);
+    EXPECT_GE(child[1], 10.0);
+    EXPECT_LE(child[1], 20.0);
+    // Same blend weight for every gene (whole-arithmetic crossover):
+    // child = w*a + (1-w)*b  =>  child[1] = 10 + 10*child[0].
+    EXPECT_NEAR(child[1], 10.0 + 10.0 * child[0], 1e-9);
+  }
+}
+
+TEST(Crossover, UniformPicksParentGenes) {
+  Rng rng(5);
+  const std::vector<double> a = {1.0, 1.0, 1.0};
+  const std::vector<double> b = {2.0, 2.0, 2.0};
+  bool saw_mix = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto child = crossover(a, b, CrossoverKind::kUniform, rng);
+    for (double g : child) EXPECT_TRUE(g == 1.0 || g == 2.0);
+    if (std::count(child.begin(), child.end(), 1.0) % 3 != 0) saw_mix = true;
+  }
+  EXPECT_TRUE(saw_mix);
+}
+
+TEST(Crossover, BlendCanExplodeBeyondParents) {
+  Rng rng(6);
+  const std::vector<double> a = {0.0};
+  const std::vector<double> b = {1.0};
+  bool outside = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto child = crossover(a, b, CrossoverKind::kBlend, rng, 0.5);
+    EXPECT_GE(child[0], -0.5);
+    EXPECT_LE(child[0], 1.5);
+    if (child[0] < 0.0 || child[0] > 1.0) outside = true;
+  }
+  EXPECT_TRUE(outside);  // extension region actually used
+}
+
+TEST(Mutate, RateZeroLeavesGenesAlone) {
+  Rng rng(7);
+  std::vector<double> genes = {1.0, 2.0};
+  mutate(genes, MutationKind::kGaussian, 0.0, 0.5, {0.0, 5.0}, rng);
+  EXPECT_DOUBLE_EQ(genes[0], 1.0);
+  EXPECT_DOUBLE_EQ(genes[1], 2.0);
+}
+
+TEST(Mutate, RateOneChangesEveryGene) {
+  Rng rng(8);
+  std::vector<double> genes = {1.0, 2.0, 3.0};
+  const auto original = genes;
+  mutate(genes, MutationKind::kGaussian, 1.0, 0.5, {0.0, 5.0}, rng);
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    EXPECT_NE(genes[i], original[i]);
+  }
+}
+
+TEST(Mutate, RespectsBounds) {
+  Rng rng(9);
+  const GeneBounds bounds{0.0, 1.0};
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> genes = {0.5};
+    mutate(genes, MutationKind::kGaussian, 1.0, 10.0, bounds, rng);
+    EXPECT_GE(genes[0], 0.0);
+    EXPECT_LE(genes[0], 1.0);
+  }
+}
+
+TEST(Mutate, UniformResetCoversTheBox) {
+  Rng rng(10);
+  const GeneBounds bounds{2.0, 4.0};
+  double min_seen = 1e300, max_seen = -1e300;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> genes = {3.0};
+    mutate(genes, MutationKind::kUniformReset, 1.0, 0.0, bounds, rng);
+    min_seen = std::min(min_seen, genes[0]);
+    max_seen = std::max(max_seen, genes[0]);
+  }
+  EXPECT_LT(min_seen, 2.1);
+  EXPECT_GT(max_seen, 3.9);
+}
+
+TEST(GeneBounds, ClampAndSpan) {
+  const GeneBounds bounds{1.0, 5.0};
+  EXPECT_DOUBLE_EQ(bounds.clamp(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(bounds.clamp(9.0), 5.0);
+  EXPECT_DOUBLE_EQ(bounds.clamp(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(bounds.span(), 4.0);
+}
+
+}  // namespace
+}  // namespace ftdiag::ga

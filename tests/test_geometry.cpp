@@ -1,0 +1,210 @@
+#include "core/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ftdiag::core {
+namespace {
+
+TEST(Distance, Euclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(Norm, OfPoint) {
+  EXPECT_DOUBLE_EQ(norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm({}), 0.0);
+}
+
+TEST(Subtract, Pointwise) {
+  const Point d = subtract({5, 7}, {2, 3});
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], 4.0);
+}
+
+TEST(ProjectPoint, OntoInterior) {
+  const Segment s{{0, 0}, {10, 0}};
+  const Projection p = project_point({5, 3}, s);
+  EXPECT_DOUBLE_EQ(p.distance, 3.0);
+  EXPECT_DOUBLE_EQ(p.t, 0.5);
+  EXPECT_DOUBLE_EQ(p.closest[0], 5.0);
+  EXPECT_DOUBLE_EQ(p.closest[1], 0.0);
+}
+
+TEST(ProjectPoint, ClampsToEndpoints) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(project_point({-5, 0}, s).t, 0.0);
+  EXPECT_DOUBLE_EQ(project_point({15, 0}, s).t, 1.0);
+  EXPECT_DOUBLE_EQ(project_point({15, 0}, s).distance, 5.0);
+}
+
+TEST(ProjectPoint, DegenerateSegment) {
+  const Segment s{{1, 1}, {1, 1}};
+  const Projection p = project_point({4, 5}, s);
+  EXPECT_DOUBLE_EQ(p.distance, 5.0);
+  EXPECT_DOUBLE_EQ(p.t, 0.0);
+}
+
+TEST(ProjectPoint, WorksInHigherDimensions) {
+  const Segment s{{0, 0, 0}, {2, 0, 0}};
+  const Projection p = project_point({1, 1, 1}, s);
+  EXPECT_NEAR(p.distance, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Intersect2d, ProperCrossing) {
+  const Segment a{{0, 0}, {2, 2}};
+  const Segment b{{0, 2}, {2, 0}};
+  const auto hit = intersect_segments_2d(a, b);
+  EXPECT_EQ(hit.relation, SegmentRelation::kProperCrossing);
+  EXPECT_NEAR(hit.at[0], 1.0, 1e-12);
+  EXPECT_NEAR(hit.at[1], 1.0, 1e-12);
+}
+
+TEST(Intersect2d, Disjoint) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{0, 1}, {1, 1}};
+  EXPECT_EQ(intersect_segments_2d(a, b).relation, SegmentRelation::kDisjoint);
+}
+
+TEST(Intersect2d, DisjointButLinesWouldCross) {
+  const Segment a{{0, 0}, {1, 1}};
+  const Segment b{{3, 0}, {2, 0.5}};
+  EXPECT_EQ(intersect_segments_2d(a, b).relation, SegmentRelation::kDisjoint);
+}
+
+TEST(Intersect2d, SharedEndpointIsTouching) {
+  const Segment a{{0, 0}, {1, 1}};
+  const Segment b{{1, 1}, {2, 0}};
+  const auto hit = intersect_segments_2d(a, b);
+  EXPECT_EQ(hit.relation, SegmentRelation::kTouching);
+  EXPECT_NEAR(hit.at[0], 1.0, 1e-12);
+}
+
+TEST(Intersect2d, TJunctionIsTouching) {
+  const Segment a{{0, 0}, {2, 0}};
+  const Segment b{{1, 0}, {1, 5}};
+  const auto hit = intersect_segments_2d(a, b);
+  EXPECT_EQ(hit.relation, SegmentRelation::kTouching);
+}
+
+TEST(Intersect2d, CollinearOverlap) {
+  const Segment a{{0, 0}, {2, 0}};
+  const Segment b{{1, 0}, {3, 0}};
+  const auto hit = intersect_segments_2d(a, b);
+  EXPECT_EQ(hit.relation, SegmentRelation::kCollinearOverlap);
+  EXPECT_NEAR(hit.at[0], 1.5, 1e-9);  // overlap midpoint
+}
+
+TEST(Intersect2d, CollinearDisjoint) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{2, 0}, {3, 0}};
+  EXPECT_EQ(intersect_segments_2d(a, b).relation, SegmentRelation::kDisjoint);
+}
+
+TEST(Intersect2d, CollinearTouchingAtPoint) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{1, 0}, {2, 0}};
+  EXPECT_EQ(intersect_segments_2d(a, b).relation, SegmentRelation::kTouching);
+}
+
+TEST(Intersect2d, VerticalSegments) {
+  const Segment a{{1, 0}, {1, 4}};
+  const Segment b{{0, 2}, {2, 2}};
+  const auto hit = intersect_segments_2d(a, b);
+  EXPECT_EQ(hit.relation, SegmentRelation::kProperCrossing);
+  EXPECT_NEAR(hit.at[0], 1.0, 1e-12);
+  EXPECT_NEAR(hit.at[1], 2.0, 1e-12);
+}
+
+TEST(Intersect2d, TinyScaleRobustness) {
+  // Same geometry scaled down by 1e6 must classify identically.
+  const double s = 1e-6;
+  const Segment a{{0, 0}, {2 * s, 2 * s}};
+  const Segment b{{0, 2 * s}, {2 * s, 0}};
+  EXPECT_EQ(intersect_segments_2d(a, b).relation,
+            SegmentRelation::kProperCrossing);
+}
+
+TEST(Intersect2d, Requires2d) {
+  const Segment a{{0, 0, 0}, {1, 1, 1}};
+  const Segment b{{0, 1, 0}, {1, 0, 0}};
+  EXPECT_THROW(intersect_segments_2d(a, b), ConfigError);
+}
+
+TEST(SegmentDistance, ParallelSegments) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{0, 2}, {1, 2}};
+  EXPECT_DOUBLE_EQ(segment_segment_distance(a, b), 2.0);
+}
+
+TEST(SegmentDistance, CrossingIsZero) {
+  const Segment a{{0, 0}, {2, 2}};
+  const Segment b{{0, 2}, {2, 0}};
+  EXPECT_NEAR(segment_segment_distance(a, b), 0.0, 1e-12);
+}
+
+TEST(SegmentDistance, EndpointToEndpoint) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{4, 4}, {5, 5}};
+  EXPECT_NEAR(segment_segment_distance(a, b), 5.0, 1e-12);
+}
+
+TEST(SegmentDistance, SkewLines3d) {
+  // Classic skew pair: distance 1 along z.
+  const Segment a{{0, 0, 0}, {1, 0, 0}};
+  const Segment b{{0.5, -1, 1}, {0.5, 1, 1}};
+  EXPECT_NEAR(segment_segment_distance(a, b), 1.0, 1e-12);
+}
+
+TEST(SegmentDistance, DegenerateSegments) {
+  const Segment point_a{{0, 0}, {0, 0}};
+  const Segment point_b{{3, 4}, {3, 4}};
+  EXPECT_DOUBLE_EQ(segment_segment_distance(point_a, point_b), 5.0);
+  const Segment seg{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(segment_segment_distance(point_b, seg), 4.0);
+}
+
+TEST(SegmentDistance, SymmetricInArguments) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    Segment a{{rng.uniform(), rng.uniform()}, {rng.uniform(), rng.uniform()}};
+    Segment b{{rng.uniform(), rng.uniform()}, {rng.uniform(), rng.uniform()}};
+    EXPECT_NEAR(segment_segment_distance(a, b),
+                segment_segment_distance(b, a), 1e-12);
+  }
+}
+
+TEST(SegmentDistance, AgreesWithBruteForceSampling) {
+  Rng rng(13);
+  for (int trial = 0; trial < 25; ++trial) {
+    Segment a{{rng.uniform(), rng.uniform()}, {rng.uniform(), rng.uniform()}};
+    Segment b{{rng.uniform(), rng.uniform()}, {rng.uniform(), rng.uniform()}};
+    const double exact = segment_segment_distance(a, b);
+    double brute = 1e300;
+    for (int i = 0; i <= 100; ++i) {
+      for (int j = 0; j <= 100; ++j) {
+        const double u = i / 100.0, v = j / 100.0;
+        const Point pa = {a.a[0] + u * (a.b[0] - a.a[0]),
+                          a.a[1] + u * (a.b[1] - a.a[1])};
+        const Point pb = {b.a[0] + v * (b.b[0] - b.a[0]),
+                          b.a[1] + v * (b.b[1] - b.a[1])};
+        brute = std::min(brute, distance(pa, pb));
+      }
+    }
+    EXPECT_LE(exact, brute + 1e-9);
+    EXPECT_GE(exact, brute - 0.02);  // sampling resolution bound
+  }
+}
+
+TEST(Polyline, Length) {
+  EXPECT_DOUBLE_EQ(polyline_length({{0, 0}, {3, 4}, {3, 10}}), 11.0);
+  EXPECT_DOUBLE_EQ(polyline_length({{1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(polyline_length({}), 0.0);
+}
+
+}  // namespace
+}  // namespace ftdiag::core

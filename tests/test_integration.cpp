@@ -1,0 +1,136 @@
+/// End-to-end reproduction of the paper's flow, asserted quantitatively:
+/// fault simulation -> dictionary -> GA (paper parameters) -> trajectory
+/// separation -> diagnosis of unknown faults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/nf_biquad.hpp"
+#include "circuits/registry.hpp"
+#include "core/ambiguity.hpp"
+#include "core/atpg.hpp"
+#include "core/evaluation.hpp"
+#include "faults/fault_injector.hpp"
+#include "mna/ac_analysis.hpp"
+
+namespace ftdiag {
+namespace {
+
+class PaperFlowTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    flow_ = new core::AtpgFlow(circuits::make_paper_cut());
+    result_ = new core::AtpgResult(flow_->run());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete flow_;
+    result_ = nullptr;
+    flow_ = nullptr;
+  }
+  static core::AtpgFlow* flow_;
+  static core::AtpgResult* result_;
+};
+
+core::AtpgFlow* PaperFlowTest::flow_ = nullptr;
+core::AtpgResult* PaperFlowTest::result_ = nullptr;
+
+TEST_F(PaperFlowTest, DictionaryMatchesPaperSpec) {
+  // 7 passives x 8 deviations (60%..140% in 10% steps, nominal excluded).
+  EXPECT_EQ(flow_->dictionary().fault_count(), 56u);
+  EXPECT_EQ(flow_->dictionary().site_labels().size(), 7u);
+}
+
+TEST_F(PaperFlowTest, GaAchievesZeroIntersections) {
+  EXPECT_EQ(result_->best.intersections, 0u);
+  EXPECT_DOUBLE_EQ(result_->best.fitness, 1.0);
+}
+
+TEST_F(PaperFlowTest, TestVectorHasTwoFrequenciesInBand) {
+  ASSERT_EQ(result_->best.vector.frequencies_hz.size(), 2u);
+  for (double f : result_->best.vector.frequencies_hz) {
+    EXPECT_GE(f, flow_->cut().band_low_hz);
+    EXPECT_LE(f, flow_->cut().band_high_hz);
+  }
+}
+
+TEST_F(PaperFlowTest, CleanDiagnosisAccuracyAboveNinetyPercent) {
+  core::EvaluationOptions options;
+  options.trials = 300;
+  const auto report = core::evaluate_diagnosis(
+      flow_->cut(), flow_->dictionary(), result_->best.vector,
+      core::SamplingPolicy{}, options);
+  EXPECT_GT(report.site_accuracy, 0.90);
+  EXPECT_GT(report.top2_accuracy, 0.97);
+  EXPECT_LT(report.mean_deviation_error, 0.03);
+}
+
+TEST_F(PaperFlowTest, OptimizedVectorBeatsNaiveVector) {
+  // A naive vector (two near-identical low frequencies) must not out-score
+  // the GA's choice, and should diagnose worse.
+  const auto naive_score = flow_->score({{15.0, 18.0}});
+  EXPECT_LE(naive_score.fitness, result_->best.fitness);
+
+  core::EvaluationOptions options;
+  options.trials = 200;
+  options.noise_sigma = 0.005;
+  const auto naive_report = core::evaluate_diagnosis(
+      flow_->cut(), flow_->dictionary(), {{15.0, 18.0}},
+      core::SamplingPolicy{}, options);
+  const auto best_report = core::evaluate_diagnosis(
+      flow_->cut(), flow_->dictionary(), result_->best.vector,
+      core::SamplingPolicy{}, options);
+  EXPECT_GT(best_report.site_accuracy, naive_report.site_accuracy);
+}
+
+TEST_F(PaperFlowTest, UnknownOffGridFaultDiagnosedLikeFig3) {
+  // The paper's Fig. 3 demo: an unknown fault (off the 10% grid) lands
+  // nearest to its own component's trajectory.
+  const auto engine = flow_->evaluator().make_engine(result_->best.vector);
+  const faults::ParametricFault unknown{faults::FaultSite::value_of("R3"),
+                                        0.23};
+  const auto faulty = faults::inject(flow_->cut().circuit, unknown);
+  mna::AcAnalysis analysis(faulty);
+  const auto measured =
+      analysis.sweep(result_->best.vector.frequencies_hz,
+                     flow_->cut().output_node);
+  const auto observed = flow_->evaluator().sampler().sample(
+      measured, result_->best.vector.frequencies_hz);
+  const auto diagnosis = engine.diagnose(observed);
+  EXPECT_EQ(diagnosis.best().site, "R3");
+  EXPECT_NEAR(diagnosis.best().estimated_deviation, 0.23, 0.05);
+}
+
+TEST_F(PaperFlowTest, TrajectoriesSmoothAndThroughOrigin) {
+  const auto trajectories =
+      flow_->evaluator().trajectories(result_->best.vector);
+  for (const auto& t : trajectories) {
+    EXPECT_EQ(t.point_count(), 9u);
+    bool has_origin = false;
+    for (const auto& p : t.points()) {
+      has_origin |= p.deviation == 0.0 && core::norm(p.coords) < 1e-12;
+    }
+    EXPECT_TRUE(has_origin) << t.site();
+  }
+}
+
+TEST(RegistryFlow, EveryCircuitSupportsTheFullPipeline) {
+  // The method must run end-to-end on every registry circuit (a smaller GA
+  // keeps this test quick).  Fitness saturation differs per topology.
+  core::AtpgConfig config;
+  config.ga.population_size = 24;
+  config.ga.generations = 4;
+  for (const auto& name : circuits::registry_names()) {
+    SCOPED_TRACE(name);
+    core::AtpgFlow flow(circuits::make_by_name(name), config);
+    const auto result = flow.run();
+    EXPECT_GT(result.best.fitness, 0.0);
+    EXPECT_EQ(result.best.vector.frequencies_hz.size(), 2u);
+    const auto groups = core::find_ambiguity_groups(flow.dictionary());
+    EXPECT_GE(groups.size(), 1u);
+    EXPECT_LE(groups.size(), flow.dictionary().site_labels().size());
+  }
+}
+
+}  // namespace
+}  // namespace ftdiag

@@ -1,0 +1,152 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ftdiag::linalg {
+namespace {
+
+using C = std::complex<double>;
+
+TEST(Lu, Solves2x2) {
+  RealMatrix a{{2, 1}, {1, 3}};
+  const auto x = solve_dense(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SolvesWithPivoting) {
+  // Zero on the diagonal forces a row swap.
+  RealMatrix a{{0, 1}, {1, 0}};
+  const auto x = solve_dense(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  RealMatrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW((void)LuFactorization<double>(a), NumericError);
+}
+
+TEST(Lu, ZeroMatrixThrows) {
+  RealMatrix a(3, 3);
+  EXPECT_THROW((void)LuFactorization<double>(a), NumericError);
+}
+
+TEST(Lu, NonSquareThrows) {
+  RealMatrix a(2, 3);
+  EXPECT_THROW((void)LuFactorization<double>(a), NumericError);
+}
+
+TEST(Lu, Determinant) {
+  RealMatrix a{{1, 2}, {3, 4}};
+  const LuFactorization<double> lu(a);
+  EXPECT_NEAR(lu.determinant(), -2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantWithSwapKeepsSign) {
+  RealMatrix a{{0, 1}, {1, 0}};  // det = -1
+  const LuFactorization<double> lu(a);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+  EXPECT_EQ(lu.swap_count() % 2, 1u);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  RealMatrix a{{4, 7, 1}, {2, 6, 3}, {1, 1, 9}};
+  const LuFactorization<double> lu(a);
+  const auto prod = a * lu.inverse();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Lu, MultipleRhsMatrix) {
+  RealMatrix a{{2, 0}, {0, 4}};
+  RealMatrix b{{2, 4}, {8, 12}};
+  const auto x = LuFactorization<double>(a).solve(b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
+}
+
+TEST(Lu, ComplexSystem) {
+  ComplexMatrix a{{C(1, 1), C(0, 0)}, {C(0, 0), C(0, 2)}};
+  const auto x = solve_dense(a, std::vector<C>{C(2, 0), C(4, 0)});
+  // (1+i) x0 = 2  ->  x0 = 1 - i
+  EXPECT_NEAR(x[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[0].imag(), -1.0, 1e-12);
+  // 2i x1 = 4  ->  x1 = -2i
+  EXPECT_NEAR(x[1].real(), 0.0, 1e-12);
+  EXPECT_NEAR(x[1].imag(), -2.0, 1e-12);
+}
+
+TEST(Lu, ConditionEstimateOrdersByConditioning) {
+  RealMatrix well{{1, 0}, {0, 1}};
+  RealMatrix badly{{1, 0}, {0, 1e-9}};
+  EXPECT_LT(LuFactorization<double>(well).diagonal_condition_estimate(),
+            LuFactorization<double>(badly).diagonal_condition_estimate());
+}
+
+/// Property sweep: random systems of several sizes must satisfy
+/// ||Ax - b|| small relative to ||b||.
+class LuResidualTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuResidualTest, ResidualIsSmall) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  RealMatrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = rng.uniform(-1.0, 1.0);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += 2.0;  // keep comfortably nonsingular
+  }
+  const auto x = solve_dense(a, b);
+  const auto ax = a * x;
+  double residual = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    residual = std::max(residual, std::fabs(ax[i] - b[i]));
+    scale = std::max(scale, std::fabs(b[i]));
+  }
+  EXPECT_LT(residual, 1e-10 * (1.0 + scale));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuResidualTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+/// Complex property sweep with the same residual bound.
+class ComplexLuResidualTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ComplexLuResidualTest, ResidualIsSmall) {
+  const std::size_t n = GetParam();
+  Rng rng(2000 + n);
+  ComplexMatrix a(n, n);
+  std::vector<C> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = C(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = C(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    }
+    a(i, i) += C(3.0, 0.0);
+  }
+  const auto x = solve_dense(a, b);
+  const auto ax = a * x;
+  double residual = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    residual = std::max(residual, std::abs(ax[i] - b[i]));
+  }
+  EXPECT_LT(residual, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ComplexLuResidualTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace ftdiag::linalg

@@ -1,0 +1,125 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+namespace ftdiag::linalg {
+namespace {
+
+TEST(Matrix, ZeroConstruction) {
+  RealMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.square());
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+}
+
+TEST(Matrix, InitializerList) {
+  RealMatrix m{{1, 2}, {3, 4}};
+  EXPECT_TRUE(m.square());
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, Identity) {
+  const auto i = RealMatrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(i(2, 2), 1.0);
+}
+
+TEST(Matrix, SetZeroKeepsShape) {
+  RealMatrix m{{1, 2}, {3, 4}};
+  m.set_zero();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+}
+
+TEST(Matrix, Reshape) {
+  RealMatrix m(2, 2);
+  m(0, 0) = 5.0;
+  m.reshape(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  RealMatrix m{{1, 2, 3}, {4, 5, 6}};
+  const auto t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, AddSubtract) {
+  RealMatrix a{{1, 2}, {3, 4}};
+  RealMatrix b{{4, 3}, {2, 1}};
+  const auto sum = a + b;
+  const auto diff = a - b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(diff(0, 0), -3.0);
+}
+
+TEST(Matrix, ScalarMultiply) {
+  RealMatrix a{{1, 2}, {3, 4}};
+  const auto twice = a * 2.0;
+  EXPECT_DOUBLE_EQ(twice(1, 0), 6.0);
+}
+
+TEST(Matrix, MatrixMultiply) {
+  RealMatrix a{{1, 2}, {3, 4}};
+  RealMatrix b{{5, 6}, {7, 8}};
+  const auto c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyByIdentityIsIdentityOp) {
+  RealMatrix a{{1, 2}, {3, 4}};
+  EXPECT_TRUE(a * RealMatrix::identity(2) == a);
+  EXPECT_TRUE(RealMatrix::identity(2) * a == a);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  RealMatrix a{{1, 2}, {3, 4}};
+  const std::vector<double> x = {1.0, 1.0};
+  const auto y = a * x;
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, ComplexArithmetic) {
+  using C = std::complex<double>;
+  ComplexMatrix a{{C(0, 1), C(1, 0)}, {C(0, 0), C(2, -1)}};
+  const auto sq = a * a;
+  // (0,1)*(0,1) + (1,0)*(0,0) = -1
+  EXPECT_DOUBLE_EQ(sq(0, 0).real(), -1.0);
+  EXPECT_DOUBLE_EQ(sq(0, 0).imag(), 0.0);
+}
+
+TEST(Matrix, MaxAbs) {
+  RealMatrix a{{-5, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(a.max_abs(), 5.0);
+}
+
+TEST(Matrix, EqualityOperator) {
+  RealMatrix a{{1, 2}, {3, 4}};
+  RealMatrix b{{1, 2}, {3, 4}};
+  RealMatrix c{{1, 2}, {3, 5}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, TransposeTwiceIsIdentityOp) {
+  RealMatrix a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_TRUE(a.transpose().transpose() == a);
+}
+
+}  // namespace
+}  // namespace ftdiag::linalg

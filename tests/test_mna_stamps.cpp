@@ -1,0 +1,199 @@
+/// Validates every element stamp against hand-derived analytic answers on
+/// minimal circuits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "mna/ac_analysis.hpp"
+#include "mna/dc_analysis.hpp"
+#include "mna/system.hpp"
+#include "netlist/circuit.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+namespace {
+
+using netlist::Circuit;
+
+TEST(System, UnknownNumbering) {
+  Circuit c;
+  c.add_vsource("V1", "a", "0", 0.0, 1.0);
+  c.add_resistor("R1", "a", "b", 1e3);
+  c.add_inductor("L1", "b", "0", 1e-3);
+  const MnaSystem sys(c);
+  // 2 node unknowns + V branch + L branch.
+  EXPECT_EQ(sys.unknown_count(), 4u);
+  EXPECT_EQ(sys.node_unknown_count(), 2u);
+  EXPECT_EQ(sys.node_unknown(netlist::kGround), kNoUnknown);
+  EXPECT_NE(sys.branch_unknown("V1"), sys.branch_unknown("L1"));
+  EXPECT_THROW((void)sys.branch_unknown("R1"), CircuitError);
+}
+
+TEST(System, InvalidCircuitRejected) {
+  Circuit c;
+  c.add_vsource("V1", "a", "0", 0.0, 1.0);
+  c.add_resistor("R1", "a", "floating", 1e3);
+  EXPECT_THROW(MnaSystem{c}, CircuitError);
+}
+
+TEST(Stamp, ResistorDivider) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "out", 3e3);
+  c.add_resistor("R2", "out", "0", 1e3);
+  AcAnalysis ac(c);
+  EXPECT_NEAR(std::abs(ac.node_voltage(100.0, "out")), 0.25, 1e-12);
+}
+
+TEST(Stamp, RcLowPassCutoff) {
+  // f_c = 1/(2 pi R C); |H(f_c)| = 1/sqrt(2), phase -45 deg.
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "out", 1e3);
+  c.add_capacitor("C1", "out", "0", 100e-9);
+  const double fc = 1.0 / (2.0 * std::numbers::pi * 1e3 * 100e-9);
+  AcAnalysis ac(c);
+  const Complex h = ac.node_voltage(fc, "out");
+  EXPECT_NEAR(std::abs(h), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(linalg::phase_deg(h), -45.0, 1e-6);
+}
+
+TEST(Stamp, RlHighPass) {
+  // V - R - L to ground; |H| = wL/sqrt(R^2 + (wL)^2).
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "out", 100.0);
+  c.add_inductor("L1", "out", "0", 10e-3);
+  const double f = 1e3;
+  const double wl = 2.0 * std::numbers::pi * f * 10e-3;
+  AcAnalysis ac(c);
+  EXPECT_NEAR(std::abs(ac.node_voltage(f, "out")),
+              wl / std::hypot(100.0, wl), 1e-9);
+}
+
+TEST(Stamp, SeriesRlcResonance) {
+  // At resonance the LC impedances cancel; the full source appears on R.
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_inductor("L1", "in", "a", 10e-3);
+  c.add_capacitor("C1", "a", "b", 100e-9);
+  c.add_resistor("R1", "b", "0", 50.0);
+  const double f0 =
+      1.0 / (2.0 * std::numbers::pi * std::sqrt(10e-3 * 100e-9));
+  AcAnalysis ac(c);
+  EXPECT_NEAR(std::abs(ac.node_voltage(f0, "b")), 1.0, 1e-6);
+}
+
+TEST(Stamp, CurrentSourceIntoResistor) {
+  Circuit c;
+  c.add_isource("I1", "0", "out", 0.0, 2e-3);  // 2 mA into "out"
+  c.add_resistor("R1", "out", "0", 1e3);
+  AcAnalysis ac(c);
+  EXPECT_NEAR(std::abs(ac.node_voltage(10.0, "out")), 2.0, 1e-12);
+}
+
+TEST(Stamp, CurrentSourceSignConvention) {
+  // I flows from + through the source to -, so (out, 0) pulls current OUT
+  // of node "out": v = -I*R (phase 180).
+  Circuit c;
+  c.add_isource("I1", "out", "0", 0.0, 1e-3);
+  c.add_resistor("R1", "out", "0", 1e3);
+  AcAnalysis ac(c);
+  const Complex v = ac.node_voltage(10.0, "out");
+  EXPECT_NEAR(v.real(), -1.0, 1e-12);
+}
+
+TEST(Stamp, VcvsGain) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("Rin", "in", "0", 1e3);
+  c.add_vcvs("E1", "out", "0", "in", "0", 7.5);
+  c.add_resistor("RL", "out", "0", 1e3);
+  AcAnalysis ac(c);
+  EXPECT_NEAR(std::abs(ac.node_voltage(50.0, "out")), 7.5, 1e-12);
+}
+
+TEST(Stamp, VccsTransconductance) {
+  // G from gnd->out with gm=1mS sensing in: v_out = gm * v_in * RL.
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("Rb", "in", "0", 1e6);
+  c.add_vccs("G1", "0", "out", "in", "0", 1e-3);
+  c.add_resistor("RL", "out", "0", 2e3);
+  AcAnalysis ac(c);
+  const Complex v = ac.node_voltage(50.0, "out");
+  EXPECT_NEAR(v.real(), 2.0, 1e-9);
+}
+
+TEST(Stamp, CccsGain) {
+  // Control current flows through V1: i = 1V/1k = 1mA; F injects 5x into RL.
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "0", 1e3);
+  c.add_cccs("F1", "0", "out", "V1", 5.0);
+  c.add_resistor("RL", "out", "0", 1e3);
+  AcAnalysis ac(c);
+  // i(V1) in MNA convention flows + -> - inside the source: -1 mA.
+  EXPECT_NEAR(std::abs(ac.node_voltage(50.0, "out")), 5.0, 1e-9);
+}
+
+TEST(Stamp, CcvsTransresistance) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "0", 1e3);
+  c.add_ccvs("H1", "out", "0", "V1", 2e3);
+  c.add_resistor("RL", "out", "0", 1e3);
+  AcAnalysis ac(c);
+  // |v_out| = |r * i(V1)| = 2k * 1mA = 2.
+  EXPECT_NEAR(std::abs(ac.node_voltage(50.0, "out")), 2.0, 1e-9);
+}
+
+TEST(Stamp, IdealOpAmpInvertingAmplifier) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "n", 1e3);
+  c.add_resistor("R2", "n", "out", 4.7e3);
+  c.add_ideal_opamp("OA1", "0", "n", "out");
+  AcAnalysis ac(c);
+  const Complex h = ac.node_voltage(100.0, "out");
+  EXPECT_NEAR(std::abs(h), 4.7, 1e-9);
+  EXPECT_NEAR(std::fabs(linalg::phase_deg(h)), 180.0, 1e-6);
+  // Virtual ground holds.
+  EXPECT_NEAR(std::abs(ac.node_voltage(100.0, "n")), 0.0, 1e-12);
+}
+
+TEST(Stamp, IdealOpAmpNonInvertingGain) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_ideal_opamp("OA1", "in", "fb", "out");
+  c.add_resistor("R1", "fb", "0", 1e3);
+  c.add_resistor("R2", "out", "fb", 9e3);
+  AcAnalysis ac(c);
+  EXPECT_NEAR(std::abs(ac.node_voltage(100.0, "out")), 10.0, 1e-9);
+}
+
+TEST(Stamp, AcPhaseOfSourceRespected) {
+  Circuit c;
+  c.add_vsource("V1", "out", "0", 0.0, 1.0, 90.0);
+  c.add_resistor("R1", "out", "0", 1e3);
+  AcAnalysis ac(c);
+  const Complex v = ac.node_voltage(10.0, "out");
+  EXPECT_NEAR(v.real(), 0.0, 1e-12);
+  EXPECT_NEAR(v.imag(), 1.0, 1e-12);
+}
+
+TEST(Stamp, SuperpositionOfTwoSources) {
+  Circuit c;
+  c.add_vsource("V1", "a", "0", 0.0, 1.0);
+  c.add_vsource("V2", "b", "0", 0.0, 2.0);
+  c.add_resistor("R1", "a", "out", 1e3);
+  c.add_resistor("R2", "b", "out", 1e3);
+  c.add_resistor("R3", "out", "0", 1e12);
+  AcAnalysis ac(c);
+  // out = average of the two sources with matched resistors (unloaded).
+  EXPECT_NEAR(std::abs(ac.node_voltage(10.0, "out")), 1.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace ftdiag::mna

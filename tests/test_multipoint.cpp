@@ -1,0 +1,138 @@
+#include "core/multipoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/tow_thomas.hpp"
+#include "faults/fault_injector.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+namespace {
+
+class MultiPointTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    cut_ = new circuits::CircuitUnderTest(circuits::make_tow_thomas());
+    universe_ = new faults::FaultUniverse(
+        faults::FaultUniverse::over_testable(*cut_));
+    dual_ = new MultiPointEvaluator(*cut_, *universe_, {"lp", "inv"});
+  }
+  static void TearDownTestSuite() {
+    delete dual_;
+    delete universe_;
+    delete cut_;
+    dual_ = nullptr;
+    universe_ = nullptr;
+    cut_ = nullptr;
+  }
+  static circuits::CircuitUnderTest* cut_;
+  static faults::FaultUniverse* universe_;
+  static MultiPointEvaluator* dual_;
+
+  static constexpr double kF1 = 700.0;
+  static constexpr double kF2 = 1600.0;
+};
+
+circuits::CircuitUnderTest* MultiPointTest::cut_ = nullptr;
+faults::FaultUniverse* MultiPointTest::universe_ = nullptr;
+MultiPointEvaluator* MultiPointTest::dual_ = nullptr;
+
+TEST_F(MultiPointTest, BuildsOneDictionaryPerNode) {
+  EXPECT_EQ(dual_->dictionaries().size(), 2u);
+  EXPECT_EQ(dual_->nodes(), (std::vector<std::string>{"lp", "inv"}));
+  for (const auto& dict : dual_->dictionaries()) {
+    EXPECT_EQ(dict.fault_count(), 56u);
+  }
+}
+
+TEST_F(MultiPointTest, DimensionIsNodesTimesFrequencies) {
+  EXPECT_EQ(dual_->dimension(2), 4u);
+  EXPECT_EQ(dual_->dimension(3), 6u);
+}
+
+TEST_F(MultiPointTest, TrajectoriesConcatenatePerNodeSignatures) {
+  const auto trajectories = dual_->trajectories({{kF1, kF2}});
+  EXPECT_EQ(trajectories.size(), 7u);
+  for (const auto& t : trajectories) {
+    EXPECT_EQ(t.dimension(), 4u);
+    EXPECT_EQ(t.point_count(), 9u);
+  }
+}
+
+TEST_F(MultiPointTest, SingleNodeMatchesPlainPipeline) {
+  const MultiPointEvaluator single(*cut_, *universe_, {"lp"});
+  const auto multi_trajs = single.trajectories({{kF1, kF2}});
+  const auto plain_trajs = build_trajectories(
+      single.dictionaries().front(), {kF1, kF2}, SamplingPolicy{});
+  ASSERT_EQ(multi_trajs.size(), plain_trajs.size());
+  for (std::size_t i = 0; i < multi_trajs.size(); ++i) {
+    EXPECT_EQ(multi_trajs[i].site(), plain_trajs[i].site());
+    for (std::size_t p = 0; p < multi_trajs[i].point_count(); ++p) {
+      EXPECT_EQ(multi_trajs[i].points()[p].coords,
+                plain_trajs[i].points()[p].coords);
+    }
+  }
+}
+
+TEST_F(MultiPointTest, SecondNodeSplitsTheRatioGroup) {
+  // From lp alone, R4 and R6 are exactly ambiguous; the inverter output
+  // sees k = R5/R4 directly and separates them.  R3=C2 stays merged at
+  // every voltage node (only the product R3*C2 enters).
+  const MultiPointEvaluator single(*cut_, *universe_, {"lp"});
+  const auto single_groups = single.ambiguity_groups();
+  const auto dual_groups = dual_->ambiguity_groups();
+  EXPECT_TRUE(same_group(single_groups, "R4", "R6"));
+  EXPECT_FALSE(same_group(dual_groups, "R4", "R6"));
+  EXPECT_TRUE(same_group(dual_groups, "R3", "C2"));
+  EXPECT_GT(dual_groups.size(), single_groups.size());
+}
+
+TEST_F(MultiPointTest, ObserveDiagnosesInjectedFaults) {
+  const auto engine = dual_->make_engine({{kF1, kF2}});
+  const auto groups = dual_->ambiguity_groups();
+  for (const char* site : {"R1", "R2", "R4", "R6", "C1"}) {
+    const faults::ParametricFault fault{faults::FaultSite::value_of(site),
+                                        0.25};
+    const auto board = faults::inject(cut_->circuit, fault);
+    const auto observed = dual_->observe(board, {{kF1, kF2}});
+    EXPECT_EQ(observed.size(), 4u);
+    const auto diagnosis = engine.diagnose(observed);
+    EXPECT_TRUE(same_group(groups, diagnosis.best().site, site))
+        << site << " diagnosed as " << diagnosis.best().site;
+  }
+}
+
+TEST_F(MultiPointTest, R4AndR6NowDistinguishable) {
+  // The concrete payoff: +25% on R4 vs +25% on R6 produce different
+  // diagnoses once the inverter node is observed.
+  const auto engine = dual_->make_engine({{kF1, kF2}});
+  const auto diag_r4 = engine.diagnose(dual_->observe(
+      faults::inject(cut_->circuit,
+                     {faults::FaultSite::value_of("R4"), 0.25}),
+      {{kF1, kF2}}));
+  const auto diag_r6 = engine.diagnose(dual_->observe(
+      faults::inject(cut_->circuit,
+                     {faults::FaultSite::value_of("R6"), 0.25}),
+      {{kF1, kF2}}));
+  EXPECT_EQ(diag_r4.best().site, "R4");
+  EXPECT_EQ(diag_r6.best().site, "R6");
+}
+
+TEST_F(MultiPointTest, FitnessInUnitInterval) {
+  const double fitness = dual_->fitness({{kF1, kF2}});
+  EXPECT_GT(fitness, 0.0);
+  EXPECT_LE(fitness, 1.0);
+}
+
+TEST_F(MultiPointTest, InvalidConstructionRejected) {
+  EXPECT_THROW(MultiPointEvaluator(*cut_, *universe_, {}), ConfigError);
+  EXPECT_THROW(MultiPointEvaluator(*cut_, *universe_, {"lp", "no_such_node"}),
+               ConfigError);
+}
+
+TEST_F(MultiPointTest, EmptyTestVectorRejected) {
+  EXPECT_THROW(dual_->trajectories({{}}), ConfigError);
+}
+
+}  // namespace
+}  // namespace ftdiag::core

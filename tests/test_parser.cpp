@@ -1,0 +1,164 @@
+#include "netlist/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ftdiag::netlist {
+namespace {
+
+TEST(Parser, RcLowPass) {
+  const Circuit c = parse_netlist(
+      "rc low-pass\n"
+      "V1 in 0 AC 1\n"
+      "R1 in out 1k\n"
+      "C1 out 0 100n\n"
+      ".end\n");
+  EXPECT_EQ(c.title(), "rc low-pass");
+  EXPECT_EQ(c.component_count(), 3u);
+  EXPECT_DOUBLE_EQ(c.value_of("R1"), 1000.0);
+  EXPECT_DOUBLE_EQ(c.value_of("C1"), 100e-9);
+  EXPECT_DOUBLE_EQ(c.component("V1").ac_magnitude, 1.0);
+}
+
+TEST(Parser, CommentsSkipped) {
+  const Circuit c = parse_netlist(
+      "* a comment\n"
+      "; another\n"
+      "// and another\n"
+      "R1 a 0 1k   ; trailing comment\n");
+  EXPECT_EQ(c.component_count(), 1u);
+}
+
+TEST(Parser, SourceWithDcAndAcPhase) {
+  const Circuit c = parse_netlist("V1 in 0 DC 2.5 AC 1 45\n");
+  const Component& v = c.component("V1");
+  EXPECT_DOUBLE_EQ(v.dc, 2.5);
+  EXPECT_DOUBLE_EQ(v.ac_magnitude, 1.0);
+  EXPECT_DOUBLE_EQ(v.ac_phase_deg, 45.0);
+}
+
+TEST(Parser, BareSourceValueIsDc) {
+  const Circuit c = parse_netlist("I1 a 0 3m\n");
+  EXPECT_DOUBLE_EQ(c.component("I1").dc, 3e-3);
+}
+
+TEST(Parser, ControlledSources) {
+  const Circuit c = parse_netlist(
+      "V1 in 0 AC 1\n"
+      "E1 x 0 in 0 10\n"
+      "G1 y 0 in 0 1m\n"
+      "F1 z 0 V1 2\n"
+      "H1 w 0 V1 50\n"
+      "Rx x 0 1\nRy y 0 1\nRz z 0 1\nRw w 0 1\n");
+  EXPECT_EQ(c.component("E1").kind, ComponentKind::kVcvs);
+  EXPECT_DOUBLE_EQ(c.component("E1").value, 10.0);
+  EXPECT_EQ(c.component("G1").kind, ComponentKind::kVccs);
+  EXPECT_EQ(c.component("F1").kind, ComponentKind::kCccs);
+  EXPECT_EQ(c.component("F1").control, "V1");
+  EXPECT_EQ(c.component("H1").kind, ComponentKind::kCcvs);
+  EXPECT_DOUBLE_EQ(c.component("H1").value, 50.0);
+}
+
+TEST(Parser, IdealOpAmp) {
+  const Circuit c = parse_netlist(
+      "V1 in 0 AC 1\n"
+      "R1 in n 1k\n"
+      "R2 n out 10k\n"
+      "X1 0 n out IDEAL\n");
+  EXPECT_EQ(c.component("X1").kind, ComponentKind::kIdealOpAmp);
+}
+
+TEST(Parser, MacroOpAmpWithParams) {
+  const Circuit c = parse_netlist("X1 p n out OPAMP AD0=1e5 GBW=2meg RIN=1meg ROUT=50\n");
+  const Component& x = c.component("X1");
+  EXPECT_EQ(x.kind, ComponentKind::kOpAmp);
+  EXPECT_DOUBLE_EQ(x.opamp.dc_gain, 1e5);
+  EXPECT_DOUBLE_EQ(x.opamp.gbw_hz, 2e6);
+  EXPECT_DOUBLE_EQ(x.opamp.rin, 1e6);
+  EXPECT_DOUBLE_EQ(x.opamp.rout, 50.0);
+}
+
+TEST(Parser, MacroOpAmpDefaultsWhenNoParams) {
+  const Circuit c = parse_netlist("X1 p n out OPAMP\n");
+  EXPECT_EQ(c.component("X1").opamp, OpAmpModel{});
+}
+
+TEST(Parser, TitleDirective) {
+  const Circuit c = parse_netlist(
+      "R1 a 0 1k\n"
+      ".title late title\n");
+  EXPECT_EQ(c.title(), "late title");
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_netlist("R1 a 0 1k\nR2 b 0 oops\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, BadCardsRejected) {
+  EXPECT_THROW(parse_netlist("R1 a 0\n"), ParseError);          // missing value
+  EXPECT_THROW(parse_netlist("E1 a 0 c 10\n"), ParseError);     // short VCVS
+  // A lone unknown card as the FIRST line is consumed as a SPICE title;
+  // after a title it must be rejected as an unknown card type.
+  EXPECT_NO_THROW(parse_netlist("Q1 a b c model\n"));
+  EXPECT_THROW(parse_netlist("title\nQ1 a b c model\n"), ParseError);
+  EXPECT_THROW(parse_netlist("X1 a b c WEIRD\n"), ParseError);  // unknown model
+  EXPECT_THROW(parse_netlist(".include foo\n"), ParseError);    // unsupported
+  EXPECT_THROW(parse_netlist("X1 0 n out IDEAL AD0=1\n"), ParseError);
+}
+
+TEST(Parser, ContentAfterEndRejected) {
+  EXPECT_THROW(parse_netlist("R1 a 0 1\n.end\nR2 b 0 1\n"), ParseError);
+}
+
+TEST(Parser, DuplicateNameRejectedWithLine) {
+  EXPECT_THROW(parse_netlist("R1 a 0 1\nR1 b 0 2\n"), ParseError);
+}
+
+TEST(Parser, MissingFileThrows) {
+  EXPECT_THROW(parse_netlist_file("/no/such/netlist.cir"), ParseError);
+}
+
+TEST(Writer, RoundTripsThroughParser) {
+  const Circuit original = parse_netlist(
+      "roundtrip test\n"
+      "V1 in 0 DC 1 AC 2 30\n"
+      "R1 in mid 4.7k\n"
+      "L1 mid out 10m\n"
+      "C1 out 0 33n\n"
+      "E1 x 0 out 0 2\n"
+      "Rx x 0 1k\n"
+      "X1 0 x amp OPAMP AD0=50000 GBW=3e6 RIN=2e6 ROUT=75\n"
+      "Ramp amp 0 10k\n");
+  const std::string text = write_netlist(original);
+  const Circuit reparsed = parse_netlist(text);
+
+  EXPECT_EQ(reparsed.title(), original.title());
+  EXPECT_EQ(reparsed.component_count(), original.component_count());
+  EXPECT_DOUBLE_EQ(reparsed.value_of("R1"), 4700.0);
+  EXPECT_DOUBLE_EQ(reparsed.value_of("L1"), 10e-3);
+  EXPECT_DOUBLE_EQ(reparsed.component("V1").ac_phase_deg, 30.0);
+  EXPECT_DOUBLE_EQ(reparsed.component("X1").opamp.gbw_hz, 3e6);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(Writer, IdealOpAmpEmittedWithXPrefix) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "n", 1e3);
+  c.add_resistor("R2", "n", "out", 1e3);
+  c.add_ideal_opamp("OA", "0", "n", "out");
+  const std::string text = write_netlist(c);
+  EXPECT_NE(text.find("IDEAL"), std::string::npos);
+  // Names without the SPICE X prefix gain one so the text re-parses.
+  const Circuit back = parse_netlist(text);
+  EXPECT_EQ(back.component("XOA").kind, ComponentKind::kIdealOpAmp);
+}
+
+}  // namespace
+}  // namespace ftdiag::netlist

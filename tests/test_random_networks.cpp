@@ -1,0 +1,143 @@
+/// Randomized-network property tests: generate random connected RC
+/// networks and check physical invariants of the MNA engine that must hold
+/// for ANY such network — properties no hand-written example can cover.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+#include "mna/ac_analysis.hpp"
+#include "mna/dc_analysis.hpp"
+#include "netlist/circuit.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag {
+namespace {
+
+/// Random connected RC network: a spine guarantees connectivity, extra
+/// chords add meshes.  Driven by V1 at node n0, observed anywhere.
+netlist::Circuit random_rc_network(Rng& rng, std::size_t nodes,
+                                   std::size_t chords) {
+  netlist::Circuit c;
+  c.add_vsource("V1", "n0", "0", 0.0, 1.0);
+  std::size_t part = 0;
+  auto add_part = [&](const std::string& a, const std::string& b) {
+    const std::string name = str::format("P%zu", part++);
+    if (rng.bernoulli(0.7)) {
+      c.add_resistor(name, a, b, rng.uniform(100.0, 100e3));
+    } else {
+      c.add_capacitor(name, a, b, rng.uniform(1e-10, 1e-6));
+    }
+  };
+  // Spine: n0 - n1 - ... - n{N-1}, with a resistor to keep DC defined.
+  for (std::size_t i = 1; i < nodes; ++i) {
+    const std::string prev = str::format("n%zu", i - 1);
+    const std::string here = str::format("n%zu", i);
+    c.add_resistor(str::format("RS%zu", i), prev, here,
+                   rng.uniform(100.0, 50e3));
+  }
+  c.add_resistor("RL", str::format("n%zu", nodes - 1), "0",
+                 rng.uniform(1e3, 100e3));
+  // Chords between random nodes (including ground).
+  for (std::size_t k = 0; k < chords; ++k) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+    const std::string node_a = str::format("n%zu", a);
+    const std::string node_b = rng.bernoulli(0.25) ? "0" : str::format("n%zu", b);
+    if (node_a == node_b) continue;
+    add_part(node_a, node_b);
+  }
+  return c;
+}
+
+class RandomRcNetworkTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomRcNetworkTest, PassiveGainNeverExceedsUnity) {
+  // An RC network (no inductors) cannot resonate: |H| <= 1 everywhere.
+  Rng rng(GetParam());
+  const auto circuit = random_rc_network(rng, 8, 10);
+  if (!circuit.validate().empty()) GTEST_SKIP() << "degenerate draw";
+  mna::AcAnalysis analysis(circuit);
+  for (double f : {1.0, 100.0, 10e3, 1e6}) {
+    for (std::size_t n = 1; n < 8; ++n) {
+      const double mag =
+          std::abs(analysis.node_voltage(f, str::format("n%zu", n)));
+      EXPECT_LE(mag, 1.0 + 1e-9)
+          << "node n" << n << " at " << f << " Hz";
+    }
+  }
+}
+
+TEST_P(RandomRcNetworkTest, DcLimitMatchesDcAnalysis) {
+  // AC at a vanishing frequency must agree with the dedicated DC solve
+  // (with the AC magnitude as the DC excitation).
+  Rng rng(GetParam() + 1000);
+  netlist::Circuit circuit = random_rc_network(rng, 6, 6);
+  if (!circuit.validate().empty()) GTEST_SKIP() << "degenerate draw";
+  mna::AcAnalysis ac(circuit);
+
+  netlist::Circuit dc_circuit = circuit;
+  // Same excitation as DC value (fresh circuit, V1 dc=1).
+  netlist::Circuit rebuilt;
+  for (const auto& comp : dc_circuit.components()) {
+    netlist::Component copy = comp;
+    if (comp.name == "V1") copy.dc = 1.0;
+    copy.nodes.clear();
+    for (auto n : comp.nodes) {
+      copy.nodes.push_back(rebuilt.node(dc_circuit.node_name(n)));
+    }
+    rebuilt.add_component(copy);
+  }
+  mna::DcAnalysis dc(rebuilt);
+  const auto dc_solution = dc.solve();
+  for (std::size_t n = 1; n < 6; ++n) {
+    const std::string name = str::format("n%zu", n);
+    const auto v_ac = ac.node_voltage(1e-6, name);
+    const double v_dc = dc_solution[dc.system().node_unknown(name)];
+    EXPECT_NEAR(v_ac.real(), v_dc, 1e-6) << name;
+    EXPECT_NEAR(v_ac.imag(), 0.0, 1e-6) << name;
+  }
+}
+
+TEST_P(RandomRcNetworkTest, SparseAndDenseSolversAgree) {
+  Rng rng(GetParam() + 2000);
+  const auto circuit = random_rc_network(rng, 10, 12);
+  if (!circuit.validate().empty()) GTEST_SKIP() << "degenerate draw";
+  const mna::MnaSystem system(circuit);
+  const std::size_t n = system.unknown_count();
+  linalg::CooMatrix<mna::Complex> matrix(n, n);
+  std::vector<mna::Complex> rhs(n, mna::Complex{});
+  system.assemble_ac(linalg::s_of_hz(1234.5), matrix, rhs);
+
+  const auto dense = linalg::LuFactorization<mna::Complex>(matrix.to_dense())
+                         .solve(rhs);
+  const auto sparse = linalg::SparseLu<mna::Complex>(matrix).solve(rhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(dense[i] - sparse[i]), 0.0, 1e-8);
+  }
+}
+
+TEST_P(RandomRcNetworkTest, MagnitudeIsContinuousInFrequency) {
+  // No jumps: neighbouring frequencies give neighbouring responses.
+  Rng rng(GetParam() + 3000);
+  const auto circuit = random_rc_network(rng, 7, 8);
+  if (!circuit.validate().empty()) GTEST_SKIP() << "degenerate draw";
+  mna::AcAnalysis analysis(circuit);
+  const auto response = analysis.sweep(
+      mna::FrequencyGrid::log_sweep(10.0, 1e6, 200), "n6");
+  for (std::size_t i = 1; i < response.size(); ++i) {
+    EXPECT_LT(std::fabs(response.magnitude(i) - response.magnitude(i - 1)),
+              0.15)
+        << "jump at " << response.frequency(i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRcNetworkTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ftdiag

@@ -1,0 +1,105 @@
+#include "mna/response.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+namespace {
+
+AcResponse first_order_lowpass(double fc, std::size_t points = 100) {
+  std::vector<double> freqs;
+  std::vector<Complex> values;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double f =
+        std::pow(10.0, 1.0 + 4.0 * static_cast<double>(i) / (points - 1));
+    freqs.push_back(f);
+    values.push_back(1.0 / Complex(1.0, f / fc));
+  }
+  return AcResponse(std::move(freqs), std::move(values));
+}
+
+TEST(Response, BasicAccessors) {
+  const AcResponse r({1.0, 2.0}, {Complex(1, 0), Complex(0, -1)});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.frequency(1), 2.0);
+  EXPECT_DOUBLE_EQ(r.magnitude(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.magnitude_db(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.phase_deg(1), -90.0);
+}
+
+TEST(Response, MismatchedLengthsRejected) {
+  EXPECT_DEATH(AcResponse({1.0, 2.0}, {Complex(1, 0)}), "length");
+}
+
+TEST(Response, UnsortedFrequenciesRejected) {
+  EXPECT_DEATH(AcResponse({2.0, 1.0}, {Complex(1, 0), Complex(1, 0)}),
+               "ascend");
+}
+
+TEST(Interpolate, ExactAtGridPoints) {
+  const auto r = first_order_lowpass(1e3);
+  for (std::size_t i = 0; i < r.size(); i += 7) {
+    const Complex direct = r.value(i);
+    const Complex interp = r.interpolate(r.frequency(i));
+    EXPECT_NEAR(std::abs(direct - interp), 0.0, 1e-12);
+  }
+}
+
+TEST(Interpolate, AccurateBetweenPoints) {
+  const auto r = first_order_lowpass(1e3);
+  for (double f : {37.0, 312.0, 1234.5, 23456.0}) {
+    const Complex expected = 1.0 / Complex(1.0, f / 1e3);
+    const Complex got = r.interpolate(f);
+    EXPECT_NEAR(std::abs(got - expected), 0.0, 2e-3 * std::abs(expected));
+  }
+}
+
+TEST(Interpolate, ClampsOutsideGrid) {
+  const auto r = first_order_lowpass(1e3);
+  EXPECT_EQ(r.interpolate(1.0), r.value(0));
+  EXPECT_EQ(r.interpolate(1e9), r.value(r.size() - 1));
+}
+
+TEST(Interpolate, EmptyResponseThrows) {
+  const AcResponse r;
+  EXPECT_THROW((void)r.interpolate(1.0), NumericError);
+}
+
+TEST(Interpolate, MagnitudeHelpers) {
+  const auto r = first_order_lowpass(1e3);
+  EXPECT_NEAR(r.magnitude_at(1e3), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(r.magnitude_db_at(1e3), -3.0103, 2e-2);
+}
+
+TEST(Response, MaxDeviation) {
+  const AcResponse a({1.0, 2.0}, {Complex(1, 0), Complex(1, 0)});
+  const AcResponse b({1.0, 2.0}, {Complex(1, 0), Complex(0.5, 0)});
+  EXPECT_DOUBLE_EQ(a.max_deviation(b), 0.5);
+}
+
+TEST(Response, MaxDeviationRequiresSameGrid) {
+  const AcResponse a({1.0, 2.0}, {Complex(1, 0), Complex(1, 0)});
+  const AcResponse b({1.0, 3.0}, {Complex(1, 0), Complex(1, 0)});
+  EXPECT_THROW((void)a.max_deviation(b), NumericError);
+}
+
+TEST(Response, PeakIndex) {
+  const AcResponse r({1.0, 2.0, 3.0},
+                     {Complex(0.5, 0), Complex(2, 0), Complex(1, 0)});
+  EXPECT_EQ(r.peak_index(), 1u);
+}
+
+TEST(Interpolate, PhaseShortestArc) {
+  // Phase wrapping near +/-180 must interpolate through the short arc.
+  const AcResponse r({1.0, 2.0},
+                     {std::polar(1.0, 3.0), std::polar(1.0, -3.0)});
+  const Complex mid = r.interpolate(std::sqrt(2.0));
+  // Short arc from +3 rad to -3 rad passes through pi, not 0.
+  EXPECT_GT(std::fabs(std::arg(mid)), 3.0);
+}
+
+}  // namespace
+}  // namespace ftdiag::mna

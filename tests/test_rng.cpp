@@ -1,0 +1,160 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ftdiag {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  EXPECT_NE(r(), 0u);  // must not be stuck at zero state
+}
+
+TEST(Uniform, InUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Uniform, MeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Uniform, RangeRespected) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(UniformInt, InclusiveBounds) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    saw_lo |= v == 0;
+    saw_hi |= v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(UniformInt, SingleValueRange) {
+  Rng r(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(4, 4), 4);
+}
+
+TEST(UniformInt, ApproximatelyUniform) {
+  Rng r(17);
+  std::vector<int> histogram(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histogram[r.uniform_int(0, 9)];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Normal, MeanAndVariance) {
+  Rng r(23);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Normal, ShiftAndScale) {
+  Rng r(29);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Bernoulli, Frequency) {
+  Rng r(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(WeightedIndex, ProportionalSelection) {
+  Rng r(37);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> histogram(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histogram[r.weighted_index(weights)];
+  EXPECT_NEAR(histogram[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(histogram[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(histogram[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(WeightedIndex, ZeroWeightNeverChosen) {
+  Rng r(41);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(r.weighted_index(weights), 1u);
+}
+
+TEST(WeightedIndex, AllZeroFallsBackToUniform) {
+  Rng r(43);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::vector<int> histogram(3, 0);
+  for (int i = 0; i < 3000; ++i) ++histogram[r.weighted_index(weights)];
+  for (int count : histogram) EXPECT_GT(count, 700);
+}
+
+TEST(Fork, ChildStreamIndependent) {
+  Rng parent(99);
+  Rng child = parent.fork();
+  // Child and parent should not produce identical streams.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng r(1);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), r);  // compiles and runs
+  EXPECT_EQ(v.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ftdiag

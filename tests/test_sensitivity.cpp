@@ -1,0 +1,179 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/nf_biquad.hpp"
+#include "circuits/tow_thomas.hpp"
+#include "faults/fault_injector.hpp"
+#include "mna/ac_analysis.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+namespace {
+
+class SensitivityTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    cut_ = new circuits::CircuitUnderTest(circuits::make_paper_cut());
+    curves_ = new std::vector<SensitivityCurve>(compute_sensitivities(
+        *cut_, mna::FrequencyGrid::log_sweep(10.0, 100e3, 120)));
+  }
+  static void TearDownTestSuite() {
+    delete curves_;
+    delete cut_;
+    curves_ = nullptr;
+    cut_ = nullptr;
+  }
+  static circuits::CircuitUnderTest* cut_;
+  static std::vector<SensitivityCurve>* curves_;
+
+  const SensitivityCurve& curve(const std::string& site) const {
+    for (const auto& c : *curves_) {
+      if (c.site == site) return c;
+    }
+    throw std::runtime_error("no curve for " + site);
+  }
+};
+
+circuits::CircuitUnderTest* SensitivityTest::cut_ = nullptr;
+std::vector<SensitivityCurve>* SensitivityTest::curves_ = nullptr;
+
+TEST_F(SensitivityTest, OneCurvePerTestable) {
+  EXPECT_EQ(curves_->size(), 7u);
+  for (const auto& c : *curves_) {
+    EXPECT_EQ(c.values.size(), c.frequencies_hz.size());
+    EXPECT_EQ(c.values.size(), 120u);
+  }
+}
+
+TEST_F(SensitivityTest, GainComponentsHaveFlatPassbandSensitivity) {
+  // Rb raises the divider ratio: |H| grows with Rb everywhere in the
+  // passband; its DC sensitivity is alpha-related and positive.
+  const auto& rb = curve("Rb");
+  EXPECT_GT(rb.values.front(), 0.0);
+  // Ra does the opposite.
+  EXPECT_LT(curve("Ra").values.front(), 0.0);
+}
+
+TEST_F(SensitivityTest, CapacitorsHaveNoDcSensitivity) {
+  // The grid starts at 10 Hz = f0/100, so the residual capacitor
+  // sensitivity is O((f/f0)^2) = O(1e-4), not exactly zero.
+  for (const char* site : {"C1", "C2"}) {
+    EXPECT_NEAR(curve(site).values.front(), 0.0, 5e-4) << site;
+    EXPECT_GT(curve(site).peak_magnitude(),
+              1e3 * std::fabs(curve(site).values.front()))
+        << site;
+  }
+}
+
+TEST_F(SensitivityTest, CapacitorSensitivityPeaksNearCorner) {
+  for (const char* site : {"C1", "C2"}) {
+    const double peak = curve(site).peak_frequency();
+    EXPECT_GT(peak, 300.0) << site;
+    EXPECT_LT(peak, 4000.0) << site;
+  }
+}
+
+TEST_F(SensitivityTest, MatchesDirectFiniteDeviation) {
+  // S predicts the response change for a small deviation: |H(x*1.02)| ~
+  // |H| + 0.02 * S at every frequency.
+  const auto& r2 = curve("R2");
+  const auto faulty = faults::inject(
+      cut_->circuit, {faults::FaultSite::value_of("R2"), 0.02});
+  mna::AcAnalysis nominal(cut_->circuit);
+  mna::AcAnalysis perturbed(faulty);
+  for (std::size_t i = 0; i < r2.frequencies_hz.size(); i += 17) {
+    const double f = r2.frequencies_hz[i];
+    const double predicted = 0.02 * r2.values[i];
+    const double actual =
+        std::abs(perturbed.node_voltage(f, "out")) -
+        std::abs(nominal.node_voltage(f, "out"));
+    EXPECT_NEAR(actual, predicted, 5e-4 + 0.05 * std::fabs(predicted))
+        << "f = " << f;
+  }
+}
+
+TEST_F(SensitivityTest, PairwiseAngleBoundsAndSymmetry) {
+  const double angle_ab =
+      pairwise_separation_angle(curve("Ra"), curve("Rb"), 300.0, 1500.0);
+  const double angle_ba =
+      pairwise_separation_angle(curve("Rb"), curve("Ra"), 300.0, 1500.0);
+  EXPECT_DOUBLE_EQ(angle_ab, angle_ba);
+  EXPECT_GE(angle_ab, 0.0);
+  EXPECT_LE(angle_ab, 90.0);
+}
+
+TEST_F(SensitivityTest, SelfAngleIsZero) {
+  EXPECT_NEAR(
+      pairwise_separation_angle(curve("R2"), curve("R2"), 300.0, 1500.0), 0.0,
+      1e-9);
+}
+
+TEST_F(SensitivityTest, MinAngleIsTheWorstPair) {
+  const double min_angle = min_separation_angle(*curves_, 500.0, 1500.0);
+  for (std::size_t i = 0; i < curves_->size(); ++i) {
+    for (std::size_t j = i + 1; j < curves_->size(); ++j) {
+      EXPECT_LE(min_angle - 1e-12,
+                pairwise_separation_angle((*curves_)[i], (*curves_)[j], 500.0,
+                                          1500.0));
+    }
+  }
+}
+
+TEST_F(SensitivityTest, ScreeningReturnsOrderedPairs) {
+  const auto pairs = screen_frequency_pairs(*curves_, 20, 5);
+  ASSERT_EQ(pairs.size(), 5u);
+  double prev = 91.0;
+  for (const auto& [f1, f2] : pairs) {
+    const double angle = min_separation_angle(*curves_, f1, f2);
+    EXPECT_LE(angle, prev + 1e-12);
+    prev = angle;
+    EXPECT_LT(f1, f2);
+  }
+}
+
+TEST_F(SensitivityTest, ScreenedPairBeatsDegeneratePair) {
+  const auto pairs = screen_frequency_pairs(*curves_, 24, 1);
+  const double best = min_separation_angle(*curves_, pairs[0].first,
+                                           pairs[0].second);
+  // Two passband frequencies see mostly the same information.
+  const double bad = min_separation_angle(*curves_, 12.0, 15.0);
+  EXPECT_GT(best, bad);
+}
+
+TEST(SensitivityTowThomas, DegenerateComponentsAreCollinearEverywhere) {
+  // R4 and R6 enter H only via k/R6: their sensitivity directions must be
+  // parallel at EVERY frequency pair (separation angle ~ 0).
+  const auto cut = circuits::make_tow_thomas();
+  const auto curves = compute_sensitivities(
+      cut, mna::FrequencyGrid::log_sweep(10.0, 100e3, 60));
+  const SensitivityCurve* r4 = nullptr;
+  const SensitivityCurve* r6 = nullptr;
+  for (const auto& c : curves) {
+    if (c.site == "R4") r4 = &c;
+    if (c.site == "R6") r6 = &c;
+  }
+  ASSERT_TRUE(r4 && r6);
+  for (double f1 : {50.0, 300.0, 900.0, 2500.0}) {
+    for (double f2 : {120.0, 1500.0, 8000.0}) {
+      EXPECT_NEAR(pairwise_separation_angle(*r4, *r6, f1, f2), 0.0, 0.05)
+          << f1 << "/" << f2;
+    }
+  }
+}
+
+TEST(SensitivityErrors, BadInputsRejected) {
+  const auto cut = circuits::make_paper_cut();
+  SensitivityOptions bad_step;
+  bad_step.relative_step = 0.0;
+  EXPECT_THROW(compute_sensitivities(
+                   cut, mna::FrequencyGrid::log_sweep(10, 1e5, 10), bad_step),
+               ConfigError);
+  const std::vector<SensitivityCurve> empty;
+  EXPECT_THROW(screen_frequency_pairs(empty, 10, 3), ConfigError);
+}
+
+}  // namespace
+}  // namespace ftdiag::core

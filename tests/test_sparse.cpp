@@ -1,0 +1,180 @@
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ftdiag::linalg {
+namespace {
+
+using C = std::complex<double>;
+
+TEST(Coo, DuplicatesSumOnDensify) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, 2.5);
+  coo.add(1, 1, -1.0);
+  const auto dense = coo.to_dense();
+  EXPECT_DOUBLE_EQ(dense(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(dense(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(dense(0, 1), 0.0);
+}
+
+TEST(Coo, ExactZerosDropped) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 0.0);
+  EXPECT_EQ(coo.entry_count(), 0u);
+}
+
+TEST(Csr, BuildsSortedRows) {
+  CooMatrix<double> coo(2, 3);
+  coo.add(0, 2, 3.0);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 2.0);
+  const CsrMatrix<double> csr(coo);
+  EXPECT_EQ(csr.nnz(), 3u);
+  const auto row0 = csr.row(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0].first, 0u);
+  EXPECT_EQ(row0[1].first, 2u);
+}
+
+TEST(Csr, DuplicatesSummedAndZerosCancelled) {
+  CooMatrix<double> coo(1, 2);
+  coo.add(0, 0, 2.0);
+  coo.add(0, 0, -2.0);
+  coo.add(0, 1, 5.0);
+  const CsrMatrix<double> csr(coo);
+  EXPECT_EQ(csr.nnz(), 1u);  // the cancelled entry vanished
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  Rng rng(7);
+  CooMatrix<double> coo(5, 5);
+  for (int k = 0; k < 12; ++k) {
+    coo.add(static_cast<std::size_t>(rng.uniform_int(0, 4)),
+            static_cast<std::size_t>(rng.uniform_int(0, 4)),
+            rng.uniform(-1.0, 1.0));
+  }
+  const CsrMatrix<double> csr(coo);
+  const auto dense = coo.to_dense();
+  std::vector<double> x(5);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto y_sparse = csr.multiply(x);
+  const auto y_dense = dense * x;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-14);
+  }
+}
+
+TEST(SparseLu, SolvesSmallSystem) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 2.0);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(1, 1, 3.0);
+  const SparseLu<double> lu(coo);
+  const auto x = lu.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SparseLu, RequiresSquare) {
+  CooMatrix<double> coo(2, 3);
+  coo.add(0, 0, 1.0);
+  EXPECT_THROW((void)SparseLu<double>(coo), NumericError);
+}
+
+TEST(SparseLu, SingularThrows) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, 1.0);  // column 1 empty -> singular
+  EXPECT_THROW((void)SparseLu<double>(coo), NumericError);
+}
+
+TEST(SparseLu, ZeroMatrixThrows) {
+  CooMatrix<double> coo(3, 3);
+  EXPECT_THROW((void)SparseLu<double>(coo), NumericError);
+}
+
+TEST(SparseLu, PermutedIdentity) {
+  CooMatrix<double> coo(3, 3);
+  coo.add(0, 2, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(2, 1, 1.0);
+  const SparseLu<double> lu(coo);
+  const auto x = lu.solve({10.0, 20.0, 30.0});
+  EXPECT_NEAR(x[2], 10.0, 1e-12);
+  EXPECT_NEAR(x[0], 20.0, 1e-12);
+  EXPECT_NEAR(x[1], 30.0, 1e-12);
+}
+
+/// Property sweep: random sparse diagonally-dominant systems; sparse LU
+/// must match the dense solution.
+class SparseLuAgreementTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SparseLuAgreementTest, MatchesDenseSolver) {
+  const std::size_t n = GetParam();
+  Rng rng(500 + n);
+  CooMatrix<double> coo(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.add(i, i, 4.0 + rng.uniform());
+    // A few off-diagonal entries per row.
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (j != i) coo.add(i, j, rng.uniform(-1.0, 1.0));
+    }
+  }
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  const auto x_sparse = SparseLu<double>(coo).solve(b);
+  const auto x_dense = solve_dense(coo.to_dense(), b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x_sparse[i], x_dense[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseLuAgreementTest,
+                         ::testing::Values(2, 5, 10, 25, 50, 100, 200));
+
+TEST(SparseLu, ComplexAgreesWithDense) {
+  Rng rng(42);
+  const std::size_t n = 20;
+  CooMatrix<C> coo(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.add(i, i, C(3.0 + rng.uniform(), rng.uniform()));
+    const std::size_t j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (j != i) coo.add(i, j, C(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)));
+  }
+  std::vector<C> b(n);
+  for (auto& v : b) v = C(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  const auto xs = SparseLu<C>(coo).solve(b);
+  const auto xd = solve_dense(coo.to_dense(), b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(xs[i] - xd[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(SparseLu, FactorNnzReported) {
+  CooMatrix<double> coo(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) coo.add(i, i, 1.0);
+  const SparseLu<double> lu(coo);
+  EXPECT_EQ(lu.factor_nnz(), 3u);  // diagonal only, no fill-in
+  EXPECT_EQ(lu.size(), 3u);
+}
+
+TEST(SparseLu, InvalidPivotThresholdRejected) {
+  CooMatrix<double> coo(1, 1);
+  coo.add(0, 0, 1.0);
+  EXPECT_DEATH(SparseLu<double>(coo, 0.0), "pivot threshold");
+}
+
+}  // namespace
+}  // namespace ftdiag::linalg

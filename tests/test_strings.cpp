@@ -1,0 +1,84 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftdiag::str {
+namespace {
+
+TEST(Trim, RemovesLeadingAndTrailingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Trim, EmptyAndAllWhitespace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t\n"), "");
+}
+
+TEST(Trim, NoWhitespaceIsIdentity) { EXPECT_EQ(trim("abc"), "abc"); }
+
+TEST(Case, ToLowerAndUpper) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+  EXPECT_EQ(to_upper("AbC123"), "ABC123");
+}
+
+TEST(Split, BasicDelimiter) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, EmptyStringYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWs, CollapsesRuns) {
+  const auto parts = split_ws("  a \t b\n  c ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWs, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t ").empty());
+}
+
+TEST(Affix, StartsWithEndsWith) {
+  EXPECT_TRUE(starts_with("netlist", "net"));
+  EXPECT_FALSE(starts_with("net", "netlist"));
+  EXPECT_TRUE(ends_with("fault.csv", ".csv"));
+  EXPECT_FALSE(ends_with("csv", "fault.csv"));
+}
+
+TEST(IEquals, CaseInsensitiveComparison) {
+  EXPECT_TRUE(iequals("OpAmp", "opamp"));
+  EXPECT_FALSE(iequals("opamp", "opamps"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace ftdiag::str

@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace ftdiag {
+namespace {
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t({"name", "v"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22 |"), std::string::npos);
+}
+
+TEST(AsciiTable, RuleUnderHeader) {
+  AsciiTable t({"x"});
+  t.add_row({"1"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("|---|"), std::string::npos);
+}
+
+TEST(AsciiTable, ShortRowsPadded) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(AsciiTable, LongRowsTruncated) {
+  AsciiTable t({"a"});
+  t.add_row({"1", "overflow"});
+  EXPECT_EQ(t.str().find("overflow"), std::string::npos);
+}
+
+TEST(AsciiTable, NumericRowFormatting) {
+  AsciiTable t({"x", "y"});
+  t.add_numeric_row({1.23456789, 1e-6});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("1.235"), std::string::npos);
+  EXPECT_NE(s.find("1e-06"), std::string::npos);
+}
+
+TEST(AsciiTable, LabeledRow) {
+  AsciiTable t({"case", "a", "b"});
+  t.add_labeled_row("run1", {2.0, 3.0});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("run1"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(AsciiTable, PrintWithTitle) {
+  AsciiTable t({"x"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os, "my table");
+  EXPECT_NE(os.str().find("== my table =="), std::string::npos);
+}
+
+TEST(AsciiTable, EmptyTableStillRendersHeader) {
+  AsciiTable t({"col"});
+  EXPECT_NE(t.str().find("col"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(Logging, LevelFiltering) {
+  log::set_level(log::Level::kError);
+  EXPECT_EQ(log::level(), log::Level::kError);
+  log::info("this must be dropped (not crash)");
+  log::set_level(log::Level::kWarn);  // restore default
+}
+
+}  // namespace
+}  // namespace ftdiag

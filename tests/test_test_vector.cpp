@@ -1,0 +1,108 @@
+#include "core/test_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/nf_biquad.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+namespace {
+
+class TestVectorFixture : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    const auto cut = circuits::make_paper_cut();
+    dict_ = new faults::FaultDictionary(faults::FaultDictionary::build(
+        cut, faults::FaultUniverse::over_testable(cut)));
+  }
+  static void TearDownTestSuite() {
+    delete dict_;
+    dict_ = nullptr;
+  }
+  static faults::FaultDictionary* dict_;
+};
+
+faults::FaultDictionary* TestVectorFixture::dict_ = nullptr;
+
+TEST(TestVector, LabelFormatsFrequencies) {
+  const TestVector tv{{1234.0, 56000.0}};
+  const std::string label = tv.label();
+  EXPECT_NE(label.find("f1=1.234kHz"), std::string::npos);
+  EXPECT_NE(label.find("f2=56kHz"), std::string::npos);
+}
+
+TEST(TestVector, NormalizeSortsAscending) {
+  TestVector tv{{5000.0, 100.0, 1000.0}};
+  tv.normalize();
+  EXPECT_DOUBLE_EQ(tv.frequencies_hz[0], 100.0);
+  EXPECT_DOUBLE_EQ(tv.frequencies_hz[2], 5000.0);
+}
+
+TEST_F(TestVectorFixture, TrajectoriesMatchSiteCount) {
+  const TestVectorEvaluator evaluator(*dict_);
+  const auto trajs = evaluator.trajectories({{300.0, 2000.0}});
+  EXPECT_EQ(trajs.size(), 7u);
+}
+
+TEST_F(TestVectorFixture, EmptyVectorRejected) {
+  const TestVectorEvaluator evaluator(*dict_);
+  EXPECT_THROW(evaluator.trajectories({{}}), ConfigError);
+}
+
+TEST_F(TestVectorFixture, DefaultFitnessIsPaper) {
+  const TestVectorEvaluator evaluator(*dict_);
+  const auto score = evaluator.score({{300.0, 2000.0}});
+  EXPECT_DOUBLE_EQ(
+      score.fitness,
+      1.0 / (1.0 + static_cast<double>(score.intersections)));
+}
+
+TEST_F(TestVectorFixture, CustomFitnessHonored) {
+  const auto separation = std::make_shared<SeparationFitness>();
+  const TestVectorEvaluator evaluator(*dict_, SamplingPolicy{}, separation);
+  const TestVector tv{{300.0, 2000.0}};
+  EXPECT_DOUBLE_EQ(evaluator.fitness(tv),
+                   separation->evaluate(evaluator.trajectories(tv)));
+}
+
+TEST_F(TestVectorFixture, ScoreFieldsConsistent) {
+  const TestVectorEvaluator evaluator(*dict_);
+  const auto score = evaluator.score({{150.0, 4000.0}});
+  EXPECT_EQ(score.vector.frequencies_hz.size(), 2u);
+  EXPECT_GE(score.separation_margin, 0.0);
+  EXPECT_LE(score.separation_margin, 1.0);
+  EXPECT_GT(score.fitness, 0.0);
+  EXPECT_LE(score.fitness, 1.0);
+}
+
+TEST_F(TestVectorFixture, FrequencyOrderDoesNotChangeFitness) {
+  const TestVectorEvaluator evaluator(*dict_);
+  TestVector fwd{{200.0, 3000.0}};
+  TestVector rev{{3000.0, 200.0}};
+  rev.normalize();
+  EXPECT_DOUBLE_EQ(evaluator.fitness(fwd), evaluator.fitness(rev));
+}
+
+TEST_F(TestVectorFixture, MakeEngineProducesWorkingClassifier) {
+  const TestVectorEvaluator evaluator(*dict_);
+  const TestVector tv{{400.0, 1300.0}};
+  const DiagnosisEngine engine = evaluator.make_engine(tv);
+  EXPECT_EQ(engine.trajectories().size(), 7u);
+  EXPECT_EQ(engine.dimension(), 2u);
+  // Diagnose a dictionary point through the engine.
+  const auto& entry = dict_->entries().front();
+  const Point observed =
+      evaluator.sampler().sample(entry.response, tv.frequencies_hz);
+  EXPECT_EQ(engine.diagnose(observed).best().site, entry.fault.site.label());
+}
+
+TEST_F(TestVectorFixture, ThreeFrequencyVectorsSupported) {
+  const TestVectorEvaluator evaluator(*dict_);
+  const auto score = evaluator.score({{150.0, 1000.0, 8000.0}});
+  EXPECT_GT(score.fitness, 0.0);
+  const auto trajs = evaluator.trajectories({{150.0, 1000.0, 8000.0}});
+  EXPECT_EQ(trajs.front().dimension(), 3u);
+}
+
+}  // namespace
+}  // namespace ftdiag::core

@@ -1,0 +1,90 @@
+#include "faults/tolerance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/nf_biquad.hpp"
+
+namespace ftdiag::faults {
+namespace {
+
+TEST(Tolerance, PerturbsEveryPassiveWithinBounds) {
+  const auto cut = circuits::make_paper_cut();
+  Rng rng(1);
+  ToleranceSpec spec;
+  spec.resistor_tolerance = 0.01;
+  spec.capacitor_tolerance = 0.05;
+  const auto perturbed = perturb_within_tolerance(cut.circuit, spec, rng);
+  for (const auto& name : cut.circuit.passive_names()) {
+    const double nominal = cut.circuit.value_of(name);
+    const double actual = perturbed.value_of(name);
+    const double tol =
+        cut.circuit.component(name).kind == netlist::ComponentKind::kCapacitor
+            ? 0.05
+            : 0.01;
+    EXPECT_LE(std::fabs(actual / nominal - 1.0), tol + 1e-12) << name;
+    EXPECT_NE(actual, nominal) << name << " was not perturbed";
+  }
+}
+
+TEST(Tolerance, FrozenComponentsKeepNominal) {
+  const auto cut = circuits::make_paper_cut();
+  Rng rng(2);
+  const auto perturbed =
+      perturb_within_tolerance(cut.circuit, {}, rng, {"R2", "C1"});
+  EXPECT_DOUBLE_EQ(perturbed.value_of("R2"), cut.circuit.value_of("R2"));
+  EXPECT_DOUBLE_EQ(perturbed.value_of("C1"), cut.circuit.value_of("C1"));
+  EXPECT_NE(perturbed.value_of("R1"), cut.circuit.value_of("R1"));
+}
+
+TEST(Tolerance, ZeroToleranceIsIdentity) {
+  const auto cut = circuits::make_paper_cut();
+  Rng rng(3);
+  ToleranceSpec spec;
+  spec.resistor_tolerance = 0.0;
+  spec.capacitor_tolerance = 0.0;
+  const auto perturbed = perturb_within_tolerance(cut.circuit, spec, rng);
+  for (const auto& name : cut.circuit.passive_names()) {
+    EXPECT_DOUBLE_EQ(perturbed.value_of(name), cut.circuit.value_of(name));
+  }
+}
+
+TEST(Tolerance, GaussianModeClampedToBounds) {
+  const auto cut = circuits::make_paper_cut();
+  ToleranceSpec spec;
+  spec.uniform = false;
+  spec.resistor_tolerance = 0.02;
+  spec.capacitor_tolerance = 0.02;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const auto perturbed = perturb_within_tolerance(cut.circuit, spec, rng);
+    for (const auto& name : cut.circuit.passive_names()) {
+      EXPECT_LE(std::fabs(perturbed.value_of(name) /
+                              cut.circuit.value_of(name) -
+                          1.0),
+                0.02 + 1e-12);
+    }
+  }
+}
+
+TEST(Tolerance, DeterministicPerSeed) {
+  const auto cut = circuits::make_paper_cut();
+  Rng rng_a(7), rng_b(7);
+  const auto a = perturb_within_tolerance(cut.circuit, {}, rng_a);
+  const auto b = perturb_within_tolerance(cut.circuit, {}, rng_b);
+  for (const auto& name : cut.circuit.passive_names()) {
+    EXPECT_DOUBLE_EQ(a.value_of(name), b.value_of(name));
+  }
+}
+
+TEST(Tolerance, NonPassivesUntouched) {
+  const auto cut = circuits::make_paper_cut();
+  Rng rng(9);
+  const auto perturbed = perturb_within_tolerance(cut.circuit, {}, rng);
+  EXPECT_DOUBLE_EQ(perturbed.component("vin").ac_magnitude,
+                   cut.circuit.component("vin").ac_magnitude);
+}
+
+}  // namespace
+}  // namespace ftdiag::faults

@@ -1,0 +1,127 @@
+#include "mna/tone_extraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "mna/transient.hpp"
+#include "netlist/circuit.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+namespace {
+
+std::vector<double> make_time(std::size_t n, double dt) {
+  std::vector<double> t(n);
+  for (std::size_t i = 0; i < n; ++i) t[i] = static_cast<double>(i) * dt;
+  return t;
+}
+
+std::vector<double> synth(const std::vector<double>& t, double amplitude,
+                          double freq, double phase_deg, double offset = 0.0) {
+  std::vector<double> x(t.size());
+  const double phase = phase_deg * std::numbers::pi / 180.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    x[i] = offset +
+           amplitude * std::sin(2.0 * std::numbers::pi * freq * t[i] + phase);
+  }
+  return x;
+}
+
+TEST(ToneExtraction, RecoversAmplitudeAndPhase) {
+  const auto t = make_time(4000, 1e-5);  // 40 ms at 100 kS/s
+  const auto x = synth(t, 2.5, 1000.0, 30.0);
+  const auto tone = extract_tone(t, x, 1000.0);
+  EXPECT_NEAR(tone.amplitude(), 2.5, 1e-6);
+  EXPECT_NEAR(tone.phase_deg(), 30.0, 1e-4);
+  EXPECT_DOUBLE_EQ(tone.frequency_hz, 1000.0);
+}
+
+TEST(ToneExtraction, ZeroPhaseSine) {
+  const auto t = make_time(2000, 1e-5);
+  const auto x = synth(t, 1.0, 500.0, 0.0);
+  const auto tone = extract_tone(t, x, 500.0);
+  EXPECT_NEAR(tone.amplitude(), 1.0, 1e-6);
+  EXPECT_NEAR(tone.phase_deg(), 0.0, 1e-3);
+}
+
+TEST(ToneExtraction, DcOffsetRejected) {
+  const auto t = make_time(4000, 1e-5);
+  const auto x = synth(t, 1.0, 1000.0, 0.0, /*offset=*/5.0);
+  const auto tone = extract_tone(t, x, 1000.0);
+  // Whole-period window: the DC offset integrates to zero.
+  EXPECT_NEAR(tone.amplitude(), 1.0, 1e-6);
+}
+
+TEST(ToneExtraction, TwoTonesSeparated) {
+  const auto t = make_time(8000, 1e-5);
+  auto x = synth(t, 1.5, 500.0, 10.0);
+  const auto y = synth(t, 0.4, 2000.0, -45.0);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += y[i];
+  const auto tones = extract_tones(t, x, {500.0, 2000.0});
+  ASSERT_EQ(tones.size(), 2u);
+  // 500 Hz and 2 kHz are harmonically related -> coherent windows, so the
+  // cross-talk is essentially zero.
+  EXPECT_NEAR(tones[0].amplitude(), 1.5, 1e-4);
+  EXPECT_NEAR(tones[0].phase_deg(), 10.0, 0.05);
+  EXPECT_NEAR(tones[1].amplitude(), 0.4, 1e-4);
+  EXPECT_NEAR(tones[1].phase_deg(), -45.0, 0.05);
+}
+
+TEST(ToneExtraction, IncoherentToneLeakageIsBounded) {
+  const auto t = make_time(20000, 1e-5);
+  auto x = synth(t, 1.0, 1000.0, 0.0);
+  const auto other = synth(t, 1.0, 1237.7, 0.0);  // not on any common grid
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += other[i];
+  const auto tone = extract_tone(t, x, 1000.0);
+  EXPECT_NEAR(tone.amplitude(), 1.0, 0.02);  // leakage < 2% on a long window
+}
+
+TEST(ToneExtraction, WindowFractionControlsSpan) {
+  const auto t = make_time(4000, 1e-5);
+  const auto x = synth(t, 1.0, 1000.0, 0.0);
+  for (double fraction : {0.25, 0.5, 1.0}) {
+    EXPECT_NEAR(extract_tone(t, x, 1000.0, fraction).amplitude(), 1.0, 1e-6);
+  }
+}
+
+TEST(ToneExtraction, InvalidInputsRejected) {
+  const auto t = make_time(1000, 1e-5);
+  const auto x = synth(t, 1.0, 1000.0, 0.0);
+  EXPECT_THROW((void)extract_tone(t, {1.0, 2.0}, 1e3), ConfigError);       // length
+  EXPECT_THROW((void)extract_tone({0.0}, {1.0}, 1e3), ConfigError);        // too few
+  EXPECT_THROW((void)extract_tone(t, x, -5.0), ConfigError);               // freq
+  EXPECT_THROW((void)extract_tone(t, x, 1e3, 0.0), ConfigError);           // window
+  EXPECT_THROW((void)extract_tone(t, x, 1e3, 1.5), ConfigError);           // window
+  EXPECT_THROW((void)extract_tone(t, x, 60000.0), ConfigError);            // Nyquist
+  EXPECT_THROW((void)extract_tone(t, x, 10.0), ConfigError);  // < one period
+}
+
+TEST(ToneExtraction, NonUniformTimeRejected) {
+  auto t = make_time(1000, 1e-5);
+  t[500] += 5e-4;
+  const auto x = synth(make_time(1000, 1e-5), 1.0, 1000.0, 0.0);
+  EXPECT_THROW((void)extract_tone(t, x, 1000.0), ConfigError);
+}
+
+TEST(ToneExtraction, AgreesWithAcAnalysisOnRcFilter) {
+  // End-to-end: transient of an RC low-pass driven at its cutoff must
+  // yield |H| = 1/sqrt(2) from the extracted tone.
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "out", 1e3);
+  c.add_capacitor("C1", "out", "0", 159.15494e-9);  // fc ~ 1 kHz
+  TransientAnalysis transient(c);
+  TransientSpec spec;
+  spec.dt = 1e-6;
+  spec.t_stop = 20e-3;
+  spec.waveforms["V1"] = SourceWaveform::sine(1.0, 1000.0);
+  const auto record = transient.run(spec, {"out"});
+  const auto tone = extract_tone(record.time_s, record.node("out"), 1000.0);
+  EXPECT_NEAR(tone.amplitude(), 1.0 / std::sqrt(2.0), 2e-3);
+  EXPECT_NEAR(tone.phase_deg(), -45.0, 0.5);
+}
+
+}  // namespace
+}  // namespace ftdiag::mna

@@ -1,0 +1,140 @@
+#include "core/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "circuits/nf_biquad.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::core {
+namespace {
+
+class TrajectoryTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    const auto cut = circuits::make_paper_cut();
+    dict_ = new faults::FaultDictionary(faults::FaultDictionary::build(
+        cut, faults::FaultUniverse::over_testable(cut)));
+  }
+  static void TearDownTestSuite() {
+    delete dict_;
+    dict_ = nullptr;
+  }
+  static faults::FaultDictionary* dict_;
+};
+
+faults::FaultDictionary* TrajectoryTest::dict_ = nullptr;
+
+TEST_F(TrajectoryTest, OneTrajectoryPerSite) {
+  const auto trajectories =
+      build_trajectories(*dict_, {400.0, 1200.0}, SamplingPolicy{});
+  EXPECT_EQ(trajectories.size(), 7u);
+  for (const auto& t : trajectories) {
+    EXPECT_EQ(t.dimension(), 2u);
+  }
+}
+
+TEST_F(TrajectoryTest, GoldenPointInsertedAtZeroDeviation) {
+  const auto trajectories =
+      build_trajectories(*dict_, {400.0, 1200.0}, SamplingPolicy{});
+  for (const auto& t : trajectories) {
+    // 8 dictionary deviations + inserted golden point.
+    EXPECT_EQ(t.point_count(), 9u);
+    bool found_origin = false;
+    for (const auto& p : t.points()) {
+      if (p.deviation == 0.0) {
+        found_origin = true;
+        EXPECT_NEAR(norm(p.coords), 0.0, 1e-12);
+      }
+    }
+    EXPECT_TRUE(found_origin) << t.site();
+  }
+}
+
+TEST_F(TrajectoryTest, PointsOrderedByDeviation) {
+  const auto trajectories =
+      build_trajectories(*dict_, {250.0, 900.0}, SamplingPolicy{});
+  for (const auto& t : trajectories) {
+    for (std::size_t i = 1; i < t.point_count(); ++i) {
+      EXPECT_LT(t.points()[i - 1].deviation, t.points()[i].deviation);
+    }
+  }
+}
+
+TEST_F(TrajectoryTest, SegmentsConnectConsecutivePoints) {
+  const auto trajectories =
+      build_trajectories(*dict_, {250.0, 900.0}, SamplingPolicy{});
+  const auto& t = trajectories.front();
+  const auto segments = t.segments();
+  EXPECT_EQ(segments.size(), t.point_count() - 1);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_EQ(segments[i].a, t.points()[i].coords);
+    EXPECT_EQ(segments[i].b, t.points()[i + 1].coords);
+  }
+}
+
+TEST_F(TrajectoryTest, DeviationOnSegmentInterpolatesLinearly) {
+  const auto trajectories =
+      build_trajectories(*dict_, {250.0, 900.0}, SamplingPolicy{});
+  const auto& t = trajectories.front();
+  // Segment 0 spans [-0.40, -0.30].
+  EXPECT_NEAR(t.deviation_on_segment(0, 0.0), -0.40, 1e-12);
+  EXPECT_NEAR(t.deviation_on_segment(0, 1.0), -0.30, 1e-12);
+  EXPECT_NEAR(t.deviation_on_segment(0, 0.5), -0.35, 1e-12);
+}
+
+TEST_F(TrajectoryTest, MonotonicDeviationsMoveMonotonicallyOutward) {
+  // The paper's premise: responses are smooth/monotonic, so distance from
+  // the origin grows with |deviation| on each branch.
+  const auto trajectories =
+      build_trajectories(*dict_, {300.0, 1000.0}, SamplingPolicy{});
+  for (const auto& t : trajectories) {
+    double prev_neg = std::numeric_limits<double>::infinity();
+    double prev_pos = 0.0;
+    for (const auto& p : t.points()) {
+      const double r = norm(p.coords);
+      if (p.deviation < 0.0) {
+        EXPECT_LT(r, prev_neg + 1e-12) << t.site() << " @ " << p.deviation;
+        prev_neg = r;
+      } else if (p.deviation > 0.0) {
+        EXPECT_GT(r, prev_pos - 1e-12) << t.site() << " @ " << p.deviation;
+        prev_pos = r;
+      }
+    }
+  }
+}
+
+TEST_F(TrajectoryTest, LengthAndExcursionPositive) {
+  const auto trajectories =
+      build_trajectories(*dict_, {300.0, 1000.0}, SamplingPolicy{});
+  for (const auto& t : trajectories) {
+    EXPECT_GT(t.length(), 0.0) << t.site();
+    EXPECT_GT(t.max_excursion(), 0.0) << t.site();
+    EXPECT_LE(t.max_excursion(), t.length() + 1e-12);
+  }
+}
+
+TEST_F(TrajectoryTest, HigherDimensionalTrajectories) {
+  const auto trajectories = build_trajectories(
+      *dict_, {200.0, 800.0, 3200.0}, SamplingPolicy{});
+  for (const auto& t : trajectories) EXPECT_EQ(t.dimension(), 3u);
+}
+
+TEST(FaultTrajectory, RejectsTooFewPoints) {
+  EXPECT_THROW(FaultTrajectory("X", {{0.0, {0.0, 0.0}}}), ConfigError);
+}
+
+TEST(FaultTrajectory, RejectsUnorderedPoints) {
+  std::vector<TrajectoryPoint> pts = {{0.1, {1.0, 0.0}}, {-0.1, {0.0, 1.0}}};
+  EXPECT_DEATH(FaultTrajectory("X", std::move(pts)), "ordered");
+}
+
+TEST(FaultTrajectory, RejectsMixedDimensions) {
+  std::vector<TrajectoryPoint> pts = {{-0.1, {1.0, 0.0}}, {0.1, {0.0}}};
+  EXPECT_DEATH(FaultTrajectory("X", std::move(pts)), "dimension");
+}
+
+}  // namespace
+}  // namespace ftdiag::core

@@ -1,0 +1,96 @@
+#include "mna/transfer_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/ladders.hpp"
+#include "circuits/mfb.hpp"
+#include "circuits/sallen_key.hpp"
+#include "mna/ac_analysis.hpp"
+
+namespace ftdiag::mna {
+namespace {
+
+AcResponse sweep_cut(const circuits::CircuitUnderTest& cut) {
+  AcAnalysis ac(cut.circuit);
+  return ac.sweep(cut.dictionary_grid, cut.output_node);
+}
+
+TEST(Lowpass, MeasuresDcGainAndCutoff) {
+  circuits::SallenKeyDesign design;
+  design.f0_hz = 2.5e3;
+  const auto summary = measure_lowpass(sweep_cut(
+      circuits::make_sallen_key_lowpass(design)));
+  EXPECT_NEAR(summary.dc_gain, 1.0, 1e-3);
+  EXPECT_NEAR(summary.dc_gain_db, 0.0, 0.01);
+  // Butterworth: -3 dB exactly at f0.
+  EXPECT_NEAR(summary.f_3db_hz, 2.5e3, 2.5e3 * 0.01);
+  EXPECT_LT(summary.stop_gain_db, -60.0);
+}
+
+TEST(Lowpass, NoCrossingYieldsZeroCutoff) {
+  // A flat response (resistive divider) never drops 3 dB.
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "out", 1e3);
+  c.add_resistor("R2", "out", "0", 1e3);
+  AcAnalysis ac(c);
+  const auto summary =
+      measure_lowpass(ac.sweep(FrequencyGrid::log_sweep(10, 1e5, 50), "out"));
+  EXPECT_DOUBLE_EQ(summary.f_3db_hz, 0.0);
+  EXPECT_NEAR(summary.dc_gain, 0.5, 1e-9);
+}
+
+TEST(Bandpass, PeakAndQ) {
+  circuits::MfbDesign design;
+  design.f0_hz = 1e3;
+  design.q = 5.0;
+  design.gain = 2.0;
+  const auto summary =
+      measure_bandpass(sweep_cut(circuits::make_mfb_bandpass(design)));
+  EXPECT_NEAR(summary.f_peak_hz, 1e3, 1e3 * 0.02);
+  EXPECT_NEAR(summary.peak_gain, 2.0, 0.05);
+  EXPECT_NEAR(summary.q, 5.0, 0.3);
+}
+
+TEST(Bandpass, BandwidthConsistentWithQ) {
+  circuits::MfbDesign design;
+  design.q = 3.0;
+  const auto summary =
+      measure_bandpass(sweep_cut(circuits::make_mfb_bandpass(design)));
+  EXPECT_NEAR(summary.bandwidth_hz, summary.f_peak_hz / summary.q, 1.0);
+}
+
+TEST(Crossing, FindsDropFromReference) {
+  const auto response = sweep_cut(circuits::make_sallen_key_lowpass({}));
+  const auto f20 = find_crossing_db(response, 0.0, 20.0);
+  ASSERT_TRUE(f20.has_value());
+  // 2nd-order Butterworth: -20 dB near sqrt(10^(20/20/2)... empirically
+  // |H| = 0.1 at f where (f/f0)^2 ~ 10 (asymptote ~ -40 dB/dec).
+  EXPECT_GT(*f20, 1.0e3);
+  EXPECT_LT(*f20, 10.0e3);
+}
+
+TEST(Crossing, NulloptWhenNeverCrossed) {
+  const auto response = sweep_cut(circuits::make_sallen_key_lowpass({}));
+  EXPECT_FALSE(find_crossing_db(response, 0.0, 500.0).has_value());
+}
+
+TEST(Notch, TwinTDepthAndFrequency) {
+  circuits::TwinTDesign design;
+  design.notch_hz = 1e3;
+  const auto summary = measure_notch(sweep_cut(circuits::make_twin_t(design)));
+  EXPECT_NEAR(summary.f_notch_hz, 1e3, 1e3 * 0.05);
+  EXPECT_LT(summary.depth_db, -30.0);  // deep notch under light load
+}
+
+TEST(Highpass, MirrorsLowpassMeasurements) {
+  const auto response = sweep_cut(circuits::make_sallen_key_highpass({}));
+  // Passband sits at the top of the sweep for a high-pass.
+  EXPECT_NEAR(response.magnitude(response.size() - 1), 1.0, 1e-3);
+  EXPECT_LT(response.magnitude_db(0), -60.0);
+}
+
+}  // namespace
+}  // namespace ftdiag::mna

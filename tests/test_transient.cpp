@@ -1,0 +1,161 @@
+#include "mna/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "netlist/circuit.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+namespace {
+
+netlist::Circuit rc_circuit(double r, double c_farads) {
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0, 1.0);
+  c.add_resistor("R1", "in", "out", r);
+  c.add_capacitor("C1", "out", "0", c_farads);
+  return c;
+}
+
+TEST(Waveform, OffsetPlusTones) {
+  SourceWaveform w;
+  w.offset = 1.0;
+  w.tones.push_back({2.0, 100.0, 90.0});  // 2*sin(wt + 90deg) = 2*cos(wt)
+  EXPECT_NEAR(w.at(0.0), 1.0 + 2.0, 1e-12);
+}
+
+TEST(Waveform, SineFactory) {
+  const auto w = SourceWaveform::sine(3.0, 50.0);
+  EXPECT_NEAR(w.at(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(w.at(1.0 / (4.0 * 50.0)), 3.0, 1e-9);
+}
+
+TEST(Waveform, ToneSetFactory) {
+  const auto w = SourceWaveform::tone_set({1e3, 2e3}, 0.5);
+  EXPECT_EQ(w.tones.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.tones[0].amplitude, 0.5);
+}
+
+TEST(Transient, RcStepResponseMatchesExponential) {
+  TransientAnalysis tr(rc_circuit(1e3, 1e-6));  // tau = 1 ms
+  TransientSpec spec;
+  spec.t_stop = 5e-3;
+  spec.dt = 1e-6;
+  spec.start_from_dc = false;
+  spec.waveforms["V1"] = SourceWaveform{1.0, {}};  // 1 V step at t=0
+  const auto result = tr.run(spec, {"out"});
+  const auto& v = result.node("out");
+  ASSERT_EQ(v.size(), result.time_s.size());
+  // Compare at t = tau and t = 3 tau.
+  const std::size_t i_tau = 1000;
+  EXPECT_NEAR(v[i_tau], 1.0 - std::exp(-1.0), 2e-3);
+  EXPECT_NEAR(v[3 * i_tau], 1.0 - std::exp(-3.0), 2e-3);
+  EXPECT_NEAR(v.back(), 1.0, 1e-2);
+}
+
+TEST(Transient, BackwardEulerAlsoConverges) {
+  TransientAnalysis tr(rc_circuit(1e3, 1e-6));
+  TransientSpec spec;
+  spec.t_stop = 5e-3;
+  spec.dt = 1e-6;
+  spec.method = IntegrationMethod::kBackwardEuler;
+  spec.start_from_dc = false;
+  spec.waveforms["V1"] = SourceWaveform{1.0, {}};
+  const auto v = tr.run(spec, {"out"}).node("out");
+  EXPECT_NEAR(v[1000], 1.0 - std::exp(-1.0), 5e-3);
+}
+
+TEST(Transient, SineSteadyStateMatchesAcMagnitude) {
+  // Drive at the RC cutoff: steady-state amplitude must be 1/sqrt(2).
+  const double r = 1e3, cap = 159.15494e-9;  // fc ~ 1 kHz
+  TransientAnalysis tr(rc_circuit(r, cap));
+  TransientSpec spec;
+  spec.t_stop = 20e-3;
+  spec.dt = 0.5e-6;
+  spec.waveforms["V1"] = SourceWaveform::sine(1.0, 1000.0);
+  const auto v = tr.run(spec, {"out"}).node("out");
+  // Peak over the last 2 periods.
+  double peak = 0.0;
+  for (std::size_t i = v.size() - 4000; i < v.size(); ++i) {
+    peak = std::max(peak, std::fabs(v[i]));
+  }
+  EXPECT_NEAR(peak, 1.0 / std::sqrt(2.0), 5e-3);
+}
+
+TEST(Transient, StartsFromDcOperatingPoint) {
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 2.0);  // DC source
+  c.add_resistor("R1", "in", "out", 1e3);
+  c.add_capacitor("C1", "out", "0", 1e-6);
+  c.add_resistor("R2", "out", "0", 1e3);
+  TransientAnalysis tr(c);
+  TransientSpec spec;
+  spec.t_stop = 1e-3;
+  spec.dt = 1e-6;
+  const auto v = tr.run(spec, {"out"}).node("out");
+  // Already settled at the divider voltage; must stay there.
+  EXPECT_NEAR(v.front(), 1.0, 1e-9);
+  EXPECT_NEAR(v.back(), 1.0, 1e-6);
+}
+
+TEST(Transient, RlCurrentRise) {
+  // i(t) = (V/R)(1 - exp(-tR/L)) observed via the resistor drop.
+  netlist::Circuit c;
+  c.add_vsource("V1", "in", "0", 0.0);
+  c.add_resistor("R1", "in", "mid", 100.0);
+  c.add_inductor("L1", "mid", "0", 10e-3);  // tau = L/R = 0.1 ms
+  TransientAnalysis tr(c);
+  TransientSpec spec;
+  spec.t_stop = 1e-3;
+  spec.dt = 0.2e-6;
+  spec.start_from_dc = false;
+  spec.waveforms["V1"] = SourceWaveform{1.0, {}};
+  const auto v_mid = tr.run(spec, {"mid"}).node("mid");
+  // v_mid = V * exp(-t/tau): check at t = tau (index 500).
+  EXPECT_NEAR(v_mid[500], std::exp(-1.0), 5e-3);
+}
+
+TEST(Transient, MultiToneStimulusRuns) {
+  TransientAnalysis tr(rc_circuit(1e3, 100e-9));
+  TransientSpec spec;
+  spec.t_stop = 2e-3;
+  spec.dt = 1e-6;
+  spec.waveforms["V1"] = SourceWaveform::tone_set({500.0, 3000.0});
+  const auto result = tr.run(spec, {"out", "in"});
+  EXPECT_EQ(result.node("out").size(), result.time_s.size());
+  EXPECT_EQ(result.node("in").size(), result.time_s.size());
+  // The input node reproduces the stimulus.
+  const double t = result.time_s[100];
+  const double expected =
+      std::sin(2 * std::numbers::pi * 500.0 * t) +
+      std::sin(2 * std::numbers::pi * 3000.0 * t);
+  EXPECT_NEAR(result.node("in")[100], expected, 1e-9);
+}
+
+TEST(Transient, BadSpecsRejected) {
+  TransientAnalysis tr(rc_circuit(1e3, 100e-9));
+  TransientSpec bad_dt;
+  bad_dt.dt = 0.0;
+  EXPECT_THROW(tr.run(bad_dt, {"out"}), ConfigError);
+
+  TransientSpec bad_stop;
+  bad_stop.t_stop = 1e-9;
+  bad_stop.dt = 1e-6;
+  EXPECT_THROW(tr.run(bad_stop, {"out"}), ConfigError);
+
+  TransientSpec bad_target;
+  bad_target.waveforms["R1"] = SourceWaveform::sine(1.0, 1e3);
+  EXPECT_THROW(tr.run(bad_target, {"out"}), ConfigError);
+}
+
+TEST(Transient, UnknownRecordedNodeThrows) {
+  TransientAnalysis tr(rc_circuit(1e3, 100e-9));
+  TransientSpec spec;
+  const auto result = tr.run(spec, {"out"});
+  EXPECT_THROW((void)result.node("nope"), ConfigError);
+}
+
+}  // namespace
+}  // namespace ftdiag::mna

@@ -1,0 +1,84 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ftdiag::units {
+namespace {
+
+TEST(Parse, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-1.5"), -1.5);
+  EXPECT_DOUBLE_EQ(parse("1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(parse("2.5E3"), 2500.0);
+}
+
+struct SuffixCase {
+  const char* text;
+  double expected;
+};
+
+class SuffixTest : public ::testing::TestWithParam<SuffixCase> {};
+
+TEST_P(SuffixTest, ParsesSpiceSuffix) {
+  EXPECT_DOUBLE_EQ(parse(GetParam().text), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuffixes, SuffixTest,
+    ::testing::Values(SuffixCase{"1k", 1e3}, SuffixCase{"2.2u", 2.2e-6},
+                      SuffixCase{"1meg", 1e6}, SuffixCase{"1MEG", 1e6},
+                      SuffixCase{"4.7n", 4.7e-9}, SuffixCase{"10p", 10e-12},
+                      SuffixCase{"3m", 3e-3}, SuffixCase{"1g", 1e9},
+                      SuffixCase{"2t", 2e12}, SuffixCase{"5f", 5e-15},
+                      SuffixCase{"1K", 1e3}, SuffixCase{"-4.7k", -4.7e3}));
+
+TEST(Parse, UnitNamesAfterSuffixIgnored) {
+  EXPECT_DOUBLE_EQ(parse("10kOhm"), 10e3);
+  EXPECT_DOUBLE_EQ(parse("100nF"), 100e-9);
+  EXPECT_DOUBLE_EQ(parse("5V"), 5.0);
+  EXPECT_DOUBLE_EQ(parse("3Hz"), 3.0);
+}
+
+TEST(Parse, MilSuffix) { EXPECT_DOUBLE_EQ(parse("2mil"), 2 * 25.4e-6); }
+
+TEST(Parse, WhitespaceTolerated) { EXPECT_DOUBLE_EQ(parse("  1.5k "), 1500.0); }
+
+TEST(Parse, RejectsGarbage) {
+  EXPECT_THROW((void)parse(""), ParseError);
+  EXPECT_THROW((void)parse("abc"), ParseError);
+  EXPECT_THROW((void)parse("1.2.3!"), ParseError);
+  EXPECT_THROW((void)parse("nan"), ParseError);
+  EXPECT_THROW((void)parse("inf"), ParseError);
+}
+
+TEST(TryParse, NulloptInsteadOfThrow) {
+  EXPECT_FALSE(try_parse("xyz").has_value());
+  ASSERT_TRUE(try_parse("3.3k").has_value());
+  EXPECT_DOUBLE_EQ(*try_parse("3.3k"), 3300.0);
+}
+
+TEST(FormatSi, RoundTripMagnitudes) {
+  EXPECT_EQ(format_si(0.0), "0");
+  EXPECT_EQ(format_si(1500.0), "1.5k");
+  EXPECT_EQ(format_si(2.2e-6), "2.2u");
+  EXPECT_EQ(format_si(1e6), "1meg");  // SPICE-compatible mega suffix
+  EXPECT_EQ(format_si(4.7e-9), "4.7n");
+}
+
+TEST(FormatSi, NegativeValues) { EXPECT_EQ(format_si(-1500.0), "-1.5k"); }
+
+TEST(FormatHz, AppendsUnit) {
+  EXPECT_EQ(format_hz(1000.0), "1kHz");
+  EXPECT_EQ(format_hz(15.9), "15.9Hz");
+}
+
+TEST(ParseFormat, RoundTrip) {
+  for (double v : {1.0, 47e3, 2.2e-6, 100e-9, 3.3e6}) {
+    EXPECT_NEAR(parse(format_si(v)), v, 1e-3 * v);
+  }
+}
+
+}  // namespace
+}  // namespace ftdiag::units

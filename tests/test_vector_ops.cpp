@@ -1,0 +1,74 @@
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+namespace ftdiag::linalg {
+namespace {
+
+TEST(Norms, Euclidean) {
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{}), 0.0);
+}
+
+TEST(Norms, EuclideanComplex) {
+  using C = std::complex<double>;
+  EXPECT_DOUBLE_EQ(norm2(std::vector<C>{C(3, 4)}), 5.0);
+}
+
+TEST(Norms, Infinity) {
+  EXPECT_DOUBLE_EQ(norm_inf(std::vector<double>{1.0, -7.0, 3.0}), 7.0);
+}
+
+TEST(Subtract, Elementwise) {
+  const auto d = subtract(std::vector<double>{3, 5}, std::vector<double>{1, 2});
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+}
+
+TEST(Dot, NoConjugation) {
+  EXPECT_DOUBLE_EQ(dot(std::vector<double>{1, 2}, std::vector<double>{3, 4}),
+                   11.0);
+}
+
+TEST(Linspace, EndpointsExact) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(Linspace, SinglePoint) {
+  const auto v = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+}
+
+TEST(Linspace, UnevenRangeEndpointStillExact) {
+  const auto v = linspace(0.1, 0.3, 7);
+  EXPECT_DOUBLE_EQ(v.back(), 0.3);
+}
+
+TEST(Logspace, DecadeSpacing) {
+  const auto v = logspace(1.0, 1000.0, 4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-7);
+  EXPECT_DOUBLE_EQ(v[3], 1000.0);
+}
+
+TEST(Logspace, MonotoneAscending) {
+  const auto v = logspace(10.0, 1e5, 100);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_GT(v[i], v[i - 1]);
+}
+
+TEST(Logspace, RejectsNonPositive) {
+  EXPECT_DEATH(logspace(0.0, 10.0, 3), "positive");
+  EXPECT_DEATH(logspace(-1.0, 10.0, 3), "positive");
+}
+
+}  // namespace
+}  // namespace ftdiag::linalg

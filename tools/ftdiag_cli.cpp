@@ -1,0 +1,133 @@
+/// ftdiag_cli — drive the fault-trajectory flow from the command line.
+///
+/// ```
+/// ftdiag_cli <netlist.cir> --input V1 --output out --testable R1,R2,C1
+///            [--fitness hybrid] [--report run.md]
+/// ftdiag_cli builtin:nf_biquad --report run.md     # registry circuits
+/// ```
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "circuits/registry.hpp"
+#include "core/atpg.hpp"
+#include "io/dictionary_io.hpp"
+#include "io/exporters.hpp"
+#include "io/report.hpp"
+#include "io/run_report.hpp"
+#include "netlist/parser.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace ftdiag;
+
+circuits::CircuitUnderTest load_cut(const args::Parser& cli) {
+  const std::string& source = cli.positional_value("netlist");
+  if (str::starts_with(source, "builtin:")) {
+    return circuits::make_by_name(source.substr(8));
+  }
+  circuits::CircuitUnderTest cut;
+  cut.circuit = netlist::parse_netlist_file(source);
+  cut.name = source;
+  cut.description = cut.circuit.title().empty() ? "netlist-defined CUT"
+                                                : cut.circuit.title();
+  cut.input_source = cli.get("input");
+  cut.output_node = cli.get("output");
+  const std::string testable = cli.get("testable");
+  if (testable.empty() || testable == "passives") {
+    cut.testable = cut.circuit.passive_names();
+  } else {
+    for (const auto& name : str::split(testable, ',')) {
+      cut.testable.push_back(std::string(str::trim(name)));
+    }
+  }
+  const double lo = cli.get_double("band-low");
+  const double hi = cli.get_double("band-high");
+  cut.band_low_hz = lo;
+  cut.band_high_hz = hi;
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(
+      lo, hi, cli.get_size("grid-points"));
+  cut.check();
+  return cut;
+}
+
+int run(const args::Parser& cli) {
+  core::AtpgConfig config;
+  config.n_frequencies = cli.get_size("frequencies");
+  config.fitness = cli.get("fitness");
+  config.seed = cli.get_size("seed");
+  config.deviations.step_fraction = cli.get_double("step") / 100.0;
+  config.deviations.min_fraction = -cli.get_double("range") / 100.0;
+  config.deviations.max_fraction = cli.get_double("range") / 100.0;
+  config.check();
+
+  core::AtpgFlow flow(load_cut(cli), config);
+  std::printf("CUT '%s': %zu-fault dictionary built.\n",
+              flow.cut().name.c_str(), flow.dictionary().fault_count());
+
+  const auto result = flow.run();
+  io::print_atpg_report(std::cout, result);
+
+  if (const std::string path = cli.get("report"); !path.empty()) {
+    io::RunReportOptions options;
+    options.include_trajectories = cli.has("verbose");
+    io::write_file(path, io::render_run_report(flow, result, options));
+    std::printf("\nmarkdown report written to %s\n", path.c_str());
+  }
+  if (const std::string path = cli.get("export-trajectories");
+      !path.empty()) {
+    std::ofstream csv(path, std::ios::binary);
+    if (!csv) throw Error("cannot open '" + path + "'");
+    io::write_trajectories_csv(
+        csv, flow.evaluator().trajectories(result.best.vector));
+    std::printf("trajectories written to %s\n", path.c_str());
+  }
+  if (const std::string path = cli.get("save-dictionary"); !path.empty()) {
+    io::save_dictionary_file(path, flow.dictionary());
+    std::printf("fault dictionary written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  args::Parser cli("ftdiag_cli",
+                   "fault-trajectory test generation and diagnosis "
+                   "(Savioli et al., DATE'05)");
+  cli.positional("netlist",
+                 "netlist file, or builtin:<name> for a registry circuit")
+      .option("input", "stimulus source name (netlist mode)", "V1")
+      .option("output", "observed node (netlist mode)", "out")
+      .option("testable",
+              "comma-separated component names, or 'passives'", "passives")
+      .option("band-low", "search band lower edge [Hz]", "10")
+      .option("band-high", "search band upper edge [Hz]", "100k")
+      .option("grid-points", "dictionary grid points", "240")
+      .option("frequencies", "test-vector size", "2")
+      .option("fitness", "paper | separation | hybrid", "paper")
+      .option("step", "deviation step [%]", "10")
+      .option("range", "deviation range [+/- %]", "40")
+      .option("seed", "GA seed", "42")
+      .option("report", "write a markdown run report to this path", "")
+      .option("export-trajectories", "write trajectory CSV to this path", "")
+      .option("save-dictionary",
+              "write the full fault dictionary (lossless CSV) to this path",
+              "")
+      .flag("verbose", "include per-point trajectories in the report");
+
+  try {
+    cli.parse(argc, argv);
+    if (cli.help_requested()) {
+      std::fputs(cli.usage().c_str(), stdout);
+      return 0;
+    }
+    return run(cli);
+  } catch (const ftdiag::Error& e) {
+    std::fprintf(stderr, "error: %s\n\n%s", e.what(), cli.usage().c_str());
+    return 1;
+  }
+}

@@ -4,14 +4,12 @@
 /// zero crossings can still place trajectories arbitrarily close together.
 /// This bench compares the paper fitness against the separation margin and
 /// a hybrid, measured by the diagnosis accuracy each delivers under noise.
+/// All three sessions per CUT share one cached fault dictionary.
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "circuits/nf_biquad.hpp"
-#include "circuits/tow_thomas.hpp"
-#include "core/atpg.hpp"
-#include "core/evaluation.hpp"
+#include "ftdiag.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -22,23 +20,21 @@ namespace {
 void ablate(const circuits::CircuitUnderTest& cut, const char* title) {
   AsciiTable table({"fitness fn", "best value", "I", "sep margin",
                     "clean acc", "acc @ 1% noise", "acc @ 5% noise"});
-  for (const char* fitness : {"paper", "separation", "hybrid"}) {
-    core::AtpgConfig config;
-    config.fitness = fitness;
-    core::AtpgFlow flow(cut, config);
-    const auto result = flow.run();
+  for (const FitnessKind fitness : {FitnessKind::kPaper,
+                                    FitnessKind::kSeparation,
+                                    FitnessKind::kHybrid}) {
+    Session session = SessionBuilder(cut).fitness(fitness).build();
+    const auto result = session.generate_tests();
 
     auto accuracy_at = [&](double sigma) {
       core::EvaluationOptions options;
       options.trials = 300;
       options.noise_sigma = sigma;
-      return core::evaluate_diagnosis(flow.cut(), flow.dictionary(),
-                                      result.best.vector,
-                                      core::SamplingPolicy{}, options)
-          .site_accuracy;
+      return session.evaluate(options).site_accuracy;
     };
 
-    table.add_row({fitness, str::format("%.4f", result.best.fitness),
+    table.add_row({core::to_string(fitness),
+                   str::format("%.4f", result.best.fitness),
                    std::to_string(result.best.intersections),
                    str::format("%.4f", result.best.separation_margin),
                    str::format("%.1f%%", accuracy_at(0.0) * 100),
@@ -55,8 +51,8 @@ int main() {
                          "hybrid objective)",
                 "GA with paper parameters, accuracy under magnitude noise");
 
-  ablate(circuits::make_paper_cut(), "nf_biquad (the paper CUT)");
-  ablate(circuits::make_tow_thomas(), "tow_thomas (ambiguity-group CUT)");
+  ablate(circuits::make_by_name("nf_biquad"), "nf_biquad (the paper CUT)");
+  ablate(circuits::make_by_name("tow_thomas"), "tow_thomas (ambiguity-group CUT)");
 
   std::printf(
       "\nreading: intersection count alone saturates at I=0; separation-\n"

@@ -68,7 +68,7 @@ int main() {
   core::AtpgFlow flow(circuits::make_paper_cut());
   const auto paper_vec = flow.run().best.vector;
   core::AtpgConfig hybrid_config;
-  hybrid_config.fitness = "hybrid";
+  hybrid_config.fitness = core::FitnessKind::kHybrid;
   core::AtpgFlow hybrid_flow(circuits::make_paper_cut(), hybrid_config);
   const auto hybrid_vec = hybrid_flow.run().best.vector;
   const auto best = hybrid_vec;  // used by the later sweeps

@@ -6,9 +6,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "circuits/nf_biquad.hpp"
-#include "core/atpg.hpp"
 #include "core/sensitivity.hpp"
+#include "ftdiag.hpp"
 #include "ga/baselines.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -20,7 +19,10 @@ int main() {
                 "GA vs random / grid / hill-climb / simulated annealing",
                 "nf_biquad CUT, ~1.1k objective evaluations each, 5 seeds");
 
-  core::AtpgFlow flow(circuits::make_paper_cut());
+  Session session = Session::open("builtin:nf_biquad");
+  // Force the lazy dictionary build now so the first timed search below
+  // doesn't pay for fault simulation while the others hit the cache.
+  std::printf("dictionary: %zu faults\n", session.dictionary()->fault_count());
 
   // The paper GA costs 128 + 15*64 = 1088 evaluations; budget-match it.
   constexpr std::size_t kBudget = 1088;
@@ -40,7 +42,7 @@ int main() {
     constexpr std::uint64_t kSeeds = 5;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
       const auto t0 = std::chrono::steady_clock::now();
-      const auto run = flow.run_with(*optimizer, seed);
+      const auto run = session.run_search(*optimizer, seed);
       const auto t1 = std::chrono::steady_clock::now();
       ms_sum += std::chrono::duration<double, std::milli>(t1 - t0).count();
       fitness_sum += run.best.fitness;
@@ -63,12 +65,12 @@ int main() {
   // searchers above.  Costs (testables x 2) AC sweeps + O(grid^2) angle
   // evaluations — no fault simulation at all.
   const auto curves = core::compute_sensitivities(
-      flow.cut(), mna::FrequencyGrid::log_sweep(10.0, 100e3, 80));
+      session.cut(), mna::FrequencyGrid::log_sweep(10.0, 100e3, 80));
   const auto screened = core::screen_frequency_pairs(curves, 40, 3);
   AsciiTable screen_table(
       {"screened pair", "min sep angle", "fitness", "I", "sep margin"});
   for (const auto& [f1, f2] : screened) {
-    const auto score = flow.score({{f1, f2}});
+    const auto score = session.score({{f1, f2}});
     screen_table.add_row(
         {str::format("%.1f Hz / %.1f Hz", f1, f2),
          str::format("%.1f deg", core::min_separation_angle(curves, f1, f2)),

@@ -5,10 +5,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "circuits/registry.hpp"
 #include "core/ambiguity.hpp"
-#include "core/atpg.hpp"
-#include "core/evaluation.hpp"
+#include "ftdiag.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -20,23 +18,19 @@ int main() {
 
   AsciiTable table({"circuit", "sites", "faults", "groups", "fitness", "I",
                     "site acc", "group acc"});
-  for (const auto& entry : circuits::registry()) {
-    const auto cut = entry.make();
-    core::AtpgConfig config;
-    config.ga.generations = 15;
-    core::AtpgFlow flow(cut, config);
-    const auto result = flow.run();
-    const auto groups = core::find_ambiguity_groups(flow.dictionary());
+  for (const auto& name : circuits::registry_names()) {
+    Session session = SessionBuilder::from_registry(name).build();
+    const auto result = session.generate_tests();
+    const auto dictionary = session.dictionary();
+    const auto groups = core::find_ambiguity_groups(*dictionary);
 
     core::EvaluationOptions options;
     options.trials = 250;
-    const auto report = core::evaluate_diagnosis(
-        flow.cut(), flow.dictionary(), result.best.vector,
-        core::SamplingPolicy{}, options);
+    const auto report = session.evaluate(options);
 
-    table.add_row({entry.name,
-                   std::to_string(flow.dictionary().site_labels().size()),
-                   std::to_string(flow.dictionary().fault_count()),
+    table.add_row({name,
+                   std::to_string(dictionary->site_labels().size()),
+                   std::to_string(dictionary->fault_count()),
                    std::to_string(groups.size()),
                    str::format("%.3f", result.best.fitness),
                    std::to_string(result.best.intersections),

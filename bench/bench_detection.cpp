@@ -8,9 +8,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "circuits/nf_biquad.hpp"
-#include "core/atpg.hpp"
 #include "core/detection.hpp"
+#include "ftdiag.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -21,11 +20,13 @@ int main() {
                          "acceptance radius",
                 "nf_biquad CUT, hybrid-fitness test vector, 60 faults/site");
 
-  core::AtpgConfig config;
-  config.fitness = "hybrid";
-  core::AtpgFlow flow(circuits::make_paper_cut(), config);
-  const auto vector = flow.run().best.vector;
+  Session session = SessionBuilder::from_registry("nf_biquad")
+                        .fitness(FitnessKind::kHybrid)
+                        .build();
+  const auto vector = session.generate_tests().best.vector;
   std::printf("test vector: %s\n", vector.label().c_str());
+  const auto dictionary = session.dictionary();
+  const core::SamplingPolicy sampling = session.options().sampling;
 
   // --- coverage vs tolerance class --------------------------------------
   AsciiTable by_tolerance({"R/C tolerance", "threshold", "coverage",
@@ -36,11 +37,9 @@ int main() {
     calibration.tolerance.capacitor_tolerance = tol;
     calibration.noise_sigma = 0.002;
     const auto detector = core::FaultDetector::calibrate(
-        flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{},
-        calibration);
+        session.cut(), *dictionary, vector, sampling, calibration);
     const auto report = core::measure_coverage(
-        flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{},
-        detector, calibration);
+        session.cut(), *dictionary, vector, sampling, detector, calibration);
     double min_site = 1.0;
     for (const auto& s : report.per_site) min_site = std::min(min_site, s.rate());
     by_tolerance.add_row({str::format("%.1f%%", tol * 100),
@@ -58,19 +57,18 @@ int main() {
   calibration.tolerance.capacitor_tolerance = 0.01;
   calibration.noise_sigma = 0.002;
   const auto detector = core::FaultDetector::calibrate(
-      flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{},
-      calibration);
+      session.cut(), *dictionary, vector, sampling, calibration);
 
   AsciiTable per_site({"site", "coverage (5-40%)", "coverage (15-40%)"});
   core::CoverageOptions wide;
   core::CoverageOptions large_only;
   large_only.min_abs_deviation = 0.15;
   const auto wide_report = core::measure_coverage(
-      flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{}, detector,
-      calibration, wide);
+      session.cut(), *dictionary, vector, sampling, detector, calibration,
+      wide);
   const auto large_report = core::measure_coverage(
-      flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{}, detector,
-      calibration, large_only);
+      session.cut(), *dictionary, vector, sampling, detector, calibration,
+      large_only);
   for (std::size_t i = 0; i < wide_report.per_site.size(); ++i) {
     per_site.add_row({wide_report.per_site[i].site,
                       str::format("%.1f%%", wide_report.per_site[i].rate() * 100),

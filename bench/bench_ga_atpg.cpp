@@ -8,9 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "circuits/nf_biquad.hpp"
-#include "core/atpg.hpp"
-#include "io/report.hpp"
+#include "ftdiag.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -21,8 +19,8 @@ int main() {
                 "GA search for the 2-frequency test vector, paper parameters",
                 "nf_biquad CUT, 56-fault dictionary, fitness 1/(1+I)");
 
-  core::AtpgFlow flow(circuits::make_paper_cut());
-  const auto result = flow.run();
+  Session session = Session::open("builtin:nf_biquad");
+  const auto result = session.generate_tests();
   io::print_atpg_report(std::cout, result);
 
   // Run-to-run statistics over 10 seeds: does the paper's budget reliably
@@ -32,7 +30,7 @@ int main() {
   std::size_t perfect = 0;
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     const ga::GeneticAlgorithm ga(ga::GaConfig::paper());
-    const auto run = flow.run_with(ga, seed);
+    const auto run = session.run_search(ga, seed);
     perfect += run.best.intersections == 0 ? 1 : 0;
     seeds.add_row({std::to_string(seed),
                    str::format("%.4f", run.best.fitness),
@@ -47,10 +45,11 @@ int main() {
   // Operator ablation: selection x crossover under the paper budget.
   // The paper objective saturates at 1.0 here (every combination finds a
   // crossing-free pair), so the ablation optimizes the continuous hybrid
-  // objective, where operator quality is measurable.
-  core::AtpgConfig hybrid_config;
-  hybrid_config.fitness = "hybrid";
-  core::AtpgFlow hybrid_flow(circuits::make_paper_cut(), hybrid_config);
+  // objective, where operator quality is measurable.  The hybrid session
+  // shares the cached dictionary — no second fault-simulation pass.
+  Session hybrid = SessionBuilder::from_registry("nf_biquad")
+                       .fitness(FitnessKind::kHybrid)
+                       .build();
   AsciiTable operators({"selection", "crossover", "mean fitness",
                         "zero-I runs"});
   const std::pair<ga::SelectionKind, const char*> selections[] = {
@@ -70,7 +69,7 @@ int main() {
       double fitness_sum = 0.0;
       std::size_t zero_runs = 0;
       for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        const auto run = hybrid_flow.run_with(variant, seed);
+        const auto run = hybrid.run_search(variant, seed);
         fitness_sum += run.best.fitness;
         zero_runs += run.best.intersections == 0 ? 1 : 0;
       }

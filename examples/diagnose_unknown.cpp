@@ -3,13 +3,12 @@
 ///
 /// Twenty random single faults (random site, random off-grid deviation)
 /// are injected; each is "measured" at the optimized test frequencies with
-/// a touch of instrument noise and pushed through the diagnosis engine.
+/// a touch of instrument noise and pushed through the session's batch
+/// diagnosis verb.
 #include <cstdio>
 #include <iostream>
 
-#include "circuits/nf_biquad.hpp"
-#include "core/atpg.hpp"
-#include "faults/fault_simulator.hpp"
+#include "ftdiag.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -17,39 +16,40 @@
 int main() {
   using namespace ftdiag;
 
-  const auto cut = circuits::make_paper_cut();
-  core::AtpgConfig config;
-  config.fitness = "hybrid";  // separation-aware: robust under noise
-  core::AtpgFlow flow(cut, config);
-  const auto result = flow.run();
+  Session session = SessionBuilder::from_registry("nf_biquad")
+                        .fitness(FitnessKind::kHybrid)  // robust under noise
+                        .noise({0.002, 2024})           // 0.2% instrument noise
+                        .build();
+  const auto result = session.generate_tests();
   std::printf("test vector: %s\n\n", result.best.vector.label().c_str());
 
-  const auto engine = flow.evaluator().make_engine(result.best.vector);
-  const faults::FaultSimulator simulator(cut);
-
   Rng rng(2024);
+  constexpr std::size_t kBoards = 20;
+  const auto& testable = session.cut().testable;
+
+  // Inject + "measure" all boards first, then diagnose them in one batch —
+  // the const batch path a concurrent inspection server would use.
+  std::vector<faults::ParametricFault> injected;
+  std::vector<core::Point> observed;
+  for (std::size_t board = 0; board < kBoards; ++board) {
+    const auto& site = testable[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(testable.size()) - 1))];
+    const double magnitude = rng.uniform(0.08, 0.40);
+    injected.push_back({faults::FaultSite::value_of(site),
+                        rng.bernoulli(0.5) ? magnitude : -magnitude});
+    observed.push_back(session.observe(session.measure(injected.back(), rng())));
+  }
+  const std::vector<core::Diagnosis> diagnoses =
+      session.diagnose_batch(observed);
+
   AsciiTable table({"#", "injected", "diagnosed", "est. dev", "confidence",
                     "ambiguity set", "verdict"});
   std::size_t correct = 0;
-  constexpr std::size_t kBoards = 20;
-  for (std::size_t board = 1; board <= kBoards; ++board) {
-    const auto& site =
-        cut.testable[static_cast<std::size_t>(rng.uniform_int(
-            0, static_cast<std::int64_t>(cut.testable.size()) - 1))];
-    const double magnitude = rng.uniform(0.08, 0.40);
-    const faults::ParametricFault fault{
-        faults::FaultSite::value_of(site),
-        rng.bernoulli(0.5) ? magnitude : -magnitude};
-
-    const auto measured = simulator.measure(
-        fault, result.best.vector.frequencies_hz, {0.002, rng()});
-    const auto observed = flow.evaluator().sampler().sample(
-        measured, result.best.vector.frequencies_hz);
-    const auto diagnosis = engine.diagnose(observed);
-
-    const bool hit = diagnosis.best().site == site;
+  for (std::size_t board = 0; board < kBoards; ++board) {
+    const auto& diagnosis = diagnoses[board];
+    const bool hit = diagnosis.best().site == injected[board].site.label();
     correct += hit ? 1 : 0;
-    table.add_row({std::to_string(board), fault.label(),
+    table.add_row({std::to_string(board + 1), injected[board].label(),
                    diagnosis.best().site,
                    str::format("%+.0f%%",
                                diagnosis.best().estimated_deviation * 100),

@@ -5,8 +5,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "circuits/nf_biquad.hpp"
-#include "core/atpg.hpp"
+#include "ftdiag.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -14,7 +13,7 @@
 int main() {
   using namespace ftdiag;
 
-  core::AtpgFlow flow(circuits::make_paper_cut());
+  Session session = Session::open("builtin:nf_biquad");
 
   struct Pick {
     const char* intuition;
@@ -31,7 +30,7 @@ int main() {
 
   AsciiTable table({"pick", "f1", "f2", "fitness", "I", "sep margin"});
   for (const auto& pick : picks) {
-    const auto score = flow.score({{pick.f1, pick.f2}});
+    const auto score = session.score({{pick.f1, pick.f2}});
     table.add_row({pick.intuition, units::format_hz(pick.f1),
                    units::format_hz(pick.f2),
                    str::format("%.4f", score.fitness),
@@ -39,9 +38,9 @@ int main() {
                    str::format("%.5f", score.separation_margin)});
   }
 
-  // And what the two optimizers actually choose.
-  const auto ga_result = flow.run();
-  const auto ga_score = ga_result.best;
+  // And what the two optimizers actually choose.  Both sessions describe
+  // the same CUT, so the hybrid one reuses the cached dictionary for free.
+  const auto ga_score = session.generate_tests().best;
   table.add_row({"GA, paper fitness (zero crossings)",
                  units::format_hz(ga_score.vector.frequencies_hz[0]),
                  units::format_hz(ga_score.vector.frequencies_hz[1]),
@@ -49,15 +48,15 @@ int main() {
                  std::to_string(ga_score.intersections),
                  str::format("%.5f", ga_score.separation_margin)});
 
-  core::AtpgConfig hybrid;
-  hybrid.fitness = "hybrid";
-  core::AtpgFlow hybrid_flow(circuits::make_paper_cut(), hybrid);
-  const auto hybrid_score = hybrid_flow.run().best;
+  Session hybrid = SessionBuilder::from_registry("nf_biquad")
+                       .fitness(FitnessKind::kHybrid)
+                       .build();
+  const auto hybrid_score = hybrid.generate_tests().best;
   table.add_row({"GA, hybrid fitness (crossings + separation)",
                  units::format_hz(hybrid_score.vector.frequencies_hz[0]),
                  units::format_hz(hybrid_score.vector.frequencies_hz[1]),
                  str::format("%.4f",
-                             flow.score(hybrid_score.vector).fitness),
+                             session.score(hybrid_score.vector).fitness),
                  std::to_string(hybrid_score.intersections),
                  str::format("%.5f", hybrid_score.separation_margin)});
 

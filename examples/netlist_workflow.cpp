@@ -1,15 +1,11 @@
 /// Driving the flow from a SPICE-style netlist instead of the built-in
 /// circuit registry: parse, validate, describe, pick the test-access
-/// points, and run ATPG + diagnosis on the result.
+/// points, and run ATPG + diagnosis through a Session built on the result.
 #include <cstdio>
 #include <iostream>
 
-#include "circuits/cut.hpp"
-#include "core/atpg.hpp"
-#include "io/report.hpp"
+#include "ftdiag.hpp"
 #include "mna/transfer_function.hpp"
-#include "mna/ac_analysis.hpp"
-#include "netlist/parser.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -65,18 +61,17 @@ int main() {
   cut.dictionary_grid = mna::FrequencyGrid::log_sweep(10.0, 1e6, 240);
   cut.band_low_hz = 10.0;
   cut.band_high_hz = 1e6;
-  cut.check();
 
-  // ATPG with a separation-aware objective.
-  core::AtpgConfig config;
-  config.fitness = "hybrid";
-  core::AtpgFlow flow(std::move(cut), config);
-  const auto result = flow.run();
+  // ATPG with a separation-aware objective, through the facade.
+  Session session = SessionBuilder(std::move(cut))
+                        .fitness(FitnessKind::kHybrid)
+                        .build();
+  const auto result = session.generate_tests();
   io::print_atpg_report(std::cout, result);
 
   // The op-amp is a macro model, so its parameters are faultable too:
   // list what an FFM-style active-fault dictionary would cover.
-  const auto active = faults::FaultUniverse::over_opamp_params(flow.cut());
+  const auto active = faults::FaultUniverse::over_opamp_params(session.cut());
   std::printf("\nactive-fault sites available (FFM macro parameters):\n");
   for (const auto& site : active.sites()) {
     std::printf("  %s\n", site.label().c_str());

@@ -1,44 +1,35 @@
-/// Quickstart: the whole paper flow in ~30 lines of user code.
+/// Quickstart: the whole paper flow in ~20 lines of user code.
 ///
-///   1. take the paper's biquad CUT,
-///   2. build the parametric-fault dictionary,
-///   3. let the GA pick the two test frequencies whose fault trajectories
+///   1. open a Session on the paper's biquad CUT (the parametric-fault
+///      dictionary is built lazily and shared process-wide),
+///   2. let the GA pick the two test frequencies whose fault trajectories
 ///      do not intersect,
-///   4. diagnose an unknown fault from a two-point "measurement".
+///   3. diagnose an unknown fault from a two-point "measurement".
 #include <cstdio>
 #include <iostream>
 
-#include "circuits/nf_biquad.hpp"
-#include "core/atpg.hpp"
-#include "faults/fault_injector.hpp"
-#include "io/report.hpp"
-#include "mna/ac_analysis.hpp"
+#include "ftdiag.hpp"
 
 int main() {
   using namespace ftdiag;
 
-  // 1 + 2: CUT and dictionary (AtpgFlow builds the dictionary eagerly).
-  const auto cut = circuits::make_paper_cut();
-  core::AtpgFlow flow(cut);
+  // 1: the Session facade composes dictionary -> search -> diagnosis.
+  Session session = Session::open("builtin:nf_biquad");
   std::printf("CUT: %s\nfault dictionary: %zu faulty circuits\n\n",
-              cut.description.c_str(), flow.dictionary().fault_count());
+              session.cut().description.c_str(),
+              session.dictionary()->fault_count());
 
-  // 3: GA with the paper's parameters (128 x 15, roulette, 1/(1+I)).
-  const core::AtpgResult result = flow.run();
+  // 2: GA with the paper's parameters (128 x 15, roulette, 1/(1+I)).
+  const TestGenResult result = session.generate_tests();
   std::printf("optimized test vector: %s  (fitness %.3f, %zu intersections)\n\n",
               result.best.vector.label().c_str(), result.best.fitness,
               result.best.intersections);
 
-  // 4: someone breaks R3 by +23% without telling us...
+  // 3: someone breaks R3 by +23% without telling us...
   const faults::ParametricFault hidden{faults::FaultSite::value_of("R3"), 0.23};
-  mna::AcAnalysis bench(faults::inject(cut.circuit, hidden));
-  const auto measured =
-      bench.sweep(result.best.vector.frequencies_hz, cut.output_node);
 
-  // ...and the trajectory classifier names the culprit.
-  const auto engine = flow.evaluator().make_engine(result.best.vector);
-  const auto observed = flow.evaluator().sampler().sample(
-      measured, result.best.vector.frequencies_hz);
-  io::print_diagnosis(std::cout, engine.diagnose(observed));
+  // ...and the trajectory classifier names the culprit from a two-tone
+  // measurement of the faulty board at the optimized frequencies.
+  io::print_diagnosis(std::cout, session.diagnose(session.measure(hidden)));
   return 0;
 }

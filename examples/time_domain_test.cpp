@@ -7,24 +7,20 @@
 #include <cstdio>
 #include <iostream>
 
-#include "circuits/nf_biquad.hpp"
-#include "core/atpg.hpp"
-#include "faults/fault_injector.hpp"
-#include "io/report.hpp"
+#include "ftdiag.hpp"
 #include "mna/tone_extraction.hpp"
 #include "mna/transient.hpp"
 #include "util/strings.hpp"
-#include "util/units.hpp"
 #include "util/table.hpp"
+#include "util/units.hpp"
 
 int main() {
   using namespace ftdiag;
 
-  const auto cut = circuits::make_paper_cut();
-  core::AtpgConfig config;
-  config.fitness = "hybrid";
-  core::AtpgFlow flow(cut, config);
-  core::TestVector vector = flow.run().best.vector;
+  Session session = SessionBuilder::from_registry("nf_biquad")
+                        .fitness(FitnessKind::kHybrid)
+                        .build();
+  core::TestVector vector = session.generate_tests().best.vector;
 
   // Coherent sampling, as a bench instrument would do it: snap both test
   // tones onto the grid df = 1/T_window so the Goertzel window holds a
@@ -42,7 +38,10 @@ int main() {
       "(tones snapped to the %.2f Hz coherent-sampling grid)\n\n",
       vector.label().c_str(), df);
 
-  const auto engine = flow.evaluator().make_engine(vector);
+  // Re-arm the session on the snapped vector: diagnosis now runs against
+  // the trajectories these exact frequencies induce.
+  session.use_vector(vector);
+  const auto& cut = session.cut();
 
   // Transient setup: long enough for steady state, sampled well above f2,
   // with dt an exact divisor of the record so windows align.
@@ -84,12 +83,10 @@ int main() {
     }
 
     // Diagnose from the TRANSIENT measurement only.
-    mna::AcResponse measured(
+    const mna::AcResponse measured(
         vector.frequencies_hz,
         {mna::Complex(tones[0].phasor), mna::Complex(tones[1].phasor)});
-    const auto observed =
-        flow.evaluator().sampler().sample(measured, vector.frequencies_hz);
-    const auto diagnosis = engine.diagnose(observed);
+    const auto diagnosis = session.diagnose(measured);
     std::printf("injected %-8s -> diagnosed %-3s (est %+.0f%%, conf %.2f)\n",
                 fault.label().c_str(), diagnosis.best().site.c_str(),
                 diagnosis.best().estimated_deviation * 100,

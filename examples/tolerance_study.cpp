@@ -7,21 +7,17 @@
 #include <cstdio>
 #include <iostream>
 
-#include "circuits/nf_biquad.hpp"
-#include "core/atpg.hpp"
-#include "core/evaluation.hpp"
-#include "io/report.hpp"
+#include "ftdiag.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace ftdiag;
 
-  const auto cut = circuits::make_paper_cut();
-  core::AtpgConfig config;
-  config.fitness = "hybrid";
-  core::AtpgFlow flow(cut, config);
-  const auto vector = flow.run().best.vector;
+  Session session = SessionBuilder::from_registry("nf_biquad")
+                        .fitness(FitnessKind::kHybrid)
+                        .build();
+  const auto vector = session.generate_tests().best.vector;
   std::printf("test vector: %s\n\n", vector.label().c_str());
 
   const double tolerances[] = {0.0, 0.005, 0.01, 0.02, 0.05};
@@ -45,9 +41,7 @@ int main() {
         spec.capacitor_tolerance = tol;
         options.tolerance = spec;
       }
-      const auto report = core::evaluate_diagnosis(
-          flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{},
-          options);
+      const auto report = session.evaluate(options);
       row.push_back(str::format("%.1f%%", report.site_accuracy * 100));
     }
     surface.add_row(std::move(row));
@@ -62,9 +56,7 @@ int main() {
   spec.resistor_tolerance = 0.01;
   spec.capacitor_tolerance = 0.01;
   realistic.tolerance = spec;
-  const auto report = core::evaluate_diagnosis(
-      flow.cut(), flow.dictionary(), vector, core::SamplingPolicy{},
-      realistic);
+  const auto report = session.evaluate(realistic);
   std::printf("\ndetailed report at the 1%%-parts / 0.2%%-noise corner:\n\n");
   io::print_accuracy_report(std::cout, report);
 

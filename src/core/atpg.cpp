@@ -1,86 +1,31 @@
 #include "core/atpg.hpp"
 
-#include <cmath>
-
-#include "core/sensitivity.hpp"
-#include "util/error.hpp"
-#include "util/logging.hpp"
-#include "util/strings.hpp"
-
 namespace ftdiag::core {
 
-void AtpgConfig::check() const {
-  if (n_frequencies == 0) {
-    throw ConfigError("ATPG needs at least one test frequency");
-  }
-  ga.check();
-  (void)deviations.deviations();
-  (void)make_fitness(fitness);  // validates the name
+void AtpgConfig::check() const { to_session_options().check(); }
+
+SessionOptions AtpgConfig::to_session_options() const {
+  SessionOptions options;
+  options.search.n_frequencies = n_frequencies;
+  options.search.fitness = fitness;
+  options.search.ga = ga;
+  options.search.seed = seed;
+  options.search.seed_with_sensitivity = seed_with_sensitivity;
+  options.search.sensitivity_seed_count = sensitivity_seed_count;
+  options.deviations = deviations;
+  options.sampling = policy;
+  return options;
 }
 
 AtpgFlow::AtpgFlow(circuits::CircuitUnderTest cut, AtpgConfig config)
-    : cut_(std::move(cut)),
-      config_(config),
-      dictionary_(faults::FaultDictionary::build(
-          cut_, faults::FaultUniverse::over_testable(cut_, config.deviations))) {
-  config_.check();
-  fitness_ = std::shared_ptr<const TrajectoryFitness>(
-      make_fitness(config_.fitness).release());
-  evaluator_ = std::make_unique<TestVectorEvaluator>(dictionary_,
-                                                     config_.policy, fitness_);
-}
-
-TestVector AtpgFlow::to_test_vector(const std::vector<double>& genes) {
-  TestVector tv;
-  tv.frequencies_hz.reserve(genes.size());
-  for (double g : genes) tv.frequencies_hz.push_back(std::pow(10.0, g));
-  tv.normalize();
-  return tv;
-}
-
-ga::GeneBounds AtpgFlow::bounds() const {
-  return {std::log10(cut_.band_low_hz), std::log10(cut_.band_high_hz)};
-}
-
-AtpgResult AtpgFlow::run() const {
-  ga::GaConfig ga_config = config_.ga;
-  if (config_.seed_with_sensitivity && config_.n_frequencies == 2) {
-    // Screen frequency pairs by sensitivity-direction spread (cheap: no
-    // fault simulation) and hand the best ones to the GA as seeds.
-    const auto curves = compute_sensitivities(
-        cut_, mna::FrequencyGrid::log_sweep(cut_.band_low_hz,
-                                            cut_.band_high_hz, 60));
-    for (const auto& [f1, f2] :
-         screen_frequency_pairs(curves, 30, config_.sensitivity_seed_count)) {
-      ga_config.seed_genomes.push_back({std::log10(f1), std::log10(f2)});
-    }
-  }
-  const ga::GeneticAlgorithm optimizer(ga_config);
-  return run_with(optimizer, config_.seed);
-}
-
-AtpgResult AtpgFlow::run_with(const ga::FrequencyOptimizer& optimizer,
-                              std::uint64_t seed_override) const {
-  const ga::Objective objective = [this](const std::vector<double>& genes) {
-    return evaluator_->fitness(to_test_vector(genes));
-  };
-  Rng rng(seed_override);
-  AtpgResult result;
-  result.search =
-      optimizer.optimize(objective, config_.n_frequencies, bounds(), rng);
-  result.best = evaluator_->score(to_test_vector(result.search.best.genes));
-  result.dictionary_faults = dictionary_.fault_count();
-  log::info(str::format(
-      "ATPG(%s) on %s: best fitness %.4f (%zu intersections) with %s after "
-      "%zu evaluations",
-      optimizer.name().c_str(), cut_.name.c_str(), result.best.fitness,
-      result.best.intersections, result.best.vector.label().c_str(),
-      result.search.evaluations));
-  return result;
-}
-
-TestVectorScore AtpgFlow::score(const TestVector& vector) const {
-  return evaluator_->score(vector);
+    : config_(config),
+      session_(SessionBuilder(std::move(cut))
+                   .options(config.to_session_options())
+                   .build()) {
+  // The legacy contract builds the dictionary eagerly; trigger it here so
+  // construction cost stays where callers expect it (the shared cache
+  // still makes repeat builds free).
+  (void)session_.dictionary();
 }
 
 }  // namespace ftdiag::core

@@ -1,7 +1,10 @@
 /// \file atpg.hpp
-/// \brief The end-to-end ATPG-for-diagnosis flow of the paper: fault
-/// simulation -> dictionary -> GA search for the test frequencies whose
-/// fault trajectories do not intersect -> diagnosis-ready test vector.
+/// \brief Legacy entry point of the ATPG-for-diagnosis flow.
+///
+/// \deprecated This layer survives for one PR as a thin shim over the
+/// `ftdiag::Session` facade (see session.hpp), which adds lazy shared
+/// dictionaries, typed configuration and first-class diagnosis verbs.
+/// New code should build a Session via SessionBuilder instead.
 #pragma once
 
 #include <cstdint>
@@ -13,17 +16,19 @@
 #include "core/test_vector.hpp"
 #include "faults/dictionary.hpp"
 #include "ga/genetic_algorithm.hpp"
+#include "session.hpp"
 
 namespace ftdiag::core {
 
+/// \deprecated Flat predecessor of ftdiag::SessionOptions; kept so existing
+/// call sites compile unchanged for one more PR.
 struct AtpgConfig {
   /// Number of test frequencies in the vector (the paper uses 2).
   std::size_t n_frequencies = 2;
   SamplingPolicy policy{};
   faults::DeviationSpec deviations = faults::DeviationSpec::paper();
   ga::GaConfig ga = ga::GaConfig::paper();
-  /// "paper" (1/(1+I)), "separation" or "hybrid".
-  std::string fitness = "paper";
+  FitnessKind fitness = FitnessKind::kPaper;
   std::uint64_t seed = 42;
 
   /// Inject sensitivity-screened frequency pairs into the GA's initial
@@ -32,52 +37,61 @@ struct AtpgConfig {
   std::size_t sensitivity_seed_count = 8;
 
   void check() const;
+
+  /// The equivalent facade configuration.
+  [[nodiscard]] SessionOptions to_session_options() const;
 };
 
-struct AtpgResult {
-  TestVectorScore best;                ///< the accepted test vector + score
-  ga::OptimizerResult search;          ///< GA convergence history
-  std::size_t dictionary_faults = 0;   ///< dictionary size that backed it
-};
+/// \deprecated Alias of the facade's result type (identical layout).
+using AtpgResult = ftdiag::TestGenResult;
 
-/// Owns the dictionary for one CUT and runs frequency-search flows on it.
+/// \deprecated Thin wrapper over ftdiag::Session; the dictionary is now
+/// lazy and shared process-wide, so constructing many flows over the same
+/// CUT performs fault simulation only once.
 class AtpgFlow {
 public:
-  /// Builds the fault dictionary eagerly (the expensive part).
   AtpgFlow(circuits::CircuitUnderTest cut, AtpgConfig config = {});
 
-  [[nodiscard]] const circuits::CircuitUnderTest& cut() const { return cut_; }
+  [[nodiscard]] const circuits::CircuitUnderTest& cut() const {
+    return session_.cut();
+  }
   [[nodiscard]] const faults::FaultDictionary& dictionary() const {
-    return dictionary_;
+    return *session_.dictionary();
   }
   [[nodiscard]] const AtpgConfig& config() const { return config_; }
   [[nodiscard]] const TestVectorEvaluator& evaluator() const {
-    return *evaluator_;
+    return session_.evaluator();
   }
 
+  /// The facade underneath (shared handle; copies share the dictionary).
+  [[nodiscard]] const Session& session() const { return session_; }
+
   /// Run the configured GA.
-  [[nodiscard]] AtpgResult run() const;
+  [[nodiscard]] AtpgResult run() const { return session_.run_search(); }
 
   /// Run an arbitrary optimizer against the same objective (baselines).
   [[nodiscard]] AtpgResult run_with(const ga::FrequencyOptimizer& optimizer,
-                                    std::uint64_t seed_override) const;
+                                    std::uint64_t seed_override) const {
+    return session_.run_search(optimizer, seed_override);
+  }
 
   /// Score an externally chosen test vector against this flow's dictionary.
-  [[nodiscard]] TestVectorScore score(const TestVector& vector) const;
+  [[nodiscard]] TestVectorScore score(const TestVector& vector) const {
+    return session_.score(vector);
+  }
 
   /// Genome (log10 f) -> test vector.
   [[nodiscard]] static TestVector to_test_vector(
-      const std::vector<double>& genes);
+      const std::vector<double>& genes) {
+    return Session::to_test_vector(genes);
+  }
 
   /// Gene bounds derived from the CUT's recommended band.
-  [[nodiscard]] ga::GeneBounds bounds() const;
+  [[nodiscard]] ga::GeneBounds bounds() const { return session_.bounds(); }
 
 private:
-  circuits::CircuitUnderTest cut_;
   AtpgConfig config_;
-  faults::FaultDictionary dictionary_;
-  std::shared_ptr<const TrajectoryFitness> fitness_;
-  std::unique_ptr<TestVectorEvaluator> evaluator_;
+  Session session_;
 };
 
 }  // namespace ftdiag::core

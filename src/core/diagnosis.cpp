@@ -7,8 +7,17 @@
 
 namespace ftdiag::core {
 
+const TrajectoryMatch& Diagnosis::best() const {
+  if (ranking.empty()) {
+    throw ConfigError("diagnosis has no candidates (empty ranking)");
+  }
+  return ranking.front();
+}
+
 double Diagnosis::confidence() const {
-  FTDIAG_ASSERT(!ranking.empty(), "confidence of an empty diagnosis");
+  if (ranking.empty()) {
+    throw ConfigError("diagnosis has no candidates (empty ranking)");
+  }
   if (ranking.size() < 2) return 1.0;
   const double d1 = ranking[0].distance;
   const double d2 = ranking[1].distance;
@@ -19,6 +28,7 @@ double Diagnosis::confidence() const {
 std::vector<std::string> Diagnosis::ambiguity_set(double factor) const {
   FTDIAG_ASSERT(factor >= 1.0, "ambiguity factor must be >= 1");
   std::vector<std::string> out;
+  if (ranking.empty()) return out;
   const double limit = ranking.front().distance * factor;
   for (const auto& match : ranking) {
     if (match.distance <= limit || match.distance == 0.0) {

@@ -22,13 +22,18 @@ struct TrajectoryMatch {
 };
 
 /// Full diagnosis result: candidates ordered by ascending distance.
+/// DiagnosisEngine::diagnose guarantees a non-empty ranking (one match per
+/// trajectory); a default-constructed Diagnosis has none.
 struct Diagnosis {
-  std::vector<TrajectoryMatch> ranking;  ///< best first; never empty
+  std::vector<TrajectoryMatch> ranking;  ///< best first
 
-  [[nodiscard]] const TrajectoryMatch& best() const { return ranking.front(); }
+  /// The top-ranked match.  \throws ConfigError on an empty ranking (which
+  /// only a default-constructed Diagnosis can have).
+  [[nodiscard]] const TrajectoryMatch& best() const;
 
   /// Margin in (0, 1]: 1 - d_best/d_second.  1 when unambiguous (single
   /// candidate), ~0 when the two best trajectories are equidistant.
+  /// \throws ConfigError on an empty ranking.
   [[nodiscard]] double confidence() const;
 
   /// Sites whose distance is within \p factor of the best — the ambiguity

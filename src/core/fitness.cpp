@@ -77,12 +77,40 @@ double HybridFitness::evaluate(
          (1.0 - weight_) * separation_.evaluate(trajectories);
 }
 
-std::unique_ptr<TrajectoryFitness> make_fitness(const std::string& name) {
-  if (name == "paper") return std::make_unique<IntersectionFitness>();
-  if (name == "separation") return std::make_unique<SeparationFitness>();
-  if (name == "hybrid") return std::make_unique<HybridFitness>();
+std::unique_ptr<TrajectoryFitness> make_fitness(FitnessKind kind) {
+  switch (kind) {
+    case FitnessKind::kPaper:
+      return std::make_unique<IntersectionFitness>();
+    case FitnessKind::kSeparation:
+      return std::make_unique<SeparationFitness>();
+    case FitnessKind::kHybrid:
+      return std::make_unique<HybridFitness>();
+  }
+  throw ConfigError("unknown FitnessKind value");
+}
+
+FitnessKind parse_fitness_kind(const std::string& name) {
+  if (name == "paper") return FitnessKind::kPaper;
+  if (name == "separation") return FitnessKind::kSeparation;
+  if (name == "hybrid") return FitnessKind::kHybrid;
   throw ConfigError("unknown fitness '" + name +
                     "' (expected paper|separation|hybrid)");
+}
+
+std::string to_string(FitnessKind kind) {
+  switch (kind) {
+    case FitnessKind::kPaper:
+      return "paper";
+    case FitnessKind::kSeparation:
+      return "separation";
+    case FitnessKind::kHybrid:
+      return "hybrid";
+  }
+  throw ConfigError("unknown FitnessKind value");
+}
+
+std::unique_ptr<TrajectoryFitness> make_fitness(const std::string& name) {
+  return make_fitness(parse_fitness_kind(name));
 }
 
 }  // namespace ftdiag::core

@@ -7,6 +7,7 @@
 /// hybrid of both.  All fitnesses map to (0, 1], larger is better.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +16,14 @@
 #include "core/trajectory.hpp"
 
 namespace ftdiag::core {
+
+/// Typed selector for the built-in fitness functions (replaces the old
+/// stringly-typed AtpgConfig::fitness field).
+enum class FitnessKind : std::uint8_t {
+  kPaper,       ///< the paper's 1/(1+I)
+  kSeparation,  ///< normalized minimum trajectory separation
+  kHybrid,      ///< weighted blend of both
+};
 
 /// Interface: score a trajectory set.
 class TrajectoryFitness {
@@ -84,7 +93,18 @@ private:
   SeparationFitness separation_;
 };
 
+/// Factory over the typed selector.
+[[nodiscard]] std::unique_ptr<TrajectoryFitness> make_fitness(FitnessKind kind);
+
+/// Parse helper for CLI-ish surfaces: "paper" | "separation" | "hybrid".
+/// \throws ConfigError for unknown names.
+[[nodiscard]] FitnessKind parse_fitness_kind(const std::string& name);
+
+/// Canonical name of a kind (the string parse_fitness_kind accepts).
+[[nodiscard]] std::string to_string(FitnessKind kind);
+
 /// Factory by name ("paper", "separation", "hybrid") for CLI-ish configs.
+/// \deprecated Prefer make_fitness(parse_fitness_kind(name)).
 [[nodiscard]] std::unique_ptr<TrajectoryFitness> make_fitness(
     const std::string& name);
 

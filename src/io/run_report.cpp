@@ -8,12 +8,13 @@
 
 namespace ftdiag::io {
 
-std::string render_run_report(const core::AtpgFlow& flow,
-                              const core::AtpgResult& result,
+std::string render_run_report(const Session& session,
+                              const TestGenResult& result,
                               const RunReportOptions& options) {
   std::ostringstream os;
-  const auto& cut = flow.cut();
-  const auto& config = flow.config();
+  const auto& cut = session.cut();
+  const auto& config = session.options();
+  const auto dictionary = session.dictionary();
 
   os << "# Fault-trajectory test program: " << cut.name << "\n\n";
   os << cut.description << "\n\n";
@@ -30,17 +31,18 @@ std::string render_run_report(const core::AtpgFlow& flow,
   os << str::format("| search band | %s .. %s |\n",
                     units::format_hz(cut.band_low_hz).c_str(),
                     units::format_hz(cut.band_high_hz).c_str());
-  os << "| fitness | " << config.fitness << " |\n";
+  os << "| fitness | " << core::to_string(config.search.fitness) << " |\n";
   os << str::format("| GA | %zu individuals x %zu generations, seed %llu |\n",
-                    config.ga.population_size, config.ga.generations,
-                    static_cast<unsigned long long>(config.seed));
+                    config.search.ga.population_size,
+                    config.search.ga.generations,
+                    static_cast<unsigned long long>(config.search.seed));
 
   os << "\n## Fault dictionary\n\n";
   os << str::format("%zu faults over %zu sites, %zu-point frequency grid.\n",
-                    flow.dictionary().fault_count(),
-                    flow.dictionary().site_labels().size(),
-                    flow.dictionary().frequencies().size());
-  const auto groups = core::find_ambiguity_groups(flow.dictionary());
+                    dictionary->fault_count(),
+                    dictionary->site_labels().size(),
+                    dictionary->frequencies().size());
+  const auto groups = core::find_ambiguity_groups(*dictionary);
   os << "\nStructural ambiguity groups: ";
   for (std::size_t i = 0; i < groups.size(); ++i) {
     os << (i ? ", " : "") << "`" << groups[i].label() << "`";
@@ -63,7 +65,7 @@ std::string render_run_report(const core::AtpgFlow& flow,
   if (options.include_trajectories) {
     os << "\n## Trajectories\n\n| site | deviation | coordinates |\n|---|---|---|\n";
     for (const auto& t :
-         flow.evaluator().trajectories(result.best.vector)) {
+         session.evaluator().trajectories(result.best.vector)) {
       for (const auto& p : t.points()) {
         std::string coords;
         for (std::size_t d = 0; d < p.coords.size(); ++d) {
@@ -77,7 +79,7 @@ std::string render_run_report(const core::AtpgFlow& flow,
 
   if (options.include_evaluation) {
     const auto report = core::evaluate_diagnosis(
-        cut, flow.dictionary(), result.best.vector, config.policy,
+        cut, *dictionary, result.best.vector, config.sampling,
         options.evaluation);
     os << "\n## Diagnosis evaluation\n\n";
     os << str::format(
@@ -102,6 +104,12 @@ std::string render_run_report(const core::AtpgFlow& flow,
     }
   }
   return os.str();
+}
+
+std::string render_run_report(const core::AtpgFlow& flow,
+                              const core::AtpgResult& result,
+                              const RunReportOptions& options) {
+  return render_run_report(flow.session(), result, options);
 }
 
 }  // namespace ftdiag::io

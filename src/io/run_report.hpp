@@ -9,6 +9,7 @@
 
 #include "core/atpg.hpp"
 #include "core/evaluation.hpp"
+#include "session.hpp"
 
 namespace ftdiag::io {
 
@@ -21,6 +22,11 @@ struct RunReportOptions {
 };
 
 /// Render the full run as markdown.
+[[nodiscard]] std::string render_run_report(const Session& session,
+                                            const TestGenResult& result,
+                                            const RunReportOptions& options = {});
+
+/// \deprecated Legacy overload; forwards to the Session-based renderer.
 [[nodiscard]] std::string render_run_report(const core::AtpgFlow& flow,
                                             const core::AtpgResult& result,
                                             const RunReportOptions& options = {});

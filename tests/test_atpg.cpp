@@ -32,9 +32,8 @@ TEST(AtpgConfig, BadConfigsRejected) {
   no_freq.n_frequencies = 0;
   EXPECT_THROW(no_freq.check(), ConfigError);
 
-  AtpgConfig bad_fitness;
-  bad_fitness.fitness = "nope";
-  EXPECT_THROW(bad_fitness.check(), ConfigError);
+  // Fitness selection is typed now; bad names die at the parse helper.
+  EXPECT_THROW(parse_fitness_kind("nope"), ConfigError);
 
   AtpgConfig bad_ga;
   bad_ga.ga.population_size = 0;
@@ -105,7 +104,7 @@ TEST_F(AtpgTest, ScoreExternalVector) {
 
 TEST(Atpg, SeparationFitnessFlowAlsoConverges) {
   AtpgConfig config;
-  config.fitness = "separation";
+  config.fitness = FitnessKind::kSeparation;
   config.ga.generations = 8;
   const AtpgFlow flow(circuits::make_paper_cut(), config);
   const AtpgResult result = flow.run();
@@ -118,7 +117,7 @@ TEST(Atpg, SensitivitySeededFlowStartsStrong) {
   // Seeded with screened frequency pairs, the very first generation's best
   // must already be high on the continuous hybrid objective.
   AtpgConfig seeded;
-  seeded.fitness = "hybrid";
+  seeded.fitness = FitnessKind::kHybrid;
   seeded.seed_with_sensitivity = true;
   seeded.ga.generations = 3;
   const AtpgFlow flow(circuits::make_paper_cut(), seeded);

@@ -22,6 +22,23 @@ TEST(Engine, RequiresTrajectories) {
   EXPECT_THROW(DiagnosisEngine({}), ConfigError);
 }
 
+TEST(Diagnosis, EmptyRankingThrowsInsteadOfUb) {
+  // Regression: best() on a default-constructed Diagnosis used to be
+  // undefined behaviour (ranking.front() on an empty vector).
+  const Diagnosis empty;
+  EXPECT_THROW(empty.best(), ConfigError);
+  EXPECT_THROW(empty.confidence(), ConfigError);
+  EXPECT_TRUE(empty.ambiguity_set().empty());
+}
+
+TEST(Diagnosis, EngineAlwaysRanksEveryTrajectory) {
+  // diagnose() guarantees one match per trajectory — never empty.
+  DiagnosisEngine engine({ray("X", 1, 0), ray("Y", 0, 1)});
+  const Diagnosis d = engine.diagnose({0.05, 0.07});
+  ASSERT_EQ(d.ranking.size(), 2u);
+  EXPECT_NO_THROW(d.best());
+}
+
 TEST(Engine, RejectsMixedDimensions) {
   std::vector<TrajectoryPoint> three_d = {{-0.1, {0, 0, 0}}, {0.1, {1, 1, 1}}};
   std::vector<FaultTrajectory> trajs;

@@ -86,6 +86,20 @@ TEST(Factory, ByName) {
   EXPECT_THROW(make_fitness("bogus"), ConfigError);
 }
 
+TEST(Factory, ByKind) {
+  EXPECT_EQ(make_fitness(FitnessKind::kPaper)->name(), "paper-1/(1+I)");
+  EXPECT_EQ(make_fitness(FitnessKind::kSeparation)->name(), "separation");
+  EXPECT_EQ(make_fitness(FitnessKind::kHybrid)->name(), "hybrid");
+}
+
+TEST(Factory, ParseRoundTripsToString) {
+  for (FitnessKind kind : {FitnessKind::kPaper, FitnessKind::kSeparation,
+                           FitnessKind::kHybrid}) {
+    EXPECT_EQ(parse_fitness_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_fitness_kind("bogus"), ConfigError);
+}
+
 TEST(Fitness, OrderingMatchesDiagnosability) {
   // separated > slightly-crossing > coincident, under every fitness.
   const std::vector<FaultTrajectory> separated = {ray("A", 1, 0),

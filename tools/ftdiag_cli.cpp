@@ -9,13 +9,9 @@
 #include <fstream>
 #include <iostream>
 
-#include "circuits/registry.hpp"
-#include "core/atpg.hpp"
+#include "ftdiag.hpp"
 #include "io/dictionary_io.hpp"
 #include "io/exporters.hpp"
-#include "io/report.hpp"
-#include "io/run_report.hpp"
-#include "netlist/parser.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -24,57 +20,48 @@ namespace {
 
 using namespace ftdiag;
 
-circuits::CircuitUnderTest load_cut(const args::Parser& cli) {
-  const std::string& source = cli.positional_value("netlist");
-  if (str::starts_with(source, "builtin:")) {
-    return circuits::make_by_name(source.substr(8));
-  }
-  circuits::CircuitUnderTest cut;
-  cut.circuit = netlist::parse_netlist_file(source);
-  cut.name = source;
-  cut.description = cut.circuit.title().empty() ? "netlist-defined CUT"
-                                                : cut.circuit.title();
-  cut.input_source = cli.get("input");
-  cut.output_node = cli.get("output");
-  const std::string testable = cli.get("testable");
-  if (testable.empty() || testable == "passives") {
-    cut.testable = cut.circuit.passive_names();
-  } else {
+Session open_session(const args::Parser& cli) {
+  NetlistAccess access;
+  access.input_source = cli.get("input");
+  access.output_node = cli.get("output");
+  if (const std::string testable = cli.get("testable");
+      !testable.empty() && testable != "passives") {
     for (const auto& name : str::split(testable, ',')) {
-      cut.testable.push_back(std::string(str::trim(name)));
+      access.testable.push_back(std::string(str::trim(name)));
     }
   }
-  const double lo = cli.get_double("band-low");
-  const double hi = cli.get_double("band-high");
-  cut.band_low_hz = lo;
-  cut.band_high_hz = hi;
-  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(
-      lo, hi, cli.get_size("grid-points"));
-  cut.check();
-  return cut;
+  access.band_low_hz = cli.get_double("band-low");
+  access.band_high_hz = cli.get_double("band-high");
+  access.grid_points = cli.get_size("grid-points");
+
+  SearchOptions search;
+  search.n_frequencies = cli.get_size("frequencies");
+  search.fitness = core::parse_fitness_kind(cli.get("fitness"));
+  search.seed = cli.get_size("seed");
+
+  faults::DeviationSpec deviations;
+  deviations.step_fraction = cli.get_double("step") / 100.0;
+  deviations.min_fraction = -cli.get_double("range") / 100.0;
+  deviations.max_fraction = cli.get_double("range") / 100.0;
+
+  return SessionBuilder::from_source(cli.positional_value("netlist"), access)
+      .search(search)
+      .deviations(deviations)
+      .build();
 }
 
 int run(const args::Parser& cli) {
-  core::AtpgConfig config;
-  config.n_frequencies = cli.get_size("frequencies");
-  config.fitness = cli.get("fitness");
-  config.seed = cli.get_size("seed");
-  config.deviations.step_fraction = cli.get_double("step") / 100.0;
-  config.deviations.min_fraction = -cli.get_double("range") / 100.0;
-  config.deviations.max_fraction = cli.get_double("range") / 100.0;
-  config.check();
-
-  core::AtpgFlow flow(load_cut(cli), config);
+  Session session = open_session(cli);
   std::printf("CUT '%s': %zu-fault dictionary built.\n",
-              flow.cut().name.c_str(), flow.dictionary().fault_count());
+              session.cut().name.c_str(), session.dictionary()->fault_count());
 
-  const auto result = flow.run();
+  const TestGenResult result = session.generate_tests();
   io::print_atpg_report(std::cout, result);
 
   if (const std::string path = cli.get("report"); !path.empty()) {
     io::RunReportOptions options;
     options.include_trajectories = cli.has("verbose");
-    io::write_file(path, io::render_run_report(flow, result, options));
+    io::write_file(path, io::render_run_report(session, result, options));
     std::printf("\nmarkdown report written to %s\n", path.c_str());
   }
   if (const std::string path = cli.get("export-trajectories");
@@ -82,11 +69,11 @@ int run(const args::Parser& cli) {
     std::ofstream csv(path, std::ios::binary);
     if (!csv) throw Error("cannot open '" + path + "'");
     io::write_trajectories_csv(
-        csv, flow.evaluator().trajectories(result.best.vector));
+        csv, session.evaluator().trajectories(result.best.vector));
     std::printf("trajectories written to %s\n", path.c_str());
   }
   if (const std::string path = cli.get("save-dictionary"); !path.empty()) {
-    io::save_dictionary_file(path, flow.dictionary());
+    io::save_dictionary_file(path, *session.dictionary());
     std::printf("fault dictionary written to %s\n", path.c_str());
   }
   return 0;

@@ -1,17 +1,29 @@
 /// Perf: google-benchmark microbenchmarks of every pipeline stage —
-/// MNA solves (dense + sparse), fault-dictionary construction, trajectory
-/// building, intersection counting, fitness evaluation and diagnosis.
+/// MNA solves (dense + sparse), fault-dictionary construction (serial and
+/// engine), trajectory building, intersection counting, fitness evaluation
+/// and diagnosis.  After the registered benchmarks run, main() times the
+/// serial vs engine dictionary build on the largest registry circuit and
+/// writes the comparison to BENCH_engine.json so the perf trajectory of
+/// the simulation engine is tracked per PR.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstdio>
+#include <string>
 
 #include "circuits/ladders.hpp"
 #include "circuits/nf_biquad.hpp"
+#include "circuits/registry.hpp"
 #include "core/atpg.hpp"
 #include "core/evaluation.hpp"
 #include "faults/dictionary.hpp"
+#include "faults/simulation_engine.hpp"
 #include "ga/genetic_algorithm.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/sparse.hpp"
 #include "mna/ac_analysis.hpp"
+#include "mna/system.hpp"
 #include "util/rng.hpp"
 
 using namespace ftdiag;
@@ -83,13 +95,32 @@ void BM_DictionaryBuild(benchmark::State& state) {
   const std::size_t grid_points = static_cast<std::size_t>(state.range(0));
   auto grid = mna::FrequencyGrid::log_sweep(10.0, 100e3, grid_points);
   const auto freqs = grid.frequencies();
+  faults::SimOptions serial;
+  serial.threads = 1;
+  serial.reuse_factorization = false;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        faults::FaultDictionary::build(cut, universe, freqs));
+        faults::FaultDictionary::build(cut, universe, freqs, serial));
   }
   state.counters["faults"] = static_cast<double>(universe.fault_count());
 }
 BENCHMARK(BM_DictionaryBuild)->Arg(60)->Arg(240)->Arg(960)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DictionaryBuildEngine(benchmark::State& state) {
+  const auto cut = circuits::make_paper_cut();
+  const auto universe = faults::FaultUniverse::over_testable(cut);
+  const std::size_t grid_points = static_cast<std::size_t>(state.range(0));
+  auto grid = mna::FrequencyGrid::log_sweep(10.0, 100e3, grid_points);
+  const auto freqs = grid.frequencies();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        faults::FaultDictionary::build(cut, universe, freqs,
+                                       faults::SimOptions{}));
+  }
+  state.counters["faults"] = static_cast<double>(universe.fault_count());
+}
+BENCHMARK(BM_DictionaryBuildEngine)->Arg(60)->Arg(240)->Arg(960)
     ->Unit(benchmark::kMillisecond);
 
 class TrajectoryFixture : public benchmark::Fixture {
@@ -147,6 +178,94 @@ void BM_FullPaperGa(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPaperGa)->Unit(benchmark::kMillisecond);
 
+/// Serial-vs-engine dictionary build comparison on the largest registry
+/// circuit (by MNA unknown count), written to BENCH_engine.json.
+void write_engine_report(const char* path) {
+  using Clock = std::chrono::steady_clock;
+
+  std::string largest_name;
+  std::size_t largest_unknowns = 0;
+  for (const auto& name : circuits::registry_names()) {
+    const auto cut = circuits::make_by_name(name);
+    const std::size_t unknowns = mna::MnaSystem(cut.circuit).unknown_count();
+    if (unknowns > largest_unknowns) {
+      largest_unknowns = unknowns;
+      largest_name = name;
+    }
+  }
+  const auto cut = circuits::make_by_name(largest_name);
+  const auto universe = faults::FaultUniverse::over_testable(cut);
+  const auto faults = universe.enumerate();
+  const auto freqs = cut.dictionary_grid.frequencies();
+
+  faults::EngineStats stats;
+  auto best_of = [&](const faults::SimOptions& sim) {
+    const faults::SimulationEngine engine(cut, sim);
+    double best_ms = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto start = Clock::now();
+      const auto batch = engine.simulate_all(faults, freqs);
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      stats = batch.stats;
+    }
+    return best_ms;
+  };
+
+  faults::SimOptions serial;
+  serial.threads = 1;
+  serial.reuse_factorization = false;
+  const double serial_ms = best_of(serial);
+  const faults::SimOptions engine_options;
+  const double engine_ms = best_of(engine_options);  // stats = engine run's
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"dictionary_build_serial_vs_engine\",\n"
+               "  \"circuit\": \"%s\",\n"
+               "  \"unknowns\": %zu,\n"
+               "  \"faults\": %zu,\n"
+               "  \"grid_points\": %zu,\n"
+               "  \"threads\": %zu,\n"
+               "  \"serial_ms\": %.3f,\n"
+               "  \"engine_ms\": %.3f,\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"rank1_solves\": %zu,\n"
+               "  \"full_solves\": %zu\n"
+               "}\n",
+               largest_name.c_str(), largest_unknowns,
+               universe.fault_count(), freqs.size(),
+               engine_options.resolved_threads(), serial_ms, engine_ms,
+               serial_ms / engine_ms, stats.rank1_solves, stats.full_solves);
+  std::fclose(out);
+  std::printf("engine dictionary build (%s): serial %.3f ms, engine %.3f ms "
+              "(%.2fx) -> %s\n",
+              largest_name.c_str(), serial_ms, engine_ms,
+              serial_ms / engine_ms, path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The serial-vs-engine report runs on a full sweep (no arguments) or
+  // when explicitly requested via FTDIAG_ENGINE_REPORT=<path>, so
+  // filtered micro-runs don't pay for six extra dictionary builds.
+  const char* report_path = std::getenv("FTDIAG_ENGINE_REPORT");
+  const bool full_run = (argc == 1);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (report_path != nullptr || full_run) {
+    write_engine_report(report_path != nullptr ? report_path
+                                               : "BENCH_engine.json");
+  }
+  return 0;
+}

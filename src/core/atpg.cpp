@@ -14,6 +14,7 @@ SessionOptions AtpgConfig::to_session_options() const {
   options.search.sensitivity_seed_count = sensitivity_seed_count;
   options.deviations = deviations;
   options.sampling = policy;
+  options.sim = sim;
   return options;
 }
 

@@ -30,6 +30,10 @@ struct AtpgConfig {
   ga::GaConfig ga = ga::GaConfig::paper();
   FitnessKind fitness = FitnessKind::kPaper;
   std::uint64_t seed = 42;
+  /// Fault-simulation engine knobs; the GA's fitness evaluations run
+  /// against the dictionary this engine builds, so factorization reuse
+  /// and the thread fan-out speed the ATPG search up as well.
+  faults::SimOptions sim{};
 
   /// Inject sensitivity-screened frequency pairs into the GA's initial
   /// population (2-frequency vectors only; see core/sensitivity.hpp).

@@ -10,24 +10,45 @@ namespace ftdiag::faults {
 
 FaultDictionary FaultDictionary::build(const circuits::CircuitUnderTest& cut,
                                        const FaultUniverse& universe) {
-  return build(cut, universe, cut.dictionary_grid.frequencies());
+  return build(cut, universe, cut.dictionary_grid.frequencies(), SimOptions{});
 }
 
 FaultDictionary FaultDictionary::build(
     const circuits::CircuitUnderTest& cut, const FaultUniverse& universe,
     const std::vector<double>& frequencies_hz) {
-  const FaultSimulator simulator(cut);
-  mna::AcResponse golden = simulator.golden(frequencies_hz);
+  return build(cut, universe, frequencies_hz, SimOptions{});
+}
 
+FaultDictionary FaultDictionary::build(const circuits::CircuitUnderTest& cut,
+                                       const FaultUniverse& universe,
+                                       const SimOptions& sim) {
+  return build(cut, universe, cut.dictionary_grid.frequencies(), sim);
+}
+
+FaultDictionary FaultDictionary::build(
+    const circuits::CircuitUnderTest& cut, const FaultUniverse& universe,
+    const std::vector<double>& frequencies_hz, const SimOptions& sim) {
   const std::vector<ParametricFault> faults = universe.enumerate();
+  log::info(str::format(
+      "building fault dictionary: %zu faults x %zu freqs (%zu threads, "
+      "reuse %s)",
+      faults.size(), frequencies_hz.size(), sim.resolved_threads(),
+      sim.reuse_factorization ? "on" : "off"));
+
+  SimulationEngine engine(cut, sim);
+  BatchResult batch = engine.simulate_all(faults, frequencies_hz);
+  log::info(str::format(
+      "fault simulation: %zu rank-1 solves, %zu full solves, %zu fallback "
+      "faults",
+      batch.stats.rank1_solves, batch.stats.full_solves,
+      batch.stats.fallback_faults));
+
   std::vector<DictionaryEntry> entries;
   entries.reserve(faults.size());
-  log::info(str::format("building fault dictionary: %zu faults x %zu freqs",
-                        faults.size(), frequencies_hz.size()));
-  for (const auto& fault : faults) {
-    entries.push_back({fault, simulator.simulate(fault, frequencies_hz)});
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    entries.push_back({faults[i], std::move(batch.responses[i])});
   }
-  return from_parts(std::move(golden), std::move(entries));
+  return from_parts(std::move(batch.golden), std::move(entries));
 }
 
 FaultDictionary FaultDictionary::from_parts(
@@ -48,16 +69,14 @@ FaultDictionary FaultDictionary::from_parts(
   // Per-site index, deviations ascending (enumerate() already orders them,
   // but do not rely on it).
   for (std::size_t i = 0; i < dict.entries_.size(); ++i) {
-    const std::string label = dict.entries_[i].fault.site.label();
-    auto it = std::find(dict.site_labels_.begin(), dict.site_labels_.end(),
-                        label);
-    if (it == dict.site_labels_.end()) {
-      dict.site_labels_.push_back(label);
+    std::string label = dict.entries_[i].fault.site.label();
+    auto [it, inserted] =
+        dict.site_index_.try_emplace(label, dict.site_labels_.size());
+    if (inserted) {
+      dict.site_labels_.push_back(std::move(label));
       dict.per_site_.emplace_back();
-      it = dict.site_labels_.end() - 1;
     }
-    dict.per_site_[static_cast<std::size_t>(it - dict.site_labels_.begin())]
-        .push_back(i);
+    dict.per_site_[it->second].push_back(i);
   }
   for (auto& indices : dict.per_site_) {
     std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
@@ -69,10 +88,11 @@ FaultDictionary FaultDictionary::from_parts(
 
 const std::vector<std::size_t>& FaultDictionary::entries_for(
     const std::string& site_label) const {
-  for (std::size_t i = 0; i < site_labels_.size(); ++i) {
-    if (site_labels_[i] == site_label) return per_site_[i];
+  const auto it = site_index_.find(site_label);
+  if (it == site_index_.end()) {
+    throw ConfigError("dictionary has no site '" + site_label + "'");
   }
-  throw ConfigError("dictionary has no site '" + site_label + "'");
+  return per_site_[it->second];
 }
 
 }  // namespace ftdiag::faults

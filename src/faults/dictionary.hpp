@@ -8,10 +8,12 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "faults/fault_simulator.hpp"
 #include "faults/fault_universe.hpp"
+#include "faults/simulation_engine.hpp"
 #include "mna/response.hpp"
 
 namespace ftdiag::faults {
@@ -24,7 +26,8 @@ struct DictionaryEntry {
 
 class FaultDictionary {
 public:
-  /// Fault-simulate the whole universe on the CUT's dictionary grid.
+  /// Fault-simulate the whole universe on the CUT's dictionary grid via
+  /// the parallel factorization-reuse engine (SimOptions defaults).
   [[nodiscard]] static FaultDictionary build(
       const circuits::CircuitUnderTest& cut, const FaultUniverse& universe);
 
@@ -32,6 +35,14 @@ public:
   [[nodiscard]] static FaultDictionary build(
       const circuits::CircuitUnderTest& cut, const FaultUniverse& universe,
       const std::vector<double>& frequencies_hz);
+
+  /// Same, with explicit engine options (thread count, reuse on/off).
+  [[nodiscard]] static FaultDictionary build(
+      const circuits::CircuitUnderTest& cut, const FaultUniverse& universe,
+      const SimOptions& sim);
+  [[nodiscard]] static FaultDictionary build(
+      const circuits::CircuitUnderTest& cut, const FaultUniverse& universe,
+      const std::vector<double>& frequencies_hz, const SimOptions& sim);
 
   /// Assemble from already-simulated parts (deserialization path).  All
   /// responses must share the golden grid.
@@ -65,6 +76,9 @@ private:
   std::vector<DictionaryEntry> entries_;
   std::vector<std::string> site_labels_;
   std::vector<std::vector<std::size_t>> per_site_;  ///< parallel to labels
+  /// label -> slot in site_labels_/per_site_, so entries_for() is O(1)
+  /// instead of a linear scan per lookup.
+  std::unordered_map<std::string, std::size_t> site_index_;
 };
 
 }  // namespace ftdiag::faults

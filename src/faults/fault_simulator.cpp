@@ -4,8 +4,10 @@
 
 namespace ftdiag::faults {
 
-FaultSimulator::FaultSimulator(circuits::CircuitUnderTest cut)
-    : cut_(std::move(cut)) {
+FaultSimulator::FaultSimulator(circuits::CircuitUnderTest cut,
+                               SimOptions options)
+    : cut_(std::move(cut)), options_(options) {
+  options_.check();
   cut_.check();
 }
 
@@ -31,6 +33,12 @@ mna::AcResponse FaultSimulator::simulate_multi(
     const std::vector<ParametricFault>& faults,
     const std::vector<double>& frequencies_hz) const {
   return run(inject_all(cut_.circuit, faults), frequencies_hz);
+}
+
+BatchResult FaultSimulator::simulate_batch(
+    const std::vector<ParametricFault>& faults,
+    const std::vector<double>& frequencies_hz) const {
+  return SimulationEngine(cut_, options_).simulate_all(faults, frequencies_hz);
 }
 
 mna::AcResponse FaultSimulator::measure(

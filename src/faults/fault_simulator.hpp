@@ -11,6 +11,7 @@
 
 #include "circuits/cut.hpp"
 #include "faults/fault.hpp"
+#include "faults/simulation_engine.hpp"
 #include "mna/ac_analysis.hpp"
 #include "util/rng.hpp"
 
@@ -26,9 +27,11 @@ struct MeasurementNoise {
 class FaultSimulator {
 public:
   /// \throws ConfigError / CircuitError if the CUT is malformed.
-  explicit FaultSimulator(circuits::CircuitUnderTest cut);
+  explicit FaultSimulator(circuits::CircuitUnderTest cut,
+                          SimOptions options = {});
 
   [[nodiscard]] const circuits::CircuitUnderTest& cut() const { return cut_; }
+  [[nodiscard]] const SimOptions& sim_options() const { return options_; }
 
   /// Golden (nominal) response over the given frequencies.
   [[nodiscard]] mna::AcResponse golden(
@@ -41,6 +44,13 @@ public:
 
   /// Response with several simultaneous faults.
   [[nodiscard]] mna::AcResponse simulate_multi(
+      const std::vector<ParametricFault>& faults,
+      const std::vector<double>& frequencies_hz) const;
+
+  /// Golden + one response per fault in one pass through the parallel
+  /// factorization-reuse engine (this simulator's SimOptions).  The
+  /// result is bit-identical for any thread count.
+  [[nodiscard]] BatchResult simulate_batch(
       const std::vector<ParametricFault>& faults,
       const std::vector<double>& frequencies_hz) const;
 
@@ -59,6 +69,7 @@ private:
       const std::vector<double>& frequencies_hz) const;
 
   circuits::CircuitUnderTest cut_;
+  SimOptions options_;
 };
 
 /// Apply multiplicative gaussian magnitude noise to a response.

@@ -1,0 +1,224 @@
+#include "faults/simulation_engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "faults/fault_injector.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/rank1.hpp"
+#include "mna/ac_analysis.hpp"
+#include "mna/stamp_update.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace ftdiag::faults {
+
+using linalg::Complex;
+
+void SimOptions::check() const {
+  if (max_growth <= 1.0) {
+    throw ConfigError("simulation-engine max_growth must be > 1");
+  }
+}
+
+std::size_t SimOptions::resolved_threads() const {
+  return threads == 0 ? par::default_thread_count() : threads;
+}
+
+namespace {
+
+/// Golden system at one frequency: the factorization plus the base solve.
+struct GoldenPoint {
+  linalg::LuFactorization<Complex> lu;
+  std::vector<Complex> x0;
+};
+
+/// All deviations of one rank-1-capable site: one unit of parallel work.
+struct SiteItem {
+  std::vector<std::size_t> fault_indices;  ///< into the input list
+  mna::Rank1StampUpdate update;
+};
+
+/// Per-site accumulation that survives across frequency blocks.
+struct SiteState {
+  std::vector<std::vector<Complex>> values;  ///< [fault in site][frequency]
+  /// Refactorized analyses for ill-conditioned pairs, lazy per fault.
+  std::vector<std::unique_ptr<mna::AcAnalysis>> refactorized;
+  std::vector<Complex> dense_u;
+  std::size_t rank1_solves = 0;
+  std::size_t full_solves = 0;
+};
+
+/// Frequencies are processed in blocks of this size so at most this many
+/// golden factorizations are alive at once (O(block * n^2) memory instead
+/// of O(frequencies * n^2)), without changing any result bit.
+constexpr std::size_t kFrequencyBlock = 64;
+
+/// Naive per-fault path: inject and sweep from scratch.  This is the exact
+/// computation of the legacy serial loop, so reuse-off results (and
+/// fallback faults) stay bit-identical to it.
+mna::AcResponse naive_response(const circuits::CircuitUnderTest& cut,
+                               const ParametricFault& fault,
+                               const std::vector<double>& frequencies_hz) {
+  mna::AcAnalysis analysis(inject(cut.circuit, fault));
+  return analysis.sweep(frequencies_hz, cut.output_node);
+}
+
+}  // namespace
+
+SimulationEngine::SimulationEngine(circuits::CircuitUnderTest cut,
+                                   SimOptions options)
+    : cut_(std::move(cut)), options_(options) {
+  options_.check();
+  cut_.check();
+}
+
+BatchResult SimulationEngine::simulate_all(
+    const std::vector<ParametricFault>& faults,
+    const std::vector<double>& frequencies_hz) const {
+  FTDIAG_ASSERT(
+      std::is_sorted(frequencies_hz.begin(), frequencies_hz.end()),
+      "engine frequencies must ascend");
+  const std::size_t threads = options_.resolved_threads();
+  const mna::AcAnalysis golden_analysis(cut_.circuit);
+  const mna::MnaSystem& system = golden_analysis.system();
+  const std::size_t n = system.unknown_count();
+  const std::size_t out = system.node_unknown(cut_.output_node);
+
+  BatchResult result;
+  result.responses.resize(faults.size());
+
+  // Reuse needs the dense factorization path; big sparse systems and
+  // reuse-off configurations take the naive path, still fault-parallel.
+  const bool reuse = options_.reuse_factorization &&
+                     n <= mna::AcAnalysis::kDenseLimit &&
+                     out != mna::kNoUnknown;
+  if (!reuse) {
+    result.golden = golden_analysis.sweep(frequencies_hz, cut_.output_node);
+    par::parallel_for(faults.size(), threads, [&](std::size_t i) {
+      result.responses[i] = naive_response(cut_, faults[i], frequencies_hz);
+    });
+    result.stats.full_solves = faults.size() * frequencies_hz.size();
+    result.stats.fallback_faults = faults.size();
+    return result;
+  }
+
+  // Group faults: all deviations of one site share the same structural
+  // update (computed once per site) and thus the same per-frequency w
+  // solve; faults whose stamp is not a single dyad go to the fallback
+  // list.  site_of_label stores npos for known-unsupported sites so each
+  // site is classified exactly once.
+  constexpr std::size_t kUnsupported = static_cast<std::size_t>(-1);
+  std::vector<SiteItem> sites;
+  std::vector<std::size_t> fallback;
+  std::map<std::string, std::size_t> site_of_label;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const ParametricFault& fault = faults[i];
+    if (fault.site.target != FaultSite::Target::kComponentValue) {
+      fallback.push_back(i);
+      continue;
+    }
+    const std::string label = fault.site.label();
+    auto it = site_of_label.find(label);
+    if (it == site_of_label.end()) {
+      std::optional<mna::Rank1StampUpdate> update =
+          mna::rank1_stamp_update(system, fault.site.component);
+      const std::size_t slot = update ? sites.size() : kUnsupported;
+      it = site_of_label.emplace(label, slot).first;
+      if (update) sites.push_back({{}, std::move(*update)});
+    }
+    if (it->second == kUnsupported) {
+      fallback.push_back(i);
+    } else {
+      sites[it->second].fault_indices.push_back(i);
+    }
+  }
+
+  // Fallback faults need no golden factorization: naive inject-and-sweep,
+  // fanned out across the pool.
+  par::parallel_for(fallback.size(), threads, [&](std::size_t j) {
+    const std::size_t i = fallback[j];
+    result.responses[i] = naive_response(cut_, faults[i], frequencies_hz);
+  });
+  result.stats.fallback_faults = fallback.size();
+  result.stats.full_solves = fallback.size() * frequencies_hz.size();
+
+  std::vector<SiteState> state(sites.size());
+  for (std::size_t si = 0; si < sites.size(); ++si) {
+    state[si].values.assign(sites[si].fault_indices.size(),
+                            std::vector<Complex>(frequencies_hz.size()));
+    state[si].refactorized.resize(sites[si].fault_indices.size());
+    state[si].dense_u = sites[si].update.u.densify(n);
+  }
+
+  // Frequency blocks: phase 1 factorizes the golden system for the block
+  // (parallel over frequencies, mirroring AcAnalysis::solve exactly so
+  // the golden response is bit-identical to the naive sweep); phase 2
+  // fans the sites out, each writing only its own faults' slots.
+  std::vector<std::optional<GoldenPoint>> block(
+      std::min(kFrequencyBlock, frequencies_hz.size()));
+  std::vector<Complex> golden_values(frequencies_hz.size());
+  for (std::size_t begin = 0; begin < frequencies_hz.size();
+       begin += kFrequencyBlock) {
+    const std::size_t end =
+        std::min(frequencies_hz.size(), begin + kFrequencyBlock);
+    par::parallel_for(end - begin, threads, [&](std::size_t bi) {
+      const std::size_t fi = begin + bi;
+      linalg::CooMatrix<Complex> matrix(n, n);
+      std::vector<Complex> rhs(n, Complex{});
+      system.assemble_ac(linalg::s_of_hz(frequencies_hz[fi]), matrix, rhs);
+      linalg::LuFactorization<Complex> lu(matrix.to_dense());
+      std::vector<Complex> x0 = lu.solve(rhs);
+      golden_values[fi] = x0[out];
+      block[bi].emplace(GoldenPoint{std::move(lu), std::move(x0)});
+    });
+
+    par::parallel_for(sites.size(), threads, [&](std::size_t si) {
+      const SiteItem& item = sites[si];
+      SiteState& site = state[si];
+      for (std::size_t fi = begin; fi < end; ++fi) {
+        const GoldenPoint& point = *block[fi - begin];
+        const std::vector<Complex> w = point.lu.solve(site.dense_u);
+        const Complex v_dot_x0 = linalg::sparse_dot(item.update.v, point.x0);
+        const Complex v_dot_w = linalg::sparse_dot(item.update.v, w);
+        const Complex s = linalg::s_of_hz(frequencies_hz[fi]);
+        for (std::size_t k = 0; k < item.fault_indices.size(); ++k) {
+          const ParametricFault& fault = faults[item.fault_indices[k]];
+          const Complex scale = item.update.coefficient(s, fault.multiplier());
+          const std::optional<Complex> value =
+              linalg::sherman_morrison_component(point.x0[out], w[out],
+                                                 v_dot_x0, v_dot_w, scale,
+                                                 options_.max_growth);
+          if (value) {
+            site.values[k][fi] = *value;
+            ++site.rank1_solves;
+            continue;
+          }
+          if (!site.refactorized[k]) {
+            site.refactorized[k] = std::make_unique<mna::AcAnalysis>(
+                inject(cut_.circuit, fault));
+          }
+          site.values[k][fi] = site.refactorized[k]->node_voltage(
+              frequencies_hz[fi], cut_.output_node);
+          ++site.full_solves;
+        }
+      }
+    });
+  }
+  result.golden = mna::AcResponse(frequencies_hz, std::move(golden_values));
+
+  for (std::size_t si = 0; si < sites.size(); ++si) {
+    for (std::size_t k = 0; k < sites[si].fault_indices.size(); ++k) {
+      result.responses[sites[si].fault_indices[k]] =
+          mna::AcResponse(frequencies_hz, std::move(state[si].values[k]));
+    }
+    result.stats.rank1_solves += state[si].rank1_solves;
+    result.stats.full_solves += state[si].full_solves;
+  }
+  return result;
+}
+
+}  // namespace ftdiag::faults

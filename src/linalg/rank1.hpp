@@ -1,0 +1,117 @@
+/// \file rank1.hpp
+/// \brief Sherman–Morrison rank-1 update solves against a cached
+/// factorization.
+///
+/// For A' = A + scale * u * v^T the Sherman–Morrison identity gives
+///
+///   A'^{-1} b = x0 - scale * (v.x0) / (1 + scale * (v.w)) * w
+///
+/// with x0 = A^{-1} b and w = A^{-1} u.  The fault-simulation engine
+/// factors the golden MNA matrix once per frequency and produces every
+/// faulty solution from (x0, w) in O(n) — u and v are the structural stamp
+/// vectors of the perturbed component, scale carries the deviation.
+///
+/// The update is refused (std::nullopt) when the denominator signals an
+/// ill-conditioned perturbed system: the error of the update grows like
+/// (1 + |scale * (v.w)|) / |1 + scale * (v.w)|, so callers fall back to a
+/// full refactorization when that growth exceeds \p max_growth.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ftdiag::linalg {
+
+/// Sparse vector as (index, value) pairs; indices need not be sorted but
+/// must be unique.
+template <typename T>
+struct SparseVector {
+  std::vector<std::pair<std::size_t, T>> entries;
+
+  void add(std::size_t index, const T& value) {
+    if (value == T{}) return;
+    entries.push_back({index, value});
+  }
+
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+
+  /// Dense copy of length \p n.
+  [[nodiscard]] std::vector<T> densify(std::size_t n) const {
+    std::vector<T> dense(n, T{});
+    for (const auto& [index, value] : entries) {
+      FTDIAG_ASSERT(index < n, "sparse vector index out of range");
+      dense[index] += value;
+    }
+    return dense;
+  }
+};
+
+/// Unconjugated dot product v . x of a sparse vector with a dense one.
+template <typename T>
+[[nodiscard]] T sparse_dot(const SparseVector<T>& v, const std::vector<T>& x) {
+  T acc{};
+  for (const auto& [index, value] : v.entries) {
+    FTDIAG_ASSERT(index < x.size(), "sparse dot index out of range");
+    acc += value * x[index];
+  }
+  return acc;
+}
+
+/// Default growth bound above which a rank-1 update is refused.
+inline constexpr double kRank1MaxGrowth = 1e8;
+
+/// The Sherman–Morrison correction coefficient scale*(v.x0)/(1+scale*(v.w)),
+/// or std::nullopt when the update would amplify rounding error by more
+/// than \p max_growth (the perturbed matrix is near-singular).
+template <typename T>
+[[nodiscard]] std::optional<T> sherman_morrison_coefficient(
+    const T& v_dot_x0, const T& v_dot_w, const T& scale,
+    double max_growth = kRank1MaxGrowth) {
+  const T scaled = scale * v_dot_w;
+  const T denominator = T{1} + scaled;
+  const double growth = 1.0 + std::abs(scaled);
+  // Fail closed: a non-finite scale or denominator (e.g. a deviation that
+  // zeroes a component value) must refuse the update rather than emit NaN.
+  if (!std::isfinite(growth) || !std::isfinite(std::abs(denominator)) ||
+      std::abs(denominator) * max_growth < growth) {
+    return std::nullopt;
+  }
+  return (scale * v_dot_x0) / denominator;
+}
+
+/// One component of the updated solution: x_i = x0_i - coefficient * w_i.
+/// The engine extracts only the observed output unknown this way, making a
+/// whole deviation sweep O(1) per (site, frequency) after w is solved once.
+template <typename T>
+[[nodiscard]] std::optional<T> sherman_morrison_component(
+    const T& x0_i, const T& w_i, const T& v_dot_x0, const T& v_dot_w,
+    const T& scale, double max_growth = kRank1MaxGrowth) {
+  const std::optional<T> coefficient =
+      sherman_morrison_coefficient(v_dot_x0, v_dot_w, scale, max_growth);
+  if (!coefficient) return std::nullopt;
+  return x0_i - *coefficient * w_i;
+}
+
+/// Full updated solution of (A + scale*u*v^T) x = b from x0 = A^{-1}b and
+/// w = A^{-1}u.  std::nullopt when the update is ill-conditioned.
+template <typename T>
+[[nodiscard]] std::optional<std::vector<T>> sherman_morrison_solve(
+    const std::vector<T>& x0, const std::vector<T>& w,
+    const SparseVector<T>& v, const T& scale,
+    double max_growth = kRank1MaxGrowth) {
+  FTDIAG_ASSERT(x0.size() == w.size(), "x0/w size mismatch in rank-1 solve");
+  const std::optional<T> coefficient = sherman_morrison_coefficient(
+      sparse_dot(v, x0), sparse_dot(v, w), scale, max_growth);
+  if (!coefficient) return std::nullopt;
+  std::vector<T> x = x0;
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] -= *coefficient * w[i];
+  return x;
+}
+
+}  // namespace ftdiag::linalg

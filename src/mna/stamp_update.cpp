@@ -1,0 +1,53 @@
+#include "mna/stamp_update.hpp"
+
+namespace ftdiag::mna {
+
+Complex Rank1StampUpdate::coefficient(Complex s, double multiplier) const {
+  switch (kind) {
+    case StampCoefficientKind::kConductance:
+      return Complex(1.0 / (multiplier * nominal) - 1.0 / nominal, 0.0);
+    case StampCoefficientKind::kSusceptance:
+      return s * (nominal * (multiplier - 1.0));
+    case StampCoefficientKind::kImpedance:
+      return -s * (nominal * (multiplier - 1.0));
+  }
+  return Complex{};
+}
+
+std::optional<Rank1StampUpdate> rank1_stamp_update(
+    const MnaSystem& system, const std::string& component_name) {
+  const netlist::Circuit& circuit = system.circuit();
+  if (!circuit.has_component(component_name)) return std::nullopt;
+  const netlist::Component& component = circuit.component(component_name);
+
+  Rank1StampUpdate update;
+  update.nominal = component.value;
+
+  switch (component.kind) {
+    case netlist::ComponentKind::kResistor:
+    case netlist::ComponentKind::kCapacitor: {
+      // Two-terminal admittance stamp: u = v = e_a - e_b (ground dropped).
+      const std::size_t a = system.node_unknown(component.nodes[0]);
+      const std::size_t b = system.node_unknown(component.nodes[1]);
+      if (a != kNoUnknown) update.u.add(a, Complex{1.0, 0.0});
+      if (b != kNoUnknown) update.u.add(b, Complex{-1.0, 0.0});
+      update.v = update.u;
+      update.kind = component.kind == netlist::ComponentKind::kResistor
+                        ? StampCoefficientKind::kConductance
+                        : StampCoefficientKind::kSusceptance;
+      return update;
+    }
+    case netlist::ComponentKind::kInductor: {
+      // Only the branch row's (i, i) entry -s*L depends on the value.
+      const std::size_t i = system.branch_unknown(component.name);
+      update.u.add(i, Complex{1.0, 0.0});
+      update.v = update.u;
+      update.kind = StampCoefficientKind::kImpedance;
+      return update;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace ftdiag::mna

@@ -1,0 +1,53 @@
+/// \file stamp_update.hpp
+/// \brief Rank-1 description of how scaling one component value perturbs
+/// the assembled AC matrix.
+///
+/// A parametric fault multiplies one component value by m.  For the kinds
+/// whose stamp is a single dyad (R, C, L) the perturbed matrix is
+///
+///   A(m) = A + coefficient(s, m) * u * v^T
+///
+/// with structural vectors u, v fixed by the component's unknowns and all
+/// value/frequency dependence in the scalar coefficient.  The simulation
+/// engine solves the faulty systems from the golden LU factorization via
+/// Sherman–Morrison (linalg/rank1.hpp) instead of refactorizing per fault.
+/// Kinds that touch more than one independent stamp entry (macro op-amp
+/// expansions, controlled sources if ever made faultable) return
+/// std::nullopt and take the full-refactorization path.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "linalg/rank1.hpp"
+#include "mna/system.hpp"
+
+namespace ftdiag::mna {
+
+/// How the scalar coefficient depends on value, multiplier and s.
+enum class StampCoefficientKind : std::uint8_t {
+  kConductance,  ///< resistor: 1/(m*value) - 1/value, frequency-independent
+  kSusceptance,  ///< capacitor: s * value * (m - 1)
+  kImpedance,    ///< inductor branch row: -s * value * (m - 1)
+};
+
+/// dA(s, m) = coefficient(s, m) * u * v^T for one component.
+struct Rank1StampUpdate {
+  linalg::SparseVector<Complex> u;  ///< structural column (+/-1 entries)
+  linalg::SparseVector<Complex> v;  ///< structural row (+/-1 entries)
+  StampCoefficientKind kind = StampCoefficientKind::kConductance;
+  double nominal = 0.0;  ///< the component's golden value
+
+  /// The scalar in front of u*v^T at Laplace point \p s when the value is
+  /// scaled by \p multiplier.
+  [[nodiscard]] Complex coefficient(Complex s, double multiplier) const;
+};
+
+/// The rank-1 update of scaling \p component_name in \p system's
+/// (elaborated) circuit, or std::nullopt when the component is absent or
+/// its stamp is not a single dyad.  \p system must be built from the
+/// golden circuit; the returned indices refer to its unknown numbering.
+[[nodiscard]] std::optional<Rank1StampUpdate> rank1_stamp_update(
+    const MnaSystem& system, const std::string& component_name);
+
+}  // namespace ftdiag::mna

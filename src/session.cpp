@@ -42,7 +42,8 @@ std::uint64_t fnv1a(std::uint64_t h, double value) {
 /// circuit (component descriptions carry names, nodes and values), the
 /// test access points, the testable set, the grid and the deviation sweep.
 std::string dictionary_cache_key(const circuits::CircuitUnderTest& cut,
-                                 const faults::DeviationSpec& spec) {
+                                 const faults::DeviationSpec& spec,
+                                 const faults::SimOptions& sim) {
   std::uint64_t h = 14695981039346656037ull;
   h = fnv1a(h, cut.name);
   h = fnv1a(h, cut.input_source);
@@ -56,6 +57,15 @@ std::string dictionary_cache_key(const circuits::CircuitUnderTest& cut,
   h = fnv1a(h, spec.max_fraction);
   h = fnv1a(h, spec.step_fraction);
   h = fnv1a(h, spec.include_nominal ? "nominal" : "");
+  // Factorization reuse (and the growth bound deciding when it falls back
+  // to refactorization) changes dictionary values within rounding error,
+  // so sessions with either toggled must not share entries; the thread
+  // count never changes bits and stays out of the key.
+  h = fnv1a(h, sim.reuse_factorization ? "reuse" : "serial");
+  // The growth bound only matters when reuse is on (it decides which
+  // pairs fall back to refactorization); with reuse off it provably
+  // cannot change bits, so keep those sessions sharing one dictionary.
+  if (sim.reuse_factorization) h = fnv1a(h, sim.max_growth);
   return cut.name + "#" + str::format("%016llx",
                                       static_cast<unsigned long long>(h));
 }
@@ -82,7 +92,7 @@ dictionary_cache() {
 /// insertion, keeping pointer identity stable.
 std::shared_ptr<const faults::FaultDictionary> fetch_dictionary(
     const std::string& key, const circuits::CircuitUnderTest& cut,
-    const faults::DeviationSpec& spec) {
+    const faults::DeviationSpec& spec, const faults::SimOptions& sim) {
   {
     std::lock_guard<std::mutex> lock(cache_mutex());
     auto it = dictionary_cache().find(key);
@@ -92,7 +102,7 @@ std::shared_ptr<const faults::FaultDictionary> fetch_dictionary(
   }
   auto built = std::make_shared<const faults::FaultDictionary>(
       faults::FaultDictionary::build(
-          cut, faults::FaultUniverse::over_testable(cut, spec)));
+          cut, faults::FaultUniverse::over_testable(cut, spec), sim));
   std::lock_guard<std::mutex> lock(cache_mutex());
   auto& slot = dictionary_cache()[key];
   if (auto live = slot.lock()) return live;  // lost a build race: keep identity
@@ -126,6 +136,7 @@ void NoiseOptions::check() const {
 void SessionOptions::check() const {
   search.check();
   noise.check();
+  sim.check();
   (void)deviations.deviations();  // validates the range
 }
 
@@ -161,7 +172,8 @@ std::shared_ptr<const faults::FaultDictionary> Session::dictionary() const {
   std::lock_guard<std::mutex> lock(state_->mutex);
   if (!state_->dictionary) {
     state_->dictionary = fetch_dictionary(state_->dictionary_key, state_->cut,
-                                          state_->options.deviations);
+                                          state_->options.deviations,
+                                          state_->options.sim);
     log::info(str::format("session(%s): dictionary ready (%zu faults)",
                           state_->cut.name.c_str(),
                           state_->dictionary->fault_count()));
@@ -332,8 +344,8 @@ mna::AcResponse Session::measure(
     // instance serves every measure() call (and thread).
     std::lock_guard<std::mutex> lock(state_->mutex);
     if (!state_->simulator) {
-      state_->simulator =
-          std::make_shared<const faults::FaultSimulator>(state_->cut);
+      state_->simulator = std::make_shared<const faults::FaultSimulator>(
+          state_->cut, state_->options.sim);
     }
     simulator = state_->simulator;
   }
@@ -441,6 +453,11 @@ SessionBuilder& SessionBuilder::sampling(core::SamplingPolicy policy) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::sim(SimOptions options) {
+  options_.sim = options;
+  return *this;
+}
+
 SessionBuilder& SessionBuilder::fitness(FitnessKind kind) {
   options_.search.fitness = kind;
   return *this;
@@ -456,6 +473,11 @@ SessionBuilder& SessionBuilder::seed(std::uint64_t seed) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::threads(std::size_t n) {
+  options_.sim.threads = n;
+  return *this;
+}
+
 Session SessionBuilder::build() const {
   if (!cut_) {
     throw ConfigError("session builder has no circuit-under-test");
@@ -466,8 +488,8 @@ Session SessionBuilder::build() const {
   auto state = std::make_shared<Session::State>();
   state->cut = *cut_;
   state->options = options_;
-  state->dictionary_key =
-      dictionary_cache_key(state->cut, state->options.deviations);
+  state->dictionary_key = dictionary_cache_key(
+      state->cut, state->options.deviations, state->options.sim);
   state->fitness = std::shared_ptr<const core::TrajectoryFitness>(
       core::make_fitness(options_.search.fitness).release());
   return Session(std::move(state));

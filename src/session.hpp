@@ -33,6 +33,7 @@
 #include "faults/dictionary.hpp"
 #include "faults/fault.hpp"
 #include "faults/fault_universe.hpp"
+#include "faults/simulation_engine.hpp"
 #include "ga/genetic_algorithm.hpp"
 #include "ga/optimizer.hpp"
 #include "mna/response.hpp"
@@ -41,6 +42,10 @@ namespace ftdiag {
 
 /// Typed fitness selector, re-exported at the facade level.
 using core::FitnessKind;
+
+/// Fault-simulation engine knobs (thread count, golden-factorization
+/// reuse), re-exported at the facade level.
+using faults::SimOptions;
 
 /// Typed configuration of the test-frequency search (replaces the old
 /// string-keyed AtpgConfig fields).
@@ -78,6 +83,9 @@ struct SessionOptions {
   faults::DeviationSpec deviations = faults::DeviationSpec::paper();
   /// Response -> signature-point mapping.
   core::SamplingPolicy sampling{};
+  /// Fault-simulation engine: parallel fan-out + factorization reuse
+  /// (defaults on; thread count never changes dictionary bits).
+  SimOptions sim{};
 
   /// \throws ConfigError on the first invalid field.
   void check() const;
@@ -261,11 +269,13 @@ public:
   SessionBuilder& noise(NoiseOptions options);
   SessionBuilder& deviations(faults::DeviationSpec spec);
   SessionBuilder& sampling(core::SamplingPolicy policy);
+  SessionBuilder& sim(SimOptions options);
 
   /// Shorthands for the common knobs.
   SessionBuilder& fitness(FitnessKind kind);
   SessionBuilder& frequencies(std::size_t n);
   SessionBuilder& seed(std::uint64_t seed);
+  SessionBuilder& threads(std::size_t n);
 
   /// Validate and construct.  \throws ConfigError when no CUT was given or
   /// any option is out of range.

@@ -1,0 +1,58 @@
+/// \file parallel.hpp
+/// \brief Minimal fork/join parallel loop over an index range.
+///
+/// The simulation engine fans independent work items (faults, frequencies)
+/// across a small std::thread pool.  Determinism contract: every item i
+/// writes only to its own output slot, so the result is bit-identical for
+/// any thread count — the partition below only decides *who* computes an
+/// item, never *what* is computed.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftdiag::par {
+
+/// Run fn(i) for every i in [0, count) on up to \p threads threads
+/// (strided partition: thread t handles i = t, t + threads, ...).
+/// Runs inline when threads <= 1 or count <= 1.  The first exception
+/// thrown by any item is rethrown on the calling thread after the join.
+template <typename Fn>
+void parallel_for(std::size_t count, std::size_t threads, Fn&& fn) {
+  if (threads == 0) threads = 1;
+  if (threads > count) threads = count;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&](std::size_t t) {
+    try {
+      for (std::size_t i = t; i < count; i += threads) fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// The pool size used when a configuration leaves the thread count at 0
+/// ("auto"): the hardware concurrency, at least 1.
+[[nodiscard]] inline std::size_t default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace ftdiag::par

@@ -61,7 +61,36 @@ TEST_F(DictionaryTest, PerSiteIndexOrderedByDeviation) {
 }
 
 TEST_F(DictionaryTest, UnknownSiteThrows) {
+  // Regression for the hashed site index: misses must throw, and near-miss
+  // labels (prefixes, different case, empty) must not alias a real site.
   EXPECT_THROW((void)dict_->entries_for("R99"), ConfigError);
+  EXPECT_THROW((void)dict_->entries_for(""), ConfigError);
+  const std::string first = dict_->site_labels().front();
+  EXPECT_THROW((void)dict_->entries_for(first.substr(0, first.size() - 1)),
+               ConfigError);
+  EXPECT_THROW((void)dict_->entries_for(first + "x"), ConfigError);
+}
+
+TEST_F(DictionaryTest, FromPartsRebuildsTheSiteIndex) {
+  // Round-trip through from_parts with entries in reversed order: the
+  // per-site index must still resolve every site (deviations ascending)
+  // and reject unknown labels.
+  std::vector<DictionaryEntry> reversed(dict_->entries().rbegin(),
+                                        dict_->entries().rend());
+  const auto rebuilt =
+      FaultDictionary::from_parts(dict_->golden(), std::move(reversed));
+  ASSERT_EQ(rebuilt.site_labels().size(), dict_->site_labels().size());
+  for (const auto& site : dict_->site_labels()) {
+    const auto& indices = rebuilt.entries_for(site);
+    ASSERT_EQ(indices.size(), 8u);
+    double prev = -1.0;
+    for (std::size_t idx : indices) {
+      EXPECT_EQ(rebuilt.entries()[idx].fault.site.label(), site);
+      EXPECT_GT(rebuilt.entries()[idx].fault.deviation, prev);
+      prev = rebuilt.entries()[idx].fault.deviation;
+    }
+  }
+  EXPECT_THROW((void)rebuilt.entries_for("missing_site"), ConfigError);
 }
 
 TEST_F(DictionaryTest, LargerDeviationMovesResponseFurther) {

@@ -1,0 +1,229 @@
+/// Property/fuzz tests of the Sherman–Morrison rank-1 update: random
+/// well-conditioned complex systems with random sparse perturbations must
+/// match a from-scratch factorization of the perturbed matrix, and
+/// near-singular updates must be refused (the engine's refactorization
+/// fallback trigger).
+#include "linalg/rank1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <complex>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ftdiag::linalg {
+namespace {
+
+using C = std::complex<double>;
+
+C random_complex(Rng& rng) {
+  return {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+}
+
+/// Random diagonally dominant complex matrix (well-conditioned by
+/// construction).
+Matrix<C> random_system(Rng& rng, std::size_t n) {
+  Matrix<C> a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = random_complex(rng);
+    a(r, r) += C(static_cast<double>(n) + 2.0, 0.0);
+  }
+  return a;
+}
+
+std::vector<C> random_rhs(Rng& rng, std::size_t n) {
+  std::vector<C> b(n);
+  for (auto& value : b) value = random_complex(rng);
+  return b;
+}
+
+/// Sparse vector with 1..3 random entries at distinct indices.
+SparseVector<C> random_sparse(Rng& rng, std::size_t n) {
+  SparseVector<C> v;
+  const std::size_t count =
+      static_cast<std::size_t>(rng.uniform_int(1, 3));
+  for (std::size_t k = 0; k < count && v.entries.size() < n; ++k) {
+    const std::size_t index =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n) - 1));
+    bool duplicate = false;
+    for (const auto& [i, value] : v.entries) duplicate |= (i == index);
+    if (!duplicate) v.add(index, random_complex(rng));
+  }
+  if (v.empty()) v.add(0, C(1.0, 0.0));
+  return v;
+}
+
+/// Dense A + scale * u * v^T.
+Matrix<C> perturbed(const Matrix<C>& a, const SparseVector<C>& u,
+                    const SparseVector<C>& v, const C& scale) {
+  Matrix<C> out = a;
+  for (const auto& [r, uv] : u.entries) {
+    for (const auto& [c, vv] : v.entries) out(r, c) += scale * uv * vv;
+  }
+  return out;
+}
+
+double norm(const std::vector<C>& x) {
+  double acc = 0.0;
+  for (const auto& value : x) acc += std::norm(value);
+  return std::sqrt(acc);
+}
+
+TEST(Rank1Update, RandomSingleEntryPerturbationsMatchFromScratchSolve) {
+  Rng rng(20260731);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n =
+        static_cast<std::size_t>(rng.uniform_int(3, 16));
+    const Matrix<C> a = random_system(rng, n);
+    const std::vector<C> b = random_rhs(rng, n);
+
+    // Single-entry perturbation: A'(i, j) = A(i, j) + scale.
+    SparseVector<C> u, v;
+    u.add(static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n) - 1)),
+          C(1.0, 0.0));
+    v.add(static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n) - 1)),
+          C(1.0, 0.0));
+    const C scale = random_complex(rng);
+
+    const LuFactorization<C> lu(a);
+    const std::vector<C> x0 = lu.solve(b);
+    const std::vector<C> w = lu.solve(u.densify(n));
+    const auto updated = sherman_morrison_solve(x0, w, v, scale);
+    ASSERT_TRUE(updated.has_value()) << "trial " << trial;
+
+    const std::vector<C> direct = solve_dense(perturbed(a, u, v, scale), b);
+    ASSERT_EQ(updated->size(), direct.size());
+    const double bound = 1e-10 * (1.0 + norm(direct));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(std::abs((*updated)[i] - direct[i]), bound)
+          << "trial " << trial << " component " << i;
+    }
+  }
+}
+
+TEST(Rank1Update, RandomSparsePerturbationsMatchFromScratchSolve) {
+  Rng rng(42424242);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n =
+        static_cast<std::size_t>(rng.uniform_int(4, 20));
+    const Matrix<C> a = random_system(rng, n);
+    const std::vector<C> b = random_rhs(rng, n);
+    const SparseVector<C> u = random_sparse(rng, n);
+    const SparseVector<C> v = random_sparse(rng, n);
+    const C scale = random_complex(rng);
+
+    const LuFactorization<C> lu(a);
+    const std::vector<C> x0 = lu.solve(b);
+    const std::vector<C> w = lu.solve(u.densify(n));
+    const auto updated = sherman_morrison_solve(x0, w, v, scale);
+    ASSERT_TRUE(updated.has_value()) << "trial " << trial;
+
+    const std::vector<C> direct = solve_dense(perturbed(a, u, v, scale), b);
+    const double bound = 1e-10 * (1.0 + norm(direct));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(std::abs((*updated)[i] - direct[i]), bound)
+          << "trial " << trial << " component " << i;
+    }
+  }
+}
+
+TEST(Rank1Update, ComponentVariantAgreesWithFullSolve) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 8;
+    const Matrix<C> a = random_system(rng, n);
+    const std::vector<C> b = random_rhs(rng, n);
+    const SparseVector<C> u = random_sparse(rng, n);
+    const SparseVector<C> v = random_sparse(rng, n);
+    const C scale = random_complex(rng);
+
+    const LuFactorization<C> lu(a);
+    const std::vector<C> x0 = lu.solve(b);
+    const std::vector<C> w = lu.solve(u.densify(n));
+    const auto full = sherman_morrison_solve(x0, w, v, scale);
+    ASSERT_TRUE(full.has_value());
+    const C v_dot_x0 = sparse_dot(v, x0);
+    const C v_dot_w = sparse_dot(v, w);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto component = sherman_morrison_component(
+          x0[i], w[i], v_dot_x0, v_dot_w, scale);
+      ASSERT_TRUE(component.has_value());
+      // Same arithmetic, so bit-identical — this is what makes the
+      // engine's output-only extraction equivalent to the full update.
+      EXPECT_EQ(component->real(), (*full)[i].real());
+      EXPECT_EQ(component->imag(), (*full)[i].imag());
+    }
+  }
+}
+
+TEST(Rank1Update, SingularUpdateIsRefused) {
+  // A = I, u = v = e0, scale = -1 makes A' exactly singular: the
+  // denominator 1 + scale * (v . A^{-1} u) is 0.
+  const std::size_t n = 4;
+  const Matrix<C> a = Matrix<C>::identity(n);
+  const LuFactorization<C> lu(a);
+  SparseVector<C> u, v;
+  u.add(0, C(1.0, 0.0));
+  v.add(0, C(1.0, 0.0));
+  const std::vector<C> b(n, C(1.0, 0.0));
+  const std::vector<C> x0 = lu.solve(b);
+  const std::vector<C> w = lu.solve(u.densify(n));
+  EXPECT_FALSE(sherman_morrison_solve(x0, w, v, C(-1.0, 0.0)).has_value());
+}
+
+TEST(Rank1Update, NearSingularUpdateTriggersTheFallback) {
+  // scale = -1 + eps leaves |denominator| = eps: far below the default
+  // growth bound, so the update must be refused — the engine then solves
+  // that fault x frequency pair by full refactorization.
+  const std::size_t n = 4;
+  const LuFactorization<C> lu(Matrix<C>::identity(n));
+  SparseVector<C> u, v;
+  u.add(0, C(1.0, 0.0));
+  v.add(0, C(1.0, 0.0));
+  const std::vector<C> b(n, C(1.0, 0.0));
+  const std::vector<C> x0 = lu.solve(b);
+  const std::vector<C> w = lu.solve(u.densify(n));
+  const C near_singular(-1.0 + 1e-12, 0.0);
+  EXPECT_FALSE(sherman_morrison_solve(x0, w, v, near_singular).has_value());
+  // A permissive growth bound accepts the same update.
+  EXPECT_TRUE(
+      sherman_morrison_solve(x0, w, v, near_singular, 1e14).has_value());
+}
+
+TEST(Rank1Update, NonFiniteScaleFailsClosed) {
+  // A deviation that zeroes a component value yields an infinite
+  // conductance delta; the guard must refuse the update (so the engine
+  // refactorizes, matching the naive path) instead of emitting NaN.
+  const std::size_t n = 4;
+  const LuFactorization<C> lu(Matrix<C>::identity(n));
+  SparseVector<C> u, v;
+  u.add(0, C(1.0, 0.0));
+  v.add(0, C(1.0, 0.0));
+  const std::vector<C> b(n, C(1.0, 0.0));
+  const std::vector<C> x0 = lu.solve(b);
+  const std::vector<C> w = lu.solve(u.densify(n));
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(sherman_morrison_solve(x0, w, v, C(inf, 0.0)).has_value());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(sherman_morrison_solve(x0, w, v, C(nan, 0.0)).has_value());
+}
+
+TEST(Rank1Update, WellConditionedUpdateIsAcceptedAtTightBound) {
+  const std::size_t n = 4;
+  const LuFactorization<C> lu(Matrix<C>::identity(n));
+  SparseVector<C> u, v;
+  u.add(1, C(1.0, 0.0));
+  v.add(2, C(1.0, 0.0));
+  const std::vector<C> b(n, C(1.0, 0.0));
+  const std::vector<C> x0 = lu.solve(b);
+  const std::vector<C> w = lu.solve(u.densify(n));
+  EXPECT_TRUE(
+      sherman_morrison_solve(x0, w, v, C(0.5, 0.25), 10.0).has_value());
+}
+
+}  // namespace
+}  // namespace ftdiag::linalg

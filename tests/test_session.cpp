@@ -231,6 +231,94 @@ TEST_F(SessionRoundTrip, BatchDiagnosisIsThreadSafe) {
   }
 }
 
+TEST_F(SessionRoundTrip, ConcurrentDiagnosisAndEngineDictionaryBuilds) {
+  // Batch diagnosis on the shared session must stay correct while other
+  // threads run full dictionary builds through the parallel simulation
+  // engine (distinct deviation steps force distinct cache keys, so each
+  // builder thread performs a real engine build, itself multi-threaded).
+  std::vector<core::Point> points;
+  for (const auto& site : session_->cut().testable) {
+    points.push_back(session_->observe(
+        session_->measure({faults::FaultSite::value_of(site), 0.25})));
+  }
+  const auto reference = session_->diagnose_batch(points);
+
+  constexpr std::size_t kDiagnosers = 3;
+  constexpr std::size_t kBuilders = 3;
+  std::vector<std::vector<core::Diagnosis>> results(kDiagnosers);
+  std::vector<std::size_t> fault_counts(kBuilders, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kDiagnosers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int repeat = 0; repeat < 5; ++repeat) {
+        results[t] = session_->diagnose_batch(points);
+      }
+    });
+  }
+  for (std::size_t t = 0; t < kBuilders; ++t) {
+    threads.emplace_back([&, t] {
+      faults::DeviationSpec spec;
+      spec.step_fraction = 0.05 + 0.01 * static_cast<double>(t + 1);
+      SimOptions sim;
+      sim.threads = 2;
+      Session builder = SessionBuilder::from_registry("tow_thomas")
+                            .deviations(spec)
+                            .sim(sim)
+                            .build();
+      fault_counts[t] = builder.dictionary()->fault_count();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (const auto& r : results) {
+    ASSERT_EQ(r.size(), reference.size());
+    for (std::size_t k = 0; k < r.size(); ++k) {
+      EXPECT_EQ(r[k].best().site, reference[k].best().site);
+      EXPECT_DOUBLE_EQ(r[k].best().distance, reference[k].best().distance);
+    }
+  }
+  for (const std::size_t count : fault_counts) EXPECT_GT(count, 0u);
+}
+
+TEST(SessionSimOptions, ThreadsShorthandSticksAndNeverChangesTheDictionary) {
+  SimOptions sim;
+  sim.threads = 8;
+  Session configured = SessionBuilder::from_registry("tow_thomas")
+                           .sim(sim)
+                           .build();
+  EXPECT_EQ(configured.options().sim.threads, 8u);
+  Session shorthand =
+      SessionBuilder::from_registry("tow_thomas").threads(8).build();
+  EXPECT_EQ(shorthand.options().sim.threads, 8u);
+
+  // Thread count is excluded from the cache key: same dictionary pointer.
+  Session single = SessionBuilder::from_registry("tow_thomas").threads(1).build();
+  EXPECT_EQ(shorthand.dictionary().get(), single.dictionary().get());
+}
+
+TEST(SessionSimOptions, ReuseToggleGetsADistinctDictionary) {
+  Session::clear_dictionary_cache();
+  Session reuse = SessionBuilder::from_registry("tow_thomas").build();
+  SimOptions serial;
+  serial.reuse_factorization = false;
+  Session naive = SessionBuilder::from_registry("tow_thomas")
+                      .sim(serial)
+                      .build();
+  // Reuse changes values within rounding error, so the two variants must
+  // not share cache entries.
+  EXPECT_NE(reuse.dictionary().get(), naive.dictionary().get());
+  EXPECT_EQ(reuse.dictionary()->fault_count(),
+            naive.dictionary()->fault_count());
+}
+
+TEST(SessionSimOptions, RejectsBadEngineOptions) {
+  SimOptions sim;
+  sim.max_growth = 0.5;
+  EXPECT_THROW(
+      SessionBuilder::from_registry("tow_thomas").sim(sim).build(),
+      ConfigError);
+}
+
 TEST_F(SessionRoundTrip, UseVectorReArmsDiagnosis) {
   Session session = SessionBuilder::from_registry("tow_thomas").build();
   session.use_vector({{700.0, 1600.0}});

@@ -1,0 +1,265 @@
+/// Differential tests of the parallel fault-simulation engine: for every
+/// registry circuit the engine's responses must match the naive serial
+/// inject-and-sweep path — bit-exactly with factorization reuse off, and
+/// within a tight relative bound with Sherman–Morrison reuse on — and must
+/// be bit-identical for any thread count.
+#include "faults/simulation_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "circuits/nf_biquad.hpp"
+#include "circuits/registry.hpp"
+#include "faults/dictionary.hpp"
+#include "faults/fault_simulator.hpp"
+#include "faults/fault_universe.hpp"
+#include "mna/frequency_grid.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::faults {
+namespace {
+
+/// Reduced grid so the whole-registry differential sweep stays fast.
+std::vector<double> test_grid(const circuits::CircuitUnderTest& cut) {
+  return mna::FrequencyGrid::log_sweep(cut.band_low_hz, cut.band_high_hz, 40)
+      .frequencies();
+}
+
+struct Reference {
+  mna::AcResponse golden;
+  std::vector<mna::AcResponse> responses;
+};
+
+/// The naive serial path, written out independently of the engine: one
+/// full assemble + factorize + solve per fault x frequency.
+Reference naive_reference(const circuits::CircuitUnderTest& cut,
+                          const std::vector<ParametricFault>& faults,
+                          const std::vector<double>& frequencies_hz) {
+  const FaultSimulator simulator(cut);
+  Reference reference{simulator.golden(frequencies_hz), {}};
+  reference.responses.reserve(faults.size());
+  for (const auto& fault : faults) {
+    reference.responses.push_back(simulator.simulate(fault, frequencies_hz));
+  }
+  return reference;
+}
+
+/// Bit-exact equality of two responses.
+void expect_identical(const mna::AcResponse& a, const mna::AcResponse& b,
+                      const std::string& context) {
+  ASSERT_EQ(a.frequencies(), b.frequencies()) << context;
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.value(i).real(), b.value(i).real())
+        << context << " @ grid index " << i;
+    EXPECT_EQ(a.value(i).imag(), b.value(i).imag())
+        << context << " @ grid index " << i;
+  }
+}
+
+/// Element-wise closeness with a floor tied to the response scale, so
+/// near-zero samples (e.g. a notch) are judged against the overall
+/// magnitude rather than their own cancellation-dominated value.
+void expect_close(const mna::AcResponse& engine, const mna::AcResponse& naive,
+                  double scale, const std::string& context) {
+  constexpr double kRelTol = 1e-9;
+  ASSERT_EQ(engine.frequencies(), naive.frequencies()) << context;
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    const double bound = kRelTol * (std::abs(naive.value(i)) + scale);
+    EXPECT_LE(std::abs(engine.value(i) - naive.value(i)), bound)
+        << context << " @ grid index " << i << " (f="
+        << naive.frequency(i) << " Hz)";
+  }
+}
+
+double response_scale(const mna::AcResponse& golden) {
+  double scale = 0.0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    scale = std::max(scale, std::abs(golden.value(i)));
+  }
+  return scale;
+}
+
+TEST(SimulationEngine, ReuseOffMatchesNaiveBitExactlyAtAnyThreadCount) {
+  for (const auto& name : circuits::registry_names()) {
+    const auto cut = circuits::make_by_name(name);
+    const auto freqs = test_grid(cut);
+    const auto faults = FaultUniverse::over_testable(cut).enumerate();
+    const Reference reference = naive_reference(cut, faults, freqs);
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      SimOptions options;
+      options.threads = threads;
+      options.reuse_factorization = false;
+      const BatchResult batch =
+          SimulationEngine(cut, options).simulate_all(faults, freqs);
+      const std::string context =
+          name + " reuse=off threads=" + std::to_string(threads);
+      expect_identical(batch.golden, reference.golden, context + " golden");
+      ASSERT_EQ(batch.responses.size(), faults.size());
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        expect_identical(batch.responses[i], reference.responses[i],
+                         context + " " + faults[i].label());
+      }
+      EXPECT_EQ(batch.stats.rank1_solves, 0u) << context;
+      EXPECT_EQ(batch.stats.full_solves, faults.size() * freqs.size())
+          << context;
+    }
+  }
+}
+
+TEST(SimulationEngine, ReuseOnMatchesNaiveWithinTightBound) {
+  for (const auto& name : circuits::registry_names()) {
+    const auto cut = circuits::make_by_name(name);
+    const auto freqs = test_grid(cut);
+    const auto faults = FaultUniverse::over_testable(cut).enumerate();
+    const Reference reference = naive_reference(cut, faults, freqs);
+    const double scale = response_scale(reference.golden);
+
+    const BatchResult batch =
+        SimulationEngine(cut, SimOptions{}).simulate_all(faults, freqs);
+    const std::string context = name + " reuse=on";
+    // The golden sweep itself never goes through Sherman–Morrison.
+    expect_identical(batch.golden, reference.golden, context + " golden");
+    ASSERT_EQ(batch.responses.size(), faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      expect_close(batch.responses[i], reference.responses[i], scale,
+                   context + " " + faults[i].label());
+    }
+    // Every registry universe deviates passives only, so reuse must have
+    // carried essentially the whole batch.
+    EXPECT_GT(batch.stats.rank1_solves, 0u) << context;
+    EXPECT_EQ(batch.stats.fallback_faults, 0u) << context;
+  }
+}
+
+TEST(SimulationEngine, ReuseOnIsBitStableAcrossThreadCounts) {
+  for (const auto& name : circuits::registry_names()) {
+    const auto cut = circuits::make_by_name(name);
+    const auto freqs = test_grid(cut);
+    const auto faults = FaultUniverse::over_testable(cut).enumerate();
+
+    SimOptions one;
+    one.threads = 1;
+    const BatchResult single =
+        SimulationEngine(cut, one).simulate_all(faults, freqs);
+    for (std::size_t threads : {2u, 8u}) {
+      SimOptions options;
+      options.threads = threads;
+      const BatchResult batch =
+          SimulationEngine(cut, options).simulate_all(faults, freqs);
+      const std::string context =
+          name + " threads=" + std::to_string(threads) + " vs 1";
+      expect_identical(batch.golden, single.golden, context + " golden");
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        expect_identical(batch.responses[i], single.responses[i],
+                         context + " " + faults[i].label());
+      }
+      EXPECT_EQ(batch.stats.rank1_solves, single.stats.rank1_solves);
+      EXPECT_EQ(batch.stats.full_solves, single.stats.full_solves);
+    }
+  }
+}
+
+TEST(SimulationEngine, OpAmpParamFaultsTakeTheFallbackPathBitExactly) {
+  circuits::NfBiquadDesign design;
+  design.ideal_opamps = false;
+  const auto cut = circuits::make_nf_biquad(design);
+  const auto freqs = test_grid(cut);
+  const auto faults = FaultUniverse::over_opamp_params(cut).enumerate();
+  const Reference reference = naive_reference(cut, faults, freqs);
+
+  const BatchResult batch =
+      SimulationEngine(cut, SimOptions{}).simulate_all(faults, freqs);
+  // Macro-parameter faults perturb several stamps at once, so even with
+  // reuse on they must refactorize — and thereby stay bit-identical.
+  EXPECT_EQ(batch.stats.fallback_faults, faults.size());
+  EXPECT_EQ(batch.stats.rank1_solves, 0u);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    expect_identical(batch.responses[i], reference.responses[i],
+                     faults[i].label());
+  }
+}
+
+TEST(SimulationEngine, MixedUniverseSplitsBetweenReuseAndFallback) {
+  circuits::NfBiquadDesign design;
+  design.ideal_opamps = false;
+  const auto cut = circuits::make_nf_biquad(design);
+  const auto freqs = test_grid(cut);
+
+  auto sites = FaultUniverse::over_testable(cut).sites();
+  const auto active = FaultUniverse::over_opamp_params(cut).sites();
+  sites.insert(sites.end(), active.begin(), active.end());
+  const FaultUniverse combined(sites, DeviationSpec::paper());
+  const auto faults = combined.enumerate();
+
+  const BatchResult batch =
+      SimulationEngine(cut, SimOptions{}).simulate_all(faults, freqs);
+  EXPECT_EQ(batch.stats.fallback_faults,
+            active.size() * DeviationSpec::paper().deviations().size());
+  EXPECT_GT(batch.stats.rank1_solves, 0u);
+
+  const Reference reference = naive_reference(cut, faults, freqs);
+  const double scale = response_scale(reference.golden);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    expect_close(batch.responses[i], reference.responses[i], scale,
+                 faults[i].label());
+  }
+}
+
+TEST(SimulationEngine, DictionaryBuildGoesThroughTheEngine) {
+  const auto cut = circuits::make_paper_cut();
+  const auto universe = FaultUniverse::over_testable(cut);
+  const auto freqs = test_grid(cut);
+
+  SimOptions serial;
+  serial.threads = 1;
+  serial.reuse_factorization = false;
+  const FaultDictionary naive =
+      FaultDictionary::build(cut, universe, freqs, serial);
+
+  SimOptions parallel;
+  parallel.threads = 8;
+  parallel.reuse_factorization = false;
+  const FaultDictionary engine =
+      FaultDictionary::build(cut, universe, freqs, parallel);
+
+  expect_identical(engine.golden(), naive.golden(), "dictionary golden");
+  ASSERT_EQ(engine.fault_count(), naive.fault_count());
+  for (std::size_t i = 0; i < naive.entries().size(); ++i) {
+    EXPECT_EQ(engine.entries()[i].fault, naive.entries()[i].fault);
+    expect_identical(engine.entries()[i].response,
+                     naive.entries()[i].response,
+                     naive.entries()[i].fault.label());
+  }
+  EXPECT_EQ(engine.site_labels(), naive.site_labels());
+}
+
+TEST(SimulationEngine, SimulateBatchMatchesSingleFaultSimulation) {
+  const auto cut = circuits::make_paper_cut();
+  const auto freqs = test_grid(cut);
+  const auto faults = FaultUniverse::over_testable(cut).enumerate();
+
+  const FaultSimulator simulator(cut);
+  const BatchResult batch = simulator.simulate_batch(faults, freqs);
+  expect_identical(batch.golden, simulator.golden(freqs), "batch golden");
+  const double scale = response_scale(batch.golden);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    expect_close(batch.responses[i], simulator.simulate(faults[i], freqs),
+                 scale, faults[i].label());
+  }
+}
+
+TEST(SimulationEngine, RejectsBadOptions) {
+  SimOptions options;
+  options.max_growth = 1.0;
+  EXPECT_THROW(options.check(), ConfigError);
+  EXPECT_THROW(SimulationEngine(circuits::make_paper_cut(), options),
+               ConfigError);
+  EXPECT_GE(SimOptions{}.resolved_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace ftdiag::faults

@@ -17,6 +17,7 @@
 #include "circuits/registry.hpp"
 #include "core/atpg.hpp"
 #include "core/evaluation.hpp"
+#include "core/evaluation_pipeline.hpp"
 #include "faults/dictionary.hpp"
 #include "faults/simulation_engine.hpp"
 #include "ga/genetic_algorithm.hpp"
@@ -24,6 +25,7 @@
 #include "linalg/sparse.hpp"
 #include "mna/ac_analysis.hpp"
 #include "mna/system.hpp"
+#include "session.hpp"
 #include "util/rng.hpp"
 
 using namespace ftdiag;
@@ -178,6 +180,134 @@ void BM_FullPaperGa(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPaperGa)->Unit(benchmark::kMillisecond);
 
+/// The pre-batch search path: scalar objective, uncached trajectory
+/// building, exact all-pairs intersection sweep, one thread.
+ga::Objective make_serial_objective(const core::TestVectorEvaluator& evaluator) {
+  return [&evaluator](const std::vector<double>& genes) {
+    return evaluator.fitness(Session::to_test_vector(genes));
+  };
+}
+
+/// The seed repository's count_intersections, verbatim: per-call segment
+/// extraction, all-pairs sweep, per-conflict records.  Kept here so
+/// BM_SearchSerial measures the genuine pre-batch-pipeline cost rather
+/// than today's (already faster) exact sweep.
+core::IntersectionReport legacy_count_intersections(
+    const std::vector<core::FaultTrajectory>& trajectories,
+    const core::IntersectionOptions& options = {}) {
+  using namespace ftdiag::core;
+  IntersectionReport report;
+  if (trajectories.size() < 2) return report;
+
+  const std::size_t dim = trajectories.front().dimension();
+  double scale = 0.0;
+  for (const auto& t : trajectories) scale = std::max(scale, t.max_excursion());
+  if (scale <= 0.0) scale = 1.0;
+  const double origin_ball = options.origin_exclusion * scale;
+  const Point origin(dim, 0.0);
+
+  std::vector<std::vector<Segment>> segs;
+  segs.reserve(trajectories.size());
+  for (const auto& t : trajectories) segs.push_back(t.segments());
+
+  for (std::size_t i = 0; i < trajectories.size(); ++i) {
+    for (std::size_t j = i + 1; j < trajectories.size(); ++j) {
+      for (std::size_t si = 0; si < segs[i].size(); ++si) {
+        for (std::size_t sj = 0; sj < segs[j].size(); ++sj) {
+          const Segment& a = segs[i][si];
+          const Segment& b = segs[j][sj];
+          if (dim == 2) {
+            const Intersection2d hit = intersect_segments_2d(a, b);
+            if (hit.relation == SegmentRelation::kDisjoint) continue;
+            if (hit.relation == SegmentRelation::kCollinearOverlap &&
+                !options.count_overlaps) {
+              continue;
+            }
+            if (distance(hit.at, origin) <= origin_ball) continue;
+            report.conflicts.push_back({trajectories[i].site(),
+                                        trajectories[j].site(), si, sj,
+                                        hit.at, 0.0});
+          } else {
+            const double d = segment_segment_distance(a, b);
+            if (d > options.near_threshold * scale) continue;
+            const double a_to_origin = project_point(origin, a).distance;
+            const double b_to_origin = project_point(origin, b).distance;
+            if (a_to_origin <= origin_ball && b_to_origin <= origin_ball) {
+              continue;
+            }
+            Point mid(dim, 0.0);
+            for (std::size_t k = 0; k < dim; ++k) {
+              mid[k] = 0.25 * (a.a[k] + a.b[k] + b.a[k] + b.b[k]);
+            }
+            report.conflicts.push_back({trajectories[i].site(),
+                                        trajectories[j].site(), si, sj,
+                                        std::move(mid), d});
+          }
+        }
+      }
+    }
+  }
+  report.count = report.conflicts.size();
+  return report;
+}
+
+/// The paper fitness exactly as computed before the batch pipeline.
+class LegacyPaperFitness final : public core::TrajectoryFitness {
+public:
+  [[nodiscard]] double evaluate(
+      const std::vector<core::FaultTrajectory>& trajectories) const override {
+    const auto report = legacy_count_intersections(trajectories);
+    return 1.0 / (1.0 + static_cast<double>(report.count));
+  }
+  [[nodiscard]] std::string name() const override { return "legacy-paper"; }
+};
+
+core::TestVectorEvaluator make_exact_evaluator(
+    const faults::FaultDictionary& dict) {
+  return core::TestVectorEvaluator(dict, {},
+                                   std::make_shared<LegacyPaperFitness>());
+}
+
+ga::GaConfig bench_ga_config() {
+  ga::GaConfig config;
+  config.population_size = 24;
+  config.generations = 4;
+  return config;
+}
+
+BENCHMARK_DEFINE_F(TrajectoryFixture, BM_SearchSerial)
+(benchmark::State& state) {
+  const auto exact_evaluator = make_exact_evaluator(*dict);
+  const ga::Objective objective = make_serial_objective(exact_evaluator);
+  const ga::GeneticAlgorithm ga(bench_ga_config());
+  for (auto _ : state) {
+    Rng rng(42);
+    benchmark::DoNotOptimize(ga.optimize(objective, 2, {1.0, 5.0}, rng));
+  }
+}
+BENCHMARK_REGISTER_F(TrajectoryFixture, BM_SearchSerial)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_DEFINE_F(TrajectoryFixture, BM_SearchBatch)
+(benchmark::State& state) {
+  core::PipelineOptions options;
+  options.threads = 8;
+  const ga::GeneticAlgorithm ga(bench_ga_config());
+  core::PipelineStats stats;
+  for (auto _ : state) {
+    // A fresh pipeline per iteration: cold caches, the honest end-to-end
+    // cost of one search.
+    const core::EvaluationPipeline pipeline(*evaluator, options);
+    Rng rng(42);
+    benchmark::DoNotOptimize(ga.optimize(pipeline, 2, {1.0, 5.0}, rng));
+    stats = pipeline.stats();
+  }
+  state.counters["column_hits"] = static_cast<double>(stats.column_hits);
+  state.counters["genome_hits"] = static_cast<double>(stats.genome_hits);
+}
+BENCHMARK_REGISTER_F(TrajectoryFixture, BM_SearchBatch)
+    ->Unit(benchmark::kMillisecond);
+
 /// Serial-vs-engine dictionary build comparison on the largest registry
 /// circuit (by MNA unknown count), written to BENCH_engine.json.
 void write_engine_report(const char* path) {
@@ -251,21 +381,118 @@ void write_engine_report(const char* path) {
               serial_ms / engine_ms, path);
 }
 
+/// Serial-vs-batch GA search comparison on the largest registry circuit
+/// (by MNA unknown count), written to BENCH_search.json.  The serial leg
+/// is the pre-batch pipeline (scalar objective, uncached sampling, exact
+/// all-pairs sweep, one thread); the batch leg runs the evaluation
+/// pipeline at 8 threads with the signature cache and pruned counting.
+void write_search_report(const char* path) {
+  using Clock = std::chrono::steady_clock;
+
+  std::string largest_name;
+  std::size_t largest_unknowns = 0;
+  for (const auto& name : circuits::registry_names()) {
+    const auto cut = circuits::make_by_name(name);
+    const std::size_t unknowns = mna::MnaSystem(cut.circuit).unknown_count();
+    if (unknowns > largest_unknowns) {
+      largest_unknowns = unknowns;
+      largest_name = name;
+    }
+  }
+  const auto cut = circuits::make_by_name(largest_name);
+  const auto dictionary = faults::FaultDictionary::build(
+      cut, faults::FaultUniverse::over_testable(cut));
+  const ga::GeneBounds bounds{std::log10(cut.band_low_hz),
+                              std::log10(cut.band_high_hz)};
+  const ga::GeneticAlgorithm ga(ga::GaConfig::paper());
+  constexpr std::size_t kThreads = 8;
+
+  auto best_of = [&](auto&& run) {
+    double best_ms = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto start = Clock::now();
+      run();
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    return best_ms;
+  };
+
+  std::size_t evaluations = 0;
+  const auto exact_evaluator = make_exact_evaluator(dictionary);
+  const ga::Objective objective = make_serial_objective(exact_evaluator);
+  const double serial_ms = best_of([&] {
+    Rng rng(42);
+    evaluations = ga.optimize(objective, 2, bounds, rng).evaluations;
+  });
+
+  const core::TestVectorEvaluator evaluator(dictionary);
+  core::PipelineOptions options;
+  options.threads = kThreads;
+  core::PipelineStats stats;
+  const double batch_ms = best_of([&] {
+    const core::EvaluationPipeline pipeline(evaluator, options);
+    Rng rng(42);
+    (void)ga.optimize(pipeline, 2, bounds, rng);
+    stats = pipeline.stats();
+  });
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"ga_search_serial_vs_batch\",\n"
+               "  \"circuit\": \"%s\",\n"
+               "  \"unknowns\": %zu,\n"
+               "  \"faults\": %zu,\n"
+               "  \"population\": %zu,\n"
+               "  \"generations\": %zu,\n"
+               "  \"evaluations\": %zu,\n"
+               "  \"threads\": %zu,\n"
+               "  \"serial_ms\": %.3f,\n"
+               "  \"batch_ms\": %.3f,\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"column_hits\": %zu,\n"
+               "  \"column_misses\": %zu,\n"
+               "  \"genome_hits\": %zu\n"
+               "}\n",
+               largest_name.c_str(), largest_unknowns,
+               dictionary.fault_count(), ga.config().population_size,
+               ga.config().generations, evaluations, kThreads, serial_ms,
+               batch_ms, serial_ms / batch_ms, stats.column_hits,
+               stats.column_misses, stats.genome_hits);
+  std::fclose(out);
+  std::printf("ga search (%s): serial %.3f ms, batch %.3f ms (%.2fx) -> %s\n",
+              largest_name.c_str(), serial_ms, batch_ms,
+              serial_ms / batch_ms, path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // The serial-vs-engine report runs on a full sweep (no arguments) or
-  // when explicitly requested via FTDIAG_ENGINE_REPORT=<path>, so
-  // filtered micro-runs don't pay for six extra dictionary builds.
-  const char* report_path = std::getenv("FTDIAG_ENGINE_REPORT");
+  // The serial-vs-engine and serial-vs-batch reports run on a full sweep
+  // (no arguments) or when explicitly requested via
+  // FTDIAG_ENGINE_REPORT=<path> / FTDIAG_SEARCH_REPORT=<path>, so filtered
+  // micro-runs don't pay for the extra dictionary builds and GA runs.
+  const char* engine_report_path = std::getenv("FTDIAG_ENGINE_REPORT");
+  const char* search_report_path = std::getenv("FTDIAG_SEARCH_REPORT");
   const bool full_run = (argc == 1);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (report_path != nullptr || full_run) {
-    write_engine_report(report_path != nullptr ? report_path
-                                               : "BENCH_engine.json");
+  if (engine_report_path != nullptr || full_run) {
+    write_engine_report(engine_report_path != nullptr ? engine_report_path
+                                                      : "BENCH_engine.json");
+  }
+  if (search_report_path != nullptr || full_run) {
+    write_search_report(search_report_path != nullptr ? search_report_path
+                                                      : "BENCH_search.json");
   }
   return 0;
 }

@@ -1,0 +1,328 @@
+#include "core/evaluation_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace ftdiag::core {
+
+namespace {
+
+/// Marks the golden point in a site plan.
+constexpr std::size_t kGoldenStep = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+void PipelineOptions::check() const {
+  if (!(frequency_quantum > 0.0)) {
+    throw ConfigError("pipeline frequency quantum must be positive");
+  }
+}
+
+std::size_t PipelineOptions::resolved_threads() const {
+  // Genome evaluation is pure CPU work, so a pool wider than the hardware
+  // only adds scheduling overhead; results are thread-count-invariant, so
+  // clamping is free.
+  const std::size_t hw = par::default_thread_count();
+  return threads == 0 ? hw : std::min(threads, hw);
+}
+
+/// Interpolated signature samples of every dictionary entry (and the
+/// golden response) at one quantized frequency.  A column is a pure
+/// function of its key, so concurrent rebuild races are benign.
+struct EvaluationPipeline::Column {
+  double golden_mag = 0.0;
+  double golden_phase = 0.0;
+  std::vector<double> entry_mag;    ///< one slot per dictionary entry
+  std::vector<double> entry_phase;  ///< filled only when the policy needs it
+};
+
+/// The per-site recipe build_trajectories follows, precomputed once: which
+/// entry (or the golden point) supplies each vertex, in deviation order.
+struct EvaluationPipeline::SitePlan {
+  std::string site;
+  struct Step {
+    std::size_t entry = kGoldenStep;
+    double deviation = 0.0;
+  };
+  std::vector<Step> steps;
+};
+
+EvaluationPipeline::EvaluationPipeline(const TestVectorEvaluator& evaluator,
+                                       PipelineOptions options)
+    : evaluator_(evaluator), options_(options) {
+  options_.check();
+
+  const faults::FaultDictionary& dictionary = evaluator_.dictionary();
+  plans_.reserve(dictionary.site_labels().size());
+  for (const auto& site : dictionary.site_labels()) {
+    SitePlan plan;
+    plan.site = site;
+    const auto& indices = dictionary.entries_for(site);
+    plan.steps.reserve(indices.size() + 1);
+    bool golden_inserted = false;
+    for (std::size_t idx : indices) {
+      const double deviation = dictionary.entries()[idx].fault.deviation;
+      if (!golden_inserted && deviation > 0.0) {
+        plan.steps.push_back({kGoldenStep, 0.0});
+        golden_inserted = true;
+      }
+      if (deviation == 0.0) {
+        // Universe kept the nominal point explicitly; use the golden
+        // signature for it rather than re-sampling.
+        plan.steps.push_back({kGoldenStep, 0.0});
+        golden_inserted = true;
+        continue;
+      }
+      plan.steps.push_back({idx, deviation});
+    }
+    if (!golden_inserted) plan.steps.push_back({kGoldenStep, 0.0});
+    std::stable_sort(plan.steps.begin(), plan.steps.end(),
+                     [](const SitePlan::Step& a, const SitePlan::Step& b) {
+                       return a.deviation < b.deviation;
+                     });
+    plans_.push_back(std::move(plan));
+  }
+
+  // Interpolation tables, usable when every response shares one grid (true
+  // for any dictionary built by one sweep).
+  const mna::AcResponse& golden = dictionary.golden();
+  shared_grid_ = true;
+  for (const auto& entry : dictionary.entries()) {
+    if (entry.response.frequencies() != golden.frequencies()) {
+      shared_grid_ = false;
+      break;
+    }
+  }
+  if (shared_grid_) {
+    grid_size_ = golden.size();
+    const std::size_t responses = dictionary.entries().size() + 1;
+    response_values_.reserve(responses);
+    response_values_.push_back(&golden.values());
+    for (const auto& entry : dictionary.entries()) {
+      response_values_.push_back(&entry.response.values());
+    }
+    table_mag_.resize(responses * grid_size_);
+    table_log_mag_.resize(responses * grid_size_);
+    table_phase_.resize(responses * grid_size_);
+    for (std::size_t r = 0; r < responses; ++r) {
+      for (std::size_t i = 0; i < grid_size_; ++i) {
+        const mna::Complex v = (*response_values_[r])[i];
+        const double mag = std::abs(v);
+        table_mag_[r * grid_size_ + i] = mag;
+        table_log_mag_[r * grid_size_ + i] = mag > 0.0 ? std::log(mag) : 0.0;
+        table_phase_[r * grid_size_ + i] = std::arg(v);
+      }
+    }
+  }
+}
+
+EvaluationPipeline::~EvaluationPipeline() = default;
+
+double EvaluationPipeline::snap(double gene) const {
+  return static_cast<double>(std::llround(gene / options_.frequency_quantum)) *
+         options_.frequency_quantum;
+}
+
+EvaluationPipeline::Column EvaluationPipeline::build_column(
+    std::int64_t key) const {
+  const double f_hz =
+      std::pow(10.0, static_cast<double>(key) * options_.frequency_quantum);
+  const SamplingPolicy& policy = evaluator_.policy();
+  const faults::FaultDictionary& dictionary = evaluator_.dictionary();
+  const auto& entries = dictionary.entries();
+
+  Column column;
+  column.entry_mag.resize(entries.size());
+  if (policy.include_phase) column.entry_phase.resize(entries.size());
+
+  auto store = [&](std::size_t r, const mna::Complex& h) {
+    const double mag = policy.scale == MagnitudeScale::kLinear
+                           ? std::abs(h)
+                           : linalg::to_db(h);
+    if (r == 0) {
+      column.golden_mag = mag;
+      if (policy.include_phase) column.golden_phase = std::arg(h);
+    } else {
+      column.entry_mag[r - 1] = mag;
+      if (policy.include_phase) column.entry_phase[r - 1] = std::arg(h);
+    }
+  };
+
+  if (shared_grid_) {
+    // One locate serves every response; values are reconstructed from the
+    // precomputed tables, bit-identical to AcResponse::interpolate.
+    const mna::AcResponse::GridPosition pos =
+        dictionary.golden().locate(f_hz);
+    constexpr double kPi = 3.14159265358979323846;
+    for (std::size_t r = 0; r < response_values_.size(); ++r) {
+      if (pos.lo == pos.hi) {
+        store(r, (*response_values_[r])[pos.lo]);
+        continue;
+      }
+      const std::size_t base = r * grid_size_;
+      const double mag_a = table_mag_[base + pos.lo];
+      const double mag_b = table_mag_[base + pos.hi];
+      double m;
+      if (mag_a > 0.0 && mag_b > 0.0) {
+        m = std::exp((1.0 - pos.t) * table_log_mag_[base + pos.lo] +
+                     pos.t * table_log_mag_[base + pos.hi]);
+      } else {
+        m = (1.0 - pos.t) * mag_a + pos.t * mag_b;
+      }
+      const double ph_a = table_phase_[base + pos.lo];
+      double ph_b = table_phase_[base + pos.hi];
+      while (ph_b - ph_a > kPi) ph_b -= 2.0 * kPi;
+      while (ph_b - ph_a < -kPi) ph_b += 2.0 * kPi;
+      const double ph = (1.0 - pos.t) * ph_a + pos.t * ph_b;
+      store(r, {m * std::cos(ph), m * std::sin(ph)});
+    }
+    return column;
+  }
+
+  store(0, dictionary.golden().interpolate(f_hz));
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    store(e + 1, entries[e].response.interpolate(f_hz));
+  }
+  return column;
+}
+
+std::shared_ptr<const EvaluationPipeline::Column>
+EvaluationPipeline::column_for(std::int64_t key) const {
+  if (options_.cache_signatures) {
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++stats_.column_hits;
+        return it->second;
+      }
+    }
+    auto built = std::make_shared<const Column>(build_column(key));
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    ++stats_.column_misses;
+    // A concurrent builder may have won the race; columns are pure
+    // functions of the key, so keeping the first insertion is safe.
+    auto [it, inserted] = cache_.emplace(key, std::move(built));
+    return it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    ++stats_.column_misses;
+  }
+  return std::make_shared<const Column>(build_column(key));
+}
+
+std::vector<FaultTrajectory> EvaluationPipeline::assemble(
+    const std::vector<std::shared_ptr<const Column>>& columns) const {
+  const SamplingPolicy& policy = evaluator_.policy();
+  const std::size_t n = columns.size();
+  const std::size_t dim = policy.dimension(n);
+
+  // The golden signature: the origin under a golden-relative policy, the
+  // raw golden samples otherwise.
+  Point golden(dim, 0.0);
+  if (!policy.golden_relative) {
+    for (std::size_t i = 0; i < n; ++i) golden[i] = columns[i]->golden_mag;
+    if (policy.include_phase) {
+      for (std::size_t i = 0; i < n; ++i) {
+        golden[n + i] = columns[i]->golden_phase;
+      }
+    }
+  }
+
+  std::vector<FaultTrajectory> out;
+  out.reserve(plans_.size());
+  for (const auto& plan : plans_) {
+    std::vector<TrajectoryPoint> points;
+    points.reserve(plan.steps.size());
+    for (const auto& step : plan.steps) {
+      if (step.entry == kGoldenStep) {
+        points.push_back({0.0, golden});
+        continue;
+      }
+      Point p(dim, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = columns[i]->entry_mag[step.entry];
+        if (policy.golden_relative) p[i] -= columns[i]->golden_mag;
+      }
+      if (policy.include_phase) {
+        for (std::size_t i = 0; i < n; ++i) {
+          p[n + i] = columns[i]->entry_phase[step.entry];
+          if (policy.golden_relative) p[n + i] -= columns[i]->golden_phase;
+        }
+      }
+      points.push_back({step.deviation, std::move(p)});
+    }
+    out.emplace_back(plan.site, std::move(points));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> EvaluationPipeline::snapped_keys(
+    const std::vector<double>& genes) const {
+  FTDIAG_ASSERT(!genes.empty(), "pipeline needs >= 1 gene");
+  std::vector<std::int64_t> keys;
+  keys.reserve(genes.size());
+  for (double g : genes) {
+    keys.push_back(std::llround(g / options_.frequency_quantum));
+  }
+  // Canonical ascending order: trajectory geometry is invariant to
+  // frequency order (TestVector::normalize does the same).
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<FaultTrajectory> EvaluationPipeline::trajectories_for_keys(
+    const std::vector<std::int64_t>& keys) const {
+  std::vector<std::shared_ptr<const Column>> columns;
+  columns.reserve(keys.size());
+  for (std::int64_t key : keys) columns.push_back(column_for(key));
+  return assemble(columns);
+}
+
+std::vector<FaultTrajectory> EvaluationPipeline::trajectories(
+    const std::vector<double>& genes) const {
+  return trajectories_for_keys(snapped_keys(genes));
+}
+
+double EvaluationPipeline::evaluate_one(const std::vector<double>& genes) const {
+  std::vector<std::int64_t> keys = snapped_keys(genes);
+  if (options_.cache_signatures) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = fitness_memo_.find(keys);
+    if (it != fitness_memo_.end()) {
+      ++stats_.genome_hits;
+      ++stats_.genomes_evaluated;
+      return it->second;
+    }
+  }
+  const double fitness =
+      evaluator_.objective().evaluate(trajectories_for_keys(keys));
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    ++stats_.genomes_evaluated;
+    if (options_.cache_signatures) {
+      fitness_memo_.emplace(std::move(keys), fitness);
+    }
+  }
+  return fitness;
+}
+
+std::vector<double> EvaluationPipeline::evaluate(
+    const std::vector<std::vector<double>>& genomes) const {
+  std::vector<double> scores(genomes.size(), 0.0);
+  par::parallel_for(genomes.size(), options_.resolved_threads(),
+                    [&](std::size_t i) { scores[i] = evaluate_one(genomes[i]); });
+  return scores;
+}
+
+PipelineStats EvaluationPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return stats_;
+}
+
+}  // namespace ftdiag::core

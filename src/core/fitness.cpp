@@ -10,8 +10,12 @@ namespace ftdiag::core {
 
 double IntersectionFitness::evaluate(
     const std::vector<FaultTrajectory>& trajectories) const {
+  // Only the count enters the fitness, so skip the per-conflict records
+  // (the GA inner loop calls this thousands of times per search).
+  IntersectionOptions count_only = options_;
+  count_only.collect_conflicts = false;
   const IntersectionReport report =
-      count_intersections(trajectories, options_);
+      count_intersections(trajectories, count_only);
   return 1.0 / (1.0 + static_cast<double>(report.count));
 }
 

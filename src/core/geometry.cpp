@@ -18,7 +18,7 @@ double cross2(double ax, double ay, double bx, double by) {
 
 /// Sign of the orientation of (a, b, c) with a scale-relative tolerance:
 /// +1 counter-clockwise, -1 clockwise, 0 collinear.
-int orientation(const Point& a, const Point& b, const Point& c) {
+int orientation(const double* a, const double* b, const double* c) {
   const double v =
       cross2(b[0] - a[0], b[1] - a[1], c[0] - a[0], c[1] - a[1]);
   const double scale = std::max({std::fabs(b[0] - a[0]), std::fabs(b[1] - a[1]),
@@ -29,7 +29,7 @@ int orientation(const Point& a, const Point& b, const Point& c) {
 }
 
 /// Is c within the bounding box of segment (a, b)?  Assumes collinear.
-bool on_segment(const Point& a, const Point& b, const Point& c) {
+bool on_segment(const double* a, const double* b, const double* c) {
   const double lo_x = std::min(a[0], b[0]), hi_x = std::max(a[0], b[0]);
   const double lo_y = std::min(a[1], b[1]), hi_y = std::max(a[1], b[1]);
   const double pad_x = kEps * (1.0 + hi_x - lo_x);
@@ -38,20 +38,10 @@ bool on_segment(const Point& a, const Point& b, const Point& c) {
          c[1] >= lo_y - pad_y && c[1] <= hi_y + pad_y;
 }
 
-void require_2d(const Segment& s) {
-  if (s.a.size() != 2 || s.b.size() != 2) {
+void require_2d(const Point& a, const Point& b) {
+  if (a.size() != 2 || b.size() != 2) {
     throw ConfigError("2-D intersection called on a non-2-D segment");
   }
-}
-
-/// Exact crossing point of two non-parallel lines through the segments.
-Point crossing_point(const Segment& s, const Segment& t) {
-  const double rx = s.b[0] - s.a[0], ry = s.b[1] - s.a[1];
-  const double qx = t.b[0] - t.a[0], qy = t.b[1] - t.a[1];
-  const double denom = cross2(rx, ry, qx, qy);
-  const double u =
-      cross2(t.a[0] - s.a[0], t.a[1] - s.a[1], qx, qy) / denom;
-  return {s.a[0] + u * rx, s.a[1] + u * ry};
 }
 
 }  // namespace
@@ -97,20 +87,26 @@ Projection project_point(const Point& p, const Segment& segment) {
   return out;
 }
 
-Intersection2d intersect_segments_2d(const Segment& s, const Segment& t) {
-  require_2d(s);
-  require_2d(t);
-  const int o1 = orientation(s.a, s.b, t.a);
-  const int o2 = orientation(s.a, s.b, t.b);
-  const int o3 = orientation(t.a, t.b, s.a);
-  const int o4 = orientation(t.a, t.b, s.b);
+Classification2d classify_segments_2d(const double* sa, const double* sb,
+                                      const double* ta, const double* tb) {
+  const int o1 = orientation(sa, sb, ta);
+  const int o2 = orientation(sa, sb, tb);
+  const int o3 = orientation(ta, tb, sa);
+  const int o4 = orientation(ta, tb, sb);
 
-  Intersection2d result;
+  Classification2d result;
 
   // General position: interiors cross.
   if (o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0) {
     result.relation = SegmentRelation::kProperCrossing;
-    result.at = crossing_point(s, t);
+    // Exact crossing point of the two non-parallel lines.
+    const double rx = sb[0] - sa[0], ry = sb[1] - sa[1];
+    const double qx = tb[0] - ta[0], qy = tb[1] - ta[1];
+    const double denom = cross2(rx, ry, qx, qy);
+    const double u =
+        cross2(ta[0] - sa[0], ta[1] - sa[1], qx, qy) / denom;
+    result.at_x = sa[0] + u * rx;
+    result.at_y = sa[1] + u * ry;
     return result;
   }
 
@@ -118,11 +114,11 @@ Intersection2d intersect_segments_2d(const Segment& s, const Segment& t) {
   if (o1 == 0 && o2 == 0 && o3 == 0 && o4 == 0) {
     // Project onto the dominant axis to find overlap.
     const int axis =
-        std::fabs(s.b[0] - s.a[0]) >= std::fabs(s.b[1] - s.a[1]) ? 0 : 1;
-    double s_lo = std::min(s.a[axis], s.b[axis]);
-    double s_hi = std::max(s.a[axis], s.b[axis]);
-    double t_lo = std::min(t.a[axis], t.b[axis]);
-    double t_hi = std::max(t.a[axis], t.b[axis]);
+        std::fabs(sb[0] - sa[0]) >= std::fabs(sb[1] - sa[1]) ? 0 : 1;
+    double s_lo = std::min(sa[axis], sb[axis]);
+    double s_hi = std::max(sa[axis], sb[axis]);
+    double t_lo = std::min(ta[axis], tb[axis]);
+    double t_hi = std::max(ta[axis], tb[axis]);
     const double lo = std::max(s_lo, t_lo);
     const double hi = std::min(s_hi, t_hi);
     const double span = std::max(s_hi - s_lo, t_hi - t_lo);
@@ -135,57 +131,104 @@ Intersection2d intersect_segments_2d(const Segment& s, const Segment& t) {
     }
     // Representative point at the overlap midpoint, reconstructed on s.
     const double mid = 0.5 * (lo + hi);
-    const double denom = s.b[axis] - s.a[axis];
-    const double u = denom != 0.0 ? (mid - s.a[axis]) / denom : 0.0;
-    result.at = {s.a[0] + u * (s.b[0] - s.a[0]),
-                 s.a[1] + u * (s.b[1] - s.a[1])};
+    const double denom = sb[axis] - sa[axis];
+    const double u = denom != 0.0 ? (mid - sa[axis]) / denom : 0.0;
+    result.at_x = sa[0] + u * (sb[0] - sa[0]);
+    result.at_y = sa[1] + u * (sb[1] - sa[1]);
     return result;
   }
 
   // Endpoint touching: one orientation is zero and the point lies on the
   // other segment.
-  if (o1 == 0 && on_segment(s.a, s.b, t.a)) {
+  auto touch = [&result](const double* p) {
     result.relation = SegmentRelation::kTouching;
-    result.at = t.a;
+    result.at_x = p[0];
+    result.at_y = p[1];
+  };
+  if (o1 == 0 && on_segment(sa, sb, ta)) {
+    touch(ta);
     return result;
   }
-  if (o2 == 0 && on_segment(s.a, s.b, t.b)) {
-    result.relation = SegmentRelation::kTouching;
-    result.at = t.b;
+  if (o2 == 0 && on_segment(sa, sb, tb)) {
+    touch(tb);
     return result;
   }
-  if (o3 == 0 && on_segment(t.a, t.b, s.a)) {
-    result.relation = SegmentRelation::kTouching;
-    result.at = s.a;
+  if (o3 == 0 && on_segment(ta, tb, sa)) {
+    touch(sa);
     return result;
   }
-  if (o4 == 0 && on_segment(t.a, t.b, s.b)) {
-    result.relation = SegmentRelation::kTouching;
-    result.at = s.b;
+  if (o4 == 0 && on_segment(ta, tb, sb)) {
+    touch(sb);
     return result;
   }
   return result;
 }
 
-double segment_segment_distance(const Segment& s, const Segment& t) {
-  FTDIAG_ASSERT(s.a.size() == t.a.size(), "segment dimension mismatch");
+Intersection2d intersect_segments_2d(const Point& sa, const Point& sb,
+                                     const Point& ta, const Point& tb) {
+  require_2d(sa, sb);
+  require_2d(ta, tb);
+  const Classification2d c =
+      classify_segments_2d(sa.data(), sb.data(), ta.data(), tb.data());
+  Intersection2d result;
+  result.relation = c.relation;
+  if (c.relation != SegmentRelation::kDisjoint) {
+    result.at = {c.at_x, c.at_y};
+  }
+  return result;
+}
+
+Intersection2d intersect_segments_2d(const Segment& s, const Segment& t) {
+  return intersect_segments_2d(s.a, s.b, t.a, t.b);
+}
+
+double point_segment_distance(const double* p, const double* a,
+                              const double* b, std::size_t n) {
+  double dd = 0.0, dp = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = b[i] - a[i];
+    dd += d * d;
+    dp += d * (p[i] - a[i]);
+  }
+  const double t = dd > 0.0 ? std::clamp(dp / dd, 0.0, 1.0) : 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] + t * (b[i] - a[i]) - p[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double point_segment_distance(const Point& p, const Point& a, const Point& b) {
+  FTDIAG_ASSERT(p.size() == a.size(), "point/segment dim mismatch");
+  return point_segment_distance(p.data(), a.data(), b.data(), p.size());
+}
+
+double segment_segment_distance(const double* sa, const double* sb,
+                                const double* ta, const double* tb,
+                                std::size_t n) {
   // Minimize |s(u) - t(v)|^2 over the unit square; standard clamped
   // closed-form (Eberly).  Degenerate segments fall back to projections.
-  const Point d1 = subtract(s.b, s.a);
-  const Point d2 = subtract(t.b, t.a);
-  const Point r = subtract(s.a, t.a);
   double a = 0.0, e = 0.0, f = 0.0, b = 0.0, c = 0.0;
-  for (std::size_t i = 0; i < d1.size(); ++i) {
-    a += d1[i] * d1[i];
-    e += d2[i] * d2[i];
-    f += d2[i] * r[i];
-    b += d1[i] * d2[i];
-    c += d1[i] * r[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d1 = sb[i] - sa[i];
+    const double d2 = tb[i] - ta[i];
+    const double r = sa[i] - ta[i];
+    a += d1 * d1;
+    e += d2 * d2;
+    f += d2 * r;
+    b += d1 * d2;
+    c += d1 * r;
   }
   double u = 0.0, v = 0.0;
   constexpr double kTiny = 1e-30;
   if (a <= kTiny && e <= kTiny) {
-    return distance(s.a, t.a);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = sa[i] - ta[i];
+      acc += d * d;
+    }
+    return std::sqrt(acc);
   }
   if (a <= kTiny) {
     v = std::clamp(f / e, 0.0, 1.0);
@@ -205,12 +248,24 @@ double segment_segment_distance(const Segment& s, const Segment& t) {
       u = std::clamp((b - c) / a, 0.0, 1.0);
     }
   }
-  Point ps(d1.size()), pt(d1.size());
-  for (std::size_t i = 0; i < d1.size(); ++i) {
-    ps[i] = s.a[i] + u * d1[i];
-    pt[i] = t.a[i] + v * d2[i];
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = (sa[i] + u * (sb[i] - sa[i])) -
+                     (ta[i] + v * (tb[i] - ta[i]));
+    acc += d * d;
   }
-  return distance(ps, pt);
+  return std::sqrt(acc);
+}
+
+double segment_segment_distance(const Point& sa, const Point& sb,
+                                const Point& ta, const Point& tb) {
+  FTDIAG_ASSERT(sa.size() == ta.size(), "segment dimension mismatch");
+  return segment_segment_distance(sa.data(), sb.data(), ta.data(), tb.data(),
+                                  sa.size());
+}
+
+double segment_segment_distance(const Segment& s, const Segment& t) {
+  return segment_segment_distance(s.a, s.b, t.a, t.b);
 }
 
 double polyline_length(const std::vector<Point>& points) {

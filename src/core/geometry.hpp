@@ -4,6 +4,7 @@
 /// projection, and n-D segment-to-segment distance.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <vector>
 
@@ -61,10 +62,54 @@ struct Intersection2d {
 [[nodiscard]] Intersection2d intersect_segments_2d(const Segment& s,
                                                    const Segment& t);
 
+/// Endpoint form of intersect_segments_2d — lets hot loops test segments
+/// stored as consecutive polyline vertices without copying them into
+/// Segment objects.
+[[nodiscard]] Intersection2d intersect_segments_2d(const Point& sa,
+                                                   const Point& sb,
+                                                   const Point& ta,
+                                                   const Point& tb);
+
+/// Result of classify_segments_2d: the relation plus the representative
+/// common point as scalars (meaningful unless kDisjoint).
+struct Classification2d {
+  SegmentRelation relation = SegmentRelation::kDisjoint;
+  double at_x = 0.0;
+  double at_y = 0.0;
+};
+
+/// Scalar-pointer core of the robust 2-D intersection test: each argument
+/// points at a 2-D coordinate pair.  Intended for sweeps that keep segment
+/// endpoints in flat arrays; arithmetic is identical to
+/// intersect_segments_2d (which delegates here).
+[[nodiscard]] Classification2d classify_segments_2d(const double* sa,
+                                                    const double* sb,
+                                                    const double* ta,
+                                                    const double* tb);
+
 /// Minimum distance between two segments in any dimension (clamped
 /// quadratic minimization; exact for non-degenerate segments).
 [[nodiscard]] double segment_segment_distance(const Segment& s,
                                               const Segment& t);
+
+/// Endpoint form of segment_segment_distance.
+[[nodiscard]] double segment_segment_distance(const Point& sa, const Point& sb,
+                                              const Point& ta, const Point& tb);
+
+/// Scalar-pointer core of segment_segment_distance (each argument points
+/// at \p n coordinates); the Point overloads delegate here.
+[[nodiscard]] double segment_segment_distance(const double* sa,
+                                              const double* sb,
+                                              const double* ta,
+                                              const double* tb, std::size_t n);
+
+/// Distance from \p p to the segment (a, b) without building Projection.
+[[nodiscard]] double point_segment_distance(const Point& p, const Point& a,
+                                            const Point& b);
+
+/// Scalar-pointer core of point_segment_distance.
+[[nodiscard]] double point_segment_distance(const double* p, const double* a,
+                                            const double* b, std::size_t n);
 
 /// Total length of a polyline.
 [[nodiscard]] double polyline_length(const std::vector<Point>& points);

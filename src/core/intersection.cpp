@@ -1,6 +1,7 @@
 #include "core/intersection.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
@@ -14,6 +15,358 @@ double signature_scale(const std::vector<FaultTrajectory>& trajectories) {
     scale = std::max(scale, t.max_excursion());
   }
   return scale > 0.0 ? scale : 1.0;
+}
+
+/// Trajectory geometry flattened into one contiguous scalar array: segment
+/// s of trajectory i lives at coords[(first[i] + s) * stride], endpoints
+/// back to back.  The sweeps and predicates run entirely on this layout —
+/// chasing the per-vertex heap Points inside the innermost loop costs more
+/// than the predicates themselves.
+struct FlatGeometry {
+  std::size_t dim = 0;
+  std::size_t stride = 0;  ///< 2 * dim
+  std::vector<double> coords;
+  std::vector<std::uint32_t> first;  ///< per trajectory; back() = total segs
+
+  void build(const std::vector<FaultTrajectory>& trajectories,
+             std::size_t dimension) {
+    dim = dimension;
+    stride = 2 * dim;
+    first.clear();
+    first.reserve(trajectories.size() + 1);
+    std::size_t total = 0;
+    for (const auto& t : trajectories) {
+      first.push_back(static_cast<std::uint32_t>(total));
+      total += t.point_count() - 1;
+    }
+    first.push_back(static_cast<std::uint32_t>(total));
+    coords.clear();
+    coords.reserve(total * stride);
+    for (const auto& t : trajectories) {
+      const auto& pts = t.points();
+      for (std::size_t s = 0; s + 1 < pts.size(); ++s) {
+        coords.insert(coords.end(), pts[s].coords.begin(),
+                      pts[s].coords.end());
+        coords.insert(coords.end(), pts[s + 1].coords.begin(),
+                      pts[s + 1].coords.end());
+      }
+    }
+  }
+
+  [[nodiscard]] const double* segment(std::size_t traj,
+                                      std::size_t seg) const {
+    return coords.data() + (first[traj] + seg) * stride;
+  }
+  [[nodiscard]] std::size_t segment_count(std::size_t traj) const {
+    return first[traj + 1] - first[traj];
+  }
+};
+
+/// Shared per-pair conflict test: counts (and optionally records) when
+/// segments (i, si) and (j, sj) conflict.  Both sweeps call exactly this,
+/// so they can only differ in which pairs they visit.
+class PairTester {
+public:
+  PairTester(const std::vector<FaultTrajectory>& trajectories,
+             const FlatGeometry& flat, const IntersectionOptions& options,
+             double scale)
+      : trajectories_(trajectories),
+        flat_(flat),
+        options_(options),
+        origin_ball_(options.origin_exclusion * scale),
+        near_cutoff_(options.near_threshold * scale),
+        origin_(flat.dim, 0.0) {}
+
+  void test(std::size_t i, std::size_t j, std::size_t si, std::size_t sj,
+            IntersectionReport& report) const {
+    const std::size_t dim = flat_.dim;
+    const double* a = flat_.segment(i, si);
+    const double* b = flat_.segment(j, sj);
+
+    if (dim == 2) {
+      const Classification2d hit = classify_segments_2d(a, a + 2, b, b + 2);
+      if (hit.relation == SegmentRelation::kDisjoint) return;
+      if (hit.relation == SegmentRelation::kCollinearOverlap &&
+          !options_.count_overlaps) {
+        return;
+      }
+      // Structural contact at the shared golden point.
+      if (std::sqrt(hit.at_x * hit.at_x + hit.at_y * hit.at_y) <=
+          origin_ball_) {
+        return;
+      }
+      ++report.count;
+      if (options_.collect_conflicts) {
+        report.conflicts.push_back({trajectories_[i].site(),
+                                    trajectories_[j].site(), si, sj,
+                                    {hit.at_x, hit.at_y}, 0.0});
+      }
+    } else {
+      const double d = segment_segment_distance(a, a + dim, b, b + dim, dim);
+      if (d > near_cutoff_) return;
+      // Contact near the origin is structural when both segments pass
+      // through the exclusion ball.
+      const double a_to_origin =
+          point_segment_distance(origin_.data(), a, a + dim, dim);
+      const double b_to_origin =
+          point_segment_distance(origin_.data(), b, b + dim, dim);
+      if (a_to_origin <= origin_ball_ && b_to_origin <= origin_ball_) {
+        return;
+      }
+      ++report.count;
+      if (options_.collect_conflicts) {
+        Point mid(dim, 0.0);
+        for (std::size_t k = 0; k < dim; ++k) {
+          mid[k] = 0.25 * (a[k] + a[dim + k] + b[k] + b[dim + k]);
+        }
+        report.conflicts.push_back({trajectories_[i].site(),
+                                    trajectories_[j].site(), si, sj,
+                                    std::move(mid), d});
+      }
+    }
+  }
+
+private:
+  const std::vector<FaultTrajectory>& trajectories_;
+  const FlatGeometry& flat_;
+  const IntersectionOptions& options_;
+  double origin_ball_;
+  double near_cutoff_;
+  Point origin_;
+};
+
+/// The reference sweep: every segment pair of every trajectory pair, in
+/// (i, j, si, sj) lexicographic order.
+void exact_sweep(const FlatGeometry& flat, const PairTester& tester,
+                 IntersectionReport& report) {
+  const std::size_t count = flat.first.size() - 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = i + 1; j < count; ++j) {
+      const std::size_t ni = flat.segment_count(i);
+      const std::size_t nj = flat.segment_count(j);
+      for (std::size_t si = 0; si < ni; ++si) {
+        for (std::size_t sj = 0; sj < nj; ++sj) {
+          tester.test(i, j, si, sj, report);
+        }
+      }
+    }
+  }
+}
+
+/// Uniform-grid pruned sweep.  Segments are rasterized conservatively into
+/// grid cells (clipped column by column, padded so any pair the predicates
+/// could classify as conflicting provably shares a cell) and only
+/// cell-sharing pairs whose padded boxes overlap are tested.  When the
+/// caller needs conflict records the candidates are first sorted into the
+/// exact sweep's (i, j, si, sj) order, so both sweeps emit identical
+/// reports; for count-only fitness calls the sort is skipped (the count
+/// cannot depend on visit order).
+void pruned_sweep(const FlatGeometry& flat, const PairTester& tester,
+                  double scale, double near_cutoff, bool ordered,
+                  IntersectionReport& report) {
+  const std::size_t dim = flat.dim;
+  // Conservative padding: 2-D predicates tolerate ~1e-12 relative slack,
+  // so a 1e-9 pad (relative to the signature scale, plus absolute slack)
+  // dwarfs it; in near-miss mode two segments within the cutoff d have
+  // geometry within d of each other, so half of d each side suffices.
+  const double pad =
+      (dim == 2 ? 0.0 : 0.5 * near_cutoff) + 1e-9 * (scale + 1.0);
+  const std::size_t axes = std::min<std::size_t>(dim, 3);
+  const std::size_t total_segments = flat.first.back();
+
+  struct Box {
+    std::uint32_t traj = 0;
+    std::uint32_t seg = 0;
+    double lo[3] = {0.0, 0.0, 0.0};
+    double hi[3] = {0.0, 0.0, 0.0};
+    std::int32_t cell_lo[3] = {0, 0, 0};
+    std::int32_t cell_hi[3] = {0, 0, 0};
+  };
+  // Scratch buffers are reused across calls on the same thread: the GA
+  // evaluates thousands of genomes per worker, and reallocating the grid
+  // for each one shows up in profiles.
+  thread_local std::vector<Box> boxes;
+  boxes.clear();
+  boxes.reserve(total_segments);
+
+  double grid_lo[3] = {0.0, 0.0, 0.0};
+  double grid_hi[3] = {0.0, 0.0, 0.0};
+  const std::size_t trajectory_count = flat.first.size() - 1;
+  for (std::size_t i = 0; i < trajectory_count; ++i) {
+    for (std::size_t si = 0; si < flat.segment_count(i); ++si) {
+      Box box;
+      box.traj = static_cast<std::uint32_t>(i);
+      box.seg = static_cast<std::uint32_t>(si);
+      const double* a = flat.segment(i, si);
+      const double* b = a + dim;
+      for (std::size_t d = 0; d < axes; ++d) {
+        box.lo[d] = std::min(a[d], b[d]) - pad;
+        box.hi[d] = std::max(a[d], b[d]) + pad;
+        if (boxes.empty()) {
+          grid_lo[d] = box.lo[d];
+          grid_hi[d] = box.hi[d];
+        } else {
+          grid_lo[d] = std::min(grid_lo[d], box.lo[d]);
+          grid_hi[d] = std::max(grid_hi[d], box.hi[d]);
+        }
+      }
+      boxes.push_back(box);
+    }
+  }
+  if (boxes.size() < 2) return;
+
+  // Grid resolution: segments are binned by exact conservative slab
+  // clipping (not bounding boxes), so a finer grid keeps pruning effective
+  // even when every trajectory hugs one diagonal; 2x the square-root
+  // heuristic measured fastest across the registry circuits.
+  const double per_axis =
+      2.0 * std::pow(static_cast<double>(boxes.size()),
+                     1.0 / static_cast<double>(axes));
+  std::int32_t cells[3] = {1, 1, 1};
+  double cell_size[3] = {1.0, 1.0, 1.0};
+  std::size_t total_cells = 1;
+  for (std::size_t d = 0; d < axes; ++d) {
+    const double extent = grid_hi[d] - grid_lo[d];
+    cells[d] = extent > 0.0
+                   ? std::clamp<std::int32_t>(
+                         static_cast<std::int32_t>(per_axis), 1, 64)
+                   : 1;
+    cell_size[d] = extent > 0.0 ? extent / cells[d] : 1.0;
+    total_cells *= static_cast<std::size_t>(cells[d]);
+  }
+
+  auto cell_of = [&](double value, std::size_t d) {
+    const std::int32_t c = static_cast<std::int32_t>(
+        (value - grid_lo[d]) / cell_size[d]);
+    return std::clamp<std::int32_t>(c, 0, cells[d] - 1);
+  };
+  for (auto& box : boxes) {
+    for (std::size_t d = 0; d < axes; ++d) {
+      box.cell_lo[d] = cell_of(box.lo[d], d);
+      box.cell_hi[d] = cell_of(box.hi[d], d);
+    }
+  }
+
+  // Rasterize: walk the first axis column by column, clip the segment to
+  // the (pad-expanded) column and bin only the cells its clipped-and-
+  // padded extent reaches on the remaining axes — a superset of every cell
+  // the padded segment intersects, but far tighter than the bounding box.
+  thread_local std::vector<std::vector<std::uint32_t>> bins;
+  if (bins.size() < total_cells) bins.resize(total_cells);
+  for (std::size_t c = 0; c < total_cells; ++c) bins[c].clear();
+  auto flatten = [&](std::int32_t c0, std::int32_t c1, std::int32_t c2) {
+    return static_cast<std::size_t>(c0) +
+           static_cast<std::size_t>(cells[0]) *
+               (static_cast<std::size_t>(c1) +
+                static_cast<std::size_t>(cells[1]) *
+                    static_cast<std::size_t>(c2));
+  };
+  for (std::uint32_t b = 0; b < boxes.size(); ++b) {
+    const Box& box = boxes[b];
+    const double* sa = flat.segment(box.traj, box.seg);
+    const double* sb = sa + dim;
+    const double dx = sb[0] - sa[0];
+    for (std::int32_t c0 = box.cell_lo[0]; c0 <= box.cell_hi[0]; ++c0) {
+      // The segment's parameter range inside this column, expanded by the
+      // pad on both sides.  A slab beyond the endpoints clamps to them, so
+      // endpoint proximity stays covered.
+      double t_lo = 0.0, t_hi = 1.0;
+      if (std::fabs(dx) > 0.0) {
+        const double slab_lo =
+            grid_lo[0] + static_cast<double>(c0) * cell_size[0] - pad;
+        const double slab_hi =
+            grid_lo[0] + static_cast<double>(c0 + 1) * cell_size[0] + pad;
+        const double t0 = (slab_lo - sa[0]) / dx;
+        const double t1 = (slab_hi - sa[0]) / dx;
+        t_lo = std::clamp(std::min(t0, t1), 0.0, 1.0);
+        t_hi = std::clamp(std::max(t0, t1), 0.0, 1.0);
+      }
+      std::int32_t lo1 = 0, hi1 = 0, lo2 = 0, hi2 = 0;
+      if (axes > 1) {
+        const double v0 = sa[1] + t_lo * (sb[1] - sa[1]);
+        const double v1 = sa[1] + t_hi * (sb[1] - sa[1]);
+        lo1 = cell_of(std::min(v0, v1) - pad, 1);
+        hi1 = cell_of(std::max(v0, v1) + pad, 1);
+      }
+      if (axes > 2) {
+        const double v0 = sa[2] + t_lo * (sb[2] - sa[2]);
+        const double v1 = sa[2] + t_hi * (sb[2] - sa[2]);
+        lo2 = cell_of(std::min(v0, v1) - pad, 2);
+        hi2 = cell_of(std::max(v0, v1) + pad, 2);
+      }
+      for (std::int32_t c2 = lo2; c2 <= hi2; ++c2) {
+        for (std::int32_t c1 = lo1; c1 <= hi1; ++c1) {
+          bins[flatten(c0, c1, c2)].push_back(b);
+        }
+      }
+    }
+  }
+
+  // Candidate pairs: segments of different trajectories sharing a cell
+  // whose padded boxes overlap.  Rasterized coverage is not a box range,
+  // so pairs are deduplicated with a seen-matrix over global segment ids
+  // (sort + unique fallback keeps memory bounded on huge sets).
+  struct CandidatePair {
+    std::uint32_t i, j, si, sj;
+    [[nodiscard]] bool operator<(const CandidatePair& o) const {
+      if (i != o.i) return i < o.i;
+      if (j != o.j) return j < o.j;
+      if (si != o.si) return si < o.si;
+      return sj < o.sj;
+    }
+    [[nodiscard]] bool operator==(const CandidatePair& o) const {
+      return i == o.i && j == o.j && si == o.si && sj == o.sj;
+    }
+  };
+  thread_local std::vector<CandidatePair> candidates;
+  candidates.clear();
+  const bool use_seen_matrix =
+      boxes.size() * boxes.size() <= (std::size_t{1} << 22);
+  thread_local std::vector<std::uint8_t> seen;
+  if (use_seen_matrix) {
+    seen.assign(boxes.size() * boxes.size(), 0);
+  }
+  for (std::size_t cell = 0; cell < total_cells; ++cell) {
+    const auto& bin = bins[cell];
+    if (bin.size() < 2) continue;
+    for (std::size_t p = 0; p < bin.size(); ++p) {
+      const Box& a = boxes[bin[p]];
+      for (std::size_t q = p + 1; q < bin.size(); ++q) {
+        const Box& b = boxes[bin[q]];
+        if (a.traj == b.traj) continue;
+        bool overlap = true;
+        for (std::size_t d = 0; d < axes; ++d) {
+          if (a.lo[d] > b.hi[d] || b.lo[d] > a.hi[d]) {
+            overlap = false;
+            break;
+          }
+        }
+        if (!overlap) continue;
+        if (use_seen_matrix) {
+          const std::size_t lo = std::min(bin[p], bin[q]);
+          const std::size_t hi = std::max(bin[p], bin[q]);
+          std::uint8_t& mark = seen[lo * boxes.size() + hi];
+          if (mark != 0) continue;
+          mark = 1;
+        }
+        CandidatePair pair{a.traj, b.traj, a.seg, b.seg};
+        if (pair.i > pair.j) {
+          std::swap(pair.i, pair.j);
+          std::swap(pair.si, pair.sj);
+        }
+        candidates.push_back(pair);
+      }
+    }
+  }
+  if (ordered || !use_seen_matrix) {
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+
+  for (const auto& c : candidates) {
+    tester.test(c.i, c.j, c.si, c.sj, report);
+  }
 }
 
 }  // namespace
@@ -31,56 +384,17 @@ IntersectionReport count_intersections(
     }
   }
   const double scale = signature_scale(trajectories);
-  const double origin_ball = options.origin_exclusion * scale;
-  const Point origin(dim, 0.0);
 
-  // Pre-extract segments.
-  std::vector<std::vector<Segment>> segs;
-  segs.reserve(trajectories.size());
-  for (const auto& t : trajectories) segs.push_back(t.segments());
+  thread_local FlatGeometry flat;
+  flat.build(trajectories, dim);
 
-  for (std::size_t i = 0; i < trajectories.size(); ++i) {
-    for (std::size_t j = i + 1; j < trajectories.size(); ++j) {
-      for (std::size_t si = 0; si < segs[i].size(); ++si) {
-        for (std::size_t sj = 0; sj < segs[j].size(); ++sj) {
-          const Segment& a = segs[i][si];
-          const Segment& b = segs[j][sj];
-
-          if (dim == 2) {
-            const Intersection2d hit = intersect_segments_2d(a, b);
-            if (hit.relation == SegmentRelation::kDisjoint) continue;
-            if (hit.relation == SegmentRelation::kCollinearOverlap &&
-                !options.count_overlaps) {
-              continue;
-            }
-            // Structural contact at the shared golden point.
-            if (distance(hit.at, origin) <= origin_ball) continue;
-            report.conflicts.push_back({trajectories[i].site(),
-                                        trajectories[j].site(), si, sj,
-                                        hit.at, 0.0});
-          } else {
-            const double d = segment_segment_distance(a, b);
-            if (d > options.near_threshold * scale) continue;
-            // Contact near the origin is structural when both segments
-            // pass through the exclusion ball.
-            const double a_to_origin = project_point(origin, a).distance;
-            const double b_to_origin = project_point(origin, b).distance;
-            if (a_to_origin <= origin_ball && b_to_origin <= origin_ball) {
-              continue;
-            }
-            Point mid(dim, 0.0);
-            for (std::size_t k = 0; k < dim; ++k) {
-              mid[k] = 0.25 * (a.a[k] + a.b[k] + b.a[k] + b.b[k]);
-            }
-            report.conflicts.push_back({trajectories[i].site(),
-                                        trajectories[j].site(), si, sj,
-                                        std::move(mid), d});
-          }
-        }
-      }
-    }
+  const PairTester tester(trajectories, flat, options, scale);
+  if (options.algorithm == IntersectionAlgorithm::kExact) {
+    exact_sweep(flat, tester, report);
+  } else {
+    pruned_sweep(flat, tester, scale, options.near_threshold * scale,
+                 options.collect_conflicts, report);
   }
-  report.count = report.conflicts.size();
   return report;
 }
 

@@ -7,8 +7,15 @@
 /// crossings are counted exactly with the robust segment predicates; in
 /// higher dimensions, where generic polylines do not cross exactly, a pair
 /// of segments closer than a relative epsilon counts as a conflict.
+///
+/// Two sweep algorithms produce the same report: the exact all-pairs sweep
+/// (O(sites^2 x segments^2) predicate calls) and a uniform-grid pruned
+/// sweep that bins conservatively padded segment bounding boxes and only
+/// runs the predicates on pairs whose boxes share a cell.  The pruned sweep
+/// is the default; the exact sweep remains for differential verification.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,6 +38,14 @@ struct IntersectionReport {
   std::vector<TrajectoryConflict> conflicts;
 };
 
+/// Which candidate-pair sweep count_intersections runs.  Both produce
+/// identical reports (same conflicts, same order); kPruned only skips
+/// segment pairs whose padded bounding boxes provably cannot conflict.
+enum class IntersectionAlgorithm : std::uint8_t {
+  kPruned,  ///< uniform-grid bounding-box pruning (default)
+  kExact,   ///< the all-pairs reference sweep
+};
+
 struct IntersectionOptions {
   /// Contacts closer than origin_exclusion * (largest trajectory excursion)
   /// to the origin are treated as the structural origin contact.
@@ -41,6 +56,12 @@ struct IntersectionOptions {
   /// Count collinear overlaps (shared pathways) as conflicts.  The paper's
   /// fitness penalizes "common pathways" explicitly.
   bool count_overlaps = true;
+  /// Candidate-pair sweep; kExact is the differential-testing reference.
+  IntersectionAlgorithm algorithm = IntersectionAlgorithm::kPruned;
+  /// Record per-conflict metadata.  The GA's fitness only needs the count,
+  /// so its inner loop turns this off and skips the site-label/location
+  /// bookkeeping (the count is identical either way).
+  bool collect_conflicts = true;
 };
 
 /// Count conflicts between every pair of distinct trajectories.

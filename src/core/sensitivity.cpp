@@ -108,6 +108,41 @@ double min_separation_angle(const std::vector<SensitivityCurve>& curves,
   return worst;
 }
 
+double min_separation_angle(const std::vector<SensitivityCurve>& curves,
+                            const std::vector<double>& frequencies_hz) {
+  if (frequencies_hz.empty()) {
+    throw ConfigError("separation angle needs >= 1 frequency");
+  }
+  if (curves.size() < 2) return 90.0;
+
+  // Sampled direction vectors, one per component.
+  std::vector<std::vector<double>> directions(curves.size());
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    directions[c].reserve(frequencies_hz.size());
+    for (double f : frequencies_hz) {
+      directions[c].push_back(value_at(curves[c], f));
+    }
+  }
+
+  double worst = 90.0;
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    for (std::size_t j = i + 1; j < curves.size(); ++j) {
+      double dot = 0.0, na = 0.0, nb = 0.0;
+      for (std::size_t k = 0; k < frequencies_hz.size(); ++k) {
+        dot += directions[i][k] * directions[j][k];
+        na += directions[i][k] * directions[i][k];
+        nb += directions[j][k] * directions[j][k];
+      }
+      if (na <= 0.0 || nb <= 0.0) return 0.0;  // a dead direction
+      // Angle between LINES (trajectories run both ways): use |cos|.
+      const double cosine = std::clamp(
+          std::fabs(dot) / std::sqrt(na * nb), 0.0, 1.0);
+      worst = std::min(worst, std::acos(cosine) * 180.0 / std::numbers::pi);
+    }
+  }
+  return worst;
+}
+
 std::vector<std::pair<double, double>> screen_frequency_pairs(
     const std::vector<SensitivityCurve>& curves, std::size_t grid_points,
     std::size_t count) {
@@ -136,6 +171,123 @@ std::vector<std::pair<double, double>> screen_frequency_pairs(
   std::vector<std::pair<double, double>> out;
   for (std::size_t i = 0; i < scored.size() && i < count; ++i) {
     out.emplace_back(scored[i].f1, scored[i].f2);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> screen_frequency_tuples(
+    const std::vector<SensitivityCurve>& curves, std::size_t grid_points,
+    std::size_t count, std::size_t tuple_size) {
+  if (curves.empty()) throw ConfigError("screening needs sensitivity curves");
+  if (grid_points < 2) throw ConfigError("screening needs >= 2 grid points");
+  if (tuple_size == 0) throw ConfigError("screening needs tuple size >= 1");
+
+  std::vector<std::vector<double>> out;
+  if (count == 0) return out;
+
+  if (tuple_size == 1) {
+    // 1-D direction angles are degenerate (every direction is collinear);
+    // seed with the strongest sensitivity peaks instead, best first.
+    std::vector<const SensitivityCurve*> ranked;
+    ranked.reserve(curves.size());
+    for (const auto& c : curves) ranked.push_back(&c);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const SensitivityCurve* a, const SensitivityCurve* b) {
+                return a->peak_magnitude() > b->peak_magnitude();
+              });
+    for (const auto* curve : ranked) {
+      const double f = curve->peak_frequency();
+      if (std::find_if(out.begin(), out.end(), [&](const auto& t) {
+            return t.front() == f;
+          }) != out.end()) {
+        continue;
+      }
+      out.push_back({f});
+      if (out.size() >= count) break;
+    }
+    return out;
+  }
+
+  if (tuple_size == 2) {
+    for (const auto& [f1, f2] : screen_frequency_pairs(curves, grid_points,
+                                                       count)) {
+      out.push_back({f1, f2});
+    }
+    return out;
+  }
+
+  const auto& freqs = curves.front().frequencies_hz;
+  const std::vector<double> candidates =
+      linalg::logspace(freqs.front(), freqs.back(), grid_points);
+
+  // A tuple of distinct grid frequencies larger than the grid itself
+  // cannot be formed: screening is best-effort, so yield no seeds.
+  if (tuple_size > candidates.size()) return out;
+
+  // Exhaustive screening when the combination space is small enough;
+  // otherwise extend the best pairs greedily one frequency at a time.
+  double combinations = 1.0;
+  for (std::size_t k = 0; k < tuple_size; ++k) {
+    combinations *= static_cast<double>(grid_points - k) /
+                    static_cast<double>(k + 1);
+  }
+  constexpr double kExhaustiveLimit = 100'000.0;
+
+  struct Scored {
+    double angle;
+    std::vector<double> tuple;
+  };
+  std::vector<Scored> scored;
+
+  if (combinations <= kExhaustiveLimit) {
+    std::vector<std::size_t> pick(tuple_size);
+    for (std::size_t k = 0; k < tuple_size; ++k) pick[k] = k;
+    std::vector<double> tuple(tuple_size);
+    while (true) {
+      for (std::size_t k = 0; k < tuple_size; ++k) tuple[k] = candidates[pick[k]];
+      scored.push_back({min_separation_angle(curves, tuple), tuple});
+      // Next combination in lexicographic order.
+      std::size_t k = tuple_size;
+      while (k > 0 && pick[k - 1] == candidates.size() - tuple_size + k - 1) {
+        --k;
+      }
+      if (k == 0) break;
+      ++pick[k - 1];
+      for (std::size_t m = k; m < tuple_size; ++m) pick[m] = pick[m - 1] + 1;
+    }
+  } else {
+    for (const auto& [f1, f2] :
+         screen_frequency_pairs(curves, grid_points, count)) {
+      std::vector<double> tuple = {f1, f2};
+      while (tuple.size() < tuple_size) {
+        double best_angle = -1.0;
+        double best_f = candidates.front();
+        for (double f : candidates) {
+          if (std::find(tuple.begin(), tuple.end(), f) != tuple.end()) continue;
+          std::vector<double> extended = tuple;
+          extended.push_back(f);
+          const double angle = min_separation_angle(curves, extended);
+          if (angle > best_angle) {
+            best_angle = angle;
+            best_f = f;
+          }
+        }
+        tuple.push_back(best_f);
+      }
+      std::sort(tuple.begin(), tuple.end());
+      scored.push_back({min_separation_angle(curves, tuple), std::move(tuple)});
+    }
+  }
+
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.angle > b.angle;
+                   });
+  for (auto& s : scored) {
+    if (out.size() >= count) break;
+    std::sort(s.tuple.begin(), s.tuple.end());
+    if (std::find(out.begin(), out.end(), s.tuple) != out.end()) continue;
+    out.push_back(std::move(s.tuple));
   }
   return out;
 }

@@ -54,10 +54,29 @@ struct SensitivityOptions {
 [[nodiscard]] double min_separation_angle(
     const std::vector<SensitivityCurve>& curves, double f1_hz, double f2_hz);
 
+/// n-frequency generalization: component c's local trajectory direction at
+/// the tuple (f1..fn) is (S_c(f1), ..., S_c(fn)); the score is the minimum
+/// pairwise angle (degrees, [0, 90]) between those direction lines over
+/// all component pairs.  Matches the 2-argument overload for n = 2.
+[[nodiscard]] double min_separation_angle(
+    const std::vector<SensitivityCurve>& curves,
+    const std::vector<double>& frequencies_hz);
+
 /// Greedy screen: evaluate min_separation_angle over a coarse frequency
 /// grid and return the best \p count (f1, f2) pairs, best first.
 [[nodiscard]] std::vector<std::pair<double, double>> screen_frequency_pairs(
     const std::vector<SensitivityCurve>& curves, std::size_t grid_points,
     std::size_t count);
+
+/// n-frequency screen behind SearchOptions::seed_with_sensitivity for any
+/// vector size: returns up to \p count ascending frequency tuples of size
+/// \p tuple_size, best first.  Small tuple spaces are screened
+/// exhaustively over the coarse grid; larger ones extend the best pairs
+/// greedily, one frequency at a time.  tuple_size 1 falls back to the
+/// strongest sensitivity peaks (angles are degenerate in 1-D).
+/// \throws ConfigError on empty curves, grid_points < 2 or tuple_size 0.
+[[nodiscard]] std::vector<std::vector<double>> screen_frequency_tuples(
+    const std::vector<SensitivityCurve>& curves, std::size_t grid_points,
+    std::size_t count, std::size_t tuple_size);
 
 }  // namespace ftdiag::core

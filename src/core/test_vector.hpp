@@ -61,6 +61,9 @@ public:
   /// Sampler bound to the dictionary's golden response.
   [[nodiscard]] const SpectralSampler& sampler() const { return sampler_; }
 
+  /// The fitness this evaluator optimizes (shared with EvaluationPipeline).
+  [[nodiscard]] const TrajectoryFitness& objective() const { return *fitness_; }
+
   [[nodiscard]] const faults::FaultDictionary& dictionary() const {
     return dictionary_;
   }

@@ -9,6 +9,11 @@ namespace ftdiag::ga {
 
 namespace {
 
+/// Chunk size for streaming independent genomes through the batch
+/// objective: wide enough to saturate the evaluation fan-out, small enough
+/// to keep peak memory flat on multi-million-point grids.
+constexpr std::size_t kBatchChunk = 1024;
+
 /// Append a history sample every `stride` evaluations so convergence plots
 /// have comparable granularity across searchers.
 class HistoryRecorder {
@@ -54,21 +59,32 @@ RandomSearch::RandomSearch(std::size_t budget) : budget_(budget) {
   if (budget_ == 0) throw ConfigError("random search budget must be > 0");
 }
 
-OptimizerResult RandomSearch::optimize(const Objective& objective,
+OptimizerResult RandomSearch::optimize(const BatchObjective& objective,
                                        std::size_t dimensions,
                                        const GeneBounds& bounds,
                                        Rng& rng) const {
   OptimizerResult result;
   HistoryRecorder recorder(result, budget_ / 16);
-  for (std::size_t i = 0; i < budget_; ++i) {
-    std::vector<double> genes(dimensions);
-    for (double& g : genes) g = rng.uniform(bounds.lo, bounds.hi);
-    const double fitness = objective(genes);
-    ++result.evaluations;
-    recorder.observe(fitness);
-    if (fitness > result.best.fitness || result.best.genes.empty()) {
-      result.best = {std::move(genes), fitness};
+  std::size_t remaining = budget_;
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(remaining, kBatchChunk);
+    std::vector<std::vector<double>> genomes;
+    genomes.reserve(chunk);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      Rng stream = rng.fork();
+      std::vector<double> genes(dimensions);
+      for (double& g : genes) g = stream.uniform(bounds.lo, bounds.hi);
+      genomes.push_back(std::move(genes));
     }
+    const std::vector<double> scores = objective.evaluate(genomes);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      ++result.evaluations;
+      recorder.observe(scores[i]);
+      if (scores[i] > result.best.fitness || result.best.genes.empty()) {
+        result.best = {std::move(genomes[i]), scores[i]};
+      }
+    }
+    remaining -= chunk;
   }
   recorder.flush();
   return result;
@@ -81,7 +97,7 @@ GridSearch::GridSearch(std::size_t points_per_axis)
   }
 }
 
-OptimizerResult GridSearch::optimize(const Objective& objective,
+OptimizerResult GridSearch::optimize(const BatchObjective& objective,
                                      std::size_t dimensions,
                                      const GeneBounds& bounds,
                                      Rng& rng) const {
@@ -96,22 +112,31 @@ OptimizerResult GridSearch::optimize(const Objective& objective,
   }
   HistoryRecorder recorder(result, total / 16);
 
-  std::vector<std::size_t> index(dimensions, 0);
-  std::vector<double> genes(dimensions);
   const double step =
       bounds.span() / static_cast<double>(points_per_axis_ - 1);
-  for (std::size_t flat = 0; flat < total; ++flat) {
+  auto genome_at = [&](std::size_t flat) {
+    std::vector<double> genes(dimensions);
     std::size_t rem = flat;
     for (std::size_t d = 0; d < dimensions; ++d) {
-      index[d] = rem % points_per_axis_;
+      genes[d] = bounds.lo +
+                 step * static_cast<double>(rem % points_per_axis_);
       rem /= points_per_axis_;
-      genes[d] = bounds.lo + step * static_cast<double>(index[d]);
     }
-    const double fitness = objective(genes);
-    ++result.evaluations;
-    recorder.observe(fitness);
-    if (fitness > result.best.fitness || result.best.genes.empty()) {
-      result.best = {genes, fitness};
+    return genes;
+  };
+
+  for (std::size_t base = 0; base < total; base += kBatchChunk) {
+    const std::size_t chunk = std::min(kBatchChunk, total - base);
+    std::vector<std::vector<double>> genomes;
+    genomes.reserve(chunk);
+    for (std::size_t i = 0; i < chunk; ++i) genomes.push_back(genome_at(base + i));
+    const std::vector<double> scores = objective.evaluate(genomes);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      ++result.evaluations;
+      recorder.observe(scores[i]);
+      if (scores[i] > result.best.fitness || result.best.genes.empty()) {
+        result.best = {std::move(genomes[i]), scores[i]};
+      }
     }
   }
   recorder.flush();
@@ -129,38 +154,70 @@ HillClimb::HillClimb(std::size_t budget, std::size_t restarts,
   }
 }
 
-OptimizerResult HillClimb::optimize(const Objective& objective,
+OptimizerResult HillClimb::optimize(const BatchObjective& objective,
                                     std::size_t dimensions,
                                     const GeneBounds& bounds, Rng& rng) const {
   OptimizerResult result;
   HistoryRecorder recorder(result, budget_ / 16);
   const std::size_t per_restart = budget_ / restarts_;
 
-  for (std::size_t restart = 0; restart < restarts_; ++restart) {
-    std::vector<double> current(dimensions);
-    for (double& g : current) g = rng.uniform(bounds.lo, bounds.hi);
-    double current_fitness = objective(current);
-    ++result.evaluations;
-    recorder.observe(current_fitness);
-    if (current_fitness > result.best.fitness || result.best.genes.empty()) {
-      result.best = {current, current_fitness};
+  // One independent chain per restart, all advancing in lockstep: every
+  // step evaluates one proposal per chain in a single batch.
+  struct Chain {
+    Rng stream;
+    std::vector<double> current;
+    double current_fitness = 0.0;
+    double step = 0.0;
+  };
+  std::vector<Chain> chains;
+  chains.reserve(restarts_);
+  std::vector<std::vector<double>> proposals;
+  proposals.reserve(restarts_);
+  for (std::size_t r = 0; r < restarts_; ++r) {
+    Chain chain{rng.fork(), std::vector<double>(dimensions), 0.0,
+                initial_step_};
+    for (double& g : chain.current) {
+      g = chain.stream.uniform(bounds.lo, bounds.hi);
     }
+    proposals.push_back(chain.current);
+    chains.push_back(std::move(chain));
+  }
 
-    double step = initial_step_;
-    for (std::size_t i = 1; i < per_restart; ++i) {
-      std::vector<double> next = current;
-      for (double& g : next) g = bounds.clamp(g + rng.normal(0.0, step));
-      const double next_fitness = objective(next);
+  auto track_best = [&](const Chain& chain) {
+    if (chain.current_fitness > result.best.fitness ||
+        result.best.genes.empty()) {
+      result.best = {chain.current, chain.current_fitness};
+    }
+  };
+
+  const std::vector<double> initial_scores = objective.evaluate(proposals);
+  for (std::size_t r = 0; r < restarts_; ++r) {
+    chains[r].current_fitness = initial_scores[r];
+    ++result.evaluations;
+    recorder.observe(initial_scores[r]);
+    track_best(chains[r]);
+  }
+
+  for (std::size_t i = 1; i < per_restart; ++i) {
+    proposals.clear();
+    for (auto& chain : chains) {
+      std::vector<double> next = chain.current;
+      for (double& g : next) {
+        g = bounds.clamp(g + chain.stream.normal(0.0, chain.step));
+      }
+      proposals.push_back(std::move(next));
+    }
+    const std::vector<double> scores = objective.evaluate(proposals);
+    for (std::size_t r = 0; r < restarts_; ++r) {
       ++result.evaluations;
-      recorder.observe(next_fitness);
-      if (next_fitness >= current_fitness) {
-        current = std::move(next);
-        current_fitness = next_fitness;
-        if (current_fitness > result.best.fitness) {
-          result.best = {current, current_fitness};
-        }
+      recorder.observe(scores[r]);
+      Chain& chain = chains[r];
+      if (scores[r] >= chain.current_fitness) {
+        chain.current = std::move(proposals[r]);
+        chain.current_fitness = scores[r];
+        track_best(chain);
       } else {
-        step *= 0.98;  // slowly focus the search on rejection
+        chain.step *= 0.98;  // slowly focus the search on rejection
       }
     }
   }
@@ -184,27 +241,32 @@ SimulatedAnnealing::SimulatedAnnealing(std::size_t budget,
   }
 }
 
-OptimizerResult SimulatedAnnealing::optimize(const Objective& objective,
+OptimizerResult SimulatedAnnealing::optimize(const BatchObjective& objective,
                                              std::size_t dimensions,
                                              const GeneBounds& bounds,
                                              Rng& rng) const {
   OptimizerResult result;
   HistoryRecorder recorder(result, budget_ / 16);
 
+  // Each proposal depends on the previous accept/reject, so the chain is
+  // fundamentally serial: singleton batches.
+  auto evaluate_one = [&](const std::vector<double>& genes) {
+    const std::vector<double> scores = objective.evaluate({genes});
+    ++result.evaluations;
+    recorder.observe(scores.front());
+    return scores.front();
+  };
+
   std::vector<double> current(dimensions);
   for (double& g : current) g = rng.uniform(bounds.lo, bounds.hi);
-  double current_fitness = objective(current);
-  ++result.evaluations;
-  recorder.observe(current_fitness);
+  double current_fitness = evaluate_one(current);
   result.best = {current, current_fitness};
 
   double temperature = initial_temperature_;
   for (std::size_t i = 1; i < budget_; ++i) {
     std::vector<double> next = current;
     for (double& g : next) g = bounds.clamp(g + rng.normal(0.0, step_));
-    const double next_fitness = objective(next);
-    ++result.evaluations;
-    recorder.observe(next_fitness);
+    const double next_fitness = evaluate_one(next);
 
     const double delta = next_fitness - current_fitness;
     if (delta >= 0.0 || rng.uniform() < std::exp(delta / temperature)) {

@@ -18,8 +18,21 @@ void GaConfig::check() const {
   if (!(mutation_sigma > 0.0)) {
     throw ConfigError("GA mutation sigma must be positive");
   }
-  if (elite_count > population_size) {
-    throw ConfigError("GA elite count exceeds the population");
+  if (elite_count >= population_size) {
+    throw ConfigError(
+        "GA elite count must leave room for at least one non-elite "
+        "individual (elite_count < population_size)");
+  }
+}
+
+void GaConfig::check(std::size_t dimensions) const {
+  check();
+  for (const auto& seed : seed_genomes) {
+    if (seed.size() != dimensions) {
+      throw ConfigError("GA seed genome has dimension " +
+                        std::to_string(seed.size()) + ", search expects " +
+                        std::to_string(dimensions));
+    }
   }
 }
 
@@ -27,37 +40,47 @@ GeneticAlgorithm::GeneticAlgorithm(GaConfig config) : config_(config) {
   config_.check();
 }
 
-OptimizerResult GeneticAlgorithm::optimize(const Objective& objective,
+OptimizerResult GeneticAlgorithm::optimize(const BatchObjective& objective,
                                            std::size_t dimensions,
                                            const GeneBounds& bounds,
                                            Rng& rng) const {
   FTDIAG_ASSERT(dimensions >= 1, "GA needs at least one gene");
+  config_.check(dimensions);
   OptimizerResult result;
 
-  auto evaluate = [&](std::vector<double> genes) {
-    Candidate c;
-    c.genes = std::move(genes);
-    c.fitness = objective(c.genes);
-    ++result.evaluations;
-    return c;
+  // Score a slice of genomes in one objective call; candidates come back
+  // in slot order, so the outcome cannot depend on evaluation scheduling.
+  auto evaluate_batch = [&](std::vector<std::vector<double>> genomes) {
+    const std::vector<double> scores = objective.evaluate(genomes);
+    FTDIAG_ASSERT(scores.size() == genomes.size(),
+                  "batch objective returned a mismatched score count");
+    result.evaluations += genomes.size();
+    std::vector<Candidate> out;
+    out.reserve(genomes.size());
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      out.push_back({std::move(genomes[i]), scores[i]});
+    }
+    return out;
   };
 
   // Initial population: injected seed genomes first, random fill after.
-  std::vector<Candidate> population;
-  population.reserve(config_.population_size);
+  // Each random genome draws from its own forked stream so its
+  // construction is independent of every other slot.
+  std::vector<std::vector<double>> genomes;
+  genomes.reserve(config_.population_size);
   for (const auto& seed : config_.seed_genomes) {
-    if (population.size() >= config_.population_size) break;
-    FTDIAG_ASSERT(seed.size() == dimensions,
-                  "seed genome dimension mismatch");
+    if (genomes.size() >= config_.population_size) break;
     std::vector<double> genes = seed;
     for (double& g : genes) g = bounds.clamp(g);
-    population.push_back(evaluate(std::move(genes)));
+    genomes.push_back(std::move(genes));
   }
-  while (population.size() < config_.population_size) {
+  while (genomes.size() < config_.population_size) {
+    Rng stream = rng.fork();
     std::vector<double> genes(dimensions);
-    for (double& g : genes) g = rng.uniform(bounds.lo, bounds.hi);
-    population.push_back(evaluate(std::move(genes)));
+    for (double& g : genes) g = stream.uniform(bounds.lo, bounds.hi);
+    genomes.push_back(std::move(genes));
   }
+  std::vector<Candidate> population = evaluate_batch(std::move(genomes));
 
   auto by_fitness_desc = [](const Candidate& a, const Candidate& b) {
     return a.fitness > b.fitness;
@@ -82,7 +105,7 @@ OptimizerResult GeneticAlgorithm::optimize(const Objective& objective,
   std::sort(population.begin(), population.end(), by_fitness_desc);
   record_generation(0);
 
-  const std::size_t offspring_count = static_cast<std::size_t>(
+  const std::size_t offspring_target = static_cast<std::size_t>(
       config_.reproduction_rate * static_cast<double>(config_.population_size));
 
   for (std::size_t gen = 1; gen <= config_.generations; ++gen) {
@@ -90,32 +113,41 @@ OptimizerResult GeneticAlgorithm::optimize(const Objective& objective,
         population.front().fitness >= config_.target_fitness) {
       break;
     }
-    std::vector<Candidate> next;
-    next.reserve(config_.population_size);
 
-    // Elites survive unchanged (population is sorted best-first).
-    for (std::size_t e = 0; e < config_.elite_count; ++e) {
-      next.push_back(population[e]);
-    }
-
-    // Offspring by selection + crossover + mutation.
-    while (next.size() < config_.elite_count + offspring_count &&
-           next.size() < config_.population_size) {
-      const std::size_t ia = select_parent(population, config_.selection, rng);
-      const std::size_t ib = select_parent(population, config_.selection, rng);
+    // Construct every offspring genome up front.  Selection, crossover and
+    // mutation for slot k draw from a stream forked in slot order, so the
+    // genomes are a pure function of (population, rng) — ready for one
+    // batched evaluation.
+    const std::size_t offspring_count =
+        std::min(offspring_target, config_.population_size - config_.elite_count);
+    const SelectionContext selection(population, config_.selection);
+    std::vector<std::vector<double>> offspring;
+    offspring.reserve(offspring_count);
+    for (std::size_t k = 0; k < offspring_count; ++k) {
+      Rng stream = rng.fork();
+      const std::size_t ia = selection.select(stream);
+      const std::size_t ib = selection.select(stream);
       std::vector<double> genes = crossover(
-          population[ia].genes, population[ib].genes, config_.crossover, rng);
-      if (rng.bernoulli(config_.mutation_rate)) {
+          population[ia].genes, population[ib].genes, config_.crossover, stream);
+      if (stream.bernoulli(config_.mutation_rate)) {
         // The paper quotes a whole-individual mutation rate; apply a
         // per-gene gaussian nudge once an individual is chosen to mutate.
         mutate(genes, config_.mutation, 1.0, config_.mutation_sigma, bounds,
-               rng);
+               stream);
       }
       for (double& g : genes) g = bounds.clamp(g);
-      next.push_back(evaluate(std::move(genes)));
+      offspring.push_back(std::move(genes));
     }
+    std::vector<Candidate> scored = evaluate_batch(std::move(offspring));
 
-    // Refill with the best remaining survivors.
+    // Elites survive unchanged (population is sorted best-first), then the
+    // offspring, then the best remaining survivors refill.
+    std::vector<Candidate> next;
+    next.reserve(config_.population_size);
+    for (std::size_t e = 0; e < config_.elite_count; ++e) {
+      next.push_back(population[e]);
+    }
+    for (auto& c : scored) next.push_back(std::move(c));
     for (std::size_t i = config_.elite_count;
          next.size() < config_.population_size && i < population.size(); ++i) {
       next.push_back(population[i]);

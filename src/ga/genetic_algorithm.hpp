@@ -2,6 +2,12 @@
 /// \brief The paper's GA (§2.4): 128 individuals, 15 generations,
 /// 50 % reproduction rate, 40 % mutation rate, roulette-wheel selection,
 /// generation count as the stop criterion.
+///
+/// The GA is batch-first: each generation it constructs every offspring
+/// genome up front (selection, crossover and mutation drawn from a
+/// per-genome forked RNG stream, in slot order) and hands the whole slice
+/// to the BatchObjective in one call.  Scores are consumed in slot order,
+/// so the result is bit-identical however the objective parallelizes.
 #pragma once
 
 #include "ga/operators.hpp"
@@ -22,7 +28,8 @@ struct GaConfig {
   SelectionKind selection = SelectionKind::kRoulette;
   CrossoverKind crossover = CrossoverKind::kArithmetic;
   MutationKind mutation = MutationKind::kGaussian;
-  /// Individuals copied unchanged to the next generation.
+  /// Individuals copied unchanged to the next generation.  Must leave room
+  /// for at least one non-elite individual.
   std::size_t elite_count = 1;
   /// Optional early stop: quit once this fitness is reached (0 disables).
   double target_fitness = 0.0;
@@ -33,15 +40,22 @@ struct GaConfig {
   /// The configuration published in the paper.
   [[nodiscard]] static GaConfig paper() { return GaConfig{}; }
 
-  /// \throws ConfigError on out-of-range rates or a zero population.
+  /// \throws ConfigError on out-of-range rates, a zero population, a
+  /// non-positive mutation sigma, or elite_count >= population_size.
   void check() const;
+
+  /// Like check(), and additionally rejects seed genomes whose dimension
+  /// does not match the search.  \throws ConfigError.
+  void check(std::size_t dimensions) const;
 };
 
 class GeneticAlgorithm final : public FrequencyOptimizer {
 public:
   explicit GeneticAlgorithm(GaConfig config = GaConfig::paper());
 
-  [[nodiscard]] OptimizerResult optimize(const Objective& objective,
+  using FrequencyOptimizer::optimize;
+
+  [[nodiscard]] OptimizerResult optimize(const BatchObjective& objective,
                                          std::size_t dimensions,
                                          const GeneBounds& bounds,
                                          Rng& rng) const override;

@@ -7,47 +7,64 @@
 
 namespace ftdiag::ga {
 
-std::size_t select_parent(const std::vector<Candidate>& population,
-                          SelectionKind kind, Rng& rng,
-                          std::size_t tournament_size) {
-  FTDIAG_ASSERT(!population.empty(), "selection from an empty population");
-  switch (kind) {
+SelectionContext::SelectionContext(const std::vector<Candidate>& population,
+                                   SelectionKind kind,
+                                   std::size_t tournament_size)
+    : population_(population), kind_(kind), tournament_size_(tournament_size) {
+  FTDIAG_ASSERT(!population_.empty(), "selection from an empty population");
+  switch (kind_) {
     case SelectionKind::kRoulette: {
-      std::vector<double> weights(population.size());
-      for (std::size_t i = 0; i < population.size(); ++i) {
-        weights[i] = std::max(population[i].fitness, 0.0);
+      weights_.resize(population_.size());
+      for (std::size_t i = 0; i < population_.size(); ++i) {
+        weights_[i] = std::max(population_[i].fitness, 0.0);
       }
-      return rng.weighted_index(weights);
+      break;
     }
+    case SelectionKind::kTournament:
+      FTDIAG_ASSERT(tournament_size_ >= 1, "tournament size must be >= 1");
+      break;
+    case SelectionKind::kRank: {
+      // Weight = rank position (worst = 1 .. best = n).
+      std::vector<std::size_t> order(population_.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return population_[a].fitness < population_[b].fitness;
+      });
+      weights_.resize(population_.size());
+      for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        weights_[order[rank]] = static_cast<double>(rank + 1);
+      }
+      break;
+    }
+  }
+}
+
+std::size_t SelectionContext::select(Rng& rng) const {
+  switch (kind_) {
+    case SelectionKind::kRoulette:
+    case SelectionKind::kRank:
+      return rng.weighted_index(weights_);
     case SelectionKind::kTournament: {
-      FTDIAG_ASSERT(tournament_size >= 1, "tournament size must be >= 1");
       std::size_t best = static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(population.size()) - 1));
-      for (std::size_t k = 1; k < tournament_size; ++k) {
+          0, static_cast<std::int64_t>(population_.size()) - 1));
+      for (std::size_t k = 1; k < tournament_size_; ++k) {
         const std::size_t challenger = static_cast<std::size_t>(rng.uniform_int(
-            0, static_cast<std::int64_t>(population.size()) - 1));
-        if (population[challenger].fitness > population[best].fitness) {
+            0, static_cast<std::int64_t>(population_.size()) - 1));
+        if (population_[challenger].fitness > population_[best].fitness) {
           best = challenger;
         }
       }
       return best;
     }
-    case SelectionKind::kRank: {
-      // Weight = rank position (worst = 1 .. best = n).
-      std::vector<std::size_t> order(population.size());
-      std::iota(order.begin(), order.end(), 0);
-      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return population[a].fitness < population[b].fitness;
-      });
-      std::vector<double> weights(population.size());
-      for (std::size_t rank = 0; rank < order.size(); ++rank) {
-        weights[order[rank]] = static_cast<double>(rank + 1);
-      }
-      return rng.weighted_index(weights);
-    }
   }
   FTDIAG_ASSERT(false, "unknown selection kind");
   return 0;
+}
+
+std::size_t select_parent(const std::vector<Candidate>& population,
+                          SelectionKind kind, Rng& rng,
+                          std::size_t tournament_size) {
+  return SelectionContext(population, kind, tournament_size).select(rng);
 }
 
 std::vector<double> crossover(const std::vector<double>& a,

@@ -22,6 +22,27 @@ enum class MutationKind : std::uint8_t { kGaussian, kUniformReset };
                                         SelectionKind kind, Rng& rng,
                                         std::size_t tournament_size = 3);
 
+/// Reusable selection state over one fixed (already scored) population:
+/// the roulette/rank weight tables are computed once, so a whole
+/// generation of offspring can draw parents without rebuilding them per
+/// call.  Draw-for-draw identical to select_parent.  The population must
+/// outlive the context and stay unmodified while it is used.
+class SelectionContext {
+public:
+  SelectionContext(const std::vector<Candidate>& population,
+                   SelectionKind kind, std::size_t tournament_size = 3);
+
+  /// One parent index, consuming draws from \p rng exactly as
+  /// select_parent would.
+  [[nodiscard]] std::size_t select(Rng& rng) const;
+
+private:
+  const std::vector<Candidate>& population_;
+  SelectionKind kind_;
+  std::size_t tournament_size_;
+  std::vector<double> weights_;  ///< roulette / rank tables (else empty)
+};
+
 /// Produce one child genome from two parents.
 [[nodiscard]] std::vector<double> crossover(const std::vector<double>& a,
                                             const std::vector<double>& b,

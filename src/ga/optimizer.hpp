@@ -5,6 +5,12 @@
 /// Genomes are real vectors in log10-frequency space (one gene per test
 /// frequency), bounded by the CUT's recommended band.  Working in decades
 /// makes mutation steps scale-free across the audio band.
+///
+/// Since PR 3 the primary evaluation interface is *batched*: optimizers
+/// hand a whole population slice to a BatchObjective per generation, which
+/// lets the evaluation layer (core::EvaluationPipeline) fan the genomes out
+/// over a thread pool and share cached signature samples between them.  The
+/// old scalar Objective survives as a deprecated shim adapted on the fly.
 #pragma once
 
 #include <functional>
@@ -17,7 +23,43 @@ namespace ftdiag::ga {
 
 /// Objective: maps a genome (log10 frequencies) to a fitness (larger is
 /// better, in (0, 1]).
+/// \deprecated Prefer implementing BatchObjective; scalar objectives are
+/// adapted (and evaluated serially) through ScalarBatchAdapter.
 using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Batch evaluation interface: scores a whole slice of genomes at once.
+/// Implementations must be pure (same genomes -> same scores, regardless of
+/// batch composition or call history) and safe to call from the optimizer's
+/// driving thread; internal parallelism is the implementation's business.
+class BatchObjective {
+public:
+  virtual ~BatchObjective() = default;
+
+  /// Score genomes[i] into slot i of the returned vector (same size as
+  /// \p genomes).  Genome i must be evaluated independently of genome j.
+  [[nodiscard]] virtual std::vector<double> evaluate(
+      const std::vector<std::vector<double>>& genomes) const = 0;
+};
+
+/// Adapts a scalar Objective to the batch interface (serial loop).  This is
+/// the shim behind the deprecated FrequencyOptimizer::optimize(Objective)
+/// overload.
+class ScalarBatchAdapter final : public BatchObjective {
+public:
+  explicit ScalarBatchAdapter(Objective objective)
+      : objective_(std::move(objective)) {}
+
+  [[nodiscard]] std::vector<double> evaluate(
+      const std::vector<std::vector<double>>& genomes) const override {
+    std::vector<double> scores;
+    scores.reserve(genomes.size());
+    for (const auto& genome : genomes) scores.push_back(objective_(genome));
+    return scores;
+  }
+
+private:
+  Objective objective_;
+};
 
 /// Inclusive per-gene bounds in log10(Hz).
 struct GeneBounds {
@@ -32,6 +74,8 @@ struct GeneBounds {
 struct Candidate {
   std::vector<double> genes;
   double fitness = 0.0;
+
+  [[nodiscard]] bool operator==(const Candidate&) const = default;
 };
 
 /// Per-generation (or per-batch) statistics for convergence plots.
@@ -41,24 +85,42 @@ struct GenerationStats {
   double mean = 0.0;
   double worst = 0.0;
   std::size_t evaluations = 0;  ///< cumulative objective calls so far
+
+  [[nodiscard]] bool operator==(const GenerationStats&) const = default;
 };
 
 struct OptimizerResult {
   Candidate best;
   std::size_t evaluations = 0;
   std::vector<GenerationStats> history;
+
+  [[nodiscard]] bool operator==(const OptimizerResult&) const = default;
 };
 
 /// Interface all searchers implement.
+///
+/// Determinism contract: for a fixed seed the result depends only on the
+/// objective's values, never on how the BatchObjective schedules its work —
+/// optimizers draw all randomness on the calling thread (forking a
+/// per-genome stream where construction is independent) and consume batch
+/// scores in slot order.
 class FrequencyOptimizer {
 public:
   virtual ~FrequencyOptimizer() = default;
 
   /// Run the search.  \p dimensions is the number of test frequencies.
-  [[nodiscard]] virtual OptimizerResult optimize(const Objective& objective,
-                                                 std::size_t dimensions,
-                                                 const GeneBounds& bounds,
-                                                 Rng& rng) const = 0;
+  [[nodiscard]] virtual OptimizerResult optimize(
+      const BatchObjective& objective, std::size_t dimensions,
+      const GeneBounds& bounds, Rng& rng) const = 0;
+
+  /// Scalar entry point.  \deprecated Kept for existing callers; wraps the
+  /// objective in a ScalarBatchAdapter (serial evaluation, no sharing).
+  [[nodiscard]] OptimizerResult optimize(const Objective& objective,
+                                         std::size_t dimensions,
+                                         const GeneBounds& bounds,
+                                         Rng& rng) const {
+    return optimize(ScalarBatchAdapter(objective), dimensions, bounds, rng);
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

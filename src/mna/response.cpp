@@ -28,10 +28,12 @@ double AcResponse::phase_deg(std::size_t i) const {
   return linalg::phase_deg(values_[i]);
 }
 
-Complex AcResponse::interpolate(double frequency_hz) const {
+AcResponse::GridPosition AcResponse::locate(double frequency_hz) const {
   if (empty()) throw NumericError("interpolation on an empty response");
-  if (frequency_hz <= freq_hz_.front()) return values_.front();
-  if (frequency_hz >= freq_hz_.back()) return values_.back();
+  if (frequency_hz <= freq_hz_.front()) return {0, 0, 0.0};
+  if (frequency_hz >= freq_hz_.back()) {
+    return {freq_hz_.size() - 1, freq_hz_.size() - 1, 0.0};
+  }
 
   const auto upper =
       std::upper_bound(freq_hz_.begin(), freq_hz_.end(), frequency_hz);
@@ -49,9 +51,20 @@ Complex AcResponse::interpolate(double frequency_hz) const {
   } else {
     t = (frequency_hz - f_lo) / (f_hi - f_lo);
   }
+  return {lo, hi, t};
+}
 
-  const Complex a = values_[lo];
-  const Complex b = values_[hi];
+Complex AcResponse::interpolate(double frequency_hz) const {
+  return interpolate(locate(frequency_hz));
+}
+
+Complex AcResponse::interpolate(const GridPosition& position) const {
+  if (empty()) throw NumericError("interpolation on an empty response");
+  if (position.lo == position.hi) return values_[position.lo];
+  const double t = position.t;
+
+  const Complex a = values_[position.lo];
+  const Complex b = values_[position.hi];
   const double mag_a = std::abs(a);
   const double mag_b = std::abs(b);
   // Magnitude: geometric interpolation when both are positive (straight

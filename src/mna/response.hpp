@@ -42,10 +42,29 @@ public:
   /// Phase in degrees at grid index i.
   [[nodiscard]] double phase_deg(std::size_t i) const;
 
+  /// Where an arbitrary frequency falls on a response grid: the bracketing
+  /// indices and the log-frequency interpolation parameter.  lo == hi
+  /// marks an exact grid hit or an out-of-band clamp.  Responses sharing
+  /// one grid (every dictionary entry) can locate once and interpolate
+  /// many — see interpolate(const GridPosition&).
+  struct GridPosition {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    double t = 0.0;
+  };
+
+  /// Locate \p frequency_hz on this grid.  \throws NumericError if empty.
+  [[nodiscard]] GridPosition locate(double frequency_hz) const;
+
   /// Complex value at an arbitrary frequency by interpolating magnitude
   /// (log-log) and unwrapped phase (linear in log f) between neighbouring
   /// grid points.  Clamps outside the grid.  \throws NumericError if empty.
+  /// Exactly interpolate(locate(f)).
   [[nodiscard]] Complex interpolate(double frequency_hz) const;
+
+  /// Interpolate at a precomputed position (valid for any response on the
+  /// same grid).  Bit-identical to interpolate(frequency).
+  [[nodiscard]] Complex interpolate(const GridPosition& position) const;
 
   /// Linear magnitude at an arbitrary frequency (via interpolate()).
   [[nodiscard]] double magnitude_at(double frequency_hz) const;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "circuits/registry.hpp"
+#include "core/evaluation_pipeline.hpp"
 #include "core/sensitivity.hpp"
 #include "faults/fault_simulator.hpp"
 #include "mna/frequency_grid.hpp"
@@ -214,30 +215,39 @@ TestGenResult Session::search_impl(const ga::FrequencyOptimizer* optimizer,
   std::unique_ptr<ga::GeneticAlgorithm> owned;
   if (optimizer == nullptr) {
     ga::GaConfig ga_config = search.ga;
-    if (search.seed_with_sensitivity && search.n_frequencies == 2) {
-      // Screen frequency pairs by sensitivity-direction spread (cheap: no
+    if (search.seed_with_sensitivity) {
+      // Screen frequency tuples by sensitivity-direction spread (cheap: no
       // fault simulation) and hand the best ones to the GA as seeds.
       const auto curves = core::compute_sensitivities(
           state_->cut,
           mna::FrequencyGrid::log_sweep(state_->cut.band_low_hz,
                                         state_->cut.band_high_hz, 60));
-      for (const auto& [f1, f2] : core::screen_frequency_pairs(
-               curves, 30, search.sensitivity_seed_count)) {
-        ga_config.seed_genomes.push_back({std::log10(f1), std::log10(f2)});
+      for (const auto& tuple : core::screen_frequency_tuples(
+               curves, 30, search.sensitivity_seed_count,
+               search.n_frequencies)) {
+        std::vector<double> genome;
+        genome.reserve(tuple.size());
+        for (double f : tuple) genome.push_back(std::log10(f));
+        ga_config.seed_genomes.push_back(std::move(genome));
       }
     }
     owned = std::make_unique<ga::GeneticAlgorithm>(ga_config);
     optimizer = owned.get();
   }
 
-  const ga::Objective objective = [&](const std::vector<double>& genes) {
-    return evaluator.fitness(to_test_vector(genes));
-  };
+  core::PipelineOptions pipeline_options;
+  pipeline_options.threads = search.threads;
+  pipeline_options.cache_signatures = search.eval_cache;
+  const core::EvaluationPipeline pipeline(evaluator, pipeline_options);
   Rng rng(seed);
   TestGenResult result;
   result.search =
-      optimizer->optimize(objective, search.n_frequencies, bounds(), rng);
-  result.best = evaluator.score(to_test_vector(result.search.best.genes));
+      optimizer->optimize(pipeline, search.n_frequencies, bounds(), rng);
+  // Score the winner at the snapped genes the pipeline actually evaluated,
+  // so the reported score agrees with the fitness that selected it.
+  std::vector<double> best_genes = result.search.best.genes;
+  for (double& g : best_genes) g = pipeline.snap(g);
+  result.best = evaluator.score(to_test_vector(best_genes));
   result.dictionary_faults = state_->dictionary->fault_count();
   log::info(str::format(
       "session(%s): %s search -> fitness %.4f (%zu intersections) with %s "
@@ -475,6 +485,12 @@ SessionBuilder& SessionBuilder::seed(std::uint64_t seed) {
 
 SessionBuilder& SessionBuilder::threads(std::size_t n) {
   options_.sim.threads = n;
+  options_.search.threads = n;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::eval_cache(bool on) {
+  options_.search.eval_cache = on;
   return *this;
 }
 

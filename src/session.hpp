@@ -56,8 +56,20 @@ struct SearchOptions {
   ga::GaConfig ga = ga::GaConfig::paper();
   std::uint64_t seed = 42;
 
-  /// Inject sensitivity-screened frequency pairs into the GA's initial
-  /// population (2-frequency vectors only; see core/sensitivity.hpp).
+  /// Worker threads for the per-generation genome fan-out in the
+  /// evaluation pipeline; 0 means "auto" (the hardware concurrency).  The
+  /// thread count never changes the search result, only wall time.
+  std::size_t threads = 0;
+
+  /// Share interpolated signature columns between genomes (keyed by
+  /// quantized frequency).  Off recomputes every sample; the search result
+  /// is bit-identical either way.
+  bool eval_cache = true;
+
+  /// Inject sensitivity-screened frequency tuples into the GA's initial
+  /// population; works for any n_frequencies (pairs are screened
+  /// exhaustively, larger tuples exhaustively or greedily, and a single
+  /// frequency falls back to sensitivity peaks — see core/sensitivity.hpp).
   bool seed_with_sensitivity = false;
   std::size_t sensitivity_seed_count = 8;
 
@@ -275,7 +287,11 @@ public:
   SessionBuilder& fitness(FitnessKind kind);
   SessionBuilder& frequencies(std::size_t n);
   SessionBuilder& seed(std::uint64_t seed);
+  /// Worker threads for both the fault-simulation engine and the search's
+  /// evaluation pipeline (0 = auto).  Never changes results.
   SessionBuilder& threads(std::size_t n);
+  /// Toggle the search pipeline's signature-column cache.
+  SessionBuilder& eval_cache(bool on);
 
   /// Validate and construct.  \throws ConfigError when no CUT was given or
   /// any option is out of range.

@@ -43,8 +43,33 @@ TEST(GaConfig, InvalidValuesRejected) {
   c.mutation_sigma = 0.0;
   EXPECT_THROW(c.check(), ConfigError);
   c = GaConfig{};
+  c.mutation_sigma = -0.5;
+  EXPECT_THROW(c.check(), ConfigError);
+  c = GaConfig{};
   c.elite_count = 1000;
   EXPECT_THROW(c.check(), ConfigError);
+}
+
+TEST(GaConfig, EliteCountMustLeaveRoomForOffspring) {
+  GaConfig c;
+  c.population_size = 16;
+  c.elite_count = 16;  // a population of pure elites never searches
+  EXPECT_THROW(c.check(), ConfigError);
+  c.elite_count = 15;
+  EXPECT_NO_THROW(c.check());
+}
+
+TEST(GaConfig, SeedGenomeDimensionMismatchRejected) {
+  GaConfig c;
+  c.population_size = 8;
+  c.generations = 1;
+  c.seed_genomes = {{1.0, 2.0, 3.0}};  // 3 genes in a 2-gene search
+  EXPECT_THROW(c.check(2), ConfigError);
+  EXPECT_NO_THROW(c.check(3));
+
+  const GeneticAlgorithm ga(c);
+  Rng rng(1);
+  EXPECT_THROW((void)ga.optimize(bump, 2, {0.0, 5.0}, rng), ConfigError);
 }
 
 TEST(Ga, FindsTheBumpOptimum) {

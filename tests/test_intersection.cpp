@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace ftdiag::core {
 namespace {
@@ -125,6 +126,134 @@ TEST(Intersections, CountMatchesConflictListSize) {
       straight_line("C", {0.0, 1.0})};
   const auto report = count_intersections(trajs);
   EXPECT_EQ(report.count, report.conflicts.size());
+}
+
+// ---------------------------------------------------------------------
+// Differential verification: the grid-pruned sweep must reproduce the
+// exact all-pairs sweep verbatim on randomized trajectory sets.
+
+std::vector<FaultTrajectory> random_trajectories(Rng& rng, std::size_t count,
+                                                 std::size_t dim) {
+  std::vector<FaultTrajectory> out;
+  for (std::size_t t = 0; t < count; ++t) {
+    // A random direction through the origin with per-vertex wobble, so the
+    // set is rich in crossings, near misses and an occasional overlap.
+    Point direction(dim);
+    for (double& v : direction) v = rng.uniform(-1.0, 1.0);
+    const double wobble = rng.uniform(0.0, 0.3);
+    std::vector<TrajectoryPoint> pts;
+    for (double d : {-0.4, -0.3, -0.2, -0.1, 0.0, 0.1, 0.2, 0.3, 0.4}) {
+      Point p(dim);
+      for (std::size_t k = 0; k < dim; ++k) {
+        p[k] = d * direction[k] + (d == 0.0 ? 0.0 : wobble * d * rng.normal());
+      }
+      pts.push_back({d, std::move(p)});
+    }
+    out.emplace_back("T" + std::to_string(t), std::move(pts));
+  }
+  return out;
+}
+
+void expect_identical_reports(const IntersectionReport& exact,
+                              const IntersectionReport& pruned) {
+  ASSERT_EQ(exact.count, pruned.count);
+  ASSERT_EQ(exact.conflicts.size(), pruned.conflicts.size());
+  for (std::size_t c = 0; c < exact.conflicts.size(); ++c) {
+    const auto& e = exact.conflicts[c];
+    const auto& p = pruned.conflicts[c];
+    EXPECT_EQ(e.site_a, p.site_a);
+    EXPECT_EQ(e.site_b, p.site_b);
+    EXPECT_EQ(e.segment_a, p.segment_a);
+    EXPECT_EQ(e.segment_b, p.segment_b);
+    EXPECT_EQ(e.at, p.at);
+    EXPECT_EQ(e.separation, p.separation);
+  }
+}
+
+TEST(PrunedIntersections, MatchesExactSweepOn2dRandomSets) {
+  Rng rng(20250731);
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t count =
+        static_cast<std::size_t>(rng.uniform_int(2, 14));
+    const auto trajs = random_trajectories(rng, count, 2);
+    IntersectionOptions exact_options;
+    exact_options.algorithm = IntersectionAlgorithm::kExact;
+    IntersectionOptions pruned_options;
+    pruned_options.algorithm = IntersectionAlgorithm::kPruned;
+    expect_identical_reports(count_intersections(trajs, exact_options),
+                             count_intersections(trajs, pruned_options));
+  }
+}
+
+TEST(PrunedIntersections, MatchesExactSweepInNearMissMode) {
+  Rng rng(777);
+  for (std::size_t dim : {3u, 4u, 6u}) {
+    for (int round = 0; round < 20; ++round) {
+      const auto trajs = random_trajectories(rng, 10, dim);
+      IntersectionOptions exact_options;
+      exact_options.algorithm = IntersectionAlgorithm::kExact;
+      // A fat threshold so near misses actually fire.
+      exact_options.near_threshold = 0.1;
+      IntersectionOptions pruned_options = exact_options;
+      pruned_options.algorithm = IntersectionAlgorithm::kPruned;
+      const auto exact = count_intersections(trajs, exact_options);
+      expect_identical_reports(exact,
+                               count_intersections(trajs, pruned_options));
+    }
+  }
+}
+
+TEST(PrunedIntersections, MatchesExactWithOverlapCountingDisabled) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    const auto trajs = random_trajectories(rng, 8, 2);
+    IntersectionOptions exact_options;
+    exact_options.algorithm = IntersectionAlgorithm::kExact;
+    exact_options.count_overlaps = false;
+    IntersectionOptions pruned_options = exact_options;
+    pruned_options.algorithm = IntersectionAlgorithm::kPruned;
+    expect_identical_reports(count_intersections(trajs, exact_options),
+                             count_intersections(trajs, pruned_options));
+  }
+}
+
+TEST(PrunedIntersections, CountOnlyModeReportsTheSameCount) {
+  Rng rng(4242);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t dim = round % 2 == 0 ? 2 : 3;
+    const auto trajs = random_trajectories(rng, 9, dim);
+    for (auto algorithm :
+         {IntersectionAlgorithm::kExact, IntersectionAlgorithm::kPruned}) {
+      IntersectionOptions collecting;
+      collecting.algorithm = algorithm;
+      collecting.near_threshold = 0.05;
+      IntersectionOptions count_only = collecting;
+      count_only.collect_conflicts = false;
+      const auto full = count_intersections(trajs, collecting);
+      const auto bare = count_intersections(trajs, count_only);
+      EXPECT_EQ(full.count, bare.count);
+      EXPECT_EQ(full.count, full.conflicts.size());
+      EXPECT_TRUE(bare.conflicts.empty());
+    }
+  }
+}
+
+TEST(PrunedIntersections, HandlesCoincidentAndDegenerateSets) {
+  // Identical trajectories (everything overlaps) and axis-aligned lines
+  // (zero extent on one axis) exercise the grid's degenerate paths.
+  const std::vector<FaultTrajectory> coincident = {
+      straight_line("A", {1.0, 0.5}), straight_line("B", {1.0, 0.5}),
+      straight_line("C", {1.0, 0.5})};
+  const std::vector<FaultTrajectory> flat = {
+      straight_line("A", {1.0, 0.0}), straight_line("B", {2.0, 0.0})};
+  for (const auto* trajs : {&coincident, &flat}) {
+    IntersectionOptions exact_options;
+    exact_options.algorithm = IntersectionAlgorithm::kExact;
+    IntersectionOptions pruned_options;
+    pruned_options.algorithm = IntersectionAlgorithm::kPruned;
+    expect_identical_reports(count_intersections(*trajs, exact_options),
+                             count_intersections(*trajs, pruned_options));
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "circuits/nf_biquad.hpp"
@@ -162,6 +163,66 @@ TEST(SensitivityTowThomas, DegenerateComponentsAreCollinearEverywhere) {
           << f1 << "/" << f2;
     }
   }
+}
+
+TEST_F(SensitivityTest, NdAngleMatchesPairwiseForTwoFrequencies) {
+  for (double f1 : {40.0, 700.0, 5000.0}) {
+    for (double f2 : {150.0, 2000.0, 60000.0}) {
+      // The 2-D overload uses std::hypot for the norms, so agreement is to
+      // rounding error rather than bit-exact.
+      const double pairwise = min_separation_angle(*curves_, f1, f2);
+      EXPECT_NEAR(min_separation_angle(*curves_, {f1, f2}), pairwise,
+                  1e-6 * (1.0 + pairwise));
+    }
+  }
+}
+
+TEST_F(SensitivityTest, TupleScreenMatchesPairScreenForSizeTwo) {
+  const auto pairs = screen_frequency_pairs(*curves_, 20, 5);
+  const auto tuples = screen_frequency_tuples(*curves_, 20, 5, 2);
+  ASSERT_EQ(pairs.size(), tuples.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(tuples[i].size(), 2u);
+    EXPECT_DOUBLE_EQ(tuples[i][0], pairs[i].first);
+    EXPECT_DOUBLE_EQ(tuples[i][1], pairs[i].second);
+  }
+}
+
+TEST_F(SensitivityTest, TripleScreenReturnsSortedWellSeparatedTuples) {
+  const auto tuples = screen_frequency_tuples(*curves_, 12, 4, 3);
+  ASSERT_FALSE(tuples.empty());
+  ASSERT_LE(tuples.size(), 4u);
+  double previous_angle = 91.0;
+  for (const auto& tuple : tuples) {
+    ASSERT_EQ(tuple.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(tuple.begin(), tuple.end()));
+    const double angle = min_separation_angle(*curves_, tuple);
+    EXPECT_LE(angle, previous_angle + 1e-12);  // best first
+    previous_angle = angle;
+  }
+}
+
+TEST_F(SensitivityTest, TupleLargerThanGridYieldsNoSeeds) {
+  // Distinct frequencies can't outnumber the candidate grid; screening is
+  // best-effort and must return empty instead of reading out of bounds.
+  EXPECT_TRUE(screen_frequency_tuples(*curves_, 5, 2, 6).empty());
+  EXPECT_TRUE(screen_frequency_tuples(*curves_, 5, 2, 100).empty());
+}
+
+TEST_F(SensitivityTest, SingleFrequencyScreenFallsBackToPeaks) {
+  const auto tuples = screen_frequency_tuples(*curves_, 12, 3, 1);
+  ASSERT_FALSE(tuples.empty());
+  for (const auto& tuple : tuples) ASSERT_EQ(tuple.size(), 1u);
+  // The strongest site's peak leads.
+  double best_peak = 0.0;
+  double best_f = 0.0;
+  for (const auto& c : *curves_) {
+    if (c.peak_magnitude() > best_peak) {
+      best_peak = c.peak_magnitude();
+      best_f = c.peak_frequency();
+    }
+  }
+  EXPECT_DOUBLE_EQ(tuples.front().front(), best_f);
 }
 
 TEST(SensitivityErrors, BadInputsRejected) {

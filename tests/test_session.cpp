@@ -327,5 +327,24 @@ TEST_F(SessionRoundTrip, UseVectorReArmsDiagnosis) {
   EXPECT_NO_THROW(session.diagnose(session.measure(fault)));
 }
 
+TEST(SessionSensitivitySeeding, WorksForAnyFrequencyCount) {
+  // The seeding screen used to be silently skipped unless n_frequencies
+  // was exactly 2; it now generalizes to n-tuples (and peaks for n = 1).
+  for (std::size_t n : {1u, 2u, 3u}) {
+    SearchOptions search;
+    search.n_frequencies = n;
+    search.seed_with_sensitivity = true;
+    search.sensitivity_seed_count = 3;
+    search.ga.population_size = 8;
+    search.ga.generations = 1;
+    Session session = SessionBuilder::from_registry("sallen_key_lp")
+                          .search(search)
+                          .build();
+    const TestGenResult result = session.run_search();
+    EXPECT_EQ(result.best.vector.frequencies_hz.size(), n) << n;
+    EXPECT_GT(result.best.fitness, 0.0) << n;
+  }
+}
+
 }  // namespace
 }  // namespace ftdiag

@@ -10,7 +10,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstdio>
+#include <future>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "circuits/ladders.hpp"
 #include "circuits/nf_biquad.hpp"
@@ -21,10 +24,12 @@
 #include "faults/dictionary.hpp"
 #include "faults/simulation_engine.hpp"
 #include "ga/genetic_algorithm.hpp"
+#include "io/dictionary_io.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/sparse.hpp"
 #include "mna/ac_analysis.hpp"
 #include "mna/system.hpp"
+#include "service/diagnosis_service.hpp"
 #include "session.hpp"
 #include "util/rng.hpp"
 
@@ -171,6 +176,90 @@ BENCHMARK_F(TrajectoryFixture, Diagnosis)(benchmark::State& state) {
     benchmark::DoNotOptimize(engine.diagnose(observed));
   }
 }
+
+/// CSV-vs-binary dictionary deserialization on the paper CUT (both parse
+/// in-memory images, so the comparison is format cost, not disk cache).
+class DictionaryLoadFixture : public benchmark::Fixture {
+public:
+  void SetUp(const benchmark::State&) override {
+    if (!csv_text.empty()) return;
+    const auto cut = circuits::make_paper_cut();
+    const auto dict = faults::FaultDictionary::build(
+        cut, faults::FaultUniverse::over_testable(cut));
+    std::ostringstream csv_os;
+    io::save_dictionary(csv_os, dict);
+    csv_text = csv_os.str();
+    std::ostringstream fdx_os;
+    io::save_dictionary_binary(fdx_os, dict);
+    fdx_bytes = fdx_os.str();
+  }
+  static std::string csv_text;
+  static std::string fdx_bytes;
+};
+std::string DictionaryLoadFixture::csv_text;
+std::string DictionaryLoadFixture::fdx_bytes;
+
+BENCHMARK_F(DictionaryLoadFixture, BM_DictionaryLoadCsv)
+(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::load_dictionary(csv_text));
+  }
+  state.counters["bytes"] = static_cast<double>(csv_text.size());
+}
+
+BENCHMARK_F(DictionaryLoadFixture, BM_DictionaryLoadBinary)
+(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::load_dictionary_binary(fdx_bytes));
+  }
+  state.counters["bytes"] = static_cast<double>(fdx_bytes.size());
+}
+
+/// Requests/sec through the DiagnosisService vs dispatcher threads: four
+/// producers submit single-point requests as fast as the bounded queue
+/// accepts them.
+void BM_ServiceThroughput(benchmark::State& state) {
+  static Session* session = nullptr;
+  if (session == nullptr) {
+    session = new Session(
+        SessionBuilder(circuits::make_paper_cut()).build());
+    session->use_vector(core::TestVector{{700.0, 1600.0}});
+  }
+  Rng rng(11);
+  std::vector<core::Point> points;
+  for (std::size_t i = 0; i < 512; ++i) {
+    points.push_back(
+        core::Point{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2)});
+  }
+
+  ServiceOptions options;
+  options.workers = static_cast<std::size_t>(state.range(0));
+  options.max_batch = 32;
+  std::size_t served = 0;
+  for (auto _ : state) {
+    service::DiagnosisService service(options);
+    service.add_session("paper", *session);
+    constexpr std::size_t kProducers = 4;
+    std::vector<std::future<service::DiagnosisReply>> futures(points.size());
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = p; i < points.size(); i += kProducers) {
+          service::DiagnosisRequest request;
+          request.circuit = "paper";
+          request.points.push_back(points[i]);
+          futures[i] = service.submit(std::move(request));
+        }
+      });
+    }
+    for (auto& producer : producers) producer.join();
+    for (auto& future : futures) benchmark::DoNotOptimize(future.get());
+    served += points.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+}
+BENCHMARK(BM_ServiceThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_FullPaperGa(benchmark::State& state) {
   core::AtpgFlow flow(circuits::make_paper_cut());
@@ -472,6 +561,137 @@ void write_search_report(const char* path) {
               serial_ms / batch_ms, path);
 }
 
+bool dictionaries_identical(const faults::FaultDictionary& a,
+                            const faults::FaultDictionary& b) {
+  if (a.fault_count() != b.fault_count() ||
+      a.frequencies() != b.frequencies() ||
+      a.golden().values() != b.golden().values()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.fault_count(); ++i) {
+    if (!(a.entries()[i].fault == b.entries()[i].fault) ||
+        a.entries()[i].response.values() != b.entries()[i].response.values()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Serving-layer report on the largest registry circuit: CSV vs binary
+/// dictionary load, binary round-trip bit-identity, and service
+/// throughput vs dispatcher threads.  Written to BENCH_service.json.
+void write_service_report(const char* path) {
+  using Clock = std::chrono::steady_clock;
+
+  const auto cut = circuits::make_by_name("state_variable");
+  const auto dictionary = faults::FaultDictionary::build(
+      cut, faults::FaultUniverse::over_testable(cut));
+
+  std::ostringstream csv_os;
+  io::save_dictionary(csv_os, dictionary);
+  const std::string csv_text = csv_os.str();
+  std::ostringstream fdx_os;
+  io::save_dictionary_binary(fdx_os, dictionary);
+  const std::string fdx_bytes = fdx_os.str();
+
+  const bool round_trip_ok =
+      dictionaries_identical(dictionary,
+                             io::load_dictionary_binary(fdx_bytes)) &&
+      dictionaries_identical(dictionary, io::load_dictionary(csv_text));
+
+  auto best_of = [](auto&& run) {
+    double best_ms = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto start = Clock::now();
+      run();
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    return best_ms;
+  };
+  const double csv_ms =
+      best_of([&] { benchmark::DoNotOptimize(io::load_dictionary(csv_text)); });
+  const double fdx_ms = best_of(
+      [&] { benchmark::DoNotOptimize(io::load_dictionary_binary(fdx_bytes)); });
+
+  // Throughput: four producers pushing single-point requests, measured at
+  // 1 and 4 dispatcher threads.
+  Session session = SessionBuilder(cut).build();
+  session.use_vector(core::TestVector{{700.0, 1600.0}});
+  Rng rng(11);
+  std::vector<core::Point> points;
+  for (std::size_t i = 0; i < 1024; ++i) {
+    points.push_back(
+        core::Point{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2)});
+  }
+  auto requests_per_second = [&](std::size_t workers) {
+    ServiceOptions options;
+    options.workers = workers;
+    options.max_batch = 32;
+    double best_rps = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      service::DiagnosisService service(options);
+      service.add_session("state_variable", session);
+      const auto start = Clock::now();
+      constexpr std::size_t kProducers = 4;
+      std::vector<std::future<service::DiagnosisReply>> futures(points.size());
+      std::vector<std::thread> producers;
+      for (std::size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+          for (std::size_t i = p; i < points.size(); i += kProducers) {
+            service::DiagnosisRequest request;
+            request.circuit = "state_variable";
+            request.points.push_back(points[i]);
+            futures[i] = service.submit(std::move(request));
+          }
+        });
+      }
+      for (auto& producer : producers) producer.join();
+      for (auto& future : futures) benchmark::DoNotOptimize(future.get());
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      best_rps = std::max(best_rps,
+                          static_cast<double>(points.size()) / seconds);
+    }
+    return best_rps;
+  };
+  const double rps_1 = requests_per_second(1);
+  const double rps_4 = requests_per_second(4);
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"dictionary_store_and_service\",\n"
+               "  \"circuit\": \"state_variable\",\n"
+               "  \"faults\": %zu,\n"
+               "  \"grid_points\": %zu,\n"
+               "  \"csv_bytes\": %zu,\n"
+               "  \"binary_bytes\": %zu,\n"
+               "  \"csv_load_ms\": %.3f,\n"
+               "  \"binary_load_ms\": %.3f,\n"
+               "  \"load_speedup\": %.2f,\n"
+               "  \"round_trip_bit_identical\": %s,\n"
+               "  \"service_rps_workers1\": %.0f,\n"
+               "  \"service_rps_workers4\": %.0f\n"
+               "}\n",
+               dictionary.fault_count(), dictionary.frequencies().size(),
+               csv_text.size(), fdx_bytes.size(), csv_ms, fdx_ms,
+               csv_ms / fdx_ms, round_trip_ok ? "true" : "false", rps_1,
+               rps_4);
+  std::fclose(out);
+  std::printf("dictionary load (state_variable): csv %.3f ms, binary %.3f ms "
+              "(%.2fx), round trip %s; service %.0f -> %.0f req/s -> %s\n",
+              csv_ms, fdx_ms, csv_ms / fdx_ms,
+              round_trip_ok ? "bit-identical" : "MISMATCH", rps_1, rps_4,
+              path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -481,6 +701,7 @@ int main(int argc, char** argv) {
   // micro-runs don't pay for the extra dictionary builds and GA runs.
   const char* engine_report_path = std::getenv("FTDIAG_ENGINE_REPORT");
   const char* search_report_path = std::getenv("FTDIAG_SEARCH_REPORT");
+  const char* service_report_path = std::getenv("FTDIAG_SERVICE_REPORT");
   const bool full_run = (argc == 1);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -493,6 +714,11 @@ int main(int argc, char** argv) {
   if (search_report_path != nullptr || full_run) {
     write_search_report(search_report_path != nullptr ? search_report_path
                                                       : "BENCH_search.json");
+  }
+  if (service_report_path != nullptr || full_run) {
+    write_service_report(service_report_path != nullptr
+                             ? service_report_path
+                             : "BENCH_service.json");
   }
   return 0;
 }

@@ -20,7 +20,10 @@
 #include "circuits/registry.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_simulator.hpp"
+#include "io/dictionary_io.hpp"
 #include "io/report.hpp"
 #include "io/run_report.hpp"
 #include "mna/ac_analysis.hpp"
 #include "netlist/parser.hpp"
+#include "service/diagnosis_service.hpp"
+#include "service/dictionary_store.hpp"

@@ -1,5 +1,7 @@
 #include "io/dictionary_io.hpp"
 
+#include <bit>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -17,14 +19,19 @@ namespace {
 constexpr const char* kValueTarget = "value";
 constexpr const char* kOpAmpTarget = "opamp";
 
+/// max_digits10 for IEEE double: every finite value round-trips exactly
+/// through text at this precision, which is what makes the CSV format
+/// genuinely lossless.
+constexpr const char* kDoubleFmt = "%.17g";
+
 void write_response(csv::Writer& writer, const std::string& site,
                     const std::string& target, const std::string& param,
                     double deviation, const mna::AcResponse& response) {
   for (std::size_t i = 0; i < response.size(); ++i) {
-    writer.row({site, target, param, str::format("%.10g", deviation),
-                str::format("%.10g", response.frequency(i)),
-                str::format("%.12g", response.value(i).real()),
-                str::format("%.12g", response.value(i).imag())});
+    writer.row({site, target, param, str::format(kDoubleFmt, deviation),
+                str::format(kDoubleFmt, response.frequency(i)),
+                str::format(kDoubleFmt, response.value(i).real()),
+                str::format(kDoubleFmt, response.value(i).imag())});
   }
 }
 
@@ -36,7 +43,177 @@ netlist::OpAmpParam parse_param(const std::string& name) {
   throw ParseError("unknown op-amp parameter '" + name + "'");
 }
 
+// ------------------------------------------------ binary primitives
+
+/// FNV-1a over a byte span (the block checksum).
+std::uint64_t fnv1a_bytes(const char* data, std::size_t size) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Little-endian emit, independent of host byte order.
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked little-endian cursor over an in-memory image.  Every
+/// read throws ParseError("...truncated") instead of running off the end,
+/// so a short file can never be misinterpreted as valid data.
+class ByteReader {
+public:
+  explicit ByteReader(const std::string& bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+  [[nodiscard]] const char* need(std::size_t n) {
+    if (bytes_.size() - pos_ < n || pos_ > bytes_.size()) {
+      throw ParseError("binary dictionary is truncated");
+    }
+    const char* p = bytes_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  [[nodiscard]] std::uint32_t get_u32() {
+    const char* p = need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t get_u64() {
+    const char* p = need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] double get_f64() {
+    return std::bit_cast<double>(get_u64());
+  }
+
+  [[nodiscard]] std::string get_str() {
+    const std::uint32_t size = get_u32();
+    const char* p = need(size);
+    return std::string(p, size);
+  }
+
+  /// Verify the trailing checksum of the block that started at \p begin.
+  void check_block(std::size_t begin, const char* what) {
+    const std::uint64_t expected = fnv1a_bytes(bytes_.data() + begin,
+                                               pos_ - begin);
+    if (get_u64() != expected) {
+      throw ParseError(std::string("binary dictionary ") + what +
+                       " block failed its checksum");
+    }
+  }
+
+private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Append the checksum of everything written since \p begin.
+void seal_block(std::string& out, std::size_t begin) {
+  put_u64(out, fnv1a_bytes(out.data() + begin, out.size() - begin));
+}
+
+/// Fault-site targets as stable wire bytes (do not renumber: the values
+/// are part of the v1 format).
+constexpr std::uint8_t kWireTargetValue = 0;
+constexpr std::uint8_t kWireTargetOpAmp = 1;
+
+std::uint8_t wire_param(netlist::OpAmpParam param) {
+  return static_cast<std::uint8_t>(param);
+}
+
+netlist::OpAmpParam param_from_wire(std::uint8_t raw) {
+  switch (raw) {
+    case static_cast<std::uint8_t>(netlist::OpAmpParam::kDcGain):
+      return netlist::OpAmpParam::kDcGain;
+    case static_cast<std::uint8_t>(netlist::OpAmpParam::kGbw):
+      return netlist::OpAmpParam::kGbw;
+    case static_cast<std::uint8_t>(netlist::OpAmpParam::kRin):
+      return netlist::OpAmpParam::kRin;
+    case static_cast<std::uint8_t>(netlist::OpAmpParam::kRout):
+      return netlist::OpAmpParam::kRout;
+    default:
+      throw ParseError("binary dictionary has an unknown op-amp parameter");
+  }
+}
+
+/// Shared header walk: magic + version + key + counts + checksum.  The
+/// header is sealed like every block, so a flipped count byte is a clean
+/// ParseError — not a multi-terabyte vector allocation downstream.
+BinaryDictionaryHeader parse_header(ByteReader& reader,
+                                    std::size_t total_bytes) {
+  const char* magic = reader.need(sizeof(kBinaryDictionaryMagic));
+  if (std::memcmp(magic, kBinaryDictionaryMagic,
+                  sizeof(kBinaryDictionaryMagic)) != 0) {
+    throw ParseError("not a binary fault dictionary (bad magic)");
+  }
+  BinaryDictionaryHeader header;
+  header.version = reader.get_u32();
+  if (header.version != kBinaryDictionaryVersion) {
+    throw ParseError(str::format(
+        "unsupported binary dictionary version %u (this build reads %u)",
+        header.version, kBinaryDictionaryVersion));
+  }
+  header.key = reader.get_str();
+  header.frequency_count = static_cast<std::size_t>(reader.get_u64());
+  header.fault_count = static_cast<std::size_t>(reader.get_u64());
+  reader.check_block(0, "header");
+  // Belt and braces on top of the checksum: the counts must fit the file
+  // before anything is allocated from them (8 bytes per double, 16 per
+  // complex sample).
+  if (header.frequency_count > total_bytes / 8 ||
+      header.fault_count > total_bytes / 16 ||
+      (header.frequency_count > 0 &&
+       header.fault_count > total_bytes / 16 / header.frequency_count)) {
+    throw ParseError("binary dictionary header counts exceed the file size");
+  }
+  return header;
+}
+
 }  // namespace
+
+DictionaryFormat parse_dictionary_format(const std::string& name) {
+  const std::string lower = str::to_lower(name);
+  if (lower == "csv") return DictionaryFormat::kCsv;
+  if (lower == "binary" || lower == "fdx") return DictionaryFormat::kBinary;
+  if (lower == "auto") return DictionaryFormat::kAuto;
+  throw ParseError("unknown dictionary format '" + name +
+                   "' (expected csv, binary or auto)");
+}
+
+// ------------------------------------------------------------------ CSV
 
 void save_dictionary(std::ostream& os,
                      const faults::FaultDictionary& dictionary) {
@@ -52,14 +229,6 @@ void save_dictionary(std::ostream& os,
                    is_value ? "" : netlist::opamp_param_name(site.param),
                    entry.fault.deviation, entry.response);
   }
-}
-
-void save_dictionary_file(const std::string& path,
-                          const faults::FaultDictionary& dictionary) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw Error("cannot open '" + path + "' for writing");
-  save_dictionary(out, dictionary);
-  if (!out) throw Error("failed writing '" + path + "'");
 }
 
 faults::FaultDictionary load_dictionary(const std::string& text) {
@@ -131,12 +300,185 @@ faults::FaultDictionary load_dictionary(const std::string& text) {
                                              std::move(entries));
 }
 
-faults::FaultDictionary load_dictionary_file(const std::string& path) {
+// --------------------------------------------------------------- binary
+
+bool is_binary_dictionary(const std::string& bytes) {
+  return bytes.size() >= sizeof(kBinaryDictionaryMagic) &&
+         std::memcmp(bytes.data(), kBinaryDictionaryMagic,
+                     sizeof(kBinaryDictionaryMagic)) == 0;
+}
+
+void save_dictionary_binary(std::ostream& os,
+                            const faults::FaultDictionary& dictionary,
+                            const std::string& key) {
+  const auto& freqs = dictionary.frequencies();
+  const auto& entries = dictionary.entries();
+
+  std::string out;
+  // Header + four checksummed blocks; sized generously up front so the
+  // whole image is built with a handful of allocations.
+  out.reserve(64 + key.size() + 8 * freqs.size() +
+              16 * freqs.size() * (entries.size() + 1) + 64 * entries.size());
+
+  out.append(kBinaryDictionaryMagic, sizeof(kBinaryDictionaryMagic));
+  put_u32(out, kBinaryDictionaryVersion);
+  put_str(out, key);
+  put_u64(out, freqs.size());
+  put_u64(out, entries.size());
+  seal_block(out, 0);  // the header is checksummed like every block
+
+  // Block 1: the shared frequency grid.
+  std::size_t begin = out.size();
+  for (double f : freqs) put_f64(out, f);
+  seal_block(out, begin);
+
+  // Block 2: the golden response values.
+  begin = out.size();
+  for (const auto& v : dictionary.golden().values()) {
+    put_f64(out, v.real());
+    put_f64(out, v.imag());
+  }
+  seal_block(out, begin);
+
+  // Block 3: the fault list (site + deviation per entry, in entry order).
+  begin = out.size();
+  for (const auto& entry : entries) {
+    const auto& site = entry.fault.site;
+    const bool is_value =
+        site.target == faults::FaultSite::Target::kComponentValue;
+    out.push_back(static_cast<char>(is_value ? kWireTargetValue
+                                             : kWireTargetOpAmp));
+    put_str(out, site.component);
+    out.push_back(static_cast<char>(is_value ? 0 : wire_param(site.param)));
+    put_f64(out, entry.fault.deviation);
+  }
+  seal_block(out, begin);
+
+  // Block 4: every faulty response, one contiguous little-endian run of
+  // (re, im) pairs in entry-major order.
+  begin = out.size();
+  for (const auto& entry : entries) {
+    for (const auto& v : entry.response.values()) {
+      put_f64(out, v.real());
+      put_f64(out, v.imag());
+    }
+  }
+  seal_block(out, begin);
+
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+BinaryDictionaryHeader read_binary_dictionary_header(
+    const std::string& bytes) {
+  ByteReader reader(bytes);
+  return parse_header(reader, bytes.size());
+}
+
+faults::FaultDictionary load_dictionary_binary(const std::string& bytes) {
+  ByteReader reader(bytes);
+  const BinaryDictionaryHeader header = parse_header(reader, bytes.size());
+  const std::size_t n_freqs = header.frequency_count;
+  const std::size_t n_entries = header.fault_count;
+
+  // Block 1: frequency grid.
+  std::size_t begin = reader.position();
+  std::vector<double> freqs(n_freqs);
+  for (double& f : freqs) f = reader.get_f64();
+  reader.check_block(begin, "frequency");
+
+  // Block 2: golden values.
+  begin = reader.position();
+  std::vector<mna::Complex> golden_values(n_freqs);
+  for (auto& v : golden_values) {
+    const double re = reader.get_f64();
+    const double im = reader.get_f64();
+    v = {re, im};
+  }
+  reader.check_block(begin, "golden");
+
+  // Block 3: fault list.
+  begin = reader.position();
+  std::vector<faults::ParametricFault> faults(n_entries);
+  for (auto& fault : faults) {
+    const std::uint8_t target =
+        static_cast<std::uint8_t>(*reader.need(1));
+    std::string component = reader.get_str();
+    const std::uint8_t raw_param =
+        static_cast<std::uint8_t>(*reader.need(1));
+    const double deviation = reader.get_f64();
+    if (target == kWireTargetValue) {
+      fault.site = faults::FaultSite::value_of(std::move(component));
+    } else if (target == kWireTargetOpAmp) {
+      fault.site = faults::FaultSite::opamp_param_of(
+          std::move(component), param_from_wire(raw_param));
+    } else {
+      throw ParseError("binary dictionary has an unknown fault target");
+    }
+    fault.deviation = deviation;
+  }
+  reader.check_block(begin, "fault-list");
+
+  // Block 4: all responses in one contiguous run, split per entry onto
+  // the shared grid.
+  begin = reader.position();
+  std::vector<faults::DictionaryEntry> entries;
+  entries.reserve(n_entries);
+  for (std::size_t e = 0; e < n_entries; ++e) {
+    std::vector<mna::Complex> values(n_freqs);
+    for (auto& v : values) {
+      const double re = reader.get_f64();
+      const double im = reader.get_f64();
+      v = {re, im};
+    }
+    entries.push_back(
+        {faults[e], mna::AcResponse(freqs, std::move(values))});
+  }
+  reader.check_block(begin, "response");
+
+  return faults::FaultDictionary::from_parts(
+      mna::AcResponse(std::move(freqs), std::move(golden_values)),
+      std::move(entries));
+}
+
+// ----------------------------------------------------------------- files
+
+std::string read_file_bytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw ParseError("cannot open dictionary file '" + path + "'");
+  if (!in) throw ParseError("cannot open '" + path + "'");
   std::ostringstream ss;
   ss << in.rdbuf();
-  return load_dictionary(ss.str());
+  return std::move(ss).str();
+}
+
+void save_dictionary_file(const std::string& path,
+                          const faults::FaultDictionary& dictionary,
+                          DictionaryFormat format, const std::string& key) {
+  if (format == DictionaryFormat::kAuto) {
+    format = str::ends_with(str::to_lower(path), ".fdx")
+                 ? DictionaryFormat::kBinary
+                 : DictionaryFormat::kCsv;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  if (format == DictionaryFormat::kBinary) {
+    save_dictionary_binary(out, dictionary, key);
+  } else {
+    save_dictionary(out, dictionary);
+  }
+  if (!out) throw Error("failed writing '" + path + "'");
+}
+
+faults::FaultDictionary load_dictionary_file(const std::string& path,
+                                             DictionaryFormat format) {
+  const std::string bytes = read_file_bytes(path);
+  if (format == DictionaryFormat::kAuto) {
+    format = is_binary_dictionary(bytes) ? DictionaryFormat::kBinary
+                                         : DictionaryFormat::kCsv;
+  }
+  if (format == DictionaryFormat::kBinary) {
+    return load_dictionary_binary(bytes);
+  }
+  return load_dictionary(bytes);
 }
 
 }  // namespace ftdiag::io

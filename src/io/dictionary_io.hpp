@@ -1,10 +1,13 @@
 /// \file dictionary_io.hpp
-/// \brief Lossless fault-dictionary serialization.
+/// \brief Lossless fault-dictionary serialization (CSV and binary `.fdx`).
 ///
 /// Building a dictionary is the expensive part of the flow (one AC sweep
-/// per fault); saving it lets the CLI and test programs split the
-/// "simulate once" and "search/diagnose many times" phases.  The format is
-/// long-form CSV with full complex values:
+/// per fault); saving it lets the CLI, the service layer and test programs
+/// split the "simulate once" and "diagnose many times" phases.  Two formats
+/// round-trip a FaultDictionary bit-identically:
+///
+/// **CSV** — long-form text with full `max_digits10` precision, one row per
+/// fault x frequency (human-inspectable, diff-able):
 ///
 /// ```
 /// site,target,param,deviation,freq_hz,re,im
@@ -12,8 +15,18 @@
 /// R3,value,,-0.4,10,0.9983,-0.0119
 /// OA1,opamp,gbw,0.1,10,...
 /// ```
+///
+/// **Binary `.fdx`** — the serving format: magic + version + metadata +
+/// checksummed little-endian blocks, loaded with one contiguous read per
+/// block straight into the FaultDictionary layout (see
+/// src/service/README.md for the full spec).  ~10-100x faster to load than
+/// the CSV and byte-stable across platforms.
+///
+/// `load_dictionary_file` auto-detects the format by magic bytes, so both
+/// kinds load through one entry point.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -21,20 +34,80 @@
 
 namespace ftdiag::io {
 
-/// Write the full dictionary (golden + every fault response).
+/// On-disk dictionary representations accepted by the file entry points.
+enum class DictionaryFormat : std::uint8_t {
+  kCsv,     ///< long-form text (the original format)
+  kBinary,  ///< `.fdx` checksummed little-endian blocks
+  kAuto,    ///< saving: by file extension; loading: by magic bytes
+};
+
+/// Parse "csv" / "binary" / "auto" (the CLI's --dict-format values).
+/// \throws ParseError for anything else.
+[[nodiscard]] DictionaryFormat parse_dictionary_format(const std::string& name);
+
+// ----------------------------------------------------------------- CSV
+
+/// Write the full dictionary (golden + every fault response) as CSV.
+/// Numeric fields use max_digits10, so a save -> load -> save cycle is
+/// byte-identical and every double survives exactly.
 void save_dictionary(std::ostream& os,
                      const faults::FaultDictionary& dictionary);
-
-/// Convenience: save to a file. \throws ftdiag::Error on I/O failure.
-void save_dictionary_file(const std::string& path,
-                          const faults::FaultDictionary& dictionary);
 
 /// Parse a dictionary previously written by save_dictionary.
 /// \throws ParseError / ConfigError on malformed content.
 [[nodiscard]] faults::FaultDictionary load_dictionary(const std::string& text);
 
-/// Convenience: load from a file.
+// -------------------------------------------------------------- binary
+
+/// The `.fdx` magic bytes ("FDX1") and current format version.
+inline constexpr char kBinaryDictionaryMagic[4] = {'F', 'D', 'X', '1'};
+inline constexpr std::uint32_t kBinaryDictionaryVersion = 1;
+
+/// Fixed-size facts parsed from a `.fdx` header without touching the data
+/// blocks — enough for a store to validate a file before paying for the
+/// full load.
+struct BinaryDictionaryHeader {
+  std::uint32_t version = 0;
+  std::string key;  ///< the writer's cache key ("" when saved standalone)
+  std::size_t frequency_count = 0;
+  std::size_t fault_count = 0;
+};
+
+/// True if \p bytes begin with the `.fdx` magic.
+[[nodiscard]] bool is_binary_dictionary(const std::string& bytes);
+
+/// Serialize as `.fdx`.  \p key is stored in the header so a dictionary
+/// store can verify a file matches the (circuit, universe, grid, sim)
+/// signature it was indexed under; pass "" for standalone saves.
+void save_dictionary_binary(std::ostream& os,
+                            const faults::FaultDictionary& dictionary,
+                            const std::string& key = "");
+
+/// Parse a `.fdx` image.  \throws ParseError on bad magic, an unsupported
+/// version, a truncated block or a checksum mismatch.
+[[nodiscard]] faults::FaultDictionary load_dictionary_binary(
+    const std::string& bytes);
+
+/// Parse only the header of a `.fdx` image.  \throws ParseError as above.
+[[nodiscard]] BinaryDictionaryHeader read_binary_dictionary_header(
+    const std::string& bytes);
+
+// --------------------------------------------------------------- files
+
+/// Save to a file.  kAuto picks kBinary for a `.fdx` extension and kCsv
+/// otherwise.  \throws ftdiag::Error on I/O failure.
+void save_dictionary_file(const std::string& path,
+                          const faults::FaultDictionary& dictionary,
+                          DictionaryFormat format = DictionaryFormat::kAuto,
+                          const std::string& key = "");
+
+/// Load from a file.  kAuto sniffs the magic bytes, so CSV and `.fdx`
+/// both load through this one entry point.  \throws ParseError.
 [[nodiscard]] faults::FaultDictionary load_dictionary_file(
-    const std::string& path);
+    const std::string& path, DictionaryFormat format = DictionaryFormat::kAuto);
+
+/// Slurp a whole file (shared by the loaders and the dictionary store).
+/// \throws ParseError if the file cannot be opened.
+[[nodiscard]] std::string read_file_bytes(const std::string& path);
 
 }  // namespace ftdiag::io

@@ -16,6 +16,24 @@ namespace ftdiag::io {
 /// Columns: freq_hz, mag, mag_db, phase_deg.
 void write_response_csv(std::ostream& os, const mna::AcResponse& response);
 
+/// Columns: freq_hz, re, im — a complex measured response at full
+/// max_digits10 precision.  This is the serve-batch interchange format:
+/// one file per board measurement, loaded back losslessly by
+/// load_measurement_csv.
+void write_measurement_csv(std::ostream& os, const mna::AcResponse& measured);
+
+/// Convenience: write_measurement_csv to a file.  \throws ftdiag::Error.
+void write_measurement_csv_file(const std::string& path,
+                                const mna::AcResponse& measured);
+
+/// Parse a measurement written by write_measurement_csv.
+/// \throws ParseError on malformed content.
+[[nodiscard]] mna::AcResponse load_measurement_csv(const std::string& text);
+
+/// Convenience: load a measurement CSV file.  \throws ParseError.
+[[nodiscard]] mna::AcResponse load_measurement_csv_file(
+    const std::string& path);
+
 /// Columns: freq_hz, golden_mag, then one magnitude column per fault
 /// (header = fault label).  This is the Fig. 1 data file.
 void write_dictionary_csv(std::ostream& os,

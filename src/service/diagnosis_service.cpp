@@ -1,0 +1,285 @@
+#include "service/diagnosis_service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace ftdiag::service {
+
+void ServiceOptions::check() const {
+  if (queue_capacity == 0) {
+    throw ConfigError("service queue capacity must be >= 1");
+  }
+  if (max_batch == 0) {
+    throw ConfigError("service max_batch must be >= 1");
+  }
+  if (max_linger.count() < 0) {
+    throw ConfigError("service max_linger must be >= 0");
+  }
+}
+
+DiagnosisService::DiagnosisService(ServiceOptions options)
+    : options_(options) {
+  options_.check();
+  worker_count_ =
+      options_.workers != 0
+          ? options_.workers
+          : std::max<std::size_t>(1, par::default_thread_count() / 2);
+  workers_.reserve(worker_count_);
+  for (std::size_t i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DiagnosisService::~DiagnosisService() { shutdown(); }
+
+void DiagnosisService::add_session(const std::string& circuit,
+                                   Session session) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  sessions_.insert_or_assign(circuit, std::move(session));
+}
+
+std::vector<std::string> DiagnosisService::circuits() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(sessions_.size());
+  for (const auto& [key, session] : sessions_) keys.push_back(key);
+  return keys;
+}
+
+std::future<DiagnosisReply> DiagnosisService::submit(
+    DiagnosisRequest request) {
+  if (request.observation_count() == 0) {
+    throw ConfigError("diagnosis request has no observations");
+  }
+  std::future<DiagnosisReply> future;
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (stopping_) throw ConfigError("diagnosis service is shut down");
+    if (queue_.size() >= options_.queue_capacity) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.queue_full_waits;
+      }
+      space_cv_.wait(lock, [&] {
+        return stopping_ || queue_.size() < options_.queue_capacity;
+      });
+      if (stopping_) throw ConfigError("diagnosis service is shut down");
+    }
+    Pending pending{std::move(request), {}, Clock::now()};
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  return future;
+}
+
+DiagnosisReply DiagnosisService::diagnose(DiagnosisRequest request) {
+  return submit(std::move(request)).get();
+}
+
+void DiagnosisService::worker_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping and fully drained
+
+    std::vector<Pending> batch;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    const std::string circuit = batch.front().request.circuit;
+
+    // Coalesce every queued request for the same circuit, newest included,
+    // up to the batch bound.
+    auto scoop = [&] {
+      for (auto it = queue_.begin();
+           it != queue_.end() && batch.size() < options_.max_batch;) {
+        if (it->request.circuit == circuit) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    scoop();
+
+    // Linger briefly for stragglers — but never while unrelated requests
+    // sit in the queue (they belong to another batch, and holding them
+    // hostage would trade their latency for our batch size).
+    if (batch.size() < options_.max_batch && options_.max_linger.count() > 0) {
+      const auto deadline = Clock::now() + options_.max_linger;
+      while (batch.size() < options_.max_batch && !stopping_ &&
+             queue_.empty()) {
+        if (queue_cv_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          scoop();
+          break;
+        }
+        scoop();
+      }
+    }
+
+    // If other circuits' requests remain queued, we may have absorbed the
+    // notify that announced them — pass the baton to an idle worker
+    // before spending time on our batch.
+    const bool leftover = !queue_.empty();
+    lock.unlock();
+    space_cv_.notify_all();
+    if (leftover) queue_cv_.notify_one();
+    process_batch(std::move(batch));
+  }
+}
+
+std::optional<Session> DiagnosisService::find_session(
+    const std::string& circuit) const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (circuit.empty() && sessions_.size() == 1) {
+    return sessions_.begin()->second;
+  }
+  auto it = sessions_.find(circuit);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DiagnosisService::process_batch(std::vector<Pending> batch) {
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.batches;
+    stats_.batched_requests += batch.size();
+    stats_.largest_batch = std::max(stats_.largest_batch, batch.size());
+  }
+
+  const std::optional<Session> session =
+      find_session(batch.front().request.circuit);
+  if (!session) {
+    auto error = std::make_exception_ptr(ConfigError(
+        "no session registered for circuit '" +
+        batch.front().request.circuit + "'"));
+    for (auto& pending : batch) fail(pending, error);
+    return;
+  }
+
+  // Flatten every observation into one point list; each request keeps its
+  // [begin, begin+count) span so the batched results split back exactly.
+  struct Span {
+    std::size_t begin = 0;
+    std::size_t count = 0;
+    bool failed = false;
+  };
+  std::vector<core::Point> all_points;
+  std::vector<Span> spans;
+  spans.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::size_t begin = all_points.size();
+    try {
+      for (const auto& point : batch[i].request.points) {
+        all_points.push_back(point);
+      }
+      for (const auto& measured : batch[i].request.measured) {
+        all_points.push_back(session->observe(measured));
+      }
+      spans.push_back({begin, all_points.size() - begin, false});
+    } catch (...) {
+      all_points.resize(begin);  // drop the half-converted request
+      fail(batch[i], std::current_exception());
+      spans.push_back({begin, 0, true});
+    }
+  }
+  if (all_points.empty()) return;  // every request failed conversion
+
+  std::vector<core::Diagnosis> results;
+  try {
+    results = session->diagnose_batch(all_points, options_.batch_threads);
+  } catch (...) {
+    auto error = std::current_exception();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!spans[i].failed) fail(batch[i], error);
+    }
+    return;
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (spans[i].failed) continue;
+    DiagnosisReply reply;
+    reply.results.assign(
+        results.begin() + static_cast<std::ptrdiff_t>(spans[i].begin),
+        results.begin() +
+            static_cast<std::ptrdiff_t>(spans[i].begin + spans[i].count));
+    finish(batch[i], std::move(reply));
+  }
+}
+
+void DiagnosisService::finish(Pending& pending, DiagnosisReply reply) {
+  const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - pending.enqueued);
+  {
+    // Count before completing the future, so a caller that joined its
+    // reply always observes the request in the counters.
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.completed;
+    const std::uint64_t us =
+        latency.count() > 0 ? static_cast<std::uint64_t>(latency.count()) : 0;
+    const std::size_t bucket = std::min<std::size_t>(
+        kLatencyBuckets - 1, static_cast<std::size_t>(std::bit_width(us)));
+    ++latency_histogram_[bucket];
+  }
+  pending.promise.set_value(std::move(reply));
+}
+
+void DiagnosisService::fail(Pending& pending, std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.failed;
+  }
+  pending.promise.set_exception(std::move(error));
+}
+
+ServiceStats DiagnosisService::stats() const {
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  ServiceStats snapshot = stats_;
+  std::uint64_t total = 0;
+  for (std::uint64_t count : latency_histogram_) total += count;
+  if (total > 0) {
+    auto percentile = [&](double fraction) {
+      const std::uint64_t target = static_cast<std::uint64_t>(
+          fraction * static_cast<double>(total - 1)) + 1;
+      std::uint64_t seen = 0;
+      for (std::size_t bucket = 0; bucket < kLatencyBuckets; ++bucket) {
+        seen += latency_histogram_[bucket];
+        if (seen >= target) {
+          // bit_width(us) == bucket means us < 2^bucket: report the
+          // bucket's upper bound.
+          return static_cast<double>(std::uint64_t{1} << bucket);
+        }
+      }
+      return static_cast<double>(std::uint64_t{1} << (kLatencyBuckets - 1));
+    };
+    snapshot.p50_latency_us = percentile(0.50);
+    snapshot.p95_latency_us = percentile(0.95);
+  }
+  return snapshot;
+}
+
+void DiagnosisService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace ftdiag::service

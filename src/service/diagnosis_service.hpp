@@ -1,0 +1,148 @@
+/// \file diagnosis_service.hpp
+/// \brief Thread-safe diagnosis front end: bounded MPMC request queue,
+/// same-circuit micro-batching, futures out.
+///
+/// One process holds one expensive artifact per circuit (the dictionary,
+/// via Session / DictionaryStore); the service turns that into a serving
+/// system: any number of producer threads submit() DiagnosisRequests, a
+/// small dispatcher pool drains the queue, coalesces requests that hit the
+/// same circuit into one Session::diagnose_batch call (bounded by
+/// ServiceOptions::max_batch and max_linger), fans the batched points over
+/// util::parallel, and completes each request's future.  Batched results
+/// are bit-identical to serial Session::diagnose calls for any thread
+/// count and any batching configuration — batching only changes *when*
+/// work runs, never *what* is computed.
+///
+///   service::DiagnosisService service;            // options.service knobs
+///   service.add_session("tow_thomas", session);   // vector installed
+///   auto reply = service.submit({.circuit = "tow_thomas",
+///                                .points = {observed}}).get();
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/diagnosis.hpp"
+#include "mna/response.hpp"
+#include "service/options.hpp"
+#include "session.hpp"
+
+namespace ftdiag::service {
+
+/// One unit of serving work: which circuit, and the observations to
+/// diagnose — signature points and/or raw measured responses (sampled at
+/// the session's active test vector).
+struct DiagnosisRequest {
+  /// Key of a session registered with add_session.  May be left "" when
+  /// exactly one session is registered.
+  std::string circuit;
+  std::vector<core::Point> points;
+  std::vector<mna::AcResponse> measured;
+
+  [[nodiscard]] std::size_t observation_count() const {
+    return points.size() + measured.size();
+  }
+};
+
+/// One diagnosis per observation, points first then measured, in request
+/// order.
+struct DiagnosisReply {
+  std::vector<core::Diagnosis> results;
+};
+
+/// Monotonic serving counters (see also DictionaryStore::stats for the
+/// artifact tiers).  Latency percentiles are tracked with a log2
+/// microsecond histogram, so p50/p95 are bucket upper bounds.
+struct ServiceStats {
+  std::size_t submitted = 0;        ///< requests accepted into the queue
+  std::size_t completed = 0;        ///< requests answered successfully
+  std::size_t failed = 0;           ///< requests completed with an error
+  std::size_t batches = 0;          ///< micro-batches dispatched
+  std::size_t batched_requests = 0; ///< requests across those batches
+  std::size_t largest_batch = 0;    ///< most requests coalesced at once
+  std::size_t queue_full_waits = 0; ///< submits that hit backpressure
+  double p50_latency_us = 0.0;      ///< submit -> reply, median
+  double p95_latency_us = 0.0;      ///< submit -> reply, tail
+};
+
+class DiagnosisService {
+public:
+  /// Starts the dispatcher pool.  \throws ConfigError on bad options.
+  explicit DiagnosisService(ServiceOptions options = {});
+
+  /// Drains the queue and joins the dispatchers (graceful shutdown()).
+  ~DiagnosisService();
+
+  DiagnosisService(const DiagnosisService&) = delete;
+  DiagnosisService& operator=(const DiagnosisService&) = delete;
+
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+  /// Register (or replace) the session serving \p circuit.  Sessions are
+  /// cheap shared handles; the service keeps its own copy.  The session
+  /// should have an active test vector — requests against one without it
+  /// fail with ConfigError through their future.
+  void add_session(const std::string& circuit, Session session);
+
+  /// Registered circuit keys (sorted).
+  [[nodiscard]] std::vector<std::string> circuits() const;
+
+  /// Enqueue a request; blocks while the queue is at capacity
+  /// (backpressure).  The future carries the reply or the error.
+  /// \throws ConfigError for an empty request or a shut-down service.
+  [[nodiscard]] std::future<DiagnosisReply> submit(DiagnosisRequest request);
+
+  /// Synchronous convenience: submit + wait.  Errors rethrow here.
+  [[nodiscard]] DiagnosisReply diagnose(DiagnosisRequest request);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Stop accepting requests, serve everything already queued, join the
+  /// dispatcher pool.  Idempotent; called by the destructor.
+  void shutdown();
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    DiagnosisRequest request;
+    std::promise<DiagnosisReply> promise;
+    Clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void process_batch(std::vector<Pending> batch);
+  [[nodiscard]] std::optional<Session> find_session(
+      const std::string& circuit) const;
+  void finish(Pending& pending, DiagnosisReply reply);
+  void fail(Pending& pending, std::exception_ptr error);
+
+  ServiceOptions options_;
+  std::size_t worker_count_ = 1;
+
+  mutable std::mutex sessions_mutex_;
+  std::map<std::string, Session> sessions_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;  ///< consumers: work or shutdown
+  std::condition_variable space_cv_;  ///< producers: capacity freed
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+
+  static constexpr std::size_t kLatencyBuckets = 40;
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+  std::uint64_t latency_histogram_[kLatencyBuckets] = {};
+};
+
+}  // namespace ftdiag::service

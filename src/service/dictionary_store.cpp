@@ -1,0 +1,242 @@
+#include "service/dictionary_store.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <map>
+#include <utility>
+
+#include "io/dictionary_io.hpp"
+#include "session.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag::service {
+
+void StoreOptions::check() const {
+  if (capacity == 0) {
+    throw ConfigError("dictionary store capacity must be >= 1");
+  }
+  if (shards == 0) {
+    throw ConfigError("dictionary store needs at least one shard");
+  }
+}
+
+using DictionaryPtr = std::shared_ptr<const faults::FaultDictionary>;
+
+/// One concurrency shard: its own mutex, LRU-ordered entries, and the
+/// in-flight loads other get()s of the same key join instead of repeating.
+struct DictionaryStore::Shard {
+  struct Entry {
+    DictionaryPtr dictionary;
+    std::uint64_t tick = 0;  ///< last-touch stamp; smallest tick evicts first
+  };
+
+  std::mutex mutex;
+  std::map<std::string, Entry> entries;
+  std::map<std::string, std::shared_future<DictionaryPtr>> inflight;
+  std::uint64_t clock = 0;
+};
+
+DictionaryStore::DictionaryStore(StoreOptions options)
+    : options_(std::move(options)) {
+  options_.check();
+  per_shard_capacity_ =
+      std::max<std::size_t>(1, options_.capacity / options_.shards);
+  shards_ = std::make_unique<Shard[]>(options_.shards);
+}
+
+DictionaryStore::~DictionaryStore() = default;
+
+DictionaryStore::Shard& DictionaryStore::shard_for(
+    const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % options_.shards];
+}
+
+std::string DictionaryStore::path_for(const std::string& key) const {
+  if (options_.root_dir.empty()) return "";
+  // Keys embed the CUT name, which for netlist sessions is a file *path*
+  // ("boards/filter.cir#<hash>") — flatten anything that is not a safe
+  // filename character so every artifact lands directly under root_dir.
+  // The trailing hash keeps flattened names collision-free, and the exact
+  // key stored in the header is verified on load regardless.
+  std::string file;
+  file.reserve(key.size());
+  for (char c : key) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                      c == '_' || c == '#';
+    file.push_back(safe ? c : '_');
+  }
+  return options_.root_dir + "/" + file + ".fdx";
+}
+
+DictionaryPtr DictionaryStore::get(const circuits::CircuitUnderTest& cut,
+                                   const faults::DeviationSpec& spec,
+                                   const faults::SimOptions& sim) {
+  const std::string key = dictionary_cache_key(cut, spec, sim);
+  Shard& shard = shard_for(key);
+
+  std::promise<DictionaryPtr> promise;
+  std::shared_future<DictionaryPtr> joined;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      it->second.tick = ++shard.clock;
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.memory_hits;
+      return it->second.dictionary;
+    }
+    auto inflight = shard.inflight.find(key);
+    if (inflight != shard.inflight.end()) {
+      joined = inflight->second;
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.shared_waits;
+    } else {
+      shard.inflight.emplace(key, promise.get_future().share());
+    }
+  }
+  if (joined.valid()) return joined.get();
+
+  // We own the load/build for this key; every concurrent get() of the
+  // same key is now parked on our future.
+  try {
+    DictionaryPtr dictionary = load_or_build(key, cut, spec, sim);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      insert(shard, key, dictionary);
+      shard.inflight.erase(key);
+    }
+    promise.set_value(dictionary);
+    return dictionary;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.inflight.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+DictionaryPtr DictionaryStore::load_or_build(
+    const std::string& key, const circuits::CircuitUnderTest& cut,
+    const faults::DeviationSpec& spec, const faults::SimOptions& sim) {
+  const std::string path = path_for(key);
+
+  // Tier 2: the on-disk artifact.  Anything wrong with the file — bad
+  // magic, failed checksum, truncation, a key minted by a different
+  // (circuit, universe, grid, sim) signature — demotes to a rebuild; a
+  // stale or corrupt artifact must never poison diagnosis results.
+  if (!path.empty() && std::filesystem::exists(path)) {
+    try {
+      const std::string bytes = io::read_file_bytes(path);
+      const auto header = io::read_binary_dictionary_header(bytes);
+      if (!header.key.empty() && header.key != key) {
+        throw ParseError("dictionary file was written under another key");
+      }
+      auto dictionary = std::make_shared<const faults::FaultDictionary>(
+          io::load_dictionary_binary(bytes));
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.disk_hits;
+      }
+      log::info(str::format("store: loaded %s (%zu faults)", path.c_str(),
+                            dictionary->fault_count()));
+      return dictionary;
+    } catch (const Error& e) {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.invalid_files;
+      log::warn(str::format("store: ignoring %s: %s", path.c_str(),
+                            e.what()));
+    }
+  }
+
+  // Tier 3: simulate from scratch, then persist for the next process.
+  auto dictionary = std::make_shared<const faults::FaultDictionary>(
+      faults::FaultDictionary::build(
+          cut, faults::FaultUniverse::over_testable(cut, spec), sim));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.builds;
+  }
+  if (!path.empty() && options_.persist) {
+    try {
+      std::filesystem::create_directories(options_.root_dir);
+      // Write-then-rename so a concurrent reader never sees a partial
+      // file; builds are bit-identical, so a last-writer race is benign.
+      const std::string tmp = path + ".tmp";
+      {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out) throw Error("cannot open '" + tmp + "' for writing");
+        io::save_dictionary_binary(out, *dictionary, key);
+        if (!out) throw Error("failed writing '" + tmp + "'");
+      }
+      std::filesystem::rename(tmp, path);
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.persisted;
+      }
+      log::info(str::format("store: persisted %s", path.c_str()));
+    } catch (const std::exception& e) {
+      // Persistence is an optimization for the next process; failing to
+      // write must not fail this request.
+      log::warn(str::format("store: could not persist %s: %s", path.c_str(),
+                            e.what()));
+    }
+  }
+  return dictionary;
+}
+
+void DictionaryStore::insert(Shard& shard, const std::string& key,
+                             DictionaryPtr dictionary) {
+  shard.entries[key] = {std::move(dictionary), ++shard.clock};
+  while (shard.entries.size() > per_shard_capacity_) {
+    auto victim = shard.entries.begin();
+    for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+      if (it->second.tick < victim->second.tick) victim = it;
+    }
+    shard.entries.erase(victim);
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.evictions;
+  }
+}
+
+std::size_t DictionaryStore::cached_count() const {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    count += shards_[s].entries.size();
+  }
+  return count;
+}
+
+StoreStats DictionaryStore::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void DictionaryStore::clear() {
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    shards_[s].entries.clear();
+  }
+}
+
+DictionaryStore& DictionaryStore::process_wide() {
+  static DictionaryStore store([] {
+    StoreOptions options;
+    if (const char* dir = std::getenv("FTDIAG_STORE_DIR")) {
+      options.root_dir = dir;
+    }
+    return options;
+  }());
+  return store;
+}
+
+}  // namespace ftdiag::service

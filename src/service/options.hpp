@@ -1,0 +1,61 @@
+/// \file options.hpp
+/// \brief Typed configuration of the ftdiag serving layer.
+///
+/// Kept separate from diagnosis_service.hpp so the Session facade can
+/// embed ServiceOptions (SessionBuilder::service) without pulling the
+/// whole service into every translation unit that includes session.hpp.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace ftdiag::service {
+
+/// Configuration of the persistent dictionary store.
+struct StoreOptions {
+  /// Directory for `.fdx` artifacts; "" disables persistence (the store
+  /// degrades to a pure in-memory LRU cache).
+  std::string root_dir;
+
+  /// Dictionaries kept in memory across all shards; older entries are
+  /// evicted LRU (clients holding the shared_ptr keep theirs alive).
+  std::size_t capacity = 16;
+
+  /// Concurrency shards; keys hash to a shard so unrelated circuits never
+  /// serialize on one mutex.  1 makes the whole-store LRU order exact.
+  std::size_t shards = 4;
+
+  /// Persist dictionaries the store builds (cold misses) to root_dir.
+  bool persist = true;
+
+  /// \throws ConfigError on a zero capacity or shard count.
+  void check() const;
+};
+
+/// Configuration of the concurrent diagnosis front end.
+struct ServiceOptions {
+  /// Bounded MPMC request queue; submit() blocks while full (backpressure
+  /// instead of unbounded memory growth).
+  std::size_t queue_capacity = 1024;
+
+  /// Dispatcher threads draining the queue; 0 means "auto" (half the
+  /// hardware concurrency, at least 1 — the batch fan-out uses the rest).
+  std::size_t workers = 0;
+
+  /// Most requests coalesced into one diagnosis micro-batch.
+  std::size_t max_batch = 64;
+
+  /// How long a dispatcher lingers for more same-circuit requests before
+  /// running a non-full batch.  0 disables coalescing waits entirely.
+  std::chrono::microseconds max_linger{200};
+
+  /// Worker threads for the point fan-out inside one batch
+  /// (Session::diagnose_batch); 0 means "auto".  Never changes results.
+  std::size_t batch_threads = 1;
+
+  /// \throws ConfigError on a zero queue capacity or max_batch.
+  void check() const;
+};
+
+}  // namespace ftdiag::service

@@ -12,8 +12,10 @@
 #include "faults/fault_simulator.hpp"
 #include "mna/frequency_grid.hpp"
 #include "netlist/parser.hpp"
+#include "service/dictionary_store.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace ftdiag {
@@ -39,9 +41,13 @@ std::uint64_t fnv1a(std::uint64_t h, double value) {
   return fnv1a(h, std::string(buf));
 }
 
+}  // namespace
+
 /// Cache key covering everything the dictionary build depends on: the
 /// circuit (component descriptions carry names, nodes and values), the
 /// test access points, the testable set, the grid and the deviation sweep.
+/// Public because the service::DictionaryStore indexes its `.fdx`
+/// artifacts by exactly this key.
 std::string dictionary_cache_key(const circuits::CircuitUnderTest& cut,
                                  const faults::DeviationSpec& spec,
                                  const faults::SimOptions& sim) {
@@ -70,6 +76,8 @@ std::string dictionary_cache_key(const circuits::CircuitUnderTest& cut,
   return cut.name + "#" + str::format("%016llx",
                                       static_cast<unsigned long long>(h));
 }
+
+namespace {
 
 std::mutex& cache_mutex() {
   static std::mutex m;
@@ -138,6 +146,7 @@ void SessionOptions::check() const {
   search.check();
   noise.check();
   sim.check();
+  service.check();
   (void)deviations.deviations();  // validates the range
 }
 
@@ -148,6 +157,10 @@ struct Session::State {
   SessionOptions options;
   std::string dictionary_key;
   std::shared_ptr<const core::TrajectoryFitness> fitness;
+  /// When set, the dictionary resolves through this persistent store
+  /// (memory LRU -> `.fdx` on disk -> build) instead of the in-process
+  /// weak cache.
+  std::shared_ptr<service::DictionaryStore> store;
 
   mutable std::mutex mutex;
   mutable std::shared_ptr<const faults::FaultDictionary> dictionary;
@@ -172,9 +185,13 @@ const SessionOptions& Session::options() const { return state_->options; }
 std::shared_ptr<const faults::FaultDictionary> Session::dictionary() const {
   std::lock_guard<std::mutex> lock(state_->mutex);
   if (!state_->dictionary) {
-    state_->dictionary = fetch_dictionary(state_->dictionary_key, state_->cut,
-                                          state_->options.deviations,
-                                          state_->options.sim);
+    state_->dictionary =
+        state_->store
+            ? state_->store->get(state_->cut, state_->options.deviations,
+                                 state_->options.sim)
+            : fetch_dictionary(state_->dictionary_key, state_->cut,
+                               state_->options.deviations,
+                               state_->options.sim);
     log::info(str::format("session(%s): dictionary ready (%zu faults)",
                           state_->cut.name.c_str(),
                           state_->dictionary->fault_count()));
@@ -332,13 +349,15 @@ core::Diagnosis Session::diagnose(const mna::AcResponse& measured) const {
 }
 
 std::vector<core::Diagnosis> Session::diagnose_batch(
-    const std::vector<core::Point>& observed) const {
+    const std::vector<core::Point>& observed, std::size_t threads) const {
   const auto engine = this->engine();  // one immutable engine for the batch
-  std::vector<core::Diagnosis> results;
-  results.reserve(observed.size());
-  for (const auto& point : observed) {
-    results.push_back(engine->diagnose(point));
-  }
+  if (threads == 0) threads = par::default_thread_count();
+  std::vector<core::Diagnosis> results(observed.size());
+  // Every point writes only its own slot, so the batch is bit-identical
+  // to the serial loop for any thread count.
+  par::parallel_for(observed.size(), threads, [&](std::size_t i) {
+    results[i] = engine->diagnose(observed[i]);
+  });
   return results;
 }
 
@@ -468,6 +487,17 @@ SessionBuilder& SessionBuilder::sim(SimOptions options) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::service(ServiceOptions options) {
+  options_.service = options;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::store(
+    std::shared_ptr<service::DictionaryStore> store) {
+  store_ = std::move(store);
+  return *this;
+}
+
 SessionBuilder& SessionBuilder::fitness(FitnessKind kind) {
   options_.search.fitness = kind;
   return *this;
@@ -504,6 +534,7 @@ Session SessionBuilder::build() const {
   auto state = std::make_shared<Session::State>();
   state->cut = *cut_;
   state->options = options_;
+  state->store = store_;
   state->dictionary_key = dictionary_cache_key(
       state->cut, state->options.deviations, state->options.sim);
   state->fitness = std::shared_ptr<const core::TrajectoryFitness>(

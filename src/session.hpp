@@ -37,8 +37,13 @@
 #include "ga/genetic_algorithm.hpp"
 #include "ga/optimizer.hpp"
 #include "mna/response.hpp"
+#include "service/options.hpp"
 
 namespace ftdiag {
+
+namespace service {
+class DictionaryStore;
+}  // namespace service
 
 /// Typed fitness selector, re-exported at the facade level.
 using core::FitnessKind;
@@ -46,6 +51,18 @@ using core::FitnessKind;
 /// Fault-simulation engine knobs (thread count, golden-factorization
 /// reuse), re-exported at the facade level.
 using faults::SimOptions;
+
+/// Serving-layer knobs (queueing, micro-batching), re-exported at the
+/// facade level.
+using service::ServiceOptions;
+
+/// The process-wide cache key a (CUT, deviation sweep, sim options)
+/// signature maps to — shared by the Session dictionary cache and the
+/// persistent service::DictionaryStore, so in-memory sharing and on-disk
+/// artifacts index the same way.
+[[nodiscard]] std::string dictionary_cache_key(
+    const circuits::CircuitUnderTest& cut, const faults::DeviationSpec& spec,
+    const faults::SimOptions& sim);
 
 /// Typed configuration of the test-frequency search (replaces the old
 /// string-keyed AtpgConfig fields).
@@ -98,6 +115,10 @@ struct SessionOptions {
   /// Fault-simulation engine: parallel fan-out + factorization reuse
   /// (defaults on; thread count never changes dictionary bits).
   SimOptions sim{};
+
+  /// Serving-layer defaults a DiagnosisService built for this session
+  /// should use (queue bound, micro-batch size, linger).
+  ServiceOptions service{};
 
   /// \throws ConfigError on the first invalid field.
   void check() const;
@@ -198,8 +219,11 @@ public:
 
   /// Diagnose many observed points in one call.  Iterates one immutable
   /// DiagnosisEngine; safe to call from multiple threads concurrently.
+  /// \p threads > 1 fans the points over util::parallel with slot-ordered
+  /// results (0 = auto); the output is bit-identical to the serial loop
+  /// for any thread count.
   [[nodiscard]] std::vector<core::Diagnosis> diagnose_batch(
-      const std::vector<core::Point>& observed) const;
+      const std::vector<core::Point>& observed, std::size_t threads = 1) const;
 
   // ----------------------------------------------------------- utilities
 
@@ -282,6 +306,13 @@ public:
   SessionBuilder& deviations(faults::DeviationSpec spec);
   SessionBuilder& sampling(core::SamplingPolicy policy);
   SessionBuilder& sim(SimOptions options);
+  SessionBuilder& service(ServiceOptions options);
+
+  /// Resolve this session's dictionary through a persistent store
+  /// (memory -> `.fdx` on disk -> build-and-persist) instead of the
+  /// in-process weak cache.  The store must outlive nothing — the session
+  /// shares ownership.
+  SessionBuilder& store(std::shared_ptr<service::DictionaryStore> store);
 
   /// Shorthands for the common knobs.
   SessionBuilder& fitness(FitnessKind kind);
@@ -300,6 +331,7 @@ public:
 private:
   std::optional<circuits::CircuitUnderTest> cut_;
   SessionOptions options_{};
+  std::shared_ptr<service::DictionaryStore> store_;
 };
 
 }  // namespace ftdiag

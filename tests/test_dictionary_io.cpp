@@ -36,6 +36,19 @@ std::string serialized(const faults::FaultDictionary& dict) {
   return os.str();
 }
 
+void expect_bit_identical(const faults::FaultDictionary& a,
+                          const faults::FaultDictionary& b) {
+  ASSERT_EQ(a.fault_count(), b.fault_count());
+  EXPECT_EQ(a.frequencies(), b.frequencies());
+  EXPECT_EQ(a.golden().values(), b.golden().values());
+  EXPECT_EQ(a.site_labels(), b.site_labels());
+  for (std::size_t i = 0; i < a.fault_count(); ++i) {
+    EXPECT_EQ(a.entries()[i].fault, b.entries()[i].fault);
+    EXPECT_EQ(a.entries()[i].response.values(),
+              b.entries()[i].response.values());
+  }
+}
+
 TEST_F(DictionaryIoTest, RoundTripPreservesEverything) {
   const auto loaded = load_dictionary(serialized(*dict_));
   ASSERT_EQ(loaded.fault_count(), dict_->fault_count());
@@ -72,6 +85,114 @@ TEST_F(DictionaryIoTest, OpAmpFaultSitesRoundTrip) {
   EXPECT_EQ(loaded.site_labels(), dict.site_labels());
   EXPECT_EQ(loaded.entries().front().fault.site.target,
             faults::FaultSite::Target::kOpAmpParam);
+}
+
+TEST_F(DictionaryIoTest, CsvRoundTripIsBitExact) {
+  // The header promises "lossless": every double must survive the text
+  // round trip exactly, which makes save -> load -> save byte-identical.
+  const std::string first = serialized(*dict_);
+  const auto loaded = load_dictionary(first);
+  expect_bit_identical(*dict_, loaded);
+  EXPECT_EQ(serialized(loaded), first);
+}
+
+TEST_F(DictionaryIoTest, BinaryRoundTripIsBitExact) {
+  std::ostringstream os;
+  save_dictionary_binary(os, *dict_, "unit#test");
+  const std::string bytes = os.str();
+
+  ASSERT_TRUE(is_binary_dictionary(bytes));
+  const BinaryDictionaryHeader header = read_binary_dictionary_header(bytes);
+  EXPECT_EQ(header.version, kBinaryDictionaryVersion);
+  EXPECT_EQ(header.key, "unit#test");
+  EXPECT_EQ(header.frequency_count, dict_->frequencies().size());
+  EXPECT_EQ(header.fault_count, dict_->fault_count());
+
+  expect_bit_identical(*dict_, load_dictionary_binary(bytes));
+
+  // Serialization is deterministic: same dictionary, same bytes.
+  std::ostringstream again;
+  save_dictionary_binary(again, load_dictionary_binary(bytes), "unit#test");
+  EXPECT_EQ(again.str(), bytes);
+}
+
+TEST_F(DictionaryIoTest, BinaryOpAmpFaultSitesRoundTrip) {
+  circuits::NfBiquadDesign design;
+  design.ideal_opamps = false;
+  const auto cut = circuits::make_nf_biquad(design);
+  faults::DeviationSpec spec;
+  spec.step_fraction = 0.4;
+  const auto dict = faults::FaultDictionary::build(
+      cut, faults::FaultUniverse::over_opamp_params(cut, spec),
+      std::vector<double>{1000.0, 5000.0});
+  std::ostringstream os;
+  save_dictionary_binary(os, dict);
+  expect_bit_identical(dict, load_dictionary_binary(os.str()));
+}
+
+TEST_F(DictionaryIoTest, BinaryCorruptionRejected) {
+  std::ostringstream os;
+  save_dictionary_binary(os, *dict_);
+  const std::string bytes = os.str();
+
+  // Bad magic.
+  std::string bad_magic = bytes;
+  bad_magic[1] = 'Z';
+  EXPECT_THROW((void)load_dictionary_binary(bad_magic), ParseError);
+  EXPECT_FALSE(is_binary_dictionary(bad_magic));
+
+  // Unsupported version.
+  std::string bad_version = bytes;
+  bad_version[4] = 99;
+  EXPECT_THROW((void)load_dictionary_binary(bad_version), ParseError);
+
+  // A corrupted header count must fail the header checksum (a clean
+  // ParseError, never an attempted giant allocation).  The n_freqs field
+  // sits after magic(4) + version(4) + key length(4) + key bytes.
+  std::string bad_count = bytes;  // empty key: n_freqs u64 sits at [12, 20)
+  bad_count[18] = static_cast<char>(0x7f);
+  EXPECT_THROW((void)load_dictionary_binary(bad_count), ParseError);
+  EXPECT_THROW((void)read_binary_dictionary_header(bad_count), ParseError);
+
+  // A single flipped payload bit fails a block checksum.
+  for (std::size_t at : {bytes.size() / 4, bytes.size() / 2,
+                         bytes.size() - 9}) {
+    std::string flipped = bytes;
+    flipped[at] = static_cast<char>(flipped[at] ^ 0x01);
+    EXPECT_THROW((void)load_dictionary_binary(flipped), ParseError);
+  }
+
+  // Truncation anywhere is caught before any block is trusted.
+  for (std::size_t keep : {std::size_t{3}, std::size_t{16},
+                           bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_THROW((void)load_dictionary_binary(bytes.substr(0, keep)),
+                 ParseError);
+  }
+}
+
+TEST_F(DictionaryIoTest, FormatNamesParse) {
+  EXPECT_EQ(parse_dictionary_format("csv"), DictionaryFormat::kCsv);
+  EXPECT_EQ(parse_dictionary_format("binary"), DictionaryFormat::kBinary);
+  EXPECT_EQ(parse_dictionary_format("AUTO"), DictionaryFormat::kAuto);
+  EXPECT_THROW((void)parse_dictionary_format("xml"), ParseError);
+}
+
+TEST_F(DictionaryIoTest, AutoDetectLoadsBothFormatsThroughOneEntryPoint) {
+  const std::string csv_path = ::testing::TempDir() + "/ftdiag_auto.csv";
+  const std::string fdx_path = ::testing::TempDir() + "/ftdiag_auto.fdx";
+  // kAuto saving: extension decides.
+  save_dictionary_file(csv_path, *dict_);
+  save_dictionary_file(fdx_path, *dict_);
+  EXPECT_FALSE(is_binary_dictionary(read_file_bytes(csv_path)));
+  EXPECT_TRUE(is_binary_dictionary(read_file_bytes(fdx_path)));
+  // kAuto loading: magic bytes decide, regardless of the name.
+  expect_bit_identical(*dict_, load_dictionary_file(csv_path));
+  expect_bit_identical(*dict_, load_dictionary_file(fdx_path));
+  // An explicit format overrides sniffing and fails loudly on a mismatch.
+  EXPECT_THROW((void)load_dictionary_file(csv_path, DictionaryFormat::kBinary),
+               ParseError);
+  std::remove(csv_path.c_str());
+  std::remove(fdx_path.c_str());
 }
 
 TEST_F(DictionaryIoTest, FileRoundTrip) {

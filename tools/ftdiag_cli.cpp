@@ -1,26 +1,58 @@
 /// ftdiag_cli — drive the fault-trajectory flow from the command line.
 ///
+/// Three modes:
+///
 /// ```
+/// # one-shot flow (the original mode): build dictionary, search, report
 /// ftdiag_cli <netlist.cir> --input V1 --output out --testable R1,R2,C1
 ///            [--fitness hybrid] [--report run.md]
 /// ftdiag_cli builtin:nf_biquad --report run.md     # registry circuits
+///
+/// # simulate once: build the dictionary and persist it (.fdx binary)
+/// ftdiag_cli build-dict builtin:state_variable --store-dir ./dicts \
+///            [--out dict.fdx] [--dict-format {csv,binary,auto}]
+///
+/// # diagnose many times: serve a directory of measurement CSVs
+/// ftdiag_cli serve-batch builtin:state_variable --measurements ./boards \
+///            --store-dir ./dicts [--workers 4] [--max-batch 32]
 /// ```
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "ftdiag.hpp"
 #include "io/dictionary_io.hpp"
 #include "io/exporters.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace {
 
 using namespace ftdiag;
 
-Session open_session(const args::Parser& cli) {
+// ------------------------------------------------------- shared options
+
+void declare_access_options(args::Parser& cli) {
+  cli.option("input", "stimulus source name (netlist mode)", "V1")
+      .option("output", "observed node (netlist mode)", "out")
+      .option("testable",
+              "comma-separated component names, or 'passives'", "passives")
+      .option("band-low", "search band lower edge [Hz]", "10")
+      .option("band-high", "search band upper edge [Hz]", "100k")
+      .option("grid-points", "dictionary grid points", "240")
+      .option("step", "deviation step [%]", "10")
+      .option("range", "deviation range [+/- %]", "40");
+}
+
+NetlistAccess access_from(const args::Parser& cli) {
   NetlistAccess access;
   access.input_source = cli.get("input");
   access.output_node = cli.get("output");
@@ -33,20 +65,241 @@ Session open_session(const args::Parser& cli) {
   access.band_low_hz = cli.get_double("band-low");
   access.band_high_hz = cli.get_double("band-high");
   access.grid_points = cli.get_size("grid-points");
+  return access;
+}
+
+faults::DeviationSpec deviations_from(const args::Parser& cli) {
+  faults::DeviationSpec deviations;
+  deviations.step_fraction = cli.get_double("step") / 100.0;
+  deviations.min_fraction = -cli.get_double("range") / 100.0;
+  deviations.max_fraction = cli.get_double("range") / 100.0;
+  return deviations;
+}
+
+std::shared_ptr<service::DictionaryStore> store_from(const args::Parser& cli) {
+  const std::string dir = cli.get("store-dir");
+  if (dir.empty()) return nullptr;
+  service::StoreOptions options;
+  options.root_dir = dir;
+  return std::make_shared<service::DictionaryStore>(options);
+}
+
+void print_store_stats(const service::DictionaryStore& store) {
+  const auto stats = store.stats();
+  std::printf("store: %zu memory hits, %zu disk hits, %zu builds, "
+              "%zu persisted, %zu invalid files ignored\n",
+              stats.memory_hits, stats.disk_hits, stats.builds,
+              stats.persisted, stats.invalid_files);
+}
+
+// ------------------------------------------------------------ build-dict
+
+int run_build_dict(int argc, char** argv) {
+  args::Parser cli("ftdiag_cli build-dict",
+                   "build the fault dictionary once and persist it");
+  cli.positional("netlist",
+                 "netlist file, or builtin:<name> for a registry circuit");
+  declare_access_options(cli);
+  cli.option("out", "also write the dictionary to this path", "")
+      .option("dict-format",
+              "csv | binary | auto (auto: .fdx extension = binary)", "auto")
+      .option("store-dir",
+              "persistent dictionary store directory (.fdx per key)", "");
+
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+
+  auto store = store_from(cli);
+  SessionBuilder builder =
+      SessionBuilder::from_source(cli.positional_value("netlist"),
+                                  access_from(cli))
+          .deviations(deviations_from(cli));
+  if (store) builder.store(store);
+  Session session = builder.build();
+
+  const auto dictionary = session.dictionary();
+  const std::string key = dictionary_cache_key(
+      session.cut(), session.options().deviations, session.options().sim);
+  std::printf("CUT '%s': %zu-fault dictionary ready (key %s)\n",
+              session.cut().name.c_str(), dictionary->fault_count(),
+              key.c_str());
+  if (store) {
+    std::printf("store artifact: %s\n", store->path_for(key).c_str());
+    print_store_stats(*store);
+  }
+  if (const std::string path = cli.get("out"); !path.empty()) {
+    io::save_dictionary_file(path, *dictionary,
+                             io::parse_dictionary_format(cli.get("dict-format")),
+                             key);
+    std::printf("dictionary written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------- serve-batch
+
+int run_serve_batch(int argc, char** argv) {
+  args::Parser cli("ftdiag_cli serve-batch",
+                   "diagnose a directory of measurement CSVs concurrently");
+  cli.positional("netlist",
+                 "netlist file, or builtin:<name> for a registry circuit");
+  declare_access_options(cli);
+  cli.option("measurements",
+             "directory of measurement CSVs (freq_hz,re,im per row)", "")
+      .option("store-dir",
+              "persistent dictionary store directory (.fdx per key)", "")
+      .option("frequencies", "test-vector size", "2")
+      .option("fitness", "paper | separation | hybrid", "paper")
+      .option("seed", "GA seed", "42")
+      .option("workers", "service dispatcher threads (0 = auto)", "0")
+      .option("max-batch", "requests coalesced per micro-batch", "64")
+      .option("linger-us", "micro-batch linger [us]", "200")
+      .option("batch-threads", "diagnosis fan-out threads (0 = auto)", "0")
+      .option("synthesize",
+              "if the directory has no CSVs, emulate this many faulty-board "
+              "measurements first", "0")
+      .option("results", "write a results CSV to this path", "");
+
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+  const std::string dir = cli.get("measurements");
+  if (dir.empty()) throw ConfigError("serve-batch needs --measurements <dir>");
 
   SearchOptions search;
   search.n_frequencies = cli.get_size("frequencies");
   search.fitness = core::parse_fitness_kind(cli.get("fitness"));
   search.seed = cli.get_size("seed");
 
-  faults::DeviationSpec deviations;
-  deviations.step_fraction = cli.get_double("step") / 100.0;
-  deviations.min_fraction = -cli.get_double("range") / 100.0;
-  deviations.max_fraction = cli.get_double("range") / 100.0;
+  ServiceOptions service_options;
+  service_options.workers = cli.get_size("workers");
+  service_options.max_batch = cli.get_size("max-batch");
+  service_options.max_linger =
+      std::chrono::microseconds(cli.get_size("linger-us"));
+  service_options.batch_threads = cli.get_size("batch-threads");
 
-  return SessionBuilder::from_source(cli.positional_value("netlist"), access)
+  auto store = store_from(cli);
+  SessionBuilder builder =
+      SessionBuilder::from_source(cli.positional_value("netlist"),
+                                  access_from(cli))
+          .search(search)
+          .deviations(deviations_from(cli))
+          .service(service_options);
+  if (store) builder.store(store);
+  Session session = builder.build();
+
+  const TestGenResult program = session.generate_tests();
+  std::printf("CUT '%s': serving with %s (fitness %.4f, %zu faults)\n",
+              session.cut().name.c_str(),
+              program.best.vector.label().c_str(), program.best.fitness,
+              program.dictionary_faults);
+
+  // Collect the measurement files (sorted for reproducible output).
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  auto list_measurements = [&] {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  };
+  std::vector<std::string> files = list_measurements();
+
+  if (files.empty()) {
+    const std::size_t synthesize = cli.get_size("synthesize");
+    if (synthesize == 0) {
+      throw ConfigError("no .csv measurements in '" + dir +
+                        "' (use --synthesize N to emulate faulty boards)");
+    }
+    // Emulate bench measurements of random dictionary faults on the full
+    // measurement grid, so serve-batch has realistic inputs.
+    const auto dictionary = session.dictionary();
+    Rng rng(search.seed);
+    for (std::size_t i = 0; i < synthesize; ++i) {
+      const auto& entry = dictionary->entries()[static_cast<std::size_t>(
+          rng.uniform_int(0,
+                          static_cast<std::int64_t>(
+                              dictionary->fault_count() - 1)))];
+      const mna::AcResponse measured = session.measure(entry.fault, i + 1);
+      io::write_measurement_csv_file(
+          str::format("%s/board_%04zu.csv", dir.c_str(), i), measured);
+    }
+    std::printf("synthesized %zu measurements into %s\n", synthesize,
+                dir.c_str());
+    files = list_measurements();
+  }
+
+  // Serve: one request per file, all in flight at once; the dispatchers
+  // coalesce them into micro-batches.
+  service::DiagnosisService service(session.options().service);
+  service.add_session(session.cut().name, session);
+  std::vector<std::future<service::DiagnosisReply>> replies;
+  replies.reserve(files.size());
+  for (const auto& file : files) {
+    service::DiagnosisRequest request;
+    request.circuit = session.cut().name;
+    request.measured.push_back(io::load_measurement_csv_file(file));
+    replies.push_back(service.submit(std::move(request)));
+  }
+
+  std::ostringstream results_csv;
+  results_csv << "file,site,estimated_deviation,distance,confidence\n";
+  std::printf("%-28s %-10s %10s %12s %10s\n", "file", "site", "est dev %",
+              "distance", "confidence");
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string name = fs::path(files[i]).filename().string();
+    try {
+      const auto reply = replies[i].get();
+      const core::TrajectoryMatch& best = reply.results.front().best();
+      std::printf("%-28s %-10s %+10.1f %12.4e %10.2f\n", name.c_str(),
+                  best.site.c_str(), best.estimated_deviation * 100.0,
+                  best.distance, reply.results.front().confidence());
+      results_csv << name << ',' << best.site << ','
+                  << str::format("%.17g", best.estimated_deviation) << ','
+                  << str::format("%.17g", best.distance) << ','
+                  << str::format("%.17g", reply.results.front().confidence())
+                  << '\n';
+    } catch (const Error& e) {
+      std::printf("%-28s FAILED: %s\n", name.c_str(), e.what());
+      results_csv << name << ",ERROR,,,\n";
+    }
+  }
+
+  const auto stats = service.stats();
+  std::printf("\nserved %zu requests in %zu batches (largest %zu), "
+              "p50 %.0f us, p95 %.0f us\n",
+              stats.completed, stats.batches, stats.largest_batch,
+              stats.p50_latency_us, stats.p95_latency_us);
+  if (store) print_store_stats(*store);
+
+  if (const std::string path = cli.get("results"); !path.empty()) {
+    io::write_file(path, results_csv.str());
+    std::printf("results written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------- legacy flow
+
+Session open_session(const args::Parser& cli) {
+  SearchOptions search;
+  search.n_frequencies = cli.get_size("frequencies");
+  search.fitness = core::parse_fitness_kind(cli.get("fitness"));
+  search.seed = cli.get_size("seed");
+
+  return SessionBuilder::from_source(cli.positional_value("netlist"),
+                                     access_from(cli))
       .search(search)
-      .deviations(deviations)
+      .deviations(deviations_from(cli))
       .build();
 }
 
@@ -73,48 +326,53 @@ int run(const args::Parser& cli) {
     std::printf("trajectories written to %s\n", path.c_str());
   }
   if (const std::string path = cli.get("save-dictionary"); !path.empty()) {
-    io::save_dictionary_file(path, *session.dictionary());
+    io::save_dictionary_file(
+        path, *session.dictionary(),
+        io::parse_dictionary_format(cli.get("dict-format")),
+        dictionary_cache_key(session.cut(), session.options().deviations,
+                             session.options().sim));
     std::printf("fault dictionary written to %s\n", path.c_str());
   }
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_legacy(int argc, char** argv) {
   args::Parser cli("ftdiag_cli",
                    "fault-trajectory test generation and diagnosis "
-                   "(Savioli et al., DATE'05)");
+                   "(Savioli et al., DATE'05); subcommands: build-dict, "
+                   "serve-batch");
   cli.positional("netlist",
-                 "netlist file, or builtin:<name> for a registry circuit")
-      .option("input", "stimulus source name (netlist mode)", "V1")
-      .option("output", "observed node (netlist mode)", "out")
-      .option("testable",
-              "comma-separated component names, or 'passives'", "passives")
-      .option("band-low", "search band lower edge [Hz]", "10")
-      .option("band-high", "search band upper edge [Hz]", "100k")
-      .option("grid-points", "dictionary grid points", "240")
-      .option("frequencies", "test-vector size", "2")
+                 "netlist file, or builtin:<name> for a registry circuit");
+  declare_access_options(cli);
+  cli.option("frequencies", "test-vector size", "2")
       .option("fitness", "paper | separation | hybrid", "paper")
-      .option("step", "deviation step [%]", "10")
-      .option("range", "deviation range [+/- %]", "40")
       .option("seed", "GA seed", "42")
       .option("report", "write a markdown run report to this path", "")
       .option("export-trajectories", "write trajectory CSV to this path", "")
       .option("save-dictionary",
-              "write the full fault dictionary (lossless CSV) to this path",
-              "")
+              "write the full fault dictionary to this path", "")
+      .option("dict-format",
+              "csv | binary | auto (auto: .fdx extension = binary)", "auto")
       .flag("verbose", "include per-point trajectories in the report");
 
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+  return run(cli);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc >= 2 ? argv[1] : "";
   try {
-    cli.parse(argc, argv);
-    if (cli.help_requested()) {
-      std::fputs(cli.usage().c_str(), stdout);
-      return 0;
-    }
-    return run(cli);
+    if (mode == "build-dict") return run_build_dict(argc - 1, argv + 1);
+    if (mode == "serve-batch") return run_serve_batch(argc - 1, argv + 1);
+    return run_legacy(argc, argv);
   } catch (const ftdiag::Error& e) {
-    std::fprintf(stderr, "error: %s\n\n%s", e.what(), cli.usage().c_str());
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 }

@@ -657,7 +657,10 @@ void write_service_report(const char* path) {
     }
     return best_rps;
   };
+  // Workers sweep: the persistent pool must not make more dispatchers
+  // slower than one (the fork/join regression this report used to show).
   const double rps_1 = requests_per_second(1);
+  const double rps_2 = requests_per_second(2);
   const double rps_4 = requests_per_second(4);
 
   std::FILE* out = std::fopen(path, "w");
@@ -677,19 +680,23 @@ void write_service_report(const char* path) {
                "  \"binary_load_ms\": %.3f,\n"
                "  \"load_speedup\": %.2f,\n"
                "  \"round_trip_bit_identical\": %s,\n"
+               "  \"hardware_threads\": %zu,\n"
                "  \"service_rps_workers1\": %.0f,\n"
+               "  \"service_rps_workers2\": %.0f,\n"
                "  \"service_rps_workers4\": %.0f\n"
                "}\n",
                dictionary.fault_count(), dictionary.frequencies().size(),
                csv_text.size(), fdx_bytes.size(), csv_ms, fdx_ms,
-               csv_ms / fdx_ms, round_trip_ok ? "true" : "false", rps_1,
-               rps_4);
+               csv_ms / fdx_ms, round_trip_ok ? "true" : "false",
+               static_cast<std::size_t>(std::thread::hardware_concurrency()),
+               rps_1, rps_2, rps_4);
   std::fclose(out);
   std::printf("dictionary load (state_variable): csv %.3f ms, binary %.3f ms "
-              "(%.2fx), round trip %s; service %.0f -> %.0f req/s -> %s\n",
+              "(%.2fx), round trip %s; service %.0f -> %.0f -> %.0f req/s "
+              "-> %s\n",
               csv_ms, fdx_ms, csv_ms / fdx_ms,
-              round_trip_ok ? "bit-identical" : "MISMATCH", rps_1, rps_4,
-              path);
+              round_trip_ok ? "bit-identical" : "MISMATCH", rps_1, rps_2,
+              rps_4, path);
 }
 
 }  // namespace

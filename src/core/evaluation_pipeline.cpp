@@ -6,6 +6,7 @@
 
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/threads.hpp"
 
 namespace ftdiag::core {
 
@@ -23,11 +24,11 @@ void PipelineOptions::check() const {
 }
 
 std::size_t PipelineOptions::resolved_threads() const {
-  // Genome evaluation is pure CPU work, so a pool wider than the hardware
-  // only adds scheduling overhead; results are thread-count-invariant, so
-  // clamping is free.
-  const std::size_t hw = par::default_thread_count();
-  return threads == 0 ? hw : std::min(threads, hw);
+  // One resolution rule for the whole code base (FTDIAG_THREADS override,
+  // hardware concurrency as the default).  A lane count beyond the
+  // persistent pool's width just means fewer lanes attach — the pool
+  // never oversubscribes the machine.
+  return util::resolve_threads(threads);
 }
 
 /// Interpolated signature samples of every dictionary entry (and the
@@ -262,10 +263,10 @@ std::vector<FaultTrajectory> EvaluationPipeline::assemble(
   return out;
 }
 
-std::vector<std::int64_t> EvaluationPipeline::snapped_keys(
-    const std::vector<double>& genes) const {
+void EvaluationPipeline::snapped_keys(const std::vector<double>& genes,
+                                      std::vector<std::int64_t>& keys) const {
   FTDIAG_ASSERT(!genes.empty(), "pipeline needs >= 1 gene");
-  std::vector<std::int64_t> keys;
+  keys.clear();
   keys.reserve(genes.size());
   for (double g : genes) {
     keys.push_back(std::llround(g / options_.frequency_quantum));
@@ -273,12 +274,12 @@ std::vector<std::int64_t> EvaluationPipeline::snapped_keys(
   // Canonical ascending order: trajectory geometry is invariant to
   // frequency order (TestVector::normalize does the same).
   std::sort(keys.begin(), keys.end());
-  return keys;
 }
 
 std::vector<FaultTrajectory> EvaluationPipeline::trajectories_for_keys(
-    const std::vector<std::int64_t>& keys) const {
-  std::vector<std::shared_ptr<const Column>> columns;
+    const std::vector<std::int64_t>& keys,
+    std::vector<std::shared_ptr<const Column>>& columns) const {
+  columns.clear();
   columns.reserve(keys.size());
   for (std::int64_t key : keys) columns.push_back(column_for(key));
   return assemble(columns);
@@ -286,37 +287,53 @@ std::vector<FaultTrajectory> EvaluationPipeline::trajectories_for_keys(
 
 std::vector<FaultTrajectory> EvaluationPipeline::trajectories(
     const std::vector<double>& genes) const {
-  return trajectories_for_keys(snapped_keys(genes));
+  EvalScratch scratch;
+  snapped_keys(genes, scratch.keys);
+  return trajectories_for_keys(scratch.keys, scratch.columns);
 }
 
-double EvaluationPipeline::evaluate_one(const std::vector<double>& genes) const {
-  std::vector<std::int64_t> keys = snapped_keys(genes);
+double EvaluationPipeline::evaluate_with(const std::vector<double>& genes,
+                                         EvalScratch& scratch) const {
+  snapped_keys(genes, scratch.keys);
   if (options_.cache_signatures) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    auto it = fitness_memo_.find(keys);
+    auto it = fitness_memo_.find(scratch.keys);
     if (it != fitness_memo_.end()) {
       ++stats_.genome_hits;
       ++stats_.genomes_evaluated;
       return it->second;
     }
   }
-  const double fitness =
-      evaluator_.objective().evaluate(trajectories_for_keys(keys));
+  const double fitness = evaluator_.objective().evaluate(
+      trajectories_for_keys(scratch.keys, scratch.columns));
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     ++stats_.genomes_evaluated;
     if (options_.cache_signatures) {
-      fitness_memo_.emplace(std::move(keys), fitness);
+      fitness_memo_.emplace(scratch.keys, fitness);
     }
   }
   return fitness;
 }
 
+double EvaluationPipeline::evaluate_one(const std::vector<double>& genes) const {
+  EvalScratch scratch;
+  return evaluate_with(genes, scratch);
+}
+
 std::vector<double> EvaluationPipeline::evaluate(
     const std::vector<std::vector<double>>& genomes) const {
   std::vector<double> scores(genomes.size(), 0.0);
-  par::parallel_for(genomes.size(), options_.resolved_threads(),
-                    [&](std::size_t i) { scores[i] = evaluate_one(genomes[i]); });
+  const std::size_t threads = options_.resolved_threads();
+  // Per-lane scratch: one genome's key/column buffers are recycled by
+  // every later genome the lane evaluates.
+  std::vector<EvalScratch> scratch(
+      std::max<std::size_t>(1, std::min(threads, genomes.size())));
+  par::parallel_for_lanes(genomes.size(), threads,
+                          [&](std::size_t lane, std::size_t i) {
+                            scores[i] = evaluate_with(genomes[i],
+                                                      scratch[lane]);
+                          });
   return scores;
 }
 

@@ -34,8 +34,10 @@
 namespace ftdiag::core {
 
 struct PipelineOptions {
-  /// Worker threads for the genome fan-out; 0 means "auto" (the hardware
-  /// concurrency).  Thread count never changes results, only wall time.
+  /// Worker threads for the genome fan-out; 0 means "auto"
+  /// (util::resolve_threads — FTDIAG_THREADS when set, otherwise the
+  /// hardware concurrency).  Thread count never changes results, only
+  /// wall time.
   std::size_t threads = 0;
 
   /// Share interpolated signature columns between genomes, and memoize
@@ -105,16 +107,27 @@ private:
   struct Column;
   struct SitePlan;
 
+  /// Per-lane scratch of the batch fan-out: key and column buffers are
+  /// reused across every genome a lane evaluates, so the steady-state
+  /// per-genome cost allocates only what it must return.
+  struct EvalScratch {
+    std::vector<std::int64_t> keys;
+    std::vector<std::shared_ptr<const Column>> columns;
+  };
+
   [[nodiscard]] std::shared_ptr<const Column> column_for(
       std::int64_t key) const;
   [[nodiscard]] Column build_column(std::int64_t key) const;
   [[nodiscard]] std::vector<FaultTrajectory> assemble(
       const std::vector<std::shared_ptr<const Column>>& columns) const;
 
-  [[nodiscard]] std::vector<std::int64_t> snapped_keys(
-      const std::vector<double>& genes) const;
+  void snapped_keys(const std::vector<double>& genes,
+                    std::vector<std::int64_t>& keys) const;
   [[nodiscard]] std::vector<FaultTrajectory> trajectories_for_keys(
-      const std::vector<std::int64_t>& keys) const;
+      const std::vector<std::int64_t>& keys,
+      std::vector<std::shared_ptr<const Column>>& columns) const;
+  [[nodiscard]] double evaluate_with(const std::vector<double>& genes,
+                                     EvalScratch& scratch) const;
 
   struct KeyHash {
     std::size_t operator()(const std::vector<std::int64_t>& keys) const {

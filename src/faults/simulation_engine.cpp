@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 
 #include "faults/fault_injector.hpp"
@@ -13,6 +14,7 @@
 #include "mna/stamp_update.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/threads.hpp"
 
 namespace ftdiag::faults {
 
@@ -25,16 +27,10 @@ void SimOptions::check() const {
 }
 
 std::size_t SimOptions::resolved_threads() const {
-  return threads == 0 ? par::default_thread_count() : threads;
+  return util::resolve_threads(threads);
 }
 
 namespace {
-
-/// Golden system at one frequency: the factorization plus the base solve.
-struct GoldenPoint {
-  linalg::LuFactorization<Complex> lu;
-  std::vector<Complex> x0;
-};
 
 /// All deviations of one rank-1-capable site: one unit of parallel work.
 struct SiteItem {
@@ -47,14 +43,47 @@ struct SiteState {
   std::vector<std::vector<Complex>> values;  ///< [fault in site][frequency]
   /// Refactorized analyses for ill-conditioned pairs, lazy per fault.
   std::vector<std::unique_ptr<mna::AcAnalysis>> refactorized;
-  std::vector<Complex> dense_u;
   std::size_t rank1_solves = 0;
   std::size_t full_solves = 0;
 };
 
+/// Per-frequency results of the golden solve phase, reused across blocks
+/// so the steady-state sweep performs no heap allocations after the first
+/// block warms the buffers.
+struct FrequencySlot {
+  std::vector<Complex> x0;     ///< golden solution (length n)
+  linalg::Matrix<Complex> wt;  ///< row si = w = A^{-1} u of site si (S x n)
+};
+
+/// Per-lane scratch of the golden phase: the assembly buffer ping-pongs
+/// with the factorization, the blocked multi-RHS target is recycled.
+struct GoldenLane {
+  linalg::Matrix<Complex> a;
+  linalg::LuFactorization<Complex> lu;
+  linalg::Matrix<Complex> w;  ///< n x S blocked-solve target
+};
+
+/// Per-lane SoA scratch of the rank-1 phase (split re/im gathers feeding
+/// linalg::sherman_morrison_sweep).
+struct SiteLane {
+  std::vector<double> x0_re, x0_im, w_re, w_im;
+  std::vector<double> vx0_re, vx0_im, vw_re, vw_im;
+  std::vector<double> scale_re, scale_im, out_re, out_im;
+  std::vector<unsigned char> refused;
+
+  void ensure(std::size_t m) {
+    if (x0_re.size() >= m) return;
+    for (auto* v : {&x0_re, &x0_im, &w_re, &w_im, &vx0_re, &vx0_im, &vw_re,
+                    &vw_im, &scale_re, &scale_im, &out_re, &out_im}) {
+      v->resize(m);
+    }
+    refused.resize(m);
+  }
+};
+
 /// Frequencies are processed in blocks of this size so at most this many
-/// golden factorizations are alive at once (O(block * n^2) memory instead
-/// of O(frequencies * n^2)), without changing any result bit.
+/// golden solutions are alive at once (O(block * n * (1 + S)) memory
+/// instead of O(frequencies * ...)), without changing any result bit.
 constexpr std::size_t kFrequencyBlock = 64;
 
 /// Naive per-fault path: inject and sweep from scratch.  This is the exact
@@ -146,71 +175,139 @@ BatchResult SimulationEngine::simulate_all(
   result.stats.fallback_faults = fallback.size();
   result.stats.full_solves = fallback.size() * frequencies_hz.size();
 
-  std::vector<SiteState> state(sites.size());
-  for (std::size_t si = 0; si < sites.size(); ++si) {
+  const std::size_t site_count = sites.size();
+  std::vector<SiteState> state(site_count);
+  for (std::size_t si = 0; si < site_count; ++si) {
     state[si].values.assign(sites[si].fault_indices.size(),
                             std::vector<Complex>(frequencies_hz.size()));
     state[si].refactorized.resize(sites[si].fault_indices.size());
-    state[si].dense_u = sites[si].update.u.densify(n);
   }
 
-  // Frequency blocks: phase 1 factorizes the golden system for the block
-  // (parallel over frequencies, mirroring AcAnalysis::solve exactly so
-  // the golden response is bit-identical to the naive sweep); phase 2
-  // fans the sites out, each writing only its own faults' slots.
-  std::vector<std::optional<GoldenPoint>> block(
-      std::min(kFrequencyBlock, frequencies_hz.size()));
+  // All sites' structural u columns as one n x S right-hand-side block:
+  // the golden phase answers every site's w = A^{-1} u with a single
+  // blocked triangular solve per frequency instead of S separate ones.
+  linalg::Matrix<Complex> u_columns(n, site_count);
+  for (std::size_t si = 0; si < site_count; ++si) {
+    for (const auto& [index, value] : sites[si].update.u.entries) {
+      u_columns(index, si) += value;
+    }
+  }
+
+  const mna::SweepAssembler& assembler = golden_analysis.sweep_assembler();
+
+  // Frequency blocks: phase 1 assembles G + s*C into lane-owned buffers,
+  // factors in place and solves the golden RHS (single solve — the exact
+  // operation sequence of AcAnalysis::sweep, keeping the golden response
+  // bit-identical to the naive path) plus the u block (one blocked
+  // multi-RHS solve, transposed so phase 2 reads each site's w as a
+  // contiguous row); phase 2 fans the sites out over split re/im
+  // Sherman–Morrison sweeps, each writing only its own faults' slots.
+  // After the first block every buffer is warm: the steady-state loop
+  // performs zero heap allocations.
+  const std::size_t block_cap = std::min(kFrequencyBlock,
+                                         frequencies_hz.size());
+  std::vector<FrequencySlot> slots(block_cap);
+  std::vector<Complex> s_block(block_cap);
+  std::vector<GoldenLane> golden_lanes(std::min(threads, block_cap));
+  std::vector<SiteLane> site_lanes(
+      std::max<std::size_t>(1, std::min(threads, site_count)));
   std::vector<Complex> golden_values(frequencies_hz.size());
+
   for (std::size_t begin = 0; begin < frequencies_hz.size();
        begin += kFrequencyBlock) {
     const std::size_t end =
         std::min(frequencies_hz.size(), begin + kFrequencyBlock);
-    par::parallel_for(end - begin, threads, [&](std::size_t bi) {
-      const std::size_t fi = begin + bi;
-      linalg::CooMatrix<Complex> matrix(n, n);
-      std::vector<Complex> rhs(n, Complex{});
-      system.assemble_ac(linalg::s_of_hz(frequencies_hz[fi]), matrix, rhs);
-      linalg::LuFactorization<Complex> lu(matrix.to_dense());
-      std::vector<Complex> x0 = lu.solve(rhs);
-      golden_values[fi] = x0[out];
-      block[bi].emplace(GoldenPoint{std::move(lu), std::move(x0)});
+    const std::size_t m = end - begin;
+    for (std::size_t bi = 0; bi < m; ++bi) {
+      s_block[bi] = linalg::s_of_hz(frequencies_hz[begin + bi]);
+    }
+
+    par::parallel_for_lanes(m, threads, [&](std::size_t lane,
+                                            std::size_t bi) {
+      GoldenLane& ws = golden_lanes[lane];
+      FrequencySlot& slot = slots[bi];
+      if (slot.x0.size() != n) slot.x0.resize(n);  // first block only
+      assembler.assemble(s_block[bi], ws.a);
+      ws.lu.factor_in_place(ws.a);
+      ws.lu.solve_into(assembler.rhs(), slot.x0);
+      golden_values[begin + bi] = slot.x0[out];
+      if (site_count > 0) {
+        ws.lu.solve_into(u_columns, ws.w);
+        if (slot.wt.rows() != site_count || slot.wt.cols() != n) {
+          slot.wt.reshape(site_count, n);
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const Complex* src = ws.w.row_data(r);
+          for (std::size_t c = 0; c < site_count; ++c) {
+            slot.wt(c, r) = src[c];
+          }
+        }
+      }
     });
 
-    par::parallel_for(sites.size(), threads, [&](std::size_t si) {
+    par::parallel_for_lanes(site_count, threads, [&](std::size_t lane,
+                                                     std::size_t si) {
       const SiteItem& item = sites[si];
       SiteState& site = state[si];
-      for (std::size_t fi = begin; fi < end; ++fi) {
-        const GoldenPoint& point = *block[fi - begin];
-        const std::vector<Complex> w = point.lu.solve(site.dense_u);
-        const Complex v_dot_x0 = linalg::sparse_dot(item.update.v, point.x0);
-        const Complex v_dot_w = linalg::sparse_dot(item.update.v, w);
-        const Complex s = linalg::s_of_hz(frequencies_hz[fi]);
-        for (std::size_t k = 0; k < item.fault_indices.size(); ++k) {
-          const ParametricFault& fault = faults[item.fault_indices[k]];
-          const Complex scale = item.update.coefficient(s, fault.multiplier());
-          const std::optional<Complex> value =
-              linalg::sherman_morrison_component(point.x0[out], w[out],
-                                                 v_dot_x0, v_dot_w, scale,
-                                                 options_.max_growth);
-          if (value) {
-            site.values[k][fi] = *value;
-            ++site.rank1_solves;
+      SiteLane& ws = site_lanes[lane];
+      ws.ensure(m);
+
+      // Gather this site's per-frequency scalars as split re/im arrays.
+      for (std::size_t bi = 0; bi < m; ++bi) {
+        const FrequencySlot& slot = slots[bi];
+        const std::span<const Complex> w_row(slot.wt.row_data(si), n);
+        const Complex v_dot_x0 =
+            linalg::sparse_dot(item.update.v,
+                               std::span<const Complex>(slot.x0));
+        const Complex v_dot_w = linalg::sparse_dot(item.update.v, w_row);
+        ws.x0_re[bi] = slot.x0[out].real();
+        ws.x0_im[bi] = slot.x0[out].imag();
+        ws.w_re[bi] = w_row[out].real();
+        ws.w_im[bi] = w_row[out].imag();
+        ws.vx0_re[bi] = v_dot_x0.real();
+        ws.vx0_im[bi] = v_dot_x0.imag();
+        ws.vw_re[bi] = v_dot_w.real();
+        ws.vw_im[bi] = v_dot_w.imag();
+      }
+
+      for (std::size_t k = 0; k < item.fault_indices.size(); ++k) {
+        const ParametricFault& fault = faults[item.fault_indices[k]];
+        const double multiplier = fault.multiplier();
+        for (std::size_t bi = 0; bi < m; ++bi) {
+          const Complex scale =
+              item.update.coefficient(s_block[bi], multiplier);
+          ws.scale_re[bi] = scale.real();
+          ws.scale_im[bi] = scale.imag();
+        }
+        const std::size_t refusals = linalg::sherman_morrison_sweep(
+            m, ws.scale_re.data(), ws.scale_im.data(), ws.vx0_re.data(),
+            ws.vx0_im.data(), ws.vw_re.data(), ws.vw_im.data(),
+            ws.x0_re.data(), ws.x0_im.data(), ws.w_re.data(),
+            ws.w_im.data(), options_.max_growth, ws.out_re.data(),
+            ws.out_im.data(), ws.refused.data());
+        std::vector<Complex>& values = site.values[k];
+        for (std::size_t bi = 0; bi < m; ++bi) {
+          if (!ws.refused[bi]) {
+            values[begin + bi] = Complex(ws.out_re[bi], ws.out_im[bi]);
             continue;
           }
+          // Ill-conditioned update: fall back to an exact refactorized
+          // sweep for this fault (lazy; rare by construction).
           if (!site.refactorized[k]) {
             site.refactorized[k] = std::make_unique<mna::AcAnalysis>(
                 inject(cut_.circuit, fault));
           }
-          site.values[k][fi] = site.refactorized[k]->node_voltage(
-              frequencies_hz[fi], cut_.output_node);
-          ++site.full_solves;
+          values[begin + bi] = site.refactorized[k]->node_voltage(
+              frequencies_hz[begin + bi], cut_.output_node);
         }
+        site.rank1_solves += m - refusals;
+        site.full_solves += refusals;
       }
     });
   }
   result.golden = mna::AcResponse(frequencies_hz, std::move(golden_values));
 
-  for (std::size_t si = 0; si < sites.size(); ++si) {
+  for (std::size_t si = 0; si < site_count; ++si) {
     for (std::size_t k = 0; k < sites[si].fault_indices.size(); ++k) {
       result.responses[sites[si].fault_indices[k]] =
           mna::AcResponse(frequencies_hz, std::move(state[si].values[k]));

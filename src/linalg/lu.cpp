@@ -14,15 +14,31 @@ namespace {
 /// Singularity threshold relative to the largest pivot candidate seen.
 constexpr double kPivotTolerance = 1e-13;
 
+/// Column-panel width of the blocked multi-RHS solve: the factor row and
+/// the active RHS rows stay resident while a panel's columns advance.
+constexpr std::size_t kSolvePanel = 48;
+
 }  // namespace
 
 template <typename T>
 LuFactorization<T>::LuFactorization(Matrix<T> a) : lu_(std::move(a)) {
+  factor();
+}
+
+template <typename T>
+void LuFactorization<T>::factor_in_place(Matrix<T>& a) {
+  lu_.swap(a);
+  factor();
+}
+
+template <typename T>
+void LuFactorization<T>::factor() {
   if (!lu_.square()) {
     throw NumericError("LU requires a square matrix");
   }
   const std::size_t n = lu_.rows();
-  perm_.resize(n);
+  swaps_ = 0;
+  perm_.resize(n);  // allocates only when n grows past previous factors
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
   // Scale reference for the singularity test.
@@ -67,38 +83,84 @@ LuFactorization<T>::LuFactorization(Matrix<T> a) : lu_(std::move(a)) {
 }
 
 template <typename T>
-std::vector<T> LuFactorization<T>::solve(const std::vector<T>& b) const {
+void LuFactorization<T>::solve_into(std::span<const T> b,
+                                    std::span<T> x) const {
   const std::size_t n = size();
-  FTDIAG_ASSERT(b.size() == n, "rhs size mismatch in LU solve");
+  FTDIAG_ASSERT(b.size() == n && x.size() == n,
+                "rhs/solution size mismatch in LU solve");
   // Apply permutation, then forward substitution (L unit diagonal).
-  std::vector<T> y(n);
-  for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
   for (std::size_t i = 0; i < n; ++i) {
     const T* row = lu_.row_data(i);
-    T acc = y[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * y[j];
-    y[i] = acc;
+    T acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
+    x[i] = acc;
   }
   // Back substitution with U.
   for (std::size_t ii = n; ii-- > 0;) {
     const T* row = lu_.row_data(ii);
-    T acc = y[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * y[j];
-    y[ii] = acc / row[ii];
+    T acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+    x[ii] = acc / row[ii];
   }
-  return y;
+}
+
+template <typename T>
+void LuFactorization<T>::solve_into(const Matrix<T>& b, Matrix<T>& x) const {
+  const std::size_t n = size();
+  const std::size_t m = b.cols();
+  FTDIAG_ASSERT(b.rows() == n, "rhs row count mismatch in LU solve");
+  if (x.rows() != n || x.cols() != m) x.reshape(n, m);
+
+  // X = P B: row i of X is row perm_[i] of B.
+  for (std::size_t i = 0; i < n; ++i) {
+    const T* src = b.row_data(perm_[i]);
+    T* dst = x.row_data(i);
+    for (std::size_t c = 0; c < m; ++c) dst[c] = src[c];
+  }
+
+  for (std::size_t panel = 0; panel < m; panel += kSolvePanel) {
+    const std::size_t pe = std::min(m, panel + kSolvePanel);
+    // Forward substitution, all panel columns in lockstep (L unit
+    // diagonal): per column this is exactly solve_into's j-ascending
+    // accumulation, just held in memory instead of a register.
+    for (std::size_t i = 0; i < n; ++i) {
+      const T* row = lu_.row_data(i);
+      T* xi = x.row_data(i);
+      for (std::size_t j = 0; j < i; ++j) {
+        const T factor = row[j];
+        if (factor == T{}) continue;
+        const T* xj = x.row_data(j);
+        for (std::size_t c = panel; c < pe; ++c) xi[c] -= factor * xj[c];
+      }
+    }
+    // Back substitution with U.
+    for (std::size_t ii = n; ii-- > 0;) {
+      const T* row = lu_.row_data(ii);
+      T* xi = x.row_data(ii);
+      for (std::size_t j = ii + 1; j < n; ++j) {
+        const T factor = row[j];
+        if (factor == T{}) continue;
+        const T* xj = x.row_data(j);
+        for (std::size_t c = panel; c < pe; ++c) xi[c] -= factor * xj[c];
+      }
+      const T pivot = row[ii];
+      for (std::size_t c = panel; c < pe; ++c) xi[c] /= pivot;
+    }
+  }
+}
+
+template <typename T>
+std::vector<T> LuFactorization<T>::solve(const std::vector<T>& b) const {
+  std::vector<T> x(size());
+  solve_into(b, x);
+  return x;
 }
 
 template <typename T>
 Matrix<T> LuFactorization<T>::solve(const Matrix<T>& b) const {
-  FTDIAG_ASSERT(b.rows() == size(), "rhs row count mismatch in LU solve");
-  Matrix<T> x(b.rows(), b.cols());
-  std::vector<T> col(b.rows());
-  for (std::size_t c = 0; c < b.cols(); ++c) {
-    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
-    const std::vector<T> sol = solve(col);
-    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
-  }
+  Matrix<T> x;
+  solve_into(b, x);
   return x;
 }
 

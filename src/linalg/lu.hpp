@@ -4,9 +4,20 @@
 /// The factorization object owns the packed LU matrix plus the pivot
 /// permutation and can be reused for many right-hand sides — the AC sweep
 /// factors once per frequency and solves for each independent source.
+///
+/// Two entry points serve the allocation-free sweep hot path:
+///   - factor_in_place() adopts a caller-assembled matrix by O(1) buffer
+///     swap and hands the previous buffer back, so the caller re-assembles
+///     into warm storage on the next frequency;
+///   - solve_into() writes into caller-owned memory, and its multi-RHS
+///     overload runs one blocked triangular solve over all columns at once
+///     (rows stay hot in cache while every RHS is advanced — BLAS-3 style
+///     instead of a column-at-a-time sweep).
+/// See src/linalg/README.md for the workspace contract.
 #pragma once
 
 #include <complex>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -17,14 +28,37 @@ namespace ftdiag::linalg {
 template <typename T>
 class LuFactorization {
 public:
+  /// An empty factorization; factor_in_place() before solving.
+  LuFactorization() = default;
+
   /// Factor \p a (copied). \throws ftdiag::NumericError if \p a is not
   /// square or is numerically singular.
   explicit LuFactorization(Matrix<T> a);
 
+  /// Factor \p a in place: the matrix buffer is swapped into this object
+  /// (no copy) and \p a receives the previous factorization's equally
+  /// sized buffer — assemble the next system into it and the sweep never
+  /// allocates after warm-up.  \throws ftdiag::NumericError on a
+  /// non-square or singular matrix (the swap has already happened; the
+  /// factorization is unusable until the next successful factor).
+  void factor_in_place(Matrix<T>& a);
+
+  /// Solve A x = b into caller-owned \p x (size n, distinct from b).
+  /// Allocation-free.
+  void solve_into(std::span<const T> b, std::span<T> x) const;
+
+  /// Blocked multi-RHS solve A X = B.  \p x is reshaped to b's shape when
+  /// needed (no-op — and no allocation — when already that shape).  All
+  /// columns advance together through one forward/backward pass over the
+  /// factor rows; column panels keep the active rows within cache for
+  /// wide right-hand sides.  Per column the operation order is exactly
+  /// solve_into's.
+  void solve_into(const Matrix<T>& b, Matrix<T>& x) const;
+
   /// Solve A x = b.  \p b must have size n.
   [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const;
 
-  /// Solve in place for several right-hand sides (columns of B).
+  /// Solve for several right-hand sides (columns of B).
   [[nodiscard]] Matrix<T> solve(const Matrix<T>& b) const;
 
   /// Determinant of A (product of U diagonal times pivot sign).
@@ -43,6 +77,8 @@ public:
   [[nodiscard]] std::size_t swap_count() const { return swaps_; }
 
 private:
+  void factor();
+
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;  ///< row i of PA is row perm_[i] of A
   std::size_t swaps_ = 0;

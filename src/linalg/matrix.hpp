@@ -72,6 +72,15 @@ public:
     data_.assign(rows * cols, T{});
   }
 
+  /// O(1) buffer exchange.  The LU factorization adopts a caller-assembled
+  /// matrix this way and hands its previous (equally sized) buffer back,
+  /// so a sweep re-assembles into warm storage with zero allocations.
+  void swap(Matrix& other) noexcept {
+    std::swap(rows_, other.rows_);
+    std::swap(cols_, other.cols_);
+    data_.swap(other.data_);
+  }
+
   [[nodiscard]] Matrix transpose() const {
     Matrix t(cols_, rows_);
     for (std::size_t r = 0; r < rows_; ++r) {

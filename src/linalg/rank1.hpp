@@ -21,6 +21,7 @@
 #include <complex>
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -52,15 +53,21 @@ struct SparseVector {
   }
 };
 
-/// Unconjugated dot product v . x of a sparse vector with a dense one.
+/// Unconjugated dot product v . x of a sparse vector with a dense span.
 template <typename T>
-[[nodiscard]] T sparse_dot(const SparseVector<T>& v, const std::vector<T>& x) {
+[[nodiscard]] T sparse_dot(const SparseVector<T>& v, std::span<const T> x) {
   T acc{};
   for (const auto& [index, value] : v.entries) {
     FTDIAG_ASSERT(index < x.size(), "sparse dot index out of range");
     acc += value * x[index];
   }
   return acc;
+}
+
+/// Unconjugated dot product v . x of a sparse vector with a dense one.
+template <typename T>
+[[nodiscard]] T sparse_dot(const SparseVector<T>& v, const std::vector<T>& x) {
+  return sparse_dot(v, std::span<const T>(x));
 }
 
 /// Default growth bound above which a rank-1 update is refused.
@@ -96,6 +103,62 @@ template <typename T>
       sherman_morrison_coefficient(v_dot_x0, v_dot_w, scale, max_growth);
   if (!coefficient) return std::nullopt;
   return x0_i - *coefficient * w_i;
+}
+
+/// Split real/imaginary SoA sweep of sherman_morrison_component over a
+/// frequency block: for every i in [0, count)
+///
+///   scaled = scale_i * (v.w)_i          denom = 1 + scaled
+///   out_i  = x0_i - (scale_i * (v.x0)_i / denom) * w_i
+///
+/// with the same growth refusal as sherman_morrison_coefficient: the
+/// entry is refused (refused[i] = 1, out slot untouched) when the result
+/// is non-finite or |denom| * max_growth < 1 + |scaled|.  Returns the
+/// number of refused entries.
+///
+/// This is the per-(site, fault) inner loop of the simulation engine,
+/// written as straight-line arithmetic over parallel re/im arrays so the
+/// compiler can vectorize the whole block; it is allocation-free by
+/// construction.  Values agree with the scalar path up to re/im
+/// evaluation-order rounding (the scalar path uses std::complex division);
+/// magnitudes beyond ~1e154 overflow the unscaled |.|^2 here and refuse
+/// conservatively, which only trades a rank-1 update for an exact
+/// refactorization.
+inline std::size_t sherman_morrison_sweep(
+    std::size_t count, const double* scale_re, const double* scale_im,
+    const double* v_x0_re, const double* v_x0_im, const double* v_w_re,
+    const double* v_w_im, const double* x0_re, const double* x0_im,
+    const double* w_re, const double* w_im, double max_growth,
+    double* out_re, double* out_im, unsigned char* refused) {
+  std::size_t refusals = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double sr = scale_re[i];
+    const double si = scale_im[i];
+    const double scaled_re = sr * v_w_re[i] - si * v_w_im[i];
+    const double scaled_im = sr * v_w_im[i] + si * v_w_re[i];
+    const double denom_re = 1.0 + scaled_re;
+    const double denom_im = scaled_im;
+    const double growth =
+        1.0 + std::sqrt(scaled_re * scaled_re + scaled_im * scaled_im);
+    const double denom_sq = denom_re * denom_re + denom_im * denom_im;
+    const double denom_abs = std::sqrt(denom_sq);
+    // Fail closed: non-finite scales/denominators refuse rather than NaN.
+    if (!std::isfinite(growth) || !std::isfinite(denom_abs) ||
+        denom_abs * max_growth < growth) {
+      refused[i] = 1;
+      ++refusals;
+      continue;
+    }
+    refused[i] = 0;
+    const double u_re = sr * v_x0_re[i] - si * v_x0_im[i];
+    const double u_im = sr * v_x0_im[i] + si * v_x0_re[i];
+    const double inv = 1.0 / denom_sq;
+    const double coef_re = (u_re * denom_re + u_im * denom_im) * inv;
+    const double coef_im = (u_im * denom_re - u_re * denom_im) * inv;
+    out_re[i] = x0_re[i] - (coef_re * w_re[i] - coef_im * w_im[i]);
+    out_im[i] = x0_im[i] - (coef_re * w_im[i] + coef_im * w_re[i]);
+  }
+  return refusals;
 }
 
 /// Full updated solution of (A + scale*u*v^T) x = b from x0 = A^{-1}b and

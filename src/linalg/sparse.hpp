@@ -28,6 +28,10 @@ public:
     entries_.push_back({row, col, value});
   }
 
+  /// Drop all entries, keeping the capacity (per-frequency reassembly
+  /// reuses one accumulator without reallocating).
+  void clear() { entries_.clear(); }
+
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
   [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }

@@ -22,7 +22,12 @@ bool has_ac_source(const netlist::Circuit& circuit) {
 
 }  // namespace
 
-AcAnalysis::AcAnalysis(const netlist::Circuit& circuit) : system_(circuit) {
+static_assert(SweepAssembler::kDenseLimit == AcAnalysis::kDenseLimit,
+              "the sweep assembler and the AC analysis must agree on where "
+              "the dense path ends");
+
+AcAnalysis::AcAnalysis(const netlist::Circuit& circuit)
+    : system_(circuit), assembler_(system_.prepare_sweep()) {
   if (!has_ac_source(system_.circuit())) {
     throw CircuitError(
         "AC analysis requires at least one source with a non-zero AC "
@@ -32,13 +37,19 @@ AcAnalysis::AcAnalysis(const netlist::Circuit& circuit) : system_(circuit) {
 
 std::vector<Complex> AcAnalysis::solve(double frequency_hz) const {
   const std::size_t n = system_.unknown_count();
-  linalg::CooMatrix<Complex> matrix(n, n);
-  std::vector<Complex> rhs(n, Complex{});
-  system_.assemble_ac(linalg::s_of_hz(frequency_hz), matrix, rhs);
+  const Complex s = linalg::s_of_hz(frequency_hz);
   if (n <= kDenseLimit) {
-    return linalg::LuFactorization<Complex>(matrix.to_dense()).solve(rhs);
+    linalg::Matrix<Complex> a;
+    assembler_.assemble(s, a);
+    linalg::LuFactorization<Complex> lu;
+    lu.factor_in_place(a);
+    std::vector<Complex> x(n);
+    lu.solve_into(assembler_.rhs(), x);
+    return x;
   }
-  return linalg::SparseLu<Complex>(matrix).solve(rhs);
+  linalg::CooMatrix<Complex> coo(n, n);
+  assembler_.assemble(s, coo);
+  return linalg::SparseLu<Complex>(coo).solve(assembler_.rhs());
 }
 
 Complex AcAnalysis::node_voltage(double frequency_hz,
@@ -57,15 +68,35 @@ AcResponse AcAnalysis::sweep(const std::vector<double>& frequencies_hz,
                              const std::string& node) const {
   FTDIAG_ASSERT(std::is_sorted(frequencies_hz.begin(), frequencies_hz.end()),
                 "sweep frequencies must ascend");
+  const std::size_t n = system_.unknown_count();
   const std::size_t unknown = system_.node_unknown(node);
   std::vector<Complex> values;
   values.reserve(frequencies_hz.size());
-  for (double f : frequencies_hz) {
-    if (unknown == kNoUnknown) {
-      values.emplace_back(0.0, 0.0);
-    } else {
-      values.push_back(solve(f)[unknown]);
+  if (unknown == kNoUnknown) {
+    values.assign(frequencies_hz.size(), Complex{});
+    return AcResponse(frequencies_hz, std::move(values));
+  }
+  if (n <= kDenseLimit) {
+    // One workspace for the whole grid: the matrix buffer ping-pongs
+    // between the assembler and the factorization, so the steady-state
+    // loop allocates nothing.  Operation-for-operation this is solve(),
+    // which keeps the sweep bit-identical to point solves.
+    linalg::Matrix<Complex> a;
+    linalg::LuFactorization<Complex> lu;
+    std::vector<Complex> x(n);
+    for (double f : frequencies_hz) {
+      assembler_.assemble(linalg::s_of_hz(f), a);
+      lu.factor_in_place(a);
+      lu.solve_into(assembler_.rhs(), x);
+      values.push_back(x[unknown]);
     }
+    return AcResponse(frequencies_hz, std::move(values));
+  }
+  linalg::CooMatrix<Complex> coo(n, n);
+  for (double f : frequencies_hz) {
+    assembler_.assemble(linalg::s_of_hz(f), coo);
+    values.push_back(
+        linalg::SparseLu<Complex>(coo).solve(assembler_.rhs())[unknown]);
   }
   return AcResponse(frequencies_hz, std::move(values));
 }

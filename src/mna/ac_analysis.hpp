@@ -5,6 +5,11 @@
 /// unknown count.  Results are node voltages relative to the AC excitation
 /// defined by the circuit's sources (phasor superposition is handled by the
 /// single linear solve).
+///
+/// Construction captures the G + s*C split once (MnaSystem::prepare_sweep);
+/// every solve is then an O(n^2) combine + factor instead of a component
+/// traversal, and sweep() reuses one workspace across the whole grid so the
+/// steady-state loop performs no heap allocations on the dense path.
 #pragma once
 
 #include <string>
@@ -39,11 +44,19 @@ public:
 
   [[nodiscard]] const MnaSystem& system() const { return system_; }
 
+  /// The shared G + s*C split (immutable; safe to use from any number of
+  /// threads).  The simulation engine drives its zero-allocation sweep
+  /// off this instead of preparing its own.
+  [[nodiscard]] const SweepAssembler& sweep_assembler() const {
+    return assembler_;
+  }
+
   /// Unknown count above which the sparse path is used.
   static constexpr std::size_t kDenseLimit = 150;
 
 private:
   MnaSystem system_;
+  SweepAssembler assembler_;
 };
 
 }  // namespace ftdiag::mna

@@ -30,6 +30,30 @@ bool needs_branch_current(ComponentKind kind) {
 
 }  // namespace
 
+// ------------------------------------------------------- SweepAssembler
+
+void SweepAssembler::assemble(Complex s, linalg::Matrix<Complex>& a) const {
+  FTDIAG_ASSERT(!g_dense_.empty(),
+                "dense sweep assembly beyond SweepAssembler::kDenseLimit");
+  // Copy-assign reuses a's buffer when the shape already matches, so the
+  // per-frequency cost is one memcpy-like pass plus the reactive scatter.
+  a = g_dense_;
+  for (const auto& e : c_entries_) {
+    a(e.row, e.col) += s * e.coefficient;
+  }
+}
+
+void SweepAssembler::assemble(Complex s,
+                              linalg::CooMatrix<Complex>& coo) const {
+  FTDIAG_ASSERT(coo.rows() == n_ && coo.cols() == n_,
+                "sweep COO accumulator has the wrong shape");
+  coo.clear();
+  for (const auto& e : g_entries_) coo.add(e.row, e.col, e.value);
+  for (const auto& e : c_entries_) coo.add(e.row, e.col, s * e.coefficient);
+}
+
+// ------------------------------------------------------------ MnaSystem
+
 MnaSystem::MnaSystem(const netlist::Circuit& circuit)
     : circuit_(circuit.elaborated()) {
   circuit_.validate_or_throw();
@@ -68,23 +92,21 @@ std::size_t MnaSystem::branch_unknown(const std::string& name) const {
   return it->second;
 }
 
-template <typename T>
-void MnaSystem::stamp_all(Complex s, bool ac_excitation,
-                          linalg::CooMatrix<T>& matrix,
-                          std::vector<T>& rhs) const {
-  FTDIAG_ASSERT(matrix.rows() == unknown_count_ &&
-                    matrix.cols() == unknown_count_,
-                "assembly matrix has the wrong shape");
-  FTDIAG_ASSERT(rhs.size() == unknown_count_, "rhs has the wrong size");
-
-  // add() helpers that skip ground (kNoUnknown) rows/columns.
+template <typename T, typename GSink, typename CSink, typename RhsSink>
+void MnaSystem::visit_stamps(bool ac_excitation, GSink&& g_sink,
+                             CSink&& c_sink, RhsSink&& rhs_sink) const {
+  // Sink wrappers that skip ground (kNoUnknown) rows/columns.
   auto add = [&](std::size_t r, std::size_t c, const T& v) {
     if (r == kNoUnknown || c == kNoUnknown) return;
-    matrix.add(r, c, v);
+    g_sink(r, c, v);
+  };
+  auto add_reactive = [&](std::size_t r, std::size_t c, double coefficient) {
+    if (r == kNoUnknown || c == kNoUnknown) return;
+    c_sink(r, c, coefficient);
   };
   auto add_rhs = [&](std::size_t r, const T& v) {
     if (r == kNoUnknown) return;
-    rhs[r] += v;
+    rhs_sink(r, v);
   };
   // Convert a complex admittance/impedance coefficient to T.
   auto coeff = [](const Complex& z) -> T {
@@ -122,14 +144,13 @@ void MnaSystem::stamp_all(Complex s, bool ac_excitation,
         break;
       }
       case ComponentKind::kCapacitor: {
-        const T y = coeff(s * c.value);
-        if (y == T{}) break;  // DC: open circuit
+        if (c.value == 0.0) break;  // no stamp at any frequency
         const std::size_t a = node_unknown(c.nodes[0]);
         const std::size_t b = node_unknown(c.nodes[1]);
-        add(a, a, y);
-        add(b, b, y);
-        add(a, b, -y);
-        add(b, a, -y);
+        add_reactive(a, a, c.value);
+        add_reactive(b, b, c.value);
+        add_reactive(a, b, -c.value);
+        add_reactive(b, a, -c.value);
         break;
       }
       case ComponentKind::kInductor: {
@@ -141,8 +162,7 @@ void MnaSystem::stamp_all(Complex s, bool ac_excitation,
         add(b, i, T{-1});
         add(i, a, T{1});
         add(i, b, T{-1});
-        const T z = coeff(s * c.value);
-        if (z != T{}) add(i, i, -z);
+        if (c.value != 0.0) add_reactive(i, i, -c.value);
         break;
       }
       case ComponentKind::kVoltageSource: {
@@ -235,14 +255,61 @@ void MnaSystem::stamp_all(Complex s, bool ac_excitation,
   }
 }
 
+SweepAssembler MnaSystem::prepare_sweep() const {
+  SweepAssembler sweep;
+  sweep.n_ = unknown_count_;
+  sweep.rhs_.assign(unknown_count_, Complex{});
+  visit_stamps<Complex>(
+      /*ac_excitation=*/true,
+      [&](std::size_t r, std::size_t c, const Complex& v) {
+        sweep.g_entries_.push_back({r, c, v});
+      },
+      [&](std::size_t r, std::size_t c, double coefficient) {
+        sweep.c_entries_.push_back({r, c, coefficient});
+      },
+      [&](std::size_t r, const Complex& v) { sweep.rhs_[r] += v; });
+  if (unknown_count_ <= SweepAssembler::kDenseLimit) {
+    // Premerge G densely, in stamp order, exactly as CooMatrix::to_dense
+    // historically accumulated it.
+    sweep.g_dense_ = linalg::Matrix<Complex>(unknown_count_, unknown_count_);
+    for (const auto& e : sweep.g_entries_) {
+      sweep.g_dense_(e.row, e.col) += e.value;
+    }
+  }
+  return sweep;
+}
+
 void MnaSystem::assemble_ac(Complex s, linalg::CooMatrix<Complex>& matrix,
                             std::vector<Complex>& rhs) const {
-  stamp_all<Complex>(s, /*ac_excitation=*/true, matrix, rhs);
+  FTDIAG_ASSERT(matrix.rows() == unknown_count_ &&
+                    matrix.cols() == unknown_count_,
+                "assembly matrix has the wrong shape");
+  FTDIAG_ASSERT(rhs.size() == unknown_count_, "rhs has the wrong size");
+  visit_stamps<Complex>(
+      /*ac_excitation=*/true,
+      [&](std::size_t r, std::size_t c, const Complex& v) {
+        matrix.add(r, c, v);
+      },
+      [&](std::size_t r, std::size_t c, double coefficient) {
+        matrix.add(r, c, s * coefficient);
+      },
+      [&](std::size_t r, const Complex& v) { rhs[r] += v; });
 }
 
 void MnaSystem::assemble_dc(linalg::CooMatrix<double>& matrix,
                             std::vector<double>& rhs) const {
-  stamp_all<double>(Complex(0.0, 0.0), /*ac_excitation=*/false, matrix, rhs);
+  FTDIAG_ASSERT(matrix.rows() == unknown_count_ &&
+                    matrix.cols() == unknown_count_,
+                "assembly matrix has the wrong shape");
+  FTDIAG_ASSERT(rhs.size() == unknown_count_, "rhs has the wrong size");
+  visit_stamps<double>(
+      /*ac_excitation=*/false,
+      [&](std::size_t r, std::size_t c, double v) { matrix.add(r, c, v); },
+      [](std::size_t, std::size_t, double) {
+        // s = 0: reactive stamps vanish (capacitors open, inductor branch
+        // rows reduce to shorts), matching the historical DC assembly.
+      },
+      [&](std::size_t r, double v) { rhs[r] += v; });
 }
 
 }  // namespace ftdiag::mna

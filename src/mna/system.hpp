@@ -6,6 +6,13 @@
 /// currents (voltage sources, VCVS, CCVS, inductors, ideal op-amps).  The
 /// same structure assembles the complex AC system at any Laplace point
 /// s = jw and the real DC system (s = 0, DC source values).
+///
+/// Every linear AC stamp in this formulation is affine in s, so the whole
+/// system splits as A(s) = G + s*C with a frequency-invariant right-hand
+/// side.  prepare_sweep() captures that split once; the per-frequency
+/// assembly is then an O(n^2) buffer copy plus an O(nnz(C)) scatter into
+/// caller-owned storage — no component traversal, no allocation — which is
+/// what the sweep hot paths (AcAnalysis, SimulationEngine) run on.
 #pragma once
 
 #include <complex>
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "linalg/complex_utils.hpp"
+#include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
 #include "netlist/circuit.hpp"
 
@@ -23,6 +31,66 @@ using linalg::Complex;
 
 /// Index value meaning "ground / no unknown".
 inline constexpr std::size_t kNoUnknown = static_cast<std::size_t>(-1);
+
+/// The frequency-invariant split A(s) = G + s*C of one MNA system, with
+/// the constant AC-excitation right-hand side.  Built once per circuit by
+/// MnaSystem::prepare_sweep(); assemble() recombines at any Laplace point
+/// into a caller-owned buffer with zero allocations once the buffer is
+/// warm.  Immutable after construction, so one assembler serves any
+/// number of concurrent sweep threads.
+class SweepAssembler {
+public:
+  /// Unknown count above which the premerged dense G is not materialized
+  /// (use the COO overload and a sparse solver instead).  Kept equal to
+  /// AcAnalysis::kDenseLimit.
+  static constexpr std::size_t kDenseLimit = 150;
+
+  SweepAssembler() = default;
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// The constant AC right-hand side (phasor source excitations).
+  [[nodiscard]] const std::vector<Complex>& rhs() const { return rhs_; }
+
+  /// Number of s-dependent (reactive) scatter entries.
+  [[nodiscard]] std::size_t reactive_entry_count() const {
+    return c_entries_.size();
+  }
+
+  /// Dense combine \p a = G + s*C.  \p a is reshaped on first use and its
+  /// buffer reused afterwards (zero allocations in steady state).  Only
+  /// valid when size() <= kDenseLimit.
+  void assemble(Complex s, linalg::Matrix<Complex>& a) const;
+
+  /// Sparse combine into a caller-owned COO accumulator (cleared first,
+  /// capacity retained).  \p coo must be size() x size().
+  void assemble(Complex s, linalg::CooMatrix<Complex>& coo) const;
+
+private:
+  friend class MnaSystem;
+
+  /// One s-proportional stamp entry: A(row, col) += s * coefficient.  The
+  /// coefficient is real for every supported element (C and L values), so
+  /// the scatter is one complex-times-double multiply-add per entry.
+  struct ReactiveEntry {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    double coefficient = 0.0;
+  };
+  /// One frequency-invariant stamp entry (kept unmerged, in stamp order,
+  /// for the sparse path; the dense path uses the premerged g_dense_).
+  struct StaticEntry {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    Complex value;
+  };
+
+  std::size_t n_ = 0;
+  linalg::Matrix<Complex> g_dense_;  ///< premerged G; empty when n_ > kDenseLimit
+  std::vector<StaticEntry> g_entries_;
+  std::vector<ReactiveEntry> c_entries_;
+  std::vector<Complex> rhs_;
+};
 
 class MnaSystem {
 public:
@@ -53,6 +121,10 @@ public:
   /// component has no branch unknown.
   [[nodiscard]] std::size_t branch_unknown(const std::string& name) const;
 
+  /// Capture the G + s*C split of the AC system (one component traversal).
+  /// The returned assembler is immutable and self-contained.
+  [[nodiscard]] SweepAssembler prepare_sweep() const;
+
   /// Assemble the complex MNA system at Laplace point \p s with AC phasor
   /// excitation (magnitude/phase of each source's AC spec).
   void assemble_ac(Complex s, linalg::CooMatrix<Complex>& matrix,
@@ -64,9 +136,15 @@ public:
                    std::vector<double>& rhs) const;
 
 private:
-  template <typename T>
-  void stamp_all(Complex s, bool ac_excitation,
-                 linalg::CooMatrix<T>& matrix, std::vector<T>& rhs) const;
+  /// Walk every component stamp once, reporting frequency-invariant
+  /// entries to \p g(row, col, T), s-proportional entries to
+  /// \p c(row, col, double) and source excitations to \p rhs(row, T).
+  /// Ground rows/columns are skipped before the sinks see them.  Entries
+  /// are emitted in component order, g before c within one component —
+  /// the exact order the one-shot assemblers historically stamped in.
+  template <typename T, typename GSink, typename CSink, typename RhsSink>
+  void visit_stamps(bool ac_excitation, GSink&& g, CSink&& c,
+                    RhsSink&& rhs) const;
 
   netlist::Circuit circuit_;
   std::vector<std::size_t> node_to_unknown_;  ///< by NodeId

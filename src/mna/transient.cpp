@@ -136,6 +136,7 @@ TransientResult TransientAnalysis::run(
   record(0.0);
 
   std::vector<double> rhs(n);
+  std::vector<double> x_next(n);  // reused every step (no per-step allocs)
   for (std::size_t step = 1; step <= steps; ++step) {
     const double t = static_cast<double>(step) * h;
     std::fill(rhs.begin(), rhs.end(), 0.0);
@@ -190,7 +191,7 @@ TransientResult TransientAnalysis::run(
       }
     }
 
-    const std::vector<double> x_next = lu.solve(rhs);
+    lu.solve_into(rhs, x_next);
 
     // Update capacitor currents for the trapezoidal history.
     if (trapezoid) {
@@ -207,7 +208,7 @@ TransientResult TransientAnalysis::run(
             geq * (v_next - v_prev) - cap_current[my_idx];
       }
     }
-    x = x_next;
+    std::swap(x, x_next);
     record(t);
   }
   return result;

@@ -7,8 +7,14 @@
 
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/threads.hpp"
 
 namespace ftdiag::service {
+
+std::size_t ServiceOptions::resolved_workers() const {
+  if (workers != 0) return workers;
+  return std::max<std::size_t>(1, util::resolve_threads(0) / 2);
+}
 
 void ServiceOptions::check() const {
   if (queue_capacity == 0) {
@@ -25,10 +31,7 @@ void ServiceOptions::check() const {
 DiagnosisService::DiagnosisService(ServiceOptions options)
     : options_(options) {
   options_.check();
-  worker_count_ =
-      options_.workers != 0
-          ? options_.workers
-          : std::max<std::size_t>(1, par::default_thread_count() / 2);
+  worker_count_ = options_.resolved_workers();
   workers_.reserve(worker_count_);
   for (std::size_t i = 0; i < worker_count_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -39,9 +39,13 @@ struct ServiceOptions {
   /// instead of unbounded memory growth).
   std::size_t queue_capacity = 1024;
 
-  /// Dispatcher threads draining the queue; 0 means "auto" (half the
-  /// hardware concurrency, at least 1 — the batch fan-out uses the rest).
+  /// Dispatcher threads draining the queue; 0 means "auto" (half of
+  /// util::resolve_threads(0) — which honors FTDIAG_THREADS — at least 1;
+  /// the batch fan-out uses the rest).
   std::size_t workers = 0;
+
+  /// The effective dispatcher count (resolves 0 as documented above).
+  [[nodiscard]] std::size_t resolved_workers() const;
 
   /// Most requests coalesced into one diagnosis micro-batch.
   std::size_t max_batch = 64;

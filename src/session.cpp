@@ -17,6 +17,7 @@
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
+#include "util/threads.hpp"
 
 namespace ftdiag {
 
@@ -127,6 +128,10 @@ std::shared_ptr<const faults::FaultDictionary> fetch_dictionary(
 }  // namespace
 
 // ------------------------------------------------------------- options
+
+std::size_t SearchOptions::resolved_threads() const {
+  return util::resolve_threads(threads);
+}
 
 void SearchOptions::check() const {
   if (n_frequencies == 0) {
@@ -253,7 +258,7 @@ TestGenResult Session::search_impl(const ga::FrequencyOptimizer* optimizer,
   }
 
   core::PipelineOptions pipeline_options;
-  pipeline_options.threads = search.threads;
+  pipeline_options.threads = search.resolved_threads();
   pipeline_options.cache_signatures = search.eval_cache;
   const core::EvaluationPipeline pipeline(evaluator, pipeline_options);
   Rng rng(seed);

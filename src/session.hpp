@@ -74,9 +74,14 @@ struct SearchOptions {
   std::uint64_t seed = 42;
 
   /// Worker threads for the per-generation genome fan-out in the
-  /// evaluation pipeline; 0 means "auto" (the hardware concurrency).  The
-  /// thread count never changes the search result, only wall time.
+  /// evaluation pipeline; 0 means "auto" (util::resolve_threads — the
+  /// FTDIAG_THREADS override when set, otherwise the hardware
+  /// concurrency).  The thread count never changes the search result,
+  /// only wall time.
   std::size_t threads = 0;
+
+  /// The effective fan-out width (resolves 0 via util::resolve_threads).
+  [[nodiscard]] std::size_t resolved_threads() const;
 
   /// Share interpolated signature columns between genomes (keyed by
   /// quantized frequency).  Off recomputes every sample; the search result

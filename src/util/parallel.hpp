@@ -1,58 +1,57 @@
 /// \file parallel.hpp
-/// \brief Minimal fork/join parallel loop over an index range.
+/// \brief Parallel loop over an index range on the persistent thread pool.
 ///
-/// The simulation engine fans independent work items (faults, frequencies)
-/// across a small std::thread pool.  Determinism contract: every item i
-/// writes only to its own output slot, so the result is bit-identical for
-/// any thread count — the partition below only decides *who* computes an
-/// item, never *what* is computed.
+/// The simulation engine, the evaluation pipeline and the serving layer
+/// fan independent work items (faults, frequencies, genomes, diagnosis
+/// points) across the process-wide util::ThreadPool.  Determinism
+/// contract: every item i writes only to its own output slot, so the
+/// result is bit-identical for any thread count — scheduling only decides
+/// *who* computes an item, never *what* is computed.
+///
+/// Nested calls (a parallel_for issued from inside another parallel_for's
+/// item) run inline on the issuing lane, so the engine never oversubscribes
+/// the machine when it executes inside DiagnosisService workers.
 #pragma once
 
 #include <cstddef>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "util/threads.hpp"
 
 namespace ftdiag::par {
 
-/// Run fn(i) for every i in [0, count) on up to \p threads threads
-/// (strided partition: thread t handles i = t, t + threads, ...).
+/// Run fn(i) for every i in [0, count) on up to \p threads lanes of the
+/// process-wide pool (contiguous block partition, work-stealing cursor).
 /// Runs inline when threads <= 1 or count <= 1.  The first exception
 /// thrown by any item is rethrown on the calling thread after the join.
 template <typename Fn>
 void parallel_for(std::size_t count, std::size_t threads, Fn&& fn) {
-  if (threads == 0) threads = 1;
-  if (threads > count) threads = count;
-  if (threads <= 1) {
+  if (threads <= 1 || count <= 1 || ThreadPool::global_torn_down()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  ThreadPool::global().for_each(count, threads, fn);
+}
 
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto worker = [&](std::size_t t) {
-    try {
-      for (std::size_t i = t; i < count; i += threads) fn(i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker, t);
-  worker(0);
-  for (auto& thread : pool) thread.join();
-  if (first_error) std::rethrow_exception(first_error);
+/// Same, passing the executing lane id to fn(lane, i).  Lane ids are
+/// dense in [0, threads), lane 0 is the calling thread; use them to index
+/// per-lane workspaces without locking.  Which lane computes an item is
+/// scheduling, not semantics: fn must produce identical slot writes for
+/// any lane assignment.
+template <typename Fn>
+void parallel_for_lanes(std::size_t count, std::size_t threads, Fn&& fn) {
+  if (threads <= 1 || count <= 1 || ThreadPool::global_torn_down()) {
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  ThreadPool::global().for_each_lane(count, threads, fn);
 }
 
 /// The pool size used when a configuration leaves the thread count at 0
-/// ("auto"): the hardware concurrency, at least 1.
+/// ("auto"): util::resolve_threads(0) — the FTDIAG_THREADS override when
+/// set, otherwise the hardware concurrency.
 [[nodiscard]] inline std::size_t default_thread_count() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  return util::resolve_threads(0);
 }
 
 }  // namespace ftdiag::par

@@ -1,0 +1,147 @@
+#include "util/thread_pool.hpp"
+
+#include "util/threads.hpp"
+
+namespace ftdiag::par {
+
+namespace {
+
+/// Depth of parallel-region nesting on this thread (caller lanes and pool
+/// workers both count themselves while running items).
+thread_local std::size_t t_region_depth = 0;
+
+/// Set once the process-wide pool has been destroyed.  Static destructors
+/// that run after teardown must fall back to inline execution instead of
+/// touching a destroyed object.
+std::atomic<bool> g_global_destroyed{false};
+
+}  // namespace
+
+ThreadPool::RegionGuard::RegionGuard() { ++t_region_depth; }
+ThreadPool::RegionGuard::~RegionGuard() { --t_region_depth; }
+
+bool ThreadPool::in_parallel_region() { return t_region_depth > 0; }
+
+bool ThreadPool::global_torn_down() {
+  return g_global_destroyed.load(std::memory_order_acquire);
+}
+
+ThreadPool& ThreadPool::global() {
+  struct GlobalPool {
+    ThreadPool pool;
+    GlobalPool()
+        : pool(util::resolve_threads(0) >= 2 ? util::resolve_threads(0) - 1
+                                             : 0) {}
+    ~GlobalPool() {
+      g_global_destroyed.store(true, std::memory_order_release);
+    }
+  };
+  static GlobalPool instance;
+  return instance.pool;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue_locked(Job& job) {
+  job.next = nullptr;
+  if (tail_ == nullptr) {
+    head_ = tail_ = &job;
+  } else {
+    tail_->next = &job;
+    tail_ = &job;
+  }
+}
+
+void ThreadPool::dequeue_locked(Job& job) {
+  Job** link = &head_;
+  Job* prev = nullptr;
+  while (*link != nullptr) {
+    if (*link == &job) {
+      *link = job.next;
+      if (tail_ == &job) tail_ = prev;
+      job.next = nullptr;
+      return;
+    }
+    prev = *link;
+    link = &prev->next;
+  }
+}
+
+ThreadPool::Job* ThreadPool::find_attachable_locked() {
+  for (Job* job = head_; job != nullptr; job = job->next) {
+    if (job->lane_ticket < job->max_lanes &&
+        job->next_block.load(std::memory_order_relaxed) < job->block_count) {
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::work_on(Job& job, std::size_t lane) {
+  const RegionGuard guard;
+  const std::size_t blocks = job.block_count;
+  for (;;) {
+    const std::size_t b = job.next_block.fetch_add(1);
+    if (b >= blocks) return;
+    const std::size_t begin = b * job.count / blocks;
+    const std::size_t end = (b + 1) * job.count / blocks;
+    try {
+      job.run(job.ctx, lane, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    Job* job = find_attachable_locked();
+    if (job == nullptr) {
+      if (stop_) return;
+      work_cv_.wait(lock);
+      continue;
+    }
+    const std::size_t lane = job->lane_ticket++;
+    ++job->active;
+    lock.unlock();
+    work_on(*job, lane);
+    lock.lock();
+    if (--job->active == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run(Job& job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    enqueue_locked(job);
+  }
+  work_cv_.notify_all();
+  work_on(job, /*lane=*/0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // No new workers may attach once the job leaves the list; the ones
+    // already attached are counted in `active` and drain their blocks
+    // before detaching, so active == 0 means the whole range completed.
+    dequeue_locked(job);
+    done_cv_.wait(lock, [&] { return job.active == 0; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace ftdiag::par

@@ -1,0 +1,25 @@
+#include "util/threads.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace ftdiag::util {
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("FTDIAG_THREADS")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0 && value <= 4096) {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  return hardware_threads();
+}
+
+}  // namespace ftdiag::util

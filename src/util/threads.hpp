@@ -1,0 +1,27 @@
+/// \file threads.hpp
+/// \brief The one place thread counts are resolved.
+///
+/// Every "threads = 0 means auto" knob in the code base (SimOptions,
+/// SearchOptions / PipelineOptions, ServiceOptions) funnels through
+/// resolve_threads() so they all agree on what "auto" means: the
+/// FTDIAG_THREADS environment override when set to a positive integer,
+/// otherwise the hardware concurrency.  An explicit (non-zero) request
+/// always wins over the environment.
+#pragma once
+
+#include <cstddef>
+
+namespace ftdiag::util {
+
+/// The machine's hardware concurrency, at least 1.
+[[nodiscard]] std::size_t hardware_threads();
+
+/// Resolve a "0 = auto" thread-count knob: \p requested when non-zero,
+/// otherwise the FTDIAG_THREADS environment variable (positive integers
+/// only; anything else is ignored), otherwise hardware_threads().  The
+/// environment is re-read on every call so tests (and long-running
+/// services restarted via exec) observe changes; the lookup is far off
+/// any hot path.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested);
+
+}  // namespace ftdiag::util

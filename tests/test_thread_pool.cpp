@@ -1,0 +1,195 @@
+/// Unit tests of the persistent work-stealing pool behind
+/// par::parallel_for: full index coverage for any lane count, lane-id
+/// bounds, exception propagation, nested-call inlining, determinism of
+/// slot writes, concurrent jobs from independent threads, and the
+/// FTDIAG_THREADS resolution override.  The TSan CI job runs this suite
+/// to vet the pool's synchronization.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/threads.hpp"
+
+namespace ftdiag {
+namespace {
+
+TEST(ResolveThreads, ExplicitRequestWins) {
+  EXPECT_EQ(util::resolve_threads(3), 3u);
+  EXPECT_EQ(util::resolve_threads(1), 1u);
+}
+
+TEST(ResolveThreads, AutoFallsBackToHardware) {
+  unsetenv("FTDIAG_THREADS");
+  EXPECT_EQ(util::resolve_threads(0), util::hardware_threads());
+  EXPECT_GE(util::hardware_threads(), 1u);
+}
+
+TEST(ResolveThreads, EnvironmentOverridesAuto) {
+  setenv("FTDIAG_THREADS", "5", 1);
+  EXPECT_EQ(util::resolve_threads(0), 5u);
+  // An explicit request still wins over the environment.
+  EXPECT_EQ(util::resolve_threads(2), 2u);
+  unsetenv("FTDIAG_THREADS");
+}
+
+TEST(ResolveThreads, InvalidEnvironmentValuesAreIgnored) {
+  for (const char* bad : {"0", "-4", "lots", "3x", "", "99999999"}) {
+    setenv("FTDIAG_THREADS", bad, 1);
+    EXPECT_EQ(util::resolve_threads(0), util::hardware_threads())
+        << "FTDIAG_THREADS=" << bad;
+  }
+  unsetenv("FTDIAG_THREADS");
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  par::ThreadPool pool(3);
+  for (const std::size_t count : {0u, 1u, 2u, 7u, 64u, 1000u}) {
+    for (const std::size_t lanes : {1u, 2u, 4u, 16u}) {
+      std::vector<std::atomic<int>> hits(count);
+      pool.for_each(count, lanes,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "count=" << count
+                                     << " lanes=" << lanes << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, SlotWritesAreIdenticalForAnyLaneCount) {
+  par::ThreadPool pool(7);
+  const std::size_t count = 513;
+  std::vector<std::size_t> reference(count);
+  for (std::size_t i = 0; i < count; ++i) reference[i] = i * i;
+  for (const std::size_t lanes : {1u, 2u, 8u}) {
+    std::vector<std::size_t> out(count, 0);
+    pool.for_each(count, lanes, [&](std::size_t i) { out[i] = i * i; });
+    EXPECT_EQ(out, reference) << "lanes=" << lanes;
+  }
+}
+
+TEST(ThreadPool, LaneIdsStayWithinTheRequestedWidth) {
+  par::ThreadPool pool(8);
+  const std::size_t lanes = 3;
+  // Per-lane counters written without atomics: lane ids out of range
+  // would fault, and lane sharing across concurrent threads would be a
+  // data race TSan flags.
+  std::vector<std::size_t> per_lane(lanes, 0);
+  std::atomic<std::size_t> total{0};
+  pool.for_each_lane(10000, lanes, [&](std::size_t lane, std::size_t) {
+    ASSERT_LT(lane, lanes);
+    ++per_lane[lane];
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 10000u);
+  EXPECT_EQ(std::accumulate(per_lane.begin(), per_lane.end(),
+                            std::size_t{0}),
+            10000u);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesToTheCaller) {
+  par::ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  try {
+    pool.for_each(100, 4, [&](std::size_t i) {
+      ran.fetch_add(1);
+      if (i == 17) throw std::runtime_error("item 17 failed");
+    });
+    FAIL() << "expected the item exception to propagate";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "item 17 failed");
+  }
+  // Independent items keep running: only the throwing item's own block is
+  // cut short, every other block still drains.
+  EXPECT_GE(ran.load(), 90u);
+  EXPECT_LE(ran.load(), 100u);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineOnTheOuterLane) {
+  par::ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  pool.for_each(8, 4, [&](std::size_t) {
+    EXPECT_TRUE(par::ThreadPool::in_parallel_region());
+    const std::thread::id outer = std::this_thread::get_id();
+    // A nested loop must not fan out again: every inner item runs on the
+    // thread that issued it.
+    pool.for_each(16, 4, [&](std::size_t) {
+      if (std::this_thread::get_id() != outer) mismatches.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_FALSE(par::ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, ConcurrentJobsFromIndependentThreadsAllComplete) {
+  par::ThreadPool pool(3);
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kItems = 2048;
+  std::vector<std::uint64_t> sums(kClients, 0);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::uint64_t> slots(kItems);
+      pool.for_each(kItems, 4, [&](std::size_t i) {
+        slots[i] = (c + 1) * i;
+      });
+      std::uint64_t sum = 0;
+      for (std::uint64_t v : slots) sum += v;
+      sums[c] = sum;
+    });
+  }
+  for (auto& client : clients) client.join();
+  const std::uint64_t base = kItems * (kItems - 1) / 2;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(sums[c], (c + 1) * base) << "client " << c;
+  }
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  par::ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  const std::thread::id self = std::this_thread::get_id();
+  std::size_t ran = 0;
+  pool.for_each_lane(32, 8, [&](std::size_t lane, std::size_t) {
+    EXPECT_EQ(lane, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), self);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 32u);
+}
+
+TEST(ParallelFor, GlobalPoolPreservesSlotSemantics) {
+  // The drop-in used across the code base: slot writes, any thread count.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    std::vector<double> out(257, 0.0);
+    par::parallel_for(out.size(), threads,
+                      [&](std::size_t i) { out[i] = 0.5 * double(i); });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], 0.5 * double(i));
+    }
+  }
+}
+
+TEST(ParallelFor, LaneVariantIndexesPerLaneWorkspaces) {
+  const std::size_t threads = 4;
+  std::vector<std::vector<std::size_t>> scratch(threads);
+  std::vector<std::size_t> out(300, 0);
+  par::parallel_for_lanes(out.size(), threads,
+                          [&](std::size_t lane, std::size_t i) {
+                            auto& ws = scratch[lane];  // un-synchronized
+                            ws.assign(1, i);
+                            out[i] = ws[0] + 1;
+                          });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+}  // namespace
+}  // namespace ftdiag

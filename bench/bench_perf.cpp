@@ -7,13 +7,17 @@
 /// the simulation engine is tracked per PR.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstdio>
+#include <deque>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "circuits/ladders.hpp"
 #include "circuits/nf_biquad.hpp"
@@ -25,7 +29,10 @@
 #include "faults/simulation_engine.hpp"
 #include "ga/genetic_algorithm.hpp"
 #include "io/dictionary_io.hpp"
+#include "io/mapped_file.hpp"
 #include "linalg/lu.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "linalg/sparse.hpp"
 #include "mna/ac_analysis.hpp"
 #include "mna/system.hpp"
@@ -214,6 +221,72 @@ BENCHMARK_F(DictionaryLoadFixture, BM_DictionaryLoadBinary)
   }
   state.counters["bytes"] = static_cast<double>(fdx_bytes.size());
 }
+
+BENCHMARK_F(DictionaryLoadFixture, BM_DictionaryMmapAttach)
+(benchmark::State& state) {
+  // Zero-copy attach: map + validate the whole image (checksums included)
+  // without decoding a single double.  Compare against
+  // BM_DictionaryLoadBinary, which allocates and decodes everything.
+  const std::string path = "/tmp/ftdiag_bench_attach.fdx";
+  std::ofstream(path, std::ios::binary) << fdx_bytes;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::DictionaryView::map(path));
+  }
+  state.counters["bytes"] = static_cast<double>(fdx_bytes.size());
+  std::remove(path.c_str());
+}
+
+/// End-to-end diagnoses/sec over a loopback TCP connection: the wire
+/// protocol, per-connection reader/writer threads and the service's
+/// micro-batching, all under the state.range(0) pipelined clients.
+void BM_NetThroughput(benchmark::State& state) {
+  if (!net::sockets_supported()) {
+    state.SkipWithError("no socket support in this build");
+    return;
+  }
+  static Session* session = nullptr;
+  if (session == nullptr) {
+    session = new Session(
+        SessionBuilder(circuits::make_paper_cut()).build());
+    session->use_vector(core::TestVector{{700.0, 1600.0}});
+  }
+  Rng rng(11);
+  std::vector<core::Point> points;
+  for (std::size_t i = 0; i < 256; ++i) {
+    points.push_back(
+        core::Point{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2)});
+  }
+
+  service::DiagnosisService service;
+  service.add_session("paper", *session);
+  net::Server server(service);
+
+  const std::size_t n_clients = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kWindow = 8;
+  std::size_t served = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      clients.emplace_back([&, c] {
+        net::Client client("127.0.0.1", server.port());
+        std::vector<service::DiagnosisRequest> requests;
+        for (std::size_t i = c; i < points.size(); i += n_clients) {
+          service::DiagnosisRequest request;
+          request.circuit = "paper";
+          request.points.push_back(points[i]);
+          requests.push_back(std::move(request));
+        }
+        benchmark::DoNotOptimize(
+            client.diagnose_pipelined(requests, kWindow));
+      });
+    }
+    for (auto& client : clients) client.join();
+    served += points.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+}
+BENCHMARK(BM_NetThroughput)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 /// Requests/sec through the DiagnosisService vs dispatcher threads: four
 /// producers submit single-point requests as fast as the bounded queue
@@ -616,6 +689,17 @@ void write_service_report(const char* path) {
   const double fdx_ms = best_of(
       [&] { benchmark::DoNotOptimize(io::load_dictionary_binary(fdx_bytes)); });
 
+  // Zero-copy attach: map + validate (checksums included), no decode.
+  const std::string mmap_path = "/tmp/ftdiag_bench_service.fdx";
+  std::ofstream(mmap_path, std::ios::binary) << fdx_bytes;
+  bool mmap_zero_copy = false;
+  const double mmap_ms = best_of([&] {
+    const auto view = io::DictionaryView::map(mmap_path);
+    mmap_zero_copy = view.zero_copy();
+    benchmark::DoNotOptimize(view.frequencies().data());
+  });
+  std::remove(mmap_path.c_str());
+
   // Throughput: four producers pushing single-point requests, measured at
   // 1 and 4 dispatcher threads.
   Session session = SessionBuilder(cut).build();
@@ -663,6 +747,65 @@ void write_service_report(const char* path) {
   const double rps_2 = requests_per_second(2);
   const double rps_4 = requests_per_second(4);
 
+  // Networked serving: loopback server, 4 pipelined clients, per-request
+  // submit->reply latency percentiles over the wire.
+  double net_rps = 0.0;
+  double net_p50_us = 0.0;
+  double net_p95_us = 0.0;
+  double net_p99_us = 0.0;
+  if (net::sockets_supported()) {
+    service::DiagnosisService service;
+    service.add_session("state_variable", session);
+    net::Server server(service);
+    constexpr std::size_t kClients = 4;
+    constexpr std::size_t kWindow = 8;
+    constexpr std::size_t kPerClient = 512;
+    std::vector<std::vector<double>> latencies(kClients);
+    const auto start = Clock::now();
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        net::Client client("127.0.0.1", server.port());
+        std::deque<Clock::time_point> sent_at;
+        std::size_t sent = 0;
+        std::size_t received = 0;
+        while (received < kPerClient) {
+          while (sent < kPerClient && sent - received < kWindow) {
+            service::DiagnosisRequest request;
+            request.circuit = "state_variable";
+            request.points.push_back(points[(c + sent) % points.size()]);
+            sent_at.push_back(Clock::now());
+            (void)client.send(request);
+            ++sent;
+          }
+          benchmark::DoNotOptimize(client.receive());
+          latencies[c].push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() -
+                                                        sent_at.front())
+                  .count());
+          sent_at.pop_front();
+          ++received;
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    std::vector<double> all;
+    for (auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(all.begin(), all.end());
+    auto percentile = [&](double fraction) {
+      return all[static_cast<std::size_t>(fraction *
+                                          static_cast<double>(all.size() - 1))];
+    };
+    net_rps = static_cast<double>(all.size()) / seconds;
+    net_p50_us = percentile(0.50);
+    net_p95_us = percentile(0.95);
+    net_p99_us = percentile(0.99);
+  }
+
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -679,24 +822,34 @@ void write_service_report(const char* path) {
                "  \"csv_load_ms\": %.3f,\n"
                "  \"binary_load_ms\": %.3f,\n"
                "  \"load_speedup\": %.2f,\n"
+               "  \"mmap_load_ms\": %.3f,\n"
+               "  \"mmap_zero_copy\": %s,\n"
                "  \"round_trip_bit_identical\": %s,\n"
                "  \"hardware_threads\": %zu,\n"
                "  \"service_rps_workers1\": %.0f,\n"
                "  \"service_rps_workers2\": %.0f,\n"
-               "  \"service_rps_workers4\": %.0f\n"
+               "  \"service_rps_workers4\": %.0f,\n"
+               "  \"net_rps\": %.0f,\n"
+               "  \"net_p50_us\": %.0f,\n"
+               "  \"net_p95_us\": %.0f,\n"
+               "  \"net_p99_us\": %.0f\n"
                "}\n",
                dictionary.fault_count(), dictionary.frequencies().size(),
                csv_text.size(), fdx_bytes.size(), csv_ms, fdx_ms,
-               csv_ms / fdx_ms, round_trip_ok ? "true" : "false",
+               csv_ms / fdx_ms, mmap_ms, mmap_zero_copy ? "true" : "false",
+               round_trip_ok ? "true" : "false",
                static_cast<std::size_t>(std::thread::hardware_concurrency()),
-               rps_1, rps_2, rps_4);
+               rps_1, rps_2, rps_4, net_rps, net_p50_us, net_p95_us,
+               net_p99_us);
   std::fclose(out);
   std::printf("dictionary load (state_variable): csv %.3f ms, binary %.3f ms "
-              "(%.2fx), round trip %s; service %.0f -> %.0f -> %.0f req/s "
-              "-> %s\n",
-              csv_ms, fdx_ms, csv_ms / fdx_ms,
+              "(%.2fx), mmap attach %.3f ms%s, round trip %s; service "
+              "%.0f -> %.0f -> %.0f req/s; net %.0f req/s "
+              "(p50 %.0f us, p95 %.0f us, p99 %.0f us) -> %s\n",
+              csv_ms, fdx_ms, csv_ms / fdx_ms, mmap_ms,
+              mmap_zero_copy ? " (zero-copy)" : "",
               round_trip_ok ? "bit-identical" : "MISMATCH", rps_1, rps_2,
-              rps_4, path);
+              rps_4, net_rps, net_p50_us, net_p95_us, net_p99_us, path);
 }
 
 }  // namespace

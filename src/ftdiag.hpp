@@ -21,9 +21,12 @@
 #include "faults/fault_injector.hpp"
 #include "faults/fault_simulator.hpp"
 #include "io/dictionary_io.hpp"
+#include "io/mapped_file.hpp"
 #include "io/report.hpp"
 #include "io/run_report.hpp"
 #include "mna/ac_analysis.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "netlist/parser.hpp"
 #include "service/diagnosis_service.hpp"
 #include "service/dictionary_store.hpp"

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "io/binary.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -44,106 +45,9 @@ netlist::OpAmpParam parse_param(const std::string& name) {
 }
 
 // ------------------------------------------------ binary primitives
-
-/// FNV-1a over a byte span (the block checksum).
-std::uint64_t fnv1a_bytes(const char* data, std::size_t size) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-/// Little-endian emit, independent of host byte order.
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    out.push_back(static_cast<char>((v >> shift) & 0xff));
-  }
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    out.push_back(static_cast<char>((v >> shift) & 0xff));
-  }
-}
-
-void put_f64(std::string& out, double v) {
-  put_u64(out, std::bit_cast<std::uint64_t>(v));
-}
-
-void put_str(std::string& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.append(s);
-}
-
-/// Bounds-checked little-endian cursor over an in-memory image.  Every
-/// read throws ParseError("...truncated") instead of running off the end,
-/// so a short file can never be misinterpreted as valid data.
-class ByteReader {
-public:
-  explicit ByteReader(const std::string& bytes) : bytes_(bytes) {}
-
-  [[nodiscard]] std::size_t position() const { return pos_; }
-
-  [[nodiscard]] const char* need(std::size_t n) {
-    if (bytes_.size() - pos_ < n || pos_ > bytes_.size()) {
-      throw ParseError("binary dictionary is truncated");
-    }
-    const char* p = bytes_.data() + pos_;
-    pos_ += n;
-    return p;
-  }
-
-  [[nodiscard]] std::uint32_t get_u32() {
-    const char* p = need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
-           << (8 * i);
-    }
-    return v;
-  }
-
-  [[nodiscard]] std::uint64_t get_u64() {
-    const char* p = need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
-           << (8 * i);
-    }
-    return v;
-  }
-
-  [[nodiscard]] double get_f64() {
-    return std::bit_cast<double>(get_u64());
-  }
-
-  [[nodiscard]] std::string get_str() {
-    const std::uint32_t size = get_u32();
-    const char* p = need(size);
-    return std::string(p, size);
-  }
-
-  /// Verify the trailing checksum of the block that started at \p begin.
-  void check_block(std::size_t begin, const char* what) {
-    const std::uint64_t expected = fnv1a_bytes(bytes_.data() + begin,
-                                               pos_ - begin);
-    if (get_u64() != expected) {
-      throw ParseError(std::string("binary dictionary ") + what +
-                       " block failed its checksum");
-    }
-  }
-
-private:
-  const std::string& bytes_;
-  std::size_t pos_ = 0;
-};
-
-/// Append the checksum of everything written since \p begin.
-void seal_block(std::string& out, std::size_t begin) {
-  put_u64(out, fnv1a_bytes(out.data() + begin, out.size() - begin));
-}
+//
+// All emit/read primitives live in io/binary.hpp (shared with the
+// ftdiag::net wire protocol).
 
 /// Fault-site targets as stable wire bytes (do not renumber: the values
 /// are part of the v1 format).
@@ -169,9 +73,10 @@ netlist::OpAmpParam param_from_wire(std::uint8_t raw) {
   }
 }
 
-/// Shared header walk: magic + version + key + counts + checksum.  The
-/// header is sealed like every block, so a flipped count byte is a clean
-/// ParseError — not a multi-terabyte vector allocation downstream.
+/// Shared header walk: magic + version (+ flags from v2) + key + counts +
+/// checksum.  The header is sealed like every block, so a flipped count
+/// byte is a clean ParseError — not a multi-terabyte vector allocation
+/// downstream.
 BinaryDictionaryHeader parse_header(ByteReader& reader,
                                     std::size_t total_bytes) {
   const char* magic = reader.need(sizeof(kBinaryDictionaryMagic));
@@ -181,10 +86,20 @@ BinaryDictionaryHeader parse_header(ByteReader& reader,
   }
   BinaryDictionaryHeader header;
   header.version = reader.get_u32();
-  if (header.version != kBinaryDictionaryVersion) {
+  if (header.version == 0 || header.version > kBinaryDictionaryVersion) {
     throw ParseError(str::format(
-        "unsupported binary dictionary version %u (this build reads %u)",
+        "binary dictionary major version %u is not supported (this build "
+        "reads versions 1..%u; rebuild the artifact or upgrade ftdiag)",
         header.version, kBinaryDictionaryVersion));
+  }
+  if (header.version >= 2) {
+    header.flags = reader.get_u32();
+    if ((header.flags & ~kBinaryDictionarySupportedFlags) != 0) {
+      throw ParseError(str::format(
+          "binary dictionary uses unknown feature flags 0x%08x (this build "
+          "understands 0x%08x)",
+          header.flags, kBinaryDictionarySupportedFlags));
+    }
   }
   header.key = reader.get_str();
   header.frequency_count = static_cast<std::size_t>(reader.get_u64());
@@ -200,6 +115,23 @@ BinaryDictionaryHeader parse_header(ByteReader& reader,
     throw ParseError("binary dictionary header counts exceed the file size");
   }
   return header;
+}
+
+/// Little-endian f64 at a byte offset whose bounds were already validated
+/// by parse_binary_dictionary_layout.  memcpy keeps it legal for any
+/// alignment; the byte swap is compiled out on little-endian hosts.
+double load_f64_at(std::string_view bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(&v, bytes.data() + at, 8);
+  } else {
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes[at + i]))
+           << (8 * i);
+    }
+  }
+  return std::bit_cast<double>(v);
 }
 
 }  // namespace
@@ -302,7 +234,7 @@ faults::FaultDictionary load_dictionary(const std::string& text) {
 
 // --------------------------------------------------------------- binary
 
-bool is_binary_dictionary(const std::string& bytes) {
+bool is_binary_dictionary(std::string_view bytes) {
   return bytes.size() >= sizeof(kBinaryDictionaryMagic) &&
          std::memcmp(bytes.data(), kBinaryDictionaryMagic,
                      sizeof(kBinaryDictionaryMagic)) == 0;
@@ -322,10 +254,16 @@ void save_dictionary_binary(std::ostream& os,
 
   out.append(kBinaryDictionaryMagic, sizeof(kBinaryDictionaryMagic));
   put_u32(out, kBinaryDictionaryVersion);
+  put_u32(out, 0);  // feature flags (v2+): none yet, reserved
   put_str(out, key);
   put_u64(out, freqs.size());
   put_u64(out, entries.size());
   seal_block(out, 0);  // the header is checksummed like every block
+
+  // v2: every fixed-width block starts 8-byte aligned within the image so
+  // a mapped file can serve the doubles as in-place spans.  The zero pad
+  // bytes sit between blocks, outside every checksum.
+  pad_to(out, 8);
 
   // Block 1: the shared frequency grid.
   std::size_t begin = out.size();
@@ -353,6 +291,7 @@ void save_dictionary_binary(std::ostream& os,
     put_f64(out, entry.fault.deviation);
   }
   seal_block(out, begin);
+  pad_to(out, 8);  // block 3 is variable-length; realign for block 4
 
   // Block 4: every faulty response, one contiguous little-endian run of
   // (re, im) pairs in entry-major order.
@@ -368,43 +307,60 @@ void save_dictionary_binary(std::ostream& os,
   os.write(out.data(), static_cast<std::streamsize>(out.size()));
 }
 
-BinaryDictionaryHeader read_binary_dictionary_header(
-    const std::string& bytes) {
-  ByteReader reader(bytes);
+BinaryDictionaryHeader read_binary_dictionary_header(std::string_view bytes) {
+  ByteReader reader(bytes, "binary dictionary");
   return parse_header(reader, bytes.size());
 }
 
-faults::FaultDictionary load_dictionary_binary(const std::string& bytes) {
-  ByteReader reader(bytes);
-  const BinaryDictionaryHeader header = parse_header(reader, bytes.size());
-  const std::size_t n_freqs = header.frequency_count;
-  const std::size_t n_entries = header.fault_count;
+BinaryDictionaryLayout parse_binary_dictionary_layout(std::string_view bytes,
+                                                      bool verify_checksums) {
+  ByteReader reader(bytes, "binary dictionary");
+  BinaryDictionaryLayout layout;
+  layout.header = parse_header(reader, bytes.size());
+  const std::size_t n_freqs = layout.header.frequency_count;
+  const std::size_t n_entries = layout.header.fault_count;
+  const bool padded = layout.header.version >= 2;
+  if (padded) reader.align_to(8);
+
+  // Validate every block's declared size against the remaining bytes
+  // *before* allocating anything from the counts.  The guards in
+  // parse_header bound n_freqs <= size/8 and n_freqs*n_entries <= size/16,
+  // so none of these products can overflow for a real image.
+  const std::size_t fault_list_min = n_entries * (1 + 4 + 1 + 8) + 8;
+  const std::size_t fixed_blocks =
+      (8 * n_freqs + 8) + (16 * n_freqs + 8) + (16 * n_freqs * n_entries + 8);
+  if (reader.remaining() < fixed_blocks ||
+      reader.remaining() - fixed_blocks < fault_list_min) {
+    throw ParseError(
+        "binary dictionary block sizes exceed the remaining file bytes");
+  }
+
+  auto finish_block = [&](std::size_t begin, const char* what) {
+    if (verify_checksums) {
+      reader.check_block(begin, what);
+    } else {
+      (void)reader.need(8);  // skip the checksum
+    }
+  };
 
   // Block 1: frequency grid.
-  std::size_t begin = reader.position();
-  std::vector<double> freqs(n_freqs);
-  for (double& f : freqs) f = reader.get_f64();
-  reader.check_block(begin, "frequency");
+  layout.frequencies_offset = reader.position();
+  (void)reader.need(8 * n_freqs);
+  finish_block(layout.frequencies_offset, "frequency");
 
   // Block 2: golden values.
-  begin = reader.position();
-  std::vector<mna::Complex> golden_values(n_freqs);
-  for (auto& v : golden_values) {
-    const double re = reader.get_f64();
-    const double im = reader.get_f64();
-    v = {re, im};
-  }
-  reader.check_block(begin, "golden");
+  layout.golden_offset = reader.position();
+  (void)reader.need(16 * n_freqs);
+  finish_block(layout.golden_offset, "golden");
 
-  // Block 3: fault list.
-  begin = reader.position();
-  std::vector<faults::ParametricFault> faults(n_entries);
-  for (auto& fault : faults) {
-    const std::uint8_t target =
-        static_cast<std::uint8_t>(*reader.need(1));
+  // Block 3: fault list (always decoded — it is small and the walk is
+  // what finds block 4).
+  const std::size_t fault_list_begin = reader.position();
+  layout.faults.resize(n_entries);
+  for (auto& fault : layout.faults) {
+    const std::uint8_t target = reader.get_u8();
     std::string component = reader.get_str();
-    const std::uint8_t raw_param =
-        static_cast<std::uint8_t>(*reader.need(1));
+    const std::uint8_t raw_param = reader.get_u8();
     const double deviation = reader.get_f64();
     if (target == kWireTargetValue) {
       fault.site = faults::FaultSite::value_of(std::move(component));
@@ -416,24 +372,50 @@ faults::FaultDictionary load_dictionary_binary(const std::string& bytes) {
     }
     fault.deviation = deviation;
   }
-  reader.check_block(begin, "fault-list");
+  finish_block(fault_list_begin, "fault-list");
+  if (padded) reader.align_to(8);
 
-  // Block 4: all responses in one contiguous run, split per entry onto
-  // the shared grid.
-  begin = reader.position();
+  // Block 4: all responses in one contiguous run.
+  layout.responses_offset = reader.position();
+  reader.require(16 * n_freqs * n_entries + 8, "response block");
+  (void)reader.need(16 * n_freqs * n_entries);
+  finish_block(layout.responses_offset, "response");
+  layout.end_offset = reader.position();
+
+  layout.runs_aligned = (layout.frequencies_offset % 8 == 0) &&
+                        (layout.golden_offset % 8 == 0) &&
+                        (layout.responses_offset % 8 == 0);
+  return layout;
+}
+
+faults::FaultDictionary load_dictionary_binary(std::string_view bytes) {
+  BinaryDictionaryLayout layout = parse_binary_dictionary_layout(bytes);
+  const std::size_t n_freqs = layout.header.frequency_count;
+  const std::size_t n_entries = layout.header.fault_count;
+
+  std::vector<double> freqs(n_freqs);
+  for (std::size_t i = 0; i < n_freqs; ++i) {
+    freqs[i] = load_f64_at(bytes, layout.frequencies_offset + 8 * i);
+  }
+
+  std::vector<mna::Complex> golden_values(n_freqs);
+  for (std::size_t i = 0; i < n_freqs; ++i) {
+    golden_values[i] = {load_f64_at(bytes, layout.golden_offset + 16 * i),
+                        load_f64_at(bytes, layout.golden_offset + 16 * i + 8)};
+  }
+
   std::vector<faults::DictionaryEntry> entries;
   entries.reserve(n_entries);
   for (std::size_t e = 0; e < n_entries; ++e) {
+    const std::size_t run = layout.responses_offset + 16 * n_freqs * e;
     std::vector<mna::Complex> values(n_freqs);
-    for (auto& v : values) {
-      const double re = reader.get_f64();
-      const double im = reader.get_f64();
-      v = {re, im};
+    for (std::size_t i = 0; i < n_freqs; ++i) {
+      values[i] = {load_f64_at(bytes, run + 16 * i),
+                   load_f64_at(bytes, run + 16 * i + 8)};
     }
     entries.push_back(
-        {faults[e], mna::AcResponse(freqs, std::move(values))});
+        {layout.faults[e], mna::AcResponse(freqs, std::move(values))});
   }
-  reader.check_block(begin, "response");
 
   return faults::FaultDictionary::from_parts(
       mna::AcResponse(std::move(freqs), std::move(golden_values)),

@@ -29,6 +29,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "faults/dictionary.hpp"
 
@@ -59,22 +61,49 @@ void save_dictionary(std::ostream& os,
 
 // -------------------------------------------------------------- binary
 
-/// The `.fdx` magic bytes ("FDX1") and current format version.
+/// The `.fdx` magic bytes ("FDX1") and the format version this build
+/// writes.  Version negotiation: readers accept any version <= the build's
+/// own and reject newer files with a message naming both versions, so a
+/// future block type (e.g. ROADMAP's compressed signatures) bumps the
+/// version without another magic break.  v1 files (the original layout)
+/// load forever.
 inline constexpr char kBinaryDictionaryMagic[4] = {'F', 'D', 'X', '1'};
-inline constexpr std::uint32_t kBinaryDictionaryVersion = 1;
+inline constexpr std::uint32_t kBinaryDictionaryVersion = 2;
+
+/// Feature-flag bits this build understands (v2+ headers carry a u32 flag
+/// word; a reader rejects any set bit it does not know, so an old build
+/// can never silently misread a file using a newer encoding).
+inline constexpr std::uint32_t kBinaryDictionarySupportedFlags = 0;
 
 /// Fixed-size facts parsed from a `.fdx` header without touching the data
 /// blocks — enough for a store to validate a file before paying for the
 /// full load.
 struct BinaryDictionaryHeader {
   std::uint32_t version = 0;
+  std::uint32_t flags = 0;  ///< reserved feature bits (v2+; 0 in v1)
   std::string key;  ///< the writer's cache key ("" when saved standalone)
   std::size_t frequency_count = 0;
   std::size_t fault_count = 0;
 };
 
+/// Structural map of a validated `.fdx` image: where each contiguous
+/// little-endian data run starts, plus the decoded (small) fault list.
+/// Shared by the copying loader and the zero-copy io::DictionaryView, so
+/// both paths validate identically.
+struct BinaryDictionaryLayout {
+  BinaryDictionaryHeader header;
+  std::size_t frequencies_offset = 0;  ///< n_freqs x f64
+  std::size_t golden_offset = 0;       ///< n_freqs x (re, im)
+  std::size_t responses_offset = 0;    ///< n_entries x n_freqs x (re, im)
+  std::size_t end_offset = 0;          ///< one past the last block
+  /// Every f64 run starts 8-byte aligned within the image (guaranteed by
+  /// the v2 writer's padding; false for v1 files with odd-length keys).
+  bool runs_aligned = false;
+  std::vector<faults::ParametricFault> faults;  ///< block 3, decoded
+};
+
 /// True if \p bytes begin with the `.fdx` magic.
-[[nodiscard]] bool is_binary_dictionary(const std::string& bytes);
+[[nodiscard]] bool is_binary_dictionary(std::string_view bytes);
 
 /// Serialize as `.fdx`.  \p key is stored in the header so a dictionary
 /// store can verify a file matches the (circuit, universe, grid, sim)
@@ -84,13 +113,22 @@ void save_dictionary_binary(std::ostream& os,
                             const std::string& key = "");
 
 /// Parse a `.fdx` image.  \throws ParseError on bad magic, an unsupported
-/// version, a truncated block or a checksum mismatch.
+/// version or feature flag, a truncated block or a checksum mismatch.
+/// Every block's size is validated against the remaining image bytes
+/// *before* anything is allocated from its counts.
 [[nodiscard]] faults::FaultDictionary load_dictionary_binary(
-    const std::string& bytes);
+    std::string_view bytes);
 
 /// Parse only the header of a `.fdx` image.  \throws ParseError as above.
 [[nodiscard]] BinaryDictionaryHeader read_binary_dictionary_header(
-    const std::string& bytes);
+    std::string_view bytes);
+
+/// Walk and validate a whole `.fdx` image without copying the data runs:
+/// header negotiation, pre-allocation size validation, block 3 decode,
+/// and (unless \p verify_checksums is false) every block checksum.
+/// \throws ParseError exactly like load_dictionary_binary.
+[[nodiscard]] BinaryDictionaryLayout parse_binary_dictionary_layout(
+    std::string_view bytes, bool verify_checksums = true);
 
 // --------------------------------------------------------------- files
 

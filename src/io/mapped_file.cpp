@@ -1,0 +1,212 @@
+#include "io/mapped_file.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FTDIAG_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define FTDIAG_HAS_MMAP 0
+#endif
+
+namespace ftdiag::io {
+
+bool mmap_supported() { return FTDIAG_HAS_MMAP != 0; }
+
+MappedFile MappedFile::open(const std::string& path) {
+  MappedFile file;
+#if FTDIAG_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw ParseError("cannot open '" + path + "'");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw ParseError("cannot stat '" + path + "'");
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return file;  // nothing to map; empty view
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (base == MAP_FAILED) {
+    throw ParseError("cannot mmap '" + path + "'");
+  }
+  file.data_ = static_cast<const char*>(base);
+  file.size_ = size;
+  file.mapped_ = true;
+#else
+  file.fallback_ = read_file_bytes(path);
+  file.data_ = file.fallback_.data();
+  file.size_ = file.fallback_.size();
+#endif
+  return file;
+}
+
+MappedFile::~MappedFile() {
+#if FTDIAG_HAS_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_ && !fallback_.empty()) data_ = fallback_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    this->~MappedFile();
+    new (this) MappedFile(std::move(other));
+  }
+  return *this;
+}
+
+// -------------------------------------------------------- DictionaryView
+
+namespace {
+
+/// In-place span serving is only sound when the stored little-endian bit
+/// patterns are the host's and the run is suitably aligned in memory.
+bool can_alias(const void* base, std::size_t offset) {
+  if constexpr (std::endian::native != std::endian::little) return false;
+  return (reinterpret_cast<std::uintptr_t>(base) + offset) % 8 == 0;
+}
+
+double decode_f64(std::string_view bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[at + i]))
+         << (8 * i);
+  }
+  return std::bit_cast<double>(v);
+}
+
+}  // namespace
+
+DictionaryView DictionaryView::map(const std::string& path,
+                                   bool verify_checksums) {
+  auto state = std::make_shared<State>();
+  state->file = MappedFile::open(path);
+  return finish(std::move(state), verify_checksums);
+}
+
+DictionaryView DictionaryView::over(std::string bytes,
+                                    bool verify_checksums) {
+  auto state = std::make_shared<State>();
+  state->owned_bytes = std::move(bytes);
+  return finish(std::move(state), verify_checksums);
+}
+
+DictionaryView DictionaryView::finish(std::shared_ptr<State> state,
+                                      bool verify_checksums) {
+  const std::string_view bytes = state->bytes();
+  state->layout = parse_binary_dictionary_layout(bytes, verify_checksums);
+  const auto& layout = state->layout;
+
+  state->zero_copy =
+      layout.runs_aligned && can_alias(bytes.data(), 0) &&
+      can_alias(bytes.data(), layout.frequencies_offset) &&
+      can_alias(bytes.data(), layout.golden_offset) &&
+      can_alias(bytes.data(), layout.responses_offset);
+
+  if (!state->zero_copy) {
+    // Decode once into private buffers; the span API is unchanged.
+    const std::size_t n_freqs = layout.header.frequency_count;
+    const std::size_t n_entries = layout.header.fault_count;
+    state->decoded_frequencies.resize(n_freqs);
+    for (std::size_t i = 0; i < n_freqs; ++i) {
+      state->decoded_frequencies[i] =
+          decode_f64(bytes, layout.frequencies_offset + 8 * i);
+    }
+    state->decoded_values.resize(n_freqs * (1 + n_entries));
+    for (std::size_t i = 0; i < n_freqs; ++i) {
+      state->decoded_values[i] = {
+          decode_f64(bytes, layout.golden_offset + 16 * i),
+          decode_f64(bytes, layout.golden_offset + 16 * i + 8)};
+    }
+    for (std::size_t e = 0; e < n_entries; ++e) {
+      const std::size_t run = layout.responses_offset + 16 * n_freqs * e;
+      for (std::size_t i = 0; i < n_freqs; ++i) {
+        state->decoded_values[n_freqs * (1 + e) + i] = {
+            decode_f64(bytes, run + 16 * i),
+            decode_f64(bytes, run + 16 * i + 8)};
+      }
+    }
+  }
+  return DictionaryView(std::move(state));
+}
+
+std::span<const double> DictionaryView::frequencies() const {
+  const auto& layout = state_->layout;
+  if (!state_->zero_copy) {
+    return state_->decoded_frequencies;
+  }
+  return {reinterpret_cast<const double*>(state_->bytes().data() +
+                                          layout.frequencies_offset),
+          layout.header.frequency_count};
+}
+
+std::span<const mna::Complex> DictionaryView::golden() const {
+  const auto& layout = state_->layout;
+  if (!state_->zero_copy) {
+    return {state_->decoded_values.data(), layout.header.frequency_count};
+  }
+  return {reinterpret_cast<const mna::Complex*>(state_->bytes().data() +
+                                                layout.golden_offset),
+          layout.header.frequency_count};
+}
+
+std::span<const mna::Complex> DictionaryView::response(
+    std::size_t entry) const {
+  const auto& layout = state_->layout;
+  FTDIAG_ASSERT(entry < layout.header.fault_count,
+                "dictionary view entry index out of range");
+  const std::size_t n_freqs = layout.header.frequency_count;
+  if (!state_->zero_copy) {
+    return {state_->decoded_values.data() + n_freqs * (1 + entry), n_freqs};
+  }
+  return {reinterpret_cast<const mna::Complex*>(
+              state_->bytes().data() + layout.responses_offset +
+              16 * n_freqs * entry),
+          n_freqs};
+}
+
+faults::FaultDictionary DictionaryView::materialize() const {
+  const auto freqs_span = frequencies();
+  std::vector<double> freqs(freqs_span.begin(), freqs_span.end());
+  const auto golden_span = golden();
+  std::vector<mna::Complex> golden_values(golden_span.begin(),
+                                          golden_span.end());
+  std::vector<faults::DictionaryEntry> entries;
+  entries.reserve(fault_count());
+  for (std::size_t e = 0; e < fault_count(); ++e) {
+    const auto values_span = response(e);
+    entries.push_back(
+        {state_->layout.faults[e],
+         mna::AcResponse(freqs, std::vector<mna::Complex>(
+                                    values_span.begin(), values_span.end()))});
+  }
+  return faults::FaultDictionary::from_parts(
+      mna::AcResponse(std::move(freqs), std::move(golden_values)),
+      std::move(entries));
+}
+
+}  // namespace ftdiag::io

@@ -1,0 +1,96 @@
+#include "net/client.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag::net {
+
+Client::Client(const std::string& host, std::uint16_t port,
+               std::uint32_t max_payload_bytes)
+    : socket_(connect_tcp(host, port)),
+      max_payload_bytes_(max_payload_bytes) {}
+
+FrameHeader Client::read_frame(std::string& payload) {
+  char header_bytes[kFrameHeaderBytes];
+  if (!socket_.recv_exact(header_bytes, kFrameHeaderBytes)) {
+    throw NetError("server closed the connection");
+  }
+  const FrameHeader header = decode_frame_header(
+      {header_bytes, kFrameHeaderBytes}, max_payload_bytes_);
+  payload.resize(header.payload_size);
+  if (header.payload_size > 0 &&
+      !socket_.recv_exact(payload.data(), payload.size())) {
+    throw NetError("server closed the connection mid-frame");
+  }
+  return header;
+}
+
+std::uint64_t Client::send(const service::DiagnosisRequest& request) {
+  const std::uint64_t id = next_request_id_++;
+  socket_.send_all(
+      encode_frame(MessageType::kDiagnose, encode_diagnose(id, request)));
+  return id;
+}
+
+DecodedReply Client::receive() {
+  std::string payload;
+  const FrameHeader header = read_frame(payload);
+  switch (header.type) {
+    case static_cast<std::uint8_t>(MessageType::kDiagnoseReply):
+      return decode_reply(payload);
+    case static_cast<std::uint8_t>(MessageType::kError): {
+      const DecodedError error = decode_error(payload);
+      throw RemoteError(error.message);
+    }
+    default:
+      throw ParseError(str::format("unexpected message type %u from server",
+                                   static_cast<unsigned>(header.type)));
+  }
+}
+
+service::DiagnosisReply Client::diagnose(
+    const service::DiagnosisRequest& request) {
+  (void)send(request);
+  return std::move(receive().reply);
+}
+
+std::vector<service::DiagnosisReply> Client::diagnose_pipelined(
+    const std::vector<service::DiagnosisRequest>& requests,
+    std::size_t window) {
+  if (window == 0) window = 1;
+  std::vector<service::DiagnosisReply> replies;
+  replies.reserve(requests.size());
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  while (received < requests.size()) {
+    while (sent < requests.size() && sent - received < window) {
+      (void)send(requests[sent]);
+      ++sent;
+    }
+    try {
+      replies.push_back(std::move(receive().reply));
+    } catch (const RemoteError& error) {
+      throw RemoteError(str::format("request %zu of %zu failed: %s",
+                                    received + 1, requests.size(),
+                                    error.what()));
+    }
+    ++received;
+  }
+  return replies;
+}
+
+void Client::ping() {
+  socket_.send_all(encode_frame(MessageType::kPing, ""));
+  std::string payload;
+  const FrameHeader header = read_frame(payload);
+  if (header.type != static_cast<std::uint8_t>(MessageType::kPong)) {
+    throw ParseError(str::format("expected pong, got message type %u",
+                                 static_cast<unsigned>(header.type)));
+  }
+}
+
+void Client::close() { socket_.close(); }
+
+}  // namespace ftdiag::net

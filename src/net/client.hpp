@@ -1,0 +1,70 @@
+/// \file client.hpp
+/// \brief Client side of the ftdiag wire protocol: blocking request/reply
+/// plus a pipelined batch API that keeps a window of requests in flight.
+///
+/// A Client owns one connection and is *not* thread-safe — serving
+/// harnesses open one client per load thread.  Request ids are assigned
+/// internally (monotonic per connection); the server replies in FIFO
+/// order, so the low-level send()/receive() pair composes into arbitrary
+/// pipelining schemes while diagnose()/diagnose_pipelined() cover the
+/// common cases.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "service/diagnosis_service.hpp"
+
+namespace ftdiag::net {
+
+class Client {
+public:
+  /// Connect to a running net::Server.  \throws NetError on failure.
+  Client(const std::string& host, std::uint16_t port,
+         std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Fire one request and wait for its answer.
+  /// \throws RemoteError when the server answered with an error frame,
+  /// NetError when the connection failed, ParseError on a bad frame.
+  [[nodiscard]] service::DiagnosisReply diagnose(
+      const service::DiagnosisRequest& request);
+
+  /// Run \p requests through the connection keeping up to \p window of
+  /// them in flight (window 1 degenerates to sequential diagnose calls).
+  /// Replies come back in request order; a per-request server error is
+  /// rethrown as RemoteError after tagging which index failed.
+  [[nodiscard]] std::vector<service::DiagnosisReply> diagnose_pipelined(
+      const std::vector<service::DiagnosisRequest>& requests,
+      std::size_t window = 16);
+
+  /// Round-trip a ping frame (liveness / warm-up).
+  void ping();
+
+  // Low-level pipelining primitives ------------------------------------
+
+  /// Send one diagnose frame without waiting; returns its request id.
+  std::uint64_t send(const service::DiagnosisRequest& request);
+
+  /// Block for the next reply frame.  \throws RemoteError for an error
+  /// frame (the connection survives), NetError / ParseError otherwise.
+  [[nodiscard]] DecodedReply receive();
+
+  void close();
+
+private:
+  /// Read one frame; validates the header against max_payload_bytes_.
+  [[nodiscard]] FrameHeader read_frame(std::string& payload);
+
+  Socket socket_;
+  std::uint32_t max_payload_bytes_ = kDefaultMaxPayloadBytes;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace ftdiag::net

@@ -1,0 +1,296 @@
+#include "net/server.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag::net {
+
+/// One queued item for the writer thread: either a frame that is already
+/// encoded (pong, error) or a pending diagnosis whose future the writer
+/// waits on.  FIFO order in this queue *is* the reply order on the wire.
+struct Outgoing {
+  std::string ready_frame;  ///< non-empty: send as-is
+  std::uint64_t request_id = 0;
+  std::future<service::DiagnosisReply> pending;  ///< valid when not ready
+};
+
+struct Server::Connection {
+  Socket socket;
+  std::thread reader;
+  std::thread writer;
+
+  std::mutex mutex;
+  std::condition_variable cv;        ///< writer: outbox non-empty / closing
+  std::condition_variable space_cv;  ///< reader: inflight below the bound
+  std::deque<Outgoing> outbox;
+  bool reader_done = false;  ///< no more outbox entries will arrive
+  bool broken = false;       ///< socket write failed; stop replying
+  std::atomic<bool> finished{false};  ///< both threads about to exit
+};
+
+Server::Server(service::DiagnosisService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.max_inflight == 0) {
+    throw ConfigError("net server max_inflight must be positive");
+  }
+  if (options_.max_connections == 0) {
+    throw ConfigError("net server max_connections must be positive");
+  }
+  listener_ = Listener::bind(options_.host, options_.port);
+  port_ = listener_.port();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Socket socket = listener_.accept();
+    if (!socket.valid()) break;  // listener closed: shutting down
+    reap_finished(false);
+
+    std::size_t open;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      open = connections_.size();
+    }
+    if (open >= options_.max_connections) {
+      counters_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      try {
+        socket.send_all(encode_frame(
+            MessageType::kError,
+            encode_error(0, str::format("server is at its %zu connection "
+                                        "limit; retry later",
+                                        options_.max_connections))));
+      } catch (const NetError&) {
+      }
+      continue;  // socket closes on scope exit
+    }
+
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_open.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(socket);
+    Connection& ref = *conn;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    ref.reader = std::thread([this, &ref] { reader_loop(ref); });
+    ref.writer = std::thread([this, &ref] { writer_loop(ref); });
+  }
+}
+
+void Server::reader_loop(Connection& conn) {
+  char header_bytes[kFrameHeaderBytes];
+  std::string payload;
+
+  auto enqueue = [&](Outgoing item) {
+    std::unique_lock<std::mutex> lock(conn.mutex);
+    conn.space_cv.wait(lock, [&] {
+      return conn.outbox.size() < options_.max_inflight || conn.broken ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    conn.outbox.push_back(std::move(item));
+    conn.cv.notify_one();
+  };
+  auto enqueue_error = [&](std::uint64_t id, const std::string& message) {
+    Outgoing item;
+    item.ready_frame = encode_frame(MessageType::kError,
+                                    encode_error(id, message));
+    enqueue(std::move(item));
+  };
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    try {
+      if (!conn.socket.recv_exact(header_bytes, kFrameHeaderBytes)) {
+        break;  // clean close between frames
+      }
+    } catch (const NetError&) {
+      break;  // reset / mid-frame disconnect: nothing to answer
+    }
+
+    FrameHeader header;
+    try {
+      header = decode_frame_header({header_bytes, kFrameHeaderBytes},
+                                   options_.max_payload_bytes);
+    } catch (const Error& error) {
+      // Bad magic, bad version, reserved flags, oversized length prefix:
+      // the byte stream cannot be resynchronized.  Answer once, close.
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      enqueue_error(0, error.what());
+      break;
+    }
+
+    payload.resize(header.payload_size);
+    try {
+      if (header.payload_size > 0 &&
+          !conn.socket.recv_exact(payload.data(), payload.size())) {
+        break;
+      }
+    } catch (const NetError&) {
+      break;  // peer vanished mid-payload
+    }
+
+    // From here the stream is framed correctly, so every failure is
+    // answerable in-band and the connection survives it.
+    switch (header.type) {
+      case static_cast<std::uint8_t>(MessageType::kPing): {
+        Outgoing item;
+        item.ready_frame = encode_frame(MessageType::kPong, payload);
+        enqueue(std::move(item));
+        break;
+      }
+      case static_cast<std::uint8_t>(MessageType::kDiagnose): {
+        std::uint64_t request_id = 0;
+        try {
+          DecodedDiagnose decoded = decode_diagnose(payload);
+          request_id = decoded.request_id;
+          Outgoing item;
+          item.request_id = request_id;
+          item.pending = service_.submit(std::move(decoded.request));
+          counters_.requests_received.fetch_add(1,
+                                                std::memory_order_relaxed);
+          enqueue(std::move(item));
+        } catch (const Error& error) {
+          // Malformed payload or a submit-side rejection (empty request,
+          // service shut down): this request fails, the peer stays.
+          enqueue_error(request_id, error.what());
+        }
+        break;
+      }
+      default:
+        enqueue_error(
+            0, str::format("unsupported message type %u",
+                           static_cast<unsigned>(header.type)));
+        break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn.mutex);
+    conn.reader_done = true;
+    conn.cv.notify_one();
+  }
+}
+
+void Server::writer_loop(Connection& conn) {
+  for (;;) {
+    Outgoing item;
+    {
+      std::unique_lock<std::mutex> lock(conn.mutex);
+      conn.cv.wait(lock,
+                   [&] { return !conn.outbox.empty() || conn.reader_done; });
+      if (conn.outbox.empty()) break;  // reader done and outbox drained
+      item = std::move(conn.outbox.front());
+      conn.outbox.pop_front();
+      conn.space_cv.notify_one();
+    }
+
+    std::string frame;
+    bool is_reply = false;
+    if (!item.ready_frame.empty()) {
+      frame = std::move(item.ready_frame);
+    } else {
+      try {
+        const service::DiagnosisReply reply = item.pending.get();
+        frame = encode_frame(MessageType::kDiagnoseReply,
+                             encode_reply(item.request_id, reply));
+        is_reply = true;
+      } catch (const std::exception& error) {
+        frame = encode_frame(MessageType::kError,
+                             encode_error(item.request_id, error.what()));
+      }
+    }
+
+    bool broken;
+    {
+      std::lock_guard<std::mutex> lock(conn.mutex);
+      broken = conn.broken;
+    }
+    if (broken) continue;  // keep draining futures, stop writing
+
+    try {
+      conn.socket.send_all(frame);
+      auto& counter =
+          is_reply ? counters_.replies_sent : counters_.error_frames_sent;
+      counter.fetch_add(1, std::memory_order_relaxed);
+    } catch (const NetError&) {
+      std::lock_guard<std::mutex> lock(conn.mutex);
+      conn.broken = true;
+      conn.space_cv.notify_all();  // unblock a reader stuck on inflight
+    }
+  }
+
+  // The writer exits last for this connection's protocol work: shut the
+  // socket so a reader still blocked in recv wakes up, then mark the
+  // connection reapable.
+  conn.socket.shutdown_both();
+  counters_.disconnects.fetch_add(1, std::memory_order_relaxed);
+  counters_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+  conn.finished.store(true, std::memory_order_release);
+}
+
+void Server::reap_finished(bool all) {
+  std::list<std::unique_ptr<Connection>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (all || (*it)->finished.load(std::memory_order_acquire)) {
+        doomed.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : doomed) {
+    if (all) {
+      // Force both threads out of any blocking call.
+      conn->socket.shutdown_both();
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->cv.notify_all();
+      conn->space_cv.notify_all();
+    }
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  stats.connections_rejected =
+      counters_.connections_rejected.load(std::memory_order_relaxed);
+  stats.connections_open =
+      counters_.connections_open.load(std::memory_order_relaxed);
+  stats.requests_received =
+      counters_.requests_received.load(std::memory_order_relaxed);
+  stats.replies_sent =
+      counters_.replies_sent.load(std::memory_order_relaxed);
+  stats.error_frames_sent =
+      counters_.error_frames_sent.load(std::memory_order_relaxed);
+  stats.protocol_errors =
+      counters_.protocol_errors.load(std::memory_order_relaxed);
+  stats.disconnects = counters_.disconnects.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    reap_finished(true);
+    return;
+  }
+  listener_.close();  // wakes the blocked accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+  reap_finished(true);
+}
+
+}  // namespace ftdiag::net

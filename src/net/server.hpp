@@ -1,0 +1,111 @@
+/// \file server.hpp
+/// \brief The ftdiag network server: accepts concurrent connections,
+/// decodes wire frames, dispatches into a process-wide DiagnosisService.
+///
+/// Threading model — per connection, two threads:
+///  * a *reader* that pulls frames off the socket, decodes them, submits
+///    diagnose requests to the service, and appends the resulting futures
+///    to an ordered outbox (bounded by max_inflight for backpressure);
+///  * a *writer* that drains the outbox in FIFO order, waits each future,
+///    and serializes every socket write — replies leave in the order the
+///    requests arrived, which is what makes client pipelining simple.
+///
+/// Error isolation: a malformed payload, unknown message type, unknown
+/// circuit, or service failure answers with an error frame on *that*
+/// connection — the server never crashes and the peer is not dropped.
+/// Only an unrecoverable stream (bad magic / bad version / oversized
+/// length prefix) closes the connection, after a best-effort error frame.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "service/diagnosis_service.hpp"
+
+namespace ftdiag::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0: ephemeral, read back via Server::port()
+  std::size_t max_connections = 64;
+  /// Requests a single connection may have in flight (submitted but not
+  /// yet replied).  The reader blocks past this — per-connection
+  /// backpressure that bounds outbox memory.
+  std::size_t max_inflight = 128;
+  std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+};
+
+/// Monotonic serving counters (connections_open is a gauge).
+struct ServerStats {
+  std::size_t connections_accepted = 0;
+  std::size_t connections_rejected = 0;  ///< over max_connections
+  std::size_t connections_open = 0;
+  std::size_t requests_received = 0;  ///< well-formed diagnose frames
+  std::size_t replies_sent = 0;
+  std::size_t error_frames_sent = 0;
+  std::size_t protocol_errors = 0;  ///< unrecoverable streams closed
+  std::size_t disconnects = 0;      ///< connections that ended
+};
+
+/// A running server.  Construction binds + listens and starts the accept
+/// loop; stop() (or the destructor) closes the listener, unblocks every
+/// connection, and joins all threads.  The referenced DiagnosisService
+/// must outlive the server.
+class Server {
+public:
+  Server(service::DiagnosisService& service, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the actual one when options.port was 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Stop accepting, close every connection, join all threads.
+  /// Idempotent.
+  void stop();
+
+private:
+  struct Connection;
+
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  void writer_loop(Connection& conn);
+  void reap_finished(bool all);
+
+  service::DiagnosisService& service_;
+  ServerOptions options_;
+  Listener listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  struct Counters {
+    std::atomic<std::size_t> connections_accepted{0};
+    std::atomic<std::size_t> connections_rejected{0};
+    std::atomic<std::size_t> connections_open{0};
+    std::atomic<std::size_t> requests_received{0};
+    std::atomic<std::size_t> replies_sent{0};
+    std::atomic<std::size_t> error_frames_sent{0};
+    std::atomic<std::size_t> protocol_errors{0};
+    std::atomic<std::size_t> disconnects{0};
+  };
+  mutable Counters counters_;
+};
+
+}  // namespace ftdiag::net

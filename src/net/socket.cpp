@@ -1,0 +1,239 @@
+#include "net/socket.hpp"
+
+#include <utility>
+
+#include "net/wire.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FTDIAG_HAS_SOCKETS 1
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define FTDIAG_HAS_SOCKETS 0
+#endif
+
+namespace ftdiag::net {
+
+bool sockets_supported() { return FTDIAG_HAS_SOCKETS != 0; }
+
+#if FTDIAG_HAS_SOCKETS
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Numeric IPv4 only ("127.0.0.1", "0.0.0.0"...): the serving harness has
+  // no need for resolver round trips, and inet_pton keeps this dependency
+  // free.  "localhost" is accepted as an alias for the loopback address.
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("cannot parse host address '" + host +
+                   "' (use a numeric IPv4 address)");
+  }
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::send_all(std::string_view bytes) {
+  const char* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // process with SIGPIPE (per-connection error isolation depends on it).
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd_, data, left, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send failed");
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_exact(char* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv failed");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean close between frames
+      throw NetError("peer disconnected mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener Listener::bind(const std::string& host, std::uint16_t port,
+                        int backlog) {
+  const sockaddr_in addr = make_address(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("cannot create socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno(str::format("cannot bind %s:%u", host.c_str(), port));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("cannot listen");
+  }
+  Listener listener;
+  listener.fd_.store(fd);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    listener.port_ = ntohs(bound.sin_port);
+  } else {
+    listener.port_ = port;
+  }
+  return listener;
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_.exchange(-1)), port_(other.port_) {
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_.store(other.fd_.exchange(-1));
+    port_ = other.port_;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    const int fd = fd_.load();
+    if (fd < 0) break;
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client >= 0) {
+      set_nodelay(client);
+      return Socket(client);
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    break;  // listener closed (EBADF/EINVAL) or fatal: signal shutdown
+  }
+  return Socket();
+}
+
+void Listener::close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() first so a concurrently blocked accept() wakes up even on
+    // platforms where close() alone does not interrupt it.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_address(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("cannot create socket");
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno(str::format("cannot connect to %s:%u", host.c_str(), port));
+  }
+  set_nodelay(fd);
+  return Socket(fd);
+}
+
+#else  // !FTDIAG_HAS_SOCKETS
+
+namespace {
+[[noreturn]] void no_sockets() {
+  throw ConfigError("this build has no socket support");
+}
+}  // namespace
+
+Socket::~Socket() = default;
+Socket::Socket(Socket&&) noexcept {}
+Socket& Socket::operator=(Socket&&) noexcept { return *this; }
+void Socket::send_all(std::string_view) { no_sockets(); }
+bool Socket::recv_exact(char*, std::size_t) { no_sockets(); }
+void Socket::shutdown_both() {}
+void Socket::close() {}
+
+Listener Listener::bind(const std::string&, std::uint16_t, int) {
+  no_sockets();
+}
+Listener::~Listener() = default;
+Listener::Listener(Listener&&) noexcept {}
+Listener& Listener::operator=(Listener&&) noexcept { return *this; }
+Socket Listener::accept() { no_sockets(); }
+void Listener::close() {}
+
+Socket connect_tcp(const std::string&, std::uint16_t) { no_sockets(); }
+
+#endif  // FTDIAG_HAS_SOCKETS
+
+}  // namespace ftdiag::net

@@ -1,0 +1,91 @@
+/// \file socket.hpp
+/// \brief Minimal RAII wrappers over portable POSIX TCP sockets — just
+/// enough surface for the frame protocol: bind/listen/accept, connect,
+/// send-all, receive-exact.  No third-party dependency.
+///
+/// Platforms without BSD sockets compile a stub where every constructor
+/// throws ConfigError and sockets_supported() is false, so the library
+/// links everywhere and callers can gate cleanly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ftdiag::net {
+
+/// True when this build has a working socket implementation.
+[[nodiscard]] bool sockets_supported();
+
+/// A connected TCP stream (move-only RAII over the file descriptor).
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Write the whole buffer (retrying short writes / EINTR).
+  /// \throws NetError when the peer is gone.
+  void send_all(std::string_view bytes);
+
+  /// Read exactly \p n bytes.  Returns false on a clean EOF *before the
+  /// first byte* (the peer closed between frames); \throws NetError on a
+  /// mid-read EOF (a frame was cut off) or any transport error.
+  [[nodiscard]] bool recv_exact(char* out, std::size_t n);
+
+  /// Unblock any thread stuck in recv/send on this socket (shutdown both
+  /// directions); safe to call from another thread and repeatedly.
+  void shutdown_both();
+
+  void close();
+
+private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket.
+class Listener {
+public:
+  /// Bind + listen.  Port 0 picks an ephemeral port (read it back with
+  /// port()).  \throws NetError on failure, ConfigError without sockets.
+  [[nodiscard]] static Listener bind(const std::string& host,
+                                     std::uint16_t port, int backlog = 64);
+
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_.load() >= 0; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Block for the next connection.  Returns an invalid Socket once the
+  /// listener has been close()d (the accept loop's stop signal);
+  /// transient per-connection failures are retried internally.
+  [[nodiscard]] Socket accept();
+
+  /// Stop accepting; any blocked accept() returns an invalid Socket.
+  /// Safe to call from another thread while accept() blocks.
+  void close();
+
+private:
+  /// Atomic because close() races with the accept-loop thread by design.
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+/// Open a TCP connection (with TCP_NODELAY for request/reply latency).
+/// \throws NetError when the host cannot be resolved or reached.
+[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+}  // namespace ftdiag::net

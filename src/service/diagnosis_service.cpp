@@ -247,8 +247,18 @@ void DiagnosisService::fail(Pending& pending, std::exception_ptr error) {
 }
 
 ServiceStats DiagnosisService::stats() const {
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+    depth = queue_.size();
+  }
   std::lock_guard<std::mutex> stats_lock(stats_mutex_);
   ServiceStats snapshot = stats_;
+  snapshot.queue_depth = depth;
+  if (snapshot.batches > 0) {
+    snapshot.mean_batch = static_cast<double>(snapshot.batched_requests) /
+                          static_cast<double>(snapshot.batches);
+  }
   std::uint64_t total = 0;
   for (std::uint64_t count : latency_histogram_) total += count;
   if (total > 0) {

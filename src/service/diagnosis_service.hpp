@@ -69,6 +69,8 @@ struct ServiceStats {
   std::size_t batched_requests = 0; ///< requests across those batches
   std::size_t largest_batch = 0;    ///< most requests coalesced at once
   std::size_t queue_full_waits = 0; ///< submits that hit backpressure
+  std::size_t queue_depth = 0;      ///< requests waiting right now (gauge)
+  double mean_batch = 0.0;          ///< batched_requests / batches
   double p50_latency_us = 0.0;      ///< submit -> reply, median
   double p95_latency_us = 0.0;      ///< submit -> reply, tail
 };

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "io/dictionary_io.hpp"
+#include "io/mapped_file.hpp"
 #include "session.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -135,13 +136,15 @@ DictionaryPtr DictionaryStore::load_or_build(
   // stale or corrupt artifact must never poison diagnosis results.
   if (!path.empty() && std::filesystem::exists(path)) {
     try {
-      const std::string bytes = io::read_file_bytes(path);
-      const auto header = io::read_binary_dictionary_header(bytes);
-      if (!header.key.empty() && header.key != key) {
+      // Attach via mmap: the image is validated in place (header
+      // negotiation, block bounds, checksums) without a read copy, and
+      // every process loading the same artifact shares its page cache.
+      const auto view = io::DictionaryView::map(path);
+      if (!view.header().key.empty() && view.header().key != key) {
         throw ParseError("dictionary file was written under another key");
       }
       auto dictionary = std::make_shared<const faults::FaultDictionary>(
-          io::load_dictionary_binary(bytes));
+          view.materialize());
       {
         std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++stats_.disk_hits;

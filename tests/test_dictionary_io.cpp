@@ -170,6 +170,87 @@ TEST_F(DictionaryIoTest, BinaryCorruptionRejected) {
   }
 }
 
+TEST_F(DictionaryIoTest, VersionNegotiationRejectsTheFuturePolitely) {
+  std::ostringstream os;
+  save_dictionary_binary(os, *dict_);
+  const std::string bytes = os.str();
+
+  // The version word sits right after the 4-byte magic.  A reader must
+  // refuse an artifact from its future with an actionable message, not a
+  // checksum mumble: negotiation runs before any checksum.
+  auto with_version = [&](std::uint32_t version) {
+    std::string copy = bytes;
+    for (int i = 0; i < 4; ++i) {
+      copy[4 + i] = static_cast<char>((version >> (8 * i)) & 0xff);
+    }
+    return copy;
+  };
+  try {
+    (void)load_dictionary_binary(with_version(kBinaryDictionaryVersion + 1));
+    FAIL() << "future major version was accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("not supported"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("upgrade"), std::string::npos);
+  }
+  EXPECT_THROW((void)load_dictionary_binary(with_version(0)), ParseError);
+
+  // v2 carries a feature-flag word after the version; unknown bits mean
+  // "this file needs a capability you don't have" and must be refused.
+  std::string unknown_flag = bytes;
+  unknown_flag[8] = static_cast<char>(unknown_flag[8] | 0x01);
+  try {
+    (void)load_dictionary_binary(unknown_flag);
+    FAIL() << "unknown feature flag was accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("feature flags"),
+              std::string::npos);
+  }
+}
+
+TEST_F(DictionaryIoTest, TruncationSweepNeverOverAllocatesOrAccepts) {
+  std::ostringstream os;
+  save_dictionary_binary(os, *dict_);
+  const std::string bytes = os.str();
+
+  // Every prefix of the file must be a clean ParseError — block sizes are
+  // validated against the remaining bytes *before* any allocation, so a
+  // truncated file can never make the loader reserve for data that is not
+  // there.  Sweep every cut point in the header region, then stride
+  // through the payload.
+  for (std::size_t keep = 0; keep < bytes.size();
+       keep += keep < 96 ? 1 : 41) {
+    EXPECT_THROW((void)load_dictionary_binary(bytes.substr(0, keep)),
+                 ParseError)
+        << "prefix of " << keep << " bytes was accepted";
+    EXPECT_THROW(
+        (void)parse_binary_dictionary_layout(bytes.substr(0, keep)),
+        ParseError)
+        << "layout accepted a prefix of " << keep << " bytes";
+  }
+}
+
+TEST_F(DictionaryIoTest, BitFlipSweepIsNeverSilentlyWrong) {
+  std::ostringstream os;
+  save_dictionary_binary(os, *dict_);
+  const std::string bytes = os.str();
+
+  // Flip one bit at offsets throughout the image.  Every flip must either
+  // be rejected (checksum / validation) or — only for bytes outside the
+  // checksummed blocks, i.e. alignment padding — load bit-identically.
+  // What can never happen is a quietly different dictionary.
+  for (std::size_t at = 0; at < bytes.size();
+       at += at < 64 ? 3 : 29) {
+    std::string flipped = bytes;
+    flipped[at] = static_cast<char>(flipped[at] ^ 0x10);
+    try {
+      const auto loaded = load_dictionary_binary(flipped);
+      expect_bit_identical(*dict_, loaded);
+    } catch (const ParseError&) {
+      // rejected: fine
+    }
+  }
+}
+
 TEST_F(DictionaryIoTest, FormatNamesParse) {
   EXPECT_EQ(parse_dictionary_format("csv"), DictionaryFormat::kCsv);
   EXPECT_EQ(parse_dictionary_format("binary"), DictionaryFormat::kBinary);

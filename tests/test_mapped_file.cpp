@@ -1,0 +1,152 @@
+/// Zero-copy dictionary views: a mapped `.fdx` image must serve the exact
+/// bytes load_dictionary_binary decodes — via in-place spans when the v2
+/// alignment guarantees hold, via the transparent decode fallback
+/// otherwise — and corrupt or truncated images must be rejected at map
+/// time, before any span is handed out.
+#include "io/mapped_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "circuits/nf_biquad.hpp"
+#include "io/dictionary_io.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::io {
+namespace {
+
+class MappedDictionaryTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    const auto cut = circuits::make_paper_cut();
+    faults::DeviationSpec spec;
+    spec.step_fraction = 0.2;
+    dict_ = new faults::FaultDictionary(faults::FaultDictionary::build(
+        cut, faults::FaultUniverse::over_testable(cut, spec),
+        std::vector<double>{100.0, 1000.0, 10000.0}));
+    std::ostringstream os;
+    save_dictionary_binary(os, *dict_, "map#test");
+    bytes_ = new std::string(os.str());
+    path_ = new std::string(::testing::TempDir() + "/ftdiag_mapped.fdx");
+    std::ofstream(*path_, std::ios::binary) << *bytes_;
+  }
+  static void TearDownTestSuite() {
+    std::remove(path_->c_str());
+    delete path_;
+    delete bytes_;
+    delete dict_;
+    path_ = nullptr;
+    bytes_ = nullptr;
+    dict_ = nullptr;
+  }
+
+  static void expect_serves_the_dictionary(const DictionaryView& view) {
+    ASSERT_EQ(view.frequency_count(), dict_->frequencies().size());
+    ASSERT_EQ(view.fault_count(), dict_->fault_count());
+
+    const auto freqs = view.frequencies();
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      EXPECT_EQ(freqs[i], dict_->frequencies()[i]);
+    }
+    const auto golden = view.golden();
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      EXPECT_EQ(golden[i], dict_->golden().values()[i]);
+    }
+    for (std::size_t e = 0; e < view.fault_count(); ++e) {
+      EXPECT_EQ(view.faults()[e], dict_->entries()[e].fault);
+      const auto values = view.response(e);
+      ASSERT_EQ(values.size(), dict_->entries()[e].response.values().size());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_EQ(values[i], dict_->entries()[e].response.values()[i]);
+      }
+    }
+  }
+
+  static faults::FaultDictionary* dict_;
+  static std::string* bytes_;
+  static std::string* path_;
+};
+
+faults::FaultDictionary* MappedDictionaryTest::dict_ = nullptr;
+std::string* MappedDictionaryTest::bytes_ = nullptr;
+std::string* MappedDictionaryTest::path_ = nullptr;
+
+TEST_F(MappedDictionaryTest, MappedFileSeesTheExactBytes) {
+  const MappedFile file = MappedFile::open(*path_);
+  EXPECT_EQ(file.is_mapped(), mmap_supported());
+  ASSERT_EQ(file.size(), bytes_->size());
+  EXPECT_EQ(file.bytes(), *bytes_);
+}
+
+TEST_F(MappedDictionaryTest, MapServesSpansIdenticalToBinaryLoad) {
+  const DictionaryView view = DictionaryView::map(*path_);
+  EXPECT_EQ(view.header().key, "map#test");
+  EXPECT_EQ(view.header().version, kBinaryDictionaryVersion);
+  // The v2 writer 8-byte aligns every f64 run, so a mapped little-endian
+  // image serves spans straight out of the page cache.
+  if (mmap_supported()) EXPECT_TRUE(view.zero_copy());
+  expect_serves_the_dictionary(view);
+}
+
+TEST_F(MappedDictionaryTest, InMemoryViewServesTheSameSpans) {
+  expect_serves_the_dictionary(DictionaryView::over(*bytes_));
+}
+
+TEST_F(MappedDictionaryTest, MaterializeIsBitIdenticalToBinaryLoad) {
+  const faults::FaultDictionary loaded = load_dictionary_binary(*bytes_);
+  const faults::FaultDictionary materialized =
+      DictionaryView::map(*path_).materialize();
+  ASSERT_EQ(materialized.fault_count(), loaded.fault_count());
+  EXPECT_EQ(materialized.frequencies(), loaded.frequencies());
+  EXPECT_EQ(materialized.golden().values(), loaded.golden().values());
+  EXPECT_EQ(materialized.site_labels(), loaded.site_labels());
+  for (std::size_t i = 0; i < loaded.fault_count(); ++i) {
+    EXPECT_EQ(materialized.entries()[i].fault, loaded.entries()[i].fault);
+    EXPECT_EQ(materialized.entries()[i].response.values(),
+              loaded.entries()[i].response.values());
+  }
+}
+
+TEST_F(MappedDictionaryTest, ViewsAreCheapSharedHandles) {
+  // Copies alias one validated state; spans from either stay valid while
+  // any handle lives.
+  DictionaryView view = DictionaryView::over(*bytes_);
+  const DictionaryView copy = view;
+  EXPECT_EQ(copy.frequencies().data(), view.frequencies().data());
+}
+
+TEST_F(MappedDictionaryTest, CorruptImagesRejectedAtMapTime) {
+  // A flipped payload bit fails a block checksum during validation.
+  std::string flipped = *bytes_;
+  flipped[flipped.size() / 2] ^= 0x01;
+  EXPECT_THROW((void)DictionaryView::over(flipped), ParseError);
+
+  // Truncation anywhere is caught before any span is served.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{16},
+                           bytes_->size() / 2, bytes_->size() - 1}) {
+    EXPECT_THROW((void)DictionaryView::over(bytes_->substr(0, keep)),
+                 ParseError);
+  }
+
+  // Checksum verification can be skipped (warm attach), but structural
+  // bounds are always enforced.
+  EXPECT_NO_THROW((void)DictionaryView::over(*bytes_, false));
+  EXPECT_THROW(
+      (void)DictionaryView::over(bytes_->substr(0, bytes_->size() / 2),
+                                 false),
+      ParseError);
+}
+
+TEST_F(MappedDictionaryTest, MissingFileRejected) {
+  EXPECT_THROW((void)MappedFile::open("/nonexistent/ftdiag.fdx"),
+               ParseError);
+  EXPECT_THROW((void)DictionaryView::map("/nonexistent/ftdiag.fdx"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace ftdiag::io

@@ -15,15 +15,26 @@
 /// # diagnose many times: serve a directory of measurement CSVs
 /// ftdiag_cli serve-batch builtin:state_variable --measurements ./boards \
 ///            --store-dir ./dicts [--workers 4] [--max-batch 32]
+///
+/// # diagnose over the network: TCP server + client load harness
+/// ftdiag_cli serve builtin:state_variable,builtin:tow_thomas --port 4850 \
+///            --store-dir ./dicts [--stats-interval 10]
+/// ftdiag_cli load builtin:state_variable,builtin:tow_thomas --port 4850 \
+///            [--threads 4] [--requests 2000] [--pipeline 8]
 /// ```
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ftdiag.hpp"
@@ -275,16 +286,296 @@ int run_serve_batch(int argc, char** argv) {
   }
 
   const auto stats = service.stats();
-  std::printf("\nserved %zu requests in %zu batches (largest %zu), "
-              "p50 %.0f us, p95 %.0f us\n",
+  std::printf("\nserved %zu requests in %zu batches (largest %zu, "
+              "mean %.2f), queue depth %zu, p50 %.0f us, p95 %.0f us\n",
               stats.completed, stats.batches, stats.largest_batch,
-              stats.p50_latency_us, stats.p95_latency_us);
+              stats.mean_batch, stats.queue_depth, stats.p50_latency_us,
+              stats.p95_latency_us);
   if (store) print_store_stats(*store);
 
   if (const std::string path = cli.get("results"); !path.empty()) {
     io::write_file(path, results_csv.str());
     std::printf("results written to %s\n", path.c_str());
   }
+  return 0;
+}
+
+// ------------------------------------------------------------ serve/load
+
+std::atomic<bool> g_stop{false};
+void handle_stop_signal(int) { g_stop.store(true); }
+
+void declare_search_options(args::Parser& cli) {
+  cli.option("frequencies", "test-vector size", "2")
+      .option("fitness", "paper | separation | hybrid", "paper")
+      .option("seed", "GA seed", "42");
+}
+
+SearchOptions search_from(const args::Parser& cli) {
+  SearchOptions search;
+  search.n_frequencies = cli.get_size("frequencies");
+  search.fitness = core::parse_fitness_kind(cli.get("fitness"));
+  search.seed = cli.get_size("seed");
+  return search;
+}
+
+/// Build one ready-to-serve session (dictionary + installed test vector)
+/// per comma-separated source in the positional.  serve and load run the
+/// same deterministic setup, which is what makes the load harness's
+/// signature points valid traffic for the server's sessions.
+std::vector<Session> build_serving_sessions(const args::Parser& cli) {
+  auto store = store_from(cli);
+  std::vector<Session> sessions;
+  for (const auto& raw : str::split(cli.positional_value("netlists"), ',')) {
+    const std::string source(str::trim(raw));
+    if (source.empty()) continue;
+    SessionBuilder builder =
+        SessionBuilder::from_source(source, access_from(cli))
+            .search(search_from(cli))
+            .deviations(deviations_from(cli));
+    if (store) builder.store(store);
+    Session session = builder.build();
+    const TestGenResult program = session.generate_tests();
+    std::printf("CUT '%s': %s ready (%zu faults)\n",
+                session.cut().name.c_str(),
+                program.best.vector.label().c_str(),
+                program.dictionary_faults);
+    sessions.push_back(std::move(session));
+  }
+  if (sessions.empty()) throw ConfigError("no circuits to serve");
+  return sessions;
+}
+
+void print_serving_stats(const net::Server& server,
+                         const service::DiagnosisService& service) {
+  const auto net_stats = server.stats();
+  const auto svc = service.stats();
+  std::printf(
+      "net: %zu open / %zu accepted / %zu rejected conns, %zu requests, "
+      "%zu replies, %zu error frames, %zu protocol errors | service: "
+      "queue depth %zu, mean batch %.2f, p50 %.0f us, p95 %.0f us\n",
+      net_stats.connections_open, net_stats.connections_accepted,
+      net_stats.connections_rejected, net_stats.requests_received,
+      net_stats.replies_sent, net_stats.error_frames_sent,
+      net_stats.protocol_errors, svc.queue_depth, svc.mean_batch,
+      svc.p50_latency_us, svc.p95_latency_us);
+}
+
+int run_serve(int argc, char** argv) {
+  args::Parser cli("ftdiag_cli serve",
+                   "serve diagnoses over TCP until SIGINT/SIGTERM");
+  cli.positional("netlists",
+                 "comma-separated netlist files or builtin:<name> entries");
+  declare_access_options(cli);
+  declare_search_options(cli);
+  cli.option("host", "bind address (numeric IPv4)", "127.0.0.1")
+      .option("port", "TCP port (0 = pick an ephemeral port)", "4850")
+      .option("store-dir",
+              "persistent dictionary store directory (.fdx per key)", "")
+      .option("workers", "service dispatcher threads (0 = auto)", "0")
+      .option("max-batch", "requests coalesced per micro-batch", "64")
+      .option("linger-us", "micro-batch linger [us]", "200")
+      .option("batch-threads", "diagnosis fan-out threads (0 = auto)", "0")
+      .option("max-connections", "concurrent client connections", "64")
+      .option("max-inflight", "pipelined requests per connection", "128")
+      .option("stats-interval",
+              "seconds between stats lines (0 = only on shutdown)", "10");
+
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+  if (!net::sockets_supported()) {
+    throw ConfigError("this build has no socket support");
+  }
+
+  ServiceOptions service_options;
+  service_options.workers = cli.get_size("workers");
+  service_options.max_batch = cli.get_size("max-batch");
+  service_options.max_linger =
+      std::chrono::microseconds(cli.get_size("linger-us"));
+  service_options.batch_threads = cli.get_size("batch-threads");
+
+  std::vector<Session> sessions = build_serving_sessions(cli);
+  service::DiagnosisService service(service_options);
+  for (auto& session : sessions) {
+    service.add_session(session.cut().name, session);
+  }
+
+  net::ServerOptions server_options;
+  server_options.host = cli.get("host");
+  server_options.port = static_cast<std::uint16_t>(cli.get_size("port"));
+  server_options.max_connections = cli.get_size("max-connections");
+  server_options.max_inflight = cli.get_size("max-inflight");
+  net::Server server(service, server_options);
+  std::printf("listening on %s:%u (%zu circuits), Ctrl-C to stop\n",
+              server_options.host.c_str(), server.port(), sessions.size());
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  const std::size_t interval = cli.get_size("stats-interval");
+  auto last_print = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (interval > 0 && std::chrono::steady_clock::now() - last_print >=
+                            std::chrono::seconds(interval)) {
+      print_serving_stats(server, service);
+      last_print = std::chrono::steady_clock::now();
+    }
+  }
+
+  std::printf("\nshutting down\n");
+  server.stop();
+  print_serving_stats(server, service);
+  return 0;
+}
+
+int run_load(int argc, char** argv) {
+  args::Parser cli("ftdiag_cli load",
+                   "drive a running `serve` instance with mixed-circuit "
+                   "traffic and report latency percentiles");
+  cli.positional("netlists",
+                 "the circuits the server was started with (traffic is "
+                 "synthesized from the same deterministic sessions)");
+  declare_access_options(cli);
+  declare_search_options(cli);
+  cli.option("host", "server address (numeric IPv4)", "127.0.0.1")
+      .option("port", "server TCP port", "4850")
+      .option("store-dir",
+              "dictionary store directory (reuse the server's artifacts)",
+              "")
+      .option("threads", "client connections driven in parallel", "4")
+      .option("requests", "total diagnose requests across all threads",
+              "2000")
+      .option("pipeline", "requests kept in flight per connection", "8")
+      .option("points", "observations per request", "1")
+      .option("samples", "faulty boards synthesized per circuit", "32");
+
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+  if (!net::sockets_supported()) {
+    throw ConfigError("this build has no socket support");
+  }
+  const std::string host = cli.get("host");
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(cli.get_size("port"));
+  const std::size_t n_threads = std::max<std::size_t>(1, cli.get_size("threads"));
+  const std::size_t n_requests = cli.get_size("requests");
+  const std::size_t window = std::max<std::size_t>(1, cli.get_size("pipeline"));
+  const std::size_t points_per_request =
+      std::max<std::size_t>(1, cli.get_size("points"));
+
+  // Synthesize an observation pool per circuit: measure faulty boards with
+  // deterministic seeds and map them to signature points.
+  struct Traffic {
+    std::string circuit;
+    std::vector<core::Point> pool;
+  };
+  std::vector<Traffic> traffic;
+  for (Session& session : build_serving_sessions(cli)) {
+    Traffic t;
+    t.circuit = session.cut().name;
+    const auto dictionary = session.dictionary();
+    const std::size_t n_samples =
+        std::min(std::max<std::size_t>(1, cli.get_size("samples")),
+                 dictionary->fault_count());
+    for (std::size_t i = 0; i < n_samples; ++i) {
+      const auto& entry =
+          dictionary->entries()[i * dictionary->fault_count() / n_samples];
+      t.pool.push_back(
+          session.observe(session.measure(entry.fault, 1000 + i)));
+    }
+    traffic.push_back(std::move(t));
+  }
+
+  // Each thread owns one connection and walks the circuits round-robin
+  // (staggered by thread id so concurrent requests mix circuits), keeping
+  // `window` requests pipelined and timing submit -> reply per request.
+  using Clock = std::chrono::steady_clock;
+  struct ThreadResult {
+    std::vector<double> latencies_us;
+    std::size_t failures = 0;
+  };
+  std::vector<ThreadResult> results(n_threads);
+  const auto start = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t tid = 0; tid < n_threads; ++tid) {
+      threads.emplace_back([&, tid] {
+        ThreadResult& result = results[tid];
+        const std::size_t quota =
+            n_requests / n_threads + (tid < n_requests % n_threads ? 1 : 0);
+        result.latencies_us.reserve(quota);
+        try {
+          net::Client client(host, port);
+          std::deque<Clock::time_point> sent_at;
+          std::size_t sent = 0;
+          std::size_t received = 0;
+          while (received < quota) {
+            while (sent < quota && sent - received < window) {
+              const Traffic& t =
+                  traffic[(tid + sent) % traffic.size()];
+              service::DiagnosisRequest request;
+              request.circuit = t.circuit;
+              for (std::size_t p = 0; p < points_per_request; ++p) {
+                request.points.push_back(
+                    t.pool[(sent + p) % t.pool.size()]);
+              }
+              sent_at.push_back(Clock::now());
+              (void)client.send(request);
+              ++sent;
+            }
+            try {
+              (void)client.receive();
+            } catch (const net::RemoteError&) {
+              ++result.failures;
+            }
+            const auto elapsed = Clock::now() - sent_at.front();
+            sent_at.pop_front();
+            result.latencies_us.push_back(
+                std::chrono::duration<double, std::micro>(elapsed).count());
+            ++received;
+          }
+        } catch (const Error& e) {
+          std::fprintf(stderr, "load thread %zu: %s\n", tid, e.what());
+          result.failures += quota - result.latencies_us.size();
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> latencies;
+  std::size_t failures = 0;
+  for (const auto& result : results) {
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
+    failures += result.failures;
+  }
+  if (latencies.empty()) throw Error("load run produced no replies");
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double fraction) {
+    const std::size_t index = static_cast<std::size_t>(
+        fraction * static_cast<double>(latencies.size() - 1));
+    return latencies[index];
+  };
+
+  const std::size_t diagnoses = latencies.size() * points_per_request;
+  std::printf("load: %zu requests (%zu diagnoses) over %zu connections "
+              "in %.2f s, pipeline %zu\n",
+              latencies.size(), diagnoses, n_threads, seconds, window);
+  std::printf("throughput: %.0f diagnoses/sec\n",
+              static_cast<double>(diagnoses) / seconds);
+  std::printf("latency: p50 %.0f us, p95 %.0f us, p99 %.0f us, max %.0f us\n",
+              percentile(0.50), percentile(0.95), percentile(0.99),
+              latencies.back());
+  if (failures > 0) std::printf("failures: %zu\n", failures);
   return 0;
 }
 
@@ -340,7 +631,7 @@ int run_legacy(int argc, char** argv) {
   args::Parser cli("ftdiag_cli",
                    "fault-trajectory test generation and diagnosis "
                    "(Savioli et al., DATE'05); subcommands: build-dict, "
-                   "serve-batch");
+                   "serve-batch, serve, load");
   cli.positional("netlist",
                  "netlist file, or builtin:<name> for a registry circuit");
   declare_access_options(cli);
@@ -370,6 +661,8 @@ int main(int argc, char** argv) {
   try {
     if (mode == "build-dict") return run_build_dict(argc - 1, argv + 1);
     if (mode == "serve-batch") return run_serve_batch(argc - 1, argv + 1);
+    if (mode == "serve") return run_serve(argc - 1, argv + 1);
+    if (mode == "load") return run_load(argc - 1, argv + 1);
     return run_legacy(argc, argv);
   } catch (const ftdiag::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

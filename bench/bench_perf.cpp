@@ -470,8 +470,80 @@ BENCHMARK_DEFINE_F(TrajectoryFixture, BM_SearchBatch)
 BENCHMARK_REGISTER_F(TrajectoryFixture, BM_SearchBatch)
     ->Unit(benchmark::kMillisecond);
 
+/// One row of the dense-vs-sparse n-scaling sweep: a full engine
+/// dictionary build on an n-section RC ladder with the solver backend
+/// forced each way.  dense_ms < 0 means the dense leg was skipped.
+struct ScalingPoint {
+  std::size_t sections = 0;
+  std::size_t unknowns = 0;
+  std::size_t faults = 0;
+  double dense_ms = -1.0;
+  double sparse_ms = 0.0;
+};
+
+/// Dictionary-build wall time vs circuit size, n in {10, 100, 1000, 5000}.
+/// The testable stride scales with n so the fault universe stays bounded
+/// and the measurement isolates the per-frequency solve cost; the dense
+/// leg stops at 1000 (an O(n^3) factor per frequency is already minutes
+/// at 5000).
+std::vector<ScalingPoint> run_scaling_sweep(std::size_t grid_points) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<ScalingPoint> rows;
+  for (const std::size_t sections :
+       {std::size_t{10}, std::size_t{100}, std::size_t{1000},
+        std::size_t{5000}}) {
+    circuits::RcLadderDesign design;
+    design.sections = sections;
+    design.testable_stride = std::max<std::size_t>(1, sections / 4);
+    const auto cut = circuits::make_rc_ladder(design);
+    const auto universe = faults::FaultUniverse::over_testable(cut);
+    const auto faults_list = universe.enumerate();
+    const auto freqs =
+        mna::FrequencyGrid::log_sweep(cut.band_low_hz, cut.band_high_hz,
+                                      grid_points)
+            .frequencies();
+
+    ScalingPoint row;
+    row.sections = sections;
+    row.unknowns = mna::MnaSystem(cut.circuit).unknown_count();
+    row.faults = universe.fault_count();
+
+    auto build_ms = [&](mna::SolverBackend backend, int reps) {
+      faults::SimOptions sim;
+      sim.backend = backend;
+      double best = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto start = Clock::now();
+        const faults::SimulationEngine engine(cut, sim);
+        benchmark::DoNotOptimize(engine.simulate_all(faults_list, freqs));
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - start)
+                .count();
+        if (rep == 0 || ms < best) best = ms;
+      }
+      return best;
+    };
+
+    const int reps = sections >= 1000 ? 1 : 3;
+    row.sparse_ms = build_ms(mna::SolverBackend::kSparse, reps);
+    if (sections <= 1000) {
+      row.dense_ms = build_ms(mna::SolverBackend::kDense, reps);
+    }
+    std::printf("scaling n=%zu (%zu unknowns, %zu faults): sparse %.3f ms",
+                sections, row.unknowns, row.faults, row.sparse_ms);
+    if (row.dense_ms >= 0.0) {
+      std::printf(", dense %.3f ms (%.2fx)", row.dense_ms,
+                  row.dense_ms / row.sparse_ms);
+    }
+    std::printf("\n");
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 /// Serial-vs-engine dictionary build comparison on the largest registry
-/// circuit (by MNA unknown count), written to BENCH_engine.json.
+/// circuit (by MNA unknown count), plus the dense-vs-sparse n-scaling
+/// sweep, written to BENCH_engine.json.
 void write_engine_report(const char* path) {
   using Clock = std::chrono::steady_clock;
 
@@ -513,6 +585,9 @@ void write_engine_report(const char* path) {
   const faults::SimOptions engine_options;
   const double engine_ms = best_of(engine_options);  // stats = engine run's
 
+  constexpr std::size_t kScalingGridPoints = 8;
+  const auto scaling = run_scaling_sweep(kScalingGridPoints);
+
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -530,12 +605,36 @@ void write_engine_report(const char* path) {
                "  \"engine_ms\": %.3f,\n"
                "  \"speedup\": %.2f,\n"
                "  \"rank1_solves\": %zu,\n"
-               "  \"full_solves\": %zu\n"
-               "}\n",
+               "  \"full_solves\": %zu,\n"
+               "  \"scaling_grid_points\": %zu,\n"
+               "  \"scaling\": [\n",
                largest_name.c_str(), largest_unknowns,
                universe.fault_count(), freqs.size(),
                engine_options.resolved_threads(), serial_ms, engine_ms,
-               serial_ms / engine_ms, stats.rank1_solves, stats.full_solves);
+               serial_ms / engine_ms, stats.rank1_solves, stats.full_solves,
+               kScalingGridPoints);
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const auto& row = scaling[i];
+    std::fprintf(out,
+                 "    {\"sections\": %zu, \"unknowns\": %zu, "
+                 "\"faults\": %zu, ",
+                 row.sections, row.unknowns, row.faults);
+    if (row.dense_ms >= 0.0) {
+      std::fprintf(out,
+                   "\"dense_ms\": %.3f, \"sparse_ms\": %.3f, "
+                   "\"sparse_speedup\": %.2f}",
+                   row.dense_ms, row.sparse_ms, row.dense_ms / row.sparse_ms);
+    } else {
+      std::fprintf(out,
+                   "\"dense_ms\": null, \"sparse_ms\": %.3f, "
+                   "\"sparse_speedup\": null}",
+                   row.sparse_ms);
+    }
+    std::fprintf(out, "%s\n", i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ]\n"
+               "}\n");
   std::fclose(out);
   std::printf("engine dictionary build (%s): serial %.3f ms, engine %.3f ms "
               "(%.2fx) -> %s\n",

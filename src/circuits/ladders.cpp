@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace ftdiag::circuits {
@@ -14,6 +15,10 @@ CircuitUnderTest make_rc_ladder(const RcLadderDesign& design) {
   }
   if (!(design.r > 0.0) || !(design.c > 0.0)) {
     throw ConfigError("rc_ladder element values must be positive");
+  }
+  if (design.testable_stride == 0 ||
+      design.testable_stride > design.sections) {
+    throw ConfigError("rc_ladder testable_stride must be in [1, sections]");
   }
 
   CircuitUnderTest cut;
@@ -29,8 +34,10 @@ CircuitUnderTest make_rc_ladder(const RcLadderDesign& design) {
     const std::string here = str::format("n%zu", k);
     c.add_resistor(str::format("R%zu", k), prev, here, design.r);
     c.add_capacitor(str::format("C%zu", k), here, "0", design.c);
-    cut.testable.push_back(str::format("R%zu", k));
-    cut.testable.push_back(str::format("C%zu", k));
+    if (k % design.testable_stride == 0) {
+      cut.testable.push_back(str::format("R%zu", k));
+      cut.testable.push_back(str::format("C%zu", k));
+    }
   }
 
   const double f_section =
@@ -131,6 +138,121 @@ CircuitUnderTest make_twin_t(const TwinTDesign& design) {
       design.notch_hz / 100.0, design.notch_hz * 100.0, 300);
   cut.band_low_hz = design.notch_hz / 100.0;
   cut.band_high_hz = design.notch_hz * 100.0;
+  cut.check();
+  return cut;
+}
+
+CircuitUnderTest make_rc_mesh(const RcMeshDesign& design) {
+  if (design.rows < 2 || design.cols < 2) {
+    throw ConfigError("rc_mesh needs at least a 2x2 grid");
+  }
+  if (!(design.r > 0.0) || !(design.c > 0.0)) {
+    throw ConfigError("rc_mesh element values must be positive");
+  }
+  const std::size_t node_count = design.rows * design.cols;
+  if (design.testable_stride == 0 || design.testable_stride > node_count) {
+    throw ConfigError("rc_mesh testable_stride must be in [1, rows*cols]");
+  }
+
+  CircuitUnderTest cut;
+  cut.name = "rc_mesh";
+  cut.description = str::format("%zux%zu RC grid", design.rows, design.cols);
+  netlist::Circuit& c = cut.circuit;
+  c.set_title(cut.description);
+  auto node = [](std::size_t i, std::size_t j) {
+    return str::format("m%zu_%zu", i, j);
+  };
+  c.add_vsource("vin", node(0, 0), "0", 0.0, 1.0);
+
+  for (std::size_t i = 0; i < design.rows; ++i) {
+    for (std::size_t j = 0; j < design.cols; ++j) {
+      const std::string here = node(i, j);
+      if (j + 1 < design.cols) {
+        c.add_resistor(str::format("RH%zu_%zu", i, j), here, node(i, j + 1),
+                       design.r);
+      }
+      if (i + 1 < design.rows) {
+        c.add_resistor(str::format("RV%zu_%zu", i, j), here, node(i + 1, j),
+                       design.r);
+      }
+      c.add_capacitor(str::format("C%zu_%zu", i, j), here, "0", design.c);
+      const std::size_t linear = i * design.cols + j;
+      if (linear % design.testable_stride == 0) {
+        cut.testable.push_back(str::format("C%zu_%zu", i, j));
+        if (j + 1 < design.cols) {
+          cut.testable.push_back(str::format("RH%zu_%zu", i, j));
+        }
+      }
+    }
+  }
+  const std::string out = node(design.rows - 1, design.cols - 1);
+  c.add_resistor("RL", out, "0", 10.0 * design.r);
+
+  // Corner-to-corner RC time scale sets the band of interest.
+  const double f_node = 1.0 / (2.0 * std::numbers::pi * design.r * design.c);
+  cut.input_source = "vin";
+  cut.output_node = out;
+  cut.dictionary_grid =
+      mna::FrequencyGrid::log_sweep(f_node / 1000.0, f_node * 10.0, 240);
+  cut.band_low_hz = f_node / 1000.0;
+  cut.band_high_hz = f_node * 10.0;
+  cut.check();
+  return cut;
+}
+
+CircuitUnderTest make_random_network(const RandomNetworkDesign& design) {
+  if (design.nodes < 2) {
+    throw ConfigError("random_network needs at least two nodes");
+  }
+  if (design.testable_stride == 0 ||
+      design.testable_stride >= design.nodes) {
+    throw ConfigError(
+        "random_network testable_stride must be in [1, nodes-1]");
+  }
+
+  CircuitUnderTest cut;
+  cut.name = "random_network";
+  cut.description = str::format("random RC network, %zu nodes + %zu chords",
+                                design.nodes, design.chords);
+  netlist::Circuit& c = cut.circuit;
+  c.set_title(cut.description);
+  c.add_vsource("vin", "n0", "0", 0.0, 1.0);
+
+  Rng rng(design.seed);
+  // Spine: n0 - n1 - ... guarantees connectivity and a DC path.
+  for (std::size_t i = 1; i < design.nodes; ++i) {
+    c.add_resistor(str::format("RS%zu", i), str::format("n%zu", i - 1),
+                   str::format("n%zu", i), rng.uniform(100.0, 50e3));
+    if (i % design.testable_stride == 0) {
+      cut.testable.push_back(str::format("RS%zu", i));
+    }
+  }
+  c.add_resistor("RL", str::format("n%zu", design.nodes - 1), "0",
+                 rng.uniform(1e3, 100e3));
+  // Chords between random nodes (including ground) give the matrix an
+  // irregular, non-banded sparsity pattern.
+  for (std::size_t k = 0; k < design.chords; ++k) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(design.nodes) - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(design.nodes) - 1));
+    const std::string node_a = str::format("n%zu", a);
+    const std::string node_b =
+        rng.bernoulli(0.25) ? "0" : str::format("n%zu", b);
+    if (node_a == node_b) continue;
+    const std::string name = str::format("P%zu", k);
+    if (rng.bernoulli(0.7)) {
+      c.add_resistor(name, node_a, node_b, rng.uniform(100.0, 100e3));
+    } else {
+      c.add_capacitor(name, node_a, node_b, rng.uniform(1e-10, 1e-6));
+    }
+  }
+
+  cut.input_source = "vin";
+  cut.output_node = str::format("n%zu", design.nodes - 1);
+  cut.dictionary_grid = mna::FrequencyGrid::log_sweep(10.0, 1e6, 240);
+  cut.band_low_hz = 10.0;
+  cut.band_high_hz = 1e6;
   cut.check();
   return cut;
 }

@@ -3,6 +3,8 @@
 /// scalability workloads) and doubly-terminated LC Butterworth ladders.
 #pragma once
 
+#include <cstdint>
+
 #include "circuits/cut.hpp"
 
 namespace ftdiag::circuits {
@@ -11,10 +13,15 @@ struct RcLadderDesign {
   std::size_t sections = 5;   ///< number of RC sections
   double r = 1.0e3;
   double c = 100.0e-9;
+  /// Sections whose R and C join the testable list: every k-th (1 = all).
+  /// Ladders in the 10^3..10^4-node range use a sparse sample so the fault
+  /// universe — and the engine's per-site working set — stays bounded
+  /// while the solve dimension scales.
+  std::size_t testable_stride = 1;
 };
 
 /// vin -- [R -- node -- C-to-gnd] x N -- out.
-/// Testable: every R and C ("R1".."RN", "C1".."CN").
+/// Testable: every testable_stride-th section's R and C.
 [[nodiscard]] CircuitUnderTest make_rc_ladder(const RcLadderDesign& design = {});
 
 struct LcLadderDesign {
@@ -37,5 +44,37 @@ struct TwinTDesign {
 /// Passive twin-T notch: series arm R-R with 2C to ground, shunt arm C-C
 /// with R/2 to ground.  Testable: {R1, R2, R3, C1, C2, C3}.
 [[nodiscard]] CircuitUnderTest make_twin_t(const TwinTDesign& design = {});
+
+struct RcMeshDesign {
+  std::size_t rows = 10;  ///< grid height (nodes)
+  std::size_t cols = 10;  ///< grid width (nodes)
+  double r = 1.0e3;
+  double c = 10.0e-9;
+  /// Nodes whose parts join the testable list: every k-th in row-major
+  /// order (1 = all); see RcLadderDesign::testable_stride.
+  std::size_t testable_stride = 1;
+};
+
+/// rows x cols resistive grid with a capacitor to ground at every node:
+/// the 2-D sparse-solver workload (bandwidth ~cols, unlike the tridiagonal
+/// ladder).  Driven at the (0,0) corner, observed at the far corner,
+/// lightly loaded there so DC stays defined.  Testable: each sampled
+/// node's shunt C and right-neighbour R.
+[[nodiscard]] CircuitUnderTest make_rc_mesh(const RcMeshDesign& design = {});
+
+struct RandomNetworkDesign {
+  std::size_t nodes = 100;    ///< non-ground node count
+  std::size_t chords = 150;   ///< extra random R/C links over the spine
+  std::uint64_t seed = 1;     ///< deterministic draw
+  /// Spine resistors that join the testable list: every k-th (1 = all).
+  std::size_t testable_stride = 1;
+};
+
+/// Random connected RC network: a resistive spine n0..n{N-1} guarantees
+/// connectivity and a DC path, random R/C chords add meshes with an
+/// irregular sparsity pattern (the adversarial counterpart to the banded
+/// ladder/mesh workloads).  Deterministic in the seed.
+[[nodiscard]] CircuitUnderTest make_random_network(
+    const RandomNetworkDesign& design = {});
 
 }  // namespace ftdiag::circuits

@@ -8,7 +8,6 @@
 #include <utility>
 
 #include "faults/fault_injector.hpp"
-#include "linalg/lu.hpp"
 #include "linalg/rank1.hpp"
 #include "mna/ac_analysis.hpp"
 #include "mna/stamp_update.hpp"
@@ -55,11 +54,11 @@ struct FrequencySlot {
   linalg::Matrix<Complex> wt;  ///< row si = w = A^{-1} u of site si (S x n)
 };
 
-/// Per-lane scratch of the golden phase: the assembly buffer ping-pongs
-/// with the factorization, the blocked multi-RHS target is recycled.
+/// Per-lane scratch of the golden phase: a backend-neutral factor/solve
+/// pair (dense workspace ping-pong or sparse pattern refill inside), plus
+/// the recycled blocked multi-RHS target.
 struct GoldenLane {
-  linalg::Matrix<Complex> a;
-  linalg::LuFactorization<Complex> lu;
+  mna::SweepSolver solver;
   linalg::Matrix<Complex> w;  ///< n x S blocked-solve target
 };
 
@@ -120,11 +119,11 @@ BatchResult SimulationEngine::simulate_all(
   BatchResult result;
   result.responses.resize(faults.size());
 
-  // Reuse needs the dense factorization path; big sparse systems and
-  // reuse-off configurations take the naive path, still fault-parallel.
-  const bool reuse = options_.reuse_factorization &&
-                     n <= mna::AcAnalysis::kDenseLimit &&
-                     out != mna::kNoUnknown;
+  // Reuse works on every size: the golden phase factors through the
+  // backend-neutral SweepSolver (dense LU small, pattern-reusing sparse
+  // LU large).  Only reuse-off configurations and a ground output take
+  // the naive path, still fault-parallel.
+  const bool reuse = options_.reuse_factorization && out != mna::kNoUnknown;
   if (!reuse) {
     result.golden = golden_analysis.sweep(frequencies_hz, cut_.output_node);
     par::parallel_for(faults.size(), threads, [&](std::size_t i) {
@@ -194,6 +193,13 @@ BatchResult SimulationEngine::simulate_all(
   }
 
   const mna::SweepAssembler& assembler = golden_analysis.sweep_assembler();
+  // Per-circuit solver preparation, shared by every golden lane.  The
+  // auto backend reuses the analysis already run by AcAnalysis; a forced
+  // backend (differential tests, scaling benchmarks) analyzes its own.
+  const std::shared_ptr<const mna::SweepSolver::Context> solver_context =
+      options_.backend == mna::SolverBackend::kAuto
+          ? golden_analysis.solver_context()
+          : mna::SweepSolver::analyze(assembler, options_.backend);
 
   // Frequency blocks: phase 1 assembles G + s*C into lane-owned buffers,
   // factors in place and solves the golden RHS (single solve — the exact
@@ -208,7 +214,9 @@ BatchResult SimulationEngine::simulate_all(
                                          frequencies_hz.size());
   std::vector<FrequencySlot> slots(block_cap);
   std::vector<Complex> s_block(block_cap);
-  std::vector<GoldenLane> golden_lanes(std::min(threads, block_cap));
+  std::vector<GoldenLane> golden_lanes(
+      std::min(threads, block_cap),
+      GoldenLane{mna::SweepSolver(assembler, solver_context), {}});
   std::vector<SiteLane> site_lanes(
       std::max<std::size_t>(1, std::min(threads, site_count)));
   std::vector<Complex> golden_values(frequencies_hz.size());
@@ -227,12 +235,11 @@ BatchResult SimulationEngine::simulate_all(
       GoldenLane& ws = golden_lanes[lane];
       FrequencySlot& slot = slots[bi];
       if (slot.x0.size() != n) slot.x0.resize(n);  // first block only
-      assembler.assemble(s_block[bi], ws.a);
-      ws.lu.factor_in_place(ws.a);
-      ws.lu.solve_into(assembler.rhs(), slot.x0);
+      ws.solver.factor(s_block[bi]);
+      ws.solver.solve_into(assembler.rhs(), slot.x0);
       golden_values[begin + bi] = slot.x0[out];
       if (site_count > 0) {
-        ws.lu.solve_into(u_columns, ws.w);
+        ws.solver.solve_into(u_columns, ws.w);
         if (slot.wt.rows() != site_count || slot.wt.cols() != n) {
           slot.wt.reshape(site_count, n);
         }

@@ -5,7 +5,9 @@
 /// system for every fault x frequency pair.  A parametric fault perturbs
 /// exactly one component stamp, so per frequency the engine
 ///
-///   1. assembles and LU-factorizes the *golden* system once,
+///   1. assembles and factorizes the *golden* system once — dense LU for
+///      small circuits, pattern-reusing sparse LU (mna::SweepSolver)
+///      beyond mna::SweepAssembler::kDenseLimit,
 ///   2. produces each faulty response from that factorization via a
 ///      Sherman–Morrison rank-1 update (linalg/rank1.hpp), solving one
 ///      extra triangular pair per *fault site* and then sweeping all of
@@ -28,6 +30,7 @@
 #include "faults/fault.hpp"
 #include "linalg/rank1.hpp"
 #include "mna/response.hpp"
+#include "mna/sweep_solver.hpp"
 
 namespace ftdiag::faults {
 
@@ -46,6 +49,12 @@ struct SimOptions {
   /// Error-growth bound above which a rank-1 update is refused and the
   /// fault x frequency pair is solved by full refactorization.
   double max_growth = linalg::kRank1MaxGrowth;
+
+  /// Factorization backend of the golden phase: auto picks dense below
+  /// mna::SweepAssembler::kDenseLimit and the pattern-reusing sparse
+  /// factorization above it; the forced settings exist for differential
+  /// tests and the dense-vs-sparse scaling benchmark.
+  mna::SolverBackend backend = mna::SolverBackend::kAuto;
 
   /// \throws ConfigError unless max_growth > 1.
   void check() const;

@@ -13,9 +13,12 @@ netlist::Circuit perturb_within_tolerance(
     if (std::find(frozen.begin(), frozen.end(), c.name) != frozen.end()) {
       continue;
     }
-    const double tol = c.kind == netlist::ComponentKind::kCapacitor
-                           ? spec.capacitor_tolerance
-                           : spec.resistor_tolerance;
+    double tol = spec.resistor_tolerance;
+    if (c.kind == netlist::ComponentKind::kCapacitor) {
+      tol = spec.capacitor_tolerance;
+    } else if (c.kind == netlist::ComponentKind::kInductor) {
+      tol = spec.effective_inductor_tolerance();
+    }
     if (tol <= 0.0) continue;
     double delta;
     if (spec.uniform) {

@@ -17,12 +17,21 @@
 namespace ftdiag::faults {
 
 struct ToleranceSpec {
-  /// Fractional tolerance for resistors/inductors (0.01 == 1 %).
+  /// Fractional tolerance for resistors (0.01 == 1 %).
   double resistor_tolerance = 0.01;
   /// Fractional tolerance for capacitors.
   double capacitor_tolerance = 0.05;
+  /// Fractional tolerance for inductors.  Negative (the default) means
+  /// "follow resistor_tolerance" — the historical behaviour, which used
+  /// to be silent and unconfigurable; 0 disables inductor perturbation.
+  double inductor_tolerance = -1.0;
   /// Uniform in [-tol, +tol] when true, else gaussian with sigma = tol/3.
   bool uniform = true;
+
+  /// The tolerance actually applied to inductors.
+  [[nodiscard]] double effective_inductor_tolerance() const {
+    return inductor_tolerance < 0.0 ? resistor_tolerance : inductor_tolerance;
+  }
 };
 
 /// Return a copy of \p circuit with every passive value perturbed within

@@ -101,9 +101,10 @@ SparseLu<T>::SparseLu(const CooMatrix<T>& a, double pivot_threshold) {
     for (const auto& e : a.entries()) row_maps[e.row][e.col] += e.value;
     for (std::size_t r = 0; r < n_; ++r) {
       factor_[r].reserve(row_maps[r].size());
-      for (const auto& [c, v] : row_maps[r]) {
-        if (v != T{}) factor_[r].push_back({c, v});
-      }
+      // Entries that sum to exactly zero are KEPT: the factor structure
+      // must depend only on where stamps land, never on their values, or
+      // pattern reuse across a sweep breaks (see SparseFactorization).
+      for (const auto& [c, v] : row_maps[r]) factor_[r].push_back({c, v});
     }
   }
 
@@ -175,7 +176,10 @@ SparseLu<T>::SparseLu(const CooMatrix<T>& a, double pivot_threshold) {
           e.value = rr[ir].value - multiplier * rk[ik].value;
           ++ir;
           ++ik;
-          if (std::abs(e.value) > 0.0) merged.push_back(e);
+          // Exact cancellations stay as explicit zeros: dropping them made
+          // factor_nnz() — and the whole elimination structure — a function
+          // of the VALUES, which broke same-pattern factor reuse.
+          merged.push_back(e);
         }
       }
       factor_[r] = std::move(merged);

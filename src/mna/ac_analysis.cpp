@@ -27,7 +27,9 @@ static_assert(SweepAssembler::kDenseLimit == AcAnalysis::kDenseLimit,
               "the dense path ends");
 
 AcAnalysis::AcAnalysis(const netlist::Circuit& circuit)
-    : system_(circuit), assembler_(system_.prepare_sweep()) {
+    : system_(circuit),
+      assembler_(system_.prepare_sweep()),
+      context_(SweepSolver::analyze(assembler_, SolverBackend::kAuto)) {
   if (!has_ac_source(system_.circuit())) {
     throw CircuitError(
         "AC analysis requires at least one source with a non-zero AC "
@@ -37,19 +39,11 @@ AcAnalysis::AcAnalysis(const netlist::Circuit& circuit)
 
 std::vector<Complex> AcAnalysis::solve(double frequency_hz) const {
   const std::size_t n = system_.unknown_count();
-  const Complex s = linalg::s_of_hz(frequency_hz);
-  if (n <= kDenseLimit) {
-    linalg::Matrix<Complex> a;
-    assembler_.assemble(s, a);
-    linalg::LuFactorization<Complex> lu;
-    lu.factor_in_place(a);
-    std::vector<Complex> x(n);
-    lu.solve_into(assembler_.rhs(), x);
-    return x;
-  }
-  linalg::CooMatrix<Complex> coo(n, n);
-  assembler_.assemble(s, coo);
-  return linalg::SparseLu<Complex>(coo).solve(assembler_.rhs());
+  SweepSolver solver(assembler_, context_);
+  solver.factor(linalg::s_of_hz(frequency_hz));
+  std::vector<Complex> x(n);
+  solver.solve_into(assembler_.rhs(), x);
+  return x;
 }
 
 Complex AcAnalysis::node_voltage(double frequency_hz,
@@ -76,27 +70,17 @@ AcResponse AcAnalysis::sweep(const std::vector<double>& frequencies_hz,
     values.assign(frequencies_hz.size(), Complex{});
     return AcResponse(frequencies_hz, std::move(values));
   }
-  if (n <= kDenseLimit) {
-    // One workspace for the whole grid: the matrix buffer ping-pongs
-    // between the assembler and the factorization, so the steady-state
-    // loop allocates nothing.  Operation-for-operation this is solve(),
-    // which keeps the sweep bit-identical to point solves.
-    linalg::Matrix<Complex> a;
-    linalg::LuFactorization<Complex> lu;
-    std::vector<Complex> x(n);
-    for (double f : frequencies_hz) {
-      assembler_.assemble(linalg::s_of_hz(f), a);
-      lu.factor_in_place(a);
-      lu.solve_into(assembler_.rhs(), x);
-      values.push_back(x[unknown]);
-    }
-    return AcResponse(frequencies_hz, std::move(values));
-  }
-  linalg::CooMatrix<Complex> coo(n, n);
+  // One solver for the whole grid: on the dense backend the matrix buffer
+  // ping-pongs between the assembler and the factorization, on the sparse
+  // backend the symbolic analysis is refilled per frequency — either way
+  // the steady-state loop allocates nothing.  Operation-for-operation each
+  // point is solve(), which keeps sweeps bit-identical to point solves.
+  SweepSolver solver(assembler_, context_);
+  std::vector<Complex> x(n);
   for (double f : frequencies_hz) {
-    assembler_.assemble(linalg::s_of_hz(f), coo);
-    values.push_back(
-        linalg::SparseLu<Complex>(coo).solve(assembler_.rhs())[unknown]);
+    solver.factor(linalg::s_of_hz(f));
+    solver.solve_into(assembler_.rhs(), x);
+    values.push_back(x[unknown]);
   }
   return AcResponse(frequencies_hz, std::move(values));
 }

@@ -17,6 +17,7 @@
 
 #include "mna/frequency_grid.hpp"
 #include "mna/response.hpp"
+#include "mna/sweep_solver.hpp"
 #include "mna/system.hpp"
 
 namespace ftdiag::mna {
@@ -51,12 +52,21 @@ public:
     return assembler_;
   }
 
+  /// The per-circuit solver preparation (backend choice + sparse symbolic
+  /// analysis), shared with any number of sweep lanes.  Built once at
+  /// construction with the auto backend.
+  [[nodiscard]] const std::shared_ptr<const SweepSolver::Context>&
+  solver_context() const {
+    return context_;
+  }
+
   /// Unknown count above which the sparse path is used.
   static constexpr std::size_t kDenseLimit = 150;
 
 private:
   MnaSystem system_;
   SweepAssembler assembler_;
+  std::shared_ptr<const SweepSolver::Context> context_;
 };
 
 }  // namespace ftdiag::mna

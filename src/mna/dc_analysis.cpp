@@ -12,7 +12,9 @@ std::vector<double> DcAnalysis::solve() const {
   linalg::CooMatrix<double> matrix(n, n);
   std::vector<double> rhs(n, 0.0);
   system_.assemble_dc(matrix, rhs);
-  if (n <= 150) {
+  // Same dense/sparse auto-selection boundary as the AC path — one shared
+  // constant instead of a drifting hardcoded copy.
+  if (n <= SweepAssembler::kDenseLimit) {
     return linalg::LuFactorization<double>(matrix.to_dense()).solve(rhs);
   }
   return linalg::SparseLu<double>(matrix).solve(rhs);

@@ -1,0 +1,97 @@
+#include "mna/sweep_solver.hpp"
+
+#include "linalg/complex_utils.hpp"
+#include "util/error.hpp"
+
+namespace ftdiag::mna {
+
+std::shared_ptr<const SweepSolver::Context> SweepSolver::analyze(
+    const SweepAssembler& assembler, SolverBackend backend,
+    double reference_hz) {
+  auto ctx = std::make_shared<Context>();
+  const std::size_t n = assembler.size();
+  ctx->sparse = backend == SolverBackend::kSparse ||
+                (backend == SolverBackend::kAuto &&
+                 n > SweepAssembler::kDenseLimit);
+  if (ctx->sparse) {
+    linalg::CooMatrix<Complex> coo(n, n);
+    assembler.assemble(linalg::s_of_hz(reference_hz), coo);
+    try {
+      ctx->prototype = linalg::SparseFactorization<Complex>(coo);
+    } catch (const NumericError&) {
+      // Singular (or empty) at the reference point: leave the prototype
+      // unanalyzed and let every lane analyze per frequency instead.
+    }
+  } else if (n > SweepAssembler::kDenseLimit) {
+    // Forced dense past the assembler's premerge limit: merge G here, in
+    // stamp order, exactly as prepare_sweep() does below the limit.
+    ctx->g_dense = linalg::Matrix<Complex>(n, n);
+    for (const auto& e : assembler.static_entries()) {
+      ctx->g_dense(e.row, e.col) += e.value;
+    }
+  }
+  return ctx;
+}
+
+SweepSolver::SweepSolver(const SweepAssembler& assembler,
+                         std::shared_ptr<const Context> context)
+    : assembler_(&assembler), context_(std::move(context)) {
+  FTDIAG_ASSERT(context_ != nullptr, "sweep solver needs an analyzed context");
+  if (context_->sparse) {
+    coo_ = linalg::CooMatrix<Complex>(assembler.size(), assembler.size());
+    reused_ = context_->prototype;  // shares the immutable symbolic phase
+  }
+}
+
+void SweepSolver::factor(Complex s) {
+  if (!context_->sparse) {
+    if (size() <= SweepAssembler::kDenseLimit) {
+      assembler_->assemble(s, a_);
+    } else {
+      a_ = context_->g_dense;
+      for (const auto& e : assembler_->reactive_entries()) {
+        a_(e.row, e.col) += s * e.coefficient;
+      }
+    }
+    lu_.factor_in_place(a_);
+    return;
+  }
+  assembler_->assemble(s, coo_);
+  use_fresh_ = false;
+  if (reused_.analyzed()) {
+    try {
+      reused_.refactor(coo_);
+      return;
+    } catch (const NumericError&) {
+      // Frozen pivot order is numerically unusable here — analyze fresh
+      // for this point only.  The shared context stays untouched, so the
+      // fallback never leaks into other frequencies or lanes.
+    }
+  }
+  fresh_ = linalg::SparseFactorization<Complex>(coo_);
+  use_fresh_ = true;
+}
+
+void SweepSolver::solve_into(std::span<const Complex> b,
+                             std::span<Complex> x) const {
+  if (!context_->sparse) {
+    lu_.solve_into(b, x);
+  } else if (use_fresh_) {
+    fresh_.solve_into(b, x);
+  } else {
+    reused_.solve_into(b, x);
+  }
+}
+
+void SweepSolver::solve_into(const linalg::Matrix<Complex>& b,
+                             linalg::Matrix<Complex>& x) const {
+  if (!context_->sparse) {
+    lu_.solve_into(b, x);
+  } else if (use_fresh_) {
+    fresh_.solve_into(b, x);
+  } else {
+    reused_.solve_into(b, x);
+  }
+}
+
+}  // namespace ftdiag::mna

@@ -1,0 +1,107 @@
+/// \file sweep_solver.hpp
+/// \brief Backend-neutral per-frequency factor/solve seam for AC sweeps.
+///
+/// Every sweep consumer used to hand-roll the dense-vs-sparse decision and
+/// its workspaces; worse, only the dense backend could reuse factorization
+/// work across a sweep, so sparse-sized circuits fell off the fast path
+/// entirely.  `SweepSolver` hides the backend behind one contract:
+///
+///   - `analyze()` builds an immutable per-circuit Context ONCE: it picks
+///     the backend (by unknown count, or forced) and runs the expensive
+///     value-independent preparation — the sparse symbolic analysis at a
+///     fixed canonical reference point, or the dense premerge of G when
+///     the backend is forced dense past the assembler's premerge limit.
+///   - each sweep lane owns one `SweepSolver` (cheap: sparse clones share
+///     the symbolic phase) and calls `factor(s)` + `solve_into()` per
+///     frequency with zero steady-state allocations on both backends.
+///
+/// Determinism: the Context depends only on the circuit (and the fixed
+/// reference point), never on which frequencies were solved first or how
+/// many threads are sweeping — so dictionaries built through this seam are
+/// bit-identical for any thread count.  When the frozen pivot order breaks
+/// down numerically at some point, that lane falls back to a fresh local
+/// analysis *for that point only*; the shared Context is never mutated.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "linalg/sparse_factorization.hpp"
+#include "mna/system.hpp"
+
+namespace ftdiag::mna {
+
+/// Which factorization backend a sweep runs on.
+enum class SolverBackend {
+  kAuto,    ///< dense up to SweepAssembler::kDenseLimit, sparse beyond
+  kDense,   ///< dense LU regardless of size (benchmark baseline)
+  kSparse,  ///< pattern-reusing sparse LU regardless of size
+};
+
+class SweepSolver {
+public:
+  /// Immutable per-circuit preparation shared by all lanes of a sweep.
+  struct Context {
+    bool sparse = false;
+    /// Sparse backend: factorization analyzed at the canonical reference
+    /// point, cloned per lane.  May be unanalyzed when the reference-point
+    /// analysis failed (e.g. singular there); lanes then run a fresh
+    /// analysis per frequency instead of reusing a pattern.
+    linalg::SparseFactorization<Complex> prototype;
+    /// Forced-dense backend past the assembler's premerge limit: G merged
+    /// densely here (the assembler only premerges up to kDenseLimit).
+    linalg::Matrix<Complex> g_dense;
+  };
+
+  /// The fixed Laplace reference point (in Hz) of the symbolic analysis.
+  /// Any positive frequency sees the full G + s*C sparsity union (real
+  /// static and imaginary reactive parts cannot cancel), so the analyzed
+  /// pattern covers every sweep point; the value only influences the
+  /// frozen pivot magnitudes.
+  static constexpr double kReferenceHz = 1e3;
+
+  /// One-time per-circuit preparation.  Never throws on numeric trouble —
+  /// a failed sparse reference analysis degrades to per-point analysis.
+  [[nodiscard]] static std::shared_ptr<const Context> analyze(
+      const SweepAssembler& assembler, SolverBackend backend,
+      double reference_hz = kReferenceHz);
+
+  /// A per-lane solver over \p assembler with shared \p context.  The
+  /// assembler must outlive the solver; the context is retained.
+  SweepSolver(const SweepAssembler& assembler,
+              std::shared_ptr<const Context> context);
+
+  /// Assemble and factor A(s); zero allocations in steady state on both
+  /// backends.  \throws NumericError if A(s) is singular.
+  void factor(Complex s);
+
+  /// Solve A x = b with the current factorization (allocation-free).
+  void solve_into(std::span<const Complex> b, std::span<Complex> x) const;
+
+  /// Blocked multi-RHS solve A X = B; \p x is reshaped to b's shape.
+  void solve_into(const linalg::Matrix<Complex>& b,
+                  linalg::Matrix<Complex>& x) const;
+
+  [[nodiscard]] bool sparse() const { return context_->sparse; }
+  [[nodiscard]] std::size_t size() const { return assembler_->size(); }
+
+private:
+  const SweepAssembler* assembler_;
+  std::shared_ptr<const Context> context_;
+
+  // Dense backend state.
+  linalg::Matrix<Complex> a_;
+  linalg::LuFactorization<Complex> lu_;
+
+  // Sparse backend state.  `reused_` clones the context prototype and is
+  // refilled per frequency; `fresh_` holds a point-local full analysis
+  // when the frozen pivot order is numerically unusable at that point.
+  linalg::CooMatrix<Complex> coo_{0, 0};
+  linalg::SparseFactorization<Complex> reused_;
+  linalg::SparseFactorization<Complex> fresh_;
+  bool use_fresh_ = false;
+};
+
+}  // namespace ftdiag::mna

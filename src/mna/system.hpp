@@ -57,18 +57,6 @@ public:
     return c_entries_.size();
   }
 
-  /// Dense combine \p a = G + s*C.  \p a is reshaped on first use and its
-  /// buffer reused afterwards (zero allocations in steady state).  Only
-  /// valid when size() <= kDenseLimit.
-  void assemble(Complex s, linalg::Matrix<Complex>& a) const;
-
-  /// Sparse combine into a caller-owned COO accumulator (cleared first,
-  /// capacity retained).  \p coo must be size() x size().
-  void assemble(Complex s, linalg::CooMatrix<Complex>& coo) const;
-
-private:
-  friend class MnaSystem;
-
   /// One s-proportional stamp entry: A(row, col) += s * coefficient.  The
   /// coefficient is real for every supported element (C and L values), so
   /// the scatter is one complex-times-double multiply-add per entry.
@@ -84,6 +72,27 @@ private:
     std::size_t col = 0;
     Complex value;
   };
+
+  /// The raw stamp-order entry lists, for backends that need their own
+  /// merge (e.g. a forced-dense solver past kDenseLimit).
+  [[nodiscard]] const std::vector<StaticEntry>& static_entries() const {
+    return g_entries_;
+  }
+  [[nodiscard]] const std::vector<ReactiveEntry>& reactive_entries() const {
+    return c_entries_;
+  }
+
+  /// Dense combine \p a = G + s*C.  \p a is reshaped on first use and its
+  /// buffer reused afterwards (zero allocations in steady state).  Only
+  /// valid when size() <= kDenseLimit.
+  void assemble(Complex s, linalg::Matrix<Complex>& a) const;
+
+  /// Sparse combine into a caller-owned COO accumulator (cleared first,
+  /// capacity retained).  \p coo must be size() x size().
+  void assemble(Complex s, linalg::CooMatrix<Complex>& coo) const;
+
+private:
+  friend class MnaSystem;
 
   std::size_t n_ = 0;
   linalg::Matrix<Complex> g_dense_;  ///< premerged G; empty when n_ > kDenseLimit

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "circuits/ladders.hpp"
+#include "circuits/registry.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
 #include "netlist/circuit.hpp"
 #include "util/error.hpp"
 
@@ -84,6 +90,58 @@ TEST(DcAnalysis, AcOnlySourceGivesZeroDc) {
   c.add_resistor("R2", "out", "0", 1e3);
   DcAnalysis dc(c);
   EXPECT_NEAR(dc.node_voltage("out"), 0.0, 1e-15);
+}
+
+// Solve the same assembled DC system with both backends and require
+// agreement to 1e-9 relative, regardless of which one DcAnalysis picked.
+void expect_dense_matches_sparse(const netlist::Circuit& circuit,
+                                 const std::string& context) {
+  const DcAnalysis dc(circuit);
+  const std::size_t n = dc.system().unknown_count();
+  linalg::CooMatrix<double> matrix(n, n);
+  std::vector<double> rhs(n, 0.0);
+  dc.system().assemble_dc(matrix, rhs);
+  std::vector<double> dense;
+  try {
+    dense = linalg::LuFactorization<double>(matrix.to_dense()).solve(rhs);
+  } catch (const NumericError&) {
+    // DC-singular circuit: both backends must agree on that, too.
+    EXPECT_THROW((void)linalg::SparseLu<double>(matrix), NumericError)
+        << context;
+    return;
+  }
+  const auto sparse = linalg::SparseLu<double>(matrix).solve(rhs);
+  const auto via_analysis = dc.solve();
+  double scale = 0.0;
+  for (const double v : dense) scale = std::max(scale, std::fabs(v));
+  if (scale == 0.0) scale = 1.0;
+  ASSERT_EQ(dense.size(), sparse.size()) << context;
+  ASSERT_EQ(dense.size(), via_analysis.size()) << context;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_NEAR(dense[i], sparse[i], 1e-9 * scale)
+        << context << " unknown " << i;
+    EXPECT_NEAR(dense[i], via_analysis[i], 1e-9 * scale)
+        << context << " unknown " << i;
+  }
+}
+
+TEST(DcAnalysis, DenseAndSparseBackendsAgreeOnRegistry) {
+  for (const auto& name : circuits::registry_names()) {
+    const auto cut = circuits::make_by_name(name);
+    expect_dense_matches_sparse(cut.circuit, name);
+  }
+}
+
+TEST(DcAnalysis, DenseAndSparseBackendsAgreeBeyondDenseLimit) {
+  // 400 sections -> well past SweepAssembler::kDenseLimit, so
+  // DcAnalysis::solve() itself takes the sparse branch here.
+  circuits::RcLadderDesign design;
+  design.sections = 400;
+  design.testable_stride = 100;
+  const auto cut = circuits::make_rc_ladder(design);
+  ASSERT_GT(DcAnalysis(cut.circuit).system().unknown_count(),
+            SweepAssembler::kDenseLimit);
+  expect_dense_matches_sparse(cut.circuit, "rc_ladder_400");
 }
 
 TEST(DcAnalysis, FloatingNodeThroughCapacitorIsSingular) {

@@ -5,8 +5,12 @@
 
 #include <cmath>
 
+#include "circuits/ladders.hpp"
+#include "faults/fault_universe.hpp"
+#include "faults/simulation_engine.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/sparse.hpp"
+#include "linalg/sparse_factorization.hpp"
 #include "mna/ac_analysis.hpp"
 #include "mna/dc_analysis.hpp"
 #include "netlist/circuit.hpp"
@@ -136,8 +140,143 @@ TEST_P(RandomRcNetworkTest, MagnitudeIsContinuousInFrequency) {
   }
 }
 
+TEST_P(RandomRcNetworkTest, SparseFactorizationRefactorsAcrossFrequencies) {
+  // Analyze the MNA pattern once at one frequency, refactor at others and
+  // match the dense solution at each — the symbolic/numeric contract on a
+  // random complex system.
+  Rng rng(GetParam() + 4000);
+  const auto circuit = random_rc_network(rng, 12, 15);
+  if (!circuit.validate().empty()) GTEST_SKIP() << "degenerate draw";
+  const mna::MnaSystem system(circuit);
+  const std::size_t n = system.unknown_count();
+
+  auto assemble = [&](double f) {
+    linalg::CooMatrix<mna::Complex> coo(n, n);
+    std::vector<mna::Complex> rhs(n, mna::Complex{});
+    system.assemble_ac(linalg::s_of_hz(f), coo, rhs);
+    return std::make_pair(std::move(coo), std::move(rhs));
+  };
+
+  auto [first, rhs] = assemble(1e3);
+  (void)rhs;
+  linalg::SparseFactorization<mna::Complex> f(first);
+  for (double hz : {1.0, 250.0, 1e3, 47e3, 1e6}) {
+    const auto [coo, rhs_f] = assemble(hz);
+    f.refactor(coo);
+    const auto xs = f.solve(rhs_f);
+    const auto xd =
+        linalg::LuFactorization<mna::Complex>(coo.to_dense()).solve(rhs_f);
+    double scale = 0.0;
+    for (const auto& v : xd) scale = std::max(scale, std::abs(v));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(std::abs(xs[i] - xd[i]), 1e-9 * (std::abs(xd[i]) + scale))
+          << "unknown " << i << " at " << hz << " Hz";
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomRcNetworkTest,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+/// Ladder differential at scale: sparse pattern-reuse path vs the dense
+/// reference on a 1000-section RC ladder (1002 unknowns), rel tol 1e-9.
+TEST(LargeLadder, SparseFactorizationMatchesDenseAt1000Nodes) {
+  circuits::RcLadderDesign design;
+  design.sections = 1000;
+  design.testable_stride = 250;
+  const auto cut = circuits::make_rc_ladder(design);
+  const mna::MnaSystem system(cut.circuit);
+  const auto assembler = system.prepare_sweep();
+  const std::size_t n = assembler.size();
+  ASSERT_GT(n, mna::SweepAssembler::kDenseLimit);
+
+  linalg::CooMatrix<mna::Complex> coo(n, n);
+  assembler.assemble(linalg::s_of_hz(mna::SweepSolver::kReferenceHz), coo);
+  linalg::SparseFactorization<mna::Complex> f(coo);
+
+  const double f_section = std::sqrt(cut.band_low_hz * cut.band_high_hz);
+  assembler.assemble(linalg::s_of_hz(f_section), coo);
+  f.refactor(coo);
+  const auto xs = f.solve(assembler.rhs());
+  const auto xd = linalg::LuFactorization<mna::Complex>(coo.to_dense())
+                      .solve(assembler.rhs());
+  double scale = 0.0;
+  for (const auto& v : xd) scale = std::max(scale, std::abs(v));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(std::abs(xs[i] - xd[i]), 1e-9 * (std::abs(xd[i]) + scale))
+        << "unknown " << i;
+  }
+}
+
+/// Medium random network through the full AC path: the auto-selected
+/// sparse sweep must match a forced-dense sweep point for point.
+TEST(LargeLadder, RandomNetworkAutoSparseMatchesForcedDense) {
+  circuits::RandomNetworkDesign design;
+  design.nodes = 300;  // past kDenseLimit -> auto picks sparse
+  design.chords = 450;
+  design.testable_stride = 100;
+  const auto cut = circuits::make_random_network(design);
+  mna::AcAnalysis analysis(cut.circuit);
+  ASSERT_GT(analysis.system().unknown_count(), mna::AcAnalysis::kDenseLimit);
+  ASSERT_TRUE(analysis.solver_context()->sparse);
+
+  const auto dense_context = mna::SweepSolver::analyze(
+      analysis.sweep_assembler(), mna::SolverBackend::kDense);
+  mna::SweepSolver dense(analysis.sweep_assembler(), dense_context);
+  const std::size_t n = analysis.system().unknown_count();
+  std::vector<mna::Complex> xd(n);
+  for (double hz : {10.0, 1e3, 1e5}) {
+    const auto xs = analysis.solve(hz);
+    dense.factor(linalg::s_of_hz(hz));
+    dense.solve_into(analysis.sweep_assembler().rhs(), xd);
+    double scale = 0.0;
+    for (const auto& v : xd) scale = std::max(scale, std::abs(v));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(std::abs(xs[i] - xd[i]), 1e-9 * (std::abs(xd[i]) + scale))
+          << "unknown " << i << " at " << hz << " Hz";
+    }
+  }
+}
+
+/// Sparse-built dictionaries must stay bit-identical across thread counts
+/// — slot-ordered writes plus a call-history-independent symbolic phase.
+TEST(LargeLadder, SparseEngineBatchIsBitStableAcrossThreadCounts) {
+  circuits::RcLadderDesign design;
+  design.sections = 400;  // 402 unknowns -> sparse reuse path
+  design.testable_stride = 100;
+  const auto cut = circuits::make_rc_ladder(design);
+  const auto freqs =
+      mna::FrequencyGrid::log_sweep(cut.band_low_hz, cut.band_high_hz, 16)
+          .frequencies();
+  const auto faults = faults::FaultUniverse::over_testable(cut).enumerate();
+
+  faults::SimOptions one;
+  one.threads = 1;
+  const faults::BatchResult single =
+      faults::SimulationEngine(cut, one).simulate_all(faults, freqs);
+  EXPECT_GT(single.stats.rank1_solves, 0u);
+  EXPECT_EQ(single.stats.fallback_faults, 0u);
+
+  for (std::size_t threads : {2u, 8u}) {
+    faults::SimOptions options;
+    options.threads = threads;
+    const faults::BatchResult batch =
+        faults::SimulationEngine(cut, options).simulate_all(faults, freqs);
+    ASSERT_EQ(batch.responses.size(), single.responses.size());
+    for (std::size_t i = 0; i < single.responses.size(); ++i) {
+      for (std::size_t k = 0; k < single.responses[i].size(); ++k) {
+        EXPECT_EQ(batch.responses[i].value(k).real(),
+                  single.responses[i].value(k).real())
+            << "fault " << i << " point " << k << " threads " << threads;
+        EXPECT_EQ(batch.responses[i].value(k).imag(),
+                  single.responses[i].value(k).imag())
+            << "fault " << i << " point " << k << " threads " << threads;
+      }
+    }
+    EXPECT_EQ(batch.stats.rank1_solves, single.stats.rank1_solves);
+    EXPECT_EQ(batch.stats.full_solves, single.stats.full_solves);
+  }
+}
 
 }  // namespace
 }  // namespace ftdiag

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <vector>
 
+#include "circuits/ladders.hpp"
 #include "circuits/nf_biquad.hpp"
 #include "circuits/registry.hpp"
 #include "faults/dictionary.hpp"
@@ -249,6 +250,39 @@ TEST(SimulationEngine, SimulateBatchMatchesSingleFaultSimulation) {
   for (std::size_t i = 0; i < faults.size(); ++i) {
     expect_close(batch.responses[i], simulator.simulate(faults[i], freqs),
                  scale, faults[i].label());
+  }
+}
+
+TEST(SimulationEngine, LargeLadderBuildsThroughSparseReusePath) {
+  // The acceptance workload: a 1000-section RC ladder (1002 unknowns) must
+  // take the Sherman–Morrison reuse path on the sparse backend — no size
+  // gate, no fallback — and agree with a forced-dense build to 1e-9.
+  circuits::RcLadderDesign design;
+  design.sections = 1000;
+  design.testable_stride = 250;  // bounded fault universe: 8 sites
+  const auto cut = circuits::make_rc_ladder(design);
+  const auto freqs =
+      mna::FrequencyGrid::log_sweep(cut.band_low_hz, cut.band_high_hz, 16)
+          .frequencies();
+  const auto faults = FaultUniverse::over_testable(cut).enumerate();
+
+  const BatchResult sparse =
+      SimulationEngine(cut, SimOptions{}).simulate_all(faults, freqs);
+  EXPECT_GT(sparse.stats.rank1_solves, 0u);
+  EXPECT_EQ(sparse.stats.fallback_faults, 0u);
+
+  SimOptions dense_options;
+  dense_options.backend = mna::SolverBackend::kDense;
+  const BatchResult dense =
+      SimulationEngine(cut, dense_options).simulate_all(faults, freqs);
+  EXPECT_GT(dense.stats.rank1_solves, 0u);
+
+  const double scale = response_scale(dense.golden);
+  expect_close(sparse.golden, dense.golden, scale, "large-ladder golden");
+  ASSERT_EQ(sparse.responses.size(), faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    expect_close(sparse.responses[i], dense.responses[i], scale,
+                 "large-ladder " + faults[i].label());
   }
 }
 

@@ -5,6 +5,7 @@
 #include <complex>
 
 #include "linalg/lu.hpp"
+#include "linalg/sparse_factorization.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -174,6 +175,287 @@ TEST(SparseLu, InvalidPivotThresholdRejected) {
   CooMatrix<double> coo(1, 1);
   coo.add(0, 0, 1.0);
   EXPECT_DEATH(SparseLu<double>(coo, 0.0), "pivot threshold");
+}
+
+/// Regression: elimination used to drop entries that cancelled to exactly
+/// 0.0, so two matrices with the SAME sparsity pattern produced factors
+/// with DIFFERENT structure — fatal for any pattern-reuse scheme.  In the
+/// first matrix the (1,1) entry cancels exactly during step 0
+/// (2 - 2*1 = 0); the second has the same pattern without cancellation.
+TEST(SparseLu, ExactCancellationKeepsFactorStructure) {
+  auto build = [](double a11) {
+    CooMatrix<double> coo(3, 3);
+    coo.add(0, 0, 2.0);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 4.0);
+    coo.add(1, 1, a11);
+    coo.add(1, 2, 1.0);
+    coo.add(2, 1, 1.0);
+    coo.add(2, 2, 1.0);
+    return coo;
+  };
+  const CooMatrix<double> cancelling = build(2.0);   // det = -2, nonsingular
+  const CooMatrix<double> plain = build(5.0);        // det = 4
+
+  const SparseLu<double> lu_cancel(cancelling);
+  const SparseLu<double> lu_plain(plain);
+  EXPECT_EQ(lu_cancel.factor_nnz(), lu_plain.factor_nnz())
+      << "factor structure depended on values, not just the pattern";
+
+  // Both still solve correctly against the dense reference.
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  auto check = [&](const CooMatrix<double>& coo, const SparseLu<double>& lu) {
+    const auto xs = lu.solve(b);
+    const auto xd = solve_dense(coo.to_dense(), b);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-12);
+  };
+  check(cancelling, lu_cancel);
+  check(plain, lu_plain);
+}
+
+/// Entries of the INPUT that sum to exactly zero are structural too: the
+/// row build must keep them for the same reason the elimination does.
+TEST(SparseLu, InputEntriesCancellingToZeroStayStructural) {
+  auto build = [](double extra) {
+    CooMatrix<double> coo(2, 2);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 1, 1.0);
+    coo.add(0, 1, extra);  // duplicate stamp; -1 cancels the entry exactly
+    coo.add(1, 0, 1.0);
+    coo.add(1, 1, 3.0);
+    return coo;
+  };
+  const SparseLu<double> cancelled(build(-1.0));
+  const SparseLu<double> kept(build(1.0));
+  EXPECT_EQ(cancelled.factor_nnz(), kept.factor_nnz());
+  const auto x = cancelled.solve({2.0, 5.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);  // [[1,0],[1,3]] x = [2,5]
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+// ---------------------------------------------------- SparseFactorization
+
+TEST(SparseFactorization, SolvesAndReportsShape) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 2.0);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(1, 1, 3.0);
+  const SparseFactorization<double> f(coo);
+  EXPECT_TRUE(f.analyzed());
+  EXPECT_EQ(f.size(), 2u);
+  const auto x = f.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SparseFactorization, RequiresSquareAndNonZero) {
+  CooMatrix<double> rect(2, 3);
+  rect.add(0, 0, 1.0);
+  EXPECT_THROW((void)SparseFactorization<double>(rect), NumericError);
+  CooMatrix<double> zero(3, 3);
+  EXPECT_THROW((void)SparseFactorization<double>(zero), NumericError);
+}
+
+/// The core contract: analyze once, refill with OTHER same-pattern values,
+/// and match the dense solution of the new values — including a matrix
+/// that produces exact cancellation during elimination.
+TEST(SparseFactorization, RefactorMatchesDenseForNewValues) {
+  auto build = [](double a11) {
+    CooMatrix<double> coo(3, 3);
+    coo.add(0, 0, 2.0);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 4.0);
+    coo.add(1, 1, a11);
+    coo.add(1, 2, 1.0);
+    coo.add(2, 1, 1.0);
+    coo.add(2, 2, 1.0);
+    return coo;
+  };
+  SparseFactorization<double> f(build(5.0));
+  const std::size_t nnz = f.factor_nnz();
+  const std::vector<double> b{1.0, -2.0, 3.0};
+  for (double a11 : {7.0, 2.0 /* exact cancellation */, -3.0}) {
+    const auto coo = build(a11);
+    f.refactor(coo);
+    EXPECT_EQ(f.factor_nnz(), nnz) << "pattern must never change";
+    const auto xs = f.solve(b);
+    const auto xd = solve_dense(coo.to_dense(), b);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(xs[i], xd[i], 1e-12) << "a11=" << a11;
+    }
+  }
+}
+
+/// A structural SUBSET is a legal refactor input (the reactive part of
+/// G + s*C vanishing at some frequency); a superset is not.
+TEST(SparseFactorization, SubsetPatternRefactorsSupersetThrows) {
+  CooMatrix<double> full(2, 2);
+  full.add(0, 0, 2.0);
+  full.add(0, 1, 1.0);
+  full.add(1, 0, 1.0);
+  full.add(1, 1, 3.0);
+  SparseFactorization<double> f(full);
+
+  CooMatrix<double> subset(2, 2);  // off-diagonals absent
+  subset.add(0, 0, 4.0);
+  subset.add(1, 1, 2.0);
+  f.refactor(subset);
+  const auto x = f.solve({8.0, 6.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+
+  CooMatrix<double> superset(2, 2);
+  superset.add(0, 0, 2.0);
+  superset.add(1, 1, 3.0);
+  superset.add(1, 0, 1.0);
+  superset.add(0, 1, 1.0);
+  f.refactor(superset);  // same pattern: fine
+  CooMatrix<double> outside(2, 2);
+  outside.add(0, 0, 2.0);
+  outside.add(1, 1, 3.0);
+  EXPECT_NO_THROW(f.refactor(outside));
+  SparseFactorization<double> diag_only(outside);
+  CooMatrix<double> off(2, 2);
+  off.add(0, 0, 2.0);
+  off.add(0, 1, 1.0);  // outside the diagonal-only pattern
+  off.add(1, 1, 3.0);
+  EXPECT_THROW(diag_only.refactor(off), NumericError);
+}
+
+/// When the frozen pivot order is numerically unusable for the new values
+/// the refactor must refuse instead of producing garbage.
+TEST(SparseFactorization, PivotBreakdownThrows) {
+  CooMatrix<double> good(2, 2);
+  good.add(0, 0, 1.0);
+  good.add(0, 1, 1.0);
+  good.add(1, 0, 1.0);
+  good.add(1, 1, 2.0);
+  SparseFactorization<double> f(good);
+  CooMatrix<double> bad(2, 2);
+  bad.add(0, 0, 1e-30);  // frozen pivot collapses
+  bad.add(0, 1, 1.0);
+  bad.add(1, 0, 1.0);
+  bad.add(1, 1, 2.0);
+  EXPECT_THROW(f.refactor(bad), NumericError);
+}
+
+/// Structural zero diagonals (voltage-source/branch rows in MNA) force row
+/// exchanges; the frozen permutation must survive a refactor.
+TEST(SparseFactorization, PivotingStressPermutedSystem) {
+  auto build = [](double scale) {
+    CooMatrix<double> coo(4, 4);
+    // Rows 0/1 have zero diagonals, saddle-point style.
+    coo.add(0, 2, 1.0 * scale);
+    coo.add(0, 3, 2.0);
+    coo.add(1, 2, 3.0);
+    coo.add(1, 3, -1.0 * scale);
+    coo.add(2, 0, 1.0);
+    coo.add(2, 2, 0.5 * scale);
+    coo.add(3, 1, 2.0 * scale);
+    coo.add(3, 3, 0.25);
+    return coo;
+  };
+  SparseFactorization<double> f(build(1.0));
+  const std::vector<double> b{1.0, 2.0, 3.0, 4.0};
+  for (double scale : {1.0, 5.0, -2.0}) {
+    const auto coo = build(scale);
+    f.refactor(coo);
+    const auto xs = f.solve(b);
+    const auto xd = solve_dense(coo.to_dense(), b);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR(xs[i], xd[i], 1e-10) << "scale=" << scale;
+    }
+  }
+}
+
+/// Randomized differential sweep: analyze at one draw of values, refactor
+/// at another, always matching dense; copies share the symbolic phase but
+/// never numeric state.
+class SparseFactorizationAgreementTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SparseFactorizationAgreementTest, RefactorMatchesDenseSolver) {
+  const std::size_t n = GetParam();
+  Rng rng(900 + n);
+  // One fixed pattern, two value draws over it.
+  std::vector<std::pair<std::size_t, std::size_t>> pattern;
+  for (std::size_t i = 0; i < n; ++i) {
+    pattern.emplace_back(i, i);
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (j != i) pattern.emplace_back(i, j);
+    }
+  }
+  auto draw = [&]() {
+    CooMatrix<double> coo(n, n);
+    for (const auto& [i, j] : pattern) {
+      coo.add(i, j, i == j ? 4.0 + rng.uniform() : rng.uniform(-1.0, 1.0));
+    }
+    return coo;
+  };
+  const auto first = draw();
+  const auto second = draw();
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  SparseFactorization<double> f(first);
+  {
+    const auto xs = f.solve(b);
+    const auto xd = solve_dense(first.to_dense(), b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+  }
+  SparseFactorization<double> clone = f;  // shares the symbolic phase
+  clone.refactor(second);
+  {
+    const auto xs = clone.solve(b);
+    const auto xd = solve_dense(second.to_dense(), b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+  }
+  // The original is untouched by the clone's refactor.
+  const auto xs = f.solve(b);
+  const auto xd = solve_dense(first.to_dense(), b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseFactorizationAgreementTest,
+                         ::testing::Values(2, 5, 10, 25, 50, 100, 200));
+
+TEST(SparseFactorization, ComplexBlockedMultiRhsMatchesSingleSolves) {
+  Rng rng(77);
+  const std::size_t n = 60;
+  CooMatrix<C> coo(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.add(i, i, C(3.0 + rng.uniform(), rng.uniform()));
+    for (int k = 0; k < 2; ++k) {
+      const std::size_t j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (j != i) {
+        coo.add(i, j, C(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)));
+      }
+    }
+  }
+  const SparseFactorization<C> f(coo);
+  const std::size_t m = 7;
+  Matrix<C> b(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      b(i, j) = C(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    }
+  }
+  Matrix<C> x;
+  f.solve_into(b, x);
+  ASSERT_EQ(x.rows(), n);
+  ASSERT_EQ(x.cols(), m);
+  std::vector<C> col(n), xc(n);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+    f.solve_into(col, xc);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(x(i, j) - xc[i]), 0.0, 1e-11);
+    }
+  }
 }
 
 }  // namespace

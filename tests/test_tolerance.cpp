@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "circuits/ladders.hpp"
 #include "circuits/nf_biquad.hpp"
 
 namespace ftdiag::faults {
@@ -75,6 +76,71 @@ TEST(Tolerance, DeterministicPerSeed) {
   const auto b = perturb_within_tolerance(cut.circuit, {}, rng_b);
   for (const auto& name : cut.circuit.passive_names()) {
     EXPECT_DOUBLE_EQ(a.value_of(name), b.value_of(name));
+  }
+}
+
+TEST(Tolerance, InductorToleranceFollowsResistorsByDefault) {
+  // Historical behaviour, now explicit: with inductor_tolerance unset,
+  // inductors are bounded by the resistor tolerance.
+  const auto cut = circuits::make_lc_ladder();
+  ToleranceSpec spec;
+  spec.resistor_tolerance = 0.02;
+  spec.capacitor_tolerance = 0.10;
+  EXPECT_DOUBLE_EQ(spec.effective_inductor_tolerance(), 0.02);
+  Rng rng(11);
+  const auto perturbed = perturb_within_tolerance(cut.circuit, spec, rng);
+  for (const auto& name : cut.circuit.passive_names()) {
+    if (cut.circuit.component(name).kind !=
+        netlist::ComponentKind::kInductor) {
+      continue;
+    }
+    const double ratio =
+        perturbed.value_of(name) / cut.circuit.value_of(name) - 1.0;
+    EXPECT_LE(std::fabs(ratio), 0.02 + 1e-12) << name;
+    EXPECT_NE(ratio, 0.0) << name << " was not perturbed";
+  }
+}
+
+TEST(Tolerance, ExplicitInductorToleranceIsIndependent) {
+  const auto cut = circuits::make_lc_ladder();
+  ToleranceSpec spec;
+  spec.resistor_tolerance = 0.01;
+  spec.capacitor_tolerance = 0.05;
+  spec.inductor_tolerance = 0.20;
+  EXPECT_DOUBLE_EQ(spec.effective_inductor_tolerance(), 0.20);
+  // With 40 draws, at least one inductor must land beyond the resistor
+  // bound — proving it is not silently clamped to resistor_tolerance.
+  bool beyond_resistor_bound = false;
+  for (std::uint64_t seed = 0; seed < 40 && !beyond_resistor_bound; ++seed) {
+    Rng rng(seed);
+    const auto perturbed = perturb_within_tolerance(cut.circuit, spec, rng);
+    for (const auto& name : cut.circuit.passive_names()) {
+      const auto& comp = cut.circuit.component(name);
+      const double ratio =
+          perturbed.value_of(name) / cut.circuit.value_of(name) - 1.0;
+      if (comp.kind == netlist::ComponentKind::kInductor) {
+        EXPECT_LE(std::fabs(ratio), 0.20 + 1e-12) << name;
+        if (std::fabs(ratio) > 0.01) beyond_resistor_bound = true;
+      } else if (comp.kind == netlist::ComponentKind::kResistor) {
+        EXPECT_LE(std::fabs(ratio), 0.01 + 1e-12) << name;
+      }
+    }
+  }
+  EXPECT_TRUE(beyond_resistor_bound);
+}
+
+TEST(Tolerance, ZeroInductorToleranceDisablesPerturbation) {
+  const auto cut = circuits::make_lc_ladder();
+  ToleranceSpec spec;
+  spec.inductor_tolerance = 0.0;
+  Rng rng(13);
+  const auto perturbed = perturb_within_tolerance(cut.circuit, spec, rng);
+  for (const auto& name : cut.circuit.passive_names()) {
+    if (cut.circuit.component(name).kind ==
+        netlist::ComponentKind::kInductor) {
+      EXPECT_DOUBLE_EQ(perturbed.value_of(name), cut.circuit.value_of(name))
+          << name;
+    }
   }
 }
 

@@ -31,6 +31,8 @@
 #include "io/dictionary_io.hpp"
 #include "io/mapped_file.hpp"
 #include "linalg/lu.hpp"
+#include "linalg/rank1.hpp"
+#include "linalg/simd.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "linalg/sparse.hpp"
@@ -102,6 +104,71 @@ void BM_AcSolveLadder(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AcSolveLadder)->Arg(10)->Arg(50)->Arg(149)->Arg(200)->Arg(400);
+
+/// Synthetic frequency-block inputs for the Sherman–Morrison sweep
+/// kernels: moderate magnitudes so no lane refuses and both variants do
+/// the full arithmetic every iteration.
+struct ShermanInputs {
+  explicit ShermanInputs(std::size_t count)
+      : scale_re(count), scale_im(count), vx0_re(count), vx0_im(count),
+        vw_re(count), vw_im(count), x0_re(count), x0_im(count), w_re(count),
+        w_im(count), out_re(count), out_im(count), refused(count) {
+    Rng rng(3);
+    for (std::size_t i = 0; i < count; ++i) {
+      scale_re[i] = rng.uniform(-2.0, 2.0);
+      scale_im[i] = rng.uniform(-2.0, 2.0);
+      vx0_re[i] = rng.uniform(-1.0, 1.0);
+      vx0_im[i] = rng.uniform(-1.0, 1.0);
+      vw_re[i] = rng.uniform(-0.4, 0.4);
+      vw_im[i] = rng.uniform(-0.4, 0.4);
+      x0_re[i] = rng.uniform(-1.0, 1.0);
+      x0_im[i] = rng.uniform(-1.0, 1.0);
+      w_re[i] = rng.uniform(-1.0, 1.0);
+      w_im[i] = rng.uniform(-1.0, 1.0);
+    }
+  }
+  linalg::simd::AlignedVector scale_re, scale_im, vx0_re, vx0_im, vw_re,
+      vw_im, x0_re, x0_im, w_re, w_im, out_re, out_im;
+  std::vector<unsigned char> refused;
+};
+
+void BM_ShermanSweepScalar(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  ShermanInputs in(count);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::sherman_morrison_sweep(
+        count, in.scale_re.data(), in.scale_im.data(), in.vx0_re.data(),
+        in.vx0_im.data(), in.vw_re.data(), in.vw_im.data(), in.x0_re.data(),
+        in.x0_im.data(), in.w_re.data(), in.w_im.data(),
+        linalg::kRank1MaxGrowth, in.out_re.data(), in.out_im.data(),
+        in.refused.data()));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_ShermanSweepScalar)->Arg(64)->Arg(4096);
+
+void BM_ShermanSweepSimd(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  ShermanInputs in(count);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::sherman_morrison_sweep_simd<>(
+        count, in.scale_re.data(), in.scale_im.data(), in.vx0_re.data(),
+        in.vx0_im.data(), in.vw_re.data(), in.vw_im.data(), in.x0_re.data(),
+        in.x0_im.data(), in.w_re.data(), in.w_im.data(),
+        linalg::kRank1MaxGrowth, in.out_re.data(), in.out_im.data(),
+        in.refused.data()));
+    benchmark::ClobberMemory();
+  }
+  state.counters["width"] =
+      static_cast<double>(linalg::simd::DefaultPack::width);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_ShermanSweepSimd)->Arg(64)->Arg(4096);
 
 void BM_DictionaryBuild(benchmark::State& state) {
   const auto cut = circuits::make_paper_cut();
@@ -541,9 +608,54 @@ std::vector<ScalingPoint> run_scaling_sweep(std::size_t grid_points) {
   return rows;
 }
 
+/// Scalar-vs-SIMD wall time of the Sherman–Morrison sweep kernel on one
+/// synthetic frequency block (best of several reps, many passes per rep
+/// so the measurement is well above timer resolution).  The returned
+/// ratio scalar/simd is ~1 in a forced-scalar build (DefaultPack width 1)
+/// and > 1 whenever the vector kernel pays for itself.
+double sherman_kernel_speedup() {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::size_t kCount = 4096;
+  constexpr int kPasses = 2000;
+  ShermanInputs in(kCount);
+  auto best_of = [&](auto&& kernel) {
+    double best_ms = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto start = Clock::now();
+      for (int pass = 0; pass < kPasses; ++pass) {
+        benchmark::DoNotOptimize(kernel());
+        benchmark::ClobberMemory();
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    return best_ms;
+  };
+  const double scalar_ms = best_of([&] {
+    return linalg::sherman_morrison_sweep(
+        kCount, in.scale_re.data(), in.scale_im.data(), in.vx0_re.data(),
+        in.vx0_im.data(), in.vw_re.data(), in.vw_im.data(), in.x0_re.data(),
+        in.x0_im.data(), in.w_re.data(), in.w_im.data(),
+        linalg::kRank1MaxGrowth, in.out_re.data(), in.out_im.data(),
+        in.refused.data());
+  });
+  const double simd_ms = best_of([&] {
+    return linalg::sherman_morrison_sweep_simd<>(
+        kCount, in.scale_re.data(), in.scale_im.data(), in.vx0_re.data(),
+        in.vx0_im.data(), in.vw_re.data(), in.vw_im.data(), in.x0_re.data(),
+        in.x0_im.data(), in.w_re.data(), in.w_im.data(),
+        linalg::kRank1MaxGrowth, in.out_re.data(), in.out_im.data(),
+        in.refused.data());
+  });
+  return scalar_ms / simd_ms;
+}
+
 /// Serial-vs-engine dictionary build comparison on the largest registry
 /// circuit (by MNA unknown count), plus the dense-vs-sparse n-scaling
-/// sweep, written to BENCH_engine.json.
+/// sweep and the scalar-vs-SIMD kernel ratio, written to
+/// BENCH_engine.json.
 void write_engine_report(const char* path) {
   using Clock = std::chrono::steady_clock;
 
@@ -585,6 +697,8 @@ void write_engine_report(const char* path) {
   const faults::SimOptions engine_options;
   const double engine_ms = best_of(engine_options);  // stats = engine run's
 
+  const double kernel_speedup = sherman_kernel_speedup();
+
   constexpr std::size_t kScalingGridPoints = 8;
   const auto scaling = run_scaling_sweep(kScalingGridPoints);
 
@@ -606,12 +720,15 @@ void write_engine_report(const char* path) {
                "  \"speedup\": %.2f,\n"
                "  \"rank1_solves\": %zu,\n"
                "  \"full_solves\": %zu,\n"
+               "  \"simd_width\": %zu,\n"
+               "  \"simd_kernel_speedup\": %.2f,\n"
                "  \"scaling_grid_points\": %zu,\n"
                "  \"scaling\": [\n",
                largest_name.c_str(), largest_unknowns,
                universe.fault_count(), freqs.size(),
                engine_options.resolved_threads(), serial_ms, engine_ms,
                serial_ms / engine_ms, stats.rank1_solves, stats.full_solves,
+               linalg::simd::DefaultPack::width, kernel_speedup,
                kScalingGridPoints);
   for (std::size_t i = 0; i < scaling.size(); ++i) {
     const auto& row = scaling[i];
@@ -637,9 +754,10 @@ void write_engine_report(const char* path) {
                "}\n");
   std::fclose(out);
   std::printf("engine dictionary build (%s): serial %.3f ms, engine %.3f ms "
-              "(%.2fx) -> %s\n",
+              "(%.2fx); sherman kernel width %zu, simd %.2fx -> %s\n",
               largest_name.c_str(), serial_ms, engine_ms,
-              serial_ms / engine_ms, path);
+              serial_ms / engine_ms, linalg::simd::DefaultPack::width,
+              kernel_speedup, path);
 }
 
 /// Serial-vs-batch GA search comparison on the largest registry circuit

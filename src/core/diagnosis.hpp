@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/trajectory.hpp"
+#include "linalg/simd.hpp"
 
 namespace ftdiag::core {
 
@@ -57,10 +58,34 @@ public:
 
   /// Diagnose an observed signature point.
   /// \throws ConfigError if the point dimension mismatches.
+  ///
+  /// The segment scoring runs on the SoA planes below, several segments
+  /// per SIMD lane (ScalarPack when the FTDIAG_SIMD knob is off).  Both
+  /// widths evaluate exactly the formulas of diagnose_scalar() in the
+  /// same order, with first-minimal-segment tie-breaking preserved.
   [[nodiscard]] Diagnosis diagnose(const Point& observed) const;
+
+  /// The original per-segment scalar loop over project_point() — the
+  /// differential twin of diagnose(), kept public so tests can pin the
+  /// two against each other on any input.
+  [[nodiscard]] Diagnosis diagnose_scalar(const Point& observed) const;
+
+  /// All trajectories' segments flattened into coordinate-major SoA
+  /// planes: coordinate k of segment s (global index) lives at
+  /// [k * total + s] — a at the segment start, d = b - a its direction.
+  /// Trajectory ti owns the contiguous range [first[ti],
+  /// first[ti] + count[ti]).  Built once at construction so diagnose()
+  /// allocates nothing per call.
+  struct SegmentSoa {
+    std::size_t total = 0;  ///< segment count over all trajectories
+    std::size_t dim = 0;
+    std::vector<std::size_t> first, count;  ///< per trajectory
+    linalg::simd::AlignedVector a, d;
+  };
 
 private:
   std::vector<FaultTrajectory> trajectories_;
+  SegmentSoa soa_;
 };
 
 }  // namespace ftdiag::core

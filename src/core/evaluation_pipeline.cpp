@@ -106,17 +106,26 @@ EvaluationPipeline::EvaluationPipeline(const TestVectorEvaluator& evaluator,
     for (const auto& entry : dictionary.entries()) {
       response_values_.push_back(&entry.response.values());
     }
+    // Build the interpolation tables straight off the dictionary's
+    // consolidated SoA planes — one linear pass over two contiguous
+    // arrays instead of a pointer-chase through per-entry vectors.  The
+    // planes hold the same bits as values(), and the mag/log/arg math is
+    // unchanged, so columns stay bit-identical to
+    // AcResponse::interpolate.
+    const faults::FaultDictionary::SignaturePlanes& planes =
+        dictionary.planes();
+    FTDIAG_ASSERT(planes.grid == grid_size_ &&
+                      planes.responses == responses,
+                  "dictionary planes mismatch the shared grid");
     table_mag_.resize(responses * grid_size_);
     table_log_mag_.resize(responses * grid_size_);
     table_phase_.resize(responses * grid_size_);
-    for (std::size_t r = 0; r < responses; ++r) {
-      for (std::size_t i = 0; i < grid_size_; ++i) {
-        const mna::Complex v = (*response_values_[r])[i];
-        const double mag = std::abs(v);
-        table_mag_[r * grid_size_ + i] = mag;
-        table_log_mag_[r * grid_size_ + i] = mag > 0.0 ? std::log(mag) : 0.0;
-        table_phase_[r * grid_size_ + i] = std::arg(v);
-      }
+    for (std::size_t i = 0; i < responses * grid_size_; ++i) {
+      const mna::Complex v(planes.re[i], planes.im[i]);
+      const double mag = std::abs(v);
+      table_mag_[i] = mag;
+      table_log_mag_[i] = mag > 0.0 ? std::log(mag) : 0.0;
+      table_phase_[i] = std::arg(v);
     }
   }
 }

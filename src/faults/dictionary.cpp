@@ -83,6 +83,26 @@ FaultDictionary FaultDictionary::from_parts(
       return dict.entries_[a].fault.deviation < dict.entries_[b].fault.deviation;
     });
   }
+
+  // Consolidated SoA signature planes (golden first), the contiguous
+  // frequency-major view the SIMD paths read.  Values are copied bit-for-
+  // bit from the per-response planes, so plane readers and values()
+  // readers always agree exactly.
+  const std::size_t grid = dict.golden_.size();
+  dict.planes_.grid = grid;
+  dict.planes_.responses = dict.entries_.size() + 1;
+  dict.planes_.re.resize(dict.planes_.responses * grid);
+  dict.planes_.im.resize(dict.planes_.responses * grid);
+  auto copy_planes = [&](std::size_t r, const mna::AcResponse& response) {
+    std::copy(response.reals().begin(), response.reals().end(),
+              dict.planes_.re.begin() + r * grid);
+    std::copy(response.imags().begin(), response.imags().end(),
+              dict.planes_.im.begin() + r * grid);
+  };
+  copy_planes(0, dict.golden_);
+  for (std::size_t e = 0; e < dict.entries_.size(); ++e) {
+    copy_planes(1 + e, dict.entries_[e].response);
+  }
   return dict;
 }
 

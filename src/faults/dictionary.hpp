@@ -14,6 +14,7 @@
 #include "faults/fault_simulator.hpp"
 #include "faults/fault_universe.hpp"
 #include "faults/simulation_engine.hpp"
+#include "linalg/simd.hpp"
 #include "mna/response.hpp"
 
 namespace ftdiag::faults {
@@ -71,7 +72,22 @@ public:
     return golden_.frequencies();
   }
 
+  /// All signatures of the dictionary as two contiguous 64-byte-aligned
+  /// re/im planes, frequency-major within each response: response r
+  /// (r = 0 is the golden, r = 1 + e is entry e) occupies
+  /// [r * grid(), (r + 1) * grid()) of each plane.  This is the SoA view
+  /// the SIMD scoring/interpolation paths read; it is (re)built by
+  /// from_parts(), i.e. at build, load and mmap-attach time — the `.fdx`
+  /// wire format stays interleaved and the mmap path stays zero-copy.
+  struct SignaturePlanes {
+    std::size_t grid = 0;       ///< shared frequency-grid size
+    std::size_t responses = 0;  ///< golden + entries
+    linalg::simd::AlignedVector re, im;
+  };
+  [[nodiscard]] const SignaturePlanes& planes() const { return planes_; }
+
 private:
+  SignaturePlanes planes_;
   mna::AcResponse golden_;
   std::vector<DictionaryEntry> entries_;
   std::vector<std::string> site_labels_;

@@ -1,6 +1,7 @@
 #include "faults/simulation_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <map>
 #include <memory>
 #include <optional>
@@ -9,8 +10,10 @@
 
 #include "faults/fault_injector.hpp"
 #include "linalg/rank1.hpp"
+#include "linalg/simd.hpp"
 #include "mna/ac_analysis.hpp"
 #include "mna/stamp_update.hpp"
+#include "mna/sweep_solver.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/threads.hpp"
@@ -18,6 +21,7 @@
 namespace ftdiag::faults {
 
 using linalg::Complex;
+using linalg::simd::AlignedVector;
 
 void SimOptions::check() const {
   if (max_growth <= 1.0) {
@@ -37,37 +41,36 @@ struct SiteItem {
   mna::Rank1StampUpdate update;
 };
 
-/// Per-site accumulation that survives across frequency blocks.
+/// Per-site accumulation that survives across frequency blocks: split
+/// re/im response planes per fault (the AcResponse SoA layout, written
+/// pack-at-a-time by the SIMD sweep).
 struct SiteState {
-  std::vector<std::vector<Complex>> values;  ///< [fault in site][frequency]
+  std::vector<AlignedVector> re, im;  ///< [fault in site][frequency]
   /// Refactorized analyses for ill-conditioned pairs, lazy per fault.
   std::vector<std::unique_ptr<mna::AcAnalysis>> refactorized;
   std::size_t rank1_solves = 0;
   std::size_t full_solves = 0;
 };
 
-/// Per-frequency results of the golden solve phase, reused across blocks
-/// so the steady-state sweep performs no heap allocations after the first
-/// block warms the buffers.
-struct FrequencySlot {
-  std::vector<Complex> x0;     ///< golden solution (length n)
-  linalg::Matrix<Complex> wt;  ///< row si = w = A^{-1} u of site si (S x n)
-};
-
-/// Per-lane scratch of the golden phase: a backend-neutral factor/solve
-/// pair (dense workspace ping-pong or sparse pattern refill inside), plus
-/// the recycled blocked multi-RHS target.
-struct GoldenLane {
-  mna::SweepSolver solver;
-  linalg::Matrix<Complex> w;  ///< n x S blocked-solve target
+/// Golden-phase results for every batch of a block, as one arena of four
+/// split planes (four allocations total, so the setup cost is independent
+/// of grid size and the steady-state sweep performs none).  Batch b's
+/// slice starts at b * n * width (x0) / b * site_count * n * width (w);
+/// within a slice the layouts match BatchSweepSolver's outputs: x0 at
+/// [r * width + lane], w site-major at [(site * n + r) * width + lane] —
+/// already the transposed frequency-major view phase 2 wants, so the old
+/// per-frequency transpose pass is gone.
+struct SlotArena {
+  AlignedVector x0_re, x0_im;  ///< batch_cap * n * width
+  AlignedVector w_re, w_im;    ///< batch_cap * site_count * n * width
 };
 
 /// Per-lane SoA scratch of the rank-1 phase (split re/im gathers feeding
-/// linalg::sherman_morrison_sweep).
+/// linalg::sherman_morrison_sweep_simd).
 struct SiteLane {
-  std::vector<double> x0_re, x0_im, w_re, w_im;
-  std::vector<double> vx0_re, vx0_im, vw_re, vw_im;
-  std::vector<double> scale_re, scale_im, out_re, out_im;
+  AlignedVector x0_re, x0_im, w_re, w_im;
+  AlignedVector vx0_re, vx0_im, vw_re, vw_im;
+  AlignedVector scale_re, scale_im, out_re, out_im;
   std::vector<unsigned char> refused;
 
   void ensure(std::size_t m) {
@@ -83,6 +86,9 @@ struct SiteLane {
 /// Frequencies are processed in blocks of this size so at most this many
 /// golden solutions are alive at once (O(block * n * (1 + S)) memory
 /// instead of O(frequencies * ...)), without changing any result bit.
+/// A multiple of every supported pack width, so batch membership — and
+/// therefore every lane's arithmetic — depends only on the grid, never
+/// on the thread count.
 constexpr std::size_t kFrequencyBlock = 64;
 
 /// Naive per-fault path: inject and sweep from scratch.  This is the exact
@@ -93,6 +99,230 @@ mna::AcResponse naive_response(const circuits::CircuitUnderTest& cut,
                                const std::vector<double>& frequencies_hz) {
   mna::AcAnalysis analysis(inject(cut.circuit, fault));
   return analysis.sweep(frequencies_hz, cut.output_node);
+}
+
+/// The per-fault Sherman–Morrison scale over a frequency block, written
+/// as split-plane arithmetic: the pack-friendly mirror of
+/// Rank1StampUpdate::coefficient (identical per-lane formulas — the
+/// conductance scale is frequency-independent, susceptance/impedance are
+/// s times a real constant).
+void fill_scale(const mna::Rank1StampUpdate& update, double multiplier,
+                std::size_t m, const double* s_re, const double* s_im,
+                double* scale_re, double* scale_im) {
+  switch (update.kind) {
+    case mna::StampCoefficientKind::kConductance: {
+      const double g =
+          1.0 / (multiplier * update.nominal) - 1.0 / update.nominal;
+      std::fill_n(scale_re, m, g);
+      std::fill_n(scale_im, m, 0.0);
+      return;
+    }
+    case mna::StampCoefficientKind::kSusceptance: {
+      const double k = update.nominal * (multiplier - 1.0);
+      for (std::size_t i = 0; i < m; ++i) {
+        scale_re[i] = s_re[i] * k;
+        scale_im[i] = s_im[i] * k;
+      }
+      return;
+    }
+    case mna::StampCoefficientKind::kImpedance: {
+      const double k = update.nominal * (multiplier - 1.0);
+      for (std::size_t i = 0; i < m; ++i) {
+        scale_re[i] = -s_re[i] * k;
+        scale_im[i] = -s_im[i] * k;
+      }
+      return;
+    }
+  }
+}
+
+/// The factorization-reuse sweep, batched P::width frequencies per SIMD
+/// lane.  Phase 1 runs the batched golden factor + shared-RHS solve +
+/// blocked multi-RHS u solve; phase 2 fans the sites out over pack-wide
+/// gathers and the SIMD Sherman–Morrison sweep.  Instantiated once on
+/// the native pack and once on ScalarPack (the runtime FTDIAG_SIMD=off
+/// twin); lanes are arithmetically independent, and batch membership is
+/// width-determined, so results are bit-stable across thread counts.
+template <typename P>
+void reuse_sweep(const circuits::CircuitUnderTest& cut,
+                 const SimOptions& options,
+                 const std::vector<ParametricFault>& faults,
+                 const std::vector<double>& frequencies_hz,
+                 const mna::AcAnalysis& golden_analysis,
+                 const std::vector<SiteItem>& sites,
+                 std::vector<SiteState>& state, std::size_t threads,
+                 std::size_t out, AlignedVector& golden_re,
+                 AlignedVector& golden_im) {
+  constexpr std::size_t kW = P::width;
+  using C = linalg::simd::CPack<P>;
+
+  const mna::MnaSystem& system = golden_analysis.system();
+  const std::size_t n = system.unknown_count();
+  const std::size_t site_count = sites.size();
+  const std::size_t total = frequencies_hz.size();
+
+  // All sites' structural u columns as one shared n x S right-hand-side
+  // block (column-major): the golden phase answers every site's
+  // w = A^{-1} u with a single blocked multi-RHS solve per batch.
+  std::vector<Complex> u_columns(n * site_count, Complex{});
+  for (std::size_t si = 0; si < site_count; ++si) {
+    for (const auto& [index, value] : sites[si].update.u.entries) {
+      u_columns[si * n + index] += value;
+    }
+  }
+
+  const mna::SweepAssembler& assembler = golden_analysis.sweep_assembler();
+  // Per-circuit solver preparation, shared by every golden lane.  The
+  // auto backend reuses the analysis already run by AcAnalysis; a forced
+  // backend (differential tests, scaling benchmarks) analyzes its own.
+  const std::shared_ptr<const mna::SweepSolver::Context> solver_context =
+      options.backend == mna::SolverBackend::kAuto
+          ? golden_analysis.solver_context()
+          : mna::SweepSolver::analyze(assembler, options.backend);
+
+  static_assert(kFrequencyBlock % kW == 0,
+                "block size must hold whole packs");
+  const std::size_t block_cap = std::min(kFrequencyBlock, total);
+  const std::size_t batch_cap = (block_cap + kW - 1) / kW;
+  SlotArena slots;
+  slots.x0_re.resize(batch_cap * n * kW);
+  slots.x0_im.resize(batch_cap * n * kW);
+  slots.w_re.resize(batch_cap * site_count * n * kW);
+  slots.w_im.resize(batch_cap * site_count * n * kW);
+  std::vector<Complex> s_padded(batch_cap * kW);
+  AlignedVector s_re_block(batch_cap * kW), s_im_block(batch_cap * kW);
+  std::vector<mna::BatchSweepSolver<P>> golden_lanes;
+  const std::size_t golden_lane_count =
+      std::max<std::size_t>(1, std::min(threads, batch_cap));
+  golden_lanes.reserve(golden_lane_count);
+  for (std::size_t i = 0; i < golden_lane_count; ++i) {
+    golden_lanes.emplace_back(assembler, solver_context);
+  }
+  std::vector<SiteLane> site_lanes(
+      std::max<std::size_t>(1, std::min(threads, site_count)));
+  golden_re.resize(total);
+  golden_im.resize(total);
+
+  for (std::size_t begin = 0; begin < total; begin += kFrequencyBlock) {
+    const std::size_t end = std::min(total, begin + kFrequencyBlock);
+    const std::size_t m = end - begin;
+    const std::size_t batches = (m + kW - 1) / kW;
+    // Laplace points of the block, padded to whole packs by replicating
+    // the last frequency (padding lanes compute unused values).
+    for (std::size_t bi = 0; bi < batches * kW; ++bi) {
+      const std::size_t fi = std::min(begin + bi, total - 1);
+      const Complex s = linalg::s_of_hz(frequencies_hz[fi]);
+      s_padded[bi] = s;
+      s_re_block[bi] = s.real();
+      s_im_block[bi] = s.imag();
+    }
+
+    par::parallel_for_lanes(batches, threads, [&](std::size_t lane,
+                                                  std::size_t batch) {
+      mna::BatchSweepSolver<P>& solver = golden_lanes[lane];
+      double* x0_re = slots.x0_re.data() + batch * n * kW;
+      double* x0_im = slots.x0_im.data() + batch * n * kW;
+      solver.factor(
+          std::span<const Complex>(s_padded).subspan(batch * kW, kW));
+      solver.solve_shared(assembler.rhs(), x0_re, x0_im);
+      const std::size_t valid = std::min(kW, m - batch * kW);
+      for (std::size_t lane_i = 0; lane_i < valid; ++lane_i) {
+        golden_re[begin + batch * kW + lane_i] = x0_re[out * kW + lane_i];
+        golden_im[begin + batch * kW + lane_i] = x0_im[out * kW + lane_i];
+      }
+      if (site_count > 0) {
+        solver.solve_shared_multi(
+            u_columns, site_count,
+            slots.w_re.data() + batch * site_count * n * kW,
+            slots.w_im.data() + batch * site_count * n * kW);
+      }
+    });
+
+    par::parallel_for_lanes(site_count, threads, [&](std::size_t lane,
+                                                     std::size_t si) {
+      const SiteItem& item = sites[si];
+      SiteState& site = state[si];
+      SiteLane& ws = site_lanes[lane];
+      ws.ensure(m);
+
+      // Gather this site's per-frequency scalars as split re/im arrays,
+      // one pack of frequencies at a time (bounce through a stack buffer
+      // for the tail batch so the m-sized arrays never overrun).
+      for (std::size_t batch = 0; batch < batches; ++batch) {
+        const double* x0_re = slots.x0_re.data() + batch * n * kW;
+        const double* x0_im = slots.x0_im.data() + batch * n * kW;
+        const double* w_re =
+            slots.w_re.data() + batch * site_count * n * kW;
+        const double* w_im =
+            slots.w_im.data() + batch * site_count * n * kW;
+        C v_dot_x0{};
+        C v_dot_w{};
+        for (const auto& [index, value] : item.update.v.entries) {
+          const C ve = C::broadcast(value);
+          v_dot_x0 = v_dot_x0 + ve * C::load(&x0_re[index * kW],
+                                             &x0_im[index * kW]);
+          v_dot_w = v_dot_w + ve * C::load(&w_re[(si * n + index) * kW],
+                                           &w_im[(si * n + index) * kW]);
+        }
+        const C x0_out = C::load(&x0_re[out * kW], &x0_im[out * kW]);
+        const C w_out = C::load(&w_re[(si * n + out) * kW],
+                                &w_im[(si * n + out) * kW]);
+        const std::size_t at = batch * kW;
+        const std::size_t valid = std::min(kW, m - at);
+        auto scatter = [&](const P& pack, AlignedVector& dst) {
+          if (valid == kW) {
+            pack.store(&dst[at]);
+            return;
+          }
+          std::array<double, kW> bounce;
+          pack.store(bounce.data());
+          std::copy_n(bounce.data(), valid, &dst[at]);
+        };
+        scatter(v_dot_x0.re, ws.vx0_re);
+        scatter(v_dot_x0.im, ws.vx0_im);
+        scatter(v_dot_w.re, ws.vw_re);
+        scatter(v_dot_w.im, ws.vw_im);
+        scatter(x0_out.re, ws.x0_re);
+        scatter(x0_out.im, ws.x0_im);
+        scatter(w_out.re, ws.w_re);
+        scatter(w_out.im, ws.w_im);
+      }
+
+      for (std::size_t k = 0; k < item.fault_indices.size(); ++k) {
+        const ParametricFault& fault = faults[item.fault_indices[k]];
+        fill_scale(item.update, fault.multiplier(), m, s_re_block.data(),
+                   s_im_block.data(), ws.scale_re.data(),
+                   ws.scale_im.data());
+        const std::size_t refusals = linalg::sherman_morrison_sweep_simd<P>(
+            m, ws.scale_re.data(), ws.scale_im.data(), ws.vx0_re.data(),
+            ws.vx0_im.data(), ws.vw_re.data(), ws.vw_im.data(),
+            ws.x0_re.data(), ws.x0_im.data(), ws.w_re.data(),
+            ws.w_im.data(), options.max_growth, ws.out_re.data(),
+            ws.out_im.data(), ws.refused.data());
+        AlignedVector& re = site.re[k];
+        AlignedVector& im = site.im[k];
+        for (std::size_t bi = 0; bi < m; ++bi) {
+          if (!ws.refused[bi]) {
+            re[begin + bi] = ws.out_re[bi];
+            im[begin + bi] = ws.out_im[bi];
+            continue;
+          }
+          // Ill-conditioned update: fall back to an exact refactorized
+          // sweep for this fault (lazy; rare by construction).
+          if (!site.refactorized[k]) {
+            site.refactorized[k] = std::make_unique<mna::AcAnalysis>(
+                inject(cut.circuit, fault));
+          }
+          const Complex v = site.refactorized[k]->node_voltage(
+              frequencies_hz[begin + bi], cut.output_node);
+          re[begin + bi] = v.real();
+          im[begin + bi] = v.imag();
+        }
+        site.rank1_solves += m - refusals;
+        site.full_solves += refusals;
+      }
+    });
+  }
 }
 
 }  // namespace
@@ -113,16 +343,15 @@ BatchResult SimulationEngine::simulate_all(
   const std::size_t threads = options_.resolved_threads();
   const mna::AcAnalysis golden_analysis(cut_.circuit);
   const mna::MnaSystem& system = golden_analysis.system();
-  const std::size_t n = system.unknown_count();
   const std::size_t out = system.node_unknown(cut_.output_node);
 
   BatchResult result;
   result.responses.resize(faults.size());
 
   // Reuse works on every size: the golden phase factors through the
-  // backend-neutral SweepSolver (dense LU small, pattern-reusing sparse
-  // LU large).  Only reuse-off configurations and a ground output take
-  // the naive path, still fault-parallel.
+  // backend-neutral BatchSweepSolver (batched dense LU small, per-lane
+  // pattern-reusing sparse LU large).  Only reuse-off configurations and
+  // a ground output take the naive path, still fault-parallel.
   const bool reuse = options_.reuse_factorization && out != mna::kNoUnknown;
   if (!reuse) {
     result.golden = golden_analysis.sweep(frequencies_hz, cut_.output_node);
@@ -177,147 +406,36 @@ BatchResult SimulationEngine::simulate_all(
   const std::size_t site_count = sites.size();
   std::vector<SiteState> state(site_count);
   for (std::size_t si = 0; si < site_count; ++si) {
-    state[si].values.assign(sites[si].fault_indices.size(),
-                            std::vector<Complex>(frequencies_hz.size()));
+    state[si].re.assign(sites[si].fault_indices.size(),
+                        AlignedVector(frequencies_hz.size()));
+    state[si].im.assign(sites[si].fault_indices.size(),
+                        AlignedVector(frequencies_hz.size()));
     state[si].refactorized.resize(sites[si].fault_indices.size());
   }
 
-  // All sites' structural u columns as one n x S right-hand-side block:
-  // the golden phase answers every site's w = A^{-1} u with a single
-  // blocked triangular solve per frequency instead of S separate ones.
-  linalg::Matrix<Complex> u_columns(n, site_count);
-  for (std::size_t si = 0; si < site_count; ++si) {
-    for (const auto& [index, value] : sites[si].update.u.entries) {
-      u_columns(index, si) += value;
-    }
+  // The batched sweep: native-width packs normally, the width-1 scalar
+  // twin when the FTDIAG_SIMD knob (build option or environment
+  // variable) turns vectorization off.  Same formulas per lane either
+  // way — the configurations differ only in how many frequencies share
+  // one instruction.
+  AlignedVector golden_re, golden_im;
+  if (linalg::simd::enabled()) {
+    reuse_sweep<linalg::simd::DefaultPack>(
+        cut_, options_, faults, frequencies_hz, golden_analysis, sites,
+        state, threads, out, golden_re, golden_im);
+  } else {
+    reuse_sweep<linalg::simd::ScalarPack>(
+        cut_, options_, faults, frequencies_hz, golden_analysis, sites,
+        state, threads, out, golden_re, golden_im);
   }
-
-  const mna::SweepAssembler& assembler = golden_analysis.sweep_assembler();
-  // Per-circuit solver preparation, shared by every golden lane.  The
-  // auto backend reuses the analysis already run by AcAnalysis; a forced
-  // backend (differential tests, scaling benchmarks) analyzes its own.
-  const std::shared_ptr<const mna::SweepSolver::Context> solver_context =
-      options_.backend == mna::SolverBackend::kAuto
-          ? golden_analysis.solver_context()
-          : mna::SweepSolver::analyze(assembler, options_.backend);
-
-  // Frequency blocks: phase 1 assembles G + s*C into lane-owned buffers,
-  // factors in place and solves the golden RHS (single solve — the exact
-  // operation sequence of AcAnalysis::sweep, keeping the golden response
-  // bit-identical to the naive path) plus the u block (one blocked
-  // multi-RHS solve, transposed so phase 2 reads each site's w as a
-  // contiguous row); phase 2 fans the sites out over split re/im
-  // Sherman–Morrison sweeps, each writing only its own faults' slots.
-  // After the first block every buffer is warm: the steady-state loop
-  // performs zero heap allocations.
-  const std::size_t block_cap = std::min(kFrequencyBlock,
-                                         frequencies_hz.size());
-  std::vector<FrequencySlot> slots(block_cap);
-  std::vector<Complex> s_block(block_cap);
-  std::vector<GoldenLane> golden_lanes(
-      std::min(threads, block_cap),
-      GoldenLane{mna::SweepSolver(assembler, solver_context), {}});
-  std::vector<SiteLane> site_lanes(
-      std::max<std::size_t>(1, std::min(threads, site_count)));
-  std::vector<Complex> golden_values(frequencies_hz.size());
-
-  for (std::size_t begin = 0; begin < frequencies_hz.size();
-       begin += kFrequencyBlock) {
-    const std::size_t end =
-        std::min(frequencies_hz.size(), begin + kFrequencyBlock);
-    const std::size_t m = end - begin;
-    for (std::size_t bi = 0; bi < m; ++bi) {
-      s_block[bi] = linalg::s_of_hz(frequencies_hz[begin + bi]);
-    }
-
-    par::parallel_for_lanes(m, threads, [&](std::size_t lane,
-                                            std::size_t bi) {
-      GoldenLane& ws = golden_lanes[lane];
-      FrequencySlot& slot = slots[bi];
-      if (slot.x0.size() != n) slot.x0.resize(n);  // first block only
-      ws.solver.factor(s_block[bi]);
-      ws.solver.solve_into(assembler.rhs(), slot.x0);
-      golden_values[begin + bi] = slot.x0[out];
-      if (site_count > 0) {
-        ws.solver.solve_into(u_columns, ws.w);
-        if (slot.wt.rows() != site_count || slot.wt.cols() != n) {
-          slot.wt.reshape(site_count, n);
-        }
-        for (std::size_t r = 0; r < n; ++r) {
-          const Complex* src = ws.w.row_data(r);
-          for (std::size_t c = 0; c < site_count; ++c) {
-            slot.wt(c, r) = src[c];
-          }
-        }
-      }
-    });
-
-    par::parallel_for_lanes(site_count, threads, [&](std::size_t lane,
-                                                     std::size_t si) {
-      const SiteItem& item = sites[si];
-      SiteState& site = state[si];
-      SiteLane& ws = site_lanes[lane];
-      ws.ensure(m);
-
-      // Gather this site's per-frequency scalars as split re/im arrays.
-      for (std::size_t bi = 0; bi < m; ++bi) {
-        const FrequencySlot& slot = slots[bi];
-        const std::span<const Complex> w_row(slot.wt.row_data(si), n);
-        const Complex v_dot_x0 =
-            linalg::sparse_dot(item.update.v,
-                               std::span<const Complex>(slot.x0));
-        const Complex v_dot_w = linalg::sparse_dot(item.update.v, w_row);
-        ws.x0_re[bi] = slot.x0[out].real();
-        ws.x0_im[bi] = slot.x0[out].imag();
-        ws.w_re[bi] = w_row[out].real();
-        ws.w_im[bi] = w_row[out].imag();
-        ws.vx0_re[bi] = v_dot_x0.real();
-        ws.vx0_im[bi] = v_dot_x0.imag();
-        ws.vw_re[bi] = v_dot_w.real();
-        ws.vw_im[bi] = v_dot_w.imag();
-      }
-
-      for (std::size_t k = 0; k < item.fault_indices.size(); ++k) {
-        const ParametricFault& fault = faults[item.fault_indices[k]];
-        const double multiplier = fault.multiplier();
-        for (std::size_t bi = 0; bi < m; ++bi) {
-          const Complex scale =
-              item.update.coefficient(s_block[bi], multiplier);
-          ws.scale_re[bi] = scale.real();
-          ws.scale_im[bi] = scale.imag();
-        }
-        const std::size_t refusals = linalg::sherman_morrison_sweep(
-            m, ws.scale_re.data(), ws.scale_im.data(), ws.vx0_re.data(),
-            ws.vx0_im.data(), ws.vw_re.data(), ws.vw_im.data(),
-            ws.x0_re.data(), ws.x0_im.data(), ws.w_re.data(),
-            ws.w_im.data(), options_.max_growth, ws.out_re.data(),
-            ws.out_im.data(), ws.refused.data());
-        std::vector<Complex>& values = site.values[k];
-        for (std::size_t bi = 0; bi < m; ++bi) {
-          if (!ws.refused[bi]) {
-            values[begin + bi] = Complex(ws.out_re[bi], ws.out_im[bi]);
-            continue;
-          }
-          // Ill-conditioned update: fall back to an exact refactorized
-          // sweep for this fault (lazy; rare by construction).
-          if (!site.refactorized[k]) {
-            site.refactorized[k] = std::make_unique<mna::AcAnalysis>(
-                inject(cut_.circuit, fault));
-          }
-          values[begin + bi] = site.refactorized[k]->node_voltage(
-              frequencies_hz[begin + bi], cut_.output_node);
-        }
-        site.rank1_solves += m - refusals;
-        site.full_solves += refusals;
-      }
-    });
-  }
-  result.golden = mna::AcResponse(frequencies_hz, std::move(golden_values));
+  result.golden = mna::AcResponse(frequencies_hz, std::move(golden_re),
+                                  std::move(golden_im));
 
   for (std::size_t si = 0; si < site_count; ++si) {
     for (std::size_t k = 0; k < sites[si].fault_indices.size(); ++k) {
       result.responses[sites[si].fault_indices[k]] =
-          mna::AcResponse(frequencies_hz, std::move(state[si].values[k]));
+          mna::AcResponse(frequencies_hz, std::move(state[si].re[k]),
+                          std::move(state[si].im[k]));
     }
     result.stats.rank1_solves += state[si].rank1_solves;
     result.stats.full_solves += state[si].full_solves;

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/simd.hpp"
 #include "util/error.hpp"
 
 namespace ftdiag::linalg {
@@ -157,6 +158,68 @@ inline std::size_t sherman_morrison_sweep(
     const double coef_im = (u_im * denom_re - u_re * denom_im) * inv;
     out_re[i] = x0_re[i] - (coef_re * w_re[i] - coef_im * w_im[i]);
     out_im[i] = x0_im[i] - (coef_re * w_im[i] + coef_im * w_re[i]);
+  }
+  return refusals;
+}
+
+/// Explicit-SIMD form of sherman_morrison_sweep: identical inputs,
+/// outputs and refusal semantics, but the block is processed P::width
+/// frequencies per pack with a ScalarPack tail for the remainder — so any
+/// count (including 0 and counts below the pack width) is valid and no
+/// padding is required of the caller.  Pointers may sit at any 8-byte
+/// boundary.  Each lane evaluates exactly the scalar loop's formulas
+/// (including the fail-closed non-finite refusal, via a lane mask), so
+/// sherman_morrison_sweep is this kernel's differential twin; the two
+/// agree bit-for-bit up to multiply-add contraction (<= 1e-12 relative,
+/// pinned by tests/test_simd.cpp).
+template <typename P = simd::DefaultPack>
+inline std::size_t sherman_morrison_sweep_simd(
+    std::size_t count, const double* scale_re, const double* scale_im,
+    const double* v_x0_re, const double* v_x0_im, const double* v_w_re,
+    const double* v_w_im, const double* x0_re, const double* x0_im,
+    const double* w_re, const double* w_im, double max_growth,
+    double* out_re, double* out_im, unsigned char* refused) {
+  constexpr std::size_t kW = P::width;
+  const std::size_t full = count - count % kW;
+  std::size_t refusals = 0;
+  const P one = P::broadcast(1.0);
+  const P growth_bound = P::broadcast(max_growth);
+  for (std::size_t i = 0; i < full; i += kW) {
+    const simd::CPack<P> scale{P::load(scale_re + i), P::load(scale_im + i)};
+    const simd::CPack<P> v_w{P::load(v_w_re + i), P::load(v_w_im + i)};
+    const simd::CPack<P> scaled = scale * v_w;
+    const simd::CPack<P> denom{one + scaled.re, scaled.im};
+    const P growth = one + simd::sqrt(scaled.norm());
+    const P denom_sq = denom.norm();
+    const P denom_abs = simd::sqrt(denom_sq);
+    // Fail closed per lane: non-finite scales/denominators refuse.
+    const auto ok = simd::finite_mask(growth) && simd::finite_mask(denom_abs) &&
+                    !(denom_abs * growth_bound < growth);
+    const simd::CPack<P> v_x0{P::load(v_x0_re + i), P::load(v_x0_im + i)};
+    const simd::CPack<P> u = scale * v_x0;
+    const P inv = one / denom_sq;
+    const simd::CPack<P> coef{(u.re * denom.re + u.im * denom.im) * inv,
+                              (u.im * denom.re - u.re * denom.im) * inv};
+    const simd::CPack<P> w{P::load(w_re + i), P::load(w_im + i)};
+    const simd::CPack<P> x0{P::load(x0_re + i), P::load(x0_im + i)};
+    const simd::CPack<P> updated = x0 - coef * w;
+    for (std::size_t lane = 0; lane < kW; ++lane) {
+      if (ok[lane]) {
+        refused[i + lane] = 0;
+        out_re[i + lane] = updated.re[lane];
+        out_im[i + lane] = updated.im[lane];
+      } else {
+        refused[i + lane] = 1;  // out slot untouched, like the scalar path
+        ++refusals;
+      }
+    }
+  }
+  if (full < count) {
+    refusals += sherman_morrison_sweep(
+        count - full, scale_re + full, scale_im + full, v_x0_re + full,
+        v_x0_im + full, v_w_re + full, v_w_im + full, x0_re + full,
+        x0_im + full, w_re + full, w_im + full, max_growth, out_re + full,
+        out_im + full, refused + full);
   }
   return refusals;
 }

@@ -265,8 +265,16 @@ void SparseFactorization<T>::solve_into(std::span<const T> b,
   FTDIAG_ASSERT(b.size() == n && x.size() == n,
                 "rhs/solution size mismatch in sparse solve");
   for (std::size_t i = 0; i < n; ++i) x[i] = b[sym.perm[i]];
+  // Structurally-zero prefix skip: rows of the permuted b that are zero
+  // before the first nonzero stay exactly zero through forward
+  // substitution (L is lower-triangular, and everything they would read
+  // is part of the same zero prefix), so the loop starts at the first
+  // nonzero row and the prefix is preserved verbatim.  MNA excitations
+  // are a handful of source rows, so this skips most of L per solve.
+  std::size_t first = 0;
+  while (first < n && x[first] == T{}) ++first;
   // Forward substitution: L has unit diagonal, entries at col < row.
-  for (std::size_t r = 0; r < n; ++r) {
+  for (std::size_t r = first; r < n; ++r) {
     T acc = x[r];
     for (std::size_t idx = sym.row_start[r]; idx < sym.diag[r]; ++idx) {
       acc -= values_[idx] * x[sym.col[idx]];
@@ -301,11 +309,28 @@ void SparseFactorization<T>::solve_into(const Matrix<T>& b,
     for (std::size_t c = 0; c < m; ++c) dst[c] = src[c];
   }
 
+  // Shared structurally-zero prefix of the permuted block (rows that are
+  // zero in every column before the first nonzero row): forward
+  // substitution leaves it exactly zero, so every panel starts below it.
+  // See the single-RHS overload for the argument.
+  std::size_t first = 0;
+  for (; first < n; ++first) {
+    const T* row = x.row_data(first);
+    bool all_zero = true;
+    for (std::size_t c = 0; c < m; ++c) {
+      if (!(row[c] == T{})) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (!all_zero) break;
+  }
+
   for (std::size_t panel = 0; panel < m; panel += kSolvePanel) {
     const std::size_t pe = std::min(m, panel + kSolvePanel);
     // Forward substitution, all panel columns in lockstep; per column the
     // operation order is exactly the single-RHS solve_into's.
-    for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t r = first; r < n; ++r) {
       T* xr = x.row_data(r);
       for (std::size_t idx = sym.row_start[r]; idx < sym.diag[r]; ++idx) {
         const T factor = values_[idx];

@@ -14,6 +14,28 @@ AcResponse::AcResponse(std::vector<double> frequencies_hz,
                 "response frequency/value length mismatch");
   FTDIAG_ASSERT(std::is_sorted(freq_hz_.begin(), freq_hz_.end()),
                 "response frequencies must ascend");
+  re_.resize(values_.size());
+  im_.resize(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    re_[i] = values_[i].real();
+    im_[i] = values_[i].imag();
+  }
+}
+
+AcResponse::AcResponse(std::vector<double> frequencies_hz,
+                       linalg::simd::AlignedVector re,
+                       linalg::simd::AlignedVector im)
+    : freq_hz_(std::move(frequencies_hz)),
+      re_(std::move(re)),
+      im_(std::move(im)) {
+  FTDIAG_ASSERT(freq_hz_.size() == re_.size() && re_.size() == im_.size(),
+                "response frequency/plane length mismatch");
+  FTDIAG_ASSERT(std::is_sorted(freq_hz_.begin(), freq_hz_.end()),
+                "response frequencies must ascend");
+  values_.resize(re_.size());
+  for (std::size_t i = 0; i < re_.size(); ++i) {
+    values_[i] = Complex(re_[i], im_[i]);
+  }
 }
 
 double AcResponse::magnitude(std::size_t i) const {

@@ -7,20 +7,34 @@
 /// interpolation, so the dictionary does not need to be rebuilt per GA step.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "linalg/complex_utils.hpp"
+#include "linalg/simd.hpp"
 
 namespace ftdiag::mna {
 
 using linalg::Complex;
 
 /// Complex response samples over an ascending frequency grid.
+///
+/// Storage is structure-of-arrays: contiguous 64-byte-aligned re/im
+/// planes (frequency-major), which is what the SIMD sweep and scoring
+/// kernels read and what the simulation engine writes pack-at-a-time.
+/// The interleaved values() vector is kept alongside as the API/wire
+/// view (serialization, interpolation and every legacy caller); both
+/// views always hold identical values.
 class AcResponse {
 public:
   AcResponse() = default;
   AcResponse(std::vector<double> frequencies_hz, std::vector<Complex> values);
+
+  /// Build directly from split re/im planes (the engine's native output —
+  /// no interleave round-trip on the hot path's side).
+  AcResponse(std::vector<double> frequencies_hz,
+             linalg::simd::AlignedVector re, linalg::simd::AlignedVector im);
 
   [[nodiscard]] std::size_t size() const { return freq_hz_.size(); }
   [[nodiscard]] bool empty() const { return freq_hz_.empty(); }
@@ -29,6 +43,10 @@ public:
     return freq_hz_;
   }
   [[nodiscard]] const std::vector<Complex>& values() const { return values_; }
+
+  /// The SoA planes: re/im of the sample at grid index i, 64-byte aligned.
+  [[nodiscard]] std::span<const double> reals() const { return re_; }
+  [[nodiscard]] std::span<const double> imags() const { return im_; }
 
   [[nodiscard]] double frequency(std::size_t i) const { return freq_hz_[i]; }
   [[nodiscard]] const Complex& value(std::size_t i) const { return values_[i]; }
@@ -81,7 +99,8 @@ public:
 
 private:
   std::vector<double> freq_hz_;
-  std::vector<Complex> values_;
+  std::vector<Complex> values_;          ///< interleaved API/wire view
+  linalg::simd::AlignedVector re_, im_;  ///< SoA planes (kernel view)
 };
 
 }  // namespace ftdiag::mna

@@ -23,11 +23,14 @@
 /// analysis *for that point only*; the shared Context is never mutated.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "linalg/batch_lu.hpp"
 #include "linalg/lu.hpp"
+#include "linalg/simd.hpp"
 #include "linalg/sparse_factorization.hpp"
 #include "mna/system.hpp"
 
@@ -102,6 +105,130 @@ private:
   linalg::SparseFactorization<Complex> reused_;
   linalg::SparseFactorization<Complex> fresh_;
   bool use_fresh_ = false;
+};
+
+/// SweepSolver's batched sibling: factor/solve P::width frequencies at
+/// once, one frequency per SIMD lane, against the same immutable Context.
+///
+/// On the dense backend the batch goes through the SweepAssembler's
+/// SIMD G + s*C combine and linalg::BatchLu, so pivot search, elimination
+/// and the blocked multi-RHS panels all run as wide arithmetic.  On the
+/// sparse backend (pattern-reusing factorization, value-dependent fill
+/// loops that do not batch) each lane runs its own scalar SweepSolver —
+/// results there are bit-identical to the scalar sweep, and callers get
+/// one uniform pack-shaped output either way.
+///
+/// Outputs are split re/im planes of layout [slot * width + lane]: lane l
+/// of pack slot i holds frequency l's solution component i, i.e. the
+/// frequency-major SoA form the Sherman–Morrison sweep consumes directly
+/// (no transpose pass).
+///
+/// Determinism: which frequencies share a batch is fixed by the caller's
+/// batching (width-determined, never thread-determined), and lanes are
+/// arithmetically independent, so results are bit-stable across thread
+/// counts and identical for ScalarPack/NativePack instantiations up to
+/// multiply-add contraction.
+template <typename P>
+class BatchSweepSolver {
+public:
+  static constexpr std::size_t kWidth = P::width;
+
+  BatchSweepSolver(const SweepAssembler& assembler,
+                   std::shared_ptr<const SweepSolver::Context> context)
+      : assembler_(&assembler), context_(std::move(context)) {
+    FTDIAG_ASSERT(context_ != nullptr,
+                  "batched sweep solver needs an analyzed context");
+    if (context_->sparse) {
+      lanes_.reserve(kWidth);
+      for (std::size_t lane = 0; lane < kWidth; ++lane) {
+        lanes_.emplace_back(assembler, context_);
+      }
+    }
+  }
+
+  /// Assemble and factor A(s_l) for every lane; \p s must hold kWidth
+  /// Laplace points (callers pad short tails by replicating the last
+  /// frequency).  \throws NumericError if any lane is singular.
+  void factor(std::span<const Complex> s) {
+    FTDIAG_ASSERT(s.size() == kWidth, "batched factor needs kWidth points");
+    if (!context_->sparse) {
+      linalg::simd::CPack<P> pack;
+      for (std::size_t lane = 0; lane < kWidth; ++lane) {
+        s_re_[lane] = s[lane].real();
+        s_im_[lane] = s[lane].imag();
+      }
+      pack.re = P::load(s_re_.data());
+      pack.im = P::load(s_im_.data());
+      assembler_->assemble_batch(
+          pack, lu_, context_->g_dense.empty() ? nullptr : &context_->g_dense);
+      lu_.factor();
+      return;
+    }
+    for (std::size_t lane = 0; lane < kWidth; ++lane) {
+      lanes_[lane].factor(s[lane]);
+    }
+  }
+
+  /// Solve every lane against the shared right-hand side \p b into split
+  /// planes x_re/x_im of layout [i * kWidth + lane].
+  void solve_shared(std::span<const Complex> b, double* x_re, double* x_im) {
+    if (!context_->sparse) {
+      lu_.solve_shared(b, x_re, x_im);
+      return;
+    }
+    const std::size_t n = size();
+    scratch_.resize(n);
+    for (std::size_t lane = 0; lane < kWidth; ++lane) {
+      lanes_[lane].solve_into(b, scratch_);
+      for (std::size_t i = 0; i < n; ++i) {
+        x_re[i * kWidth + lane] = scratch_[i].real();
+        x_im[i * kWidth + lane] = scratch_[i].imag();
+      }
+    }
+  }
+
+  /// Blocked multi-RHS solve against shared columns (column c of \p b at
+  /// [c*n, c*n + n)) into planes of layout [(c*n + i) * kWidth + lane].
+  void solve_shared_multi(std::span<const Complex> b, std::size_t cols,
+                          double* x_re, double* x_im) {
+    const std::size_t n = size();
+    if (!context_->sparse) {
+      lu_.solve_shared_multi(b, cols, x_re, x_im);
+      return;
+    }
+    // Per-lane scalar blocked solve, scattered into the pack layout.
+    if (b_mat_.rows() != n || b_mat_.cols() != cols) b_mat_.reshape(n, cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      for (std::size_t i = 0; i < n; ++i) b_mat_(i, c) = b[c * n + i];
+    }
+    for (std::size_t lane = 0; lane < kWidth; ++lane) {
+      lanes_[lane].solve_into(b_mat_, x_mat_);
+      for (std::size_t c = 0; c < cols; ++c) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const Complex v = x_mat_(i, c);
+          x_re[(c * n + i) * kWidth + lane] = v.real();
+          x_im[(c * n + i) * kWidth + lane] = v.imag();
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool sparse() const { return context_->sparse; }
+  [[nodiscard]] std::size_t size() const { return assembler_->size(); }
+
+private:
+  const SweepAssembler* assembler_;
+  std::shared_ptr<const SweepSolver::Context> context_;
+
+  // Dense backend state.
+  linalg::BatchLu<P> lu_;
+  std::array<double, kWidth> s_re_{}, s_im_{};
+
+  // Sparse backend state: one scalar solver per lane (clones share the
+  // context's symbolic analysis) plus gather scratch.
+  std::vector<SweepSolver> lanes_;
+  std::vector<Complex> scratch_;
+  linalg::Matrix<Complex> b_mat_, x_mat_;
 };
 
 }  // namespace ftdiag::mna

@@ -20,8 +20,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "linalg/batch_lu.hpp"
 #include "linalg/complex_utils.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/simd.hpp"
 #include "linalg/sparse.hpp"
 #include "netlist/circuit.hpp"
 
@@ -90,6 +92,41 @@ public:
   /// Sparse combine into a caller-owned COO accumulator (cleared first,
   /// capacity retained).  \p coo must be size() x size().
   void assemble(Complex s, linalg::CooMatrix<Complex>& coo) const;
+
+  /// Batched dense combine: lane l of \p out receives G + s_l*C, where
+  /// s_l is lane l of the Laplace-point pack \p s.  G is broadcast into
+  /// every lane and the reactive entries scattered as one
+  /// pack-times-real multiply-add each — the G + s*C combine as an
+  /// explicit SIMD kernel.  Uses the premerged dense G below kDenseLimit;
+  /// above it the caller must supply its own merge via \p g_override
+  /// (the forced-dense SweepSolver context does).
+  template <typename P>
+  void assemble_batch(const linalg::simd::CPack<P>& s,
+                      linalg::BatchLu<P>& out,
+                      const linalg::Matrix<Complex>* g_override
+                      = nullptr) const {
+    constexpr std::size_t kW = P::width;
+    const linalg::Matrix<Complex>& g =
+        g_dense_.empty() ? *g_override : g_dense_;
+    FTDIAG_ASSERT(!g.empty(), "batched dense assembly needs a merged G");
+    out.reshape(n_);
+    for (std::size_t r = 0; r < n_; ++r) {
+      const Complex* src = g.row_data(r);
+      double* re = out.re_at(r, 0);
+      double* im = out.im_at(r, 0);
+      for (std::size_t c = 0; c < n_; ++c) {
+        P::broadcast(src[c].real()).store(re + c * kW);
+        P::broadcast(src[c].imag()).store(im + c * kW);
+      }
+    }
+    for (const auto& e : c_entries_) {
+      const P coef = P::broadcast(e.coefficient);
+      double* re = out.re_at(e.row, e.col);
+      double* im = out.im_at(e.row, e.col);
+      (P::load(re) + s.re * coef).store(re);
+      (P::load(im) + s.im * coef).store(im);
+    }
+  }
 
 private:
   friend class MnaSystem;

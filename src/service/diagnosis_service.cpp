@@ -278,6 +278,7 @@ ServiceStats DiagnosisService::stats() const {
     };
     snapshot.p50_latency_us = percentile(0.50);
     snapshot.p95_latency_us = percentile(0.95);
+    snapshot.p99_latency_us = percentile(0.99);
   }
   return snapshot;
 }

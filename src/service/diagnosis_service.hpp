@@ -60,7 +60,7 @@ struct DiagnosisReply {
 
 /// Monotonic serving counters (see also DictionaryStore::stats for the
 /// artifact tiers).  Latency percentiles are tracked with a log2
-/// microsecond histogram, so p50/p95 are bucket upper bounds.
+/// microsecond histogram, so p50/p95/p99 are bucket upper bounds.
 struct ServiceStats {
   std::size_t submitted = 0;        ///< requests accepted into the queue
   std::size_t completed = 0;        ///< requests answered successfully
@@ -73,6 +73,7 @@ struct ServiceStats {
   double mean_batch = 0.0;          ///< batched_requests / batches
   double p50_latency_us = 0.0;      ///< submit -> reply, median
   double p95_latency_us = 0.0;      ///< submit -> reply, tail
+  double p99_latency_us = 0.0;      ///< submit -> reply, far tail
 };
 
 class DiagnosisService {

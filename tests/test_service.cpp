@@ -338,6 +338,11 @@ protected:
     EXPECT_EQ(stats.failed, 0u);
     EXPECT_EQ(stats.batched_requests, n);
     EXPECT_GE(stats.batches, 1u);
+    // Latency percentiles come from one log2 histogram, so they are
+    // powers of two and monotone: 0 < p50 <= p95 <= p99.
+    EXPECT_GT(stats.p50_latency_us, 0.0);
+    EXPECT_GE(stats.p95_latency_us, stats.p50_latency_us);
+    EXPECT_GE(stats.p99_latency_us, stats.p95_latency_us);
   }
 
   static Session* session_;

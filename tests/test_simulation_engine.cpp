@@ -122,8 +122,11 @@ TEST(SimulationEngine, ReuseOnMatchesNaiveWithinTightBound) {
     const BatchResult batch =
         SimulationEngine(cut, SimOptions{}).simulate_all(faults, freqs);
     const std::string context = name + " reuse=on";
-    // The golden sweep itself never goes through Sherman–Morrison.
-    expect_identical(batch.golden, reference.golden, context + " golden");
+    // The golden sweep never goes through Sherman–Morrison, but it runs
+    // on the batched SIMD LU, whose |.|^2 pivot compare and conj/|.|^2
+    // complex division differ from the scalar LU by rounding only — so
+    // tight closeness, not bit equality, is the contract here.
+    expect_close(batch.golden, reference.golden, scale, context + " golden");
     ASSERT_EQ(batch.responses.size(), faults.size());
     for (std::size_t i = 0; i < faults.size(); ++i) {
       expect_close(batch.responses[i], reference.responses[i], scale,
@@ -245,8 +248,11 @@ TEST(SimulationEngine, SimulateBatchMatchesSingleFaultSimulation) {
 
   const FaultSimulator simulator(cut);
   const BatchResult batch = simulator.simulate_batch(faults, freqs);
-  expect_identical(batch.golden, simulator.golden(freqs), "batch golden");
+  // The batched golden comes from the SIMD frequency-block LU, which
+  // pivots on |.|^2 and divides via conj/|.|^2 — rounding-level
+  // differences from the scalar sweep, not bit identity.
   const double scale = response_scale(batch.golden);
+  expect_close(batch.golden, simulator.golden(freqs), scale, "batch golden");
   for (std::size_t i = 0; i < faults.size(); ++i) {
     expect_close(batch.responses[i], simulator.simulate(faults[i], freqs),
                  scale, faults[i].label());

@@ -287,10 +287,11 @@ int run_serve_batch(int argc, char** argv) {
 
   const auto stats = service.stats();
   std::printf("\nserved %zu requests in %zu batches (largest %zu, "
-              "mean %.2f), queue depth %zu, p50 %.0f us, p95 %.0f us\n",
+              "mean %.2f), queue depth %zu, p50 %.0f us, p95 %.0f us, "
+              "p99 %.0f us\n",
               stats.completed, stats.batches, stats.largest_batch,
               stats.mean_batch, stats.queue_depth, stats.p50_latency_us,
-              stats.p95_latency_us);
+              stats.p95_latency_us, stats.p99_latency_us);
   if (store) print_store_stats(*store);
 
   if (const std::string path = cli.get("results"); !path.empty()) {
@@ -353,12 +354,13 @@ void print_serving_stats(const net::Server& server,
   std::printf(
       "net: %zu open / %zu accepted / %zu rejected conns, %zu requests, "
       "%zu replies, %zu error frames, %zu protocol errors | service: "
-      "queue depth %zu, mean batch %.2f, p50 %.0f us, p95 %.0f us\n",
+      "queue depth %zu, mean batch %.2f, p50 %.0f us, p95 %.0f us, "
+      "p99 %.0f us\n",
       net_stats.connections_open, net_stats.connections_accepted,
       net_stats.connections_rejected, net_stats.requests_received,
       net_stats.replies_sent, net_stats.error_frames_sent,
       net_stats.protocol_errors, svc.queue_depth, svc.mean_batch,
-      svc.p50_latency_us, svc.p95_latency_us);
+      svc.p50_latency_us, svc.p95_latency_us, svc.p99_latency_us);
 }
 
 int run_serve(int argc, char** argv) {

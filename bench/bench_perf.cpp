@@ -12,8 +12,10 @@
 #include <cstdlib>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <fstream>
 #include <future>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -38,7 +40,9 @@
 #include "linalg/sparse.hpp"
 #include "mna/ac_analysis.hpp"
 #include "mna/system.hpp"
+#include "obs/metrics.hpp"
 #include "service/diagnosis_service.hpp"
+#include "service/dictionary_store.hpp"
 #include "session.hpp"
 #include "util/rng.hpp"
 
@@ -874,8 +878,8 @@ void write_service_report(const char* path) {
   using Clock = std::chrono::steady_clock;
 
   const auto cut = circuits::make_by_name("state_variable");
-  const auto dictionary = faults::FaultDictionary::build(
-      cut, faults::FaultUniverse::over_testable(cut));
+  const auto universe = faults::FaultUniverse::over_testable(cut);
+  const auto dictionary = faults::FaultDictionary::build(cut, universe);
 
   std::ostringstream csv_os;
   io::save_dictionary(csv_os, dictionary);
@@ -927,7 +931,8 @@ void write_service_report(const char* path) {
     points.push_back(
         core::Point{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2)});
   }
-  auto requests_per_second = [&](std::size_t workers) {
+  auto requests_per_second = [&](std::size_t workers,
+                                 service::ServiceStats* stats_out = nullptr) {
     ServiceOptions options;
     options.workers = workers;
     options.max_batch = 32;
@@ -955,6 +960,7 @@ void write_service_report(const char* path) {
           std::chrono::duration<double>(Clock::now() - start).count();
       best_rps = std::max(best_rps,
                           static_cast<double>(points.size()) / seconds);
+      if (stats_out != nullptr) *stats_out = service.stats();
     }
     return best_rps;
   };
@@ -962,7 +968,88 @@ void write_service_report(const char* path) {
   // slower than one (the fork/join regression this report used to show).
   const double rps_1 = requests_per_second(1);
   const double rps_2 = requests_per_second(2);
-  const double rps_4 = requests_per_second(4);
+  service::ServiceStats service_stats;
+  const double rps_4 = requests_per_second(4, &service_stats);
+
+  // Observability overhead: only the timing layer (histograms, spans) is
+  // gated by obs::enabled(), so toggling it isolates exactly the cost the
+  // instrumentation adds to the hot paths — counters stay on either way.
+  // Runs alternate on/off so slow machine phases hit both sides equally,
+  // and each side is summarised by its *minimum* — the fastest run is the
+  // one least disturbed by scheduling noise, so min(on)/min(off) is the
+  // most noise-resistant estimate of the true cost ratio.  Sub-noise
+  // differences clamp to zero.
+  const bool obs_was_enabled = obs::enabled();
+  auto alternated_overhead_pct = [&](auto&& run) {
+    double min_on = std::numeric_limits<double>::infinity();
+    double min_off = min_on;
+    for (int rep = 0; rep < 31; ++rep) {
+      obs::set_enabled(true);
+      auto start = Clock::now();
+      run();
+      min_on = std::min(
+          min_on,
+          std::chrono::duration<double>(Clock::now() - start).count());
+      obs::set_enabled(false);
+      start = Clock::now();
+      run();
+      min_off = std::min(
+          min_off,
+          std::chrono::duration<double>(Clock::now() - start).count());
+    }
+    return std::max(0.0, (min_on / min_off - 1.0) * 100.0);
+  };
+  const double engine_obs_overhead_pct = alternated_overhead_pct([&] {
+    for (int i = 0; i < 10; ++i) {
+      benchmark::DoNotOptimize(
+          faults::FaultDictionary::build(cut, universe, faults::SimOptions{}));
+    }
+  });
+  ServiceOptions overhead_options;
+  overhead_options.workers = 2;
+  overhead_options.max_batch = 32;
+  // The service lives outside the timed region: constructing one spawns
+  // and joins worker threads, which on a small box costs far more (and
+  // far less predictably) than the request path being measured.
+  service::DiagnosisService overhead_service(overhead_options);
+  overhead_service.add_session("state_variable", session);
+  const double service_obs_overhead_pct = alternated_overhead_pct([&] {
+    for (int pass = 0; pass < 10; ++pass) {
+      std::vector<std::future<service::DiagnosisReply>> futures;
+      futures.reserve(points.size());
+      for (const auto& point : points) {
+        service::DiagnosisRequest request;
+        request.circuit = "state_variable";
+        request.points.push_back(point);
+        futures.push_back(overhead_service.submit(std::move(request)));
+      }
+      for (auto& future : futures) benchmark::DoNotOptimize(future.get());
+    }
+  });
+  obs::set_enabled(obs_was_enabled);
+
+  // Store hit-rate over a warm->cold->warm exercise: one build, one
+  // memory hit, one disk hit from a second store over the same root.
+  const std::string store_dir = "/tmp/ftdiag_bench_store";
+  std::filesystem::remove_all(store_dir);
+  double store_hit_rate = 0.0;
+  {
+    service::StoreOptions store_options;
+    store_options.root_dir = store_dir;
+    const faults::DeviationSpec spec;
+    const faults::SimOptions sim;
+    service::DictionaryStore first(store_options);
+    benchmark::DoNotOptimize(first.get(cut, spec, sim));   // cold build
+    benchmark::DoNotOptimize(first.get(cut, spec, sim));   // memory hit
+    service::DictionaryStore second(store_options);
+    benchmark::DoNotOptimize(second.get(cut, spec, sim));  // disk hit
+    const auto s1 = first.stats();
+    const auto s2 = second.stats();
+    const double hits = static_cast<double>(s1.memory_hits + s2.memory_hits +
+                                            s1.disk_hits + s2.disk_hits);
+    store_hit_rate = hits / (hits + static_cast<double>(s1.builds + s2.builds));
+  }
+  std::filesystem::remove_all(store_dir);
 
   // Networked serving: loopback server, 4 pipelined clients, per-request
   // submit->reply latency percentiles over the wire.
@@ -1046,6 +1133,11 @@ void write_service_report(const char* path) {
                "  \"service_rps_workers1\": %.0f,\n"
                "  \"service_rps_workers2\": %.0f,\n"
                "  \"service_rps_workers4\": %.0f,\n"
+               "  \"queue_depth\": %zu,\n"
+               "  \"mean_batch\": %.2f,\n"
+               "  \"store_hit_rate\": %.3f,\n"
+               "  \"service_obs_overhead_pct\": %.2f,\n"
+               "  \"engine_obs_overhead_pct\": %.2f,\n"
                "  \"net_rps\": %.0f,\n"
                "  \"net_p50_us\": %.0f,\n"
                "  \"net_p95_us\": %.0f,\n"
@@ -1056,17 +1148,23 @@ void write_service_report(const char* path) {
                csv_ms / fdx_ms, mmap_ms, mmap_zero_copy ? "true" : "false",
                round_trip_ok ? "true" : "false",
                static_cast<std::size_t>(std::thread::hardware_concurrency()),
-               rps_1, rps_2, rps_4, net_rps, net_p50_us, net_p95_us,
-               net_p99_us);
+               rps_1, rps_2, rps_4, service_stats.queue_depth,
+               service_stats.mean_batch, store_hit_rate,
+               service_obs_overhead_pct, engine_obs_overhead_pct, net_rps,
+               net_p50_us, net_p95_us, net_p99_us);
   std::fclose(out);
   std::printf("dictionary load (state_variable): csv %.3f ms, binary %.3f ms "
               "(%.2fx), mmap attach %.3f ms%s, round trip %s; service "
-              "%.0f -> %.0f -> %.0f req/s; net %.0f req/s "
-              "(p50 %.0f us, p95 %.0f us, p99 %.0f us) -> %s\n",
+              "%.0f -> %.0f -> %.0f req/s (mean batch %.2f, store hit-rate "
+              "%.3f); obs overhead service %.2f%%, engine %.2f%%; "
+              "net %.0f req/s (p50 %.0f us, p95 %.0f us, p99 %.0f us) "
+              "-> %s\n",
               csv_ms, fdx_ms, csv_ms / fdx_ms, mmap_ms,
               mmap_zero_copy ? " (zero-copy)" : "",
               round_trip_ok ? "bit-identical" : "MISMATCH", rps_1, rps_2,
-              rps_4, net_rps, net_p50_us, net_p95_us, net_p99_us, path);
+              rps_4, service_stats.mean_batch, store_hit_rate,
+              service_obs_overhead_pct, engine_obs_overhead_pct, net_rps,
+              net_p50_us, net_p95_us, net_p99_us, path);
 }
 
 }  // namespace

@@ -4,11 +4,42 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/threads.hpp"
 
 namespace ftdiag::core {
+
+namespace {
+
+/// Process-wide GA-pipeline cache metrics (`ftdiag_pipeline_*`); the
+/// per-instance PipelineStats struct keeps its exact local counts.
+struct PipelineMetrics {
+  ftdiag::obs::Counter& genomes_evaluated;
+  ftdiag::obs::Counter& genome_hits;
+  ftdiag::obs::Counter& column_hits;
+  ftdiag::obs::Counter& column_misses;
+
+  static PipelineMetrics& get() {
+    static PipelineMetrics* m = [] {
+      auto& reg = ftdiag::obs::Registry::global();
+      return new PipelineMetrics{
+          reg.counter("ftdiag_pipeline_genomes_evaluated_total", {},
+                      "genome fitness evaluations requested"),
+          reg.counter("ftdiag_pipeline_genome_hits_total", {},
+                      "evaluations answered from the fitness memo"),
+          reg.counter("ftdiag_pipeline_column_hits_total", {},
+                      "signature columns answered from the cache"),
+          reg.counter("ftdiag_pipeline_column_misses_total", {},
+                      "signature columns interpolated from scratch"),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 namespace {
 
@@ -207,12 +238,14 @@ EvaluationPipeline::column_for(std::int64_t key) const {
       std::lock_guard<std::mutex> lock(cache_mutex_);
       auto it = cache_.find(key);
       if (it != cache_.end()) {
+        PipelineMetrics::get().column_hits.inc();
         ++stats_.column_hits;
         return it->second;
       }
     }
     auto built = std::make_shared<const Column>(build_column(key));
     std::lock_guard<std::mutex> lock(cache_mutex_);
+    PipelineMetrics::get().column_misses.inc();
     ++stats_.column_misses;
     // A concurrent builder may have won the race; columns are pure
     // functions of the key, so keeping the first insertion is safe.
@@ -221,6 +254,7 @@ EvaluationPipeline::column_for(std::int64_t key) const {
   }
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
+    PipelineMetrics::get().column_misses.inc();
     ++stats_.column_misses;
   }
   return std::make_shared<const Column>(build_column(key));
@@ -308,6 +342,8 @@ double EvaluationPipeline::evaluate_with(const std::vector<double>& genes,
     std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = fitness_memo_.find(scratch.keys);
     if (it != fitness_memo_.end()) {
+      PipelineMetrics::get().genome_hits.inc();
+      PipelineMetrics::get().genomes_evaluated.inc();
       ++stats_.genome_hits;
       ++stats_.genomes_evaluated;
       return it->second;
@@ -315,6 +351,7 @@ double EvaluationPipeline::evaluate_with(const std::vector<double>& genes,
   }
   const double fitness = evaluator_.objective().evaluate(
       trajectories_for_keys(scratch.keys, scratch.columns));
+  PipelineMetrics::get().genomes_evaluated.inc();
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     ++stats_.genomes_evaluated;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <optional>
@@ -14,6 +15,7 @@
 #include "mna/ac_analysis.hpp"
 #include "mna/stamp_update.hpp"
 #include "mna/sweep_solver.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/threads.hpp"
@@ -90,6 +92,48 @@ struct SiteLane {
 /// therefore every lane's arithmetic — depends only on the grid, never
 /// on the thread count.
 constexpr std::size_t kFrequencyBlock = 64;
+
+/// Process-wide engine metrics (`ftdiag_engine_*`).  Deliberately
+/// registry-global rather than per-engine: BatchResult::stats stays the
+/// deterministic per-call record, while these accumulate across every
+/// engine in the process for live monitoring.  Leaked references into
+/// the leaked global registry, so worker threads can bump them at any
+/// point of shutdown.
+struct EngineMetrics {
+  obs::Counter& builds;
+  obs::Counter& rank1_solves;
+  obs::Counter& full_solves;
+  obs::Counter& fallback_faults;
+  obs::Counter& refactorizations;
+  obs::Histogram& block_us;
+  obs::Gauge& simd_width;
+
+  static EngineMetrics& get() {
+    static EngineMetrics* m = [] {
+      obs::Registry& reg = obs::Registry::global();
+      return new EngineMetrics{
+          reg.counter("ftdiag_engine_builds_total", {},
+                      "batch fault simulations run"),
+          reg.counter("ftdiag_engine_rank1_solves_total", {},
+                      "fault-frequency solutions via Sherman-Morrison reuse"),
+          reg.counter("ftdiag_engine_full_solves_total", {},
+                      "fault-frequency solutions via full factorization"),
+          reg.counter("ftdiag_engine_fallback_faults_total", {},
+                      "faults served by the naive inject-and-sweep path"),
+          reg.counter("ftdiag_engine_refactorizations_total", {},
+                      "lazy exact refactorizations for refused rank-1 "
+                      "updates"),
+          reg.histogram("ftdiag_engine_block_solve_us",
+                        obs::Histogram::latency_us_bounds(), {},
+                        "wall time per 64-frequency block (golden factor + "
+                        "all sites' rank-1 sweeps)"),
+          reg.gauge("ftdiag_engine_simd_width", {},
+                    "SIMD pack width of the active sweep kernel"),
+      };
+    }();
+    return *m;
+  }
+};
 
 /// Naive per-fault path: inject and sweep from scratch.  This is the exact
 /// computation of the legacy serial loop, so reuse-off results (and
@@ -204,6 +248,11 @@ void reuse_sweep(const circuits::CircuitUnderTest& cut,
   golden_im.resize(total);
 
   for (std::size_t begin = 0; begin < total; begin += kFrequencyBlock) {
+    // Timed at the sequential outer loop: one observation per block,
+    // covering the golden factor phase plus every site's rank-1 sweep.
+    const bool timed = obs::enabled();
+    const auto block_start = timed ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
     const std::size_t end = std::min(total, begin + kFrequencyBlock);
     const std::size_t m = end - begin;
     const std::size_t batches = (m + kW - 1) / kW;
@@ -312,6 +361,7 @@ void reuse_sweep(const circuits::CircuitUnderTest& cut,
           if (!site.refactorized[k]) {
             site.refactorized[k] = std::make_unique<mna::AcAnalysis>(
                 inject(cut.circuit, fault));
+            EngineMetrics::get().refactorizations.inc();
           }
           const Complex v = site.refactorized[k]->node_voltage(
               frequencies_hz[begin + bi], cut.output_node);
@@ -322,6 +372,12 @@ void reuse_sweep(const circuits::CircuitUnderTest& cut,
         site.full_solves += refusals;
       }
     });
+    if (timed) {
+      EngineMetrics::get().block_us.observe(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - block_start)
+              .count());
+    }
   }
 }
 
@@ -352,6 +408,13 @@ BatchResult SimulationEngine::simulate_all(
   // backend-neutral BatchSweepSolver (batched dense LU small, per-lane
   // pattern-reusing sparse LU large).  Only reuse-off configurations and
   // a ground output take the naive path, still fault-parallel.
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.builds.inc();
+  metrics.simd_width.set(
+      linalg::simd::enabled()
+          ? static_cast<std::int64_t>(linalg::simd::DefaultPack::width)
+          : 1);
+
   const bool reuse = options_.reuse_factorization && out != mna::kNoUnknown;
   if (!reuse) {
     result.golden = golden_analysis.sweep(frequencies_hz, cut_.output_node);
@@ -360,6 +423,8 @@ BatchResult SimulationEngine::simulate_all(
     });
     result.stats.full_solves = faults.size() * frequencies_hz.size();
     result.stats.fallback_faults = faults.size();
+    metrics.full_solves.inc(result.stats.full_solves);
+    metrics.fallback_faults.inc(result.stats.fallback_faults);
     return result;
   }
 
@@ -440,6 +505,9 @@ BatchResult SimulationEngine::simulate_all(
     result.stats.rank1_solves += state[si].rank1_solves;
     result.stats.full_solves += state[si].full_solves;
   }
+  metrics.rank1_solves.inc(result.stats.rank1_solves);
+  metrics.full_solves.inc(result.stats.full_solves);
+  metrics.fallback_faults.inc(result.stats.fallback_faults);
   return result;
 }
 

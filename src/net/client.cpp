@@ -91,6 +91,25 @@ void Client::ping() {
   }
 }
 
+std::string Client::stats(StatsFormat format) {
+  socket_.send_all(
+      encode_frame(MessageType::kStats, encode_stats_request(format)));
+  std::string payload;
+  const FrameHeader header = read_frame(payload);
+  switch (header.type) {
+    case static_cast<std::uint8_t>(MessageType::kStatsReply):
+      return decode_stats_reply(payload);
+    case static_cast<std::uint8_t>(MessageType::kError): {
+      const DecodedError error = decode_error(payload);
+      throw RemoteError(error.message);
+    }
+    default:
+      throw ParseError(
+          str::format("expected stats reply, got message type %u",
+                      static_cast<unsigned>(header.type)));
+  }
+}
+
 void Client::close() { socket_.close(); }
 
 }  // namespace ftdiag::net

@@ -47,6 +47,12 @@ public:
   /// Round-trip a ping frame (liveness / warm-up).
   void ping();
 
+  /// Fetch the server's metrics snapshot rendered as JSON or Prometheus
+  /// text.  Call with no diagnose requests in flight — the reply shares
+  /// the connection's FIFO stream.  \throws RemoteError when the server
+  /// answered with an error frame (e.g. an old peer without kStats).
+  [[nodiscard]] std::string stats(StatsFormat format = StatsFormat::kJson);
+
   // Low-level pipelining primitives ------------------------------------
 
   /// Send one diagnose frame without waiting; returns its request id.

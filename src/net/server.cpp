@@ -3,12 +3,23 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <optional>
 #include <utility>
 
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace ftdiag::net {
+
+namespace {
+std::string next_instance_label() {
+  static std::atomic<std::uint64_t> seq{0};
+  return std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+}  // namespace
 
 /// One queued item for the writer thread: either a frame that is already
 /// encoded (pong, error) or a pending diagnosis whose future the writer
@@ -43,7 +54,38 @@ Server::Server(service::DiagnosisService& service, ServerOptions options)
   }
   listener_ = Listener::bind(options_.host, options_.port);
   port_ = listener_.port();
+  const obs::Labels labels{{"instance", next_instance_label()}};
+  collector_ = obs::Registry::global().add_collector(
+      [this, labels](obs::SampleSink& sink) {
+        const ServerStats s = stats();
+        sink.counter("ftdiag_net_connections_accepted_total",
+                     static_cast<double>(s.connections_accepted), labels,
+                     "connections accepted");
+        sink.counter("ftdiag_net_connections_rejected_total",
+                     static_cast<double>(s.connections_rejected), labels,
+                     "connections rejected over max_connections");
+        sink.gauge("ftdiag_net_connections_open",
+                   static_cast<double>(s.connections_open), labels,
+                   "connections open right now");
+        sink.counter("ftdiag_net_requests_received_total",
+                     static_cast<double>(s.requests_received), labels,
+                     "diagnose frames received, malformed included");
+        sink.counter("ftdiag_net_replies_sent_total",
+                     static_cast<double>(s.replies_sent), labels,
+                     "diagnosis reply frames sent");
+        sink.counter("ftdiag_net_error_frames_sent_total",
+                     static_cast<double>(s.error_frames_sent), labels,
+                     "error frames sent");
+        sink.counter("ftdiag_net_protocol_errors_total",
+                     static_cast<double>(s.protocol_errors), labels,
+                     "unrecoverable streams closed");
+        sink.counter("ftdiag_net_disconnects_total",
+                     static_cast<double>(s.disconnects), labels,
+                     "connections that ended");
+      });
   accept_thread_ = std::thread([this] { accept_loop(); });
+  log::info("net: listening",
+            {{"host", options_.host}, {"port", std::uint64_t{port_}}});
 }
 
 Server::~Server() { stop(); }
@@ -60,7 +102,9 @@ void Server::accept_loop() {
       open = connections_.size();
     }
     if (open >= options_.max_connections) {
-      counters_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      counters_.connections_rejected.inc();
+      log::warn("net: connection rejected",
+                {{"open", open}, {"limit", options_.max_connections}});
       try {
         socket.send_all(encode_frame(
             MessageType::kError,
@@ -72,8 +116,8 @@ void Server::accept_loop() {
       continue;  // socket closes on scope exit
     }
 
-    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    counters_.connections_open.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_accepted.inc();
+    counters_.connections_open.add(1);
     auto conn = std::make_unique<Connection>();
     conn->socket = std::move(socket);
     Connection& ref = *conn;
@@ -122,18 +166,24 @@ void Server::reader_loop(Connection& conn) {
     } catch (const Error& error) {
       // Bad magic, bad version, reserved flags, oversized length prefix:
       // the byte stream cannot be resynchronized.  Answer once, close.
-      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      counters_.protocol_errors.inc();
+      log::debug("net: protocol error", {{"error", error.what()}});
       enqueue_error(0, error.what());
       break;
     }
 
+    // kNetRecv covers payload read + decode + submit for diagnose
+    // frames; other frame types cancel the span below.
+    obs::Span recv_span(obs::Stage::kNetRecv);
     payload.resize(header.payload_size);
     try {
       if (header.payload_size > 0 &&
           !conn.socket.recv_exact(payload.data(), payload.size())) {
+        recv_span.cancel();
         break;
       }
     } catch (const NetError&) {
+      recv_span.cancel();
       break;  // peer vanished mid-payload
     }
 
@@ -141,12 +191,34 @@ void Server::reader_loop(Connection& conn) {
     // answerable in-band and the connection survives it.
     switch (header.type) {
       case static_cast<std::uint8_t>(MessageType::kPing): {
+        recv_span.cancel();
         Outgoing item;
         item.ready_frame = encode_frame(MessageType::kPong, payload);
         enqueue(std::move(item));
         break;
       }
+      case static_cast<std::uint8_t>(MessageType::kStats): {
+        recv_span.cancel();
+        try {
+          const StatsFormat format = decode_stats_request(payload);
+          const std::string rendered =
+              format == StatsFormat::kPrometheus
+                  ? obs::render_prometheus(obs::Registry::global())
+                  : obs::render_json(obs::Registry::global());
+          Outgoing item;
+          item.ready_frame = encode_frame(MessageType::kStatsReply,
+                                          encode_stats_reply(rendered));
+          enqueue(std::move(item));
+        } catch (const Error& error) {
+          enqueue_error(0, error.what());
+        }
+        break;
+      }
       case static_cast<std::uint8_t>(MessageType::kDiagnose): {
+        // Counted before decoding so malformed payloads are received
+        // requests too — the invariant `requests_received == replies_sent
+        // + error_frames_sent` holds over whole connections.
+        counters_.requests_received.inc();
         std::uint64_t request_id = 0;
         try {
           DecodedDiagnose decoded = decode_diagnose(payload);
@@ -154,17 +226,18 @@ void Server::reader_loop(Connection& conn) {
           Outgoing item;
           item.request_id = request_id;
           item.pending = service_.submit(std::move(decoded.request));
-          counters_.requests_received.fetch_add(1,
-                                                std::memory_order_relaxed);
           enqueue(std::move(item));
+          recv_span.finish();
         } catch (const Error& error) {
           // Malformed payload or a submit-side rejection (empty request,
           // service shut down): this request fails, the peer stays.
+          recv_span.cancel();
           enqueue_error(request_id, error.what());
         }
         break;
       }
       default:
+        recv_span.cancel();
         enqueue_error(
             0, str::format("unsupported message type %u",
                            static_cast<unsigned>(header.type)));
@@ -194,17 +267,26 @@ void Server::writer_loop(Connection& conn) {
 
     std::string frame;
     bool is_reply = false;
+    bool is_error = false;
+    // kReplySend: encoding + writing a diagnosis reply.  The future wait
+    // above it is solve/score time and is traced in the service, so the
+    // span starts only once the reply is in hand.
+    std::optional<obs::Span> send_span;
     if (!item.ready_frame.empty()) {
       frame = std::move(item.ready_frame);
+      is_error = frame.size() > 5 &&
+                 frame[5] == static_cast<char>(MessageType::kError);
     } else {
       try {
         const service::DiagnosisReply reply = item.pending.get();
+        send_span.emplace(obs::Stage::kReplySend, item.request_id);
         frame = encode_frame(MessageType::kDiagnoseReply,
                              encode_reply(item.request_id, reply));
         is_reply = true;
       } catch (const std::exception& error) {
         frame = encode_frame(MessageType::kError,
                              encode_error(item.request_id, error.what()));
+        is_error = true;
       }
     }
 
@@ -213,14 +295,21 @@ void Server::writer_loop(Connection& conn) {
       std::lock_guard<std::mutex> lock(conn.mutex);
       broken = conn.broken;
     }
-    if (broken) continue;  // keep draining futures, stop writing
+    if (broken) {
+      if (send_span) send_span->cancel();
+      continue;  // keep draining futures, stop writing
+    }
 
     try {
       conn.socket.send_all(frame);
-      auto& counter =
-          is_reply ? counters_.replies_sent : counters_.error_frames_sent;
-      counter.fetch_add(1, std::memory_order_relaxed);
+      if (send_span) send_span->finish();
+      if (is_reply) {
+        counters_.replies_sent.inc();
+      } else if (is_error) {
+        counters_.error_frames_sent.inc();
+      }
     } catch (const NetError&) {
+      if (send_span) send_span->cancel();
       std::lock_guard<std::mutex> lock(conn.mutex);
       conn.broken = true;
       conn.space_cv.notify_all();  // unblock a reader stuck on inflight
@@ -231,8 +320,8 @@ void Server::writer_loop(Connection& conn) {
   // socket so a reader still blocked in recv wakes up, then mark the
   // connection reapable.
   conn.socket.shutdown_both();
-  counters_.disconnects.fetch_add(1, std::memory_order_relaxed);
-  counters_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+  counters_.disconnects.inc();
+  counters_.connections_open.sub(1);
   conn.finished.store(true, std::memory_order_release);
 }
 
@@ -264,21 +353,15 @@ void Server::reap_finished(bool all) {
 
 ServerStats Server::stats() const {
   ServerStats stats;
-  stats.connections_accepted =
-      counters_.connections_accepted.load(std::memory_order_relaxed);
-  stats.connections_rejected =
-      counters_.connections_rejected.load(std::memory_order_relaxed);
+  stats.connections_accepted = counters_.connections_accepted.value();
+  stats.connections_rejected = counters_.connections_rejected.value();
   stats.connections_open =
-      counters_.connections_open.load(std::memory_order_relaxed);
-  stats.requests_received =
-      counters_.requests_received.load(std::memory_order_relaxed);
-  stats.replies_sent =
-      counters_.replies_sent.load(std::memory_order_relaxed);
-  stats.error_frames_sent =
-      counters_.error_frames_sent.load(std::memory_order_relaxed);
-  stats.protocol_errors =
-      counters_.protocol_errors.load(std::memory_order_relaxed);
-  stats.disconnects = counters_.disconnects.load(std::memory_order_relaxed);
+      static_cast<std::size_t>(counters_.connections_open.value());
+  stats.requests_received = counters_.requests_received.value();
+  stats.replies_sent = counters_.replies_sent.value();
+  stats.error_frames_sent = counters_.error_frames_sent.value();
+  stats.protocol_errors = counters_.protocol_errors.value();
+  stats.disconnects = counters_.disconnects.value();
   return stats;
 }
 
@@ -291,6 +374,13 @@ void Server::stop() {
   listener_.close();  // wakes the blocked accept()
   if (accept_thread_.joinable()) accept_thread_.join();
   reap_finished(true);
+  collector_.release();
+  const ServerStats s = stats();
+  log::info("net: server stopped",
+            {{"requests", s.requests_received},
+             {"replies", s.replies_sent},
+             {"errors", s.error_frames_sent},
+             {"disconnects", s.disconnects}});
 }
 
 }  // namespace ftdiag::net

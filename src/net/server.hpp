@@ -28,6 +28,7 @@
 
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
 #include "service/diagnosis_service.hpp"
 
 namespace ftdiag::net {
@@ -43,12 +44,19 @@ struct ServerOptions {
   std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
 };
 
-/// Monotonic serving counters (connections_open is a gauge).
+/// Monotonic serving counters (connections_open is a gauge).  On a
+/// connection that drains cleanly, every received diagnose frame is
+/// answered exactly once, so `requests_received == replies_sent +
+/// error_frames_sent` once `connections_open` returns to 0.  The same
+/// counters are exported process-wide as `ftdiag_net_*` through an
+/// `obs::Registry` collector.
 struct ServerStats {
   std::size_t connections_accepted = 0;
   std::size_t connections_rejected = 0;  ///< over max_connections
   std::size_t connections_open = 0;
-  std::size_t requests_received = 0;  ///< well-formed diagnose frames
+  /// Diagnose frames received, malformed payloads included — each one
+  /// produces exactly one reply or error frame.
+  std::size_t requests_received = 0;
   std::size_t replies_sent = 0;
   std::size_t error_frames_sent = 0;
   std::size_t protocol_errors = 0;  ///< unrecoverable streams closed
@@ -95,17 +103,20 @@ private:
   std::mutex connections_mutex_;
   std::list<std::unique_ptr<Connection>> connections_;
 
+  /// Instance-owned obs primitives backing the public ServerStats view;
+  /// the collector below mirrors them into Registry::global() snapshots.
   struct Counters {
-    std::atomic<std::size_t> connections_accepted{0};
-    std::atomic<std::size_t> connections_rejected{0};
-    std::atomic<std::size_t> connections_open{0};
-    std::atomic<std::size_t> requests_received{0};
-    std::atomic<std::size_t> replies_sent{0};
-    std::atomic<std::size_t> error_frames_sent{0};
-    std::atomic<std::size_t> protocol_errors{0};
-    std::atomic<std::size_t> disconnects{0};
+    obs::Counter connections_accepted;
+    obs::Counter connections_rejected;
+    obs::Gauge connections_open;
+    obs::Counter requests_received;
+    obs::Counter replies_sent;
+    obs::Counter error_frames_sent;
+    obs::Counter protocol_errors;
+    obs::Counter disconnects;
   };
   mutable Counters counters_;
+  obs::Registry::CollectorHandle collector_;
 };
 
 }  // namespace ftdiag::net

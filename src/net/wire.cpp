@@ -62,7 +62,7 @@ mna::AcResponse get_response(ByteReader& reader) {
 
 bool is_known_message_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MessageType::kDiagnose) &&
-         raw <= static_cast<std::uint8_t>(MessageType::kPong);
+         raw <= static_cast<std::uint8_t>(MessageType::kStatsReply);
 }
 
 std::string encode_frame(MessageType type, std::string_view payload) {
@@ -194,6 +194,34 @@ DecodedError decode_error(std::string_view payload) {
   decoded.request_id = reader.get_u64();
   decoded.message = reader.get_str();
   return decoded;
+}
+
+std::string encode_stats_request(StatsFormat format) {
+  std::string out;
+  io::put_u8(out, static_cast<std::uint8_t>(format));
+  return out;
+}
+
+StatsFormat decode_stats_request(std::string_view payload) {
+  if (payload.empty()) return StatsFormat::kJson;
+  ByteReader reader(payload, "stats request payload");
+  const std::uint8_t raw = reader.get_u8();
+  switch (raw) {
+    case static_cast<std::uint8_t>(StatsFormat::kJson):
+      return StatsFormat::kJson;
+    case static_cast<std::uint8_t>(StatsFormat::kPrometheus):
+      return StatsFormat::kPrometheus;
+    default:
+      throw ParseError(str::format("unknown stats format %u", raw));
+  }
+}
+
+std::string encode_stats_reply(std::string_view rendered) {
+  return std::string(rendered);
+}
+
+std::string decode_stats_reply(std::string_view payload) {
+  return std::string(payload);
 }
 
 }  // namespace ftdiag::net

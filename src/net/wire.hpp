@@ -55,13 +55,23 @@ inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// adversarial length prefix cannot balloon memory.
 inline constexpr std::uint32_t kDefaultMaxPayloadBytes = 16u << 20;
 
-/// Wire message types (stable byte values — part of protocol version 1).
+/// Wire message types (stable byte values — part of protocol version 1;
+/// kStats/kStatsReply are an additive extension, old peers answer them
+/// with an error frame as for any unknown type).
 enum class MessageType : std::uint8_t {
   kDiagnose = 1,       ///< client -> server: DiagnosisRequest
   kDiagnoseReply = 2,  ///< server -> client: DiagnosisReply
   kError = 3,          ///< server -> client: request or connection error
   kPing = 4,           ///< client -> server: liveness probe
   kPong = 5,           ///< server -> client: liveness answer
+  kStats = 6,          ///< client -> server: metrics snapshot request
+  kStatsReply = 7,     ///< server -> client: rendered metrics snapshot
+};
+
+/// Rendering requested by a kStats frame.
+enum class StatsFormat : std::uint8_t {
+  kJson = 0,
+  kPrometheus = 1,
 };
 
 [[nodiscard]] bool is_known_message_type(std::uint8_t raw);
@@ -122,5 +132,15 @@ struct DecodedError {
   std::string message;
 };
 [[nodiscard]] DecodedError decode_error(std::string_view payload);
+
+/// kStats: a single format byte.  An empty payload means kJson, so the
+/// simplest possible prober (`printf 'FTDN...'`) still gets an answer.
+[[nodiscard]] std::string encode_stats_request(StatsFormat format);
+[[nodiscard]] StatsFormat decode_stats_request(std::string_view payload);
+
+/// kStatsReply: the rendered exposition text, UTF-8, no framing beyond
+/// the payload length.  The format is whatever the request asked for.
+[[nodiscard]] std::string encode_stats_reply(std::string_view rendered);
+[[nodiscard]] std::string decode_stats_reply(std::string_view payload);
 
 }  // namespace ftdiag::net

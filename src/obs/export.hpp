@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file export.hpp
+/// \brief Render a metrics Snapshot as Prometheus text exposition or
+///        JSON.  Both renderers are pure functions over a snapshot; the
+///        overloads taking a Registry are convenience wrappers.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ftdiag::obs {
+
+/// Prometheus text exposition format (version 0.0.4): `# HELP` /
+/// `# TYPE` headers, `name{label="value"} v` lines, histograms as
+/// cumulative `_bucket{le="..."}` plus `_sum` / `_count`.
+[[nodiscard]] std::string render_prometheus(const Snapshot& snapshot);
+[[nodiscard]] std::string render_prometheus(const Registry& registry);
+
+/// JSON object `{"metrics": [...]}`; each histogram entry carries its
+/// buckets plus precomputed p50/p95/p99 interpolated estimates so
+/// consumers (CLI, CI) do not reimplement quantile math.
+[[nodiscard]] std::string render_json(const Snapshot& snapshot);
+[[nodiscard]] std::string render_json(const Registry& registry);
+
+}  // namespace ftdiag::obs

@@ -1,0 +1,64 @@
+#include "obs/trace.hpp"
+
+namespace ftdiag::obs {
+
+const char* stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kNetRecv:
+      return "net_recv";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kBatchCoalesce:
+      return "batch_coalesce";
+    case Stage::kDictFetch:
+      return "dict_fetch";
+    case Stage::kSolve:
+      return "solve";
+    case Stage::kScore:
+      return "score";
+    case Stage::kReplySend:
+      return "reply_send";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(Registry& registry, double slow_threshold_us)
+    : slow_threshold_us_(slow_threshold_us) {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    stages_[i] = &registry.histogram(
+        "ftdiag_stage_duration_us", Histogram::latency_us_bounds(),
+        {{"stage", stage_name(static_cast<Stage>(i))}},
+        "per-stage diagnosis request latency in microseconds");
+  }
+}
+
+Tracer& Tracer::global() {
+  // Leaked for the same reason as Registry::global(): spans may fire
+  // from worker threads during static destruction.
+  static Tracer* g = new Tracer(Registry::global());
+  return *g;
+}
+
+void Tracer::record(Stage stage, double us, std::uint64_t request_id) noexcept {
+  if (!enabled()) return;
+  stages_[static_cast<std::size_t>(stage)]->observe(us);
+  if (us < slow_threshold_us_) return;
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  ring_[ring_head_] = SlowTrace{stage, us, request_id, next_seq_++};
+  ring_head_ = (ring_head_ + 1) % kRingCapacity;
+  if (ring_size_ < kRingCapacity) ++ring_size_;
+}
+
+std::vector<SlowTrace> Tracer::slow_traces() const {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  std::vector<SlowTrace> out;
+  out.reserve(ring_size_);
+  const std::size_t start =
+      (ring_head_ + kRingCapacity - ring_size_) % kRingCapacity;
+  for (std::size_t i = 0; i < ring_size_; ++i) {
+    out.push_back(ring_[(start + i) % kRingCapacity]);
+  }
+  return out;
+}
+
+}  // namespace ftdiag::obs

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief Stage-span tracing for the diagnosis request path.
+///
+/// Every diagnosis request is decomposed into seven stages:
+///
+///   net_recv       frame header seen -> request decoded & submitted
+///   queue_wait     batch's oldest request enqueued -> batch processing
+///                  starts (one sample per batch: its worst-case wait)
+///   batch_coalesce first pop of a batch -> scoop + linger finished
+///   dict_fetch     DictionaryStore::get (memory / disk / build tiers)
+///   solve          session diagnose_batch wall time
+///   score          splitting batch results + completing futures
+///   reply_send     encoding + writing the reply frame
+///
+/// Each stage feeds a microsecond histogram
+/// `ftdiag_stage_duration_us{stage="..."}` in a `Registry`, and samples
+/// slower than a threshold are kept in a small ring buffer of recent
+/// slow traces for post-hoc inspection.  All recording is gated by
+/// `obs::enabled()` and costs two steady_clock reads plus a histogram
+/// observe when on.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ftdiag::obs {
+
+enum class Stage : std::uint8_t {
+  kNetRecv = 0,
+  kQueueWait,
+  kBatchCoalesce,
+  kDictFetch,
+  kSolve,
+  kScore,
+  kReplySend,
+};
+inline constexpr std::size_t kStageCount = 7;
+
+/// Stable exposition label for a stage ("net_recv", "queue_wait", ...).
+[[nodiscard]] const char* stage_name(Stage stage) noexcept;
+
+/// One entry of the slow-trace ring buffer.
+struct SlowTrace {
+  Stage stage;
+  double us = 0.0;
+  std::uint64_t request_id = 0;
+  std::uint64_t seq = 0;  ///< monotonically increasing record number
+};
+
+/// Owns the seven stage histograms plus the slow-trace ring.
+class Tracer {
+ public:
+  static constexpr std::size_t kRingCapacity = 128;
+  /// Default slowness threshold: 10 ms.
+  explicit Tracer(Registry& registry = Registry::global(),
+                  double slow_threshold_us = 10'000.0);
+
+  /// Process-wide tracer bound to `Registry::global()`.
+  static Tracer& global();
+
+  /// Record one stage duration (microseconds).  No-op when disabled.
+  void record(Stage stage, double us, std::uint64_t request_id = 0) noexcept;
+
+  [[nodiscard]] Histogram& stage_histogram(Stage stage) noexcept {
+    return *stages_[static_cast<std::size_t>(stage)];
+  }
+
+  /// Copy of the ring, oldest first.
+  [[nodiscard]] std::vector<SlowTrace> slow_traces() const;
+  [[nodiscard]] double slow_threshold_us() const noexcept {
+    return slow_threshold_us_;
+  }
+
+ private:
+  std::array<Histogram*, kStageCount> stages_{};
+  double slow_threshold_us_;
+  mutable std::mutex ring_mutex_;
+  std::array<SlowTrace, kRingCapacity> ring_{};
+  std::size_t ring_size_ = 0;
+  std::size_t ring_head_ = 0;  // next write position
+  std::uint64_t next_seq_ = 0;
+};
+
+/// RAII span: measures construction -> finish()/destruction and records
+/// it against a stage.  When `obs::enabled()` is false at construction
+/// the span takes no clock reads at all.
+class Span {
+ public:
+  explicit Span(Stage stage, std::uint64_t request_id = 0,
+                Tracer& tracer = Tracer::global()) noexcept
+      : tracer_(&tracer), stage_(stage), request_id_(request_id) {
+    if (enabled()) {
+      armed_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  /// Record now instead of at destruction (idempotent).
+  void finish() noexcept {
+    if (!armed_) return;
+    armed_ = false;
+    tracer_->record(stage_, elapsed_us(), request_id_);
+  }
+  /// Drop the measurement without recording (e.g. error paths).
+  void cancel() noexcept { armed_ = false; }
+
+  [[nodiscard]] double elapsed_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Tracer* tracer_;
+  Stage stage_;
+  std::uint64_t request_id_;
+  std::chrono::steady_clock::time_point start_{};
+  bool armed_ = false;
+};
+
+}  // namespace ftdiag::obs

@@ -1,15 +1,26 @@
 #include "service/diagnosis_service.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <atomic>
 #include <optional>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/parallel.hpp"
 #include "util/threads.hpp"
 
 namespace ftdiag::service {
+
+namespace {
+/// Distinguishes collector output when several services coexist in one
+/// process (tests, benches).
+std::string next_instance_label() {
+  static std::atomic<std::uint64_t> seq{0};
+  return std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+}  // namespace
 
 std::size_t ServiceOptions::resolved_workers() const {
   if (workers != 0) return workers;
@@ -36,6 +47,43 @@ DiagnosisService::DiagnosisService(ServiceOptions options)
   for (std::size_t i = 0; i < worker_count_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  const obs::Labels labels{{"instance", next_instance_label()}};
+  collector_ = obs::Registry::global().add_collector(
+      [this, labels](obs::SampleSink& sink) {
+        const ServiceStats s = stats();
+        sink.counter("ftdiag_service_submitted_total",
+                     static_cast<double>(s.submitted), labels,
+                     "requests accepted into the service queue");
+        sink.counter("ftdiag_service_completed_total",
+                     static_cast<double>(s.completed), labels,
+                     "requests answered successfully");
+        sink.counter("ftdiag_service_failed_total",
+                     static_cast<double>(s.failed), labels,
+                     "requests completed with an error");
+        sink.counter("ftdiag_service_batches_total",
+                     static_cast<double>(s.batches), labels,
+                     "micro-batches dispatched");
+        sink.counter("ftdiag_service_batched_requests_total",
+                     static_cast<double>(s.batched_requests), labels,
+                     "requests coalesced across all batches");
+        sink.counter("ftdiag_service_queue_full_waits_total",
+                     static_cast<double>(s.queue_full_waits), labels,
+                     "submits that hit queue backpressure");
+        sink.gauge("ftdiag_service_queue_depth",
+                   static_cast<double>(s.queue_depth), labels,
+                   "requests waiting in the queue right now");
+        sink.gauge("ftdiag_service_largest_batch",
+                   static_cast<double>(s.largest_batch), labels,
+                   "most requests coalesced into one batch");
+        sink.gauge("ftdiag_service_mean_batch", s.mean_batch, labels,
+                   "batched_requests / batches");
+        sink.histogram("ftdiag_service_latency_us", latency_us_.snapshot(),
+                       labels, "submit -> reply latency in microseconds");
+      });
+  log::debug("service: started",
+             {{"workers", worker_count_},
+              {"queue_capacity", options_.queue_capacity},
+              {"max_batch", options_.max_batch}});
 }
 
 DiagnosisService::~DiagnosisService() { shutdown(); }
@@ -99,6 +147,9 @@ void DiagnosisService::worker_loop() {
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
     const std::string circuit = batch.front().request.circuit;
+    // Covers scoop + linger: how long assembling this batch delayed its
+    // first request.
+    obs::Span coalesce_span(obs::Stage::kBatchCoalesce);
 
     // Coalesce every queued request for the same circuit, newest included,
     // up to the batch bound.
@@ -136,6 +187,7 @@ void DiagnosisService::worker_loop() {
     // before spending time on our batch.
     const bool leftover = !queue_.empty();
     lock.unlock();
+    coalesce_span.finish();
     space_cv_.notify_all();
     if (leftover) queue_cv_.notify_one();
     process_batch(std::move(batch));
@@ -159,6 +211,17 @@ void DiagnosisService::process_batch(std::vector<Pending> batch) {
     ++stats_.batches;
     stats_.batched_requests += batch.size();
     stats_.largest_batch = std::max(stats_.largest_batch, batch.size());
+  }
+  if (obs::enabled()) {
+    // One sample per batch, for the batch's *oldest* request (the one
+    // popped first, so it waited longest).  This is the batch's
+    // worst-case queue delay — the tail signal we care about — at a
+    // fraction of the per-request recording cost.
+    obs::Tracer::global().record(
+        obs::Stage::kQueueWait,
+        std::chrono::duration<double, std::micro>(Clock::now() -
+                                                  batch.front().enqueued)
+            .count());
   }
 
   const std::optional<Session> session =
@@ -201,6 +264,7 @@ void DiagnosisService::process_batch(std::vector<Pending> batch) {
 
   std::vector<core::Diagnosis> results;
   try {
+    obs::Span solve_span(obs::Stage::kSolve);
     results = session->diagnose_batch(all_points, options_.batch_threads);
   } catch (...) {
     auto error = std::current_exception();
@@ -210,6 +274,11 @@ void DiagnosisService::process_batch(std::vector<Pending> batch) {
     return;
   }
 
+  obs::Span score_span(obs::Stage::kScore);
+  // Replies for a batch land back to back, so the per-request latency
+  // observations are accumulated locally and merged into the histogram
+  // with one atomic pass when the accumulator goes out of scope.
+  obs::HistogramBatch latency_batch(latency_us_);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (spans[i].failed) continue;
     DiagnosisReply reply;
@@ -217,23 +286,25 @@ void DiagnosisService::process_batch(std::vector<Pending> batch) {
         results.begin() + static_cast<std::ptrdiff_t>(spans[i].begin),
         results.begin() +
             static_cast<std::ptrdiff_t>(spans[i].begin + spans[i].count));
-    finish(batch[i], std::move(reply));
+    finish(batch[i], std::move(reply), &latency_batch);
   }
 }
 
-void DiagnosisService::finish(Pending& pending, DiagnosisReply reply) {
-  const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
-      Clock::now() - pending.enqueued);
+void DiagnosisService::finish(Pending& pending, DiagnosisReply reply,
+                              obs::HistogramBatch* latency_sink) {
+  const double us = std::chrono::duration<double, std::micro>(
+                        Clock::now() - pending.enqueued)
+                        .count();
+  if (latency_sink != nullptr) {
+    latency_sink->observe(us > 0.0 ? us : 0.0);
+  } else {
+    latency_us_.observe(us > 0.0 ? us : 0.0);
+  }
   {
     // Count before completing the future, so a caller that joined its
     // reply always observes the request in the counters.
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.completed;
-    const std::uint64_t us =
-        latency.count() > 0 ? static_cast<std::uint64_t>(latency.count()) : 0;
-    const std::size_t bucket = std::min<std::size_t>(
-        kLatencyBuckets - 1, static_cast<std::size_t>(std::bit_width(us)));
-    ++latency_histogram_[bucket];
   }
   pending.promise.set_value(std::move(reply));
 }
@@ -259,26 +330,11 @@ ServiceStats DiagnosisService::stats() const {
     snapshot.mean_batch = static_cast<double>(snapshot.batched_requests) /
                           static_cast<double>(snapshot.batches);
   }
-  std::uint64_t total = 0;
-  for (std::uint64_t count : latency_histogram_) total += count;
-  if (total > 0) {
-    auto percentile = [&](double fraction) {
-      const std::uint64_t target = static_cast<std::uint64_t>(
-          fraction * static_cast<double>(total - 1)) + 1;
-      std::uint64_t seen = 0;
-      for (std::size_t bucket = 0; bucket < kLatencyBuckets; ++bucket) {
-        seen += latency_histogram_[bucket];
-        if (seen >= target) {
-          // bit_width(us) == bucket means us < 2^bucket: report the
-          // bucket's upper bound.
-          return static_cast<double>(std::uint64_t{1} << bucket);
-        }
-      }
-      return static_cast<double>(std::uint64_t{1} << (kLatencyBuckets - 1));
-    };
-    snapshot.p50_latency_us = percentile(0.50);
-    snapshot.p95_latency_us = percentile(0.95);
-    snapshot.p99_latency_us = percentile(0.99);
+  const obs::HistogramSnapshot latency = latency_us_.snapshot();
+  if (latency.count > 0) {
+    snapshot.p50_latency_us = latency.quantile(0.50);
+    snapshot.p95_latency_us = latency.quantile(0.95);
+    snapshot.p99_latency_us = latency.quantile(0.99);
   }
   return snapshot;
 }
@@ -286,6 +342,7 @@ ServiceStats DiagnosisService::stats() const {
 void DiagnosisService::shutdown() {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_ && workers_.empty()) return;  // already shut down
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -294,6 +351,14 @@ void DiagnosisService::shutdown() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // Stop exporting once dead; the public stats() keeps working.
+  collector_.release();
+  const ServiceStats s = stats();
+  log::debug("service: shutdown",
+             {{"completed", s.completed},
+              {"failed", s.failed},
+              {"batches", s.batches},
+              {"mean_batch", s.mean_batch}});
 }
 
 }  // namespace ftdiag::service

@@ -32,6 +32,7 @@
 
 #include "core/diagnosis.hpp"
 #include "mna/response.hpp"
+#include "obs/metrics.hpp"
 #include "service/options.hpp"
 #include "session.hpp"
 
@@ -59,8 +60,12 @@ struct DiagnosisReply {
 };
 
 /// Monotonic serving counters (see also DictionaryStore::stats for the
-/// artifact tiers).  Latency percentiles are tracked with a log2
-/// microsecond histogram, so p50/p95/p99 are bucket upper bounds.
+/// artifact tiers).  Latency percentiles are tracked with a
+/// fixed-boundary `obs::Histogram` over 1-2-5 microsecond decades, so
+/// p50/p95/p99 are interpolated estimates within the matching bucket
+/// rather than power-of-two bucket upper bounds.  The same counters are
+/// published process-wide as `ftdiag_service_*` through a registry
+/// collector (see `src/obs/README.md`).
 struct ServiceStats {
   std::size_t submitted = 0;        ///< requests accepted into the queue
   std::size_t completed = 0;        ///< requests answered successfully
@@ -125,7 +130,12 @@ private:
   void process_batch(std::vector<Pending> batch);
   [[nodiscard]] std::optional<Session> find_session(
       const std::string& circuit) const;
-  void finish(Pending& pending, DiagnosisReply reply);
+  /// Completes `pending`'s future.  When `latency_sink` is given the
+  /// latency sample goes into that batch-local accumulator instead of
+  /// straight into `latency_us_` (one atomic pass per batch, not per
+  /// request).
+  void finish(Pending& pending, DiagnosisReply reply,
+              obs::HistogramBatch* latency_sink = nullptr);
   void fail(Pending& pending, std::exception_ptr error);
 
   ServiceOptions options_;
@@ -142,10 +152,14 @@ private:
 
   std::vector<std::thread> workers_;
 
-  static constexpr std::size_t kLatencyBuckets = 40;
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
-  std::uint64_t latency_histogram_[kLatencyBuckets] = {};
+  /// submit -> reply latency in microseconds; lock-free observe, shared
+  /// between the public percentile fields and the obs collector.
+  obs::Histogram latency_us_{obs::Histogram::latency_us_bounds()};
+  /// Publishes this instance's stats into Registry::global() snapshots;
+  /// released on shutdown so a dead service stops exporting.
+  obs::Registry::CollectorHandle collector_;
 };
 
 }  // namespace ftdiag::service

@@ -11,12 +11,65 @@
 
 #include "io/dictionary_io.hpp"
 #include "io/mapped_file.hpp"
+#include "obs/trace.hpp"
 #include "session.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace ftdiag::service {
+
+namespace {
+
+/// Process-wide store metrics (`ftdiag_store_*`), accumulated across
+/// every DictionaryStore in the process; the per-instance StoreStats
+/// struct keeps its exact local counts.
+struct StoreMetrics {
+  obs::Counter& memory_hits;
+  obs::Counter& disk_hits;
+  obs::Counter& builds;
+  obs::Counter& shared_waits;
+  obs::Counter& evictions;
+  obs::Counter& persisted;
+  obs::Counter& invalid_files;
+  obs::Gauge& bytes_resident;
+
+  static StoreMetrics& get() {
+    static StoreMetrics* m = [] {
+      obs::Registry& reg = obs::Registry::global();
+      const char* help = "dictionary fetches answered by this tier";
+      return new StoreMetrics{
+          reg.counter("ftdiag_store_requests_total", {{"tier", "memory"}},
+                      help),
+          reg.counter("ftdiag_store_requests_total", {{"tier", "disk"}},
+                      help),
+          reg.counter("ftdiag_store_requests_total", {{"tier", "build"}},
+                      help),
+          reg.counter("ftdiag_store_shared_waits_total", {},
+                      "fetches that joined another in-flight load"),
+          reg.counter("ftdiag_store_evictions_total", {},
+                      "dictionaries evicted by the per-shard LRU"),
+          reg.counter("ftdiag_store_persisted_total", {},
+                      "dictionaries written to the disk tier"),
+          reg.counter("ftdiag_store_invalid_files_total", {},
+                      "on-disk artifacts rejected during validation"),
+          reg.gauge("ftdiag_store_bytes_resident", {},
+                    "approximate bytes of dictionaries held in memory"),
+      };
+    }();
+    return *m;
+  }
+};
+
+/// Response-plane payload estimate: (faults + golden) x frequencies
+/// complex doubles.  Labels/metadata are noise next to the planes.
+std::int64_t approx_bytes(const faults::FaultDictionary& dictionary) {
+  return static_cast<std::int64_t>(
+      (dictionary.fault_count() + 1) * dictionary.frequencies().size() * 2 *
+      sizeof(double));
+}
+
+}  // namespace
 
 void StoreOptions::check() const {
   if (capacity == 0) {
@@ -81,6 +134,9 @@ DictionaryPtr DictionaryStore::get(const circuits::CircuitUnderTest& cut,
                                    const faults::SimOptions& sim) {
   const std::string key = dictionary_cache_key(cut, spec, sim);
   Shard& shard = shard_for(key);
+  // Whole-fetch span: a memory hit records microseconds, a cold build
+  // records the full simulate-and-persist time under the same stage.
+  obs::Span fetch_span(obs::Stage::kDictFetch);
 
   std::promise<DictionaryPtr> promise;
   std::shared_future<DictionaryPtr> joined;
@@ -89,6 +145,7 @@ DictionaryPtr DictionaryStore::get(const circuits::CircuitUnderTest& cut,
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       it->second.tick = ++shard.clock;
+      StoreMetrics::get().memory_hits.inc();
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       ++stats_.memory_hits;
       return it->second.dictionary;
@@ -96,6 +153,7 @@ DictionaryPtr DictionaryStore::get(const circuits::CircuitUnderTest& cut,
     auto inflight = shard.inflight.find(key);
     if (inflight != shard.inflight.end()) {
       joined = inflight->second;
+      StoreMetrics::get().shared_waits.inc();
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       ++stats_.shared_waits;
     } else {
@@ -145,18 +203,20 @@ DictionaryPtr DictionaryStore::load_or_build(
       }
       auto dictionary = std::make_shared<const faults::FaultDictionary>(
           view.materialize());
+      StoreMetrics::get().disk_hits.inc();
       {
         std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++stats_.disk_hits;
       }
-      log::info(str::format("store: loaded %s (%zu faults)", path.c_str(),
-                            dictionary->fault_count()));
+      log::info("store: loaded dictionary",
+                {{"path", path}, {"faults", dictionary->fault_count()}});
       return dictionary;
     } catch (const Error& e) {
+      StoreMetrics::get().invalid_files.inc();
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       ++stats_.invalid_files;
-      log::warn(str::format("store: ignoring %s: %s", path.c_str(),
-                            e.what()));
+      log::warn("store: ignoring invalid artifact",
+                {{"path", path}, {"error", e.what()}});
     }
   }
 
@@ -164,6 +224,7 @@ DictionaryPtr DictionaryStore::load_or_build(
   auto dictionary = std::make_shared<const faults::FaultDictionary>(
       faults::FaultDictionary::build(
           cut, faults::FaultUniverse::over_testable(cut, spec), sim));
+  StoreMetrics::get().builds.inc();
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.builds;
@@ -181,16 +242,17 @@ DictionaryPtr DictionaryStore::load_or_build(
         if (!out) throw Error("failed writing '" + tmp + "'");
       }
       std::filesystem::rename(tmp, path);
+      StoreMetrics::get().persisted.inc();
       {
         std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++stats_.persisted;
       }
-      log::info(str::format("store: persisted %s", path.c_str()));
+      log::info("store: persisted dictionary", {{"path", path}});
     } catch (const std::exception& e) {
       // Persistence is an optimization for the next process; failing to
       // write must not fail this request.
-      log::warn(str::format("store: could not persist %s: %s", path.c_str(),
-                            e.what()));
+      log::warn("store: could not persist dictionary",
+                {{"path", path}, {"error", e.what()}});
     }
   }
   return dictionary;
@@ -198,13 +260,17 @@ DictionaryPtr DictionaryStore::load_or_build(
 
 void DictionaryStore::insert(Shard& shard, const std::string& key,
                              DictionaryPtr dictionary) {
+  StoreMetrics::get().bytes_resident.add(approx_bytes(*dictionary));
   shard.entries[key] = {std::move(dictionary), ++shard.clock};
   while (shard.entries.size() > per_shard_capacity_) {
     auto victim = shard.entries.begin();
     for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
       if (it->second.tick < victim->second.tick) victim = it;
     }
+    StoreMetrics::get().bytes_resident.sub(
+        approx_bytes(*victim->second.dictionary));
     shard.entries.erase(victim);
+    StoreMetrics::get().evictions.inc();
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.evictions;
   }
@@ -227,6 +293,9 @@ StoreStats DictionaryStore::stats() const {
 void DictionaryStore::clear() {
   for (std::size_t s = 0; s < options_.shards; ++s) {
     std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    for (const auto& [key, entry] : shards_[s].entries) {
+      StoreMetrics::get().bytes_resident.sub(approx_bytes(*entry.dictionary));
+    }
     shards_[s].entries.clear();
   }
 }

@@ -1,12 +1,39 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace ftdiag::log {
 
 namespace {
-std::atomic<Level> g_level{Level::kWarn};
+
+Level env_level() {
+  const char* v = std::getenv("FTDIAG_LOG");
+  if (v == nullptr) return Level::kWarn;
+  Level parsed = Level::kWarn;
+  if (!parse_level(v, parsed)) {
+    std::fprintf(stderr, "[ftdiag warn] ignoring unknown FTDIAG_LOG=%s\n", v);
+    return Level::kWarn;
+  }
+  return parsed;
+}
+
+// Resolved lazily so FTDIAG_LOG set by a test harness before first use
+// is honoured; an explicit set_level() marks the level resolved and
+// wins regardless of the environment.
+std::atomic<Level>& level_slot() {
+  static std::atomic<Level> g_level{Level::kWarn};
+  return g_level;
+}
+
+std::once_flag g_env_once;
+
+void resolve_env_once() {
+  std::call_once(g_env_once, [] { level_slot().store(env_level()); });
+}
 
 const char* level_name(Level level) {
   switch (level) {
@@ -18,11 +45,54 @@ const char* level_name(Level level) {
   }
   return "?";
 }
+
+void append_fields(std::string& line, const Fields& fields) {
+  for (const Field& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    const bool quote =
+        f.value.empty() || f.value.find(' ') != std::string::npos;
+    if (quote) line += '"';
+    line += f.value;
+    if (quote) line += '"';
+  }
+}
+
 }  // namespace
 
-void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Field::Field(std::string k, double v) : key(std::move(k)) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  value = buf;
+}
 
-Level level() { return g_level.load(std::memory_order_relaxed); }
+bool parse_level(const std::string& name, Level& out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") out = Level::kDebug;
+  else if (lower == "info") out = Level::kInfo;
+  else if (lower == "warn" || lower == "warning") out = Level::kWarn;
+  else if (lower == "error") out = Level::kError;
+  else if (lower == "off" || lower == "none") out = Level::kOff;
+  else return false;
+  return true;
+}
+
+void set_level(Level level) {
+  // Mark the env as resolved first so a concurrent first logger call
+  // cannot overwrite the explicit choice afterwards.
+  std::call_once(g_env_once, [] {});
+  level_slot().store(level, std::memory_order_relaxed);
+}
+
+Level level() {
+  resolve_env_once();
+  return level_slot().load(std::memory_order_relaxed);
+}
 
 void emit(Level lvl, const std::string& message) {
   if (static_cast<int>(lvl) < static_cast<int>(level())) return;
@@ -30,9 +100,29 @@ void emit(Level lvl, const std::string& message) {
   std::fflush(stderr);
 }
 
+void emit(Level lvl, const std::string& message, const Fields& fields) {
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  std::string line = message;
+  append_fields(line, fields);
+  std::fprintf(stderr, "[ftdiag %s] %s\n", level_name(lvl), line.c_str());
+  std::fflush(stderr);
+}
+
 void debug(const std::string& message) { emit(Level::kDebug, message); }
 void info(const std::string& message) { emit(Level::kInfo, message); }
 void warn(const std::string& message) { emit(Level::kWarn, message); }
 void error(const std::string& message) { emit(Level::kError, message); }
+void debug(const std::string& message, const Fields& fields) {
+  emit(Level::kDebug, message, fields);
+}
+void info(const std::string& message, const Fields& fields) {
+  emit(Level::kInfo, message, fields);
+}
+void warn(const std::string& message, const Fields& fields) {
+  emit(Level::kWarn, message, fields);
+}
+void error(const std::string& message, const Fields& fields) {
+  emit(Level::kError, message, fields);
+}
 
 }  // namespace ftdiag::log

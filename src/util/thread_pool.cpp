@@ -1,10 +1,39 @@
 #include "util/thread_pool.hpp"
 
+#include <chrono>
+
+#include "obs/metrics.hpp"
 #include "util/threads.hpp"
 
 namespace ftdiag::par {
 
 namespace {
+
+/// Process-wide pool metrics (`ftdiag_pool_*`).  Sharded counters: every
+/// lane of every parallel region bumps them, so per-thread shards keep
+/// the hot path free of shared cache lines.
+struct PoolMetrics {
+  obs::Counter& jobs;
+  obs::ShardedCounter& stolen_blocks;
+  obs::ShardedCounter& busy_us;
+
+  static PoolMetrics& get() {
+    static PoolMetrics* m = [] {
+      obs::Registry& reg = obs::Registry::global();
+      return new PoolMetrics{
+          reg.counter("ftdiag_pool_jobs_total", {},
+                      "parallel jobs submitted to the work-stealing pool"),
+          reg.sharded_counter("ftdiag_pool_stolen_blocks_total", {},
+                              "work blocks executed by a lane other than "
+                              "the submitting thread"),
+          reg.sharded_counter("ftdiag_pool_busy_us_total", {},
+                              "cumulative microseconds lanes spent "
+                              "attached to jobs"),
+      };
+    }();
+    return *m;
+  }
+};
 
 /// Depth of parallel-region nesting on this thread (caller lanes and pool
 /// workers both count themselves while running items).
@@ -93,10 +122,15 @@ ThreadPool::Job* ThreadPool::find_attachable_locked() {
 
 void ThreadPool::work_on(Job& job, std::size_t lane) {
   const RegionGuard guard;
+  const bool timed = obs::enabled();
+  const auto attach_start = timed ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
   const std::size_t blocks = job.block_count;
+  std::size_t executed = 0;
   for (;;) {
     const std::size_t b = job.next_block.fetch_add(1);
-    if (b >= blocks) return;
+    if (b >= blocks) break;
+    ++executed;
     const std::size_t begin = b * job.count / blocks;
     const std::size_t end = (b + 1) * job.count / blocks;
     try {
@@ -105,6 +139,15 @@ void ThreadPool::work_on(Job& job, std::size_t lane) {
       std::lock_guard<std::mutex> lock(job.error_mutex);
       if (!job.error) job.error = std::current_exception();
     }
+  }
+  if (lane != 0 && executed > 0) {
+    PoolMetrics::get().stolen_blocks.inc(executed);
+  }
+  if (timed && executed > 0) {
+    PoolMetrics::get().busy_us.inc(static_cast<std::uint64_t>(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - attach_start)
+            .count()));
   }
 }
 
@@ -127,6 +170,7 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run(Job& job) {
+  PoolMetrics::get().jobs.inc();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     enqueue_locked(job);

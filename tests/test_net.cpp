@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -438,6 +439,89 @@ TEST_F(NetLoopbackTest, StatsCountTheTraffic) {
   const service::ServiceStats svc = service_->stats();
   EXPECT_GT(svc.completed, 0u);
   EXPECT_GE(svc.mean_batch, 1.0);
+}
+
+TEST_F(NetLoopbackTest, CounterIdentityAfterMixedPipelinedTraffic) {
+  // Every diagnose frame — well-formed, unknown-circuit, or outright
+  // garbage — must resolve to exactly one reply or error frame:
+  //   requests_received == replies_sent + error_frames_sent
+  // once the connections drain.  A dedicated server keeps the suite's
+  // protocol-error tests (which send error frames that are *not*
+  // diagnose requests) out of the ledger.
+  service::DiagnosisService service;
+  service.add_session("paper", *session_);
+  ServerOptions options;
+  options.port = 0;
+  Server server(service, options);
+
+  constexpr std::size_t kClients = 3;
+  constexpr std::size_t kPerClient = 12;
+  constexpr std::size_t kWindow = 4;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, c] {
+      Client client("127.0.0.1", server.port());
+      std::vector<service::DiagnosisRequest> requests;
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        service::DiagnosisRequest request;
+        // Every third request targets a circuit the server does not
+        // have, so error frames interleave with replies mid-pipeline.
+        request.circuit = i % 3 == 0 ? "no_such_circuit" : "paper";
+        request.points.push_back((*points_)[(c + i) % points_->size()]);
+        requests.push_back(std::move(request));
+      }
+      std::size_t sent = 0;
+      std::size_t received = 0;
+      while (received < requests.size()) {
+        while (sent < requests.size() && sent - received < kWindow) {
+          (void)client.send(requests[sent]);
+          ++sent;
+        }
+        try {
+          (void)client.receive();
+        } catch (const RemoteError&) {
+          // expected for the unknown-circuit requests
+        }
+        ++received;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  {
+    // A well-framed diagnose frame with a garbage payload: counted as
+    // received, answered with an error frame.  Read the answer before
+    // closing so the send cannot race the disconnect.
+    Socket socket = connect_tcp("127.0.0.1", server.port());
+    socket.send_all(encode_frame(MessageType::kDiagnose, "garbage"));
+    const auto frame = read_raw(socket);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->first.type,
+              static_cast<std::uint8_t>(MessageType::kError));
+  }
+  {
+    // Mid-frame disconnect with nothing in flight: neither a request
+    // nor an error frame, so it must not disturb the identity.
+    Socket socket = connect_tcp("127.0.0.1", server.port());
+    socket.send_all("FTDN\x01");
+  }
+
+  // The reader threads notice the closed sockets asynchronously; poll
+  // until every connection has drained.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().connections_open > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_open, 0u);
+  EXPECT_EQ(stats.requests_received, kClients * kPerClient + 1);
+  EXPECT_GT(stats.replies_sent, 0u);
+  EXPECT_GT(stats.error_frames_sent, 0u);
+  EXPECT_EQ(stats.requests_received,
+            stats.replies_sent + stats.error_frames_sent);
 }
 
 TEST(NetServer, ConnectionLimitRejectsTheOverflowPeer) {

@@ -21,12 +21,16 @@
 ///            --store-dir ./dicts [--stats-interval 10]
 /// ftdiag_cli load builtin:state_variable,builtin:tow_thomas --port 4850 \
 ///            [--threads 4] [--requests 2000] [--pipeline 8]
+///
+/// # scrape a running server's metrics registry (see src/obs/README.md)
+/// ftdiag_cli stats 127.0.0.1:4850 [--format {json,prom}]
 /// ```
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <filesystem>
 #include <fstream>
@@ -42,6 +46,7 @@
 #include "io/exporters.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -292,6 +297,12 @@ int run_serve_batch(int argc, char** argv) {
               stats.completed, stats.batches, stats.largest_batch,
               stats.mean_batch, stats.queue_depth, stats.p50_latency_us,
               stats.p95_latency_us, stats.p99_latency_us);
+  log::info("serve-batch: done",
+            {{"completed", stats.completed},
+             {"failed", stats.failed},
+             {"batches", stats.batches},
+             {"mean_batch", stats.mean_batch},
+             {"p99_us", stats.p99_latency_us}});
   if (store) print_store_stats(*store);
 
   if (const std::string path = cli.get("results"); !path.empty()) {
@@ -347,20 +358,27 @@ std::vector<Session> build_serving_sessions(const args::Parser& cli) {
   return sessions;
 }
 
-void print_serving_stats(const net::Server& server,
-                         const service::DiagnosisService& service) {
+/// Periodic serving dump: one structured log line per subsystem so the
+/// stream stays grep-able (`key=value` fields, FTDIAG_LOG-controlled)
+/// while `ftdiag_cli stats` serves the full registry over the wire.
+void log_serving_stats(const net::Server& server,
+                       const service::DiagnosisService& service) {
   const auto net_stats = server.stats();
   const auto svc = service.stats();
-  std::printf(
-      "net: %zu open / %zu accepted / %zu rejected conns, %zu requests, "
-      "%zu replies, %zu error frames, %zu protocol errors | service: "
-      "queue depth %zu, mean batch %.2f, p50 %.0f us, p95 %.0f us, "
-      "p99 %.0f us\n",
-      net_stats.connections_open, net_stats.connections_accepted,
-      net_stats.connections_rejected, net_stats.requests_received,
-      net_stats.replies_sent, net_stats.error_frames_sent,
-      net_stats.protocol_errors, svc.queue_depth, svc.mean_batch,
-      svc.p50_latency_us, svc.p95_latency_us, svc.p99_latency_us);
+  log::info("net: serving",
+            {{"open", net_stats.connections_open},
+             {"accepted", net_stats.connections_accepted},
+             {"rejected", net_stats.connections_rejected},
+             {"requests", net_stats.requests_received},
+             {"replies", net_stats.replies_sent},
+             {"error_frames", net_stats.error_frames_sent},
+             {"protocol_errors", net_stats.protocol_errors}});
+  log::info("service: serving",
+            {{"queue_depth", svc.queue_depth},
+             {"mean_batch", svc.mean_batch},
+             {"p50_us", svc.p50_latency_us},
+             {"p95_us", svc.p95_latency_us},
+             {"p99_us", svc.p99_latency_us}});
 }
 
 int run_serve(int argc, char** argv) {
@@ -390,6 +408,11 @@ int run_serve(int argc, char** argv) {
   }
   if (!net::sockets_supported()) {
     throw ConfigError("this build has no socket support");
+  }
+  // Serving is the one mode where lifecycle messages are the primary UI:
+  // default to info unless the operator chose a level via FTDIAG_LOG.
+  if (std::getenv("FTDIAG_LOG") == nullptr) {
+    log::set_level(log::Level::kInfo);
   }
 
   ServiceOptions service_options;
@@ -422,14 +445,14 @@ int run_serve(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     if (interval > 0 && std::chrono::steady_clock::now() - last_print >=
                             std::chrono::seconds(interval)) {
-      print_serving_stats(server, service);
+      log_serving_stats(server, service);
       last_print = std::chrono::steady_clock::now();
     }
   }
 
-  std::printf("\nshutting down\n");
+  log::info("net: shutting down");
   server.stop();
-  print_serving_stats(server, service);
+  log_serving_stats(server, service);
   return 0;
 }
 
@@ -543,7 +566,8 @@ int run_load(int argc, char** argv) {
             ++received;
           }
         } catch (const Error& e) {
-          std::fprintf(stderr, "load thread %zu: %s\n", tid, e.what());
+          log::error("load: thread failed",
+                     {{"thread", tid}, {"error", e.what()}});
           result.failures += quota - result.latencies_us.size();
         }
       });
@@ -578,6 +602,53 @@ int run_load(int argc, char** argv) {
               percentile(0.50), percentile(0.95), percentile(0.99),
               latencies.back());
   if (failures > 0) std::printf("failures: %zu\n", failures);
+  return 0;
+}
+
+// ----------------------------------------------------------------- stats
+
+/// Scrape a running `serve` instance's metrics registry over the wire
+/// (kStats frame) and print the rendered snapshot to stdout.
+int run_stats(int argc, char** argv) {
+  args::Parser cli("ftdiag_cli stats",
+                   "fetch a running server's metrics snapshot");
+  cli.positional("endpoint", "server address as host:port (numeric IPv4)");
+  cli.option("format", "json | prom (Prometheus text exposition)", "json");
+
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+  if (!net::sockets_supported()) {
+    throw ConfigError("this build has no socket support");
+  }
+
+  const std::string endpoint = cli.positional_value("endpoint");
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    throw ConfigError("stats needs an endpoint like 127.0.0.1:4850");
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const std::uint16_t port = static_cast<std::uint16_t>(
+      std::strtoul(endpoint.c_str() + colon + 1, nullptr, 10));
+
+  const std::string format = cli.get("format");
+  net::StatsFormat wire_format;
+  if (format == "json") {
+    wire_format = net::StatsFormat::kJson;
+  } else if (format == "prom" || format == "prometheus") {
+    wire_format = net::StatsFormat::kPrometheus;
+  } else {
+    throw ConfigError("unknown stats format '" + format +
+                      "' (expected json or prom)");
+  }
+
+  net::Client client(host, port);
+  const std::string body = client.stats(wire_format);
+  std::fputs(body.c_str(), stdout);
+  if (!body.empty() && body.back() != '\n') std::fputc('\n', stdout);
   return 0;
 }
 
@@ -633,7 +704,7 @@ int run_legacy(int argc, char** argv) {
   args::Parser cli("ftdiag_cli",
                    "fault-trajectory test generation and diagnosis "
                    "(Savioli et al., DATE'05); subcommands: build-dict, "
-                   "serve-batch, serve, load");
+                   "serve-batch, serve, load, stats");
   cli.positional("netlist",
                  "netlist file, or builtin:<name> for a registry circuit");
   declare_access_options(cli);
@@ -665,6 +736,7 @@ int main(int argc, char** argv) {
     if (mode == "serve-batch") return run_serve_batch(argc - 1, argv + 1);
     if (mode == "serve") return run_serve(argc - 1, argv + 1);
     if (mode == "load") return run_load(argc - 1, argv + 1);
+    if (mode == "stats") return run_stats(argc - 1, argv + 1);
     return run_legacy(argc, argv);
   } catch (const ftdiag::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

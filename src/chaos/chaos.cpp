@@ -1,0 +1,198 @@
+#include "chaos/chaos.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace ftdiag::chaos {
+
+namespace {
+
+/// splitmix64: tiny, seedable, and statistically fine for fault sampling.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double to_unit_interval(std::uint64_t bits) {
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+Injection parse_injection_value(const std::string& value) {
+  const std::string v(str::trim(value));
+  if (v.empty()) {
+    throw ConfigError("chaos injection has an empty value");
+  }
+  // Trailing alphabetic characters mark a duration suffix.
+  std::size_t suffix_begin = v.size();
+  while (suffix_begin > 0 &&
+         ((v[suffix_begin - 1] >= 'a' && v[suffix_begin - 1] <= 'z') ||
+          (v[suffix_begin - 1] >= 'A' && v[suffix_begin - 1] <= 'Z'))) {
+    --suffix_begin;
+  }
+  const std::string number = v.substr(0, suffix_begin);
+  const std::string suffix = str::to_lower(v.substr(suffix_begin));
+  std::size_t consumed = 0;
+  double magnitude = 0.0;
+  try {
+    magnitude = std::stod(number, &consumed);
+  } catch (const std::exception&) {
+    throw ConfigError("chaos injection value '" + v + "' is not a number");
+  }
+  if (consumed != number.size() || magnitude < 0.0) {
+    throw ConfigError("chaos injection value '" + v +
+                      "' must be a non-negative number");
+  }
+
+  Injection injection;
+  if (suffix.empty()) {
+    if (magnitude > 1.0) {
+      throw ConfigError("chaos probability '" + v + "' must be in [0, 1]");
+    }
+    injection.probability = magnitude;
+    return injection;
+  }
+  double scale_us = 0.0;
+  if (suffix == "us") {
+    scale_us = 1.0;
+  } else if (suffix == "ms") {
+    scale_us = 1e3;
+  } else if (suffix == "s") {
+    scale_us = 1e6;
+  } else {
+    throw ConfigError("chaos duration '" + v +
+                      "' has an unknown suffix (use us, ms or s)");
+  }
+  injection.delay =
+      std::chrono::microseconds(static_cast<std::int64_t>(magnitude * scale_us));
+  return injection;
+}
+
+struct Injector::Impl {
+  struct Entry {
+    Injection injection;
+    obs::Counter* fired = nullptr;  ///< registry-owned, never null
+  };
+
+  std::atomic<bool> enabled{false};
+  mutable std::mutex mutex;  ///< guards table + rng (chaos paths only)
+  std::map<std::string, Entry, std::less<>> table;
+  std::uint64_t rng_state = 0;
+};
+
+Injector::Impl& Injector::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Injector& Injector::global() {
+  static Injector* injector = [] {
+    auto* created = new Injector();
+    if (const char* seed = std::getenv("FTDIAG_CHAOS_SEED")) {
+      created->reseed(std::strtoull(seed, nullptr, 10));
+    }
+    if (const char* spec = std::getenv("FTDIAG_CHAOS")) {
+      try {
+        created->configure(spec);
+      } catch (const Error& e) {
+        log::warn("chaos: ignoring invalid FTDIAG_CHAOS spec",
+                  {{"error", e.what()}});
+      }
+    }
+    return created;
+  }();
+  return *injector;
+}
+
+void Injector::configure(const std::string& spec) {
+  std::map<std::string, Impl::Entry, std::less<>> table;
+  for (const std::string& raw : str::split(spec, ',')) {
+    const std::string entry(str::trim(raw));
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw ConfigError("chaos entry '" + entry +
+                        "' is not of the form point:value");
+    }
+    const std::string point(str::trim(entry.substr(0, colon)));
+    Impl::Entry configured;
+    configured.injection = parse_injection_value(entry.substr(colon + 1));
+    configured.fired = &obs::Registry::global().counter(
+        "ftdiag_chaos_injections_total", {{"point", point}},
+        "chaos injections fired at this point");
+    table.insert_or_assign(point, configured);
+  }
+
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.table = std::move(table);
+  state.enabled.store(!state.table.empty(), std::memory_order_release);
+  if (!state.table.empty()) {
+    log::info("chaos: fault injection armed",
+              {{"points", state.table.size()}, {"spec", spec}});
+  }
+}
+
+void Injector::clear() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.table.clear();
+  state.enabled.store(false, std::memory_order_release);
+}
+
+bool Injector::enabled() const noexcept {
+  return impl().enabled.load(std::memory_order_acquire);
+}
+
+bool Injector::hit(const char* point) noexcept {
+  Impl& state = impl();
+  if (!state.enabled.load(std::memory_order_acquire)) return false;
+  Injection injection;
+  obs::Counter* fired = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    const auto it = state.table.find(std::string_view(point));
+    if (it == state.table.end()) return false;
+    if (it->second.injection.probability < 1.0 &&
+        to_unit_interval(splitmix64(state.rng_state)) >=
+            it->second.injection.probability) {
+      return false;
+    }
+    injection = it->second.injection;
+    fired = it->second.fired;
+  }
+  // The sleep happens outside the table lock so slow injections at one
+  // point never serialize other points.
+  if (injection.delay.count() > 0) {
+    std::this_thread::sleep_for(injection.delay);
+  }
+  fired->inc();
+  return true;
+}
+
+std::uint64_t Injector::fired(const std::string& point) const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  const auto it = state.table.find(point);
+  return it == state.table.end() ? 0 : it->second.fired->value();
+}
+
+void Injector::reseed(std::uint64_t seed) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.rng_state = seed;
+}
+
+}  // namespace ftdiag::chaos

@@ -1,0 +1,100 @@
+/// \file chaos.hpp
+/// \brief `ftdiag::chaos` — a process-wide fault-injection harness.
+///
+/// Resilience claims are only as good as the faults they were tested
+/// under, so the injector lives in the library itself: the hot paths of
+/// `net` (socket reads/writes), `io` (durable store writes) and the
+/// service solve loop each carry a *named injection point* that is a
+/// single relaxed atomic load when chaos is disabled — zero-cost in
+/// production, and a deterministic fault source under test.
+///
+/// Configuration is a comma-separated spec, from the `FTDIAG_CHAOS`
+/// environment variable or programmatically (tests, the CLI `--chaos`
+/// flag):
+///
+/// ```
+/// FTDIAG_CHAOS=net.recv_delay:50ms,io.torn_write:0.1,net.drop_conn:0.02
+/// ```
+///
+/// Each entry is `point:value` where the value is either a duration
+/// (`50ms`, `200us`, `1.5s` — the point sleeps that long every time it is
+/// hit) or a probability in [0, 1] (the point *fires* on that fraction of
+/// hits; what firing means is defined at the injection site).  A
+/// duration-valued point fires on every hit.  Sampling uses a splitmix64
+/// stream seeded from `FTDIAG_CHAOS_SEED` (default 0) so runs are
+/// reproducible.
+///
+/// Points wired into the library (see the call sites for exact semantics):
+///
+/// | point               | value       | effect at the call site          |
+/// |---------------------|-------------|----------------------------------|
+/// | `net.recv_delay`    | duration    | sleep before every socket read   |
+/// | `net.send_delay`    | duration    | sleep before every socket write  |
+/// | `net.drop_conn`     | probability | shut the socket down mid-call    |
+/// | `io.torn_write`     | probability | truncate a durable write's bytes |
+/// | `engine.solve_delay`| duration    | sleep before a batch solve       |
+/// | `engine.solve_fail` | probability | fail the batch with NumericError |
+///
+/// Every fired injection increments `ftdiag_chaos_injections_total`
+/// with a `point` label in `obs::Registry::global()`, so a chaos run's
+/// blast radius is visible in the same stats endpoint as its effects.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ftdiag::chaos {
+
+/// One configured injection: fire with `probability`, then apply `delay`.
+struct Injection {
+  double probability = 1.0;
+  std::chrono::microseconds delay{0};
+};
+
+/// The process-wide injection table.  `configure`/`clear` are rare and
+/// serialized; `hit()` is wait-free when no spec is loaded.
+class Injector {
+public:
+  /// The singleton, configured once from `FTDIAG_CHAOS` on first access.
+  [[nodiscard]] static Injector& global();
+
+  /// Replace the table from a spec string ("" clears).  \throws
+  /// ConfigError on a malformed entry; the previous table is kept.
+  void configure(const std::string& spec);
+
+  /// Drop every injection (chaos off).
+  void clear();
+
+  /// True when at least one injection is configured (one relaxed load).
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Evaluate the point: sample its probability, apply its delay inline,
+  /// count the firing.  Returns true when the point fired — the call site
+  /// then applies the point's failure semantics.  Unknown points never
+  /// fire.  Never throws.
+  bool hit(const char* point) noexcept;
+
+  /// How often \p point has fired since configure (testing aid).
+  [[nodiscard]] std::uint64_t fired(const std::string& point) const;
+
+  /// Reseed the sampling stream (defaults to `FTDIAG_CHAOS_SEED` or 0).
+  void reseed(std::uint64_t seed);
+
+private:
+  Injector() = default;
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+};
+
+/// Convenience for call sites: `if (chaos::hit("net.drop_conn")) ...`.
+inline bool hit(const char* point) noexcept {
+  return Injector::global().hit(point);
+}
+
+/// Parse one spec value: `"50ms"`-style durations (suffix `us`, `ms`,
+/// `s`; integer or decimal) or a bare probability in [0, 1].  Exposed for
+/// tests.  \throws ConfigError on anything else.
+[[nodiscard]] Injection parse_injection_value(const std::string& value);
+
+}  // namespace ftdiag::chaos

@@ -1,0 +1,126 @@
+#include "io/durable_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "chaos/chaos.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FTDIAG_HAS_POSIX_FSYNC 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define FTDIAG_HAS_POSIX_FSYNC 0
+#endif
+
+namespace ftdiag::io {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+/// Apply the `io.torn_write` chaos point: keep only a pseudo-random
+/// prefix of the image, torn inside the data (never empty, never whole).
+std::string_view maybe_tear(std::string_view bytes) {
+  if (bytes.size() < 2 || !chaos::hit("io.torn_write")) return bytes;
+  // Derive the tear offset from the content so it is reproducible for a
+  // given image without consuming more injector randomness.
+  std::size_t mix = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < bytes.size(); i += 97) {
+    mix = (mix ^ static_cast<unsigned char>(bytes[i])) * 0x100000001b3ULL;
+  }
+  const std::size_t keep = 1 + mix % (bytes.size() - 1);
+  log::warn("io: tearing durable write (chaos)",
+            {{"bytes", bytes.size()}, {"kept", keep}});
+  return bytes.substr(0, keep);
+}
+
+#if FTDIAG_HAS_POSIX_FSYNC
+
+void write_and_fsync(const std::string& path, std::string_view bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("cannot open '" + path + "' for writing");
+  const char* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("failed writing '" + path + "'");
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync failed for '" + path + "'");
+  }
+  if (::close(fd) != 0) throw_errno("close failed for '" + path + "'");
+}
+
+void fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir opens
+  ::fsync(fd);
+  ::close(fd);
+}
+
+#else  // !FTDIAG_HAS_POSIX_FSYNC
+
+void write_and_fsync(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw Error("failed writing '" + path + "'");
+}
+
+void fsync_directory(const std::string&) {}
+
+#endif  // FTDIAG_HAS_POSIX_FSYNC
+
+}  // namespace
+
+void write_file_durable(const std::string& path, std::string_view bytes) {
+  const std::string_view image = maybe_tear(bytes);
+  const std::string tmp = path + ".tmp";
+  write_and_fsync(tmp, image);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw Error("cannot rename '" + tmp + "' to '" + path + "': " +
+                ec.message());
+  }
+  fsync_directory(std::filesystem::path(path).parent_path().string());
+}
+
+std::size_t remove_stale_tmp_files(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  std::size_t removed = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::filesystem::path& p = entry.path();
+    if (p.extension() != ".tmp") continue;
+    if (std::filesystem::remove(p, ec) && !ec) {
+      log::info("io: removed stale tmp file", {{"path", p.string()}});
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace ftdiag::io

@@ -1,0 +1,38 @@
+/// \file durable_file.hpp
+/// \brief Crash-safe atomic file publication: write-tmp, fsync, rename,
+/// fsync the directory.
+///
+/// `std::filesystem::rename` after a buffered write gives *atomic
+/// visibility* (readers never see half a file) but not *durability*: a
+/// power cut after the rename can leave the final name pointing at pages
+/// that never reached the disk — a torn artifact published under a name
+/// readers trust.  The durable sequence closes that window:
+///
+///   1. write `path + ".tmp"`, 2. fsync the tmp file, 3. rename over
+///   `path`, 4. fsync the parent directory (the rename itself is metadata
+///   that must also survive).
+///
+/// On platforms without POSIX file descriptors the helper degrades to
+/// plain write + rename (atomic visibility only).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ftdiag::io {
+
+/// Publish \p bytes at \p path via the durable tmp/fsync/rename/fsync
+/// sequence above.  The parent directory must exist.  Honors the
+/// `io.torn_write` chaos injection point (the write is truncated at a
+/// pseudo-random byte, simulating a crash mid-write *after* the rename
+/// was somehow observed — the worst case a store must recover from).
+/// \throws Error when any step fails.
+void write_file_durable(const std::string& path, std::string_view bytes);
+
+/// Delete leftover `*.tmp` files under \p dir — the debris of writers
+/// that crashed between step 1 and 3.  Returns how many were removed.
+/// A missing or unreadable directory is not an error (returns 0).
+std::size_t remove_stale_tmp_files(const std::string& dir);
+
+}  // namespace ftdiag::io

@@ -1,5 +1,7 @@
 #include "net/client.hpp"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "util/error.hpp"
@@ -7,10 +9,45 @@
 
 namespace ftdiag::net {
 
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 Client::Client(const std::string& host, std::uint16_t port,
                std::uint32_t max_payload_bytes)
-    : socket_(connect_tcp(host, port)),
-      max_payload_bytes_(max_payload_bytes) {}
+    : Client(host, port, [&] {
+        ClientOptions options;
+        options.max_payload_bytes = max_payload_bytes;
+        return options;
+      }()) {}
+
+Client::Client(const std::string& host, std::uint16_t port,
+               ClientOptions options)
+    : host_(host),
+      port_(port),
+      options_(options),
+      max_payload_bytes_(options.max_payload_bytes),
+      jitter_state_(options.retry_seed) {
+  socket_ = open_socket();
+}
+
+Socket Client::open_socket() const {
+  Socket socket = connect_tcp(
+      host_, port_, static_cast<int>(options_.connect_timeout.count()));
+  // The request bound covers both directions: a peer that stops reading
+  // is as gone as one that stops answering.
+  const int timeout_ms = static_cast<int>(options_.request_timeout.count());
+  socket.set_recv_timeout(timeout_ms);
+  socket.set_send_timeout(timeout_ms);
+  return socket;
+}
 
 FrameHeader Client::read_frame(std::string& payload) {
   char header_bytes[kFrameHeaderBytes];
@@ -29,8 +66,23 @@ FrameHeader Client::read_frame(std::string& payload) {
 
 std::uint64_t Client::send(const service::DiagnosisRequest& request) {
   const std::uint64_t id = next_request_id_++;
-  socket_.send_all(
-      encode_frame(MessageType::kDiagnose, encode_diagnose(id, request)));
+  // Stamp the configured deadline / shedding class unless the caller set
+  // its own — the wire deadline is what lets the server stop working on
+  // requests this client already timed out on.
+  if ((request.deadline_ms == 0 && options_.request_timeout.count() > 0) ||
+      (request.priority == 0 && options_.priority != 0)) {
+    service::DiagnosisRequest stamped = request;
+    if (stamped.deadline_ms == 0 && options_.request_timeout.count() > 0) {
+      stamped.deadline_ms =
+          static_cast<std::uint32_t>(options_.request_timeout.count());
+    }
+    if (stamped.priority == 0) stamped.priority = options_.priority;
+    socket_.send_all(
+        encode_frame(MessageType::kDiagnose, encode_diagnose(id, stamped)));
+  } else {
+    socket_.send_all(
+        encode_frame(MessageType::kDiagnose, encode_diagnose(id, request)));
+  }
   return id;
 }
 
@@ -40,6 +92,10 @@ DecodedReply Client::receive() {
   switch (header.type) {
     case static_cast<std::uint8_t>(MessageType::kDiagnoseReply):
       return decode_reply(payload);
+    case static_cast<std::uint8_t>(MessageType::kOverloaded): {
+      const DecodedError error = decode_error(payload);
+      throw OverloadedError(error.message);
+    }
     case static_cast<std::uint8_t>(MessageType::kError): {
       const DecodedError error = decode_error(payload);
       throw RemoteError(error.message);
@@ -50,10 +106,45 @@ DecodedReply Client::receive() {
   }
 }
 
+void Client::backoff_or_rethrow(std::size_t attempt) {
+  if (attempt >= options_.retry.max_attempts ||
+      retries_used_ >= options_.retry.budget) {
+    throw;  // rethrow the in-flight transport/overload error
+  }
+  ++retries_used_;
+  const auto exponent = std::min<std::size_t>(attempt - 1, 20);
+  auto backoff = options_.retry.initial_backoff *
+                 static_cast<std::int64_t>(std::size_t{1} << exponent);
+  backoff = std::min(backoff, options_.retry.max_backoff);
+  const double jitter = std::clamp(options_.retry.jitter, 0.0, 1.0);
+  if (jitter > 0.0 && backoff.count() > 0) {
+    const double unit = static_cast<double>(splitmix64(jitter_state_) >> 11) *
+                        (1.0 / 9007199254740992.0);
+    const double factor = 1.0 - jitter + 2.0 * jitter * unit;
+    backoff = std::chrono::milliseconds(static_cast<std::int64_t>(
+        static_cast<double>(backoff.count()) * factor));
+  }
+  if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+}
+
 service::DiagnosisReply Client::diagnose(
     const service::DiagnosisRequest& request) {
-  (void)send(request);
-  return std::move(receive().reply);
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      if (!socket_.valid()) socket_ = open_socket();
+      (void)send(request);
+      return std::move(receive().reply);
+    } catch (const OverloadedError&) {
+      // A polite shed: the request was never admitted and the connection
+      // is intact — back off and try again on the same socket.
+      backoff_or_rethrow(attempt);
+    } catch (const NetError&) {
+      // Transport failure (timeouts included): the connection is in an
+      // unknown state, so drop it and reconnect on the next attempt.
+      socket_.close();
+      backoff_or_rethrow(attempt);
+    }
+  }
 }
 
 std::vector<service::DiagnosisReply> Client::diagnose_pipelined(

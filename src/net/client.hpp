@@ -10,6 +10,7 @@
 /// common cases.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -21,18 +22,66 @@
 
 namespace ftdiag::net {
 
+/// When and how diagnose() retries.  Retries fire only on *transport*
+/// errors (NetError, timeouts included — the connection is reopened) and
+/// on an explicit kOverloaded shed (OverloadedError — the connection
+/// survives, the request was never admitted).  Request-level RemoteErrors
+/// never retry: the server computed an answer, it was "no".  Safe by
+/// construction: a diagnose is a pure read, and a retried request is a
+/// fresh request id, so a duplicate can at worst waste a solve.
+struct RetryPolicy {
+  /// Total tries per diagnose() call; 1 = no retry (the default).
+  std::size_t max_attempts = 1;
+  /// First backoff; doubles each retry up to max_backoff.
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{2000};
+  /// Uniform jitter: the backoff is scaled by a factor drawn from
+  /// [1 - jitter, 1 + jitter], decorrelating a thundering herd.
+  double jitter = 0.5;
+  /// Retries available over the client's lifetime.  A hard cap that keeps
+  /// a flapping server from turning every caller into a retry storm.
+  std::size_t budget = 64;
+};
+
+struct ClientOptions {
+  std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Bound on establishing the TCP connection (0 = kernel default).
+  std::chrono::milliseconds connect_timeout{0};
+  /// Per-call bound on waiting for a reply, and — when positive — also
+  /// stamped on the wire as the request's deadline_ms so the server sheds
+  /// work the client has stopped waiting for.  0 = wait forever.
+  std::chrono::milliseconds request_timeout{0};
+  /// Shedding class for diagnose frames (see DiagnosisRequest::priority).
+  std::uint8_t priority = 0;
+  RetryPolicy retry;
+  /// Seed of the jitter stream (deterministic backoff in tests).
+  std::uint64_t retry_seed = 0x5bd1e995u;
+};
+
 class Client {
 public:
   /// Connect to a running net::Server.  \throws NetError on failure.
   Client(const std::string& host, std::uint16_t port,
          std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes);
 
+  /// Connect with resilience options (timeouts + retry policy).
+  Client(const std::string& host, std::uint16_t port, ClientOptions options);
+
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
 
-  /// Fire one request and wait for its answer.
+  [[nodiscard]] const ClientOptions& options() const { return options_; }
+
+  /// Retries consumed from RetryPolicy::budget so far.
+  [[nodiscard]] std::size_t retries_used() const { return retries_used_; }
+
+  /// Fire one request and wait for its answer, applying the configured
+  /// RetryPolicy (transport failures reconnect; kOverloaded sheds back
+  /// off on the live connection).
   /// \throws RemoteError when the server answered with an error frame,
-  /// NetError when the connection failed, ParseError on a bad frame.
+  /// OverloadedError when every attempt was shed, NetError (TimeoutError
+  /// included) when the connection failed past the last attempt,
+  /// ParseError on a bad frame.
   [[nodiscard]] service::DiagnosisReply diagnose(
       const service::DiagnosisRequest& request);
 
@@ -68,9 +117,21 @@ private:
   /// Read one frame; validates the header against max_payload_bytes_.
   [[nodiscard]] FrameHeader read_frame(std::string& payload);
 
+  [[nodiscard]] Socket open_socket() const;
+
+  /// Sleep the jittered exponential backoff for retry number \p attempt
+  /// (1-based) and account the budget.  \throws the pending error when
+  /// the policy or budget is exhausted.
+  void backoff_or_rethrow(std::size_t attempt);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ClientOptions options_;
   Socket socket_;
   std::uint32_t max_payload_bytes_ = kDefaultMaxPayloadBytes;
   std::uint64_t next_request_id_ = 1;
+  std::uint64_t jitter_state_ = 0;
+  std::size_t retries_used_ = 0;
 };
 
 }  // namespace ftdiag::net

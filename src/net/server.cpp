@@ -75,7 +75,10 @@ Server::Server(service::DiagnosisService& service, ServerOptions options)
                      "diagnosis reply frames sent");
         sink.counter("ftdiag_net_error_frames_sent_total",
                      static_cast<double>(s.error_frames_sent), labels,
-                     "error frames sent");
+                     "error frames sent, kOverloaded sheds included");
+        sink.counter("ftdiag_net_overloaded_sent_total",
+                     static_cast<double>(s.overloaded_sent), labels,
+                     "requests answered with a kOverloaded shed frame");
         sink.counter("ftdiag_net_protocol_errors_total",
                      static_cast<double>(s.protocol_errors), labels,
                      "unrecoverable streams closed");
@@ -120,6 +123,9 @@ void Server::accept_loop() {
     counters_.connections_open.add(1);
     auto conn = std::make_unique<Connection>();
     conn->socket = std::move(socket);
+    // The reader arms/disarms the recv bound itself around payload
+    // reads; the send bound guards every writer flush.
+    conn->socket.set_send_timeout(options_.send_timeout_ms);
     Connection& ref = *conn;
     {
       std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -177,14 +183,24 @@ void Server::reader_loop(Connection& conn) {
     obs::Span recv_span(obs::Stage::kNetRecv);
     payload.resize(header.payload_size);
     try {
-      if (header.payload_size > 0 &&
-          !conn.socket.recv_exact(payload.data(), payload.size())) {
-        recv_span.cancel();
-        break;
+      if (header.payload_size > 0) {
+        // The payload must follow its header promptly — a mid-frame
+        // stall is indistinguishable from a hung peer and would pin this
+        // reader thread forever.  Idle time *between* frames stays
+        // unbounded (the recv above runs with no bound).
+        conn.socket.set_recv_timeout(options_.payload_recv_timeout_ms);
+        const bool complete =
+            conn.socket.recv_exact(payload.data(), payload.size());
+        conn.socket.set_recv_timeout(0);
+        if (!complete) {
+          recv_span.cancel();
+          break;
+        }
       }
     } catch (const NetError&) {
+      conn.socket.set_recv_timeout(0);
       recv_span.cancel();
-      break;  // peer vanished mid-payload
+      break;  // peer vanished (or stalled past the bound) mid-payload
     }
 
     // From here the stream is framed correctly, so every failure is
@@ -221,16 +237,25 @@ void Server::reader_loop(Connection& conn) {
         counters_.requests_received.inc();
         std::uint64_t request_id = 0;
         try {
-          DecodedDiagnose decoded = decode_diagnose(payload);
+          DecodedDiagnose decoded = decode_diagnose(payload, header.version);
           request_id = decoded.request_id;
           Outgoing item;
           item.request_id = request_id;
           item.pending = service_.submit(std::move(decoded.request));
           enqueue(std::move(item));
           recv_span.finish();
+        } catch (const OverloadError& error) {
+          // Admission control shed the request before it was queued: a
+          // polite, explicitly retryable kOverloaded answer.
+          recv_span.cancel();
+          Outgoing item;
+          item.ready_frame = encode_frame(
+              MessageType::kOverloaded, encode_error(request_id, error.what()));
+          enqueue(std::move(item));
         } catch (const Error& error) {
           // Malformed payload or a submit-side rejection (empty request,
-          // service shut down): this request fails, the peer stays.
+          // deadline expired at admission, service shut down): this
+          // request fails, the peer stays.
           recv_span.cancel();
           enqueue_error(request_id, error.what());
         }
@@ -268,14 +293,21 @@ void Server::writer_loop(Connection& conn) {
     std::string frame;
     bool is_reply = false;
     bool is_error = false;
+    bool is_overloaded = false;
     // kReplySend: encoding + writing a diagnosis reply.  The future wait
     // above it is solve/score time and is traced in the service, so the
     // span starts only once the reply is in hand.
     std::optional<obs::Span> send_span;
     if (!item.ready_frame.empty()) {
       frame = std::move(item.ready_frame);
-      is_error = frame.size() > 5 &&
-                 frame[5] == static_cast<char>(MessageType::kError);
+      is_overloaded = frame.size() > 5 &&
+                      frame[5] == static_cast<char>(MessageType::kOverloaded);
+      // kOverloaded counts toward error_frames_sent so the identity
+      // `requests_received == replies_sent + error_frames_sent` holds
+      // with shedding active.
+      is_error = is_overloaded ||
+                 (frame.size() > 5 &&
+                  frame[5] == static_cast<char>(MessageType::kError));
     } else {
       try {
         const service::DiagnosisReply reply = item.pending.get();
@@ -307,6 +339,7 @@ void Server::writer_loop(Connection& conn) {
         counters_.replies_sent.inc();
       } else if (is_error) {
         counters_.error_frames_sent.inc();
+        if (is_overloaded) counters_.overloaded_sent.inc();
       }
     } catch (const NetError&) {
       if (send_span) send_span->cancel();
@@ -360,9 +393,35 @@ ServerStats Server::stats() const {
   stats.requests_received = counters_.requests_received.value();
   stats.replies_sent = counters_.replies_sent.value();
   stats.error_frames_sent = counters_.error_frames_sent.value();
+  stats.overloaded_sent = counters_.overloaded_sent.value();
   stats.protocol_errors = counters_.protocol_errors.value();
   stats.disconnects = counters_.disconnects.value();
   return stats;
+}
+
+void Server::drain(std::chrono::milliseconds grace) {
+  log::info("net: draining", {{"grace_ms", std::uint64_t(grace.count())}});
+  // No new connections...
+  listener_.close();
+  // ...and no new requests: shutting down the read direction wakes every
+  // blocked reader with a clean EOF while leaving the write direction —
+  // and therefore every queued reply — intact.  Readers mid-frame drop
+  // that frame; everything already submitted is answered.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& conn : connections_) conn->socket.shutdown_read();
+  }
+  const auto deadline = std::chrono::steady_clock::now() + grace;
+  while (std::chrono::steady_clock::now() < deadline) {
+    reap_finished(false);
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connections_.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Whatever outlived the grace period is cut off the hard way.
+  stop();
 }
 
 void Server::stop() {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -42,6 +43,15 @@ struct ServerOptions {
   /// backpressure that bounds outbox memory.
   std::size_t max_inflight = 128;
   std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Bound on reading the *rest* of a frame once its header arrived.  An
+  /// idle connection may sit silent forever, but a peer that starts a
+  /// frame and stalls mid-payload is holding a reader thread hostage —
+  /// past this bound the connection is dropped.  0 = wait forever.
+  int payload_recv_timeout_ms = 30000;
+  /// Bound on any single reply write.  A peer that stops *reading* while
+  /// we flush replies would otherwise block the writer thread forever
+  /// once the socket buffer fills.  0 = wait forever.
+  int send_timeout_ms = 30000;
 };
 
 /// Monotonic serving counters (connections_open is a gauge).  On a
@@ -58,7 +68,11 @@ struct ServerStats {
   /// produces exactly one reply or error frame.
   std::size_t requests_received = 0;
   std::size_t replies_sent = 0;
+  /// Error frames sent, kOverloaded frames included — the counter
+  /// identity `requests_received == replies_sent + error_frames_sent`
+  /// holds with shedding active.
   std::size_t error_frames_sent = 0;
+  std::size_t overloaded_sent = 0;  ///< kOverloaded sheds (also in errors)
   std::size_t protocol_errors = 0;  ///< unrecoverable streams closed
   std::size_t disconnects = 0;      ///< connections that ended
 };
@@ -80,6 +94,14 @@ public:
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 
   [[nodiscard]] ServerStats stats() const;
+
+  /// Graceful shutdown: close the listener, stop *reading* every
+  /// connection (shutdown of the read direction — a blocked reader wakes
+  /// with a clean EOF), but let the writers flush every reply already in
+  /// flight.  Waits up to \p grace for the connections to drain on their
+  /// own, then falls through to stop() for whatever is left.  Idempotent,
+  /// and composes with stop().
+  void drain(std::chrono::milliseconds grace = std::chrono::seconds(10));
 
   /// Stop accepting, close every connection, join all threads.
   /// Idempotent.
@@ -112,6 +134,7 @@ private:
     obs::Counter requests_received;
     obs::Counter replies_sent;
     obs::Counter error_frames_sent;
+    obs::Counter overloaded_sent;
     obs::Counter protocol_errors;
     obs::Counter disconnects;
   };

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "chaos/chaos.hpp"
 #include "net/wire.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -10,9 +11,12 @@
 #define FTDIAG_HAS_SOCKETS 1
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #else
@@ -49,36 +53,94 @@ sockaddr_in make_address(const std::string& host, std::uint16_t port) {
 void set_nodelay(int fd) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+#ifdef SO_NOSIGPIPE
+  // Platforms without MSG_NOSIGNAL (macOS) suppress SIGPIPE per socket
+  // instead — either way a dead peer surfaces as EPIPE, never a signal.
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+}
+
+using SocketClock = std::chrono::steady_clock;
+
+/// Poll until the descriptor is ready for \p events or \p deadline
+/// passes.  EINTR-safe: the remaining budget is recomputed from the
+/// deadline, so signals never extend the bound.  \throws TimeoutError on
+/// expiry.  Error revents (POLLERR/POLLHUP) return normally — the next
+/// recv/send reports the precise failure.
+void wait_ready(int fd, short events, SocketClock::time_point deadline,
+                const char* direction) {
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - SocketClock::now());
+    if (remaining.count() <= 0) {
+      throw TimeoutError(std::string(direction) + " timed out");
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc > 0) return;
+    if (rc == 0) {
+      throw TimeoutError(std::string(direction) + " timed out");
+    }
+    if (errno == EINTR) continue;
+    throw_errno(std::string(direction) + " poll failed");
+  }
 }
 
 }  // namespace
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_),
+      recv_timeout_ms_(other.recv_timeout_ms_),
+      send_timeout_ms_(other.send_timeout_ms_) {
+  other.fd_ = -1;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    recv_timeout_ms_ = other.recv_timeout_ms_;
+    send_timeout_ms_ = other.send_timeout_ms_;
     other.fd_ = -1;
   }
   return *this;
 }
 
 void Socket::send_all(std::string_view bytes) {
+  if (chaos::Injector::global().enabled()) {
+    chaos::hit("net.send_delay");
+    if (chaos::hit("net.drop_conn")) {
+      shutdown_both();
+      throw NetError("injected connection drop (chaos)");
+    }
+  }
+  const bool bounded = send_timeout_ms_ > 0;
+  const SocketClock::time_point deadline =
+      SocketClock::now() + std::chrono::milliseconds(send_timeout_ms_);
   const char* data = bytes.data();
   std::size_t left = bytes.size();
   while (left > 0) {
     // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
     // process with SIGPIPE (per-connection error isolation depends on it).
+    int flags = 0;
 #ifdef MSG_NOSIGNAL
-    const ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
-#else
-    const ssize_t n = ::send(fd_, data, left, 0);
+    flags |= MSG_NOSIGNAL;
 #endif
+    // Under a bound the send must not block in the kernel (a blocking
+    // stream send can queue the whole buffer before returning): ask for
+    // what fits now, poll with the remaining budget for the rest.
+    if (bounded) flags |= MSG_DONTWAIT;
+    const ssize_t n = ::send(fd_, data, left, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        wait_ready(fd_, POLLOUT, deadline, "send");
+        continue;
+      }
       throw_errno("send failed");
     }
     data += n;
@@ -87,8 +149,19 @@ void Socket::send_all(std::string_view bytes) {
 }
 
 bool Socket::recv_exact(char* out, std::size_t n) {
+  if (chaos::Injector::global().enabled()) {
+    chaos::hit("net.recv_delay");
+    if (chaos::hit("net.drop_conn")) {
+      shutdown_both();
+      throw NetError("injected connection drop (chaos)");
+    }
+  }
+  const bool bounded = recv_timeout_ms_ > 0;
+  const SocketClock::time_point deadline =
+      SocketClock::now() + std::chrono::milliseconds(recv_timeout_ms_);
   std::size_t got = 0;
   while (got < n) {
+    if (bounded) wait_ready(fd_, POLLIN, deadline, "recv");
     const ssize_t r = ::recv(fd_, out + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -105,6 +178,10 @@ bool Socket::recv_exact(char* out, std::size_t n) {
 
 void Socket::shutdown_both() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
 }
 
 void Socket::close() {
@@ -188,20 +265,54 @@ void Listener::close() {
   }
 }
 
-Socket connect_tcp(const std::string& host, std::uint16_t port) {
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   int timeout_ms) {
   const sockaddr_in addr = make_address(host, port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("cannot create socket");
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    throw_errno(str::format("cannot connect to %s:%u", host.c_str(), port));
+
+  if (timeout_ms > 0) {
+    // Bounded connect: flip non-blocking, start the handshake, poll for
+    // writability with the budget, then read back SO_ERROR for the verdict.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno(str::format("cannot connect to %s:%u", host.c_str(), port));
+    }
+    try {
+      wait_ready(fd, POLLOUT,
+                 SocketClock::now() + std::chrono::milliseconds(timeout_ms),
+                 "connect");
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) {
+      ::close(fd);
+      errno = soerr;
+      throw_errno(str::format("cannot connect to %s:%u", host.c_str(), port));
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else {
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno(str::format("cannot connect to %s:%u", host.c_str(), port));
+    }
   }
   set_nodelay(fd);
   return Socket(fd);
@@ -221,6 +332,7 @@ Socket& Socket::operator=(Socket&&) noexcept { return *this; }
 void Socket::send_all(std::string_view) { no_sockets(); }
 bool Socket::recv_exact(char*, std::size_t) { no_sockets(); }
 void Socket::shutdown_both() {}
+void Socket::shutdown_read() {}
 void Socket::close() {}
 
 Listener Listener::bind(const std::string&, std::uint16_t, int) {
@@ -232,7 +344,7 @@ Listener& Listener::operator=(Listener&&) noexcept { return *this; }
 Socket Listener::accept() { no_sockets(); }
 void Listener::close() {}
 
-Socket connect_tcp(const std::string&, std::uint16_t) { no_sockets(); }
+Socket connect_tcp(const std::string&, std::uint16_t, int) { no_sockets(); }
 
 #endif  // FTDIAG_HAS_SOCKETS
 

@@ -20,6 +20,13 @@ namespace ftdiag::net {
 [[nodiscard]] bool sockets_supported();
 
 /// A connected TCP stream (move-only RAII over the file descriptor).
+///
+/// Timeouts are poll-based and per-call: when a bound is set, every
+/// send_all / recv_exact call is limited to that many milliseconds *in
+/// total* (not per byte), EINTR-safe, and throws TimeoutError — a
+/// NetError subclass, so existing transport-error handling catches it —
+/// when the bound expires.  A zero bound (the default) blocks forever,
+/// preserving the original behavior and paying no poll() cost.
 class Socket {
 public:
   Socket() = default;
@@ -32,23 +39,39 @@ public:
 
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
 
+  /// Bound every subsequent recv_exact / send_all call to this many
+  /// milliseconds (0 = no bound).  Not thread-safe against a concurrent
+  /// call on the same direction — set a direction's bound only from the
+  /// thread that uses that direction.
+  void set_recv_timeout(int timeout_ms) { recv_timeout_ms_ = timeout_ms; }
+  void set_send_timeout(int timeout_ms) { send_timeout_ms_ = timeout_ms; }
+
   /// Write the whole buffer (retrying short writes / EINTR).
-  /// \throws NetError when the peer is gone.
+  /// \throws NetError when the peer is gone, TimeoutError past the bound.
   void send_all(std::string_view bytes);
 
   /// Read exactly \p n bytes.  Returns false on a clean EOF *before the
   /// first byte* (the peer closed between frames); \throws NetError on a
-  /// mid-read EOF (a frame was cut off) or any transport error.
+  /// mid-read EOF (a frame was cut off) or any transport error,
+  /// TimeoutError past the bound.
   [[nodiscard]] bool recv_exact(char* out, std::size_t n);
 
   /// Unblock any thread stuck in recv/send on this socket (shutdown both
   /// directions); safe to call from another thread and repeatedly.
   void shutdown_both();
 
+  /// Close only the read direction: a peer's in-flight data is discarded,
+  /// a blocked recv wakes with EOF, but queued replies still flush.  The
+  /// drain path uses this to stop *accepting* work without dropping work
+  /// already answered.
+  void shutdown_read();
+
   void close();
 
 private:
   int fd_ = -1;
+  int recv_timeout_ms_ = 0;
+  int send_timeout_ms_ = 0;
 };
 
 /// A listening TCP socket.
@@ -85,7 +108,11 @@ private:
 };
 
 /// Open a TCP connection (with TCP_NODELAY for request/reply latency).
-/// \throws NetError when the host cannot be resolved or reached.
-[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port);
+/// With a positive \p timeout_ms the connect itself is bounded (poll-based
+/// non-blocking connect) and throws TimeoutError when it expires; 0 blocks
+/// until the kernel gives up.  \throws NetError when the host cannot be
+/// resolved or reached.
+[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port,
+                                 int timeout_ms = 0);
 
 }  // namespace ftdiag::net

@@ -62,7 +62,7 @@ mna::AcResponse get_response(ByteReader& reader) {
 
 bool is_known_message_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MessageType::kDiagnose) &&
-         raw <= static_cast<std::uint8_t>(MessageType::kStatsReply);
+         raw <= static_cast<std::uint8_t>(MessageType::kOverloaded);
 }
 
 std::string encode_frame(MessageType type, std::string_view payload) {
@@ -86,10 +86,10 @@ FrameHeader decode_frame_header(std::string_view header_bytes,
   }
   FrameHeader header;
   header.version = reader.get_u8();
-  if (header.version != kWireVersion) {
+  if (header.version < kMinWireVersion || header.version > kWireVersion) {
     throw ParseError(str::format(
-        "unsupported wire protocol version %u (this build speaks %u)",
-        header.version, kWireVersion));
+        "unsupported wire protocol version %u (this build speaks %u-%u)",
+        header.version, kMinWireVersion, kWireVersion));
   }
   header.type = reader.get_u8();
   if (const std::uint16_t flags = reader.get_u16(); flags != 0) {
@@ -109,6 +109,8 @@ std::string encode_diagnose(std::uint64_t request_id,
                             const service::DiagnosisRequest& request) {
   std::string out;
   io::put_u64(out, request_id);
+  io::put_u32(out, request.deadline_ms);
+  io::put_u8(out, request.priority);
   io::put_str(out, request.circuit);
   io::put_u32(out, static_cast<std::uint32_t>(request.points.size()));
   for (const auto& point : request.points) put_point(out, point);
@@ -117,10 +119,15 @@ std::string encode_diagnose(std::uint64_t request_id,
   return out;
 }
 
-DecodedDiagnose decode_diagnose(std::string_view payload) {
+DecodedDiagnose decode_diagnose(std::string_view payload,
+                                std::uint8_t version) {
   ByteReader reader(payload, "diagnose frame payload");
   DecodedDiagnose decoded;
   decoded.request_id = reader.get_u64();
+  if (version >= 2) {
+    decoded.request.deadline_ms = reader.get_u32();
+    decoded.request.priority = reader.get_u8();
+  }
   decoded.request.circuit = reader.get_str();
   const std::uint32_t n_points = reader.get_u32();
   require_count(reader, n_points, 4, "points");

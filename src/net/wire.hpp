@@ -37,6 +37,15 @@ public:
   explicit NetError(const std::string& what) : Error("net error: " + what) {}
 };
 
+/// A socket operation exceeded its configured bound.  Subclass of
+/// NetError: a timed-out connection is in an unknown state and must be
+/// treated exactly like a transport failure (drop + reconnect), but
+/// callers that care can distinguish it.
+class TimeoutError : public NetError {
+public:
+  explicit TimeoutError(const std::string& what) : NetError(what) {}
+};
+
 /// A failure the *server* reported through an error frame (unknown
 /// circuit, malformed request, service shutdown...).  The connection is
 /// still usable after one of these.
@@ -46,8 +55,22 @@ public:
       : Error("remote error: " + what) {}
 };
 
+/// The server shed the request with a polite kOverloaded frame before
+/// admitting it.  Subclass of RemoteError (the connection survives), but
+/// — unlike every other RemoteError — explicitly retryable: nothing was
+/// computed, so a backed-off retry is safe by construction.
+class OverloadedError : public RemoteError {
+public:
+  explicit OverloadedError(const std::string& what) : RemoteError(what) {}
+};
+
 inline constexpr char kFrameMagic[4] = {'F', 'T', 'D', 'N'};
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Protocol version this build *speaks*.  v2 adds the diagnose frame's
+/// deadline_ms + priority fields and the kOverloaded message type;
+/// receivers still accept v1 frames (kMinWireVersion) with both fields
+/// defaulted, so old clients keep working against new servers.
+inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kMinWireVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 
 /// Default bound on a single frame's payload.  A header declaring more
@@ -56,8 +79,8 @@ inline constexpr std::size_t kFrameHeaderBytes = 12;
 inline constexpr std::uint32_t kDefaultMaxPayloadBytes = 16u << 20;
 
 /// Wire message types (stable byte values — part of protocol version 1;
-/// kStats/kStatsReply are an additive extension, old peers answer them
-/// with an error frame as for any unknown type).
+/// kStats/kStatsReply and kOverloaded are additive extensions, old peers
+/// answer them with an error frame as for any unknown type).
 enum class MessageType : std::uint8_t {
   kDiagnose = 1,       ///< client -> server: DiagnosisRequest
   kDiagnoseReply = 2,  ///< server -> client: DiagnosisReply
@@ -66,6 +89,7 @@ enum class MessageType : std::uint8_t {
   kPong = 5,           ///< server -> client: liveness answer
   kStats = 6,          ///< client -> server: metrics snapshot request
   kStatsReply = 7,     ///< server -> client: rendered metrics snapshot
+  kOverloaded = 8,     ///< server -> client: request shed, retry later
 };
 
 /// Rendering requested by a kStats frame.
@@ -102,7 +126,10 @@ struct FrameHeader {
 // without unbounded allocation (counts are validated against the payload
 // size before any reserve).
 
-/// kDiagnose: request id + circuit + signature points + raw measurements.
+/// kDiagnose: request id + (v2) deadline_ms + priority + circuit +
+/// signature points + raw measurements.  Encoders always write the v2
+/// layout; decoders take the frame header's version and read the v1
+/// layout (no deadline/priority fields) when it says 1.
 [[nodiscard]] std::string encode_diagnose(
     std::uint64_t request_id, const service::DiagnosisRequest& request);
 
@@ -110,7 +137,8 @@ struct DecodedDiagnose {
   std::uint64_t request_id = 0;
   service::DiagnosisRequest request;
 };
-[[nodiscard]] DecodedDiagnose decode_diagnose(std::string_view payload);
+[[nodiscard]] DecodedDiagnose decode_diagnose(
+    std::string_view payload, std::uint8_t version = kWireVersion);
 
 /// kDiagnoseReply: request id + one ranked diagnosis per observation.
 [[nodiscard]] std::string encode_reply(std::uint64_t request_id,

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "chaos/chaos.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -36,6 +37,9 @@ void ServiceOptions::check() const {
   }
   if (max_linger.count() < 0) {
     throw ConfigError("service max_linger must be >= 0");
+  }
+  if (shed_high_water > queue_capacity) {
+    throw ConfigError("service shed_high_water must be <= queue_capacity");
   }
 }
 
@@ -69,6 +73,12 @@ DiagnosisService::DiagnosisService(ServiceOptions options)
         sink.counter("ftdiag_service_queue_full_waits_total",
                      static_cast<double>(s.queue_full_waits), labels,
                      "submits that hit queue backpressure");
+        sink.counter("ftdiag_service_shed_total",
+                     static_cast<double>(s.shed), labels,
+                     "submits shed over the overload high-water mark");
+        sink.counter("ftdiag_service_deadline_expired_total",
+                     static_cast<double>(s.deadline_expired), labels,
+                     "requests failed on an expired deadline");
         sink.gauge("ftdiag_service_queue_depth",
                    static_cast<double>(s.queue_depth), labels,
                    "requests waiting in the queue right now");
@@ -107,21 +117,51 @@ std::future<DiagnosisReply> DiagnosisService::submit(
   if (request.observation_count() == 0) {
     throw ConfigError("diagnosis request has no observations");
   }
+  const Clock::time_point arrival = Clock::now();
+  std::optional<Clock::time_point> deadline;
+  if (request.deadline_ms > 0) {
+    deadline = arrival + std::chrono::milliseconds(request.deadline_ms);
+  }
   std::future<DiagnosisReply> future;
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     if (stopping_) throw ConfigError("diagnosis service is shut down");
+    // Admission control: past the high-water mark the lowest priority is
+    // shed immediately — a cheap, explicit "retry later" beats making
+    // every caller queue into a deadline it can no longer meet.
+    if (options_.shed_high_water > 0 &&
+        queue_.size() >= options_.shed_high_water && request.priority == 0) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.shed;
+      }
+      throw OverloadError(
+          "service queue is over its high-water mark; retry later");
+    }
     if (queue_.size() >= options_.queue_capacity) {
       {
         std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++stats_.queue_full_waits;
       }
-      space_cv_.wait(lock, [&] {
+      const auto admitted = [&] {
         return stopping_ || queue_.size() < options_.queue_capacity;
-      });
+      };
+      // A deadlined request must not block for space past its budget —
+      // failing at admission is the whole point of carrying the deadline.
+      if (deadline) {
+        if (!space_cv_.wait_until(lock, *deadline, admitted)) {
+          {
+            std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            ++stats_.deadline_expired;
+          }
+          throw DeadlineError("request expired waiting for queue space");
+        }
+      } else {
+        space_cv_.wait(lock, admitted);
+      }
       if (stopping_) throw ConfigError("diagnosis service is shut down");
     }
-    Pending pending{std::move(request), {}, Clock::now()};
+    Pending pending{std::move(request), {}, arrival, deadline};
     future = pending.promise.get_future();
     queue_.push_back(std::move(pending));
   }
@@ -244,9 +284,19 @@ void DiagnosisService::process_batch(std::vector<Pending> batch) {
   std::vector<core::Point> all_points;
   std::vector<Span> spans;
   spans.reserve(batch.size());
+  const Clock::time_point pre_solve = Clock::now();
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const std::size_t begin = all_points.size();
     try {
+      // Pre-solve deadline gate: a request that expired in the queue
+      // fails here instead of consuming its share of the solve.
+      if (batch[i].deadline && pre_solve > *batch[i].deadline) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          ++stats_.deadline_expired;
+        }
+        throw DeadlineError("request expired in the queue before its solve");
+      }
       for (const auto& point : batch[i].request.points) {
         all_points.push_back(point);
       }
@@ -265,6 +315,12 @@ void DiagnosisService::process_batch(std::vector<Pending> batch) {
   std::vector<core::Diagnosis> results;
   try {
     obs::Span solve_span(obs::Stage::kSolve);
+    if (chaos::Injector::global().enabled()) {
+      chaos::hit("engine.solve_delay");
+      if (chaos::hit("engine.solve_fail")) {
+        throw NumericError("injected solve failure (chaos)");
+      }
+    }
     results = session->diagnose_batch(all_points, options_.batch_threads);
   } catch (...) {
     auto error = std::current_exception();

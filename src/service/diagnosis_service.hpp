@@ -48,6 +48,18 @@ struct DiagnosisRequest {
   std::vector<core::Point> points;
   std::vector<mna::AcResponse> measured;
 
+  /// Remaining time budget in milliseconds, stamped relative to *arrival*
+  /// (the service starts the clock at submit()).  Enforced at queue
+  /// admission and again pre-solve, so an expired request fails with
+  /// DeadlineError instead of consuming a solve.  0 = no deadline.
+  std::uint32_t deadline_ms = 0;
+
+  /// Shedding class: when the queue crosses ServiceOptions::
+  /// shed_high_water, priority-0 requests are rejected with OverloadError
+  /// while higher priorities are still admitted.  Not a scheduling
+  /// priority — admitted requests are served FIFO regardless.
+  std::uint8_t priority = 0;
+
   [[nodiscard]] std::size_t observation_count() const {
     return points.size() + measured.size();
   }
@@ -74,6 +86,8 @@ struct ServiceStats {
   std::size_t batched_requests = 0; ///< requests across those batches
   std::size_t largest_batch = 0;    ///< most requests coalesced at once
   std::size_t queue_full_waits = 0; ///< submits that hit backpressure
+  std::size_t shed = 0;             ///< submits rejected over the high-water mark
+  std::size_t deadline_expired = 0; ///< requests failed on an expired deadline
   std::size_t queue_depth = 0;      ///< requests waiting right now (gauge)
   double mean_batch = 0.0;          ///< batched_requests / batches
   double p50_latency_us = 0.0;      ///< submit -> reply, median
@@ -105,7 +119,10 @@ public:
 
   /// Enqueue a request; blocks while the queue is at capacity
   /// (backpressure).  The future carries the reply or the error.
-  /// \throws ConfigError for an empty request or a shut-down service.
+  /// \throws ConfigError for an empty request or a shut-down service,
+  /// OverloadError when shedding is configured and the queue is past the
+  /// high-water mark (priority 0 only), DeadlineError when the request's
+  /// deadline expires while waiting for queue space.
   [[nodiscard]] std::future<DiagnosisReply> submit(DiagnosisRequest request);
 
   /// Synchronous convenience: submit + wait.  Errors rethrow here.
@@ -124,6 +141,9 @@ private:
     DiagnosisRequest request;
     std::promise<DiagnosisReply> promise;
     Clock::time_point enqueued;
+    /// Absolute expiry computed from request.deadline_ms at submit;
+    /// nullopt when the request carries no deadline.
+    std::optional<Clock::time_point> deadline;
   };
 
   void worker_loop();

@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <functional>
 #include <future>
 #include <map>
+#include <sstream>
+#include <system_error>
 #include <utility>
 
 #include "io/dictionary_io.hpp"
+#include "io/durable_file.hpp"
 #include "io/mapped_file.hpp"
 #include "obs/trace.hpp"
 #include "session.hpp"
@@ -28,10 +30,12 @@ struct StoreMetrics {
   obs::Counter& memory_hits;
   obs::Counter& disk_hits;
   obs::Counter& builds;
+  obs::Counter& quarantine_tier;
   obs::Counter& shared_waits;
   obs::Counter& evictions;
   obs::Counter& persisted;
   obs::Counter& invalid_files;
+  obs::Counter& quarantined;
   obs::Gauge& bytes_resident;
 
   static StoreMetrics& get() {
@@ -45,6 +49,8 @@ struct StoreMetrics {
                       help),
           reg.counter("ftdiag_store_requests_total", {{"tier", "build"}},
                       help),
+          reg.counter("ftdiag_store_requests_total", {{"tier", "quarantine"}},
+                      help),
           reg.counter("ftdiag_store_shared_waits_total", {},
                       "fetches that joined another in-flight load"),
           reg.counter("ftdiag_store_evictions_total", {},
@@ -53,6 +59,8 @@ struct StoreMetrics {
                       "dictionaries written to the disk tier"),
           reg.counter("ftdiag_store_invalid_files_total", {},
                       "on-disk artifacts rejected during validation"),
+          reg.counter("ftdiag_store_quarantined_total", {},
+                      "rejected artifacts quarantined to *.corrupt"),
           reg.gauge("ftdiag_store_bytes_resident", {},
                     "approximate bytes of dictionaries held in memory"),
       };
@@ -102,6 +110,15 @@ DictionaryStore::DictionaryStore(StoreOptions options)
   per_shard_capacity_ =
       std::max<std::size_t>(1, options_.capacity / options_.shards);
   shards_ = std::make_unique<Shard[]>(options_.shards);
+  if (!options_.root_dir.empty()) {
+    // Debris from a writer that crashed between tmp write and rename is
+    // never a valid artifact — sweep it before serving from this root.
+    const std::size_t removed = io::remove_stale_tmp_files(options_.root_dir);
+    if (removed > 0) {
+      log::warn("store: removed stale tmp artifacts",
+                {{"dir", options_.root_dir}, {"count", removed}});
+    }
+  }
 }
 
 DictionaryStore::~DictionaryStore() = default;
@@ -213,10 +230,29 @@ DictionaryPtr DictionaryStore::load_or_build(
       return dictionary;
     } catch (const Error& e) {
       StoreMetrics::get().invalid_files.inc();
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      ++stats_.invalid_files;
-      log::warn("store: ignoring invalid artifact",
-                {{"path", path}, {"error", e.what()}});
+      StoreMetrics::get().quarantine_tier.inc();
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.invalid_files;
+      }
+      // Quarantine rather than silently rebuild over the evidence: the
+      // corrupt image is moved to `<name>.fdx.corrupt` (replacing any
+      // older quarantine) so a crash / bitrot incident stays inspectable,
+      // and the rebuild below publishes a fresh artifact under the
+      // original name.
+      const std::string quarantine = path + ".corrupt";
+      std::error_code ec;
+      std::filesystem::remove(quarantine, ec);
+      std::filesystem::rename(path, quarantine, ec);
+      if (!ec) {
+        StoreMetrics::get().quarantined.inc();
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.quarantined;
+      }
+      log::warn("store: quarantined invalid artifact",
+                {{"path", path},
+                 {"quarantine", ec ? "failed: " + ec.message() : quarantine},
+                 {"error", e.what()}});
     }
   }
 
@@ -232,16 +268,14 @@ DictionaryPtr DictionaryStore::load_or_build(
   if (!path.empty() && options_.persist) {
     try {
       std::filesystem::create_directories(options_.root_dir);
-      // Write-then-rename so a concurrent reader never sees a partial
-      // file; builds are bit-identical, so a last-writer race is benign.
-      const std::string tmp = path + ".tmp";
-      {
-        std::ofstream out(tmp, std::ios::binary);
-        if (!out) throw Error("cannot open '" + tmp + "' for writing");
-        io::save_dictionary_binary(out, *dictionary, key);
-        if (!out) throw Error("failed writing '" + tmp + "'");
-      }
-      std::filesystem::rename(tmp, path);
+      // Durable write-then-rename (tmp + fsync file + rename + fsync
+      // directory) so a crash can neither expose a partial file nor
+      // publish un-synced pages under the final name; builds are
+      // bit-identical, so a last-writer race is benign.
+      std::ostringstream image;
+      io::save_dictionary_binary(image, *dictionary, key);
+      if (!image) throw Error("failed serializing dictionary for '" + path + "'");
+      io::write_file_durable(path, image.view());
       StoreMetrics::get().persisted.inc();
       {
         std::lock_guard<std::mutex> stats_lock(stats_mutex_);

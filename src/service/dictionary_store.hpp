@@ -9,7 +9,8 @@
 ///      universe, grid, sim options — see ftdiag::dictionary_cache_key);
 ///   2. **disk** — a versioned binary `.fdx` file under root_dir named by
 ///      that key, loaded with contiguous block reads and checksum-verified
-///      (corrupt or mismatched files are ignored, never trusted);
+///      (corrupt or mismatched files are quarantined to `*.corrupt` and
+///      rebuilt, never trusted);
 ///   3. **build** — faults::SimulationEngine simulates the universe, and
 ///      the result is persisted back to disk so the *next* process starts
 ///      at tier 2.
@@ -40,7 +41,8 @@ struct StoreStats {
   std::size_t shared_waits = 0;  ///< joined another get()'s load/build
   std::size_t evictions = 0;     ///< LRU entries dropped over capacity
   std::size_t persisted = 0;     ///< `.fdx` files written
-  std::size_t invalid_files = 0; ///< corrupt/mismatched files ignored
+  std::size_t invalid_files = 0; ///< corrupt/mismatched files rejected
+  std::size_t quarantined = 0;   ///< rejected files moved to `*.corrupt`
 };
 
 class DictionaryStore {

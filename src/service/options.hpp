@@ -58,7 +58,15 @@ struct ServiceOptions {
   /// (Session::diagnose_batch); 0 means "auto".  Never changes results.
   std::size_t batch_threads = 1;
 
-  /// \throws ConfigError on a zero queue capacity or max_batch.
+  /// Overload shedding high-water mark: once the queue holds this many
+  /// requests, further priority-0 submits are rejected with OverloadError
+  /// instead of blocking (higher priorities still ride the normal
+  /// queue-full backpressure up to queue_capacity).  0 disables shedding —
+  /// every submit blocks, the pre-resilience behavior.
+  std::size_t shed_high_water = 0;
+
+  /// \throws ConfigError on a zero queue capacity or max_batch, or a
+  /// shed_high_water above queue_capacity.
   void check() const;
 };
 

@@ -42,6 +42,23 @@ public:
   explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
 };
 
+/// The serving layer shed this request to protect itself (queue depth over
+/// the high-water mark).  Retryable by construction: the request was never
+/// admitted, so nothing was computed or partially applied.
+class OverloadError : public Error {
+public:
+  explicit OverloadError(const std::string& what) : Error("overloaded: " + what) {}
+};
+
+/// The request's deadline expired before an answer could be produced.  The
+/// work was skipped (never half-done), but the caller's budget is gone —
+/// request-level, not retryable.
+class DeadlineError : public Error {
+public:
+  explicit DeadlineError(const std::string& what)
+      : Error("deadline exceeded: " + what) {}
+};
+
 namespace detail {
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,
                               const std::string& msg);

@@ -18,9 +18,11 @@
 ///
 /// # diagnose over the network: TCP server + client load harness
 /// ftdiag_cli serve builtin:state_variable,builtin:tow_thomas --port 4850 \
-///            --store-dir ./dicts [--stats-interval 10]
+///            --store-dir ./dicts [--stats-interval 10] \
+///            [--shed-high-water 256] [--chaos net.recv_delay:20ms]
 /// ftdiag_cli load builtin:state_variable,builtin:tow_thomas --port 4850 \
-///            [--threads 4] [--requests 2000] [--pipeline 8]
+///            [--threads 4] [--requests 2000] [--pipeline 8] \
+///            [--timeout 5000] [--retries 3]
 ///
 /// # scrape a running server's metrics registry (see src/obs/README.md)
 /// ftdiag_cli stats 127.0.0.1:4850 [--format {json,prom}]
@@ -41,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "ftdiag.hpp"
 #include "io/dictionary_io.hpp"
 #include "io/exporters.hpp"
@@ -315,7 +318,9 @@ int run_serve_batch(int argc, char** argv) {
 // ------------------------------------------------------------ serve/load
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_drain{false};
 void handle_stop_signal(int) { g_stop.store(true); }
+void handle_drain_signal(int) { g_drain.store(true); }
 
 void declare_search_options(args::Parser& cli) {
   cli.option("frequencies", "test-vector size", "2")
@@ -398,6 +403,12 @@ int run_serve(int argc, char** argv) {
       .option("batch-threads", "diagnosis fan-out threads (0 = auto)", "0")
       .option("max-connections", "concurrent client connections", "64")
       .option("max-inflight", "pipelined requests per connection", "128")
+      .option("shed-high-water",
+              "queue depth past which priority-0 requests are shed with a "
+              "polite kOverloaded frame (0 = never shed)", "0")
+      .option("chaos",
+              "fault-injection spec, e.g. net.recv_delay:50ms,io.torn_write:"
+              "0.1 (same syntax as FTDIAG_CHAOS)", "")
       .option("stats-interval",
               "seconds between stats lines (0 = only on shutdown)", "10");
 
@@ -415,12 +426,18 @@ int run_serve(int argc, char** argv) {
     log::set_level(log::Level::kInfo);
   }
 
+  if (const std::string spec = cli.get("chaos"); !spec.empty()) {
+    chaos::Injector::global().configure(spec);
+    log::warn("chaos: fault injection armed", {{"spec", spec}});
+  }
+
   ServiceOptions service_options;
   service_options.workers = cli.get_size("workers");
   service_options.max_batch = cli.get_size("max-batch");
   service_options.max_linger =
       std::chrono::microseconds(cli.get_size("linger-us"));
   service_options.batch_threads = cli.get_size("batch-threads");
+  service_options.shed_high_water = cli.get_size("shed-high-water");
 
   std::vector<Session> sessions = build_serving_sessions(cli);
   service::DiagnosisService service(service_options);
@@ -437,11 +454,19 @@ int run_serve(int argc, char** argv) {
   std::printf("listening on %s:%u (%zu circuits), Ctrl-C to stop\n",
               server_options.host.c_str(), server.port(), sessions.size());
 
+  // SIGINT stops hard; SIGTERM drains — in-flight replies are flushed
+  // before the process exits, which is what lets an orchestrator roll the
+  // server without failing the requests it already accepted.  A peer that
+  // vanishes mid-write must surface as an EPIPE errno on that socket, not
+  // kill the process.
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   std::signal(SIGINT, handle_stop_signal);
-  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGTERM, handle_drain_signal);
   const std::size_t interval = cli.get_size("stats-interval");
   auto last_print = std::chrono::steady_clock::now();
-  while (!g_stop.load()) {
+  while (!g_stop.load() && !g_drain.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     if (interval > 0 && std::chrono::steady_clock::now() - last_print >=
                             std::chrono::seconds(interval)) {
@@ -450,8 +475,13 @@ int run_serve(int argc, char** argv) {
     }
   }
 
-  log::info("net: shutting down");
-  server.stop();
+  if (g_drain.load()) {
+    log::info("net: draining (SIGTERM)");
+    server.drain();
+  } else {
+    log::info("net: shutting down");
+    server.stop();
+  }
   log_serving_stats(server, service);
   return 0;
 }
@@ -475,7 +505,14 @@ int run_load(int argc, char** argv) {
               "2000")
       .option("pipeline", "requests kept in flight per connection", "8")
       .option("points", "observations per request", "1")
-      .option("samples", "faulty boards synthesized per circuit", "32");
+      .option("samples", "faulty boards synthesized per circuit", "32")
+      .option("timeout",
+              "per-request deadline [ms], stamped on the wire and enforced "
+              "on the socket (0 = wait forever)", "0")
+      .option("retries",
+              "retries per request on transport errors / kOverloaded sheds "
+              "(forces pipeline 1)", "0")
+      .option("priority", "shedding class stamped on each request", "0");
 
   cli.parse(argc, argv);
   if (cli.help_requested()) {
@@ -490,9 +527,22 @@ int run_load(int argc, char** argv) {
       static_cast<std::uint16_t>(cli.get_size("port"));
   const std::size_t n_threads = std::max<std::size_t>(1, cli.get_size("threads"));
   const std::size_t n_requests = cli.get_size("requests");
-  const std::size_t window = std::max<std::size_t>(1, cli.get_size("pipeline"));
   const std::size_t points_per_request =
       std::max<std::size_t>(1, cli.get_size("points"));
+
+  net::ClientOptions client_options;
+  client_options.request_timeout =
+      std::chrono::milliseconds(cli.get_size("timeout"));
+  client_options.connect_timeout = client_options.request_timeout;
+  client_options.priority =
+      static_cast<std::uint8_t>(cli.get_size("priority"));
+  client_options.retry.max_attempts = cli.get_size("retries") + 1;
+  // Retries need the request/reply pairing of diagnose(); pipelined
+  // traffic cannot re-associate a failed frame with its request.
+  const bool use_retry_path = client_options.retry.max_attempts > 1;
+  const std::size_t window =
+      use_retry_path ? 1
+                     : std::max<std::size_t>(1, cli.get_size("pipeline"));
 
   // Synthesize an observation pool per circuit: measure faulty boards with
   // deterministic seeds and map them to signature points.
@@ -524,6 +574,7 @@ int run_load(int argc, char** argv) {
   struct ThreadResult {
     std::vector<double> latencies_us;
     std::size_t failures = 0;
+    std::size_t retries = 0;
   };
   std::vector<ThreadResult> results(n_threads);
   const auto start = Clock::now();
@@ -536,22 +587,44 @@ int run_load(int argc, char** argv) {
             n_requests / n_threads + (tid < n_requests % n_threads ? 1 : 0);
         result.latencies_us.reserve(quota);
         try {
-          net::Client client(host, port);
+          net::Client client(host, port, client_options);
+          auto make_request = [&](std::size_t index) {
+            const Traffic& t = traffic[(tid + index) % traffic.size()];
+            service::DiagnosisRequest request;
+            request.circuit = t.circuit;
+            for (std::size_t p = 0; p < points_per_request; ++p) {
+              request.points.push_back(
+                  t.pool[(index + p) % t.pool.size()]);
+            }
+            return request;
+          };
+          if (use_retry_path) {
+            // One request at a time through the resilient path: timeouts
+            // reconnect, kOverloaded sheds back off, per RetryPolicy.
+            for (std::size_t i = 0; i < quota; ++i) {
+              const auto sent_at = Clock::now();
+              try {
+                (void)client.diagnose(make_request(i));
+              } catch (const net::RemoteError&) {
+                ++result.failures;
+              } catch (const net::NetError&) {
+                ++result.failures;
+              }
+              result.latencies_us.push_back(
+                  std::chrono::duration<double, std::micro>(Clock::now() -
+                                                            sent_at)
+                      .count());
+            }
+            result.retries = client.retries_used();
+            return;
+          }
           std::deque<Clock::time_point> sent_at;
           std::size_t sent = 0;
           std::size_t received = 0;
           while (received < quota) {
             while (sent < quota && sent - received < window) {
-              const Traffic& t =
-                  traffic[(tid + sent) % traffic.size()];
-              service::DiagnosisRequest request;
-              request.circuit = t.circuit;
-              for (std::size_t p = 0; p < points_per_request; ++p) {
-                request.points.push_back(
-                    t.pool[(sent + p) % t.pool.size()]);
-              }
               sent_at.push_back(Clock::now());
-              (void)client.send(request);
+              (void)client.send(make_request(sent));
               ++sent;
             }
             try {
@@ -579,10 +652,12 @@ int run_load(int argc, char** argv) {
 
   std::vector<double> latencies;
   std::size_t failures = 0;
+  std::size_t retries = 0;
   for (const auto& result : results) {
     latencies.insert(latencies.end(), result.latencies_us.begin(),
                      result.latencies_us.end());
     failures += result.failures;
+    retries += result.retries;
   }
   if (latencies.empty()) throw Error("load run produced no replies");
   std::sort(latencies.begin(), latencies.end());
@@ -602,6 +677,7 @@ int run_load(int argc, char** argv) {
               percentile(0.50), percentile(0.95), percentile(0.99),
               latencies.back());
   if (failures > 0) std::printf("failures: %zu\n", failures);
+  if (retries > 0) std::printf("retries: %zu\n", retries);
   return 0;
 }
 
